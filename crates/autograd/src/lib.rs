@@ -1,0 +1,464 @@
+//! Tape-based reverse-mode automatic differentiation over dense matrices.
+//!
+//! # Design
+//!
+//! A [`Tape`] is an append-only list of nodes. Each node stores its value,
+//! its operation ([`Op`] — a plain enum, no boxed closures), and the ids of
+//! its inputs. [`Tape::backward`] seeds the loss gradient with 1 and walks
+//! the tape in reverse, accumulating input gradients.
+//!
+//! Training loops rebuild the activation part of the tape every step, but
+//! model *parameters* are expensive to clone. The tape therefore has a
+//! persistent prefix: parameters are registered once with [`Tape::param`],
+//! the prefix is frozen with [`Tape::seal`], and [`Tape::reset`] truncates
+//! everything appended after the seal while keeping parameter values (which
+//! the optimizer updates in place via [`Tape::value_mut`]).
+//!
+//! ```
+//! use clfd_autograd::Tape;
+//! use clfd_tensor::Matrix;
+//!
+//! let mut t = Tape::new();
+//! let w = t.param(Matrix::from_vec(2, 1, vec![1.0, -1.0]).unwrap());
+//! t.seal();
+//!
+//! let x = t.constant(Matrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap());
+//! let y = t.matmul(x, w);          // 1x1: [3 - 4] = [-1]
+//! let loss = t.mean_all(y);
+//! t.backward(loss);
+//! assert_eq!(t.grad(w).as_slice(), &[3.0, 4.0]);
+//! t.reset(); // ready for the next step; `w` survives
+//! ```
+
+use clfd_tensor::Matrix;
+
+mod ops;
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Raw tape index (stable for persistent nodes across resets).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Operation recorded for a tape node.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Input node: a parameter (grad tracked) or constant (grad skipped).
+    Leaf,
+    /// Elementwise sum of two equal-shape nodes.
+    Add(Var, Var),
+    /// Elementwise difference.
+    Sub(Var, Var),
+    /// Elementwise (Hadamard) product.
+    Mul(Var, Var),
+    /// Adds a scalar to every element.
+    AddScalar(Var, f32),
+    /// Multiplies every element by a scalar.
+    Scale(Var, f32),
+    /// Elementwise power `x^q` (inputs clamped positive).
+    Pow(Var, f32),
+    /// Elementwise natural logarithm (inputs clamped positive).
+    Ln(Var),
+    /// Matrix product.
+    MatMul(Var, Var),
+    /// `a * b^T` — pairwise similarity kernel.
+    MatMulTransB(Var, Var),
+    /// Adds a `1 x n` bias row to every row of an `m x n` node.
+    AddRowBroadcast(Var, Var),
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Leaky ReLU with the given negative-side slope (0 gives plain ReLU).
+    LeakyRelu(Var, f32),
+    /// Row-wise softmax.
+    SoftmaxRows(Var),
+    /// Row-wise log-softmax.
+    LogSoftmaxRows(Var),
+    /// Row-wise L2 normalization (rows with norm ≤ eps pass through).
+    RowL2Normalize(Var, f32),
+    /// Column slice `[start, end)`.
+    SliceCols(Var, usize, usize),
+    /// Gather rows by index (duplicates allowed; backward scatter-adds).
+    Gather(Var, Vec<usize>),
+    /// Multiplies row `r` by `scales[r]`.
+    RowScale(Var, Vec<f32>),
+    /// Frobenius inner product with a constant weight matrix → `1 x 1`.
+    WeightedSumAll(Var, Matrix),
+    /// Sum of all elements → `1 x 1`.
+    SumAll(Var),
+    /// Mean of all elements → `1 x 1`.
+    MeanAll(Var),
+    /// Vertical concatenation (rows of `a` above rows of `b`).
+    ConcatRows(Var, Var),
+    /// Horizontal concatenation (columns of `a` left of columns of `b`).
+    ConcatCols(Var, Var),
+    /// Multiplies every row elementwise by a `1 x n` vector.
+    MulRowBroadcast(Var, Var),
+    /// Row-wise layer normalization `(x - mean) / sqrt(var + eps)`,
+    /// without affine parameters (compose with [`Op::MulRowBroadcast`] and
+    /// [`Op::AddRowBroadcast`] for gamma/beta).
+    LayerNormRows(Var, f32),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// Reverse-mode AD tape. See the crate docs for the usage pattern.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    persistent: usize,
+    sealed: bool,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a trainable parameter. Must be called before [`Tape::seal`].
+    pub fn param(&mut self, value: Matrix) -> Var {
+        assert!(!self.sealed, "parameters must be registered before seal()");
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Freezes the persistent prefix; everything appended afterwards is
+    /// discarded by [`Tape::reset`]. Idempotent.
+    pub fn seal(&mut self) {
+        self.persistent = self.nodes.len();
+        self.sealed = true;
+    }
+
+    /// Registers a constant input (no gradient is tracked through it).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of all persistent parameter nodes (for optimizers).
+    pub fn param_vars(&self) -> Vec<Var> {
+        let prefix = if self.sealed { self.persistent } else { self.nodes.len() };
+        (0..prefix)
+            .filter(|&i| self.nodes[i].requires_grad && matches!(self.nodes[i].op, Op::Leaf))
+            .map(Var)
+            .collect()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Mutable value of a node (used by optimizers to update parameters).
+    pub fn value_mut(&mut self, v: Var) -> &mut Matrix {
+        &mut self.nodes[v.0].value
+    }
+
+    /// Gradient of a node after [`Tape::backward`]; zeros if it never
+    /// received any gradient.
+    pub fn grad(&self, v: Var) -> Matrix {
+        let n = &self.nodes[v.0];
+        n.grad
+            .clone()
+            .unwrap_or_else(|| Matrix::zeros(n.value.rows(), n.value.cols()))
+    }
+
+    /// Scalar value of a `1 x 1` node (losses).
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "scalar() called on a {:?} node", m.shape());
+        m.as_slice()[0]
+    }
+
+    /// Truncates the tape back to the persistent prefix and clears all
+    /// gradients, keeping (possibly optimizer-updated) parameter values.
+    pub fn reset(&mut self) {
+        assert!(self.sealed, "reset() requires a sealed tape");
+        self.nodes.truncate(self.persistent);
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
+        debug_assert!(
+            !value.has_non_finite(),
+            "non-finite values entering the tape via {op:?}"
+        );
+        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn tracked(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    fn tracked2(&self, a: Var, b: Var) -> bool {
+        self.tracked(a) || self.tracked(b)
+    }
+
+    // ---- op constructors -------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        let t = self.tracked2(a, b);
+        self.push(v, Op::Add(a, b), t)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        let t = self.tracked2(a, b);
+        self.push(v, Op::Sub(a, b), t)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        let t = self.tracked2(a, b);
+        self.push(v, Op::Mul(a, b), t)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).shift(s);
+        let t = self.tracked(a);
+        self.push(v, Op::AddScalar(a, s), t)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        let t = self.tracked(a);
+        self.push(v, Op::Scale(a, s), t)
+    }
+
+    /// Elementwise power. Values are clamped to `1e-12` before
+    /// exponentiation so the backward pass cannot produce infinities (the
+    /// intended inputs are softmax probabilities).
+    pub fn pow(&mut self, a: Var, q: f32) -> Var {
+        let v = self.value(a).map(|x| x.max(1e-12).powf(q));
+        let t = self.tracked(a);
+        self.push(v, Op::Pow(a, q), t)
+    }
+
+    /// Elementwise natural log with the same positivity clamp as [`Tape::pow`].
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(1e-12).ln());
+        let t = self.tracked(a);
+        self.push(v, Op::Ln(a), t)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        let t = self.tracked2(a, b);
+        self.push(v, Op::MatMul(a, b), t)
+    }
+
+    /// `a * b^T` (pairwise similarities).
+    pub fn matmul_transpose(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_transpose(self.value(b));
+        let t = self.tracked2(a, b);
+        self.push(v, Op::MatMulTransB(a, b), t)
+    }
+
+    /// Adds a `1 x n` bias to every row.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let v = self.value(a).add_row_broadcast(self.value(bias));
+        let t = self.tracked2(a, bias);
+        self.push(v, Op::AddRowBroadcast(a, bias), t)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let t = self.tracked(a);
+        self.push(v, Op::Sigmoid(a), t)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        let t = self.tracked(a);
+        self.push(v, Op::Tanh(a), t)
+    }
+
+    /// Leaky ReLU (`slope = 0` gives plain ReLU).
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        let t = self.tracked(a);
+        self.push(v, Op::LeakyRelu(a, slope), t)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_rows();
+        let t = self.tracked(a);
+        self.push(v, Op::SoftmaxRows(a), t)
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).log_softmax_rows();
+        let t = self.tracked(a);
+        self.push(v, Op::LogSoftmaxRows(a), t)
+    }
+
+    /// Row-wise L2 normalization.
+    pub fn row_l2_normalize(&mut self, a: Var, eps: f32) -> Var {
+        let v = self.value(a).l2_normalize_rows(eps);
+        let t = self.tracked(a);
+        self.push(v, Op::RowL2Normalize(a, eps), t)
+    }
+
+    /// Column slice `[start, end)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let src = self.value(a);
+        assert!(start < end && end <= src.cols(), "invalid column slice {start}..{end}");
+        let mut v = Matrix::zeros(src.rows(), end - start);
+        for r in 0..src.rows() {
+            v.row_mut(r).copy_from_slice(&src.row(r)[start..end]);
+        }
+        let t = self.tracked(a);
+        self.push(v, Op::SliceCols(a, start, end), t)
+    }
+
+    /// Gathers rows by index (embedding lookup; duplicates allowed).
+    pub fn gather(&mut self, a: Var, indices: Vec<usize>) -> Var {
+        let v = self.value(a).select_rows(&indices);
+        let t = self.tracked(a);
+        self.push(v, Op::Gather(a, indices), t)
+    }
+
+    /// Multiplies row `r` by `scales[r]`.
+    pub fn row_scale(&mut self, a: Var, scales: Vec<f32>) -> Var {
+        let src = self.value(a);
+        assert_eq!(scales.len(), src.rows(), "row_scale needs one factor per row");
+        let mut v = src.clone();
+        for (r, &s) in scales.iter().enumerate() {
+            for x in v.row_mut(r) {
+                *x *= s;
+            }
+        }
+        let t = self.tracked(a);
+        self.push(v, Op::RowScale(a, scales), t)
+    }
+
+    /// Frobenius inner product `<a, weights>` with a constant weight matrix;
+    /// the workhorse for masked / per-pair-weighted losses.
+    pub fn weighted_sum_all(&mut self, a: Var, weights: Matrix) -> Var {
+        let src = self.value(a);
+        assert_eq!(
+            src.shape(),
+            weights.shape(),
+            "weighted_sum_all requires equal shapes ({:?} vs {:?})",
+            src.shape(),
+            weights.shape()
+        );
+        let s: f32 = src
+            .as_slice()
+            .iter()
+            .zip(weights.as_slice())
+            .map(|(&x, &w)| x * w)
+            .sum();
+        let t = self.tracked(a);
+        self.push(
+            Matrix::from_vec(1, 1, vec![s]).expect("1x1"),
+            Op::WeightedSumAll(a, weights),
+            t,
+        )
+    }
+
+    /// Sum of all elements.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s = self.value(a).sum();
+        let t = self.tracked(a);
+        self.push(Matrix::from_vec(1, 1, vec![s]).expect("1x1"), Op::SumAll(a), t)
+    }
+
+    /// Mean of all elements.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let s = self.value(a).mean();
+        let t = self.tracked(a);
+        self.push(Matrix::from_vec(1, 1, vec![s]).expect("1x1"), Op::MeanAll(a), t)
+    }
+
+    /// Stacks the rows of `a` above the rows of `b`.
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).vstack(self.value(b));
+        let t = self.tracked2(a, b);
+        self.push(v, Op::ConcatRows(a, b), t)
+    }
+
+    /// Places the columns of `a` left of the columns of `b`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hstack(self.value(b));
+        let t = self.tracked2(a, b);
+        self.push(v, Op::ConcatCols(a, b), t)
+    }
+
+    /// Multiplies every row of `a` elementwise by the `1 x n` vector `scale`
+    /// (the `gamma` of an affine layer norm).
+    pub fn mul_row_broadcast(&mut self, a: Var, scale: Var) -> Var {
+        let s = self.value(scale);
+        assert_eq!(s.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(
+            s.cols(),
+            self.value(a).cols(),
+            "broadcast vector has {} columns, matrix has {}",
+            s.cols(),
+            self.value(a).cols()
+        );
+        let src = self.value(a);
+        let mut v = src.clone();
+        let sv = self.value(scale).clone();
+        for r in 0..v.rows() {
+            for (x, &m) in v.row_mut(r).iter_mut().zip(sv.as_slice()) {
+                *x *= m;
+            }
+        }
+        let t = self.tracked2(a, scale);
+        self.push(v, Op::MulRowBroadcast(a, scale), t)
+    }
+
+    /// Row-wise layer normalization without affine parameters.
+    pub fn layer_norm_rows(&mut self, a: Var, eps: f32) -> Var {
+        let src = self.value(a);
+        let mut v = src.clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            let n = row.len() as f32;
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            for x in row.iter_mut() {
+                *x = (*x - mean) * inv_std;
+            }
+        }
+        let t = self.tracked(a);
+        self.push(v, Op::LayerNormRows(a, eps), t)
+    }
+}

@@ -1,0 +1,265 @@
+//! Backward-pass implementations for every [`Op`].
+
+use crate::{Op, Tape, Var};
+use clfd_tensor::Matrix;
+
+impl Tape {
+    /// Runs reverse-mode differentiation from `loss` (a `1 x 1` node).
+    ///
+    /// Gradients accumulate into every node reachable from a parameter;
+    /// constants and their pure-constant subgraphs are skipped. Calling
+    /// `backward` twice without [`Tape::reset`] accumulates gradients, which
+    /// is what mini-batch gradient accumulation wants.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward() expects a scalar loss node"
+        );
+        self.seed_grad(loss);
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            // A node's gradient is complete once every consumer (which all
+            // have larger indices) has been processed, so it can be moved out.
+            let Some(g) = self.nodes[i].grad.take() else {
+                continue;
+            };
+            let op = self.nodes[i].op.clone();
+            self.propagate(i, &op, &g);
+            // Leaves keep their gradient for the optimizer to read.
+            if matches!(op, Op::Leaf) {
+                self.nodes[i].grad = Some(g);
+            }
+        }
+    }
+
+    fn seed_grad(&mut self, loss: Var) {
+        let seed = Matrix::ones(1, 1);
+        match &mut self.nodes[loss.0].grad {
+            Some(g) => g.add_assign(&seed),
+            slot @ None => *slot = Some(seed),
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, delta: Matrix) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        debug_assert_eq!(
+            self.nodes[v.0].value.shape(),
+            delta.shape(),
+            "gradient shape mismatch for node {}",
+            v.0
+        );
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn propagate(&mut self, node: usize, op: &Op, g: &Matrix) {
+        match op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                self.accumulate(*a, g.clone());
+                self.accumulate(*b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(*a, g.clone());
+                self.accumulate(*b, g.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let da = g.mul(self.value(*b));
+                let db = g.mul(self.value(*a));
+                self.accumulate(*a, da);
+                self.accumulate(*b, db);
+            }
+            Op::AddScalar(a, _) => self.accumulate(*a, g.clone()),
+            Op::Scale(a, s) => self.accumulate(*a, g.scale(*s)),
+            Op::Pow(a, q) => {
+                // d/dx x^q = q x^(q-1), with the same clamp as the forward.
+                let x = self.value(*a);
+                let da = g.zip_map(x, |gv, xv| gv * q * xv.max(1e-12).powf(q - 1.0));
+                self.accumulate(*a, da);
+            }
+            Op::Ln(a) => {
+                let x = self.value(*a);
+                let da = g.zip_map(x, |gv, xv| gv / xv.max(1e-12));
+                self.accumulate(*a, da);
+            }
+            Op::MatMul(a, b) => {
+                // y = a b  =>  da = g b^T, db = a^T g.
+                let da = g.matmul_transpose(self.value(*b));
+                let db = self.value(*a).transpose().matmul(g);
+                self.accumulate(*a, da);
+                self.accumulate(*b, db);
+            }
+            Op::MatMulTransB(a, b) => {
+                // y = a b^T  =>  da = g b, db = g^T a.
+                let da = g.matmul(self.value(*b));
+                let db = g.transpose().matmul(self.value(*a));
+                self.accumulate(*a, da);
+                self.accumulate(*b, db);
+            }
+            Op::AddRowBroadcast(a, bias) => {
+                self.accumulate(*a, g.clone());
+                self.accumulate(*bias, g.col_sums());
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[node].value;
+                let da = g.zip_map(y, |gv, yv| gv * yv * (1.0 - yv));
+                self.accumulate(*a, da);
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[node].value;
+                let da = g.zip_map(y, |gv, yv| gv * (1.0 - yv * yv));
+                self.accumulate(*a, da);
+            }
+            Op::LeakyRelu(a, slope) => {
+                let x = self.value(*a);
+                let da = g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { gv * slope });
+                self.accumulate(*a, da);
+            }
+            Op::SoftmaxRows(a) => {
+                // dx_r = y_r ∘ (g_r - <g_r, y_r>).
+                let y = &self.nodes[node].value;
+                let mut da = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let dot: f32 = g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
+                    for ((d, &gv), &yv) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r)) {
+                        *d = yv * (gv - dot);
+                    }
+                }
+                self.accumulate(*a, da);
+            }
+            Op::LogSoftmaxRows(a) => {
+                // dx_r = g_r - softmax(x)_r * sum(g_r).
+                let y = &self.nodes[node].value; // log-probabilities
+                let mut da = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let gsum: f32 = g.row(r).iter().sum();
+                    for ((d, &gv), &lv) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r)) {
+                        *d = gv - lv.exp() * gsum;
+                    }
+                }
+                self.accumulate(*a, da);
+            }
+            Op::RowL2Normalize(a, eps) => {
+                // y = x/||x||  =>  dx = (g - <g, y> y) / ||x||.
+                let x = self.value(*a).clone();
+                let y = &self.nodes[node].value;
+                let mut da = Matrix::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    let norm: f32 = x.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+                    if norm <= *eps {
+                        // Forward passed the row through unchanged.
+                        da.row_mut(r).copy_from_slice(g.row(r));
+                        continue;
+                    }
+                    let dot: f32 = g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
+                    for ((d, &gv), &yv) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r)) {
+                        *d = (gv - dot * yv) / norm;
+                    }
+                }
+                self.accumulate(*a, da);
+            }
+            Op::SliceCols(a, start, _end) => {
+                let src_shape = self.value(*a).shape();
+                let mut da = Matrix::zeros(src_shape.0, src_shape.1);
+                for r in 0..g.rows() {
+                    da.row_mut(r)[*start..*start + g.cols()].copy_from_slice(g.row(r));
+                }
+                self.accumulate(*a, da);
+            }
+            Op::Gather(a, indices) => {
+                let src_shape = self.value(*a).shape();
+                let mut da = Matrix::zeros(src_shape.0, src_shape.1);
+                for (out_r, &src_r) in indices.iter().enumerate() {
+                    for (d, &gv) in da.row_mut(src_r).iter_mut().zip(g.row(out_r)) {
+                        *d += gv;
+                    }
+                }
+                self.accumulate(*a, da);
+            }
+            Op::RowScale(a, scales) => {
+                let mut da = g.clone();
+                for (r, &s) in scales.iter().enumerate() {
+                    for d in da.row_mut(r) {
+                        *d *= s;
+                    }
+                }
+                self.accumulate(*a, da);
+            }
+            Op::WeightedSumAll(a, weights) => {
+                let gs = g.as_slice()[0];
+                self.accumulate(*a, weights.scale(gs));
+            }
+            Op::SumAll(a) => {
+                let gs = g.as_slice()[0];
+                let (r, c) = self.value(*a).shape();
+                self.accumulate(*a, Matrix::full(r, c, gs));
+            }
+            Op::MeanAll(a) => {
+                let gs = g.as_slice()[0];
+                let (r, c) = self.value(*a).shape();
+                let n = (r * c).max(1) as f32;
+                self.accumulate(*a, Matrix::full(r, c, gs / n));
+            }
+            Op::ConcatCols(a, b) => {
+                let ca = self.value(*a).cols();
+                let mut da = Matrix::zeros(g.rows(), ca);
+                let mut db = Matrix::zeros(g.rows(), g.cols() - ca);
+                for r in 0..g.rows() {
+                    da.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
+                    db.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
+                }
+                self.accumulate(*a, da);
+                self.accumulate(*b, db);
+            }
+            Op::MulRowBroadcast(a, scale) => {
+                let s = self.value(*scale).clone();
+                let x = self.value(*a).clone();
+                let mut da = g.clone();
+                for r in 0..da.rows() {
+                    for (d, &m) in da.row_mut(r).iter_mut().zip(s.as_slice()) {
+                        *d *= m;
+                    }
+                }
+                // dscale_c = sum_r g_rc * x_rc.
+                let dscale = g.mul(&x).col_sums();
+                self.accumulate(*a, da);
+                self.accumulate(*scale, dscale);
+            }
+            Op::LayerNormRows(a, eps) => {
+                // y = (x - μ)/σ  =>  dx = (g - mean(g) - y · mean(g∘y)) / σ.
+                let x = self.value(*a).clone();
+                let y = &self.nodes[node].value;
+                let mut da = Matrix::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    let n = x.cols() as f32;
+                    let mean = x.row(r).iter().sum::<f32>() / n;
+                    let var = x.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                    let inv_std = 1.0 / (var + eps).sqrt();
+                    let g_mean: f32 = g.row(r).iter().sum::<f32>() / n;
+                    let gy_mean: f32 =
+                        g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum::<f32>() / n;
+                    for ((d, &gv), &yv) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r)) {
+                        *d = (gv - g_mean - yv * gy_mean) * inv_std;
+                    }
+                }
+                self.accumulate(*a, da);
+            }
+            Op::ConcatRows(a, b) => {
+                let ra = self.value(*a).rows();
+                let rows_a: Vec<usize> = (0..ra).collect();
+                let rows_b: Vec<usize> = (ra..g.rows()).collect();
+                let da = g.select_rows(&rows_a);
+                let db = g.select_rows(&rows_b);
+                self.accumulate(*a, da);
+                self.accumulate(*b, db);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Fuzzed gradient checks: random chains of tape ops, verified against
+//! central finite differences. This catches interaction bugs between ops
+//! that the per-op checks in `gradcheck.rs` cannot (e.g. gradient
+//! accumulation when a node feeds several consumers).
+
+use clfd_autograd::{Tape, Var};
+use clfd_tensor::{init, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ops that preserve an `r x c` shape, so any chain is composable.
+#[derive(Debug, Clone, Copy)]
+enum ChainOp {
+    Sigmoid,
+    Tanh,
+    LeakyRelu,
+    SoftmaxRows,
+    LayerNormRows,
+    RowL2Normalize,
+    Scale,
+    AddScalar,
+    MulWithConstant,
+    AddEarlierNode,
+}
+
+const ALL_OPS: [ChainOp; 10] = [
+    ChainOp::Sigmoid,
+    ChainOp::Tanh,
+    ChainOp::LeakyRelu,
+    ChainOp::SoftmaxRows,
+    ChainOp::LayerNormRows,
+    ChainOp::RowL2Normalize,
+    ChainOp::Scale,
+    ChainOp::AddScalar,
+    ChainOp::MulWithConstant,
+    ChainOp::AddEarlierNode,
+];
+
+/// Builds a chain of `ops` starting from the parameter node and returns a
+/// scalar loss. `aux_seed` controls the constants used along the way.
+fn build_chain(tape: &mut Tape, param: Var, ops: &[ChainOp], aux_seed: u64) -> Var {
+    let mut rng = StdRng::seed_from_u64(aux_seed);
+    let (rows, cols) = {
+        let v = tape.value(param);
+        (v.rows(), v.cols())
+    };
+    let mut nodes = vec![param];
+    let mut current = param;
+    for &op in ops {
+        current = match op {
+            ChainOp::Sigmoid => tape.sigmoid(current),
+            ChainOp::Tanh => tape.tanh(current),
+            ChainOp::LeakyRelu => tape.leaky_relu(current, 0.1),
+            ChainOp::SoftmaxRows => tape.softmax_rows(current),
+            ChainOp::LayerNormRows => tape.layer_norm_rows(current, 1e-3),
+            ChainOp::RowL2Normalize => tape.row_l2_normalize(current, 1e-6),
+            ChainOp::Scale => tape.scale(current, 0.5 + rng.gen::<f32>()),
+            ChainOp::AddScalar => tape.add_scalar(current, rng.gen_range(-0.5..0.5)),
+            ChainOp::MulWithConstant => {
+                let c = tape.constant(init::uniform(rows, cols, 0.5, 1.5, &mut rng));
+                tape.mul(current, c)
+            }
+            ChainOp::AddEarlierNode => {
+                let earlier = nodes[rng.gen_range(0..nodes.len())];
+                tape.add(current, earlier)
+            }
+        };
+        nodes.push(current);
+    }
+    let weights = init::uniform(rows, cols, -1.0, 1.0, &mut rng);
+    tape.weighted_sum_all(current, weights)
+}
+
+fn op_sequence_strategy() -> impl Strategy<Value = Vec<ChainOp>> {
+    proptest::collection::vec(0_usize..ALL_OPS.len(), 1..7)
+        .prop_map(|ids| ids.into_iter().map(|i| ALL_OPS[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_chain_gradients_match_finite_differences(
+        ops in op_sequence_strategy(),
+        param_seed in 0_u64..1000,
+        aux_seed in 0_u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(param_seed);
+        // Positive-leaning values keep LeakyReLU kinks and norm
+        // singularities away from the evaluation point.
+        let init_value = init::uniform(3, 4, 0.2, 1.2, &mut rng);
+
+        // Analytic gradient.
+        let mut tape = Tape::new();
+        let p = tape.param(init_value.clone());
+        tape.seal();
+        let loss = build_chain(&mut tape, p, &ops, aux_seed);
+        tape.backward(loss);
+        let analytic = tape.grad(p);
+
+        // Numeric gradient.
+        let h = 1e-2_f32;
+        for i in 0..init_value.len() {
+            let eval = |delta: f32| -> f32 {
+                let mut v = init_value.clone();
+                v.as_mut_slice()[i] += delta;
+                let mut t = Tape::new();
+                let p = t.param(v);
+                t.seal();
+                let l = build_chain(&mut t, p, &ops, aux_seed);
+                t.scalar(l)
+            };
+            let numeric = (eval(h) - eval(-h)) / (2.0 * h);
+            let a = analytic.as_slice()[i];
+            let tol = 2e-2 + 5e-2 * numeric.abs().max(a.abs());
+            prop_assert!(
+                (a - numeric).abs() < tol,
+                "ops {ops:?}, element {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+}

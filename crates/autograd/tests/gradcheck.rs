@@ -1,0 +1,350 @@
+//! Finite-difference gradient checks for every differentiable op.
+//!
+//! Each test builds a scalar loss from a single parameter matrix, computes
+//! the analytic gradient with the tape, and compares it element-by-element
+//! against central finite differences of the loss.
+
+use clfd_autograd::{Tape, Var};
+use clfd_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Central-difference gradient check with mixed absolute/relative tolerance.
+fn grad_check(init_value: Matrix, build: impl Fn(&mut Tape, Var) -> Var) {
+    // Analytic gradient.
+    let mut tape = Tape::new();
+    let p = tape.param(init_value.clone());
+    tape.seal();
+    let loss = build(&mut tape, p);
+    tape.backward(loss);
+    let analytic = tape.grad(p);
+
+    // Numeric gradient (f32 arithmetic: h must not be too small).
+    let h = 1e-2_f32;
+    let mut numeric = Matrix::zeros(init_value.rows(), init_value.cols());
+    for i in 0..init_value.len() {
+        let mut plus = init_value.clone();
+        plus.as_mut_slice()[i] += h;
+        let mut minus = init_value.clone();
+        minus.as_mut_slice()[i] -= h;
+
+        let eval = |value: Matrix| -> f32 {
+            let mut t = Tape::new();
+            let p = t.param(value);
+            t.seal();
+            let l = build(&mut t, p);
+            t.scalar(l)
+        };
+        numeric.as_mut_slice()[i] = (eval(plus) - eval(minus)) / (2.0 * h);
+    }
+
+    for i in 0..analytic.len() {
+        let a = analytic.as_slice()[i];
+        let n = numeric.as_slice()[i];
+        let tol = 1e-2 + 2e-2 * n.abs().max(a.abs());
+        assert!(
+            (a - n).abs() < tol,
+            "element {i}: analytic {a} vs numeric {n} (tol {tol})"
+        );
+    }
+}
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::uniform(rows, cols, -1.0, 1.0, &mut rng)
+}
+
+fn positive_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::uniform(rows, cols, 0.3, 1.5, &mut rng)
+}
+
+#[test]
+fn grad_add_and_sub() {
+    grad_check(rand_matrix(3, 4, 1), |t, p| {
+        let c = t.constant(rand_matrix(3, 4, 2));
+        let s = t.add(p, c);
+        let d = t.sub(s, p); // also checks p receiving grads from two paths
+        let s2 = t.add(d, p);
+        t.sum_all(s2)
+    });
+}
+
+#[test]
+fn grad_mul_elementwise() {
+    grad_check(rand_matrix(2, 3, 3), |t, p| {
+        let c = t.constant(rand_matrix(2, 3, 4));
+        let m = t.mul(p, c);
+        let m2 = t.mul(m, p); // quadratic in p
+        t.sum_all(m2)
+    });
+}
+
+#[test]
+fn grad_scalar_ops() {
+    grad_check(rand_matrix(2, 2, 5), |t, p| {
+        let a = t.add_scalar(p, 0.7);
+        let b = t.scale(a, -1.3);
+        t.mean_all(b)
+    });
+}
+
+#[test]
+fn grad_pow() {
+    grad_check(positive_matrix(2, 3, 6), |t, p| {
+        let y = t.pow(p, 0.7); // the paper's GCE exponent
+        t.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_ln() {
+    grad_check(positive_matrix(2, 3, 7), |t, p| {
+        let y = t.ln(p);
+        t.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_matmul_left_and_right() {
+    grad_check(rand_matrix(3, 4, 8), |t, p| {
+        let c = t.constant(rand_matrix(4, 2, 9));
+        let y = t.matmul(p, c);
+        t.sum_all(y)
+    });
+    grad_check(rand_matrix(4, 2, 10), |t, p| {
+        let c = t.constant(rand_matrix(3, 4, 11));
+        let y = t.matmul(c, p);
+        t.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_matmul_transpose_b() {
+    grad_check(rand_matrix(3, 5, 12), |t, p| {
+        let c = t.constant(rand_matrix(4, 5, 13));
+        let y = t.matmul_transpose(p, c);
+        let w = Matrix::from_fn(3, 4, |r, c| 0.1 * (r + 2 * c) as f32);
+        t.weighted_sum_all(y, w)
+    });
+    grad_check(rand_matrix(4, 5, 14), |t, p| {
+        let c = t.constant(rand_matrix(3, 5, 15));
+        let y = t.matmul_transpose(c, p);
+        t.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_bias_broadcast() {
+    grad_check(rand_matrix(1, 4, 16), |t, p| {
+        let c = t.constant(rand_matrix(5, 4, 17));
+        let y = t.add_row_broadcast(c, p);
+        let y2 = t.mul(y, y);
+        t.sum_all(y2)
+    });
+}
+
+#[test]
+fn grad_sigmoid_tanh_leaky_relu() {
+    grad_check(rand_matrix(3, 3, 18), |t, p| {
+        let y = t.sigmoid(p);
+        t.sum_all(y)
+    });
+    grad_check(rand_matrix(3, 3, 19), |t, p| {
+        let y = t.tanh(p);
+        t.sum_all(y)
+    });
+    grad_check(rand_matrix(3, 3, 20).shift(0.5), |t, p| {
+        // Shift away from 0 where LeakyReLU is non-differentiable.
+        let y = t.leaky_relu(p, 0.01);
+        t.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_softmax_rows() {
+    grad_check(rand_matrix(3, 4, 21), |t, p| {
+        let y = t.softmax_rows(p);
+        let w = Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) as f32).sin());
+        t.weighted_sum_all(y, w)
+    });
+}
+
+#[test]
+fn grad_log_softmax_rows() {
+    grad_check(rand_matrix(3, 4, 22), |t, p| {
+        let y = t.log_softmax_rows(p);
+        let w = Matrix::from_fn(3, 4, |r, c| if c == r % 4 { -1.0 } else { 0.0 });
+        t.weighted_sum_all(y, w)
+    });
+}
+
+#[test]
+fn grad_row_l2_normalize() {
+    grad_check(rand_matrix(3, 4, 23).shift(0.5), |t, p| {
+        let y = t.row_l2_normalize(p, 1e-8);
+        let w = Matrix::from_fn(3, 4, |r, c| 0.3 * (r as f32) - 0.2 * (c as f32));
+        t.weighted_sum_all(y, w)
+    });
+}
+
+#[test]
+fn grad_slice_cols() {
+    grad_check(rand_matrix(3, 6, 24), |t, p| {
+        let left = t.slice_cols(p, 0, 3);
+        let right = t.slice_cols(p, 3, 6);
+        let y = t.mul(left, right);
+        t.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_gather_with_duplicates() {
+    grad_check(rand_matrix(4, 3, 25), |t, p| {
+        let y = t.gather(p, vec![0, 2, 2, 3, 0]);
+        let y2 = t.mul(y, y);
+        t.sum_all(y2)
+    });
+}
+
+#[test]
+fn grad_row_scale() {
+    grad_check(rand_matrix(4, 3, 26), |t, p| {
+        let y = t.row_scale(p, vec![0.5, -1.0, 2.0, 0.0]);
+        let y2 = t.mul(y, p);
+        t.sum_all(y2)
+    });
+}
+
+#[test]
+fn grad_concat_rows() {
+    grad_check(rand_matrix(2, 3, 27), |t, p| {
+        let c = t.constant(rand_matrix(3, 3, 28));
+        // p appears in both halves, exercising both branch gradients.
+        let y = t.concat_rows(p, c);
+        let y2 = t.concat_rows(c, p);
+        let prod = t.mul(y, y2);
+        t.sum_all(prod)
+    });
+}
+
+#[test]
+fn grad_composite_mlp_like() {
+    // End-to-end check of a small MLP: x W1 + b1 -> tanh -> W2 -> softmax CE.
+    grad_check(rand_matrix(4, 5, 29), |t, w1| {
+        let x = t.constant(rand_matrix(6, 4, 30));
+        let b = t.constant(rand_matrix(1, 5, 31));
+        let w2 = t.constant(rand_matrix(5, 2, 32));
+        let h = t.matmul(x, w1);
+        let h = t.add_row_broadcast(h, b);
+        let h = t.tanh(h);
+        let logits = t.matmul(h, w2);
+        let logp = t.log_softmax_rows(logits);
+        // Cross-entropy against a fixed one-hot target.
+        let w = Matrix::from_fn(6, 2, |r, c| if c == r % 2 { -1.0 / 6.0 } else { 0.0 });
+        t.weighted_sum_all(logp, w)
+    });
+}
+
+#[test]
+fn grad_accumulates_across_multiple_backwards() {
+    let mut t = Tape::new();
+    let p = t.param(Matrix::from_vec(1, 2, vec![1.0, 2.0]).unwrap());
+    t.seal();
+    let loss = t.sum_all(p);
+    t.backward(loss);
+    t.backward(loss);
+    // Two backward passes double the gradient (gradient accumulation).
+    assert_eq!(t.grad(p).as_slice(), &[2.0, 2.0]);
+}
+
+#[test]
+fn reset_preserves_parameter_values() {
+    let mut t = Tape::new();
+    let p = t.param(Matrix::from_vec(1, 2, vec![1.0, 2.0]).unwrap());
+    t.seal();
+    let c = t.constant(Matrix::ones(1, 2));
+    let s = t.add(p, c);
+    let loss = t.sum_all(s);
+    t.backward(loss);
+    t.value_mut(p).add_scaled(&Matrix::ones(1, 2), -0.1);
+    t.reset();
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.value(p).as_slice(), &[0.9, 1.9]);
+    assert_eq!(t.grad(p).as_slice(), &[0.0, 0.0]); // cleared
+}
+
+#[test]
+fn constants_do_not_track_gradients() {
+    let mut t = Tape::new();
+    t.seal();
+    let a = t.constant(Matrix::ones(2, 2));
+    let b = t.constant(Matrix::ones(2, 2));
+    let s = t.add(a, b);
+    let loss = t.sum_all(s);
+    t.backward(loss);
+    assert_eq!(t.grad(a).as_slice(), &[0.0; 4]);
+}
+
+#[test]
+fn param_vars_lists_only_sealed_leaf_params() {
+    let mut t = Tape::new();
+    let p1 = t.param(Matrix::ones(1, 1));
+    let p2 = t.param(Matrix::ones(2, 2));
+    t.seal();
+    let _c = t.constant(Matrix::ones(1, 1));
+    let vars = t.param_vars();
+    assert_eq!(vars, vec![p1, p2]);
+}
+
+#[test]
+fn grad_concat_cols() {
+    grad_check(rand_matrix(3, 2, 33), |t, p| {
+        let c = t.constant(rand_matrix(3, 4, 34));
+        let y = t.concat_cols(p, c);
+        let y2 = t.concat_cols(c, p);
+        let prod = t.mul(y, y2);
+        t.sum_all(prod)
+    });
+}
+
+#[test]
+fn grad_mul_row_broadcast_both_sides() {
+    grad_check(rand_matrix(4, 3, 35), |t, p| {
+        let gamma = t.constant(rand_matrix(1, 3, 36));
+        let y = t.mul_row_broadcast(p, gamma);
+        let y2 = t.mul(y, p);
+        t.sum_all(y2)
+    });
+    grad_check(rand_matrix(1, 3, 37), |t, p| {
+        let x = t.constant(rand_matrix(4, 3, 38));
+        let y = t.mul_row_broadcast(x, p);
+        let y2 = t.mul(y, y);
+        t.sum_all(y2)
+    });
+}
+
+#[test]
+fn grad_layer_norm_rows() {
+    grad_check(rand_matrix(3, 6, 39), |t, p| {
+        let y = t.layer_norm_rows(p, 1e-5);
+        let w = Matrix::from_fn(3, 6, |r, c| 0.2 * (r as f32) + ((c as f32) * 0.7).cos());
+        t.weighted_sum_all(y, w)
+    });
+}
+
+#[test]
+fn layer_norm_rows_output_is_standardized() {
+    let mut t = Tape::new();
+    t.seal();
+    let x = t.constant(rand_matrix(4, 8, 40).scale(3.0).shift(1.0));
+    let y = t.layer_norm_rows(x, 1e-6);
+    let v = t.value(y);
+    for r in 0..v.rows() {
+        let n = v.cols() as f32;
+        let mean: f32 = v.row(r).iter().sum::<f32>() / n;
+        let var: f32 = v.row(r).iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+        assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+    }
+}

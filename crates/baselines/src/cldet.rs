@@ -1,0 +1,73 @@
+//! CLDet [3] — contrastive learning for insider threat detection.
+//!
+//! The direct ancestor of CLFD's label corrector: a SimCLR-pre-trained LSTM
+//! session encoder with a classifier trained by the original *noise
+//! sensitive* cross-entropy loss on the given (noisy) labels. The paper
+//! uses it unmodified as a baseline (§IV-A3); its degradation under noise
+//! is what motivates the mixup-GCE replacement.
+
+use crate::common::{
+    session_refs, simclr_warmup, to_predictions, train_embeddings, Encoder, LinearHead,
+};
+use crate::SessionClassifier;
+use clfd::{ClfdConfig, Prediction};
+use clfd_data::session::{Label, SplitCorpus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// CLDet baseline.
+#[derive(Debug, Default)]
+pub struct ClDet;
+
+impl SessionClassifier for ClDet {
+    fn name(&self) -> &'static str {
+        "CLDet"
+    }
+
+    fn fit_predict(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+    ) -> Vec<Prediction> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = session_refs(split);
+        let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
+
+        let mut encoder = Encoder::new(cfg, &mut rng);
+        simclr_warmup(&mut encoder, &train, &embeddings, cfg, cfg.pretrain_epochs, &mut rng);
+
+        let features = encoder.features(&train, &embeddings, cfg);
+        let mut head = LinearHead::new(cfg.hidden, cfg.lr, &mut rng);
+        head.train_ce(&features, noisy, cfg.classifier_epochs, cfg.batch_size, &mut rng);
+
+        let test_features = encoder.features(&test, &embeddings, cfg);
+        to_predictions(&head.proba(&test_features))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::{DatasetKind, Preset};
+
+    #[test]
+    fn cldet_learns_under_light_noise() {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 11);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let mut rng = StdRng::seed_from_u64(0);
+        let noisy = NoiseModel::Uniform { eta: 0.1 }.apply(&split.train_labels(), &mut rng);
+        let preds = ClDet.fit_predict(&split, &noisy, &cfg, 1);
+        assert_eq!(preds.len(), split.test.len());
+        let truth = split.test_labels();
+        let acc = preds
+            .iter()
+            .zip(&truth)
+            .filter(|(p, &l)| p.label == l)
+            .count() as f32
+            / truth.len() as f32;
+        assert!(acc > 0.7, "CLDet accuracy {acc}");
+    }
+}

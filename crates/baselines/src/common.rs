@@ -1,0 +1,421 @@
+//! Shared training infrastructure for the baselines: encoder construction,
+//! SimCLR warm-up, frozen-feature extraction, CE classifier heads, and
+//! k-nearest-neighbour utilities.
+
+use clfd::{ClfdConfig, Prediction};
+use clfd_autograd::{Tape, Var};
+use clfd_data::augment::two_views;
+use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
+use clfd_data::session::{Label, Session, SplitCorpus};
+use clfd_data::word2vec::ActivityEmbeddings;
+use clfd_losses::{cce_loss, nt_xent};
+use clfd_nn::linear::LinearInit;
+use clfd_nn::{Adam, Layer, Linear, Lstm, Optimizer};
+use clfd_tensor::{kernels, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// An LSTM session encoder + tape + optimizer, shared by the baselines.
+pub struct Encoder {
+    /// The tape holding the encoder parameters.
+    pub tape: Tape,
+    /// The LSTM stack.
+    pub lstm: Lstm,
+    /// Parameter handles.
+    pub params: Vec<Var>,
+    /// Adam state.
+    pub opt: Adam,
+}
+
+impl Encoder {
+    /// Builds a fresh encoder from the shared hyper-parameters.
+    pub fn new(cfg: &ClfdConfig, rng: &mut StdRng) -> Self {
+        let mut tape = Tape::new();
+        let lstm = Lstm::new(&mut tape, cfg.embed_dim, cfg.hidden, cfg.lstm_layers, rng);
+        tape.seal();
+        let params = lstm.params();
+        let opt = Adam::new(cfg.lr);
+        Self { tape, lstm, params, opt }
+    }
+
+    /// Records an encoding pass for a batch (caller resets the tape).
+    pub fn encode(&mut self, batch: &SessionBatch) -> Var {
+        let steps: Vec<Var> = batch
+            .steps
+            .iter()
+            .map(|m| self.tape.constant(m.clone()))
+            .collect();
+        self.lstm.encode(&mut self.tape, &steps, &batch.lengths)
+    }
+
+    /// Optimizer step + tape reset.
+    pub fn step(&mut self) {
+        let params = self.params.clone();
+        self.opt.step(&mut self.tape, &params);
+        self.tape.reset();
+    }
+
+    /// L2-normalized frozen features for all sessions.
+    pub fn features(
+        &mut self,
+        sessions: &[&Session],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+    ) -> Matrix {
+        let mut features = Matrix::zeros(sessions.len(), cfg.hidden);
+        let all: Vec<usize> = (0..sessions.len()).collect();
+        for chunk in batch_indices(&all, cfg.batch_size) {
+            let refs: Vec<&Session> = chunk.iter().map(|&i| sessions[i]).collect();
+            let batch = SessionBatch::build(&refs, embeddings, cfg.max_seq_len);
+            let z = self.encode(&batch);
+            let values = self.tape.value(z).clone();
+            for (row, &i) in chunk.iter().enumerate() {
+                features.row_mut(i).copy_from_slice(values.row(row));
+            }
+            self.tape.reset();
+        }
+        features.l2_normalize_rows(1e-9)
+    }
+}
+
+/// Trains activity embeddings exactly as the CLFD pipeline does.
+pub fn train_embeddings(
+    sessions: &[&Session],
+    vocab: usize,
+    cfg: &ClfdConfig,
+    rng: &mut StdRng,
+) -> ActivityEmbeddings {
+    ActivityEmbeddings::train(sessions, vocab, &cfg.w2v_config(), rng)
+}
+
+/// SimCLR warm-up of an encoder using the session-reordering augmentation
+/// (Sel-CL's warm-up and CLDet's pre-training stage, §IV-A3).
+pub fn simclr_warmup(
+    encoder: &mut Encoder,
+    sessions: &[&Session],
+    embeddings: &ActivityEmbeddings,
+    cfg: &ClfdConfig,
+    epochs: usize,
+    rng: &mut StdRng,
+) {
+    let mut order: Vec<usize> = (0..sessions.len()).collect();
+    for _ in 0..epochs {
+        order.shuffle(rng);
+        for chunk in batch_indices(&order, cfg.batch_size) {
+            if chunk.len() < 2 {
+                continue;
+            }
+            let mut views_a = Vec::with_capacity(chunk.len());
+            let mut views_b = Vec::with_capacity(chunk.len());
+            for &i in &chunk {
+                let (a, b) = two_views(sessions[i], cfg.reorder_window, rng);
+                views_a.push(a);
+                views_b.push(b);
+            }
+            let all: Vec<&Session> = views_a.iter().chain(views_b.iter()).collect();
+            let batch = SessionBatch::build(&all, embeddings, cfg.max_seq_len);
+            let z = encoder.encode(&batch);
+            let loss = nt_xent(&mut encoder.tape, z, cfg.simclr_temperature);
+            encoder.tape.backward(loss);
+            encoder.step();
+        }
+    }
+}
+
+/// A linear softmax head with its own tape (baseline classifiers).
+pub struct LinearHead {
+    tape: Tape,
+    layer: Linear,
+    params: Vec<Var>,
+    opt: Adam,
+}
+
+impl LinearHead {
+    /// Builds an `in_dim → 2` softmax head.
+    pub fn new(in_dim: usize, lr: f32, rng: &mut StdRng) -> Self {
+        let mut tape = Tape::new();
+        let layer = Linear::new(&mut tape, in_dim, 2, LinearInit::Xavier, rng);
+        tape.seal();
+        let params = layer.params();
+        Self { tape, layer, params, opt: Adam::new(lr) }
+    }
+
+    /// One CE step on a feature batch with (possibly soft) targets.
+    pub fn step_ce(&mut self, features: &Matrix, targets: &Matrix) -> f32 {
+        let x = self.tape.constant(features.clone());
+        let logits = self.layer.forward(&mut self.tape, x);
+        let loss = cce_loss(&mut self.tape, logits, targets);
+        let value = self.tape.scalar(loss);
+        self.tape.backward(loss);
+        let params = self.params.clone();
+        self.opt.step(&mut self.tape, &params);
+        self.tape.reset();
+        value
+    }
+
+    /// Softmax probabilities for features.
+    pub fn proba(&mut self, features: &Matrix) -> Matrix {
+        let x = self.tape.constant(features.clone());
+        let logits = self.layer.forward(&mut self.tape, x);
+        let p = self.tape.value(logits).softmax_rows();
+        self.tape.reset();
+        p
+    }
+
+    /// Trains with CE over hard labels for `epochs`.
+    pub fn train_ce(
+        &mut self,
+        features: &Matrix,
+        labels: &[Label],
+        epochs: usize,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) {
+        let mut order: Vec<usize> = (0..labels.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            for chunk in batch_indices(&order, batch_size) {
+                let f = features.select_rows(&chunk);
+                let ls: Vec<Label> = chunk.iter().map(|&i| labels[i]).collect();
+                self.step_ce(&f, &one_hot(&ls));
+            }
+        }
+    }
+}
+
+/// An LSTM encoder and a linear softmax head sharing one tape, trained
+/// end-to-end (CTRR, DivMix, ULC — methods whose classification loss must
+/// reach the encoder).
+pub struct JointModel {
+    /// Tape holding all parameters.
+    pub tape: Tape,
+    /// Session encoder.
+    pub lstm: Lstm,
+    /// Softmax head.
+    pub head: Linear,
+    /// All parameter handles.
+    pub params: Vec<Var>,
+    /// Adam state.
+    pub opt: Adam,
+}
+
+impl JointModel {
+    /// Builds encoder + head from the shared hyper-parameters.
+    pub fn new(cfg: &ClfdConfig, rng: &mut StdRng) -> Self {
+        let mut tape = Tape::new();
+        let lstm = Lstm::new(&mut tape, cfg.embed_dim, cfg.hidden, cfg.lstm_layers, rng);
+        let head = Linear::new(&mut tape, cfg.hidden, 2, LinearInit::Xavier, rng);
+        tape.seal();
+        let mut params = lstm.params();
+        params.extend(head.params());
+        let opt = Adam::new(cfg.lr);
+        Self { tape, lstm, head, params, opt }
+    }
+
+    /// Records encoder + head on the tape; returns `(z, logits)`.
+    pub fn forward(&mut self, batch: &SessionBatch) -> (Var, Var) {
+        let steps: Vec<Var> = batch
+            .steps
+            .iter()
+            .map(|m| self.tape.constant(m.clone()))
+            .collect();
+        let z = self.lstm.encode(&mut self.tape, &steps, &batch.lengths);
+        let logits = self.head.forward(&mut self.tape, z);
+        (z, logits)
+    }
+
+    /// Optimizer step + reset (call after `tape.backward`).
+    pub fn step(&mut self) {
+        let params = self.params.clone();
+        self.opt.step(&mut self.tape, &params);
+        self.tape.reset();
+    }
+
+    /// One CE step on a session batch with soft targets.
+    pub fn step_ce(&mut self, batch: &SessionBatch, targets: &Matrix) {
+        let (_, logits) = self.forward(batch);
+        let loss = cce_loss(&mut self.tape, logits, targets);
+        self.tape.backward(loss);
+        self.step();
+    }
+
+    /// Softmax probabilities for one batch (no training).
+    pub fn proba(&mut self, batch: &SessionBatch) -> Matrix {
+        let (_, logits) = self.forward(batch);
+        let p = self.tape.value(logits).softmax_rows();
+        self.tape.reset();
+        p
+    }
+
+    /// Softmax probabilities for a full session list, batched.
+    pub fn proba_all(
+        &mut self,
+        sessions: &[&Session],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+    ) -> Matrix {
+        let mut probs = Matrix::zeros(sessions.len(), 2);
+        let all: Vec<usize> = (0..sessions.len()).collect();
+        for chunk in batch_indices(&all, cfg.batch_size) {
+            let refs: Vec<&Session> = chunk.iter().map(|&i| sessions[i]).collect();
+            let batch = SessionBatch::build(&refs, embeddings, cfg.max_seq_len);
+            let p = self.proba(&batch);
+            for (row, &i) in chunk.iter().enumerate() {
+                probs.row_mut(i).copy_from_slice(p.row(row));
+            }
+        }
+        probs
+    }
+
+    /// Per-sample CE loss values over the full training set (for the
+    /// DivideMix-style GMM split).
+    pub fn per_sample_ce(
+        &mut self,
+        sessions: &[&Session],
+        labels: &[Label],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+    ) -> Vec<f32> {
+        let probs = self.proba_all(sessions, embeddings, cfg);
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| -probs.get(i, l.index()).max(1e-12).ln())
+            .collect()
+    }
+}
+
+/// Converts `n x 2` probabilities to predictions (argmax + scores).
+pub fn to_predictions(probs: &Matrix) -> Vec<Prediction> {
+    (0..probs.rows())
+        .map(|r| {
+            let p0 = probs.get(r, 0);
+            let p1 = probs.get(r, 1);
+            Prediction {
+                label: if p1 > p0 { Label::Malicious } else { Label::Normal },
+                malicious_score: p1,
+                confidence: p0.max(p1),
+            }
+        })
+        .collect()
+}
+
+/// Converts anomaly scores (higher = more malicious) plus a threshold into
+/// predictions; scores are squashed to (0, 1) for AUC comparability.
+pub fn scores_to_predictions(scores: &[f32], threshold: f32) -> Vec<Prediction> {
+    scores
+        .iter()
+        .map(|&s| {
+            let label = if s > threshold { Label::Malicious } else { Label::Normal };
+            let squashed = 1.0 / (1.0 + (-(s - threshold)).exp());
+            Prediction {
+                label,
+                malicious_score: squashed,
+                confidence: squashed.max(1.0 - squashed),
+            }
+        })
+        .collect()
+}
+
+/// `k`-nearest-neighbour majority vote over cosine similarity
+/// (Sel-CL's label-correction step, adapted to the encoded session space).
+pub fn knn_correct(features: &Matrix, labels: &[Label], k: usize) -> Vec<Label> {
+    assert_eq!(features.rows(), labels.len());
+    let n = labels.len();
+    let k = k.min(n.saturating_sub(1)).max(1);
+    let mut corrected = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut sims: Vec<(f32, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (kernels::dot(features.row(i), features.row(j)), j))
+            .collect();
+        sims.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let malicious_votes = sims
+            .iter()
+            .take(k)
+            .filter(|&&(_, j)| labels[j] == Label::Malicious)
+            .count();
+        corrected.push(if 2 * malicious_votes > k {
+            Label::Malicious
+        } else {
+            Label::Normal
+        });
+    }
+    corrected
+}
+
+/// Percentile of a slice (0.0–1.0), by sorting a copy.
+pub fn percentile(values: &[f32], p: f32) -> f32 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f32::total_cmp);
+    let idx = ((sorted.len() - 1) as f32 * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// References to the train / test sessions of a split.
+pub fn session_refs<'a>(split: &'a SplitCorpus) -> (Vec<&'a Session>, Vec<&'a Session>) {
+    let train = split.train.iter().map(|&i| &split.corpus.sessions[i]).collect();
+    let test = split.test.iter().map(|&i| &split.corpus.sessions[i]).collect();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn knn_majority_corrects_isolated_flips() {
+        // Two tight clusters; one sample in each carries the wrong label.
+        let mut features = Matrix::zeros(10, 2);
+        for i in 0..5 {
+            features.row_mut(i).copy_from_slice(&[1.0, 0.01 * i as f32]);
+        }
+        for i in 5..10 {
+            features.row_mut(i).copy_from_slice(&[-1.0, 0.01 * i as f32]);
+        }
+        let features = features.l2_normalize_rows(1e-9);
+        let mut labels = vec![Label::Normal; 5];
+        labels.extend(vec![Label::Malicious; 5]);
+        labels[0] = Label::Malicious; // flipped
+        labels[9] = Label::Normal; // flipped
+        let corrected = knn_correct(&features, &labels, 3);
+        assert_eq!(corrected[0], Label::Normal);
+        assert_eq!(corrected[9], Label::Malicious);
+        assert_eq!(corrected[2], Label::Normal);
+        assert_eq!(corrected[7], Label::Malicious);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+    }
+
+    #[test]
+    fn scores_to_predictions_threshold() {
+        let preds = scores_to_predictions(&[0.1, 0.9], 0.5);
+        assert_eq!(preds[0].label, Label::Normal);
+        assert_eq!(preds[1].label, Label::Malicious);
+        assert!(preds[1].malicious_score > preds[0].malicious_score);
+    }
+
+    #[test]
+    fn linear_head_learns_xor_free_problem() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let features = Matrix::from_fn(40, 3, |r, c| {
+            if r % 2 == 0 { 0.5 + c as f32 * 0.1 } else { -0.5 - c as f32 * 0.1 }
+        });
+        let labels: Vec<Label> = (0..40)
+            .map(|r| if r % 2 == 0 { Label::Malicious } else { Label::Normal })
+            .collect();
+        let mut head = LinearHead::new(3, 0.05, &mut rng);
+        head.train_ce(&features, &labels, 50, 16, &mut rng);
+        let preds = to_predictions(&head.proba(&features));
+        let acc = preds.iter().zip(&labels).filter(|(p, &l)| p.label == l).count();
+        assert!(acc >= 38, "accuracy {acc}/40");
+    }
+}

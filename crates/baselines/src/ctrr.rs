@@ -1,0 +1,151 @@
+//! CTRR [9] — contrastive regularization for learning with noisy labels,
+//! adapted to sessions per §IV-A3.
+//!
+//! The model trains an LSTM encoder + classifier with cross-entropy on the
+//! noisy labels *plus* a contrastive regularization term that pulls
+//! together pairs the model itself is confident share a class (session
+//! similarity analysis in the encoded space). The regularizer keeps the
+//! representations from being dominated by label noise, but — as the paper
+//! observes — confident-pair selection through sample similarity breaks
+//! down under session diversity.
+
+use crate::common::{session_refs, to_predictions, train_embeddings, JointModel};
+use crate::SessionClassifier;
+use clfd::{ClfdConfig, Prediction};
+use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
+use clfd_data::session::{Label, Session, SplitCorpus};
+use clfd_losses::cce_loss;
+use clfd_losses::contrastive::{sup_con_batch, SupConVariant};
+use clfd_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// CTRR baseline.
+#[derive(Debug)]
+pub struct Ctrr {
+    /// Weight of the contrastive regularization term.
+    pub reg_weight: f32,
+    /// Confidence threshold for selecting pairs (joint model confidence).
+    pub confidence_threshold: f32,
+    /// End-to-end training epochs.
+    pub epochs: usize,
+}
+
+impl Default for Ctrr {
+    fn default() -> Self {
+        Self { reg_weight: 1.0, confidence_threshold: 0.8, epochs: 8 }
+    }
+}
+
+impl SessionClassifier for Ctrr {
+    fn name(&self) -> &'static str {
+        "CTRR"
+    }
+
+    fn fit_predict(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+    ) -> Vec<Prediction> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = session_refs(split);
+        let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
+
+        // Encoder + classifier trained jointly: they must share one tape so
+        // the CE gradient reaches the encoder.
+        let mut model = JointModel::new(cfg, &mut rng);
+
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for chunk in batch_indices(&order, cfg.batch_size) {
+                if chunk.len() < 2 {
+                    continue;
+                }
+                let refs: Vec<&Session> = chunk.iter().map(|&i| train[i]).collect();
+                let labels: Vec<Label> = chunk.iter().map(|&i| noisy[i]).collect();
+                let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
+                train_step(&mut model, &batch, &labels, cfg, self);
+            }
+        }
+
+        let mut probs = Matrix::zeros(test.len(), 2);
+        let all: Vec<usize> = (0..test.len()).collect();
+        for chunk in batch_indices(&all, cfg.batch_size) {
+            let refs: Vec<&Session> = chunk.iter().map(|&i| test[i]).collect();
+            let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
+            let p = model.proba(&batch);
+            for (row, &i) in chunk.iter().enumerate() {
+                probs.row_mut(i).copy_from_slice(p.row(row));
+            }
+        }
+        to_predictions(&probs)
+    }
+}
+
+/// One CTRR step: CE + confidence-filtered contrastive regularization.
+fn train_step(
+    model: &mut JointModel,
+    batch: &SessionBatch,
+    labels: &[Label],
+    cfg: &ClfdConfig,
+    spec: &Ctrr,
+) {
+    let (z, logits) = model.forward(batch);
+    let ce = cce_loss(&mut model.tape, logits, &one_hot(labels));
+
+    // Confident pairs from the model's own predictions: the regularization
+    // term is a supervised contrastive loss over the *predicted* classes,
+    // filtered by joint confidence (Eq. 20's indicator machinery).
+    let probs = model.tape.value(logits).softmax_rows();
+    let predicted: Vec<Label> = probs
+        .argmax_rows()
+        .into_iter()
+        .map(Label::from_index)
+        .collect();
+    let confidences: Vec<f32> = (0..probs.rows())
+        .map(|r| probs.row(r).iter().fold(0.0_f32, |m, &p| m.max(p)))
+        .collect();
+    let reg = sup_con_batch(
+        &mut model.tape,
+        z,
+        &predicted,
+        &confidences,
+        labels.len(),
+        cfg.temperature,
+        SupConVariant::Filtered { tau: spec.confidence_threshold },
+    );
+    let scaled_reg = model.tape.scale(reg, spec.reg_weight);
+    let total = model.tape.add(ce, scaled_reg);
+    model.tape.backward(total);
+    model.step();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::{DatasetKind, Preset};
+
+    #[test]
+    fn ctrr_runs_end_to_end() {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 9);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let mut rng = StdRng::seed_from_u64(0);
+        let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+        let spec = Ctrr { epochs: 4, ..Ctrr::default() };
+        let preds = spec.fit_predict(&split, &noisy, &cfg, 6);
+        assert_eq!(preds.len(), split.test.len());
+        let truth = split.test_labels();
+        let acc = preds
+            .iter()
+            .zip(&truth)
+            .filter(|(p, &l)| p.label == l)
+            .count() as f32
+            / truth.len() as f32;
+        assert!(acc > 0.5, "CTRR accuracy {acc}");
+    }
+}

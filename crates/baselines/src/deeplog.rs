@@ -1,0 +1,203 @@
+//! DeepLog [16] — LSTM next-log-key prediction.
+//!
+//! Trains an embedding + LSTM to predict the next activity token on the
+//! sessions the (noisy) labels mark as *normal*; at inference a session is
+//! anomalous when too many of its transitions fall outside the model's
+//! top-`g` candidates. Label noise poisons the "normal" training pool with
+//! real malicious sessions, which is exactly the degradation Table I shows.
+
+use crate::common::{percentile, scores_to_predictions, session_refs};
+use crate::SessionClassifier;
+use clfd::{ClfdConfig, Prediction};
+use clfd_autograd::{Tape, Var};
+use clfd_data::batch::batch_indices;
+use clfd_data::session::{Label, Session, SplitCorpus};
+use clfd_losses::gce::cce_loss_indices;
+use clfd_nn::linear::LinearInit;
+use clfd_nn::{Adam, Embedding, Layer, Linear, Lstm, Optimizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// DeepLog baseline.
+#[derive(Debug)]
+pub struct DeepLog {
+    /// A transition is a "hit" if the true next key is in the top `g`.
+    pub top_g: usize,
+    /// Training epochs over the noisy-normal pool.
+    pub epochs: usize,
+    /// Train-score percentile used as the anomaly threshold.
+    pub threshold_percentile: f32,
+}
+
+impl Default for DeepLog {
+    fn default() -> Self {
+        Self { top_g: 3, epochs: 4, threshold_percentile: 0.95 }
+    }
+}
+
+struct Model {
+    tape: Tape,
+    embedding: Embedding,
+    lstm: Lstm,
+    head: Linear,
+    params: Vec<Var>,
+    opt: Adam,
+}
+
+impl Model {
+    fn new(vocab: usize, cfg: &ClfdConfig, rng: &mut StdRng) -> Self {
+        let mut tape = Tape::new();
+        let embedding = Embedding::new(&mut tape, vocab, cfg.embed_dim, rng);
+        let lstm = Lstm::new(&mut tape, cfg.embed_dim, cfg.hidden, cfg.lstm_layers, rng);
+        let head = Linear::new(&mut tape, cfg.hidden, vocab, LinearInit::Xavier, rng);
+        tape.seal();
+        let mut params = embedding.params();
+        params.extend(lstm.params());
+        params.extend(head.params());
+        let opt = Adam::new(cfg.lr);
+        Self { tape, embedding, lstm, head, params, opt }
+    }
+
+    /// Next-key logits for every prefix position of one session
+    /// (`(len-1) x vocab`). The session must have at least two activities.
+    fn sequence_logits(&mut self, session: &Session, cfg: &ClfdConfig) -> Var {
+        let len = session.len().min(cfg.max_seq_len);
+        debug_assert!(len >= 2);
+        let ids: Vec<usize> =
+            session.activities[..len - 1].iter().map(|&a| a as usize).collect();
+        // One timestep per row: embed the prefix tokens, run the LSTM one
+        // "batch row" per step is wasteful; instead treat the sequence as a
+        // batch of size 1 per timestep.
+        let embedded = self.embedding.forward(&mut self.tape, &ids); // (len-1) x d
+        let steps: Vec<Var> = (0..ids.len())
+            .map(|t| self.tape.gather(embedded, vec![t]))
+            .collect();
+        let hs = self.lstm.forward_sequence(&mut self.tape, &steps);
+        // Stack hidden states into one matrix and apply the vocab head.
+        let mut stacked = hs[0];
+        for &h in &hs[1..] {
+            stacked = self.tape.concat_rows(stacked, h);
+        }
+        self.head.forward(&mut self.tape, stacked)
+    }
+
+    /// Fraction of transitions whose true next key is *not* in the top-g.
+    fn miss_rate(&mut self, session: &Session, cfg: &ClfdConfig, g: usize) -> f32 {
+        let len = session.len().min(cfg.max_seq_len);
+        if len < 2 {
+            return 0.0;
+        }
+        let logits = self.sequence_logits(session, cfg);
+        let values = self.tape.value(logits).clone();
+        self.tape.reset();
+        let mut misses = 0;
+        for t in 0..len - 1 {
+            let truth = session.activities[t + 1] as usize;
+            let row = values.row(t);
+            let true_score = row[truth];
+            let rank = row.iter().filter(|&&x| x > true_score).count();
+            if rank >= g {
+                misses += 1;
+            }
+        }
+        misses as f32 / (len - 1) as f32
+    }
+}
+
+impl SessionClassifier for DeepLog {
+    fn name(&self) -> &'static str {
+        "DeepLog"
+    }
+
+    fn fit_predict(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+    ) -> Vec<Prediction> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = session_refs(split);
+        let vocab = split.corpus.vocab.len();
+        let mut model = Model::new(vocab, cfg, &mut rng);
+
+        // Train next-key prediction on noisy-normal sessions only.
+        let normal_pool: Vec<usize> = noisy
+            .iter()
+            .enumerate()
+            .filter(|(i, &l)| l == Label::Normal && train[*i].len() >= 2)
+            .map(|(i, _)| i)
+            .collect();
+        let mut order = normal_pool.clone();
+        let accumulate = 8;
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for chunk in batch_indices(&order, accumulate) {
+                for &i in &chunk {
+                    let len = train[i].len().min(cfg.max_seq_len);
+                    let logits = model.sequence_logits(train[i], cfg);
+                    let targets: Vec<usize> = train[i].activities[1..len]
+                        .iter()
+                        .map(|&a| a as usize)
+                        .collect();
+                    let loss = cce_loss_indices(&mut model.tape, logits, &targets);
+                    model.tape.backward(loss);
+                }
+                let params = model.params.clone();
+                model.opt.step(&mut model.tape, &params);
+                model.tape.reset();
+            }
+        }
+
+        // Threshold from the distribution of train-pool miss rates.
+        let train_scores: Vec<f32> = normal_pool
+            .iter()
+            .map(|&i| model.miss_rate(train[i], cfg, self.top_g))
+            .collect();
+        let threshold = if train_scores.is_empty() {
+            0.5
+        } else {
+            percentile(&train_scores, self.threshold_percentile)
+        };
+
+        let test_scores: Vec<f32> = test
+            .iter()
+            .map(|s| model.miss_rate(s, cfg, self.top_g))
+            .collect();
+        scores_to_predictions(&test_scores, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::{DatasetKind, Preset};
+
+    #[test]
+    fn deeplog_detects_grammar_violations() {
+        // OpenStack is DeepLog's home turf: lifecycle violations must score
+        // higher miss rates than clean lifecycles.
+        let split = DatasetKind::OpenStack.generate(Preset::Smoke, 5);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let mut rng = StdRng::seed_from_u64(0);
+        let noisy = NoiseModel::Uniform { eta: 0.1 }.apply(&split.train_labels(), &mut rng);
+        let preds = DeepLog::default().fit_predict(&split, &noisy, &cfg, 3);
+        let truth = split.test_labels();
+        let mean_score = |want: Label| {
+            let (sum, count) = preds
+                .iter()
+                .zip(&truth)
+                .filter(|(_, &l)| l == want)
+                .fold((0.0, 0), |(s, c), (p, _)| (s + p.malicious_score, c + 1));
+            sum / count as f32
+        };
+        assert!(
+            mean_score(Label::Malicious) > mean_score(Label::Normal) + 0.05,
+            "anomalies {:.3} vs normal {:.3}",
+            mean_score(Label::Malicious),
+            mean_score(Label::Normal)
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! DivMix [31] — DivideMix-style co-teaching for learning with noisy
+//! labels, adapted to sessions per §IV-A3 (LSTM encoders in place of
+//! ResNet-18).
+//!
+//! Two networks are warm-started with CE; each co-epoch, every network fits
+//! a two-component Gaussian mixture to its *per-sample loss* distribution —
+//! the low-loss component models clean samples — and its peer then trains
+//! on targets refined by that clean probability:
+//! `target_i = w_i · onehot(ỹ_i) + (1 − w_i) · p̄(x_i)` where `p̄` is the
+//! two networks' averaged prediction (label co-refinement / co-guessing),
+//! followed by mixup. Inference averages both networks.
+
+use crate::common::{session_refs, to_predictions, train_embeddings, JointModel};
+use crate::SessionClassifier;
+use clfd::{ClfdConfig, Prediction};
+use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
+use clfd_data::session::{Label, SplitCorpus};
+use clfd_data::session::Session;
+use clfd_losses::cce_loss;
+use clfd_losses::MixupPlan;
+use clfd_tensor::stats::GaussianMixture1d;
+use clfd_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// DivMix baseline.
+#[derive(Debug)]
+pub struct DivMix {
+    /// CE warm-up epochs for both networks.
+    pub warmup_epochs: usize,
+    /// Co-teaching epochs after warm-up.
+    pub co_epochs: usize,
+    /// EM iterations for the per-epoch loss GMM.
+    pub gmm_iters: usize,
+}
+
+impl Default for DivMix {
+    fn default() -> Self {
+        Self { warmup_epochs: 2, co_epochs: 4, gmm_iters: 30 }
+    }
+}
+
+impl SessionClassifier for DivMix {
+    fn name(&self) -> &'static str {
+        "DivMix"
+    }
+
+    fn fit_predict(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+    ) -> Vec<Prediction> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = session_refs(split);
+        let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
+        let targets_noisy = one_hot(noisy);
+
+        let mut net_a = JointModel::new(cfg, &mut rng);
+        let mut net_b = JointModel::new(cfg, &mut rng);
+
+        // Warm-up: plain CE on the noisy labels.
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..self.warmup_epochs {
+            order.shuffle(&mut rng);
+            for chunk in batch_indices(&order, cfg.batch_size) {
+                let refs: Vec<&Session> = chunk.iter().map(|&i| train[i]).collect();
+                let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
+                let t = targets_noisy.select_rows(&chunk);
+                net_a.step_ce(&batch, &t);
+                net_b.step_ce(&batch, &t);
+            }
+        }
+
+        // Co-teaching epochs.
+        for _ in 0..self.co_epochs {
+            // Clean probabilities from each network's loss GMM.
+            let w_from_a = clean_probabilities(
+                &mut net_a, &train, noisy, &embeddings, cfg, self.gmm_iters,
+            );
+            let w_from_b = clean_probabilities(
+                &mut net_b, &train, noisy, &embeddings, cfg, self.gmm_iters,
+            );
+            // Co-guessing: the averaged prediction of both networks.
+            let pa = net_a.proba_all(&train, &embeddings, cfg);
+            let pb = net_b.proba_all(&train, &embeddings, cfg);
+            let avg = pa.add(&pb).scale(0.5);
+
+            // Each net trains with the peer's clean weights.
+            for (net, w) in [(&mut net_a, &w_from_b), (&mut net_b, &w_from_a)] {
+                order.shuffle(&mut rng);
+                for chunk in batch_indices(&order, cfg.batch_size) {
+                    let refs: Vec<&Session> = chunk.iter().map(|&i| train[i]).collect();
+                    let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
+                    // Refined targets.
+                    let refined = Matrix::from_fn(chunk.len(), 2, |r, c| {
+                        let i = chunk[r];
+                        w[i] * targets_noisy.get(i, c) + (1.0 - w[i]) * avg.get(i, c)
+                    });
+                    // Mixup over the refined hard-ish labels.
+                    let hard: Vec<Label> = (0..chunk.len())
+                        .map(|r| {
+                            if refined.get(r, 1) > refined.get(r, 0) {
+                                Label::Malicious
+                            } else {
+                                Label::Normal
+                            }
+                        })
+                        .collect();
+                    let plan = MixupPlan::sample(&hard, cfg.beta, &mut rng);
+                    let (z, _) = net.forward(&batch);
+                    let mixed_z = plan.apply(&mut net.tape, z);
+                    let logits = net.head.forward(&mut net.tape, mixed_z);
+                    let mixed_targets = plan.mixed_targets(&refined);
+                    let loss = cce_loss(&mut net.tape, logits, &mixed_targets);
+                    net.tape.backward(loss);
+                    net.step();
+                }
+            }
+        }
+
+        // Inference: ensemble of both networks.
+        let pa = net_a.proba_all(&test, &embeddings, cfg);
+        let pb = net_b.proba_all(&test, &embeddings, cfg);
+        to_predictions(&pa.add(&pb).scale(0.5))
+    }
+}
+
+/// Per-sample clean probability from a network's loss-GMM split.
+fn clean_probabilities(
+    net: &mut JointModel,
+    train: &[&Session],
+    noisy: &[Label],
+    embeddings: &clfd_data::word2vec::ActivityEmbeddings,
+    cfg: &ClfdConfig,
+    gmm_iters: usize,
+) -> Vec<f32> {
+    let losses = net.per_sample_ce(train, noisy, embeddings, cfg);
+    match GaussianMixture1d::fit(&losses, gmm_iters) {
+        Some(gmm) => losses.iter().map(|&l| gmm.clean_probability(l)).collect(),
+        None => vec![1.0; losses.len()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::{DatasetKind, Preset};
+
+    #[test]
+    fn divmix_runs_end_to_end() {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 10);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let mut rng = StdRng::seed_from_u64(0);
+        let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+        let spec = DivMix { warmup_epochs: 1, co_epochs: 2, ..DivMix::default() };
+        let preds = spec.fit_predict(&split, &noisy, &cfg, 7);
+        assert_eq!(preds.len(), split.test.len());
+        assert!(preds.iter().all(|p| (0.0..=1.0).contains(&p.malicious_score)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Few-Shot [2] — few-shot insider-threat detection.
+//!
+//! The original uses BERT [54] as the session encoder with a classification
+//! head. Per DESIGN.md's substitution table, the BERT stand-in is our
+//! from-scratch transformer encoder; the head is trained with plain
+//! cross-entropy on the noisy labels, which is why the paper finds it
+//! "sensitive to the noisy label setting" (§IV-B1).
+
+use crate::common::{session_refs, to_predictions, train_embeddings};
+use crate::SessionClassifier;
+use clfd::{ClfdConfig, Prediction};
+use clfd_autograd::{Tape, Var};
+use clfd_data::batch::{batch_indices, one_hot};
+use clfd_data::session::{Label, Session, SplitCorpus};
+use clfd_data::word2vec::ActivityEmbeddings;
+use clfd_losses::cce_loss;
+use clfd_nn::linear::LinearInit;
+use clfd_nn::{Adam, Layer, Linear, Optimizer, TransformerEncoder};
+use clfd_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Few-Shot baseline (transformer encoder + CE head).
+#[derive(Debug)]
+pub struct FewShot {
+    /// Attention heads.
+    pub heads: usize,
+    /// Transformer blocks.
+    pub blocks: usize,
+    /// End-to-end training epochs (transformers are costly per step; the
+    /// default is deliberately small at reproduction scale).
+    pub epochs: usize,
+}
+
+impl Default for FewShot {
+    fn default() -> Self {
+        Self { heads: 2, blocks: 1, epochs: 3 }
+    }
+}
+
+struct Model {
+    tape: Tape,
+    encoder: TransformerEncoder,
+    head: Linear,
+    params: Vec<Var>,
+    opt: Adam,
+}
+
+impl Model {
+    fn new(cfg: &ClfdConfig, spec: &FewShot, rng: &mut StdRng) -> Self {
+        let mut tape = Tape::new();
+        let encoder = TransformerEncoder::new(
+            &mut tape,
+            cfg.embed_dim,
+            spec.heads,
+            cfg.embed_dim * 2,
+            spec.blocks,
+            rng,
+        );
+        let head = Linear::new(&mut tape, cfg.embed_dim, 2, LinearInit::Xavier, rng);
+        tape.seal();
+        let mut params = encoder.params();
+        params.extend(head.params());
+        let opt = Adam::new(cfg.lr);
+        Self { tape, encoder, head, params, opt }
+    }
+
+    /// Embeds one session (`T x d`), encodes, mean-pools, returns logits.
+    fn logits(&mut self, session: &Session, emb: &ActivityEmbeddings, cfg: &ClfdConfig) -> Var {
+        let len = session.len().min(cfg.max_seq_len);
+        let mut x = Matrix::zeros(len, cfg.embed_dim);
+        for (t, &a) in session.activities.iter().take(len).enumerate() {
+            x.row_mut(t).copy_from_slice(emb.embed(a));
+        }
+        let xv = self.tape.constant(x);
+        let h = self.encoder.forward(&mut self.tape, xv);
+        let pool = self.tape.constant(Matrix::full(1, len, 1.0 / len as f32));
+        let pooled = self.tape.matmul(pool, h);
+        self.head.forward(&mut self.tape, pooled)
+    }
+}
+
+impl SessionClassifier for FewShot {
+    fn name(&self) -> &'static str {
+        "Few-Shot"
+    }
+
+    fn fit_predict(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+    ) -> Vec<Prediction> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = session_refs(split);
+        let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
+        let mut model = Model::new(cfg, self, &mut rng);
+
+        // End-to-end CE training, one session per step (attention is
+        // per-sequence); gradients are accumulated over a mini-batch before
+        // each optimizer step.
+        let accumulate = 16;
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for chunk in batch_indices(&order, accumulate) {
+                for &i in &chunk {
+                    let logits = model.logits(train[i], &embeddings, cfg);
+                    let target = one_hot(&[noisy[i]]);
+                    let loss = cce_loss(&mut model.tape, logits, &target);
+                    model.tape.backward(loss);
+                }
+                let params = model.params.clone();
+                model.opt.step(&mut model.tape, &params);
+                model.tape.reset();
+            }
+        }
+
+        let mut probs = Matrix::zeros(test.len(), 2);
+        for (r, s) in test.iter().enumerate() {
+            let logits = model.logits(s, &embeddings, cfg);
+            let p = model.tape.value(logits).softmax_rows();
+            probs.row_mut(r).copy_from_slice(p.row(0));
+            model.tape.reset();
+        }
+        to_predictions(&probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::{DatasetKind, Preset};
+
+    #[test]
+    fn fewshot_produces_predictions_for_all_test_sessions() {
+        let split = DatasetKind::UmdWikipedia.generate(Preset::Smoke, 4);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let mut rng = StdRng::seed_from_u64(0);
+        let noisy = NoiseModel::Uniform { eta: 0.1 }.apply(&split.train_labels(), &mut rng);
+        let spec = FewShot { epochs: 1, ..FewShot::default() };
+        let preds = spec.fit_predict(&split, &noisy, &cfg, 2);
+        assert_eq!(preds.len(), split.test.len());
+        assert!(preds.iter().all(|p| (0.0..=1.0).contains(&p.malicious_score)));
+        // Scores must vary across sessions (the model is not a constant
+        // function), even if one epoch on a heavily imbalanced set leaves
+        // the argmax dominated by the majority class.
+        let min = preds.iter().map(|p| p.malicious_score).fold(f32::MAX, f32::min);
+        let max = preds.iter().map(|p| p.malicious_score).fold(f32::MIN, f32::max);
+        assert!(max - min > 1e-3, "constant scores: {min}..{max}");
+    }
+}

@@ -1,0 +1,90 @@
+//! The eight baseline systems of the CLFD evaluation (§IV-A3), adapted to
+//! sequential session data exactly as the paper describes (LSTM encoders in
+//! place of image CNNs, session-reordering augmentation in place of image
+//! augmentations, session-similarity analysis in the encoded space).
+//!
+//! | Baseline | Family | Module |
+//! |---|---|---|
+//! | DivMix [31]  | co-teaching noisy-label learning        | [`divmix`]  |
+//! | ULC [10]     | uncertainty-aware label correction      | [`ulc`]     |
+//! | Sel-CL [8]   | supervised-contrastive noisy-label      | [`selcl`]   |
+//! | CTRR [9]     | contrastive regularization              | [`ctrr`]    |
+//! | Few-Shot [2] | insider-threat detection (BERT-style)   | [`fewshot`] |
+//! | CLDet [3]    | insider-threat detection (SimCLR + CE)  | [`cldet`]   |
+//! | DeepLog [16] | log anomaly detection (LSTM next-key)   | [`deeplog`] |
+//! | LogBert [48] | log anomaly detection (masked-key)      | [`logbert`] |
+//!
+//! Every baseline implements [`SessionClassifier`], the interface the
+//! experiment runner uses for CLFD and baselines alike.
+
+pub mod cldet;
+pub mod common;
+pub mod ctrr;
+pub mod deeplog;
+pub mod divmix;
+pub mod fewshot;
+pub mod logbert;
+pub mod selcl;
+pub mod ulc;
+
+use clfd::{ClfdConfig, Prediction};
+use clfd_data::session::{Label, SplitCorpus};
+
+/// Uniform train-and-predict interface for all nine systems.
+pub trait SessionClassifier {
+    /// Display name matching the paper's table rows.
+    fn name(&self) -> &'static str;
+
+    /// Trains on `split.train` with the given noisy labels and classifies
+    /// `split.test`, returning one prediction per test session.
+    fn fit_predict(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+    ) -> Vec<Prediction>;
+}
+
+/// CLFD itself behind the same interface (used by the experiment runner).
+pub struct ClfdModel {
+    /// Ablation switches; [`clfd::Ablation::full`] for the real framework.
+    pub ablation: clfd::Ablation,
+}
+
+impl Default for ClfdModel {
+    fn default() -> Self {
+        Self { ablation: clfd::Ablation::full() }
+    }
+}
+
+impl SessionClassifier for ClfdModel {
+    fn name(&self) -> &'static str {
+        "CLFD"
+    }
+
+    fn fit_predict(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+    ) -> Vec<Prediction> {
+        let mut model = clfd::TrainedClfd::fit(split, noisy, cfg, &self.ablation, seed);
+        model.predict_test(split)
+    }
+}
+
+/// All eight baselines, boxed, in the paper's table order.
+pub fn all_baselines() -> Vec<Box<dyn SessionClassifier>> {
+    vec![
+        Box::new(divmix::DivMix::default()),
+        Box::new(ulc::Ulc::default()),
+        Box::new(selcl::SelCl::default()),
+        Box::new(ctrr::Ctrr::default()),
+        Box::new(fewshot::FewShot::default()),
+        Box::new(cldet::ClDet::default()),
+        Box::new(deeplog::DeepLog::default()),
+        Box::new(logbert::LogBert::default()),
+    ]
+}

@@ -1,0 +1,145 @@
+//! Sel-CL [8] — selective-supervised contrastive learning with noisy
+//! labels, adapted to sessions per §IV-A3.
+//!
+//! Pipeline: (1) SimCLR warm-up with the session-reordering augmentation;
+//! (2) label correction by k-nearest-neighbour voting in the encoded
+//! representation space; (3) *confident* samples are those whose corrected
+//! label agrees with the given noisy label; (4) a supervised contrastive
+//! model is trained over confident pairs only, followed by a CE classifier
+//! on the confident samples. Under heavy session diversity the kNN
+//! correction mislabels many sessions, which is the failure mode the paper
+//! reports for this baseline.
+
+use crate::common::{
+    knn_correct, session_refs, simclr_warmup, to_predictions, train_embeddings, Encoder,
+    LinearHead,
+};
+use crate::SessionClassifier;
+use clfd::{ClfdConfig, Prediction};
+use clfd_data::batch::{batch_indices, SessionBatch};
+use clfd_data::session::{Label, Session, SplitCorpus};
+use clfd_losses::contrastive::{sup_con_batch, SupConVariant};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Sel-CL baseline.
+#[derive(Debug)]
+pub struct SelCl {
+    /// Neighbours for the kNN label correction.
+    pub k: usize,
+    /// Epochs of supervised contrastive fine-tuning on confident pairs.
+    pub supcon_epochs: usize,
+}
+
+impl Default for SelCl {
+    fn default() -> Self {
+        Self { k: 10, supcon_epochs: 4 }
+    }
+}
+
+impl SessionClassifier for SelCl {
+    fn name(&self) -> &'static str {
+        "Sel-CL"
+    }
+
+    fn fit_predict(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+    ) -> Vec<Prediction> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = session_refs(split);
+        let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
+
+        // (1) SimCLR warm-up.
+        let mut encoder = Encoder::new(cfg, &mut rng);
+        simclr_warmup(&mut encoder, &train, &embeddings, cfg, cfg.pretrain_epochs, &mut rng);
+
+        // (2) kNN label correction in the warm representation space.
+        let warm_features = encoder.features(&train, &embeddings, cfg);
+        let corrected = knn_correct(&warm_features, noisy, self.k);
+
+        // (3) Confident samples: corrected label agrees with the given one.
+        let confident: Vec<usize> = (0..noisy.len())
+            .filter(|&i| corrected[i] == noisy[i])
+            .collect();
+
+        // (4) Supervised contrastive fine-tuning over confident samples
+        // (every pair of same-label confident samples in a batch is a
+        // confident pair), then a CE classifier on the confident set.
+        if confident.len() >= 4 {
+            let mut order = confident.clone();
+            for _ in 0..self.supcon_epochs {
+                order.shuffle(&mut rng);
+                for chunk in batch_indices(&order, cfg.batch_size) {
+                    if chunk.len() < 2 {
+                        continue;
+                    }
+                    let refs: Vec<&Session> = chunk.iter().map(|&i| train[i]).collect();
+                    let labels: Vec<Label> = chunk.iter().map(|&i| corrected[i]).collect();
+                    let conf = vec![1.0; chunk.len()];
+                    let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
+                    let z = encoder.encode(&batch);
+                    let loss = sup_con_batch(
+                        &mut encoder.tape,
+                        z,
+                        &labels,
+                        &conf,
+                        chunk.len(),
+                        cfg.temperature,
+                        SupConVariant::Unweighted,
+                    );
+                    encoder.tape.backward(loss);
+                    encoder.step();
+                }
+            }
+        }
+
+        let features = encoder.features(&train, &embeddings, cfg);
+        let mut head = LinearHead::new(cfg.hidden, cfg.lr, &mut rng);
+        if confident.is_empty() {
+            head.train_ce(&features, noisy, cfg.classifier_epochs, cfg.batch_size, &mut rng);
+        } else {
+            let conf_features = features.select_rows(&confident);
+            let conf_labels: Vec<Label> = confident.iter().map(|&i| corrected[i]).collect();
+            head.train_ce(
+                &conf_features,
+                &conf_labels,
+                cfg.classifier_epochs,
+                cfg.batch_size,
+                &mut rng,
+            );
+        }
+
+        let test_features = encoder.features(&test, &embeddings, cfg);
+        to_predictions(&head.proba(&test_features))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::{DatasetKind, Preset};
+
+    #[test]
+    fn selcl_runs_end_to_end() {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 8);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let mut rng = StdRng::seed_from_u64(0);
+        let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+        let preds = SelCl::default().fit_predict(&split, &noisy, &cfg, 5);
+        assert_eq!(preds.len(), split.test.len());
+        let truth = split.test_labels();
+        let acc = preds
+            .iter()
+            .zip(&truth)
+            .filter(|(p, &l)| p.label == l)
+            .count() as f32
+            / truth.len() as f32;
+        assert!(acc > 0.6, "Sel-CL accuracy {acc}");
+    }
+}

@@ -1,0 +1,186 @@
+//! ULC [10] — uncertainty-aware label correction on imbalanced data,
+//! adapted to sessions per §IV-A3.
+//!
+//! Two co-teaching networks are warm-started with CE while an exponential
+//! moving average of each sample's predicted class probabilities is
+//! maintained. A sample's *uncertainty* is the entropy of its EMA
+//! prediction; samples whose EMA prediction is confident (low entropy) but
+//! disagrees with the given label are relabeled. Each network then
+//! continues training on the label set corrected by its *peer* (the
+//! co-teaching exchange), and inference averages the two networks.
+
+use crate::common::{session_refs, to_predictions, train_embeddings, JointModel};
+use crate::SessionClassifier;
+use clfd::{ClfdConfig, Prediction};
+use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
+use clfd_data::session::{Label, Session, SplitCorpus};
+use clfd_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// ULC baseline.
+#[derive(Debug)]
+pub struct Ulc {
+    /// CE warm-up epochs (EMA statistics are collected during these).
+    pub warmup_epochs: usize,
+    /// Epochs of training on the corrected labels.
+    pub corrected_epochs: usize,
+    /// EMA decay for the per-sample prediction average.
+    pub ema_decay: f32,
+    /// Entropy threshold (nats) below which a prediction counts as certain.
+    pub entropy_threshold: f32,
+}
+
+impl Default for Ulc {
+    fn default() -> Self {
+        Self {
+            warmup_epochs: 3,
+            corrected_epochs: 4,
+            ema_decay: 0.7,
+            entropy_threshold: 0.45,
+        }
+    }
+}
+
+impl SessionClassifier for Ulc {
+    fn name(&self) -> &'static str {
+        "ULC"
+    }
+
+    fn fit_predict(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+    ) -> Vec<Prediction> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = session_refs(split);
+        let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
+        let targets_noisy = one_hot(noisy);
+
+        let mut net_a = JointModel::new(cfg, &mut rng);
+        let mut net_b = JointModel::new(cfg, &mut rng);
+        let n = train.len();
+        let mut ema_a = Matrix::full(n, 2, 0.5);
+        let mut ema_b = Matrix::full(n, 2, 0.5);
+
+        // Warm-up with EMA tracking.
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..self.warmup_epochs {
+            order.shuffle(&mut rng);
+            for chunk in batch_indices(&order, cfg.batch_size) {
+                let refs: Vec<&Session> = chunk.iter().map(|&i| train[i]).collect();
+                let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
+                let t = targets_noisy.select_rows(&chunk);
+                net_a.step_ce(&batch, &t);
+                net_b.step_ce(&batch, &t);
+            }
+            for (net, ema) in [(&mut net_a, &mut ema_a), (&mut net_b, &mut ema_b)] {
+                let p = net.proba_all(&train, &embeddings, cfg);
+                for i in 0..n {
+                    for c in 0..2 {
+                        let v = self.ema_decay * ema.get(i, c)
+                            + (1.0 - self.ema_decay) * p.get(i, c);
+                        ema.set(i, c, v);
+                    }
+                }
+            }
+        }
+
+        // Uncertainty-aware correction (per network).
+        let corrected_by_a = correct_labels(noisy, &ema_a, self.entropy_threshold);
+        let corrected_by_b = correct_labels(noisy, &ema_b, self.entropy_threshold);
+
+        // Co-teaching: each net trains on the peer's corrected labels.
+        for _ in 0..self.corrected_epochs {
+            for (net, corrected) in
+                [(&mut net_a, &corrected_by_b), (&mut net_b, &corrected_by_a)]
+            {
+                order.shuffle(&mut rng);
+                for chunk in batch_indices(&order, cfg.batch_size) {
+                    let refs: Vec<&Session> = chunk.iter().map(|&i| train[i]).collect();
+                    let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
+                    let labels: Vec<Label> = chunk.iter().map(|&i| corrected[i]).collect();
+                    net.step_ce(&batch, &one_hot(&labels));
+                }
+            }
+        }
+
+        let pa = net_a.proba_all(&test, &embeddings, cfg);
+        let pb = net_b.proba_all(&test, &embeddings, cfg);
+        to_predictions(&pa.add(&pb).scale(0.5))
+    }
+}
+
+/// Entropy of a two-class distribution, in nats (max ln 2 ≈ 0.693).
+fn entropy2(p0: f32, p1: f32) -> f32 {
+    let h = |p: f32| if p > 0.0 { -p * p.ln() } else { 0.0 };
+    h(p0) + h(p1)
+}
+
+/// Relabels certain-but-disagreeing samples from the EMA predictions.
+fn correct_labels(noisy: &[Label], ema: &Matrix, entropy_threshold: f32) -> Vec<Label> {
+    noisy
+        .iter()
+        .enumerate()
+        .map(|(i, &given)| {
+            let (p0, p1) = (ema.get(i, 0), ema.get(i, 1));
+            if entropy2(p0, p1) < entropy_threshold {
+                if p1 > p0 {
+                    Label::Malicious
+                } else {
+                    Label::Normal
+                }
+            } else {
+                given
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::{DatasetKind, Preset};
+
+    #[test]
+    fn entropy_bounds() {
+        assert!(entropy2(0.5, 0.5) > 0.69);
+        assert!(entropy2(1.0, 0.0) < 1e-6);
+        assert!(entropy2(0.9, 0.1) < entropy2(0.6, 0.4));
+    }
+
+    #[test]
+    fn certain_disagreements_are_relabeled() {
+        let noisy = vec![Label::Normal, Label::Normal, Label::Malicious];
+        let ema = Matrix::from_vec(
+            3,
+            2,
+            vec![
+                0.02, 0.98, // certain malicious, labeled normal → flip
+                0.55, 0.45, // uncertain → keep
+                0.97, 0.03, // certain normal, labeled malicious → flip
+            ],
+        )
+        .unwrap();
+        let corrected = correct_labels(&noisy, &ema, 0.45);
+        assert_eq!(
+            corrected,
+            vec![Label::Malicious, Label::Normal, Label::Normal]
+        );
+    }
+
+    #[test]
+    fn ulc_runs_end_to_end() {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 12);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let mut rng = StdRng::seed_from_u64(0);
+        let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+        let spec = Ulc { warmup_epochs: 1, corrected_epochs: 1, ..Ulc::default() };
+        let preds = spec.fit_predict(&split, &noisy, &cfg, 8);
+        assert_eq!(preds.len(), split.test.len());
+    }
+}

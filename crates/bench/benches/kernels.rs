@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the numeric substrate: the kernels that
+//! dominate training cost (matmul, similarity, softmax, LSTM step,
+//! backward pass). These back the §IV-B3 latency analysis with
+//! per-component numbers that do not require full training runs.
+
+use clfd_autograd::Tape;
+use clfd_nn::Lstm;
+use clfd_tensor::{init, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &n in &[32usize, 64, 128] {
+        let a = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity_kernel(c: &mut Criterion) {
+    // The contrastive-loss hot path: pairwise cosine similarities of a
+    // batch of embeddings (120 rows ≈ R + M at paper scale).
+    let mut rng = StdRng::seed_from_u64(1);
+    let z = init::uniform(120, 50, -1.0, 1.0, &mut rng);
+    c.bench_function("pairwise_similarities_120x50", |b| {
+        b.iter(|| {
+            let zn = z.l2_normalize_rows(1e-9);
+            black_box(zn.matmul_transpose(&zn))
+        });
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let logits = init::uniform(200, 200, -4.0, 4.0, &mut rng);
+    c.bench_function("softmax_rows_200x200", |b| {
+        b.iter(|| black_box(logits.softmax_rows()));
+    });
+}
+
+fn bench_lstm_forward_backward(c: &mut Criterion) {
+    // One training step of the paper-sized encoder: batch 100, T = 20,
+    // 2 x 50 hidden LSTM, forward + backward.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut tape = Tape::new();
+    let lstm = Lstm::new(&mut tape, 50, 50, 2, &mut rng);
+    tape.seal();
+    let steps: Vec<Matrix> = (0..20)
+        .map(|_| init::uniform(100, 50, -1.0, 1.0, &mut rng))
+        .collect();
+    let lengths = vec![20usize; 100];
+    c.bench_function("lstm_step_batch100_t20_h50x2", |b| {
+        b.iter(|| {
+            let vars: Vec<_> = steps.iter().map(|m| tape.constant(m.clone())).collect();
+            let z = lstm.encode(&mut tape, &vars, &lengths);
+            let loss = tape.mean_all(z);
+            tape.backward(loss);
+            black_box(tape.scalar(loss));
+            tape.reset();
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_similarity_kernel, bench_softmax, bench_lstm_forward_backward
+}
+criterion_main!(benches);

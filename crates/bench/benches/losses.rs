@@ -1,0 +1,118 @@
+//! Criterion benchmarks for the loss library: mixup GCE vs. vanilla GCE vs.
+//! CE (the classifier-stage losses), NT-Xent, and the three supervised
+//! contrastive variants of §VII — quantifying the "CLFD costs ~4x the
+//! non-contrastive baselines" claim of §IV-B3 at the per-loss level.
+
+use clfd_autograd::Tape;
+use clfd_data::batch::one_hot;
+use clfd_data::session::Label;
+use clfd_losses::contrastive::{nt_xent, sup_con_batch, SupConVariant};
+use clfd_losses::{cce_loss, gce_loss, MixupPlan};
+use clfd_tensor::init;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const BATCH: usize = 100;
+const AUX: usize = 20;
+const DIM: usize = 50;
+
+fn labels() -> Vec<Label> {
+    (0..BATCH + AUX)
+        .map(|i| if i % 5 == 0 { Label::Malicious } else { Label::Normal })
+        .collect()
+}
+
+fn bench_classifier_losses(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let feats = init::uniform(BATCH, DIM, -1.0, 1.0, &mut rng);
+    let ls: Vec<Label> = labels()[..BATCH].to_vec();
+    let targets = one_hot(&ls);
+
+    c.bench_function("loss_ce_batch100", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let w = tape.param(init::xavier_uniform(DIM, 2, &mut rng));
+            tape.seal();
+            let x = tape.constant(feats.clone());
+            let logits = tape.matmul(x, w);
+            let loss = cce_loss(&mut tape, logits, &targets);
+            tape.backward(loss);
+            black_box(tape.scalar(loss));
+        });
+    });
+
+    c.bench_function("loss_gce_batch100", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let w = tape.param(init::xavier_uniform(DIM, 2, &mut rng));
+            tape.seal();
+            let x = tape.constant(feats.clone());
+            let logits = tape.matmul(x, w);
+            let loss = gce_loss(&mut tape, logits, &targets, 0.7);
+            tape.backward(loss);
+            black_box(tape.scalar(loss));
+        });
+    });
+
+    c.bench_function("loss_mixup_gce_batch100", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let w = tape.param(init::xavier_uniform(DIM, 2, &mut rng));
+            tape.seal();
+            let x = tape.constant(feats.clone());
+            let plan = MixupPlan::sample(&ls, 0.75, &mut rng);
+            let mixed = plan.apply(&mut tape, x);
+            let logits = tape.matmul(mixed, w);
+            let mt = plan.mixed_targets(&targets);
+            let loss = gce_loss(&mut tape, logits, &mt, 0.7);
+            tape.backward(loss);
+            black_box(tape.scalar(loss));
+        });
+    });
+}
+
+fn bench_contrastive_losses(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let z_pairs = init::uniform(2 * BATCH, DIM, -1.0, 1.0, &mut rng);
+    let z_sup = init::uniform(BATCH + AUX, DIM, -1.0, 1.0, &mut rng);
+    let ls = labels();
+    let conf: Vec<f32> = (0..BATCH + AUX).map(|i| 0.6 + 0.4 * ((i % 7) as f32 / 7.0)).collect();
+
+    c.bench_function("loss_nt_xent_200x50", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let z = tape.param(z_pairs.clone());
+            tape.seal();
+            let loss = nt_xent(&mut tape, z, 0.5);
+            tape.backward(loss);
+            black_box(tape.scalar(loss));
+        });
+    });
+
+    for (name, variant) in [
+        ("weighted", SupConVariant::Weighted),
+        ("unweighted", SupConVariant::Unweighted),
+        ("filtered", SupConVariant::Filtered { tau: 0.8 }),
+    ] {
+        c.bench_function(&format!("loss_supcon_{name}_120x50"), |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let z = tape.param(z_sup.clone());
+                tape.seal();
+                let loss =
+                    sup_con_batch(&mut tape, z, &ls, &conf, BATCH, 1.0, variant);
+                tape.backward(loss);
+                black_box(tape.scalar(loss));
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_classifier_losses, bench_contrastive_losses
+}
+criterion_main!(benches);

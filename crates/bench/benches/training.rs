@@ -1,0 +1,62 @@
+//! Criterion benchmarks of whole training stages at Smoke scale: word2vec,
+//! the label corrector, the fraud detector, and representative baselines.
+//! These are the component-level counterparts of the `latency` binary.
+
+use clfd::{Ablation, ClfdConfig, TrainedClfd};
+use clfd_baselines::{cldet::ClDet, deeplog::DeepLog, SessionClassifier};
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::{DatasetKind, Preset};
+use clfd_data::word2vec::ActivityEmbeddings;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_word2vec(c: &mut Criterion) {
+    let split = DatasetKind::Cert.generate(Preset::Smoke, 0);
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let sessions: Vec<_> = split.train.iter().map(|&i| &split.corpus.sessions[i]).collect();
+    c.bench_function("train_word2vec_smoke", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(ActivityEmbeddings::train(
+                &sessions,
+                split.corpus.vocab.len(),
+                &cfg.w2v_config(),
+                &mut rng,
+            ))
+        });
+    });
+}
+
+fn bench_full_models(c: &mut Criterion) {
+    let split = DatasetKind::Cert.generate(Preset::Smoke, 0);
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let truth = split.train_labels();
+    let mut rng = StdRng::seed_from_u64(2);
+    let noisy = NoiseModel::Uniform { eta: 0.3 }.apply(&truth, &mut rng);
+
+    let mut group = c.benchmark_group("full_training_smoke");
+    group.sample_size(10);
+
+    group.bench_function("clfd", |b| {
+        b.iter(|| {
+            let mut model =
+                TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 3);
+            black_box(model.predict_test(&split))
+        });
+    });
+
+    group.bench_function("cldet", |b| {
+        b.iter(|| black_box(ClDet.fit_predict(&split, &noisy, &cfg, 3)));
+    });
+
+    group.bench_function("deeplog", |b| {
+        b.iter(|| black_box(DeepLog::default().fit_predict(&split, &noisy, &cfg, 3)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_word2vec, bench_full_models);
+criterion_main!(benches);

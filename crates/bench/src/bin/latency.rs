@@ -1,0 +1,53 @@
+//! Regenerates the **§IV-B3 training-latency analysis**: wall-clock cost of
+//! one full train+predict run per model on one dataset configuration. The
+//! paper's finding to reproduce in *shape*: CLFD ≈ Sel-CL ≈ CTRR (the
+//! supervised-contrastive models) cost several times the remaining
+//! baselines.
+//!
+//! ```text
+//! cargo run --release -p clfd-bench --bin latency -- --preset default
+//! ```
+
+use clfd_baselines::{all_baselines, ClfdModel, SessionClassifier};
+use clfd_bench::TableArgs;
+use clfd_data::noise::NoiseModel;
+use clfd_eval::report::latency_table;
+use clfd_eval::runner::{run_cell, ExperimentSpec};
+
+fn main() {
+    let args = TableArgs::parse();
+    let cfg = args.config();
+    let dataset = args.datasets.first().copied().unwrap_or_else(|| {
+        eprintln!("error: --datasets must not be empty");
+        std::process::exit(2);
+    });
+
+    let mut models: Vec<Box<dyn SessionClassifier>> = all_baselines();
+    models.push(Box::new(ClfdModel::default()));
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for model in &models {
+        if !args.wants_model(model.name()) {
+            continue;
+        }
+        let spec = ExperimentSpec {
+            dataset,
+            preset: args.preset,
+            noise: NoiseModel::Uniform { eta: 0.45 },
+            runs: args.runs,
+            base_seed: args.seed,
+        };
+        let cell = run_cell(model.as_ref(), &spec, &cfg);
+        eprintln!("[latency] {}: {:.1}s/run", cell.model, cell.seconds_per_run);
+        rows.push((cell.model, cell.seconds_per_run));
+    }
+
+    println!(
+        "{}",
+        latency_table(
+            &format!("Training latency on {} ({:?} preset)", dataset.name(), args.preset),
+            &rows
+        )
+    );
+    args.write_json(&rows);
+}

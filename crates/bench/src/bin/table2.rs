@@ -1,0 +1,53 @@
+//! Regenerates **Table II**: all nine models under the class-dependent
+//! noise setting η10 = 0.3, η01 = 0.45.
+//!
+//! ```text
+//! cargo run --release -p clfd-bench --bin table2 -- --preset default --runs 5
+//! ```
+
+use clfd_baselines::{all_baselines, ClfdModel, SessionClassifier};
+use clfd_bench::TableArgs;
+use clfd_data::noise::NoiseModel;
+use clfd_eval::report::comparison_table;
+use clfd_eval::runner::{run_cell, ExperimentSpec};
+use clfd_eval::CellResult;
+
+fn main() {
+    let args = TableArgs::parse();
+    let cfg = args.config();
+
+    let mut models: Vec<Box<dyn SessionClassifier>> = all_baselines();
+    models.push(Box::new(ClfdModel::default()));
+
+    let mut cells: Vec<CellResult> = Vec::new();
+    for model in &models {
+        if !args.wants_model(model.name()) {
+            continue;
+        }
+        for &dataset in &args.datasets {
+            let spec = ExperimentSpec {
+                dataset,
+                preset: args.preset,
+                noise: NoiseModel::PAPER_CLASS_DEPENDENT,
+                runs: args.runs,
+                base_seed: args.seed,
+            };
+            let cell = run_cell(model.as_ref(), &spec, &cfg);
+            eprintln!(
+                "[table2] {} / {}: F1 {} FPR {} AUC {} ({:.1}s/run)",
+                cell.model, cell.dataset, cell.f1, cell.fpr, cell.auc_roc,
+                cell.seconds_per_run
+            );
+            cells.push(cell);
+        }
+    }
+
+    println!(
+        "{}",
+        comparison_table(
+            "Table II — class-dependent noise (η10=0.3, η01=0.45), F1 / FPR / AUC-ROC",
+            &cells
+        )
+    );
+    args.write_json(&cells);
+}

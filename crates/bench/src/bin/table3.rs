@@ -1,0 +1,47 @@
+//! Regenerates **Table III**: the label corrector's TPR/TNR on the noisy
+//! training set, at uniform η = 0.45 and at the class-dependent setting.
+//!
+//! ```text
+//! cargo run --release -p clfd-bench --bin table3 -- --preset default --runs 5
+//! ```
+
+use clfd_bench::TableArgs;
+use clfd_data::noise::NoiseModel;
+use clfd_eval::report::corrector_table;
+use clfd_eval::runner::{run_corrector_quality, ExperimentSpec};
+use clfd_eval::CorrectorResult;
+
+fn main() {
+    let args = TableArgs::parse();
+    let cfg = args.config();
+
+    let noises = [
+        NoiseModel::Uniform { eta: 0.45 },
+        NoiseModel::PAPER_CLASS_DEPENDENT,
+    ];
+
+    let mut rows: Vec<CorrectorResult> = Vec::new();
+    for &dataset in &args.datasets {
+        for &noise in &noises {
+            let spec = ExperimentSpec {
+                dataset,
+                preset: args.preset,
+                noise,
+                runs: args.runs,
+                base_seed: args.seed,
+            };
+            let row = run_corrector_quality(&spec, &cfg);
+            eprintln!(
+                "[table3] {} / {}: TPR {} TNR {}",
+                row.dataset, row.noise, row.tpr, row.tnr
+            );
+            rows.push(row);
+        }
+    }
+
+    println!(
+        "{}",
+        corrector_table("Table III — label corrector TPR/TNR on the noisy training set", &rows)
+    );
+    args.write_json(&rows);
+}

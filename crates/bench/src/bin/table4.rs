@@ -1,0 +1,49 @@
+//! Regenerates **Table IV**: CLFD ablations under uniform noise η = 0.45
+//! (w/o LC, w/o mixup-GCE, w/o GCE, w/o FD, w/o weighted L_Sup, w/o FD
+//! classifier).
+//!
+//! ```text
+//! cargo run --release -p clfd-bench --bin table4 -- --preset default --runs 5
+//! ```
+
+use clfd_baselines::ClfdModel;
+use clfd_bench::TableArgs;
+use clfd_data::noise::NoiseModel;
+use clfd_eval::report::comparison_table;
+use clfd_eval::runner::{ablation_rows, run_cell, ExperimentSpec};
+use clfd_eval::CellResult;
+
+fn main() {
+    let args = TableArgs::parse();
+    let cfg = args.config();
+
+    let mut cells: Vec<CellResult> = Vec::new();
+    for (name, ablation) in ablation_rows() {
+        if !args.wants_model(name) {
+            continue;
+        }
+        let model = ClfdModel { ablation };
+        for &dataset in &args.datasets {
+            let spec = ExperimentSpec {
+                dataset,
+                preset: args.preset,
+                noise: NoiseModel::Uniform { eta: 0.45 },
+                runs: args.runs,
+                base_seed: args.seed,
+            };
+            let mut cell = run_cell(&model, &spec, &cfg);
+            cell.model = name.to_string();
+            eprintln!(
+                "[table4] {} / {}: F1 {} FPR {} AUC {}",
+                cell.model, cell.dataset, cell.f1, cell.fpr, cell.auc_roc
+            );
+            cells.push(cell);
+        }
+    }
+
+    println!(
+        "{}",
+        comparison_table("Table IV — ablations at uniform η = 0.45", &cells)
+    );
+    args.write_json(&cells);
+}

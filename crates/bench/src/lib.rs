@@ -1,0 +1,183 @@
+//! Shared command-line plumbing for the table-regeneration binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --preset smoke|default|paper   experiment scale        (default: default)
+//! --runs N                       repeats per cell        (default: 1; paper: 5)
+//! --seed N                       base seed               (default: 42)
+//! --models a,b,c                 subset of model names   (default: all)
+//! --datasets cert,umd,openstack  subset of datasets      (default: all)
+//! --out PATH                     also write JSON results (default: none)
+//! ```
+
+use clfd::ClfdConfig;
+use clfd_data::session::{DatasetKind, Preset};
+use std::io::Write as _;
+
+/// Parsed command-line options shared by the table binaries.
+#[derive(Debug, Clone)]
+pub struct TableArgs {
+    /// Experiment scale.
+    pub preset: Preset,
+    /// Repeats per cell.
+    pub runs: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Model-name filter (lower-cased); empty = all.
+    pub models: Vec<String>,
+    /// Dataset filter; empty = all three.
+    pub datasets: Vec<DatasetKind>,
+    /// Optional JSON output path.
+    pub out: Option<String>,
+}
+
+impl Default for TableArgs {
+    fn default() -> Self {
+        Self {
+            preset: Preset::Default,
+            runs: 1,
+            seed: 42,
+            models: Vec::new(),
+            datasets: DatasetKind::ALL.to_vec(),
+            out: None,
+        }
+    }
+}
+
+impl TableArgs {
+    /// Parses `std::env::args()`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: --preset smoke|default|paper --runs N --seed N \
+                     --models a,b,c --datasets cert,umd,openstack --out PATH"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an iterator of arguments (testable core of [`Self::parse`]).
+    pub fn try_parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = Self::default();
+        while let Some(flag) = args.next() {
+            let mut value = || {
+                args.next()
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--preset" => {
+                    out.preset = match value()?.to_lowercase().as_str() {
+                        "smoke" => Preset::Smoke,
+                        "default" => Preset::Default,
+                        "paper" => Preset::Paper,
+                        other => return Err(format!("unknown preset {other}")),
+                    }
+                }
+                "--runs" => {
+                    out.runs = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --runs: {e}"))?;
+                    if out.runs == 0 {
+                        return Err("--runs must be at least 1".into());
+                    }
+                }
+                "--seed" => {
+                    out.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                }
+                "--models" => {
+                    out.models = value()?
+                        .split(',')
+                        .map(|s| s.trim().to_lowercase())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                }
+                "--datasets" => {
+                    let list = value()?;
+                    out.datasets = list
+                        .split(',')
+                        .map(|s| match s.trim().to_lowercase().as_str() {
+                            "cert" => Ok(DatasetKind::Cert),
+                            "umd" | "umd-wikipedia" => Ok(DatasetKind::UmdWikipedia),
+                            "openstack" | "open-stack" => Ok(DatasetKind::OpenStack),
+                            other => Err(format!("unknown dataset {other}")),
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "--out" => out.out = Some(value()?),
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The hyper-parameter set for the chosen preset.
+    pub fn config(&self) -> ClfdConfig {
+        ClfdConfig::for_preset(self.preset)
+    }
+
+    /// Whether a model name passes the `--models` filter.
+    pub fn wants_model(&self, name: &str) -> bool {
+        self.models.is_empty() || self.models.iter().any(|m| m == &name.to_lowercase())
+    }
+
+    /// Writes serialized results to `--out` if given.
+    pub fn write_json<T: serde::Serialize>(&self, results: &T) {
+        if let Some(path) = &self.out {
+            let json = serde_json::to_string_pretty(results)
+                .expect("results serialize cleanly");
+            let mut f = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            f.write_all(json.as_bytes())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<TableArgs, String> {
+        TableArgs::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.preset, Preset::Default);
+        assert_eq!(a.runs, 1);
+        assert_eq!(a.datasets.len(), 3);
+        assert!(a.wants_model("CLFD"));
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let a = parse(&[
+            "--preset", "smoke", "--runs", "5", "--seed", "7", "--models", "CLFD,DivMix",
+            "--datasets", "cert,umd", "--out", "/tmp/x.json",
+        ])
+        .unwrap();
+        assert_eq!(a.preset, Preset::Smoke);
+        assert_eq!(a.runs, 5);
+        assert_eq!(a.seed, 7);
+        assert!(a.wants_model("clfd") && a.wants_model("DivMix"));
+        assert!(!a.wants_model("ULC"));
+        assert_eq!(a.datasets, vec![DatasetKind::Cert, DatasetKind::UmdWikipedia]);
+        assert_eq!(a.out.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--preset", "huge"]).is_err());
+        assert!(parse(&["--runs", "0"]).is_err());
+        assert!(parse(&["--datasets", "mnist"]).is_err());
+        assert!(parse(&["--what"]).is_err());
+        assert!(parse(&["--runs"]).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! The CLFD label corrector (§III-A).
+//!
+//! A CLDet-style [3] two-stage model: (1) an LSTM session encoder
+//! pre-trained with the self-supervised SimCLR NT-Xent loss over
+//! session-reordering views — representations that *cannot* be corrupted by
+//! the noisy labels; (2) a classifier head over the frozen representations
+//! trained with the paper's **mixup GCE** loss on the noisy labels. Its
+//! predictions on the training set become the *corrected labels*, and its
+//! softmax confidence `c_i` quantifies correction uncertainty for the fraud
+//! detector's weighted supervised contrastive loss.
+
+use crate::config::{Ablation, ClfdConfig};
+use crate::model::{
+    predictions_from_proba, ClassifierHead, EncoderModel, LossKind, Prediction,
+};
+use clfd_data::augment::clear_view;
+use clfd_data::batch::{batch_indices, SessionBatch};
+use clfd_data::session::{Label, Session};
+use clfd_data::word2vec::ActivityEmbeddings;
+use clfd_losses::nt_xent;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Trained label corrector.
+pub struct LabelCorrector {
+    encoder: EncoderModel,
+    head: ClassifierHead,
+}
+
+impl LabelCorrector {
+    /// Trains the corrector on the noisy training set.
+    ///
+    /// `sessions[i]` carries the noisy label `noisy_labels[i]`.
+    pub fn train(
+        sessions: &[&Session],
+        noisy_labels: &[Label],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+        ablation: &Ablation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(sessions.len(), noisy_labels.len());
+        assert!(!sessions.is_empty(), "empty training set");
+        let mut encoder = EncoderModel::new(cfg, rng);
+
+        // Stage 1: self-supervised SimCLR pre-training on reordering views.
+        // NT-Xent needs at least two sessions per batch to have negatives.
+        let mut order: Vec<usize> = (0..sessions.len()).collect();
+        for _ in 0..cfg.pretrain_epochs {
+            order.shuffle(rng);
+            for chunk in batch_indices(&order, cfg.batch_size) {
+                if chunk.len() < 2 {
+                    continue;
+                }
+                let mut views_a = Vec::with_capacity(chunk.len());
+                let mut views_b = Vec::with_capacity(chunk.len());
+                for &i in &chunk {
+                    views_a.push(clear_view(
+                        sessions[i],
+                        cfg.reorder_window,
+                        cfg.view_dropout,
+                        rng,
+                    ));
+                    views_b.push(clear_view(
+                        sessions[i],
+                        cfg.reorder_window,
+                        cfg.view_dropout,
+                        rng,
+                    ));
+                }
+                // Rows 0..N are view A, rows N..2N view B — the pairing
+                // NT-Xent expects.
+                let all: Vec<&Session> = views_a.iter().chain(views_b.iter()).collect();
+                let batch = SessionBatch::build(&all, embeddings, cfg.max_seq_len);
+                let z = encoder.encode(&batch);
+                let loss = nt_xent(&mut encoder.tape, z, cfg.simclr_temperature);
+                encoder.tape.backward(loss);
+                encoder.step();
+            }
+        }
+
+        // Stage 2: mixup-GCE classifier over the frozen representations.
+        // Representations are L2-normalized before the head — the encoder
+        // was trained with a cosine-similarity objective, so the unit
+        // sphere is its native geometry.
+        let features = encoder
+            .encode_frozen(sessions, embeddings, cfg)
+            .l2_normalize_rows(1e-9);
+        let (mut head, mut opt) = ClassifierHead::new(cfg.hidden, cfg.lr, cfg.head_weight_decay, rng);
+        let loss_kind = LossKind::from_ablation(ablation.use_mixup, ablation.use_gce);
+        head.train(&mut opt, &features, noisy_labels, cfg, loss_kind, rng);
+
+        Self { encoder, head }
+    }
+
+    /// Predicts labels + confidences for arbitrary sessions.
+    ///
+    /// Applied to the training set this yields the corrected labels `ŷ_i`
+    /// and confidences `c_i`; applied to the test set it is the `w/o FD`
+    /// ablation's inference path.
+    pub fn predict(
+        &mut self,
+        sessions: &[&Session],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+    ) -> Vec<Prediction> {
+        let features = self
+            .encoder
+            .encode_frozen(sessions, embeddings, cfg)
+            .l2_normalize_rows(1e-9);
+        let probs = self.head.predict_proba(&features);
+        predictions_from_proba(&probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::{DatasetKind, Preset};
+    use clfd_data::word2vec::ActivityEmbeddings;
+    use rand::SeedableRng;
+
+    /// End-to-end smoke test: on a Smoke-scale CERT dataset with moderate
+    /// uniform noise, the corrector's training-set predictions must agree
+    /// with the ground truth substantially better than the noisy labels do.
+    /// (η = 0.2 here: at Smoke scale — 172 training sessions — the η = 0.45
+    /// regime is statistically unrecoverable for *any* method; the
+    /// Default-scale benchmark binaries cover the full noise grid.)
+    #[test]
+    fn corrector_denoises_training_labels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 42);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+
+        let train_sessions: Vec<&Session> =
+            split.train.iter().map(|&i| &split.corpus.sessions[i]).collect();
+        let truth = split.train_labels();
+        let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
+
+        let embeddings = ActivityEmbeddings::train(
+            &train_sessions,
+            split.corpus.vocab.len(),
+            &cfg.w2v_config(),
+            &mut rng,
+        );
+        let mut corrector = LabelCorrector::train(
+            &train_sessions,
+            &noisy,
+            &embeddings,
+            &cfg,
+            &Ablation::full(),
+            &mut rng,
+        );
+        let preds = corrector.predict(&train_sessions, &embeddings, &cfg);
+
+        let agree = |labels: &[Label]| {
+            labels.iter().zip(&truth).filter(|(a, b)| a == b).count() as f32
+                / truth.len() as f32
+        };
+        let corrected: Vec<Label> = preds.iter().map(|p| p.label).collect();
+        let noisy_acc = agree(&noisy);
+        let corrected_acc = agree(&corrected);
+        assert!(
+            corrected_acc > noisy_acc + 0.05,
+            "correction accuracy {corrected_acc} vs noisy {noisy_acc}"
+        );
+        // Confidences are valid softmax maxima.
+        assert!(preds.iter().all(|p| (0.5..=1.0).contains(&p.confidence)));
+    }
+}

@@ -1,0 +1,208 @@
+//! The CLFD fraud detector (§III-B, Algorithm 1).
+//!
+//! Two-stage training under supervision from the label corrector:
+//!
+//! 1. **Supervised pre-training** — an LSTM session encoder trained with the
+//!    confidence-weighted supervised contrastive loss (Eq. 5). Each batch
+//!    `S` of `R` sessions is joined by an auxiliary batch `S¹` of `M`
+//!    corrected-malicious sessions so the extremely rare malicious class is
+//!    always represented among the contrast candidates.
+//! 2. **Mixup-based classifier training** — a two-layer FCNN over the frozen
+//!    encoded representations, trained with mixup GCE on the corrected
+//!    labels (Algorithm 1 lines 13–19).
+
+use crate::config::{Ablation, ClfdConfig};
+use crate::model::{
+    predictions_from_proba, sample_pool, ClassifierHead, EncoderModel, LossKind, Prediction,
+};
+use clfd_data::batch::{batch_indices, SessionBatch};
+use clfd_data::session::{Label, Session};
+use clfd_data::word2vec::ActivityEmbeddings;
+use clfd_losses::contrastive::sup_con_batch;
+use clfd_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// How the trained detector classifies a test session.
+enum Inference {
+    /// The FCNN classifier head (the full framework).
+    Classifier(ClassifierHead),
+    /// Proximity to the corrected-label class centroids in the encoded
+    /// space (`w/o classifier (FD)` ablation; [4]'s center-based scoring).
+    Centroids {
+        normal: Matrix,
+        malicious: Matrix,
+    },
+}
+
+/// Trained fraud detector.
+pub struct FraudDetector {
+    encoder: EncoderModel,
+    inference: Inference,
+}
+
+impl FraudDetector {
+    /// Trains the detector per Algorithm 1.
+    ///
+    /// `corrected` / `confidences` come from the trained label corrector
+    /// (or are the noisy labels with confidence 1 in the `w/o LC` ablation).
+    pub fn train(
+        sessions: &[&Session],
+        corrected: &[Label],
+        confidences: &[f32],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+        ablation: &Ablation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(sessions.len(), corrected.len());
+        assert_eq!(sessions.len(), confidences.len());
+        assert!(!sessions.is_empty(), "empty training set");
+        let mut encoder = EncoderModel::new(cfg, rng);
+
+        // T̃¹: sessions the corrector labeled malicious (Algorithm 1 l.2).
+        let malicious_pool: Vec<usize> = corrected
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == Label::Malicious)
+            .map(|(i, _)| i)
+            .collect();
+
+        // Stage 1: supervised contrastive pre-training (lines 3–12).
+        let mut order: Vec<usize> = (0..sessions.len()).collect();
+        for _ in 0..cfg.pretrain_epochs {
+            order.shuffle(rng);
+            for chunk in batch_indices(&order, cfg.batch_size) {
+                // Auxiliary malicious batch S¹ (line 5); skipped when the
+                // corrector found no malicious sessions at all.
+                let aux = if malicious_pool.is_empty() {
+                    Vec::new()
+                } else {
+                    sample_pool(&malicious_pool, cfg.aux_batch, rng)
+                };
+                let rows: Vec<usize> = chunk.iter().chain(aux.iter()).copied().collect();
+                if rows.len() < 2 {
+                    continue;
+                }
+                let refs: Vec<&Session> = rows.iter().map(|&i| sessions[i]).collect();
+                let labels: Vec<Label> = rows.iter().map(|&i| corrected[i]).collect();
+                let confs: Vec<f32> = rows.iter().map(|&i| confidences[i]).collect();
+                let batch = SessionBatch::build(&refs, embeddings, cfg.max_seq_len);
+                let z = encoder.encode(&batch);
+                let loss = sup_con_batch(
+                    &mut encoder.tape,
+                    z,
+                    &labels,
+                    &confs,
+                    chunk.len(),
+                    cfg.temperature,
+                    ablation.supcon,
+                );
+                encoder.tape.backward(loss);
+                encoder.step();
+            }
+        }
+
+        // Stage 2: classifier (or centroid) construction over frozen
+        // representations (lines 13–19). As in the corrector, cosine-trained
+        // representations are consumed on the unit sphere.
+        let features = encoder
+            .encode_frozen(sessions, embeddings, cfg)
+            .l2_normalize_rows(1e-9);
+        let inference = if ablation.use_classifier {
+            let (mut head, mut opt) = ClassifierHead::new(cfg.hidden, cfg.lr, cfg.head_weight_decay, rng);
+            let loss_kind = LossKind::from_ablation(ablation.use_mixup, ablation.use_gce);
+            head.train(&mut opt, &features, corrected, cfg, loss_kind, rng);
+            Inference::Classifier(head)
+        } else {
+            Inference::Centroids {
+                normal: class_centroid(&features, corrected, Label::Normal),
+                malicious: class_centroid(&features, corrected, Label::Malicious),
+            }
+        };
+
+        Self { encoder, inference }
+    }
+
+    /// Classifies sessions, returning label / malicious-score / confidence.
+    pub fn predict(
+        &mut self,
+        sessions: &[&Session],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+    ) -> Vec<Prediction> {
+        let features = self
+            .encoder
+            .encode_frozen(sessions, embeddings, cfg)
+            .l2_normalize_rows(1e-9);
+        let probs = match &mut self.inference {
+            Inference::Classifier(head) => head.predict_proba(&features),
+            Inference::Centroids { normal, malicious } => {
+                centroid_proba(&features, normal, malicious)
+            }
+        };
+        predictions_from_proba(&probs)
+    }
+}
+
+/// Mean feature vector of one class; zero vector if the class is absent.
+fn class_centroid(features: &Matrix, labels: &[Label], class: Label) -> Matrix {
+    let rows: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l == class)
+        .map(|(i, _)| i)
+        .collect();
+    if rows.is_empty() {
+        return Matrix::zeros(1, features.cols());
+    }
+    features.select_rows(&rows).col_sums().scale(1.0 / rows.len() as f32)
+}
+
+/// Distance-based soft assignment: `p(class) ∝ exp(−‖z − center‖)`.
+fn centroid_proba(features: &Matrix, normal: &Matrix, malicious: &Matrix) -> Matrix {
+    Matrix::from_fn(features.rows(), 2, |r, c| {
+        let row = Matrix::row_vector(features.row(r));
+        let d0 = row.euclidean_distance(normal);
+        let d1 = row.euclidean_distance(malicious);
+        let e0 = (-d0).exp();
+        let e1 = (-d1).exp();
+        let denom = (e0 + e1).max(f32::MIN_POSITIVE);
+        if c == 0 {
+            e0 / denom
+        } else {
+            e1 / denom
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centroid_assignment_prefers_nearer_center() {
+        let features = Matrix::from_vec(2, 2, vec![0.9, 0.0, -0.9, 0.1]).unwrap();
+        let normal = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let malicious = Matrix::from_vec(1, 2, vec![-1.0, 0.0]).unwrap();
+        let p = centroid_proba(&features, &normal, &malicious);
+        assert!(p.get(0, 0) > 0.6, "row 0 near normal: {}", p.get(0, 0));
+        assert!(p.get(1, 1) > 0.6, "row 1 near malicious: {}", p.get(1, 1));
+        for r in 0..2 {
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn class_centroid_averages_members() {
+        let features =
+            Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 100.0, 100.0]).unwrap();
+        let labels = [Label::Normal, Label::Normal, Label::Malicious];
+        let c = class_centroid(&features, &labels, Label::Normal);
+        assert_eq!(c.as_slice(), &[2.0, 3.0]);
+        // Absent class gives a zero centroid rather than NaN.
+        let none = class_centroid(&features, &[Label::Normal; 3], Label::Malicious);
+        assert_eq!(none.as_slice(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Extensions beyond the paper — its own stated future work (§V):
+//! "we will also explore benefits of integrating supervised contrastive
+//! learning model with co-teaching based noisy label learning approaches."
+//!
+//! [`CoTeachingCorrector`] trains **two** independent label correctors
+//! (different initialization and batch order) and combines their verdicts:
+//!
+//! - where the two agree, the agreed label is used with the *joint*
+//!   confidence `√(c_a · c_b)` — agreement between independently-trained
+//!   models is strong evidence;
+//! - where they disagree, the sample is treated as *unresolved*: the
+//!   original noisy label is kept but its confidence is floored at 0.5, so
+//!   the fraud detector's weighted supervised contrastive loss (Eq. 5)
+//!   nearly mutes the pair terms it appears in.
+
+use crate::config::{Ablation, ClfdConfig};
+use crate::corrector::LabelCorrector;
+use clfd_data::session::{Label, Session};
+use clfd_data::word2vec::ActivityEmbeddings;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Two cross-checking label correctors (co-teaching future-work extension).
+pub struct CoTeachingCorrector {
+    corrector_a: LabelCorrector,
+    corrector_b: LabelCorrector,
+}
+
+/// Combined correction output of [`CoTeachingCorrector::correct`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoCorrection {
+    /// Combined corrected labels.
+    pub labels: Vec<Label>,
+    /// Combined confidences (joint where agreed, 0.5 where disputed).
+    pub confidences: Vec<f32>,
+    /// Fraction of samples the two correctors agreed on.
+    pub agreement: f32,
+}
+
+impl CoTeachingCorrector {
+    /// Trains both correctors on the same noisy set with decorrelated
+    /// randomness (seeds derived from `seed`).
+    pub fn train(
+        sessions: &[&Session],
+        noisy_labels: &[Label],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+        ablation: &Ablation,
+        seed: u64,
+    ) -> Self {
+        let mut rng_a = StdRng::seed_from_u64(seed.wrapping_mul(2).wrapping_add(1));
+        let mut rng_b = StdRng::seed_from_u64(seed.wrapping_mul(2).wrapping_add(2));
+        let corrector_a =
+            LabelCorrector::train(sessions, noisy_labels, embeddings, cfg, ablation, &mut rng_a);
+        let corrector_b =
+            LabelCorrector::train(sessions, noisy_labels, embeddings, cfg, ablation, &mut rng_b);
+        Self { corrector_a, corrector_b }
+    }
+
+    /// Produces the agreement-gated corrections for `sessions` given their
+    /// original noisy labels.
+    pub fn correct(
+        &mut self,
+        sessions: &[&Session],
+        noisy_labels: &[Label],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+    ) -> CoCorrection {
+        assert_eq!(sessions.len(), noisy_labels.len());
+        let preds_a = self.corrector_a.predict(sessions, embeddings, cfg);
+        let preds_b = self.corrector_b.predict(sessions, embeddings, cfg);
+        let mut labels = Vec::with_capacity(sessions.len());
+        let mut confidences = Vec::with_capacity(sessions.len());
+        let mut agreed = 0usize;
+        for ((a, b), &given) in preds_a.iter().zip(&preds_b).zip(noisy_labels) {
+            if a.label == b.label {
+                agreed += 1;
+                labels.push(a.label);
+                confidences.push((a.confidence * b.confidence).sqrt());
+            } else {
+                labels.push(given);
+                confidences.push(0.5);
+            }
+        }
+        CoCorrection {
+            labels,
+            confidences,
+            agreement: agreed as f32 / sessions.len().max(1) as f32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::{DatasetKind, Preset};
+
+    #[test]
+    fn co_teaching_correction_is_at_least_as_accurate_as_noisy_labels() {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 51);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let train: Vec<&Session> =
+            split.train.iter().map(|&i| &split.corpus.sessions[i]).collect();
+        let truth = split.train_labels();
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
+        let embeddings = ActivityEmbeddings::train(
+            &train,
+            split.corpus.vocab.len(),
+            &cfg.w2v_config(),
+            &mut rng,
+        );
+        let mut co = CoTeachingCorrector::train(
+            &train,
+            &noisy,
+            &embeddings,
+            &cfg,
+            &Ablation::full(),
+            9,
+        );
+        let result = co.correct(&train, &noisy, &embeddings, &cfg);
+        assert_eq!(result.labels.len(), train.len());
+        assert!((0.0..=1.0).contains(&result.agreement));
+        let agree = |labels: &[Label]| {
+            labels.iter().zip(&truth).filter(|(a, b)| a == b).count()
+        };
+        assert!(
+            agree(&result.labels) >= agree(&noisy),
+            "co-teaching correction lost ground: {} vs {}",
+            agree(&result.labels),
+            agree(&noisy)
+        );
+        // Disputed samples are floored at confidence 0.5; agreed ones ≥ 0.5.
+        assert!(result.confidences.iter().all(|&c| (0.5..=1.0).contains(&c)));
+    }
+}

@@ -1,0 +1,56 @@
+//! **CLFD** — supervised Contrastive Learning based Fraud Detection from
+//! noisy labels (Vinay, Yuan & Wu, ICDE 2024) — the paper's primary
+//! contribution, reproduced in Rust.
+//!
+//! # Architecture (Figure 1)
+//!
+//! ```text
+//!  noisy training set T̃
+//!        │
+//!        ▼
+//!  ┌─ Label Corrector (§III-A) ───────────────────────────┐
+//!  │ LSTM encoder ← SimCLR NT-Xent on reordering views    │
+//!  │ classifier   ← mixup GCE loss (Eq. 2–3)              │
+//!  └──────────────┬───────────────────────────────────────┘
+//!                 │ corrected labels ŷ_i + confidences c_i
+//!                 ▼
+//!  ┌─ Fraud Detector (§III-B, Algorithm 1) ───────────────┐
+//!  │ LSTM encoder ← weighted SupCon loss (Eq. 5, c_i·c_p) │
+//!  │ FCNN head    ← mixup GCE on corrected labels         │
+//!  └──────────────┬───────────────────────────────────────┘
+//!                 ▼
+//!        malicious-session predictions
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use clfd::{Ablation, ClfdConfig, TrainedClfd};
+//! use clfd_data::noise::NoiseModel;
+//! use clfd_data::session::{DatasetKind, Preset};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let split = DatasetKind::Cert.generate(Preset::Smoke, 42);
+//! let cfg = ClfdConfig::for_preset(Preset::Smoke);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let noisy = NoiseModel::Uniform { eta: 0.3 }.apply(&split.train_labels(), &mut rng);
+//!
+//! let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 0);
+//! let predictions = model.predict_test(&split);
+//! assert_eq!(predictions.len(), split.test.len());
+//! ```
+
+pub mod config;
+pub mod corrector;
+pub mod detector;
+pub mod extensions;
+mod model;
+pub mod pipeline;
+
+pub use config::{Ablation, ClfdConfig};
+pub use extensions::{CoCorrection, CoTeachingCorrector};
+pub use corrector::LabelCorrector;
+pub use detector::FraudDetector;
+pub use model::Prediction;
+pub use pipeline::TrainedClfd;

@@ -1,0 +1,278 @@
+//! Shared model building blocks: the LSTM session-encoder wrapper and the
+//! FCNN classifier head used by both the label corrector and the fraud
+//! detector.
+
+use crate::config::ClfdConfig;
+use clfd_autograd::{Tape, Var};
+use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
+use clfd_data::session::{Label, Session};
+use clfd_data::word2vec::ActivityEmbeddings;
+use clfd_losses::{cce_loss, gce_loss, MixupPlan};
+use clfd_nn::{Adam, Layer, Linear, Lstm, Optimizer};
+use clfd_nn::linear::LinearInit;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use clfd_tensor::Matrix;
+
+/// An LSTM session encoder with its own tape and optimizer state.
+pub(crate) struct EncoderModel {
+    pub tape: Tape,
+    pub lstm: Lstm,
+    pub params: Vec<Var>,
+    pub opt: Adam,
+}
+
+impl EncoderModel {
+    pub fn new(cfg: &ClfdConfig, rng: &mut StdRng) -> Self {
+        let mut tape = Tape::new();
+        let lstm = Lstm::new(&mut tape, cfg.embed_dim, cfg.hidden, cfg.lstm_layers, rng);
+        tape.seal();
+        let params = lstm.params();
+        let opt = Adam::new(cfg.lr);
+        Self { tape, lstm, params, opt }
+    }
+
+    /// Records one encoding pass on the tape (caller later resets).
+    pub fn encode(&mut self, batch: &SessionBatch) -> Var {
+        let steps: Vec<Var> = batch
+            .steps
+            .iter()
+            .map(|m| self.tape.constant(m.clone()))
+            .collect();
+        self.lstm.encode(&mut self.tape, &steps, &batch.lengths)
+    }
+
+    /// Runs one optimizer step from an already-backwarded loss and resets.
+    pub fn step(&mut self) {
+        let params = self.params.clone();
+        self.opt.step(&mut self.tape, &params);
+        self.tape.reset();
+    }
+
+    /// Encodes every session with the (frozen) encoder, returning an
+    /// `n x hidden` feature matrix. The tape is reset between batches.
+    pub fn encode_frozen(
+        &mut self,
+        sessions: &[&Session],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+    ) -> Matrix {
+        let mut features = Matrix::zeros(sessions.len(), cfg.hidden);
+        let all: Vec<usize> = (0..sessions.len()).collect();
+        for chunk in batch_indices(&all, cfg.batch_size) {
+            let refs: Vec<&Session> = chunk.iter().map(|&i| sessions[i]).collect();
+            let batch = SessionBatch::build(&refs, embeddings, cfg.max_seq_len);
+            let z = self.encode(&batch);
+            let values = self.tape.value(z).clone();
+            for (row, &i) in chunk.iter().enumerate() {
+                features.row_mut(i).copy_from_slice(values.row(row));
+            }
+            self.tape.reset();
+        }
+        features
+    }
+}
+
+/// Which classification loss trains a head (full framework vs. ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LossKind {
+    /// The paper's mixup GCE (Eq. 2–3).
+    MixupGce,
+    /// Vanilla GCE (Eq. 1) — the `w/o l^λ_GCE` ablation.
+    VanillaGce,
+    /// Plain cross-entropy — the `w/o GCE` ablation.
+    CrossEntropy,
+}
+
+impl LossKind {
+    pub fn from_ablation(use_mixup: bool, use_gce: bool) -> Self {
+        match (use_gce, use_mixup) {
+            (false, _) => LossKind::CrossEntropy,
+            (true, true) => LossKind::MixupGce,
+            (true, false) => LossKind::VanillaGce,
+        }
+    }
+}
+
+/// The two-layer FCNN classifier of §III-B2 (LeakyReLU hidden layer +
+/// softmax output), trained over cached session representations.
+pub(crate) struct ClassifierHead {
+    tape: Tape,
+    l1: Linear,
+    l2: Linear,
+    params: Vec<Var>,
+}
+
+const LEAKY_SLOPE: f32 = 0.01;
+
+impl ClassifierHead {
+    pub fn new(hidden: usize, lr: f32, weight_decay: f32, rng: &mut StdRng) -> (Self, Adam) {
+        let mut tape = Tape::new();
+        let l1 = Linear::new(&mut tape, hidden, hidden, LinearInit::He, rng);
+        let l2 = Linear::new(&mut tape, hidden, 2, LinearInit::Xavier, rng);
+        tape.seal();
+        let mut params = l1.params();
+        params.extend(l2.params());
+        (Self { tape, l1, l2, params }, Adam::new(lr).with_weight_decay(weight_decay))
+    }
+
+    fn logits(&mut self, x: Var) -> Var {
+        let h = self.l1.forward(&mut self.tape, x);
+        let h = self.tape.leaky_relu(h, LEAKY_SLOPE);
+        self.l2.forward(&mut self.tape, h)
+    }
+
+    /// Trains the head on cached features with the selected loss.
+    ///
+    /// Mixup (when enabled) follows Algorithm 1 lines 13–19: partners are
+    /// drawn from the opposite class *of the supplied labels* within each
+    /// mini-batch, λ ~ Beta(β, β).
+    pub fn train(
+        &mut self,
+        opt: &mut Adam,
+        features: &Matrix,
+        labels: &[Label],
+        cfg: &ClfdConfig,
+        loss_kind: LossKind,
+        rng: &mut StdRng,
+    ) {
+        assert_eq!(features.rows(), labels.len());
+        let mut order: Vec<usize> = (0..labels.len()).collect();
+        for _ in 0..cfg.classifier_epochs {
+            order.shuffle(rng);
+            for chunk in batch_indices(&order, cfg.batch_size) {
+                let feats = features.select_rows(&chunk);
+                let batch_labels: Vec<Label> = chunk.iter().map(|&i| labels[i]).collect();
+                let targets = one_hot(&batch_labels);
+                let x = self.tape.constant(feats);
+                let loss = match loss_kind {
+                    LossKind::MixupGce => {
+                        let plan = MixupPlan::sample(&batch_labels, cfg.beta, rng);
+                        let mixed = plan.apply(&mut self.tape, x);
+                        let mixed_targets = plan.mixed_targets(&targets);
+                        let logits = self.logits(mixed);
+                        gce_loss(&mut self.tape, logits, &mixed_targets, cfg.q)
+                    }
+                    LossKind::VanillaGce => {
+                        let logits = self.logits(x);
+                        gce_loss(&mut self.tape, logits, &targets, cfg.q)
+                    }
+                    LossKind::CrossEntropy => {
+                        let logits = self.logits(x);
+                        cce_loss(&mut self.tape, logits, &targets)
+                    }
+                };
+                self.tape.backward(loss);
+                let params = self.params.clone();
+                opt.step(&mut self.tape, &params);
+                self.tape.reset();
+            }
+        }
+    }
+
+    /// Softmax class probabilities for cached features (`n x 2`).
+    pub fn predict_proba(&mut self, features: &Matrix) -> Matrix {
+        let x = self.tape.constant(features.clone());
+        let logits = self.logits(x);
+        let probs = self.tape.value(logits).softmax_rows();
+        self.tape.reset();
+        probs
+    }
+}
+
+/// Prediction with class probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted label (argmax class).
+    pub label: Label,
+    /// Softmax probability of the malicious class (AUC score).
+    pub malicious_score: f32,
+    /// Confidence of the predicted class, `max(f_0, f_1)` — the `c_i` the
+    /// paper feeds into the weighted supervised contrastive loss.
+    pub confidence: f32,
+}
+
+/// Converts an `n x 2` probability matrix into [`Prediction`]s.
+pub(crate) fn predictions_from_proba(probs: &Matrix) -> Vec<Prediction> {
+    (0..probs.rows())
+        .map(|r| {
+            let p0 = probs.get(r, 0);
+            let p1 = probs.get(r, 1);
+            Prediction {
+                label: if p1 > p0 { Label::Malicious } else { Label::Normal },
+                malicious_score: p1,
+                confidence: p0.max(p1),
+            }
+        })
+        .collect()
+}
+
+/// Samples `count` indices (with replacement if the pool is smaller) from a
+/// pool; used for the auxiliary malicious batch `S¹`.
+pub(crate) fn sample_pool(pool: &[usize], count: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(!pool.is_empty(), "cannot sample from an empty pool");
+    (0..count).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn loss_kind_from_ablation_matrix() {
+        assert_eq!(LossKind::from_ablation(true, true), LossKind::MixupGce);
+        assert_eq!(LossKind::from_ablation(false, true), LossKind::VanillaGce);
+        assert_eq!(LossKind::from_ablation(true, false), LossKind::CrossEntropy);
+        assert_eq!(LossKind::from_ablation(false, false), LossKind::CrossEntropy);
+    }
+
+    #[test]
+    fn head_learns_separable_features() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = ClfdConfig {
+            classifier_epochs: 60,
+            batch_size: 16,
+            ..ClfdConfig::for_preset(clfd_data::session::Preset::Smoke)
+        };
+        let n = 64;
+        let features = Matrix::from_fn(n, cfg.hidden, |r, c| {
+            let class = if r % 2 == 0 { 1.0 } else { -1.0 };
+            class * (0.5 + (c as f32 * 0.3).sin() * 0.2)
+        });
+        let labels: Vec<Label> = (0..n)
+            .map(|r| if r % 2 == 0 { Label::Malicious } else { Label::Normal })
+            .collect();
+        let (mut head, mut opt) = ClassifierHead::new(cfg.hidden, 0.01, 0.0, &mut rng);
+        head.train(&mut opt, &features, &labels, &cfg, LossKind::MixupGce, &mut rng);
+        let probs = head.predict_proba(&features);
+        let preds = predictions_from_proba(&probs);
+        let correct = preds
+            .iter()
+            .zip(&labels)
+            .filter(|(p, &l)| p.label == l)
+            .count();
+        assert!(correct as f32 / n as f32 > 0.9, "accuracy {correct}/{n}");
+    }
+
+    #[test]
+    fn predictions_expose_confidence_and_score() {
+        let probs = Matrix::from_vec(2, 2, vec![0.8, 0.2, 0.3, 0.7]).unwrap();
+        let preds = predictions_from_proba(&probs);
+        assert_eq!(preds[0].label, Label::Normal);
+        assert!((preds[0].confidence - 0.8).abs() < 1e-6);
+        assert!((preds[0].malicious_score - 0.2).abs() < 1e-6);
+        assert_eq!(preds[1].label, Label::Malicious);
+        assert!((preds[1].confidence - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_pool_draws_from_pool() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = vec![3, 5, 9];
+        let s = sample_pool(&pool, 50, &mut rng);
+        assert_eq!(s.len(), 50);
+        assert!(s.iter().all(|i| pool.contains(i)));
+    }
+}

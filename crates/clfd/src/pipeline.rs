@@ -1,0 +1,198 @@
+//! End-to-end CLFD pipeline: word2vec → label corrector → fraud detector.
+
+use crate::config::{Ablation, ClfdConfig};
+use crate::corrector::LabelCorrector;
+use crate::detector::FraudDetector;
+use crate::model::Prediction;
+use clfd_data::session::{Label, Session, SplitCorpus};
+use clfd_data::word2vec::ActivityEmbeddings;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fully trained CLFD model, ready for inference.
+pub struct TrainedClfd {
+    cfg: ClfdConfig,
+    embeddings: ActivityEmbeddings,
+    corrector: Option<LabelCorrector>,
+    detector: Option<FraudDetector>,
+    corrected: Vec<Label>,
+    confidences: Vec<f32>,
+}
+
+impl TrainedClfd {
+    /// Trains CLFD on the training part of `split` with labels
+    /// `noisy_labels` (parallel to `split.train`).
+    ///
+    /// The ablation switches reproduce every row of Tables IV/V; use
+    /// [`Ablation::full`] for the complete framework.
+    pub fn fit(
+        split: &SplitCorpus,
+        noisy_labels: &[Label],
+        cfg: &ClfdConfig,
+        ablation: &Ablation,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            noisy_labels.len(),
+            split.train.len(),
+            "one noisy label per training session"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train_sessions: Vec<&Session> =
+            split.train.iter().map(|&i| &split.corpus.sessions[i]).collect();
+
+        // Activity embeddings are trained on the raw (label-free) corpus.
+        let embeddings = ActivityEmbeddings::train(
+            &train_sessions,
+            split.corpus.vocab.len(),
+            &cfg.w2v_config(),
+            &mut rng,
+        );
+
+        // Stage 1: label correction (skipped in the `w/o LC` ablation, where
+        // the noisy labels pass through with full confidence).
+        let (corrector, corrected, confidences) = if ablation.use_label_corrector {
+            let mut corrector = LabelCorrector::train(
+                &train_sessions,
+                noisy_labels,
+                &embeddings,
+                cfg,
+                ablation,
+                &mut rng,
+            );
+            let preds = corrector.predict(&train_sessions, &embeddings, cfg);
+            let corrected: Vec<Label> = preds.iter().map(|p| p.label).collect();
+            let confidences: Vec<f32> = preds.iter().map(|p| p.confidence).collect();
+            (Some(corrector), corrected, confidences)
+        } else {
+            (None, noisy_labels.to_vec(), vec![1.0; noisy_labels.len()])
+        };
+
+        // Stage 2: fraud detector (skipped in the `w/o FD` ablation, which
+        // deploys the corrector directly).
+        let detector = if ablation.use_fraud_detector {
+            Some(FraudDetector::train(
+                &train_sessions,
+                &corrected,
+                &confidences,
+                &embeddings,
+                cfg,
+                ablation,
+                &mut rng,
+            ))
+        } else {
+            assert!(
+                ablation.use_label_corrector,
+                "disabling both the corrector and the detector leaves no model"
+            );
+            None
+        };
+
+        Self {
+            cfg: *cfg,
+            embeddings,
+            corrector,
+            detector,
+            corrected,
+            confidences,
+        }
+    }
+
+    /// Classifies arbitrary sessions.
+    pub fn predict_sessions(&mut self, sessions: &[&Session]) -> Vec<Prediction> {
+        if let Some(detector) = &mut self.detector {
+            detector.predict(sessions, &self.embeddings, &self.cfg)
+        } else {
+            self.corrector
+                .as_mut()
+                .expect("fit() guarantees at least one model")
+                .predict(sessions, &self.embeddings, &self.cfg)
+        }
+    }
+
+    /// Classifies the test split of `split`.
+    pub fn predict_test(&mut self, split: &SplitCorpus) -> Vec<Prediction> {
+        let test: Vec<&Session> =
+            split.test.iter().map(|&i| &split.corpus.sessions[i]).collect();
+        self.predict_sessions(&test)
+    }
+
+    /// The corrected labels the detector was supervised with (parallel to
+    /// `split.train`; equals the noisy labels in the `w/o LC` ablation).
+    /// This is what Table III evaluates against the ground truth.
+    pub fn corrected_labels(&self) -> &[Label] {
+        &self.corrected
+    }
+
+    /// Correction confidences `c_i` (all 1.0 in the `w/o LC` ablation).
+    pub fn correction_confidences(&self) -> &[f32] {
+        &self.confidences
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::{DatasetKind, Preset};
+
+    fn smoke_run(ablation: Ablation) -> (f32, usize) {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 7);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let truth = split.train_labels();
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
+        let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &ablation, 5);
+        let preds = model.predict_test(&split);
+        let test_truth = split.test_labels();
+        let correct = preds
+            .iter()
+            .zip(&test_truth)
+            .filter(|(p, &l)| p.label == l)
+            .count();
+        (correct as f32 / test_truth.len() as f32, preds.len())
+    }
+
+    #[test]
+    fn full_pipeline_beats_chance_on_smoke_data() {
+        let (acc, n) = smoke_run(Ablation::full());
+        assert_eq!(n, 68); // 60 normal + 8 malicious test sessions
+        assert!(acc > 0.7, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn without_fd_uses_corrector_for_inference() {
+        let (acc, _) = smoke_run(Ablation::without_fraud_detector());
+        assert!(acc > 0.6, "corrector-only accuracy {acc}");
+    }
+
+    #[test]
+    fn without_classifier_uses_centroids() {
+        let (acc, _) = smoke_run(Ablation::without_classifier());
+        assert!(acc > 0.5, "centroid accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves no model")]
+    fn disabling_everything_panics() {
+        let mut ablation = Ablation::without_fraud_detector();
+        ablation.use_label_corrector = false;
+        smoke_run(ablation);
+    }
+
+    #[test]
+    fn corrected_labels_align_with_training_set() {
+        let split = DatasetKind::UmdWikipedia.generate(Preset::Smoke, 3);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let truth = split.train_labels();
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = NoiseModel::PAPER_CLASS_DEPENDENT.apply(&truth, &mut rng);
+        let model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 8);
+        assert_eq!(model.corrected_labels().len(), split.train.len());
+        assert_eq!(model.correction_confidences().len(), split.train.len());
+        assert!(model
+            .correction_confidences()
+            .iter()
+            .all(|&c| (0.5..=1.0).contains(&c)));
+    }
+}

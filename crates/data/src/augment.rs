@@ -1,0 +1,179 @@
+//! Session-reordering augmentation (CLDet [3], used by the SimCLR-style
+//! self-supervised pre-training of the label corrector).
+//!
+//! "For each session, we randomly select an activity sub-sequence of length
+//! 3, and reorder activities in this sub-sequence" (§IV-A2).
+
+use crate::session::Session;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Default reorder-window length from the paper.
+pub const DEFAULT_WINDOW: usize = 3;
+
+/// Returns an augmented copy of `session` with one random window of
+/// `window` consecutive activities shuffled.
+///
+/// Sessions shorter than the window are returned with their full contents
+/// shuffled (the only meaningful reordering available).
+pub fn session_reorder(session: &Session, window: usize, rng: &mut impl Rng) -> Session {
+    let mut out = session.clone();
+    let n = out.activities.len();
+    if n <= 1 {
+        return out;
+    }
+    if n <= window {
+        out.activities.shuffle(rng);
+        return out;
+    }
+    let start = rng.gen_range(0..=n - window);
+    out.activities[start..start + window].shuffle(rng);
+    out
+}
+
+/// Produces the two augmented views used by an NT-Xent / SimCLR batch.
+pub fn two_views(session: &Session, window: usize, rng: &mut impl Rng) -> (Session, Session) {
+    (
+        session_reorder(session, window, rng),
+        session_reorder(session, window, rng),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn session(acts: &[u32]) -> Session {
+        Session { activities: acts.to_vec(), day: 0 }
+    }
+
+    #[test]
+    fn reorder_preserves_multiset_and_length() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = session(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        for _ in 0..50 {
+            let a = session_reorder(&s, DEFAULT_WINDOW, &mut rng);
+            assert_eq!(a.activities.len(), s.activities.len());
+            let mut x = a.activities.clone();
+            let mut y = s.activities.clone();
+            x.sort_unstable();
+            y.sort_unstable();
+            assert_eq!(x, y, "augmentation must permute, not mutate");
+        }
+    }
+
+    #[test]
+    fn reorder_only_touches_one_window() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = session(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        for _ in 0..50 {
+            let a = session_reorder(&s, 3, &mut rng);
+            let changed: Vec<usize> = (0..10)
+                .filter(|&i| a.activities[i] != s.activities[i])
+                .collect();
+            if let (Some(&first), Some(&last)) = (changed.first(), changed.last()) {
+                assert!(last - first < 3, "changes span {changed:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_sessions_are_handled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s1 = session(&[42]);
+        assert_eq!(session_reorder(&s1, 3, &mut rng).activities, vec![42]);
+        let s2 = session(&[1, 2]);
+        let a = session_reorder(&s2, 3, &mut rng);
+        let mut sorted = a.activities.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]);
+    }
+
+    #[test]
+    fn two_views_are_independent_draws() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = session(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let mut differed = false;
+        for _ in 0..20 {
+            let (a, b) = two_views(&s, 3, &mut rng);
+            if a.activities != b.activities {
+                differed = true;
+            }
+        }
+        assert!(differed, "the two views never differed in 20 draws");
+    }
+}
+
+/// Returns a copy with each activity independently dropped with probability
+/// `p` (at least one activity is always kept).
+///
+/// Token deletion is the second augmentation of CLEAR [50] — the contrastive
+/// model the paper's self-supervised stage is built on. Deletion makes the
+/// learned representations invariant to exact token multiplicity, which
+/// coarsens the embedding geometry from session-identity granularity to
+/// composition granularity — the granularity label correction needs.
+pub fn token_dropout(session: &Session, p: f32, rng: &mut impl Rng) -> Session {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    let kept: Vec<u32> = session
+        .activities
+        .iter()
+        .copied()
+        .filter(|_| rng.gen::<f32>() >= p)
+        .collect();
+    let activities = if kept.is_empty() {
+        vec![session.activities[rng.gen_range(0..session.activities.len())]]
+    } else {
+        kept
+    };
+    Session { activities, day: session.day }
+}
+
+/// One CLEAR-style augmented view: token dropout followed by a window
+/// reorder.
+pub fn clear_view(
+    session: &Session,
+    window: usize,
+    dropout: f32,
+    rng: &mut impl Rng,
+) -> Session {
+    let dropped = token_dropout(session, dropout, rng);
+    session_reorder(&dropped, window, rng)
+}
+
+#[cfg(test)]
+mod dropout_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dropout_preserves_subset_and_nonempty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = Session { activities: (0..20).collect(), day: 3 };
+        for _ in 0..50 {
+            let a = token_dropout(&s, 0.3, &mut rng);
+            assert!(!a.activities.is_empty());
+            assert!(a.activities.len() <= 20);
+            assert!(a.activities.iter().all(|t| s.activities.contains(t)));
+            assert_eq!(a.day, 3);
+        }
+    }
+
+    #[test]
+    fn dropout_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Session { activities: vec![5, 6, 7], day: 0 };
+        assert_eq!(token_dropout(&s, 0.0, &mut rng), s);
+    }
+
+    #[test]
+    fn single_activity_survives_heavy_dropout() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Session { activities: vec![9], day: 0 };
+        for _ in 0..20 {
+            assert_eq!(token_dropout(&s, 0.9, &mut rng).activities, vec![9]);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Batching: sessions → padded per-timestep embedding matrices.
+//!
+//! The LSTM encoders consume one `batch x dim` matrix per timestep. A
+//! [`SessionBatch`] holds those matrices plus per-row valid lengths so the
+//! encoder's mean pooling can ignore padding.
+
+use crate::session::{Label, Session};
+use crate::word2vec::ActivityEmbeddings;
+use clfd_tensor::Matrix;
+
+/// A batch of sessions embedded and padded to a common length.
+#[derive(Debug, Clone)]
+pub struct SessionBatch {
+    /// One `batch x dim` matrix per timestep (padded steps hold zeros).
+    pub steps: Vec<Matrix>,
+    /// Valid (unpadded) length of each row, each ≥ 1 and ≤ `steps.len()`.
+    pub lengths: Vec<usize>,
+}
+
+impl SessionBatch {
+    /// Embeds `sessions`, truncating to at most `max_len` activities.
+    ///
+    /// # Panics
+    /// Panics on an empty batch, an empty session, or `max_len == 0`.
+    pub fn build(
+        sessions: &[&Session],
+        embeddings: &ActivityEmbeddings,
+        max_len: usize,
+    ) -> Self {
+        assert!(!sessions.is_empty(), "empty batch");
+        assert!(max_len > 0, "max_len must be positive");
+        let dim = embeddings.dim();
+        let t = sessions
+            .iter()
+            .map(|s| s.len().min(max_len))
+            .max()
+            .expect("non-empty batch");
+        let mut lengths = Vec::with_capacity(sessions.len());
+        let mut steps = vec![Matrix::zeros(sessions.len(), dim); t];
+        for (r, s) in sessions.iter().enumerate() {
+            assert!(!s.is_empty(), "session {r} has no activities");
+            let len = s.len().min(max_len);
+            lengths.push(len);
+            for (step, &activity) in s.activities.iter().take(len).enumerate() {
+                steps[step].row_mut(r).copy_from_slice(embeddings.embed(activity));
+            }
+        }
+        Self { steps, lengths }
+    }
+
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Padded sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.steps.first().map_or(0, Matrix::cols)
+    }
+}
+
+/// One-hot encodes labels into an `n x 2` matrix (normal = column 0).
+pub fn one_hot(labels: &[Label]) -> Matrix {
+    let mut m = Matrix::zeros(labels.len(), 2);
+    for (r, l) in labels.iter().enumerate() {
+        m.set(r, l.index(), 1.0);
+    }
+    m
+}
+
+/// Splits `indices` into consecutive mini-batches of at most `batch_size`
+/// (the final batch may be smaller; never empty).
+pub fn batch_indices(indices: &[usize], batch_size: usize) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    indices.chunks(batch_size).map(<[usize]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word2vec::Word2VecConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_embeddings() -> ActivityEmbeddings {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = Session { activities: vec![0, 1, 2, 3, 2, 1], day: 0 };
+        let cfg = Word2VecConfig { dim: 4, epochs: 1, ..Word2VecConfig::default() };
+        ActivityEmbeddings::train(&[&s], 4, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn build_pads_and_truncates() {
+        let emb = tiny_embeddings();
+        let s1 = Session { activities: vec![0, 1], day: 0 };
+        let s2 = Session { activities: vec![1, 2, 3, 0, 1, 2, 3], day: 0 };
+        let batch = SessionBatch::build(&[&s1, &s2], &emb, 5);
+        assert_eq!(batch.batch_size(), 2);
+        assert_eq!(batch.seq_len(), 5); // s2 truncated from 7 to 5
+        assert_eq!(batch.lengths, vec![2, 5]);
+        assert_eq!(batch.dim(), 4);
+        // Padding rows are zero.
+        assert_eq!(batch.steps[3].row(0), &[0.0; 4]);
+        // Valid rows carry the token embedding.
+        assert_eq!(batch.steps[0].row(0), emb.embed(0));
+        assert_eq!(batch.steps[4].row(1), emb.embed(1));
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let m = one_hot(&[Label::Normal, Label::Malicious, Label::Normal]);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.row(0), &[1.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn batch_indices_chunks() {
+        let idx: Vec<usize> = (0..7).collect();
+        let batches = batch_indices(&idx, 3);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0], vec![0, 1, 2]);
+        assert_eq!(batches[2], vec![6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let emb = tiny_embeddings();
+        SessionBatch::build(&[], &emb, 5);
+    }
+}

@@ -1,0 +1,348 @@
+//! CERT-like insider-threat session simulator.
+//!
+//! Reproduces the statistical shape of the CERT r4.2 benchmark [14] used in
+//! §IV-A1: extreme imbalance (48 malicious sessions against ~1.58M normal in
+//! the original; the paper trains on 10,000 normal + 30 malicious), sessions
+//! recorded chronologically over 516 days with a day-460 train/test cut, and
+//! high *session diversity* — four distinct malicious archetypes modeled on
+//! the r4.2 insider scenarios (USB exfiltration, cloud leaking, sabotage,
+//! job-hopper data theft), each of which still spends most of its activities
+//! on benign-looking tokens.
+
+use crate::gen_util::{fill_mixture, length_between, weighted_pick};
+use crate::session::{Corpus, Label, Preset, Session, SplitCorpus, Vocab};
+use rand::Rng;
+
+/// Total days of recorded activity (matches the paper's 516).
+pub const TOTAL_DAYS: u32 = 516;
+/// Last day included in the training period (paper: first 460 days).
+pub const TRAIN_DAY_CUTOFF: u32 = 460;
+
+/// Activity tokens of the simulated CERT log.
+pub const TOKENS: [&str; 26] = [
+    "logon_day",
+    "logon_night",
+    "logoff",
+    "email_send_internal",
+    "email_send_external",
+    "email_attach",
+    "web_news",
+    "web_social",
+    "web_cloud_storage",
+    "web_job_search",
+    "web_leak_site",
+    "web_tech_forum",
+    "file_open_doc",
+    "file_write_doc",
+    "file_copy_to_usb",
+    "file_delete",
+    "usb_connect",
+    "usb_disconnect",
+    "db_query",
+    "build_run",
+    "code_commit",
+    "admin_privilege_cmd",
+    "admin_password_reset",
+    "print_document",
+    "idle",
+    "vpn_connect",
+];
+
+fn tok(name: &str) -> u32 {
+    TOKENS
+        .iter()
+        .position(|&t| t == name)
+        .unwrap_or_else(|| panic!("unknown CERT token {name}")) as u32
+}
+
+/// Split sizes per preset: (train_normal, train_malicious, test_normal,
+/// test_malicious).
+pub fn split_sizes(preset: Preset) -> (usize, usize, usize, usize) {
+    match preset {
+        Preset::Smoke => (160, 12, 60, 8),
+        Preset::Default => (800, 30, 200, 18),
+        Preset::Paper => (10_000, 30, 500, 18),
+    }
+}
+
+/// Generates a CERT-like corpus and applies the paper's chronological split.
+pub fn generate(preset: Preset, rng: &mut impl Rng) -> SplitCorpus {
+    let (tr_n, tr_m, te_n, te_m) = split_sizes(preset);
+    let mut sessions = Vec::new();
+    let mut labels = Vec::new();
+
+    // Normal sessions for the training period (days 0..=459).
+    for _ in 0..tr_n {
+        let day = rng.gen_range(0..TRAIN_DAY_CUTOFF);
+        sessions.push(normal_session(day, rng));
+        labels.push(Label::Normal);
+    }
+    // Normal sessions for the test period (days 460..516).
+    for _ in 0..te_n {
+        let day = rng.gen_range(TRAIN_DAY_CUTOFF..TOTAL_DAYS);
+        sessions.push(normal_session(day, rng));
+        labels.push(Label::Normal);
+    }
+    // Malicious sessions; the paper samples train/test malicious at random,
+    // so days span the whole period.
+    for _ in 0..(tr_m + te_m) {
+        let day = rng.gen_range(0..TOTAL_DAYS);
+        sessions.push(malicious_session(day, rng));
+        labels.push(Label::Malicious);
+    }
+
+    let train: Vec<usize> = (0..tr_n).chain(tr_n + te_n..tr_n + te_n + tr_m).collect();
+    let test: Vec<usize> =
+        (tr_n..tr_n + te_n).chain(tr_n + te_n + tr_m..sessions.len()).collect();
+
+    SplitCorpus {
+        corpus: Corpus {
+            sessions,
+            labels,
+            vocab: Vocab::new(TOKENS.iter().map(|s| s.to_string()).collect()),
+        },
+        train,
+        test,
+    }
+}
+
+/// One of four benign user archetypes.
+fn normal_session(day: u32, rng: &mut impl Rng) -> Session {
+    let mut acts = Vec::new();
+    // 5% of legitimate sessions happen after hours (admins, on-call).
+    let night = rng.gen::<f32>() < 0.05;
+    acts.push(if night { tok("logon_night") } else { tok("logon_day") });
+    if rng.gen::<f32>() < 0.08 {
+        acts.push(tok("vpn_connect"));
+    }
+
+    let body = length_between(6, 22, rng);
+    match weighted_pick(&[0.4, 0.25, 0.15, 0.2], rng) {
+        0 => {
+            // Office worker: email and documents.
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("email_send_internal"),
+                    tok("email_attach"),
+                    tok("file_open_doc"),
+                    tok("file_write_doc"),
+                    tok("web_news"),
+                    tok("print_document"),
+                    tok("idle"),
+                ],
+                &[0.3, 0.08, 0.25, 0.12, 0.12, 0.05, 0.08],
+                body,
+                rng,
+            );
+        }
+        1 => {
+            // Developer: code, builds, tech browsing.
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("code_commit"),
+                    tok("build_run"),
+                    tok("web_tech_forum"),
+                    tok("db_query"),
+                    tok("file_write_doc"),
+                    tok("idle"),
+                ],
+                &[0.28, 0.22, 0.2, 0.12, 0.1, 0.08],
+                body,
+                rng,
+            );
+        }
+        2 => {
+            // Administrator: privileged commands are *normal* for this role,
+            // which is exactly what makes the saboteur archetype hard.
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("admin_privilege_cmd"),
+                    tok("admin_password_reset"),
+                    tok("db_query"),
+                    tok("file_open_doc"),
+                    tok("email_send_internal"),
+                ],
+                &[0.3, 0.12, 0.25, 0.18, 0.15],
+                body,
+                rng,
+            );
+        }
+        _ => {
+            // Sales / outreach: heavy external email and cloud use.
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("email_send_external"),
+                    tok("email_attach"),
+                    tok("web_social"),
+                    tok("web_cloud_storage"),
+                    tok("print_document"),
+                    tok("file_open_doc"),
+                ],
+                &[0.3, 0.12, 0.18, 0.15, 0.08, 0.17],
+                body,
+                rng,
+            );
+        }
+    }
+    acts.push(tok("logoff"));
+    Session { activities: acts, day }
+}
+
+/// One of four insider-threat archetypes (session diversity).
+fn malicious_session(day: u32, rng: &mut impl Rng) -> Session {
+    let mut acts = Vec::new();
+    match weighted_pick(&[0.3, 0.25, 0.2, 0.25], rng) {
+        0 => {
+            // USB exfiltration after hours (r4.2 scenario 1).
+            acts.push(tok("logon_night"));
+            acts.push(tok("usb_connect"));
+            let copies = length_between(5, 12, rng);
+            fill_mixture(
+                &mut acts,
+                &[tok("file_copy_to_usb"), tok("file_open_doc"), tok("idle")],
+                &[0.6, 0.3, 0.1],
+                copies,
+                rng,
+            );
+            acts.push(tok("usb_disconnect"));
+        }
+        1 => {
+            // Cloud leaker: mass document reads + uploads to leak sites.
+            acts.push(tok("logon_day"));
+            let body = length_between(8, 18, rng);
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("file_open_doc"),
+                    tok("web_cloud_storage"),
+                    tok("web_leak_site"),
+                    tok("email_send_external"),
+                    tok("email_attach"),
+                ],
+                &[0.35, 0.25, 0.15, 0.15, 0.1],
+                body,
+                rng,
+            );
+        }
+        2 => {
+            // Saboteur: night logon, privilege escalation, deletion bursts.
+            acts.push(tok("logon_night"));
+            acts.push(tok("admin_privilege_cmd"));
+            let body = length_between(6, 14, rng);
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("file_delete"),
+                    tok("db_query"),
+                    tok("admin_password_reset"),
+                    tok("admin_privilege_cmd"),
+                ],
+                &[0.5, 0.2, 0.15, 0.15],
+                body,
+                rng,
+            );
+        }
+        _ => {
+            // Job hopper (r4.2 scenario 2): job-site browsing plus steady
+            // small-volume theft, mostly camouflaged by office work.
+            acts.push(tok("logon_day"));
+            let body = length_between(8, 20, rng);
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("web_job_search"),
+                    tok("email_send_external"),
+                    tok("file_copy_to_usb"),
+                    tok("file_open_doc"),
+                    tok("email_send_internal"),
+                    tok("web_news"),
+                ],
+                &[0.25, 0.15, 0.15, 0.2, 0.15, 0.1],
+                body,
+                rng,
+            );
+        }
+    }
+    acts.push(tok("logoff"));
+    Session { activities: acts, day }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_matches_preset_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sc = generate(Preset::Smoke, &mut rng);
+        let (trn, trm, ten, tem) = sc.composition();
+        assert_eq!((trn, trm, ten, tem), split_sizes(Preset::Smoke));
+    }
+
+    #[test]
+    fn chronological_split_is_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sc = generate(Preset::Smoke, &mut rng);
+        for &i in &sc.train {
+            if sc.corpus.labels[i] == Label::Normal {
+                assert!(sc.corpus.sessions[i].day < TRAIN_DAY_CUTOFF);
+            }
+        }
+        for &i in &sc.test {
+            if sc.corpus.labels[i] == Label::Normal {
+                assert!(sc.corpus.sessions[i].day >= TRAIN_DAY_CUTOFF);
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_start_with_logon_and_end_with_logoff() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sc = generate(Preset::Smoke, &mut rng);
+        let logon_day = tok("logon_day");
+        let logon_night = tok("logon_night");
+        let logoff = tok("logoff");
+        for s in &sc.corpus.sessions {
+            assert!(s.activities[0] == logon_day || s.activities[0] == logon_night);
+            assert_eq!(*s.activities.last().unwrap(), logoff);
+            assert!(s.len() >= 4 && s.len() <= 32, "session length {}", s.len());
+        }
+    }
+
+    #[test]
+    fn malicious_sessions_are_diverse() {
+        // Session diversity: the malicious class must not collapse to one
+        // token signature. Check that distinct discriminative tokens appear
+        // across the malicious population.
+        let mut rng = StdRng::seed_from_u64(3);
+        let sc = generate(Preset::Default, &mut rng);
+        let mal: Vec<&Session> = sc
+            .corpus
+            .sessions
+            .iter()
+            .zip(&sc.corpus.labels)
+            .filter(|(_, &l)| l == Label::Malicious)
+            .map(|(s, _)| s)
+            .collect();
+        let has = |t: &str| mal.iter().filter(|s| s.activities.contains(&tok(t))).count();
+        assert!(has("usb_connect") > 0);
+        assert!(has("web_leak_site") > 0);
+        assert!(has("file_delete") > 0);
+        assert!(has("web_job_search") > 0);
+        // No single signature token covers everything.
+        assert!(has("usb_connect") < mal.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = generate(Preset::Smoke, &mut StdRng::seed_from_u64(9));
+        let b = generate(Preset::Smoke, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.corpus.sessions, b.corpus.sessions);
+    }
+}

@@ -1,0 +1,64 @@
+//! Private helpers shared by the dataset generators.
+
+use rand::Rng;
+
+/// Picks an index from a weighted table.
+pub(crate) fn weighted_pick(weights: &[f32], rng: &mut impl Rng) -> usize {
+    let total: f32 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weighted_pick needs positive total weight");
+    let mut x = rng.gen::<f32>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Samples a session length uniformly from `[lo, hi]`.
+pub(crate) fn length_between(lo: usize, hi: usize, rng: &mut impl Rng) -> usize {
+    rng.gen_range(lo..=hi)
+}
+
+/// Repeatedly samples tokens from a weighted mixture.
+pub(crate) fn fill_mixture(
+    out: &mut Vec<u32>,
+    tokens: &[u32],
+    weights: &[f32],
+    count: usize,
+    rng: &mut impl Rng,
+) {
+    debug_assert_eq!(tokens.len(), weights.len());
+    for _ in 0..count {
+        out.push(tokens[weighted_pick(weights, rng)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let weights = [0.1, 0.0, 0.9];
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[weighted_pick(&weights, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5, "{counts:?}");
+    }
+
+    #[test]
+    fn fill_mixture_appends_exactly_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = vec![7u32];
+        fill_mixture(&mut out, &[1, 2], &[0.5, 0.5], 10, &mut rng);
+        assert_eq!(out.len(), 11);
+        assert!(out[1..].iter().all(|&t| t == 1 || t == 2));
+    }
+}

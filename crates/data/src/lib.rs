@@ -1,0 +1,39 @@
+//! Session data model, benchmark dataset simulators, label-noise injection,
+//! activity embeddings, and batching for the CLFD reproduction.
+//!
+//! # Datasets
+//!
+//! The paper evaluates on three gated datasets (CERT r4.2, UMD-Wikipedia,
+//! OpenStack). This crate ships *simulators* that reproduce the statistical
+//! properties the algorithms are sensitive to — extreme class imbalance,
+//! session diversity (several distinct malicious archetypes), session-length
+//! distributions, and a chronological train/test split for CERT — without
+//! the gated raw data. See DESIGN.md §1 for the substitution rationale.
+//!
+//! - [`cert`] — insider-threat activity sessions (logon/file/usb/email/http)
+//! - [`umd`] — Wikipedia editor sessions with vandal archetypes
+//! - [`openstack`] — VM-lifecycle log-key sequences with injected anomalies
+//!
+//! # Pipeline
+//!
+//! [`session`] defines the shared data model, [`noise`] injects uniform and
+//! class-dependent label noise (§IV-A2), [`word2vec`] trains skip-gram
+//! activity embeddings (§III: "each activity ... is represented as an
+//! embedding vector that is trained via the word-to-vector model"),
+//! [`augment`] implements the session-reordering augmentation of CLDet [3],
+//! and [`batch`] turns sessions into padded per-timestep matrices.
+
+mod gen_util;
+
+pub mod augment;
+pub mod batch;
+pub mod cert;
+pub mod noise;
+pub mod openstack;
+pub mod session;
+pub mod umd;
+pub mod word2vec;
+
+pub use batch::SessionBatch;
+pub use session::{Corpus, DatasetKind, Label, Preset, Session, SplitCorpus, Vocab};
+pub use word2vec::ActivityEmbeddings;

@@ -1,0 +1,258 @@
+//! Label-noise injection (§IV-A2).
+//!
+//! The paper simulates automated-annotation noise on the ground-truth
+//! training labels: *uniform* noise flips each label with probability η;
+//! *class-dependent* noise flips malicious → normal with probability η10 and
+//! normal → malicious with probability η01 (the paper's Table II uses
+//! η10 = 0.3, η01 = 0.45). Noise rates are constrained below 0.5 so a few
+//! accurately labeled malicious sessions survive.
+
+use crate::session::Label;
+use rand::Rng;
+
+/// Noise model applied to training labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseModel {
+    /// Flip every label with probability `eta`.
+    Uniform {
+        /// Flip probability, in `[0, 0.5)`.
+        eta: f32,
+    },
+    /// Flip malicious → normal with `eta10`, normal → malicious with `eta01`.
+    ClassDependent {
+        /// P(noisy = 0 | true = 1).
+        eta10: f32,
+        /// P(noisy = 1 | true = 0).
+        eta01: f32,
+    },
+}
+
+impl NoiseModel {
+    /// The paper's class-dependent setting (η10 = 0.3, η01 = 0.45).
+    pub const PAPER_CLASS_DEPENDENT: NoiseModel =
+        NoiseModel::ClassDependent { eta10: 0.3, eta01: 0.45 };
+
+    /// The paper's uniform noise grid (Table I rows).
+    pub const PAPER_UNIFORM_GRID: [f32; 4] = [0.1, 0.2, 0.3, 0.45];
+
+    /// Applies the noise model, returning the noisy labels.
+    ///
+    /// # Panics
+    /// Panics if any rate is outside `[0, 0.5)` — the paper constrains noise
+    /// below 0.5 (above it, labels should be inverted first).
+    pub fn apply(self, labels: &[Label], rng: &mut impl Rng) -> Vec<Label> {
+        let check = |r: f32| {
+            assert!(
+                (0.0..0.5).contains(&r),
+                "noise rate {r} outside [0, 0.5); invert labels first"
+            );
+        };
+        match self {
+            NoiseModel::Uniform { eta } => {
+                check(eta);
+                labels
+                    .iter()
+                    .map(|&l| if rng.gen::<f32>() < eta { l.flipped() } else { l })
+                    .collect()
+            }
+            NoiseModel::ClassDependent { eta10, eta01 } => {
+                check(eta10);
+                check(eta01);
+                labels
+                    .iter()
+                    .map(|&l| {
+                        let rate = match l {
+                            Label::Malicious => eta10,
+                            Label::Normal => eta01,
+                        };
+                        if rng.gen::<f32>() < rate {
+                            l.flipped()
+                        } else {
+                            l
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Short description used in experiment reports.
+    pub fn describe(self) -> String {
+        match self {
+            NoiseModel::Uniform { eta } => format!("uniform eta={eta}"),
+            NoiseModel::ClassDependent { eta10, eta01 } => {
+                format!("class-dependent eta10={eta10} eta01={eta01}")
+            }
+        }
+    }
+}
+
+/// Fraction of labels that differ between two labelings.
+pub fn disagreement(a: &[Label], b: &[Label]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let diff = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    diff as f32 / a.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labels(n_normal: usize, n_malicious: usize) -> Vec<Label> {
+        let mut v = vec![Label::Normal; n_normal];
+        v.extend(vec![Label::Malicious; n_malicious]);
+        v
+    }
+
+    #[test]
+    fn uniform_noise_flips_expected_fraction() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let truth = labels(5000, 5000);
+        let noisy = NoiseModel::Uniform { eta: 0.3 }.apply(&truth, &mut rng);
+        let rate = disagreement(&truth, &noisy);
+        assert!((rate - 0.3).abs() < 0.02, "observed flip rate {rate}");
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let truth = labels(100, 100);
+        let noisy = NoiseModel::Uniform { eta: 0.0 }.apply(&truth, &mut rng);
+        assert_eq!(truth, noisy);
+    }
+
+    #[test]
+    fn class_dependent_rates_differ_per_class() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let truth = labels(10_000, 10_000);
+        let noisy = NoiseModel::PAPER_CLASS_DEPENDENT.apply(&truth, &mut rng);
+        let flipped_normal = truth
+            .iter()
+            .zip(&noisy)
+            .filter(|(&t, &n)| t == Label::Normal && n == Label::Malicious)
+            .count() as f32
+            / 10_000.0;
+        let flipped_malicious = truth
+            .iter()
+            .zip(&noisy)
+            .filter(|(&t, &n)| t == Label::Malicious && n == Label::Normal)
+            .count() as f32
+            / 10_000.0;
+        assert!((flipped_normal - 0.45).abs() < 0.02, "eta01 observed {flipped_normal}");
+        assert!((flipped_malicious - 0.3).abs() < 0.02, "eta10 observed {flipped_malicious}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 0.5)")]
+    fn rates_above_half_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        NoiseModel::Uniform { eta: 0.6 }.apply(&labels(2, 2), &mut rng);
+    }
+
+    #[test]
+    fn disagreement_bounds() {
+        let a = labels(2, 2);
+        assert_eq!(disagreement(&a, &a), 0.0);
+        let b: Vec<Label> = a.iter().map(|l| l.flipped()).collect();
+        assert_eq!(disagreement(&a, &b), 1.0);
+    }
+}
+
+/// Session-dependent annotation noise — the paper's first future-work item
+/// ("extend CLFD to model session specific noise rates", §V).
+///
+/// Real heuristic annotators are not uniformly wrong: long, diverse
+/// sessions are harder to label than short stereotyped ones. This model
+/// makes a session's flip probability grow with its length:
+///
+/// ```text
+/// η(s) = clamp(base + slope · (|s| − pivot), 0, 0.49)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionDependentNoise {
+    /// Flip probability at the pivot length.
+    pub base: f32,
+    /// Additional flip probability per activity beyond the pivot.
+    pub slope: f32,
+    /// Session length at which the rate equals `base`.
+    pub pivot: usize,
+}
+
+impl SessionDependentNoise {
+    /// The flip probability for one session.
+    pub fn rate(&self, session: &crate::session::Session) -> f32 {
+        let delta = session.len() as f32 - self.pivot as f32;
+        (self.base + self.slope * delta).clamp(0.0, 0.49)
+    }
+
+    /// Applies the noise to `labels`, where `sessions[i]` carries
+    /// `labels[i]`.
+    pub fn apply(
+        &self,
+        sessions: &[&crate::session::Session],
+        labels: &[Label],
+        rng: &mut impl Rng,
+    ) -> Vec<Label> {
+        assert_eq!(sessions.len(), labels.len());
+        sessions
+            .iter()
+            .zip(labels)
+            .map(|(s, &l)| {
+                if rng.gen::<f32>() < self.rate(s) {
+                    l.flipped()
+                } else {
+                    l
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod session_dependent_tests {
+    use super::*;
+    use crate::session::Session;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn session_of_len(n: usize) -> Session {
+        Session { activities: vec![0; n], day: 0 }
+    }
+
+    #[test]
+    fn rate_grows_with_length_and_clamps() {
+        let m = SessionDependentNoise { base: 0.2, slope: 0.02, pivot: 10 };
+        assert!((m.rate(&session_of_len(10)) - 0.2).abs() < 1e-6);
+        assert!(m.rate(&session_of_len(20)) > m.rate(&session_of_len(10)));
+        assert!(m.rate(&session_of_len(5)) < 0.2);
+        // Clamped at both ends.
+        assert_eq!(m.rate(&session_of_len(1000)), 0.49);
+        let steep = SessionDependentNoise { base: 0.1, slope: 0.5, pivot: 100 };
+        assert_eq!(steep.rate(&session_of_len(1)), 0.0);
+    }
+
+    #[test]
+    fn longer_sessions_flip_more_often() {
+        let m = SessionDependentNoise { base: 0.1, slope: 0.03, pivot: 5 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let short: Vec<Session> = (0..2000).map(|_| session_of_len(3)).collect();
+        let long: Vec<Session> = (0..2000).map(|_| session_of_len(15)).collect();
+        let labels = vec![Label::Normal; 2000];
+        let flips = |sessions: &[Session], rng: &mut StdRng| {
+            let refs: Vec<&Session> = sessions.iter().collect();
+            let noisy = m.apply(&refs, &labels, rng);
+            disagreement(&labels, &noisy)
+        };
+        let short_rate = flips(&short, &mut rng);
+        let long_rate = flips(&long, &mut rng);
+        assert!(
+            long_rate > short_rate + 0.15,
+            "short {short_rate}, long {long_rate}"
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! OpenStack-like VM-lifecycle log session simulator.
+//!
+//! Models the DeepLog OpenStack dataset [16]: each session is the sequence
+//! of log-template ids emitted during one VM's lifecycle. Normal sessions
+//! follow the create → schedule → network → image → spawn → active → ...
+//! → delete grammar (with optional resize / migrate / snapshot detours and
+//! benign single retries). Anomalous sessions violate the grammar: missing
+//! phases, error bursts with repeated retries, out-of-order phases, or
+//! premature termination — exactly the next-key-predictability violations
+//! DeepLog-style detectors score.
+
+use crate::gen_util::{length_between, weighted_pick};
+use crate::session::{Corpus, Label, Preset, Session, SplitCorpus, Vocab};
+use rand::Rng;
+
+/// Log-template tokens of the simulated OpenStack log.
+pub const TOKENS: [&str; 22] = [
+    "api_create_request",
+    "scheduler_select_host",
+    "network_allocate",
+    "image_fetch_start",
+    "image_fetch_done",
+    "spawn_start",
+    "spawn_done",
+    "vm_active",
+    "ping_ok",
+    "volume_attach",
+    "snapshot_start",
+    "snapshot_done",
+    "resize_start",
+    "resize_done",
+    "migrate_start",
+    "migrate_done",
+    "delete_request",
+    "network_deallocate",
+    "delete_done",
+    "error_timeout",
+    "error_not_found",
+    "retry_operation",
+];
+
+fn tok(name: &str) -> u32 {
+    TOKENS
+        .iter()
+        .position(|&t| t == name)
+        .unwrap_or_else(|| panic!("unknown OpenStack token {name}")) as u32
+}
+
+/// Split sizes per preset: (train_normal, train_malicious, test_normal,
+/// test_malicious). `Paper` matches §IV-A1: 10,000 + 60 train, 1,000 + 100
+/// test.
+pub fn split_sizes(preset: Preset) -> (usize, usize, usize, usize) {
+    match preset {
+        Preset::Smoke => (160, 10, 60, 12),
+        Preset::Default => (800, 60, 200, 100),
+        Preset::Paper => (10_000, 60, 1_000, 100),
+    }
+}
+
+/// Generates an OpenStack-like corpus with the paper's split applied.
+pub fn generate(preset: Preset, rng: &mut impl Rng) -> SplitCorpus {
+    let (tr_n, tr_m, te_n, te_m) = split_sizes(preset);
+    let mut sessions = Vec::new();
+    let mut labels = Vec::new();
+    for _ in 0..tr_n + te_n {
+        sessions.push(normal_lifecycle(rng));
+        labels.push(Label::Normal);
+    }
+    for _ in 0..tr_m + te_m {
+        sessions.push(anomalous_lifecycle(rng));
+        labels.push(Label::Malicious);
+    }
+    let train: Vec<usize> = (0..tr_n).chain(tr_n + te_n..tr_n + te_n + tr_m).collect();
+    let test: Vec<usize> =
+        (tr_n..tr_n + te_n).chain(tr_n + te_n + tr_m..sessions.len()).collect();
+    SplitCorpus {
+        corpus: Corpus {
+            sessions,
+            labels,
+            vocab: Vocab::new(TOKENS.iter().map(|s| s.to_string()).collect()),
+        },
+        train,
+        test,
+    }
+}
+
+/// The canonical boot phase shared by every lifecycle.
+fn push_boot(acts: &mut Vec<u32>, rng: &mut impl Rng) {
+    acts.push(tok("api_create_request"));
+    acts.push(tok("scheduler_select_host"));
+    acts.push(tok("network_allocate"));
+    acts.push(tok("image_fetch_start"));
+    // A single benign retry is part of normal operation noise.
+    if rng.gen::<f32>() < 0.08 {
+        acts.push(tok("retry_operation"));
+    }
+    acts.push(tok("image_fetch_done"));
+    acts.push(tok("spawn_start"));
+    acts.push(tok("spawn_done"));
+    acts.push(tok("vm_active"));
+}
+
+fn push_teardown(acts: &mut Vec<u32>) {
+    acts.push(tok("delete_request"));
+    acts.push(tok("network_deallocate"));
+    acts.push(tok("delete_done"));
+}
+
+fn normal_lifecycle(rng: &mut impl Rng) -> Session {
+    let mut acts = Vec::new();
+    push_boot(&mut acts, rng);
+    // Steady-state activity.
+    for _ in 0..length_between(1, 5, rng) {
+        acts.push(tok("ping_ok"));
+    }
+    // Optional mid-life operations, each internally well-ordered.
+    if rng.gen::<f32>() < 0.25 {
+        acts.push(tok("volume_attach"));
+    }
+    match weighted_pick(&[0.55, 0.15, 0.15, 0.15], rng) {
+        0 => {}
+        1 => {
+            acts.push(tok("resize_start"));
+            acts.push(tok("resize_done"));
+        }
+        2 => {
+            acts.push(tok("migrate_start"));
+            acts.push(tok("migrate_done"));
+        }
+        _ => {
+            acts.push(tok("snapshot_start"));
+            acts.push(tok("snapshot_done"));
+        }
+    }
+    for _ in 0..length_between(0, 3, rng) {
+        acts.push(tok("ping_ok"));
+    }
+    push_teardown(&mut acts);
+    Session { activities: acts, day: 0 }
+}
+
+fn anomalous_lifecycle(rng: &mut impl Rng) -> Session {
+    let mut acts = Vec::new();
+    match weighted_pick(&[0.3, 0.3, 0.2, 0.2], rng) {
+        0 => {
+            // Error burst during boot: repeated timeouts and retries.
+            acts.push(tok("api_create_request"));
+            acts.push(tok("scheduler_select_host"));
+            acts.push(tok("network_allocate"));
+            acts.push(tok("image_fetch_start"));
+            for _ in 0..length_between(3, 8, rng) {
+                acts.push(if rng.gen::<f32>() < 0.6 {
+                    tok("error_timeout")
+                } else {
+                    tok("retry_operation")
+                });
+            }
+            // Boot may or may not eventually complete.
+            if rng.gen::<f32>() < 0.4 {
+                acts.push(tok("image_fetch_done"));
+                acts.push(tok("spawn_start"));
+                acts.push(tok("error_timeout"));
+            }
+        }
+        1 => {
+            // Missing phase: spawn reported done without an image fetch, or
+            // delete without network deallocation.
+            acts.push(tok("api_create_request"));
+            acts.push(tok("scheduler_select_host"));
+            if rng.gen::<f32>() < 0.5 {
+                // skip network + image entirely
+                acts.push(tok("spawn_start"));
+                acts.push(tok("spawn_done"));
+                acts.push(tok("vm_active"));
+                for _ in 0..length_between(1, 4, rng) {
+                    acts.push(tok("ping_ok"));
+                }
+                push_teardown(&mut acts);
+            } else {
+                acts.push(tok("network_allocate"));
+                acts.push(tok("image_fetch_start"));
+                acts.push(tok("image_fetch_done"));
+                acts.push(tok("spawn_start"));
+                acts.push(tok("spawn_done"));
+                acts.push(tok("vm_active"));
+                acts.push(tok("delete_request"));
+                acts.push(tok("delete_done")); // network never deallocated
+            }
+        }
+        2 => {
+            // Out-of-order phases (race / controller bug).
+            acts.push(tok("api_create_request"));
+            acts.push(tok("spawn_start"));
+            acts.push(tok("scheduler_select_host"));
+            acts.push(tok("image_fetch_done"));
+            acts.push(tok("image_fetch_start"));
+            acts.push(tok("network_allocate"));
+            acts.push(tok("spawn_done"));
+            acts.push(tok("vm_active"));
+            for _ in 0..length_between(0, 3, rng) {
+                acts.push(tok("ping_ok"));
+            }
+            push_teardown(&mut acts);
+        }
+        _ => {
+            // Mid-life failure: healthy boot, then not-found errors and a
+            // stuck operation.
+            push_boot(&mut acts, rng);
+            for _ in 0..length_between(1, 3, rng) {
+                acts.push(tok("ping_ok"));
+            }
+            let op = if rng.gen::<f32>() < 0.5 { "resize_start" } else { "migrate_start" };
+            acts.push(tok(op));
+            for _ in 0..length_between(2, 6, rng) {
+                acts.push(if rng.gen::<f32>() < 0.5 {
+                    tok("error_not_found")
+                } else {
+                    tok("retry_operation")
+                });
+            }
+            // The matching *_done never arrives.
+        }
+    }
+    Session { activities: acts, day: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_matches_preset_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sc = generate(Preset::Smoke, &mut rng);
+        assert_eq!(sc.composition(), split_sizes(Preset::Smoke));
+    }
+
+    #[test]
+    fn normal_lifecycles_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = normal_lifecycle(&mut rng);
+            let a = &s.activities;
+            assert_eq!(a[0], tok("api_create_request"));
+            assert_eq!(*a.last().unwrap(), tok("delete_done"));
+            // image fetch precedes spawn completion
+            let fetch = a.iter().position(|&t| t == tok("image_fetch_done")).unwrap();
+            let spawn = a.iter().position(|&t| t == tok("spawn_done")).unwrap();
+            assert!(fetch < spawn);
+            // no error tokens in normal lifecycles
+            assert!(!a.contains(&tok("error_timeout")));
+            assert!(!a.contains(&tok("error_not_found")));
+        }
+    }
+
+    #[test]
+    fn anomalies_violate_the_grammar() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut violations = 0;
+        let n = 200;
+        for _ in 0..n {
+            let s = anomalous_lifecycle(&mut rng);
+            let a = &s.activities;
+            let pos = |name: &str| a.iter().position(|&t| t == tok(name));
+            let has_error = a.contains(&tok("error_timeout")) || a.contains(&tok("error_not_found"));
+            let incomplete = *a.last().unwrap() != tok("delete_done");
+            // Ordered-phase invariants a normal lifecycle always satisfies.
+            let before = |x: &str, y: &str| match (pos(x), pos(y)) {
+                (Some(px), Some(py)) => px < py,
+                (None, Some(_)) => false, // y happened without x
+                _ => true,
+            };
+            let out_of_order = !before("image_fetch_start", "image_fetch_done")
+                || !before("image_fetch_done", "spawn_done")
+                || !before("scheduler_select_host", "spawn_start")
+                || !before("network_allocate", "vm_active");
+            let leaked_network = pos("delete_done").is_some()
+                && pos("network_allocate").is_some()
+                && pos("network_deallocate").is_none();
+            if has_error || incomplete || out_of_order || leaked_network {
+                violations += 1;
+            }
+        }
+        // Every anomalous session must violate at least one invariant...
+        assert!(violations as f32 / n as f32 > 0.95, "{violations}/{n}");
+    }
+
+    #[test]
+    fn retry_token_appears_in_both_classes() {
+        // A benign retry exists in normal traffic, so "retry" alone cannot
+        // separate the classes (session diversity / hard negatives).
+        let mut rng = StdRng::seed_from_u64(3);
+        let sc = generate(Preset::Default, &mut rng);
+        let mut counts = [0usize; 2];
+        for (s, &l) in sc.corpus.sessions.iter().zip(&sc.corpus.labels) {
+            if s.activities.contains(&tok("retry_operation")) {
+                counts[l.index()] += 1;
+            }
+        }
+        assert!(counts[0] > 0, "no benign retries");
+        assert!(counts[1] > 0, "no anomalous retries");
+    }
+}

@@ -1,0 +1,270 @@
+//! Shared data model: sessions, labels, corpora, and dataset presets.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth class of a session (§III: 0 = normal, 1 = malicious).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// Legitimate user activity.
+    Normal,
+    /// Fraudulent / malicious activity.
+    Malicious,
+}
+
+impl Label {
+    /// Class index used in one-hot encodings (normal = 0, malicious = 1).
+    pub fn index(self) -> usize {
+        match self {
+            Label::Normal => 0,
+            Label::Malicious => 1,
+        }
+    }
+
+    /// Inverse of [`Label::index`].
+    pub fn from_index(i: usize) -> Self {
+        match i {
+            0 => Label::Normal,
+            1 => Label::Malicious,
+            _ => panic!("label index {i} out of range"),
+        }
+    }
+
+    /// The opposite class.
+    pub fn flipped(self) -> Self {
+        match self {
+            Label::Normal => Label::Malicious,
+            Label::Malicious => Label::Normal,
+        }
+    }
+}
+
+/// One user-activity session: an ordered list of activity-token ids plus the
+/// day it was recorded (used by CERT's chronological split).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Session {
+    /// Activity-token ids (indices into the corpus [`Vocab`]).
+    pub activities: Vec<u32>,
+    /// Recording day (0-based); only meaningful for CERT-like data.
+    pub day: u32,
+}
+
+impl Session {
+    /// Number of activities.
+    pub fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// True for a session with no activities (never produced by generators).
+    pub fn is_empty(&self) -> bool {
+        self.activities.is_empty()
+    }
+}
+
+/// Activity-token vocabulary (id → human-readable name).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocab {
+    names: Vec<String>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from token names.
+    pub fn new(names: Vec<String>) -> Self {
+        Self { names }
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of token `id`.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Id of the token named `name`, if present.
+    pub fn id(&self, name: &str) -> Option<u32> {
+        self.names.iter().position(|n| n == name).map(|i| i as u32)
+    }
+}
+
+/// A labeled collection of sessions sharing one vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// The sessions.
+    pub sessions: Vec<Session>,
+    /// Ground-truth labels, parallel to `sessions`.
+    pub labels: Vec<Label>,
+    /// Activity vocabulary.
+    pub vocab: Vocab,
+}
+
+impl Corpus {
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when the corpus holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Indices of all sessions with the given ground-truth label.
+    pub fn indices_with_label(&self, label: Label) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == label)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Longest session length.
+    pub fn max_session_len(&self) -> usize {
+        self.sessions.iter().map(Session::len).max().unwrap_or(0)
+    }
+}
+
+/// A corpus partitioned into the paper's train/test split.
+///
+/// `train` and `test` are index lists into the corpus; the noisy-label
+/// machinery in [`crate::noise`] operates on the training indices only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitCorpus {
+    /// The underlying corpus.
+    pub corpus: Corpus,
+    /// Training-set session indices.
+    pub train: Vec<usize>,
+    /// Test-set session indices.
+    pub test: Vec<usize>,
+}
+
+impl SplitCorpus {
+    /// Ground-truth labels of the training sessions, in `train` order.
+    pub fn train_labels(&self) -> Vec<Label> {
+        self.train.iter().map(|&i| self.corpus.labels[i]).collect()
+    }
+
+    /// Ground-truth labels of the test sessions, in `test` order.
+    pub fn test_labels(&self) -> Vec<Label> {
+        self.test.iter().map(|&i| self.corpus.labels[i]).collect()
+    }
+
+    /// Count of `(train normal, train malicious, test normal, test malicious)`.
+    pub fn composition(&self) -> (usize, usize, usize, usize) {
+        let count = |idx: &[usize], l: Label| {
+            idx.iter().filter(|&&i| self.corpus.labels[i] == l).count()
+        };
+        (
+            count(&self.train, Label::Normal),
+            count(&self.train, Label::Malicious),
+            count(&self.test, Label::Normal),
+            count(&self.test, Label::Malicious),
+        )
+    }
+}
+
+/// Experiment scale.
+///
+/// `Paper` matches the split sizes of §IV-A1 exactly; `Default` shrinks the
+/// normal-session pools (training a 9-model sweep on a single CPU core) while
+/// preserving the imbalance ratios and all malicious-session counts;
+/// `Smoke` is CI-sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Preset {
+    /// Tiny: seconds per model. For tests and CI.
+    Smoke,
+    /// Laptop scale: minutes for a full table sweep.
+    Default,
+    /// The paper's split sizes (§IV-A1). Hours on CPU.
+    Paper,
+}
+
+/// The three benchmark datasets of the evaluation (§IV-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// CERT r4.2 insider-threat sessions [14].
+    Cert,
+    /// UMD-Wikipedia vandal sessions [15].
+    UmdWikipedia,
+    /// OpenStack VM-lifecycle log sessions [16].
+    OpenStack,
+}
+
+impl DatasetKind {
+    /// All three datasets, in the paper's column order.
+    pub const ALL: [DatasetKind; 3] =
+        [DatasetKind::Cert, DatasetKind::UmdWikipedia, DatasetKind::OpenStack];
+
+    /// Display name matching the paper's table headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Cert => "CERT",
+            DatasetKind::UmdWikipedia => "UMD-Wikipedia",
+            DatasetKind::OpenStack => "Open-Stack",
+        }
+    }
+
+    /// Generates the dataset at the given preset with the paper's split
+    /// recipe applied. Deterministic in `seed`.
+    pub fn generate(self, preset: Preset, seed: u64) -> SplitCorpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            DatasetKind::Cert => crate::cert::generate(preset, &mut rng),
+            DatasetKind::UmdWikipedia => crate::umd::generate(preset, &mut rng),
+            DatasetKind::OpenStack => crate::openstack::generate(preset, &mut rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_round_trip() {
+        assert_eq!(Label::from_index(Label::Normal.index()), Label::Normal);
+        assert_eq!(Label::from_index(Label::Malicious.index()), Label::Malicious);
+        assert_eq!(Label::Normal.flipped(), Label::Malicious);
+        assert_eq!(Label::Malicious.flipped(), Label::Normal);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_index_panics() {
+        Label::from_index(2);
+    }
+
+    #[test]
+    fn vocab_lookup() {
+        let v = Vocab::new(vec!["logon".into(), "logoff".into()]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.name(1), "logoff");
+        assert_eq!(v.id("logon"), Some(0));
+        assert_eq!(v.id("nope"), None);
+    }
+
+    #[test]
+    fn corpus_label_indexing() {
+        let corpus = Corpus {
+            sessions: vec![
+                Session { activities: vec![0], day: 0 },
+                Session { activities: vec![1, 0], day: 1 },
+                Session { activities: vec![0, 1, 0], day: 2 },
+            ],
+            labels: vec![Label::Normal, Label::Malicious, Label::Normal],
+            vocab: Vocab::new(vec!["a".into(), "b".into()]),
+        };
+        assert_eq!(corpus.indices_with_label(Label::Malicious), vec![1]);
+        assert_eq!(corpus.indices_with_label(Label::Normal), vec![0, 2]);
+        assert_eq!(corpus.max_session_len(), 3);
+    }
+}

@@ -1,0 +1,273 @@
+//! UMD-Wikipedia-like vandal session simulator.
+//!
+//! Models the VEWS dataset [15]: edit sessions of Wikipedia users, with
+//! benign editors (article writers, gnomes/fixers, talk-page discussers,
+//! patrollers) and vandal archetypes (rapid-fire page vandalism, page
+//! blanking, link spam, new-page spam, revert wars). Benign and vandal
+//! sessions share most of the edit vocabulary — the classes differ in
+//! composition and burstiness, which is the session-diversity challenge the
+//! paper leans on.
+
+use crate::gen_util::{fill_mixture, length_between, weighted_pick};
+use crate::session::{Corpus, Label, Preset, Session, SplitCorpus, Vocab};
+use rand::Rng;
+
+/// Edit-action tokens of the simulated Wikipedia log.
+pub const TOKENS: [&str; 18] = [
+    "edit_article_minor",
+    "edit_article_major",
+    "edit_same_page_again",
+    "edit_new_page_each_time",
+    "edit_talk_page",
+    "edit_user_page",
+    "edit_meta_page",
+    "create_page",
+    "add_reference",
+    "add_external_link",
+    "remove_content",
+    "blank_page",
+    "revert_other",
+    "revert_own",
+    "upload_media",
+    "search_wiki",
+    "view_history",
+    "post_warning",
+];
+
+fn tok(name: &str) -> u32 {
+    TOKENS
+        .iter()
+        .position(|&t| t == name)
+        .unwrap_or_else(|| panic!("unknown UMD token {name}")) as u32
+}
+
+/// Split sizes per preset: (train_normal, train_malicious, test_normal,
+/// test_malicious). The `Paper` preset matches §IV-A1: 4,486 + 80 train,
+/// 1,000 + 500 test.
+pub fn split_sizes(preset: Preset) -> (usize, usize, usize, usize) {
+    match preset {
+        Preset::Smoke => (160, 12, 60, 30),
+        Preset::Default => (700, 60, 200, 100),
+        Preset::Paper => (4_486, 80, 1_000, 500),
+    }
+}
+
+/// Generates a UMD-Wikipedia-like corpus with the paper's split applied.
+pub fn generate(preset: Preset, rng: &mut impl Rng) -> SplitCorpus {
+    let (tr_n, tr_m, te_n, te_m) = split_sizes(preset);
+    let mut sessions = Vec::new();
+    let mut labels = Vec::new();
+    for _ in 0..tr_n + te_n {
+        sessions.push(benign_session(rng));
+        labels.push(Label::Normal);
+    }
+    for _ in 0..tr_m + te_m {
+        sessions.push(vandal_session(rng));
+        labels.push(Label::Malicious);
+    }
+    let train: Vec<usize> = (0..tr_n).chain(tr_n + te_n..tr_n + te_n + tr_m).collect();
+    let test: Vec<usize> =
+        (tr_n..tr_n + te_n).chain(tr_n + te_n + tr_m..sessions.len()).collect();
+    SplitCorpus {
+        corpus: Corpus {
+            sessions,
+            labels,
+            vocab: Vocab::new(TOKENS.iter().map(|s| s.to_string()).collect()),
+        },
+        train,
+        test,
+    }
+}
+
+fn benign_session(rng: &mut impl Rng) -> Session {
+    let mut acts = Vec::new();
+    let body = length_between(3, 14, rng);
+    match weighted_pick(&[0.35, 0.25, 0.2, 0.2], rng) {
+        0 => {
+            // Article writer: substantive edits with references, often
+            // consecutive edits to the same page.
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("edit_article_major"),
+                    tok("edit_same_page_again"),
+                    tok("add_reference"),
+                    tok("upload_media"),
+                    tok("search_wiki"),
+                ],
+                &[0.3, 0.25, 0.2, 0.08, 0.17],
+                body,
+                rng,
+            );
+        }
+        1 => {
+            // Wiki gnome: many small fixes across different pages.
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("edit_article_minor"),
+                    tok("edit_new_page_each_time"),
+                    tok("add_reference"),
+                    tok("revert_own"),
+                    tok("view_history"),
+                ],
+                &[0.35, 0.25, 0.15, 0.08, 0.17],
+                body,
+                rng,
+            );
+        }
+        2 => {
+            // Discusser: talk and meta pages.
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("edit_talk_page"),
+                    tok("edit_user_page"),
+                    tok("edit_meta_page"),
+                    tok("search_wiki"),
+                    tok("edit_article_minor"),
+                ],
+                &[0.35, 0.15, 0.15, 0.15, 0.2],
+                body,
+                rng,
+            );
+        }
+        _ => {
+            // Patroller: watches history, reverts vandalism, posts warnings.
+            // Note: `revert_other` is *benign* here and malicious in the
+            // revert-war archetype — composition matters, not single tokens.
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("view_history"),
+                    tok("revert_other"),
+                    tok("post_warning"),
+                    tok("edit_talk_page"),
+                ],
+                &[0.35, 0.3, 0.15, 0.2],
+                body,
+                rng,
+            );
+        }
+    }
+    Session { activities: acts, day: 0 }
+}
+
+fn vandal_session(rng: &mut impl Rng) -> Session {
+    let mut acts = Vec::new();
+    match weighted_pick(&[0.3, 0.2, 0.25, 0.15, 0.1], rng) {
+        0 => {
+            // Rapid-fire vandal: fast consecutive edits to new pages each
+            // time (the key VEWS behavioural signal).
+            let body = length_between(4, 12, rng);
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("edit_new_page_each_time"),
+                    tok("remove_content"),
+                    tok("edit_article_minor"),
+                ],
+                &[0.55, 0.3, 0.15],
+                body,
+                rng,
+            );
+        }
+        1 => {
+            // Page blanker.
+            let body = length_between(3, 8, rng);
+            fill_mixture(
+                &mut acts,
+                &[tok("blank_page"), tok("remove_content"), tok("edit_same_page_again")],
+                &[0.45, 0.35, 0.2],
+                body,
+                rng,
+            );
+        }
+        2 => {
+            // Link spammer.
+            let body = length_between(4, 12, rng);
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("add_external_link"),
+                    tok("edit_new_page_each_time"),
+                    tok("edit_article_minor"),
+                ],
+                &[0.5, 0.3, 0.2],
+                body,
+                rng,
+            );
+        }
+        3 => {
+            // New-page spammer.
+            let body = length_between(3, 9, rng);
+            fill_mixture(
+                &mut acts,
+                &[tok("create_page"), tok("add_external_link"), tok("upload_media")],
+                &[0.5, 0.3, 0.2],
+                body,
+                rng,
+            );
+        }
+        _ => {
+            // Revert warrior: repeatedly reverts other users on one page.
+            let body = length_between(4, 10, rng);
+            fill_mixture(
+                &mut acts,
+                &[
+                    tok("revert_other"),
+                    tok("edit_same_page_again"),
+                    tok("edit_talk_page"),
+                ],
+                &[0.5, 0.35, 0.15],
+                body,
+                rng,
+            );
+        }
+    }
+    Session { activities: acts, day: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_matches_preset_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sc = generate(Preset::Smoke, &mut rng);
+        assert_eq!(sc.composition(), split_sizes(Preset::Smoke));
+    }
+
+    #[test]
+    fn paper_preset_matches_section_iv() {
+        assert_eq!(split_sizes(Preset::Paper), (4_486, 80, 1_000, 500));
+    }
+
+    #[test]
+    fn sessions_are_short_edit_bursts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sc = generate(Preset::Smoke, &mut rng);
+        for s in &sc.corpus.sessions {
+            assert!((3..=14).contains(&s.len()), "session length {}", s.len());
+        }
+    }
+
+    #[test]
+    fn token_overlap_between_classes() {
+        // Both classes must use overlapping vocabulary (otherwise the task
+        // degenerates to token lookup and every method saturates).
+        let mut rng = StdRng::seed_from_u64(2);
+        let sc = generate(Preset::Default, &mut rng);
+        let mut seen = [[false; TOKENS.len()]; 2];
+        for (s, &l) in sc.corpus.sessions.iter().zip(&sc.corpus.labels) {
+            for &a in &s.activities {
+                seen[l.index()][a as usize] = true;
+            }
+        }
+        let shared = (0..TOKENS.len()).filter(|&t| seen[0][t] && seen[1][t]).count();
+        assert!(shared >= 5, "only {shared} shared tokens");
+    }
+}

@@ -1,0 +1,241 @@
+//! Skip-gram word2vec with negative sampling for activity embeddings.
+//!
+//! §III of the paper: "Each activity in the session is represented as an
+//! embedding vector that is trained via the word-to-vector model." This
+//! module trains those vectors from the (noisy-label-free) session corpus;
+//! the downstream encoders consume them as fixed inputs.
+
+use crate::session::Session;
+use clfd_tensor::{init, kernels, Matrix};
+use rand::Rng;
+
+/// Skip-gram training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Word2VecConfig {
+    /// Embedding width (the paper uses 50).
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Blend the trained vectors with their (near-orthogonal) random
+    /// initialization. See the note in [`ActivityEmbeddings::train`]; turn
+    /// off only to reproduce the rank-collapse ablation.
+    pub identity_residual: bool,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Self { dim: 50, window: 2, negatives: 5, epochs: 5, lr: 0.025, identity_residual: true }
+    }
+}
+
+/// Trained activity-embedding table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityEmbeddings {
+    matrix: Matrix,
+}
+
+impl ActivityEmbeddings {
+    /// Trains skip-gram embeddings on the given sessions.
+    ///
+    /// # Panics
+    /// Panics if `vocab_size` is zero or a session references a token
+    /// outside the vocabulary.
+    pub fn train(
+        sessions: &[&Session],
+        vocab_size: usize,
+        cfg: &Word2VecConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(vocab_size > 0, "empty vocabulary");
+        let dim = cfg.dim;
+        // Identity-preserving initialization: a Gaussian with σ = 1/√dim
+        // keeps the token space near full rank, so co-occurrence training
+        // *refines* the geometry instead of collapsing every token onto a
+        // dominant direction (which small-corpus SGNS is prone to, and
+        // which would erase session-composition information downstream).
+        let mut input = init::gaussian(vocab_size, dim, 0.0, 1.0 / (dim as f32).sqrt(), rng);
+        let identity_component = input.clone();
+        let mut output = Matrix::zeros(vocab_size, dim);
+
+        // Unigram^0.75 negative-sampling distribution.
+        let mut counts = vec![1.0_f32; vocab_size];
+        for s in sessions {
+            for &a in &s.activities {
+                let a = a as usize;
+                assert!(a < vocab_size, "token {a} outside vocab of {vocab_size}");
+                counts[a] += 1.0;
+            }
+        }
+        let weights: Vec<f32> = counts.iter().map(|c| c.powf(0.75)).collect();
+        let total_weight: f32 = weights.iter().sum();
+        let sample_negative = |rng: &mut dyn rand::RngCore| -> usize {
+            let mut x = (rng.next_u32() as f32 / u32::MAX as f32) * total_weight;
+            for (i, &w) in weights.iter().enumerate() {
+                if x < w {
+                    return i;
+                }
+                x -= w;
+            }
+            vocab_size - 1
+        };
+
+        let sigmoid = |x: f32| 1.0 / (1.0 + (-x).exp());
+        let mut grad_center = vec![0.0_f32; dim];
+        for epoch in 0..cfg.epochs {
+            // Standard word2vec linear learning-rate decay.
+            let lr = cfg.lr * (1.0 - epoch as f32 / cfg.epochs as f32).max(0.1);
+            for s in sessions {
+                let acts = &s.activities;
+                for (pos, &center) in acts.iter().enumerate() {
+                    let center = center as usize;
+                    let lo = pos.saturating_sub(cfg.window);
+                    let hi = (pos + cfg.window).min(acts.len() - 1);
+                    for ctx_pos in lo..=hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = acts[ctx_pos] as usize;
+                        grad_center.iter_mut().for_each(|g| *g = 0.0);
+                        // Positive pair + k negatives, standard SGNS update.
+                        for k in 0..=cfg.negatives {
+                            let (target, label) = if k == 0 {
+                                (context, 1.0)
+                            } else {
+                                (sample_negative(rng), 0.0)
+                            };
+                            if k > 0 && target == context {
+                                continue;
+                            }
+                            let score =
+                                kernels::dot(input.row(center), output.row(target));
+                            let err = (sigmoid(score) - label) * lr;
+                            for d in 0..dim {
+                                grad_center[d] += err * output.get(target, d);
+                            }
+                            for d in 0..dim {
+                                let upd = err * input.get(center, d);
+                                let v = output.get(target, d) - upd;
+                                output.set(target, d, v);
+                            }
+                        }
+                        for d in 0..dim {
+                            let v = input.get(center, d) - grad_center[d];
+                            input.set(center, d, v);
+                        }
+                    }
+                }
+            }
+        }
+        // Final embedding: normalize(trained) + normalize(identity), then
+        // unit-normalize. On a small synthetic corpus the SGNS optimum is
+        // close to low-rank (most tokens share most contexts), which would
+        // erase token identity and with it all session-composition
+        // information downstream. The identity residual — the token's own
+        // random initialization, which is near-orthogonal across tokens —
+        // guarantees pairwise distinctness while keeping the learned
+        // co-occurrence geometry. See DESIGN.md ("word2vec substitution").
+        let trained = input.l2_normalize_rows(1e-9);
+        let matrix = if cfg.identity_residual {
+            let identity = identity_component.l2_normalize_rows(1e-9);
+            trained.add(&identity).l2_normalize_rows(1e-9)
+        } else {
+            trained
+        };
+        Self { matrix }
+    }
+
+    /// Embedding of one token.
+    pub fn embed(&self, token: u32) -> &[f32] {
+        self.matrix.row(token as usize)
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// The full `vocab x dim` table.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Cosine similarity between two tokens' embeddings.
+    pub fn similarity(&self, a: u32, b: u32) -> f32 {
+        kernels::cosine_similarity(self.embed(a), self.embed(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two "topics": tokens 0..4 co-occur, tokens 5..9 co-occur.
+    fn topic_corpus(rng: &mut StdRng) -> Vec<Session> {
+        let mut sessions = Vec::new();
+        for i in 0..400 {
+            let base = if i % 2 == 0 { 0 } else { 5 };
+            let activities: Vec<u32> =
+                (0..12).map(|_| base + rng.gen_range(0..5u32)).collect();
+            sessions.push(Session { activities, day: 0 });
+        }
+        sessions
+    }
+
+    #[test]
+    fn cooccurring_tokens_become_similar() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let corpus = topic_corpus(&mut rng);
+        let refs: Vec<&Session> = corpus.iter().collect();
+        let cfg = Word2VecConfig { dim: 16, epochs: 3, ..Word2VecConfig::default() };
+        let emb = ActivityEmbeddings::train(&refs, 10, &cfg, &mut rng);
+
+        let intra = (emb.similarity(0, 1) + emb.similarity(5, 6)) / 2.0;
+        let inter = (emb.similarity(0, 5) + emb.similarity(1, 6)) / 2.0;
+        assert!(
+            intra > inter + 0.3,
+            "intra-topic similarity {intra} vs inter-topic {inter}"
+        );
+    }
+
+    #[test]
+    fn shapes_and_accessors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Session { activities: vec![0, 1, 2, 1, 0], day: 0 };
+        let cfg = Word2VecConfig { dim: 8, epochs: 1, ..Word2VecConfig::default() };
+        let emb = ActivityEmbeddings::train(&[&s], 3, &cfg, &mut rng);
+        assert_eq!(emb.dim(), 8);
+        assert_eq!(emb.vocab(), 3);
+        assert_eq!(emb.embed(2).len(), 8);
+        assert_eq!(emb.matrix().shape(), (3, 8));
+    }
+
+    #[test]
+    fn training_is_deterministic_in_seed() {
+        let s = Session { activities: vec![0, 1, 2, 3, 2, 1, 0], day: 0 };
+        let cfg = Word2VecConfig { dim: 4, epochs: 2, ..Word2VecConfig::default() };
+        let a = ActivityEmbeddings::train(&[&s], 4, &cfg, &mut StdRng::seed_from_u64(7));
+        let b = ActivityEmbeddings::train(&[&s], 4, &cfg, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocab")]
+    fn out_of_vocab_token_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Session { activities: vec![9], day: 0 };
+        ActivityEmbeddings::train(&[&s], 3, &Word2VecConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the dataset simulators, noise injection, and
+//! batching.
+
+use clfd_data::augment::{session_reorder, token_dropout};
+use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
+use clfd_data::noise::{disagreement, NoiseModel};
+use clfd_data::session::{DatasetKind, Label, Preset, Session};
+use clfd_data::word2vec::{ActivityEmbeddings, Word2VecConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn session_strategy() -> impl Strategy<Value = Session> {
+    proptest::collection::vec(0_u32..20, 1..30)
+        .prop_map(|activities| Session { activities, day: 0 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generator produces the exact split composition of its preset
+    /// and never an empty session, for any seed.
+    #[test]
+    fn generators_respect_composition(seed in 0_u64..500) {
+        for kind in DatasetKind::ALL {
+            let split = kind.generate(Preset::Smoke, seed);
+            let (trn, trm, ten, tem) = split.composition();
+            prop_assert!(trn > 0 && trm > 0 && ten > 0 && tem > 0, "{kind:?}");
+            prop_assert_eq!(split.train.len(), trn + trm);
+            prop_assert_eq!(split.test.len(), ten + tem);
+            prop_assert!(split.corpus.sessions.iter().all(|s| !s.is_empty()));
+            // Every token is within the vocabulary.
+            let vocab = split.corpus.vocab.len() as u32;
+            prop_assert!(split
+                .corpus
+                .sessions
+                .iter()
+                .all(|s| s.activities.iter().all(|&a| a < vocab)));
+            // No index appears in both train and test.
+            prop_assert!(split.train.iter().all(|i| !split.test.contains(i)));
+        }
+    }
+
+    /// Uniform noise flips each label independently: the realized flip rate
+    /// concentrates near η and never exceeds the 0.5 design bound by much.
+    #[test]
+    fn uniform_noise_rate_concentrates(eta in 0.0_f32..0.49, seed in 0_u64..300) {
+        let truth = vec![Label::Normal; 800];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noisy = NoiseModel::Uniform { eta }.apply(&truth, &mut rng);
+        let rate = disagreement(&truth, &noisy);
+        prop_assert!((rate - eta).abs() < 0.08, "eta {eta}, observed {rate}");
+    }
+
+    /// Augmentations preserve the activity multiset (reorder) or produce a
+    /// subset (dropout), and never empty a session.
+    #[test]
+    fn augmentations_are_safe(session in session_strategy(), seed in 0_u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reordered = session_reorder(&session, 3, &mut rng);
+        let mut a = reordered.activities.clone();
+        let mut b = session.activities.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+
+        let dropped = token_dropout(&session, 0.4, &mut rng);
+        prop_assert!(!dropped.activities.is_empty());
+        prop_assert!(dropped.activities.len() <= session.activities.len());
+    }
+
+    /// Batching pads with zeros exactly beyond each session's length and
+    /// one-hot targets are valid distributions.
+    #[test]
+    fn batching_invariants(
+        sessions in proptest::collection::vec(session_strategy(), 1..6),
+        max_len in 1_usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let all: Vec<&Session> = sessions.iter().collect();
+        let cfg = Word2VecConfig { dim: 4, epochs: 1, ..Word2VecConfig::default() };
+        let emb = ActivityEmbeddings::train(&all, 20, &cfg, &mut rng);
+        let batch = SessionBatch::build(&all, &emb, max_len);
+        prop_assert_eq!(batch.batch_size(), sessions.len());
+        prop_assert!(batch.seq_len() <= max_len);
+        for (r, s) in sessions.iter().enumerate() {
+            let len = s.len().min(max_len);
+            prop_assert_eq!(batch.lengths[r], len);
+            for t in len..batch.seq_len() {
+                prop_assert!(batch.steps[t].row(r).iter().all(|&x| x == 0.0));
+            }
+        }
+    }
+
+    /// batch_indices partitions without loss or duplication.
+    #[test]
+    fn batch_indices_partition(n in 1_usize..50, batch in 1_usize..12) {
+        let idx: Vec<usize> = (0..n).collect();
+        let chunks = batch_indices(&idx, batch);
+        let flattened: Vec<usize> = chunks.iter().flatten().copied().collect();
+        prop_assert_eq!(flattened, idx);
+        prop_assert!(chunks.iter().all(|c| !c.is_empty() && c.len() <= batch));
+    }
+
+    /// One-hot rows are exact unit vectors.
+    #[test]
+    fn one_hot_rows_are_unit(labels_bits in proptest::collection::vec(proptest::bool::ANY, 1..20)) {
+        let labels: Vec<Label> = labels_bits
+            .into_iter()
+            .map(|b| if b { Label::Malicious } else { Label::Normal })
+            .collect();
+        let m = one_hot(&labels);
+        for (r, l) in labels.iter().enumerate() {
+            prop_assert_eq!(m.get(r, l.index()), 1.0);
+            prop_assert_eq!(m.row(r).iter().sum::<f32>(), 1.0);
+        }
+    }
+}

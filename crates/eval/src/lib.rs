@@ -1,0 +1,19 @@
+//! Metrics, the experiment runner, and paper-style reporting for the CLFD
+//! reproduction.
+//!
+//! - [`metrics`] — F1 / FPR / AUC-ROC / TPR / TNR and `mean ± std`
+//!   aggregation (§IV-A2's metric set).
+//! - [`runner`] — seeded multi-run sweeps of any
+//!   [`SessionClassifier`](clfd_baselines::SessionClassifier) over the
+//!   dataset × noise grid, plus the Table III corrector-quality runner and
+//!   the Tables IV/V ablation row list.
+//! - [`report`] — markdown table rendering matching the paper's layouts.
+
+pub mod metrics;
+pub mod parallel;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{auc_roc, ConfusionMatrix, MeanStd, RunMetrics};
+pub use parallel::{run_cells_parallel, SweepCell};
+pub use runner::{run_cell, run_corrector_quality, CellResult, CorrectorResult, ExperimentSpec};

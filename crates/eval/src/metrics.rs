@@ -1,0 +1,244 @@
+//! Detection metrics: F1, FPR, AUC-ROC, TPR, TNR (§IV-A2 uses the first
+//! three for Tables I/II/IV/V and TPR/TNR for Table III).
+
+use clfd::Prediction;
+use clfd_data::session::Label;
+use clfd_tensor::stats::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion counts with the malicious class as "positive".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Malicious predicted malicious.
+    pub tp: usize,
+    /// Normal predicted malicious.
+    pub fp: usize,
+    /// Normal predicted normal.
+    pub tn: usize,
+    /// Malicious predicted normal.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against ground truth.
+    pub fn from_predictions(preds: &[Prediction], truth: &[Label]) -> Self {
+        Self::from_labels(
+            &preds.iter().map(|p| p.label).collect::<Vec<_>>(),
+            truth,
+        )
+    }
+
+    /// Tallies label pairs.
+    pub fn from_labels(predicted: &[Label], truth: &[Label]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "length mismatch");
+        let mut cm = Self::default();
+        for (&p, &t) in predicted.iter().zip(truth) {
+            match (p, t) {
+                (Label::Malicious, Label::Malicious) => cm.tp += 1,
+                (Label::Malicious, Label::Normal) => cm.fp += 1,
+                (Label::Normal, Label::Normal) => cm.tn += 1,
+                (Label::Normal, Label::Malicious) => cm.fn_ += 1,
+            }
+        }
+        cm
+    }
+
+    /// Precision of the malicious class; 0 when nothing was predicted
+    /// malicious.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall of the malicious class (= TPR); 0 when no malicious exists.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// True positive rate (Table III).
+    pub fn tpr(&self) -> f64 {
+        self.recall()
+    }
+
+    /// True negative rate (Table III).
+    pub fn tnr(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// False positive rate (Tables I/II; lower is better).
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// F1 of the malicious class; 0 when precision + recall is 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Plain accuracy.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.tp + self.tn + self.fp + self.fn_)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) statistic with
+/// midrank tie handling. Scores are "probability of malicious"; returns 0.5
+/// when either class is absent.
+pub fn auc_roc(scores: &[f32], truth: &[Label]) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "length mismatch");
+    let n_pos = truth.iter().filter(|&&l| l == Label::Malicious).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Midranks.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0_f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = truth
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l == Label::Malicious)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// The three table metrics of one evaluation run, in percent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// F1 of the malicious class (%).
+    pub f1: f64,
+    /// False positive rate (%).
+    pub fpr: f64,
+    /// AUC-ROC (%).
+    pub auc_roc: f64,
+}
+
+impl RunMetrics {
+    /// Computes the Table-I metric triple from predictions + ground truth.
+    pub fn compute(preds: &[Prediction], truth: &[Label]) -> Self {
+        let cm = ConfusionMatrix::from_predictions(preds, truth);
+        let scores: Vec<f32> = preds.iter().map(|p| p.malicious_score).collect();
+        Self {
+            f1: cm.f1() * 100.0,
+            fpr: cm.fpr() * 100.0,
+            auc_roc: auc_roc(&scores, truth) * 100.0,
+        }
+    }
+}
+
+/// `mean ± std` over repeated runs, matching the paper's cell format.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Mean of the runs.
+    pub mean: f64,
+    /// Population standard deviation of the runs.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Aggregates raw values.
+    pub fn of(values: &[f64]) -> Self {
+        let s: RunningStats = values.iter().copied().collect();
+        Self { mean: s.mean(), std: s.std() }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}±{:.1}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(spec: &[(Label, Label)]) -> (Vec<Label>, Vec<Label>) {
+        (
+            spec.iter().map(|&(p, _)| p).collect(),
+            spec.iter().map(|&(_, t)| t).collect(),
+        )
+    }
+
+    #[test]
+    fn confusion_counts() {
+        use Label::{Malicious as M, Normal as N};
+        let (pred, truth) =
+            labels(&[(M, M), (M, N), (N, N), (N, M), (M, M), (N, N)]);
+        let cm = ConfusionMatrix::from_labels(&pred, &truth);
+        assert_eq!(cm, ConfusionMatrix { tp: 2, fp: 1, tn: 2, fn_: 1 });
+        assert!((cm.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.fpr() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cm.tnr() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_confusions_are_zero_not_nan() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.fpr(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        use Label::{Malicious as M, Normal as N};
+        let truth = vec![N, N, M, M];
+        assert!((auc_roc(&[0.1, 0.2, 0.8, 0.9], &truth) - 1.0).abs() < 1e-12);
+        assert!((auc_roc(&[0.9, 0.8, 0.2, 0.1], &truth) - 0.0).abs() < 1e-12);
+        assert!((auc_roc(&[0.5, 0.5, 0.5, 0.5], &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_ties_with_midranks() {
+        use Label::{Malicious as M, Normal as N};
+        // One tie spanning both classes: AUC counts it as half.
+        let truth = vec![N, M, M];
+        let auc = auc_roc(&[0.5, 0.5, 0.9], &truth);
+        assert!((auc - 0.75).abs() < 1e-12, "auc {auc}");
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(auc_roc(&[0.1, 0.9], &[Label::Normal, Label::Normal]), 0.5);
+    }
+
+    #[test]
+    fn mean_std_formatting() {
+        let m = MeanStd::of(&[70.0, 80.0, 90.0]);
+        assert!((m.mean - 80.0).abs() < 1e-12);
+        assert!(m.std > 8.0 && m.std < 8.5);
+        assert_eq!(format!("{m}"), "80.00±8.2");
+    }
+}

@@ -1,0 +1,153 @@
+//! Paper-style table rendering for experiment results.
+
+use crate::metrics::MeanStd;
+use crate::runner::{CellResult, CorrectorResult};
+
+/// Renders a Table-I/II-style comparison: one row per (model, noise-level),
+/// with F1 / FPR / AUC-ROC columns grouped per dataset.
+///
+/// `cells` may arrive in any order; rows are grouped by model (in first-seen
+/// order) then noise (in first-seen order), columns by dataset (first-seen).
+pub fn comparison_table(title: &str, cells: &[CellResult]) -> String {
+    let mut datasets: Vec<String> = Vec::new();
+    let mut models: Vec<String> = Vec::new();
+    let mut noises: Vec<String> = Vec::new();
+    for c in cells {
+        if !datasets.contains(&c.dataset) {
+            datasets.push(c.dataset.clone());
+        }
+        if !models.contains(&c.model) {
+            models.push(c.model.clone());
+        }
+        if !noises.contains(&c.noise) {
+            noises.push(c.noise.clone());
+        }
+    }
+    let find = |model: &str, noise: &str, dataset: &str| {
+        cells
+            .iter()
+            .find(|c| c.model == model && c.noise == noise && c.dataset == dataset)
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n\n"));
+    out.push_str("| Model | Noise |");
+    for d in &datasets {
+        out.push_str(&format!(" {d} F1 | {d} FPR | {d} AUC-ROC |"));
+    }
+    out.push('\n');
+    out.push_str("|---|---|");
+    for _ in &datasets {
+        out.push_str("---|---|---|");
+    }
+    out.push('\n');
+    for m in &models {
+        for n in &noises {
+            out.push_str(&format!("| {m} | {n} |"));
+            for d in &datasets {
+                match find(m, n, d) {
+                    Some(c) => out.push_str(&format!(
+                        " {} | {} | {} |",
+                        c.f1, c.fpr, c.auc_roc
+                    )),
+                    None => out.push_str(" - | - | - |"),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders Table III (label-corrector TPR/TNR per dataset × noise).
+pub fn corrector_table(title: &str, rows: &[CorrectorResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n\n"));
+    out.push_str("| Dataset | Noise | TPR | TNR |\n|---|---|---|---|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            r.dataset, r.noise, r.tpr, r.tnr
+        ));
+    }
+    out
+}
+
+/// Renders the training-latency comparison (§IV-B3).
+pub fn latency_table(title: &str, rows: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n\n"));
+    out.push_str("| Model | Seconds per run | Relative to fastest |\n|---|---|---|\n");
+    let fastest = rows
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-9);
+    for (name, secs) in rows {
+        out.push_str(&format!(
+            "| {name} | {secs:.1} | {:.1}x |\n",
+            secs / fastest
+        ));
+    }
+    out
+}
+
+/// Formats a single mean±std value the way the paper's cells read.
+pub fn cell(value: MeanStd) -> String {
+    value.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_cell(model: &str, dataset: &str, noise: &str, f1: f64) -> CellResult {
+        CellResult {
+            model: model.into(),
+            dataset: dataset.into(),
+            noise: noise.into(),
+            f1: MeanStd { mean: f1, std: 1.0 },
+            fpr: MeanStd { mean: 5.0, std: 0.5 },
+            auc_roc: MeanStd { mean: 80.0, std: 2.0 },
+            seconds_per_run: 1.0,
+        }
+    }
+
+    #[test]
+    fn comparison_table_has_all_rows_and_columns() {
+        let cells = vec![
+            mk_cell("CLFD", "CERT", "eta=0.1", 77.9),
+            mk_cell("CLFD", "UMD", "eta=0.1", 75.2),
+            mk_cell("DivMix", "CERT", "eta=0.1", 37.7),
+        ];
+        let t = comparison_table("Table I", &cells);
+        assert!(t.contains("CERT F1"));
+        assert!(t.contains("UMD F1"));
+        assert!(t.contains("| CLFD | eta=0.1 | 77.90±1.0"));
+        assert!(t.contains("| DivMix | eta=0.1 | 37.70±1.0"));
+        // Missing cell renders as a dash.
+        assert!(t.contains(" - | - | - |"));
+    }
+
+    #[test]
+    fn latency_table_is_relative_to_fastest() {
+        let t = latency_table(
+            "Latency",
+            &[("CLFD".into(), 40.0), ("DeepLog".into(), 10.0)],
+        );
+        assert!(t.contains("| CLFD | 40.0 | 4.0x |"));
+        assert!(t.contains("| DeepLog | 10.0 | 1.0x |"));
+    }
+
+    #[test]
+    fn corrector_table_lists_rows() {
+        let rows = vec![CorrectorResult {
+            dataset: "CERT".into(),
+            noise: "uniform eta=0.45".into(),
+            tpr: MeanStd { mean: 70.2, std: 2.3 },
+            tnr: MeanStd { mean: 90.7, std: 1.7 },
+        }];
+        let t = corrector_table("Table III", &rows);
+        assert!(t.contains("| CERT | uniform eta=0.45 | 70.20±2.3 | 90.70±1.7 |"));
+    }
+}

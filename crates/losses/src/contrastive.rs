@@ -1,0 +1,361 @@
+//! Contrastive losses: SimCLR NT-Xent and the supervised contrastive
+//! family of Eq. 5/6 with the §VII variants.
+//!
+//! All variants share the same machinery: L2-normalize the embeddings,
+//! compute pairwise cosine similarities, mask the diagonal, take a row-wise
+//! log-softmax (which *is* Eq. 6 for every candidate pair at once), and
+//! contract with a constant weight matrix that encodes which pairs are
+//! positives and how much they count. The weight matrix is where the
+//! paper's contribution lives: `c_i · c_p` down-weights pairs the label
+//! corrector is uncertain about.
+
+use clfd_autograd::{Tape, Var};
+use clfd_data::session::Label;
+use clfd_tensor::kernels;
+use clfd_tensor::Matrix;
+
+/// Large negative constant masking self-similarities before the softmax.
+const SELF_MASK: f32 = -1e9;
+
+/// Which supervised contrastive batch loss to build (§VII).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SupConVariant {
+    /// The paper's confidence-weighted `L_Sup` (Eq. 5): pair weight `c_i c_p`.
+    Weighted,
+    /// Unweighted `L_Sup^uw` (Eq. 18): pair weight 1.
+    Unweighted,
+    /// Filtered `L_Sup^ftr` (Eq. 20): pair weight `1[c_i c_p > τ]`.
+    Filtered {
+        /// Joint-confidence threshold τ.
+        tau: f32,
+    },
+}
+
+/// Builds the similarity → masked log-softmax pipeline shared by all
+/// contrastive losses. Returns the `n x n` log-probability node.
+fn log_softmax_similarities(tape: &mut Tape, z: Var, temperature: f32) -> Var {
+    assert!(temperature > 0.0, "temperature must be positive");
+    let zn = tape.row_l2_normalize(z, 1e-12);
+    let sims = tape.matmul_transpose(zn, zn);
+    let scaled = tape.scale(sims, 1.0 / temperature);
+    let n = tape.value(scaled).rows();
+    let mask = tape.constant(Matrix::from_fn(n, n, |r, c| {
+        if r == c {
+            SELF_MASK
+        } else {
+            0.0
+        }
+    }));
+    let masked = tape.add(scaled, mask);
+    tape.log_softmax_rows(masked)
+}
+
+/// SimCLR NT-Xent loss over a `2N x d` batch where rows `i` and `i + N` are
+/// the two augmented views of sample `i` (used to pre-train the label
+/// corrector's encoder, §III-A).
+pub fn nt_xent(tape: &mut Tape, z: Var, temperature: f32) -> Var {
+    let n2 = tape.value(z).rows();
+    assert!(n2 >= 4 && n2 % 2 == 0, "NT-Xent needs an even batch of ≥ 4 views");
+    let n = n2 / 2;
+    let logp = log_softmax_similarities(tape, z, temperature);
+    let weights = Matrix::from_fn(n2, n2, |r, c| {
+        let positive = if r < n { r + n } else { r - n };
+        if c == positive {
+            -1.0 / n2 as f32
+        } else {
+            0.0
+        }
+    });
+    tape.weighted_sum_all(logp, weights)
+}
+
+/// Supervised contrastive batch loss over `z` (`(R + M) x d`, the batch `S`
+/// followed by the auxiliary malicious batch `S¹` of §III-B1).
+///
+/// Only the first `anchors` rows (the batch `S`) act as anchors, exactly as
+/// in Eq. 5; every row participates as a candidate positive/negative.
+/// `labels` are the corrected labels and `confidences` the label-corrector
+/// softmax confidences `c_i` for all rows.
+///
+/// Anchors with an empty positive set `B(x_i)` contribute nothing. If *no*
+/// anchor has positives the loss is a constant zero node.
+pub fn sup_con_batch(
+    tape: &mut Tape,
+    z: Var,
+    labels: &[Label],
+    confidences: &[f32],
+    anchors: usize,
+    temperature: f32,
+    variant: SupConVariant,
+) -> Var {
+    let n = tape.value(z).rows();
+    assert_eq!(labels.len(), n, "one label per row");
+    assert_eq!(confidences.len(), n, "one confidence per row");
+    assert!(anchors >= 1 && anchors <= n, "anchors must be in 1..=n");
+    debug_assert!(
+        confidences.iter().all(|&c| (0.0..=1.0).contains(&c)),
+        "confidences are softmax outputs"
+    );
+
+    let logp = log_softmax_similarities(tape, z, temperature);
+    let mut weights = Matrix::zeros(n, n);
+    for i in 0..anchors {
+        let b_size = (0..n).filter(|&j| j != i && labels[j] == labels[i]).count();
+        if b_size == 0 {
+            continue;
+        }
+        let norm = 1.0 / (anchors as f32 * b_size as f32);
+        for j in 0..n {
+            if j == i || labels[j] != labels[i] {
+                continue;
+            }
+            let pair_weight = match variant {
+                SupConVariant::Weighted => confidences[i] * confidences[j],
+                SupConVariant::Unweighted => 1.0,
+                SupConVariant::Filtered { tau } => {
+                    if confidences[i] * confidences[j] > tau {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            weights.set(i, j, -pair_weight * norm);
+        }
+    }
+    tape.weighted_sum_all(logp, weights)
+}
+
+/// Scalar value of the individual pair loss `l_Sup(z_i, z_p)` of Eq. 6,
+/// computed directly from an embedding matrix (for tests and the Theorem 5
+/// numeric check). The candidate set `A(x_i)` is every row except `i`.
+pub fn sup_con_pair(z: &Matrix, i: usize, p: usize, temperature: f32) -> f32 {
+    assert!(i != p, "a pair needs two distinct sessions");
+    let n = z.rows();
+    let zn = z.l2_normalize_rows(1e-12);
+    let sim = |a: usize, b: usize| kernels::dot(zn.row(a), zn.row(b)) / temperature;
+    let mut denom = 0.0_f32;
+    for j in 0..n {
+        if j != i {
+            denom += sim(i, j).exp();
+        }
+    }
+    -(sim(i, p).exp() / denom).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn embeddings(rows: usize, dim: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        init::uniform(rows, dim, -1.0, 1.0, &mut rng)
+    }
+
+    fn on_tape(values: Matrix) -> (Tape, Var) {
+        let mut tape = Tape::new();
+        let z = tape.param(values);
+        tape.seal();
+        (tape, z)
+    }
+
+    #[test]
+    fn nt_xent_lower_for_aligned_views() {
+        // Batch where views are identical (perfectly aligned) must score a
+        // lower loss than a batch of random pairings.
+        let half = embeddings(3, 4, 0);
+        let aligned = half.vstack(&half);
+        let (mut tape, z) = on_tape(aligned);
+        let aligned_loss = {
+            let l = nt_xent(&mut tape, z, 1.0);
+            tape.scalar(l)
+        };
+        let (mut tape2, z2) = on_tape(embeddings(6, 4, 99));
+        let random_loss = {
+            let l = nt_xent(&mut tape2, z2, 1.0);
+            tape2.scalar(l)
+        };
+        assert!(
+            aligned_loss < random_loss,
+            "aligned {aligned_loss} vs random {random_loss}"
+        );
+    }
+
+    #[test]
+    fn nt_xent_gradient_pulls_views_together() {
+        // One SGD step on NT-Xent must increase the cosine similarity of the
+        // two views of a sample.
+        let mut values = embeddings(4, 3, 1);
+        // make views of sample 0 clearly misaligned
+        values.row_mut(0).copy_from_slice(&[1.0, 0.0, 0.0]);
+        values.row_mut(2).copy_from_slice(&[0.0, 1.0, 0.0]);
+        let before = kernels::cosine_similarity(values.row(0), values.row(2));
+        let (mut tape, z) = on_tape(values);
+        let loss = nt_xent(&mut tape, z, 0.5);
+        tape.backward(loss);
+        let g = tape.grad(z);
+        tape.value_mut(z).add_scaled(&g, -0.5);
+        let v = tape.value(z);
+        let after = kernels::cosine_similarity(v.row(0), v.row(2));
+        assert!(after > before, "similarity {before} -> {after}");
+    }
+
+    #[test]
+    fn sup_con_weighted_matches_pair_loss_composition() {
+        // Eq. 5 must equal (1/R) Σ_i (1/|B_i|) Σ_p (c_i c_p) l_sup(i, p).
+        let values = embeddings(5, 4, 2);
+        let labels = vec![
+            Label::Normal,
+            Label::Normal,
+            Label::Malicious,
+            Label::Malicious,
+            Label::Malicious,
+        ];
+        let conf = vec![0.9, 0.8, 0.95, 0.7, 0.6];
+        let anchors = 4; // last row is auxiliary-only
+        let (mut tape, z) = on_tape(values.clone());
+        let loss = sup_con_batch(
+            &mut tape,
+            z,
+            &labels,
+            &conf,
+            anchors,
+            1.0,
+            SupConVariant::Weighted,
+        );
+        let got = tape.scalar(loss);
+
+        let mut expected = 0.0;
+        for i in 0..anchors {
+            let b: Vec<usize> = (0..5)
+                .filter(|&j| j != i && labels[j] == labels[i])
+                .collect();
+            if b.is_empty() {
+                continue;
+            }
+            let mut inner = 0.0;
+            for &p in &b {
+                inner += conf[i] * conf[p] * sup_con_pair(&values, i, p, 1.0);
+            }
+            expected += inner / b.len() as f32;
+        }
+        expected /= anchors as f32;
+        assert!((got - expected).abs() < 1e-4, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn unweighted_equals_weighted_at_full_confidence() {
+        let values = embeddings(6, 4, 3);
+        let labels = vec![
+            Label::Normal,
+            Label::Malicious,
+            Label::Normal,
+            Label::Malicious,
+            Label::Normal,
+            Label::Malicious,
+        ];
+        let full = vec![1.0; 6];
+        let (mut tape, z) = on_tape(values.clone());
+        let w = sup_con_batch(&mut tape, z, &labels, &full, 6, 1.0, SupConVariant::Weighted);
+        let wv = tape.scalar(w);
+        let (mut tape2, z2) = on_tape(values);
+        let u = sup_con_batch(&mut tape2, z2, &labels, &full, 6, 1.0, SupConVariant::Unweighted);
+        assert!((wv - tape2.scalar(u)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn low_confidence_pairs_are_down_weighted() {
+        // Gradient magnitude through a low-confidence anchor must shrink
+        // relative to the unweighted loss (§VII's improper-learning-effect
+        // reduction).
+        let values = embeddings(4, 3, 4);
+        let labels =
+            vec![Label::Normal, Label::Normal, Label::Malicious, Label::Malicious];
+        let uncertain = vec![0.51, 0.52, 0.9, 0.9]; // corrector unsure on class 0
+        let grad_on_row0 = |variant: SupConVariant, conf: &[f32]| -> f32 {
+            let (mut tape, z) = on_tape(values.clone());
+            let loss = sup_con_batch(&mut tape, z, &labels, conf, 4, 1.0, variant);
+            tape.backward(loss);
+            let g = tape.grad(z);
+            g.row(0).iter().map(|x| x * x).sum::<f32>().sqrt()
+        };
+        let weighted = grad_on_row0(SupConVariant::Weighted, &uncertain);
+        let unweighted = grad_on_row0(SupConVariant::Unweighted, &uncertain);
+        assert!(
+            weighted < unweighted * 0.5,
+            "weighted grad {weighted} not damped vs {unweighted}"
+        );
+    }
+
+    #[test]
+    fn filtered_discards_below_threshold() {
+        let values = embeddings(4, 3, 5);
+        let labels =
+            vec![Label::Normal, Label::Normal, Label::Malicious, Label::Malicious];
+        let conf = vec![0.6, 0.6, 0.99, 0.99];
+        // τ = 0.5: the normal pair (joint confidence 0.36) is filtered out;
+        // the malicious pair (0.98) survives. Verify Eq. 20 exactly against
+        // the indicator-weighted pair-loss composition.
+        let (mut tape, z) = on_tape(values.clone());
+        let loss = sup_con_batch(
+            &mut tape,
+            z,
+            &labels,
+            &conf,
+            4,
+            1.0,
+            SupConVariant::Filtered { tau: 0.5 },
+        );
+        let got = tape.scalar(loss);
+        let mut expected = 0.0_f32;
+        for i in 0..4 {
+            let b: Vec<usize> =
+                (0..4).filter(|&j| j != i && labels[j] == labels[i]).collect();
+            if b.is_empty() {
+                continue;
+            }
+            let inner: f32 = b
+                .iter()
+                .filter(|&&p| conf[i] * conf[p] > 0.5)
+                .map(|&p| sup_con_pair(&values, i, p, 1.0))
+                .sum();
+            expected += inner / b.len() as f32;
+        }
+        expected /= 4.0;
+        assert!((got - expected).abs() < 1e-4, "{got} vs {expected}");
+        // The filtered loss must only count the malicious anchors' pairs.
+        assert!(got > 0.0);
+    }
+
+    #[test]
+    fn anchors_without_positives_contribute_nothing() {
+        let values = embeddings(3, 3, 6);
+        // Single normal anchor, no same-class partner anywhere.
+        let labels = vec![Label::Normal, Label::Malicious, Label::Malicious];
+        let (mut tape, z) = on_tape(values);
+        let loss = sup_con_batch(
+            &mut tape,
+            z,
+            &labels,
+            &[1.0, 1.0, 1.0],
+            1,
+            1.0,
+            SupConVariant::Weighted,
+        );
+        assert_eq!(tape.scalar(loss), 0.0);
+    }
+
+    #[test]
+    fn pair_loss_decreases_with_similarity() {
+        let mut z = Matrix::zeros(3, 2);
+        z.row_mut(0).copy_from_slice(&[1.0, 0.0]);
+        z.row_mut(1).copy_from_slice(&[0.9, 0.1]); // close to row 0
+        z.row_mut(2).copy_from_slice(&[-1.0, 0.0]); // opposite
+        let close = sup_con_pair(&z, 0, 1, 1.0);
+        let far = sup_con_pair(&z, 0, 2, 1.0);
+        assert!(close < far, "close {close} vs far {far}");
+    }
+}

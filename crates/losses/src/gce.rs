@@ -1,0 +1,321 @@
+//! Generalized Cross-Entropy (GCE) and reference classification losses.
+//!
+//! The vanilla GCE loss (Zhang & Sabuncu [13], the paper's Eq. 1) for a
+//! softmax output `f(v)` and (possibly soft / mixed) target `m` is
+//!
+//! ```text
+//! l_GCE(f(v), m) = Σ_k (m_k / q) (1 − f_k(v)^q),   q ∈ (0, 1]
+//! ```
+//!
+//! `q → 0` recovers categorical cross-entropy (Theorem 1), `q = 1` is the
+//! MAE/unhinged loss. The paper's **mixup GCE** (Eq. 2–3) is this same
+//! functional applied to mixup-interpolated representations and targets —
+//! the mixing itself lives in [`crate::mixup`], so every function here
+//! accepts an arbitrary row-stochastic target matrix.
+
+use clfd_autograd::{Tape, Var};
+use clfd_tensor::Matrix;
+
+fn validate_targets(tape: &Tape, logits: Var, targets: &Matrix) {
+    let shape = tape.value(logits).shape();
+    assert_eq!(
+        shape,
+        targets.shape(),
+        "targets shape {:?} must match logits shape {shape:?}",
+        targets.shape()
+    );
+    debug_assert!(
+        targets.as_slice().iter().all(|&t| (0.0..=1.0).contains(&t)),
+        "targets must be class probabilities"
+    );
+}
+
+/// Mean GCE loss (Eq. 1 averaged per Eq. 3) of a batch.
+///
+/// `logits` is `n x k`; `targets` holds one-hot or mixed class
+/// probabilities. Returns a scalar node; the exact loss *value* (not just
+/// its gradient) is reproduced, including the target-dependent constant.
+///
+/// # Panics
+/// Panics unless `0 < q ≤ 1`.
+pub fn gce_loss(tape: &mut Tape, logits: Var, targets: &Matrix, q: f32) -> Var {
+    assert!(q > 0.0 && q <= 1.0, "GCE exponent q must be in (0, 1], got {q}");
+    validate_targets(tape, logits, targets);
+    let n = targets.rows() as f32;
+    let p = tape.softmax_rows(logits);
+    let pq = tape.pow(p, q);
+    // Σ m/q (1 − p^q) / n  =  Σ m / (q n)  −  <p^q, m / (q n)>.
+    let constant = targets.sum() / (q * n);
+    let weighted = tape.weighted_sum_all(pq, targets.scale(-1.0 / (q * n)));
+    tape.add_scalar(weighted, constant)
+}
+
+/// Mean categorical cross-entropy: `−Σ m_k log f_k(v)`, averaged over rows.
+pub fn cce_loss(tape: &mut Tape, logits: Var, targets: &Matrix) -> Var {
+    validate_targets(tape, logits, targets);
+    let n = targets.rows() as f32;
+    let logp = tape.log_softmax_rows(logits);
+    tape.weighted_sum_all(logp, targets.scale(-1.0 / n))
+}
+
+/// Mean MAE/unhinged loss: `Σ m_k (1 − f_k(v))`, averaged over rows.
+pub fn mae_loss(tape: &mut Tape, logits: Var, targets: &Matrix) -> Var {
+    validate_targets(tape, logits, targets);
+    let n = targets.rows() as f32;
+    let p = tape.softmax_rows(logits);
+    let constant = targets.sum() / n;
+    let weighted = tape.weighted_sum_all(p, targets.scale(-1.0 / n));
+    tape.add_scalar(weighted, constant)
+}
+
+/// Mean cross-entropy against integer class indices (`logits` is
+/// `n x k`, `targets[i] < k`). Used by the sequence-model baselines
+/// (DeepLog next-key prediction, LogBert masked-key prediction), whose
+/// class count is the activity vocabulary rather than {normal, malicious}.
+pub fn cce_loss_indices(tape: &mut Tape, logits: Var, targets: &[usize]) -> Var {
+    let (n, k) = tape.value(logits).shape();
+    assert_eq!(targets.len(), n, "one target per row");
+    assert!(targets.iter().all(|&t| t < k), "target index out of range");
+    let logp = tape.log_softmax_rows(logits);
+    let mut weights = Matrix::zeros(n, k);
+    for (r, &t) in targets.iter().enumerate() {
+        weights.set(r, t, -1.0 / n as f32);
+    }
+    tape.weighted_sum_all(logp, weights)
+}
+
+/// Evaluates the *scalar value* of the GCE loss for given probabilities and
+/// targets without a tape (used by the theory checks and sample-selection
+/// baselines that rank per-sample losses).
+pub fn gce_value(probs: &[f32], targets: &[f32], q: f32) -> f32 {
+    assert!(q > 0.0 && q <= 1.0);
+    assert_eq!(probs.len(), targets.len());
+    probs
+        .iter()
+        .zip(targets)
+        .map(|(&p, &m)| m / q * (1.0 - p.max(1e-12).powf(q)))
+        .sum()
+}
+
+/// Scalar categorical cross-entropy value for one sample.
+pub fn cce_value(probs: &[f32], targets: &[f32]) -> f32 {
+    assert_eq!(probs.len(), targets.len());
+    -probs
+        .iter()
+        .zip(targets)
+        .map(|(&p, &m)| m * p.max(1e-12).ln())
+        .sum::<f32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(logit_values: Matrix) -> (Tape, Var) {
+        let mut tape = Tape::new();
+        let logits = tape.param(logit_values);
+        tape.seal();
+        (tape, logits)
+    }
+
+    #[test]
+    fn gce_matches_hand_computation() {
+        // Single sample, logits (0, 0) → p = (0.5, 0.5); target (1, 0).
+        let (mut tape, logits) = setup(Matrix::zeros(1, 2));
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let q = 0.7;
+        let loss = gce_loss(&mut tape, logits, &targets, q);
+        let expected = (1.0 - 0.5_f32.powf(q)) / q;
+        assert!((tape.scalar(loss) - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gce_is_bounded_by_one_over_q() {
+        // Theorem 2 upper bound: l ≤ 1/q, even for confident wrong outputs.
+        let (mut tape, logits) = setup(Matrix::from_vec(1, 2, vec![-20.0, 20.0]).unwrap());
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let loss = gce_loss(&mut tape, logits, &targets, 0.7);
+        let v = tape.scalar(loss);
+        assert!(v <= 1.0 / 0.7 + 1e-4, "GCE value {v} exceeds 1/q");
+        assert!(v > 1.0, "confident-wrong GCE should be near its bound, got {v}");
+    }
+
+    #[test]
+    fn cce_is_unbounded_where_gce_saturates() {
+        // The same confident-wrong sample: CCE explodes, GCE does not —
+        // this is the over-fitting mechanism of §III-A1.
+        let (mut tape, logits) = setup(Matrix::from_vec(1, 2, vec![-20.0, 20.0]).unwrap());
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let cce = cce_loss(&mut tape, logits, &targets);
+        assert!(tape.scalar(cce) > 10.0, "CCE {}", tape.scalar(cce));
+    }
+
+    #[test]
+    fn gce_gradient_de_emphasizes_weak_agreement() {
+        // §III-A "model over-fitting": the GCE gradient weight
+        // w = m * f^(q-1) * f' places *less* relative emphasis on samples
+        // whose prediction disagrees with the target than CCE does.
+        // Compare gradient norms: CCE's wrong-sample/right-sample gradient
+        // ratio must exceed GCE's.
+        let wrong = Matrix::from_vec(1, 2, vec![-3.0, 3.0]).unwrap();
+        let right = Matrix::from_vec(1, 2, vec![3.0, -3.0]).unwrap();
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let grad_norm = |values: &Matrix, use_gce: bool| -> f32 {
+            let (mut tape, logits) = setup(values.clone());
+            let loss = if use_gce {
+                gce_loss(&mut tape, logits, &targets, 0.7)
+            } else {
+                cce_loss(&mut tape, logits, &targets)
+            };
+            tape.backward(loss);
+            tape.grad(logits).frobenius_norm()
+        };
+        let gce_ratio = grad_norm(&wrong, true) / grad_norm(&right, true);
+        let cce_ratio = grad_norm(&wrong, false) / grad_norm(&right, false);
+        assert!(
+            cce_ratio > gce_ratio * 2.0,
+            "CCE ratio {cce_ratio} vs GCE ratio {gce_ratio}"
+        );
+    }
+
+    #[test]
+    fn q_one_equals_mae() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let values = init::uniform(4, 2, -2.0, 2.0, &mut rng);
+        let targets = Matrix::from_fn(4, 2, |r, c| if c == r % 2 { 1.0 } else { 0.0 });
+        let (mut tape, logits) = setup(values.clone());
+        let g = gce_loss(&mut tape, logits, &targets, 1.0);
+        let gv = tape.scalar(g);
+        let (mut tape2, logits2) = setup(values);
+        let m = mae_loss(&mut tape2, logits2, &targets);
+        assert!((gv - tape2.scalar(m)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn small_q_approaches_cce() {
+        // Theorem 1: lim_{q→0} GCE = CCE.
+        let mut rng = StdRng::seed_from_u64(1);
+        let values = init::uniform(3, 2, -1.5, 1.5, &mut rng);
+        // Soft (mixup-style) targets to exercise the general case.
+        let targets = Matrix::from_vec(3, 2, vec![0.8, 0.2, 0.3, 0.7, 0.55, 0.45]).unwrap();
+        let (mut tape, logits) = setup(values.clone());
+        let g = gce_loss(&mut tape, logits, &targets, 0.001);
+        let gv = tape.scalar(g);
+        let (mut tape2, logits2) = setup(values);
+        let c = cce_loss(&mut tape2, logits2, &targets);
+        assert!((gv - tape2.scalar(c)).abs() < 5e-3, "{gv} vs {}", tape2.scalar(c));
+    }
+
+    #[test]
+    fn scalar_helpers_agree_with_tape_losses() {
+        let probs = [0.3_f32, 0.7];
+        let target = [1.0_f32, 0.0];
+        let g = gce_value(&probs, &target, 0.7);
+        assert!((g - (1.0 - 0.3_f32.powf(0.7)) / 0.7).abs() < 1e-6);
+        let c = cce_value(&probs, &target);
+        assert!((c + 0.3_f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in (0, 1]")]
+    fn invalid_q_panics() {
+        let (mut tape, logits) = setup(Matrix::zeros(1, 2));
+        gce_loss(&mut tape, logits, &Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap(), 1.5);
+    }
+}
+
+/// Truncated GCE loss (Zhang & Sabuncu [13], §3.3) — the paper lists
+/// analysing further robust losses as future work; this is the natural
+/// first candidate since it comes from the same source as Eq. 1.
+///
+/// Samples whose true-class probability falls below `k` are clipped to a
+/// constant loss `l_GCE(k) = (1 − k^q)/q`, removing their gradient
+/// entirely (a hard version of GCE's soft down-weighting):
+///
+/// ```text
+/// l_trunc(f, m) = Σ_j m_j · min( (1 − f_j^q)/q , (1 − k^q)/q )   — per class j,
+/// ```
+///
+/// which for one-hot `m` matches [13]'s formulation. `k = 0` recovers the
+/// plain GCE loss.
+///
+/// # Panics
+/// Panics unless `0 < q ≤ 1` and `0 ≤ k < 1`.
+pub fn truncated_gce_loss(
+    tape: &mut Tape,
+    logits: Var,
+    targets: &Matrix,
+    q: f32,
+    k: f32,
+) -> Var {
+    assert!(q > 0.0 && q <= 1.0, "GCE exponent q must be in (0, 1], got {q}");
+    assert!((0.0..1.0).contains(&k), "truncation level k must be in [0, 1), got {k}");
+    validate_targets(tape, logits, targets);
+    let n = targets.rows() as f32;
+    let p = tape.softmax_rows(logits);
+    // Clamp probabilities from below at k: for f < k the loss value and
+    // gradient both freeze at the k level, exactly [13]'s truncation.
+    let shifted = tape.add_scalar(p, -k);
+    let relu = tape.leaky_relu(shifted, 0.0);
+    let clamped = tape.add_scalar(relu, k); // max(f, k)
+    let pq = tape.pow(clamped, q);
+    let constant = targets.sum() / (q * n);
+    let weighted = tape.weighted_sum_all(pq, targets.scale(-1.0 / (q * n)));
+    tape.add_scalar(weighted, constant)
+}
+
+#[cfg(test)]
+mod truncated_tests {
+    use super::*;
+
+    fn setup(logit_values: Matrix) -> (Tape, Var) {
+        let mut tape = Tape::new();
+        let logits = tape.param(logit_values);
+        tape.seal();
+        (tape, logits)
+    }
+
+    #[test]
+    fn truncation_at_zero_equals_plain_gce() {
+        let values = Matrix::from_vec(2, 2, vec![0.8, -0.3, -1.2, 0.4]).unwrap();
+        let targets = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let (mut t1, l1) = setup(values.clone());
+        let a = truncated_gce_loss(&mut t1, l1, &targets, 0.7, 0.0);
+        let (mut t2, l2) = setup(values);
+        let b = gce_loss(&mut t2, l2, &targets, 0.7);
+        assert!((t1.scalar(a) - t2.scalar(b)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn truncation_caps_the_loss_of_hopeless_samples() {
+        // A confidently-wrong sample: plain GCE approaches 1/q; truncated
+        // GCE caps at (1 − k^q)/q.
+        let (mut tape, logits) = setup(Matrix::from_vec(1, 2, vec![-20.0, 20.0]).unwrap());
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let (q, k) = (0.7_f32, 0.3_f32);
+        let loss = truncated_gce_loss(&mut tape, logits, &targets, q, k);
+        let cap = (1.0 - k.powf(q)) / q;
+        assert!((tape.scalar(loss) - cap).abs() < 1e-4);
+    }
+
+    #[test]
+    fn truncation_removes_the_gradient_of_clipped_samples() {
+        let (mut tape, logits) = setup(Matrix::from_vec(1, 2, vec![-20.0, 20.0]).unwrap());
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let loss = truncated_gce_loss(&mut tape, logits, &targets, 0.7, 0.3);
+        tape.backward(loss);
+        assert!(tape.grad(logits).max_abs() < 1e-6, "clipped sample still trains");
+    }
+
+    #[test]
+    fn unclipped_samples_still_train() {
+        let (mut tape, logits) = setup(Matrix::from_vec(1, 2, vec![0.2, -0.2]).unwrap());
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let loss = truncated_gce_loss(&mut tape, logits, &targets, 0.7, 0.3);
+        tape.backward(loss);
+        assert!(tape.grad(logits).max_abs() > 1e-4);
+    }
+}

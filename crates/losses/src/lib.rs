@@ -1,0 +1,28 @@
+//! Loss library for the CLFD reproduction.
+//!
+//! Implements every loss the paper defines or compares against:
+//!
+//! - [`gce`] — Generalized Cross-Entropy (Eq. 1), the paper's **mixup GCE**
+//!   (Eq. 2–3), and the CCE / MAE reference losses with their mixup versions.
+//! - [`mixup`] — the paper's opposite-class mixup strategy (§III-A1 /
+//!   Algorithm 1 lines 15–17): partner sampled from the opposite noisy
+//!   class, λ ~ Beta(β, β).
+//! - [`contrastive`] — SimCLR NT-Xent (label-corrector pre-training), the
+//!   supervised contrastive pair loss (Eq. 6), and the three supervised
+//!   batch losses analysed in §VII: **confidence-weighted** `L_Sup` (Eq. 5),
+//!   unweighted `L_Sup^uw` (Eq. 18), and filtered `L_Sup^ftr` (Eq. 20).
+//! - [`theory`] — numeric checks of Theorems 1–5 (used by tests and the
+//!   `theorems` benchmark binary).
+//!
+//! All losses are recorded on a [`Tape`](clfd_autograd::Tape) and return a
+//! scalar `Var`, so `tape.backward(loss)` yields gradients for any encoder
+//! or classifier upstream.
+
+pub mod contrastive;
+pub mod gce;
+pub mod mixup;
+pub mod theory;
+
+pub use contrastive::{nt_xent, sup_con_batch, sup_con_pair, SupConVariant};
+pub use gce::{cce_loss, gce_loss, mae_loss, truncated_gce_loss};
+pub use mixup::MixupPlan;

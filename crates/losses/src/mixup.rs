@@ -1,0 +1,198 @@
+//! The paper's opposite-class mixup strategy (§III-A1, Algorithm 1 l.15–17).
+//!
+//! For each sample `i` a partner `j` with the *opposite* (noisy or
+//! corrected) label is drawn, along with `λ_i ~ Beta(β, β)`; the classifier
+//! is then trained on `v_i^λ = λ v_i + (1−λ) v_j` against the mixed target
+//! `m_i = λ e_i + (1−λ) e_j`. This differs from vanilla mixup [37], which
+//! pairs arbitrary samples — the opposite-class constraint guarantees every
+//! interpolation crosses the decision boundary region, which is what breaks
+//! label memorization for the extremely imbalanced fraud-detection setting.
+
+use clfd_autograd::{Tape, Var};
+use clfd_data::session::Label;
+use clfd_tensor::{stats, Matrix};
+use rand::Rng;
+
+/// A sampled mixup pairing for one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixupPlan {
+    /// Opposite-class partner row for each batch row.
+    pub partner: Vec<usize>,
+    /// Interpolation coefficient `λ_i` for each batch row.
+    pub lambda: Vec<f32>,
+}
+
+impl MixupPlan {
+    /// Samples partners and coefficients for a batch.
+    ///
+    /// `labels[i]` is row `i`'s (noisy or corrected) label; `beta` is the
+    /// Beta concentration (the paper uses 16). When a row's opposite class
+    /// is absent from the batch — common under extreme imbalance — the row
+    /// is paired with itself and `λ = 1`, i.e. no interpolation, so training
+    /// degrades gracefully instead of mixing within one class.
+    pub fn sample(labels: &[Label], beta: f32, rng: &mut impl Rng) -> Self {
+        assert!(!labels.is_empty(), "empty batch");
+        assert!(beta > 0.0, "beta must be positive");
+        let normal: Vec<usize> = indices_of(labels, Label::Normal);
+        let malicious: Vec<usize> = indices_of(labels, Label::Malicious);
+        let mut partner = Vec::with_capacity(labels.len());
+        let mut lambda = Vec::with_capacity(labels.len());
+        for (i, &l) in labels.iter().enumerate() {
+            let pool = match l {
+                Label::Normal => &malicious,
+                Label::Malicious => &normal,
+            };
+            if pool.is_empty() {
+                partner.push(i);
+                lambda.push(1.0);
+            } else {
+                partner.push(pool[rng.gen_range(0..pool.len())]);
+                // λ ← max(λ, 1−λ): the mixed sample stays dominated by its
+                // *own* label (the DivideMix convention). Without this,
+                // label noise makes "opposite-class" mixing frequently
+                // interpolate two same-true-class sessions with a ~50/50
+                // target, which drags whole clusters toward maximum entropy.
+                let l = stats::sample_beta(beta, beta, rng);
+                lambda.push(l.max(1.0 - l));
+            }
+        }
+        Self { partner, lambda }
+    }
+
+    /// Records `v^λ = λ v + (1−λ) v[partner]` on the tape.
+    pub fn apply(&self, tape: &mut Tape, v: Var) -> Var {
+        assert_eq!(
+            tape.value(v).rows(),
+            self.partner.len(),
+            "plan was sampled for a different batch size"
+        );
+        let own = tape.row_scale(v, self.lambda.clone());
+        let partners = tape.gather(v, self.partner.clone());
+        let inv: Vec<f32> = self.lambda.iter().map(|l| 1.0 - l).collect();
+        let other = tape.row_scale(partners, inv);
+        tape.add(own, other)
+    }
+
+    /// The mixed one-hot targets `m_i = λ e_i + (1−λ) e_j`.
+    pub fn mixed_targets(&self, one_hot: &Matrix) -> Matrix {
+        assert_eq!(one_hot.rows(), self.partner.len());
+        Matrix::from_fn(one_hot.rows(), one_hot.cols(), |r, c| {
+            let l = self.lambda[r];
+            l * one_hot.get(r, c) + (1.0 - l) * one_hot.get(self.partner[r], c)
+        })
+    }
+
+    /// Batch size this plan was sampled for.
+    pub fn len(&self) -> usize {
+        self.partner.len()
+    }
+
+    /// True when the plan is empty (never produced by [`MixupPlan::sample`]).
+    pub fn is_empty(&self) -> bool {
+        self.partner.is_empty()
+    }
+}
+
+fn indices_of(labels: &[Label], l: Label) -> Vec<usize> {
+    labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x == l)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::batch::one_hot;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partners_come_from_opposite_class() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let labels = vec![
+            Label::Normal,
+            Label::Normal,
+            Label::Malicious,
+            Label::Normal,
+            Label::Malicious,
+        ];
+        for _ in 0..20 {
+            let plan = MixupPlan::sample(&labels, 16.0, &mut rng);
+            for (i, &j) in plan.partner.iter().enumerate() {
+                assert_ne!(labels[i], labels[j], "row {i} paired within its class");
+            }
+        }
+    }
+
+    #[test]
+    fn single_class_batch_degrades_to_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let labels = vec![Label::Normal; 4];
+        let plan = MixupPlan::sample(&labels, 16.0, &mut rng);
+        assert_eq!(plan.partner, vec![0, 1, 2, 3]);
+        assert!(plan.lambda.iter().all(|&l| l == 1.0));
+    }
+
+    #[test]
+    fn apply_interpolates_rows() {
+        let labels = vec![Label::Normal, Label::Malicious];
+        let plan = MixupPlan { partner: vec![1, 0], lambda: vec![0.75, 0.5] };
+        let mut tape = Tape::new();
+        tape.seal();
+        let v = tape.constant(Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap());
+        let mixed = plan.apply(&mut tape, v);
+        let m = tape.value(mixed);
+        assert!((m.get(0, 0) - 0.75).abs() < 1e-6);
+        assert!((m.get(0, 1) - 0.25).abs() < 1e-6);
+        assert!((m.get(1, 0) - 0.5).abs() < 1e-6);
+
+        let targets = plan.mixed_targets(&one_hot(&labels));
+        assert!((targets.get(0, 0) - 0.75).abs() < 1e-6);
+        assert!((targets.get(0, 1) - 0.25).abs() < 1e-6);
+        // Rows remain probability distributions.
+        for r in 0..2 {
+            let sum: f32 = targets.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn high_beta_concentrates_lambda() {
+        // β = 16 (the paper's setting) concentrates λ near 0.5: strong
+        // interpolation, the anti-memorization regime of [37].
+        let mut rng = StdRng::seed_from_u64(2);
+        let labels: Vec<Label> = (0..500)
+            .map(|i| if i % 2 == 0 { Label::Normal } else { Label::Malicious })
+            .collect();
+        let plan = MixupPlan::sample(&labels, 16.0, &mut rng);
+        let near_half = plan
+            .lambda
+            .iter()
+            .filter(|&&l| (0.25..=0.75).contains(&l))
+            .count();
+        assert!(
+            near_half as f32 / plan.lambda.len() as f32 > 0.95,
+            "only {near_half}/500 lambdas near 0.5"
+        );
+    }
+
+    #[test]
+    fn gradient_flows_through_mixing() {
+        let labels = vec![Label::Normal, Label::Malicious];
+        let plan = MixupPlan { partner: vec![1, 0], lambda: vec![0.6, 0.7] };
+        let mut tape = Tape::new();
+        let v = tape.param(Matrix::from_vec(2, 1, vec![2.0, 3.0]).unwrap());
+        tape.seal();
+        let mixed = plan.apply(&mut tape, v);
+        let loss = tape.sum_all(mixed);
+        tape.backward(loss);
+        // d(mix)/dv0 = λ_0 + (1−λ_1) = 0.6 + 0.3; dv1 = 0.4 + 0.7.
+        let g = tape.grad(v);
+        assert!((g.get(0, 0) - 0.9).abs() < 1e-6);
+        assert!((g.get(1, 0) - 1.1).abs() < 1e-6);
+        let _ = labels;
+    }
+}

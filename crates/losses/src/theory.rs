@@ -1,0 +1,292 @@
+//! Numeric verification of the paper's Theorems 1–5.
+//!
+//! The theorems are analytic statements about the mixup GCE loss (Theorems
+//! 1–4, §VI) and the weighted supervised contrastive loss (Theorem 5). Each
+//! `check_*` function evaluates both sides of the statement on randomly
+//! sampled data and reports whether the claim held — these back both the
+//! test suite and the `theorems` experiment binary.
+
+use crate::contrastive::sup_con_pair;
+use crate::gce::{cce_value, gce_value};
+use clfd_tensor::{init, stats};
+use rand::Rng;
+
+/// Outcome of one numeric theorem check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TheoremReport {
+    /// Which theorem was checked.
+    pub name: &'static str,
+    /// Left-hand side of the inequality / limit discrepancy.
+    pub lhs: f64,
+    /// Right-hand side (bound).
+    pub rhs: f64,
+    /// Whether the statement held on the sampled data.
+    pub holds: bool,
+}
+
+impl TheoremReport {
+    fn new(name: &'static str, lhs: f64, rhs: f64) -> Self {
+        Self { name, lhs, rhs, holds: lhs <= rhs + 1e-6 }
+    }
+}
+
+fn random_softmax(rng: &mut impl Rng) -> [f32; 2] {
+    let a: f32 = rng.gen_range(-4.0..4.0);
+    let p = 1.0 / (1.0 + (-a).exp());
+    [p, 1.0 - p]
+}
+
+/// Samples a mixed target `m = λ e_i + (1−λ) e_j` with opposite-class
+/// endpoints, as produced by the paper's mixup strategy.
+fn mixed_target(label: usize, lambda: f32) -> [f32; 2] {
+    let mut m = [0.0_f32; 2];
+    m[label] = lambda;
+    m[1 - label] = 1.0 - lambda;
+    m
+}
+
+/// Theorem 1: `lim_{q→0} l_GCE^λ = l_CCE^λ`.
+///
+/// Checked as: at `q = 1e-3` the two losses differ by less than 1% on
+/// random predictions and random mixed targets.
+pub fn check_theorem1(samples: usize, rng: &mut impl Rng) -> TheoremReport {
+    let q = 1e-3;
+    let mut max_rel = 0.0_f64;
+    for _ in 0..samples {
+        let p = random_softmax(rng);
+        let lambda = stats::sample_beta(16.0, 16.0, rng);
+        let m = mixed_target(usize::from(rng.gen::<bool>()), lambda);
+        let g = gce_value(&p, &m, q) as f64;
+        let c = cce_value(&p, &m) as f64;
+        let rel = ((g - c) / c.abs().max(1e-6)).abs();
+        max_rel = max_rel.max(rel);
+    }
+    TheoremReport::new("Theorem 1 (q→0 limit, max relative gap)", max_rel, 0.01)
+}
+
+/// Theorem 2: `min(λ, 1−λ)·(2 − 2^{1−q})/q ≤ l_GCE^λ ≤ 1/q`.
+///
+/// Returns a report whose `holds` is true only if *every* sampled loss
+/// respected both bounds; `lhs` is the worst bound violation (0 if none).
+pub fn check_theorem2(samples: usize, q: f32, rng: &mut impl Rng) -> TheoremReport {
+    let mut worst: f64 = 0.0;
+    for _ in 0..samples {
+        let p = random_softmax(rng);
+        let lambda = stats::sample_beta(16.0, 16.0, rng);
+        let m = mixed_target(usize::from(rng.gen::<bool>()), lambda);
+        let l = gce_value(&p, &m, q) as f64;
+        let upper = 1.0 / q as f64;
+        let lower =
+            lambda.min(1.0 - lambda) as f64 * (2.0 - 2.0_f64.powf(1.0 - q as f64)) / q as f64;
+        worst = worst.max(l - upper).max(lower - l);
+    }
+    TheoremReport::new("Theorem 2 (bounds, worst violation)", worst, 0.0)
+}
+
+/// Theorem 3: under uniform noise η, `R̃ ≤ R + η/q`.
+pub fn check_theorem3(samples: usize, eta: f32, q: f32, rng: &mut impl Rng) -> TheoremReport {
+    let mut clean_risk = 0.0_f64;
+    let mut noisy_risk = 0.0_f64;
+    for _ in 0..samples {
+        let p = random_softmax(rng);
+        let lambda = stats::sample_beta(16.0, 16.0, rng);
+        let label = usize::from(rng.gen::<bool>());
+        let noisy_label = if rng.gen::<f32>() < eta { 1 - label } else { label };
+        clean_risk += gce_value(&p, &mixed_target(label, lambda), q) as f64;
+        noisy_risk += gce_value(&p, &mixed_target(noisy_label, lambda), q) as f64;
+    }
+    clean_risk /= samples as f64;
+    noisy_risk /= samples as f64;
+    TheoremReport::new(
+        "Theorem 3 (uniform-noise risk bound)",
+        noisy_risk,
+        clean_risk + eta as f64 / q as f64,
+    )
+}
+
+/// Theorem 4: under class-dependent noise,
+/// `R̃ ≤ τ̃¹(R|y=1 + η10/q) + τ̃⁰(R|y=0 + η01/q)`.
+pub fn check_theorem4(
+    samples: usize,
+    eta10: f32,
+    eta01: f32,
+    q: f32,
+    rng: &mut impl Rng,
+) -> TheoremReport {
+    let mut noisy_risk = 0.0_f64;
+    let mut risk_by_class = [0.0_f64; 2];
+    let mut count_by_class = [0usize; 2];
+    let mut noisy_count_by_class = [0usize; 2];
+    for _ in 0..samples {
+        let p = random_softmax(rng);
+        let lambda = stats::sample_beta(16.0, 16.0, rng);
+        let label = usize::from(rng.gen::<bool>());
+        let flip_rate = if label == 1 { eta10 } else { eta01 };
+        let noisy_label = if rng.gen::<f32>() < flip_rate { 1 - label } else { label };
+        noisy_risk += gce_value(&p, &mixed_target(noisy_label, lambda), q) as f64;
+        risk_by_class[label] += gce_value(&p, &mixed_target(label, lambda), q) as f64;
+        count_by_class[label] += 1;
+        noisy_count_by_class[noisy_label] += 1;
+    }
+    noisy_risk /= samples as f64;
+    let r1 = risk_by_class[1] / count_by_class[1].max(1) as f64;
+    let r0 = risk_by_class[0] / count_by_class[0].max(1) as f64;
+    let tau1 = noisy_count_by_class[1] as f64 / samples as f64;
+    let tau0 = noisy_count_by_class[0] as f64 / samples as f64;
+    let rhs = tau1 * (r1 + eta10 as f64 / q as f64) + tau0 * (r0 + eta01 as f64 / q as f64);
+    TheoremReport::new("Theorem 4 (class-dependent risk bound)", noisy_risk, rhs)
+}
+
+/// Confidence threshold for "c ≈ 1" in the Theorem 5 check.
+const CONFIDENT: f32 = 0.9;
+
+/// Theorem 5: the weighted supervised contrastive loss is upper-bounded by
+/// the decomposition around the oracle loss `L_Orc`.
+///
+/// Samples embeddings, ground-truth labels, and corrector confidences;
+/// corrected labels match the ground truth when confident and are random
+/// otherwise. Both sides are evaluated empirically.
+pub fn check_theorem5(batch: usize, rng: &mut impl Rng) -> TheoremReport {
+    assert!(batch >= 8, "need a reasonable batch for the empirical check");
+    let z = init::gaussian(batch, 8, 0.0, 1.0, rng);
+    let truth: Vec<usize> = (0..batch).map(|_| usize::from(rng.gen::<bool>())).collect();
+    let conf: Vec<f32> = (0..batch)
+        .map(|_| if rng.gen::<f32>() < 0.7 { rng.gen_range(0.92..1.0) } else { rng.gen_range(0.5..0.85) })
+        .collect();
+    let corrected: Vec<usize> = truth
+        .iter()
+        .zip(&conf)
+        .map(|(&t, &c)| if c >= CONFIDENT { t } else { usize::from(rng.gen::<bool>()) })
+        .collect();
+
+    let pair_loss = |i: usize, p: usize| sup_con_pair(&z, i, p, 1.0) as f64;
+
+    // LHS: Eq. 9 — expectation over anchors of the confidence-weighted mean
+    // pair loss over corrected-label positives.
+    let mut lhs = 0.0_f64;
+    for i in 0..batch {
+        let b: Vec<usize> = (0..batch)
+            .filter(|&j| j != i && corrected[j] == corrected[i])
+            .collect();
+        if b.is_empty() {
+            continue;
+        }
+        let inner: f64 = b
+            .iter()
+            .map(|&p| (conf[i] * conf[p]) as f64 * pair_loss(i, p))
+            .sum();
+        lhs += inner / b.len() as f64;
+    }
+    lhs /= batch as f64;
+
+    // RHS terms of Theorem 5.
+    let p_confident =
+        conf.iter().filter(|&&c| c >= CONFIDENT).count() as f64 / batch as f64;
+
+    // L_Orc: oracle loss over ground-truth positives (Eq. 8).
+    let mut l_orc = 0.0_f64;
+    let mut orc_anchors = 0;
+    for i in 0..batch {
+        let b: Vec<usize> =
+            (0..batch).filter(|&j| j != i && truth[j] == truth[i]).collect();
+        if b.is_empty() {
+            continue;
+        }
+        l_orc += b.iter().map(|&p| pair_loss(i, p)).sum::<f64>() / b.len() as f64;
+        orc_anchors += 1;
+    }
+    l_orc /= orc_anchors.max(1) as f64;
+
+    // E[(c_i c_p) l | c_i ≈ 1, c_p ≉ 1] and E[(c_i c_p) l | c_i ≉ 1].
+    let mut mixed_term = 0.0_f64;
+    let mut mixed_count = 0usize;
+    let mut low_term = 0.0_f64;
+    let mut low_count = 0usize;
+    for i in 0..batch {
+        for p in 0..batch {
+            if p == i || corrected[p] != corrected[i] {
+                continue;
+            }
+            let w = (conf[i] * conf[p]) as f64 * pair_loss(i, p);
+            if conf[i] >= CONFIDENT && conf[p] < CONFIDENT {
+                mixed_term += w;
+                mixed_count += 1;
+            } else if conf[i] < CONFIDENT {
+                low_term += w;
+                low_count += 1;
+            }
+        }
+    }
+    let mixed = if mixed_count > 0 { mixed_term / mixed_count as f64 } else { 0.0 };
+    let low = if low_count > 0 { low_term / low_count as f64 } else { 0.0 };
+
+    let rhs = p_confident * (p_confident * l_orc + mixed) + low;
+    TheoremReport::new("Theorem 5 (L_Sup upper bound)", lhs, rhs)
+}
+
+/// Runs every theorem check with default sizes; used by the `theorems` bin.
+pub fn check_all(rng: &mut impl Rng) -> Vec<TheoremReport> {
+    vec![
+        check_theorem1(2_000, rng),
+        check_theorem2(5_000, 0.7, rng),
+        check_theorem3(20_000, 0.45, 0.7, rng),
+        check_theorem4(20_000, 0.3, 0.45, 0.7, rng),
+        check_theorem5(64, rng),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theorem1_limit_holds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = check_theorem1(500, &mut rng);
+        assert!(r.holds, "{r:?}");
+    }
+
+    #[test]
+    fn theorem2_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for q in [0.1, 0.5, 0.7, 1.0] {
+            let r = check_theorem2(2_000, q, &mut rng);
+            assert!(r.holds, "q={q}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn theorem3_risk_bound_holds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for eta in [0.1, 0.3, 0.45] {
+            let r = check_theorem3(10_000, eta, 0.7, &mut rng);
+            assert!(r.holds, "eta={eta}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn theorem4_risk_bound_holds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = check_theorem4(10_000, 0.3, 0.45, 0.7, &mut rng);
+        assert!(r.holds, "{r:?}");
+    }
+
+    #[test]
+    fn theorem5_bound_holds_across_seeds() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = check_theorem5(48, &mut rng);
+            assert!(r.holds, "seed {seed}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn check_all_returns_five_reports() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let all = check_all(&mut rng);
+        assert_eq!(all.len(), 5);
+        assert!(all.iter().all(|r| r.holds), "{all:#?}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the loss library.
+
+use clfd_autograd::Tape;
+use clfd_data::batch::one_hot;
+use clfd_data::session::Label;
+use clfd_losses::contrastive::{sup_con_batch, SupConVariant};
+use clfd_losses::{cce_loss, gce_loss, mae_loss, MixupPlan};
+use clfd_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn logits_strategy(rows: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-6.0_f32..6.0, rows * 2)
+        .prop_map(move |v| Matrix::from_vec(rows, 2, v).unwrap())
+}
+
+fn labels_strategy(rows: usize) -> impl Strategy<Value = Vec<Label>> {
+    proptest::collection::vec(proptest::bool::ANY, rows).prop_map(|bits| {
+        bits.into_iter()
+            .map(|b| if b { Label::Malicious } else { Label::Normal })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 2's upper bound holds for every input, not just samples.
+    #[test]
+    fn gce_loss_is_bounded_by_one_over_q(
+        logits in logits_strategy(4),
+        labels in labels_strategy(4),
+        q in 0.1_f32..1.0,
+    ) {
+        let mut tape = Tape::new();
+        let l = tape.param(logits);
+        tape.seal();
+        let loss = gce_loss(&mut tape, l, &one_hot(&labels), q);
+        let v = tape.scalar(loss);
+        prop_assert!(v >= 0.0, "negative GCE {v}");
+        prop_assert!(v <= 1.0 / q + 1e-4, "GCE {v} above 1/q");
+    }
+
+    /// CCE and MAE are non-negative; MAE respects its own bound of 2.
+    #[test]
+    fn reference_losses_are_bounded_below(
+        logits in logits_strategy(3),
+        labels in labels_strategy(3),
+    ) {
+        let mut tape = Tape::new();
+        let l = tape.param(logits);
+        tape.seal();
+        let c = cce_loss(&mut tape, l, &one_hot(&labels));
+        prop_assert!(tape.scalar(c) >= 0.0);
+        let m = mae_loss(&mut tape, l, &one_hot(&labels));
+        let mv = tape.scalar(m);
+        prop_assert!((0.0..=2.0 + 1e-5).contains(&mv), "MAE {mv}");
+    }
+
+    /// GCE decreases monotonically in the true-class probability.
+    #[test]
+    fn gce_decreases_as_prediction_improves(margin in 0.1_f32..5.0, q in 0.2_f32..1.0) {
+        let eval = |logit: f32| {
+            let mut tape = Tape::new();
+            let l = tape.param(Matrix::from_vec(1, 2, vec![logit, 0.0]).unwrap());
+            tape.seal();
+            let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+            let loss = gce_loss(&mut tape, l, &targets, q);
+            tape.scalar(loss)
+        };
+        prop_assert!(eval(margin) < eval(0.0));
+        prop_assert!(eval(0.0) < eval(-margin));
+    }
+
+    /// Mixup plans always produce valid probability targets and partners
+    /// from the opposite class (or self-pairs when the class is absent).
+    #[test]
+    fn mixup_targets_are_distributions(
+        labels in labels_strategy(8),
+        beta in 0.2_f32..4.0,
+        seed in 0_u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = MixupPlan::sample(&labels, beta, &mut rng);
+        prop_assert_eq!(plan.len(), labels.len());
+        let targets = plan.mixed_targets(&one_hot(&labels));
+        for r in 0..targets.rows() {
+            let sum: f32 = targets.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(targets.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+            let j = plan.partner[r];
+            if j != r {
+                prop_assert_ne!(labels[r], labels[j], "same-class partner at row {}", r);
+            }
+        }
+        // λ ≥ 0.5 by the DivideMix convention (own label dominates).
+        prop_assert!(plan.lambda.iter().all(|&l| (0.5..=1.0).contains(&l)));
+    }
+
+    /// The weighted supervised contrastive loss never exceeds the
+    /// unweighted one (weights cᵢcₚ ≤ 1 scale every non-negative pair term).
+    #[test]
+    fn weighted_supcon_bounded_by_unweighted(
+        seed in 0_u64..200,
+        conf_lo in 0.5_f32..0.99,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let z = clfd_tensor::init::gaussian(6, 4, 0.0, 1.0, &mut rng);
+        let labels = vec![
+            Label::Normal, Label::Normal, Label::Normal,
+            Label::Malicious, Label::Malicious, Label::Malicious,
+        ];
+        let conf: Vec<f32> = (0..6).map(|i| conf_lo + 0.01 * i as f32).collect();
+        let conf: Vec<f32> = conf.into_iter().map(|c| c.min(1.0)).collect();
+        let run = |variant: SupConVariant| {
+            let mut tape = Tape::new();
+            let zv = tape.param(z.clone());
+            tape.seal();
+            let loss = sup_con_batch(&mut tape, zv, &labels, &conf, 6, 1.0, variant);
+            tape.scalar(loss)
+        };
+        let weighted = run(SupConVariant::Weighted);
+        let unweighted = run(SupConVariant::Unweighted);
+        // Pair losses are non-negative here because each anchor has ≥ 2
+        // positives among 5 candidates (softmax of a positive among
+        // negatives stays below 1), so down-weighting cannot increase the sum.
+        prop_assert!(weighted <= unweighted + 1e-4, "{weighted} > {unweighted}");
+    }
+}

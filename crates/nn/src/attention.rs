@@ -1,0 +1,302 @@
+//! Multi-head self-attention and a compact transformer encoder.
+//!
+//! This is the from-scratch BERT stand-in for the Few-Shot [2] and
+//! LogBert [48] baselines (see DESIGN.md's substitution table). It operates
+//! on one session at a time: a `T x d` node of activity embeddings plus
+//! sinusoidal position encodings.
+
+use crate::linear::{Linear, LinearInit};
+use crate::norm::LayerNorm;
+use crate::Layer;
+use clfd_autograd::{Tape, Var};
+use clfd_tensor::Matrix;
+use rand::Rng;
+
+/// Multi-head scaled-dot-product self-attention for a single sequence.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Registers projection parameters. `dim` must be divisible by `heads`.
+    pub fn new(tape: &mut Tape, dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
+        assert!(heads >= 1 && dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        Self {
+            wq: Linear::new(tape, dim, dim, LinearInit::Xavier, rng),
+            wk: Linear::new(tape, dim, dim, LinearInit::Xavier, rng),
+            wv: Linear::new(tape, dim, dim, LinearInit::Xavier, rng),
+            wo: Linear::new(tape, dim, dim, LinearInit::Xavier, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Self-attention over a `T x dim` sequence node.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let dk = self.dim / self.heads;
+        let q = self.wq.forward(tape, x);
+        let k = self.wk.forward(tape, x);
+        let v = self.wv.forward(tape, x);
+        let mut merged: Option<Var> = None;
+        for h in 0..self.heads {
+            let (s, e) = (h * dk, (h + 1) * dk);
+            let qh = tape.slice_cols(q, s, e);
+            let kh = tape.slice_cols(k, s, e);
+            let vh = tape.slice_cols(v, s, e);
+            let scores = tape.matmul_transpose(qh, kh);
+            let scaled = tape.scale(scores, 1.0 / (dk as f32).sqrt());
+            let attn = tape.softmax_rows(scaled);
+            let ctx = tape.matmul(attn, vh);
+            merged = Some(match merged {
+                Some(m) => tape.concat_cols(m, ctx),
+                None => ctx,
+            });
+        }
+        let ctx = merged.expect("at least one head");
+        self.wo.forward(tape, ctx)
+    }
+}
+
+impl Layer for MultiHeadAttention {
+    fn params(&self) -> Vec<Var> {
+        [&self.wq, &self.wk, &self.wv, &self.wo]
+            .iter()
+            .flat_map(|l| l.params())
+            .collect()
+    }
+}
+
+/// One post-norm transformer block: attention + residual + LN, then a
+/// two-layer feed-forward + residual + LN.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+    ln2: LayerNorm,
+}
+
+impl TransformerBlock {
+    /// Registers a block with feed-forward width `ff_dim`.
+    pub fn new(tape: &mut Tape, dim: usize, heads: usize, ff_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            attn: MultiHeadAttention::new(tape, dim, heads, rng),
+            ln1: LayerNorm::new(tape, dim),
+            ff1: Linear::new(tape, dim, ff_dim, LinearInit::He, rng),
+            ff2: Linear::new(tape, ff_dim, dim, LinearInit::Xavier, rng),
+            ln2: LayerNorm::new(tape, dim),
+        }
+    }
+
+    /// Records the block on the tape (`T x dim` in, `T x dim` out).
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let a = self.attn.forward(tape, x);
+        let res1 = tape.add(x, a);
+        let n1 = self.ln1.forward(tape, res1);
+        let f = self.ff1.forward(tape, n1);
+        let f = tape.leaky_relu(f, 0.0); // plain ReLU
+        let f = self.ff2.forward(tape, f);
+        let res2 = tape.add(n1, f);
+        self.ln2.forward(tape, res2)
+    }
+}
+
+impl Layer for TransformerBlock {
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.attn.params();
+        p.extend(self.ln1.params());
+        p.extend(self.ff1.params());
+        p.extend(self.ff2.params());
+        p.extend(self.ln2.params());
+        p
+    }
+}
+
+/// Stack of transformer blocks with sinusoidal position encodings.
+#[derive(Debug, Clone)]
+pub struct TransformerEncoder {
+    blocks: Vec<TransformerBlock>,
+    dim: usize,
+}
+
+impl TransformerEncoder {
+    /// Registers `num_blocks` blocks of the given geometry.
+    pub fn new(
+        tape: &mut Tape,
+        dim: usize,
+        heads: usize,
+        ff_dim: usize,
+        num_blocks: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let blocks = (0..num_blocks)
+            .map(|_| TransformerBlock::new(tape, dim, heads, ff_dim, rng))
+            .collect();
+        Self { blocks, dim }
+    }
+
+    /// The classic sinusoidal position-encoding matrix (`T x dim`).
+    pub fn positional_encoding(len: usize, dim: usize) -> Matrix {
+        Matrix::from_fn(len, dim, |pos, i| {
+            let exponent = (2 * (i / 2)) as f32 / dim as f32;
+            let angle = pos as f32 / 10_000_f32.powf(exponent);
+            if i % 2 == 0 {
+                angle.sin()
+            } else {
+                angle.cos()
+            }
+        })
+    }
+
+    /// Encodes one `T x dim` sequence; position encodings are added first.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let (t, d) = {
+            let v = tape.value(x);
+            (v.rows(), v.cols())
+        };
+        debug_assert_eq!(d, self.dim);
+        let pe = tape.constant(Self::positional_encoding(t, d));
+        let mut h = tape.add(x, pe);
+        for b in &self.blocks {
+            h = b.forward(tape, h);
+        }
+        h
+    }
+
+    /// Model width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for TransformerEncoder {
+    fn params(&self) -> Vec<Var> {
+        self.blocks.iter().flat_map(|b| b.params()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attention_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let mha = MultiHeadAttention::new(&mut tape, 8, 2, &mut rng);
+        tape.seal();
+        let x = tape.constant(Matrix::from_fn(5, 8, |r, c| ((r + c) as f32 * 0.3).sin()));
+        let y = mha.forward(&mut tape, x);
+        assert_eq!(tape.value(y).shape(), (5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_heads_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        MultiHeadAttention::new(&mut tape, 7, 2, &mut rng);
+    }
+
+    #[test]
+    fn positional_encoding_properties() {
+        let pe = TransformerEncoder::positional_encoding(16, 8);
+        assert_eq!(pe.shape(), (16, 8));
+        // Position 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+        for c in 0..8 {
+            let expected = if c % 2 == 0 { 0.0 } else { 1.0 };
+            assert!((pe.get(0, c) - expected).abs() < 1e-6);
+        }
+        // Distinct positions get distinct encodings.
+        assert!(pe.row(1) != pe.row(2));
+        assert!(pe.as_slice().iter().all(|x| (-1.0..=1.0).contains(x)));
+    }
+
+    #[test]
+    fn encoder_forward_and_param_flow() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape = Tape::new();
+        let enc = TransformerEncoder::new(&mut tape, 8, 2, 16, 2, &mut rng);
+        tape.seal();
+        let x = tape.constant(Matrix::from_fn(6, 8, |r, c| ((r * 8 + c) as f32 * 0.1).cos()));
+        let y = enc.forward(&mut tape, x);
+        assert_eq!(tape.value(y).shape(), (6, 8));
+        let loss = tape.mean_all(y);
+        tape.backward(loss);
+        // Every block's parameters must receive gradient from the loss.
+        let nonzero = enc
+            .params()
+            .iter()
+            .filter(|&&p| tape.grad(p).max_abs() > 0.0)
+            .count();
+        assert!(
+            nonzero > enc.params().len() / 2,
+            "only {nonzero}/{} params got gradient",
+            enc.params().len()
+        );
+    }
+
+    #[test]
+    fn transformer_learns_first_token_classification() {
+        // Predict the (binary) identity of the first token from the pooled
+        // encoding — requires attention to route position-0 information.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tape = Tape::new();
+        let enc = TransformerEncoder::new(&mut tape, 4, 2, 8, 1, &mut rng);
+        let head = Linear::new(&mut tape, 4, 2, LinearInit::Xavier, &mut rng);
+        tape.seal();
+        let mut params = enc.params();
+        params.extend(head.params());
+        let mut opt = Adam::new(0.01);
+        let mut data_rng = StdRng::seed_from_u64(3);
+
+        let mut run = |train: bool, opt: &mut Adam, tape: &mut Tape, rng: &mut StdRng| -> f32 {
+            let mut correct = 0;
+            let n = 16;
+            for _ in 0..n {
+                let label: usize = rng.gen_range(0..2);
+                let x = Matrix::from_fn(5, 4, |r, c| {
+                    if r == 0 {
+                        if label == 1 { 1.0 } else { -1.0 }
+                    } else {
+                        ((r * 4 + c) as f32 * 0.7).sin() * 0.3
+                    }
+                });
+                let xv = tape.constant(x);
+                let h = enc.forward(tape, xv);
+                // Mean-pool over timesteps via a constant averaging matrix.
+                let avg = tape.constant(Matrix::full(1, 5, 1.0 / 5.0));
+                let pooled = tape.matmul(avg, h);
+                let logits = head.forward(tape, pooled);
+                if tape.value(logits).argmax_rows()[0] == label {
+                    correct += 1;
+                }
+                if train {
+                    let logp = tape.log_softmax_rows(logits);
+                    let w = Matrix::from_fn(1, 2, |_, c| if c == label { -1.0 } else { 0.0 });
+                    let loss = tape.weighted_sum_all(logp, w);
+                    tape.backward(loss);
+                    opt.step(tape, &params);
+                }
+                tape.reset();
+            }
+            correct as f32 / n as f32
+        };
+
+        for _ in 0..12 {
+            run(true, &mut opt, &mut tape, &mut data_rng);
+        }
+        let acc = run(false, &mut opt, &mut tape, &mut data_rng);
+        assert!(acc >= 0.9, "transformer accuracy {acc}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Trainable token-embedding table.
+
+use crate::Layer;
+use clfd_autograd::{Tape, Var};
+use clfd_tensor::init;
+use rand::Rng;
+
+/// Embedding lookup `ids -> rows of a trainable table`.
+///
+/// Used by the DeepLog and LogBert baselines, which learn log-key embeddings
+/// jointly with the model (unlike CLFD, which consumes fixed word2vec
+/// activity vectors from `clfd-data`).
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: Var,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers a `vocab x dim` table initialized to N(0, 0.1²).
+    pub fn new(tape: &mut Tape, vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        let table = init::gaussian(vocab, dim, 0.0, 0.1, rng);
+        Self { table: tape.param(table), vocab, dim }
+    }
+
+    /// Looks up a batch of token ids, returning an `ids.len() x dim` node.
+    ///
+    /// # Panics
+    /// Panics if any id is out of vocabulary.
+    pub fn forward(&self, tape: &mut Tape, ids: &[usize]) -> Var {
+        assert!(
+            ids.iter().all(|&i| i < self.vocab),
+            "embedding id out of range (vocab = {})",
+            self.vocab
+        );
+        tape.gather(self.table, ids.to_vec())
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for Embedding {
+    fn params(&self) -> Vec<Var> {
+        vec![self.table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_table_rows() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let emb = Embedding::new(&mut tape, 10, 4, &mut rng);
+        tape.seal();
+        let out = emb.forward(&mut tape, &[3, 3, 7]);
+        let v = tape.value(out).clone();
+        assert_eq!(v.shape(), (3, 4));
+        assert_eq!(v.row(0), v.row(1));
+        assert_eq!(v.row(0), tape.value(emb.table).row(3));
+    }
+
+    #[test]
+    fn duplicate_ids_accumulate_gradient() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape = Tape::new();
+        let emb = Embedding::new(&mut tape, 5, 2, &mut rng);
+        tape.seal();
+        let out = emb.forward(&mut tape, &[2, 2]);
+        let loss = tape.sum_all(out);
+        tape.backward(loss);
+        let g = tape.grad(emb.table);
+        assert_eq!(g.row(2), &[2.0, 2.0]); // two lookups, accumulated
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_vocab_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tape = Tape::new();
+        let emb = Embedding::new(&mut tape, 5, 2, &mut rng);
+        tape.seal();
+        emb.forward(&mut tape, &[5]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Neural-network layers and optimizers on top of the `clfd-autograd` tape.
+//!
+//! Layers register their parameters on a [`Tape`](clfd_autograd::Tape)
+//! at construction time (before `seal()`), keep the returned [`Var`]
+//! handles, and re-record the forward computation each training step.
+//! Optimizers ([`optim::Adam`], [`optim::Sgd`]) update parameter values in
+//! place after `backward()`.
+//!
+//! The layer set covers everything the CLFD paper and its baselines need:
+//!
+//! - [`linear::Linear`] — affine layer (FCNN classifier heads)
+//! - [`lstm::Lstm`] — multi-layer LSTM session encoder (§III-B1: "two hidden
+//!   layers with the same dimensions", mean-pooled final hidden states)
+//! - [`embedding::Embedding`] — trainable token embeddings (DeepLog, LogBert)
+//! - [`norm::LayerNorm`] — affine layer normalization (transformer blocks)
+//! - [`attention::TransformerEncoder`] — multi-head self-attention encoder
+//!   (the BERT stand-in for the Few-Shot and LogBert baselines)
+//! - [`snapshot`] — serde-based parameter save/restore
+
+pub mod attention;
+pub mod embedding;
+pub mod linear;
+pub mod lstm;
+pub mod norm;
+pub mod optim;
+pub mod snapshot;
+
+pub use attention::{TransformerBlock, TransformerEncoder};
+pub use embedding::Embedding;
+pub use linear::Linear;
+pub use lstm::Lstm;
+pub use norm::LayerNorm;
+pub use optim::{Adam, GradClip, Optimizer, Sgd};
+
+use clfd_autograd::Var;
+
+/// A trainable component that can enumerate its parameter handles.
+pub trait Layer {
+    /// Parameter handles in a stable order (used by snapshots).
+    fn params(&self) -> Vec<Var>;
+}

@@ -1,0 +1,124 @@
+//! Affine (fully-connected) layer.
+
+use crate::Layer;
+use clfd_autograd::{Tape, Var};
+use clfd_tensor::{init, Matrix};
+use rand::Rng;
+
+/// Affine layer `y = x W + b` for `x: batch x in_dim`.
+///
+/// The CLFD fraud detector's classifier head is a two-layer FCNN of these:
+/// an input layer with LeakyReLU and a softmax output layer (§III-B2).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Var,
+    b: Var,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Weight-init family for a [`Linear`] layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinearInit {
+    /// Xavier/Glorot uniform — tanh/sigmoid/softmax layers.
+    Xavier,
+    /// He normal — ReLU-family layers.
+    He,
+}
+
+impl Linear {
+    /// Registers a new layer's parameters on `tape` (bias starts at zero).
+    pub fn new(
+        tape: &mut Tape,
+        in_dim: usize,
+        out_dim: usize,
+        init_kind: LinearInit,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = match init_kind {
+            LinearInit::Xavier => init::xavier_uniform(in_dim, out_dim, rng),
+            LinearInit::He => init::he_normal(in_dim, out_dim, rng),
+        };
+        Self {
+            w: tape.param(w),
+            b: tape.param(Matrix::zeros(1, out_dim)),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Records `x W + b` on the tape.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        debug_assert_eq!(
+            tape.value(x).cols(),
+            self.in_dim,
+            "Linear expects {} input features",
+            self.in_dim
+        );
+        let xw = tape.matmul(x, self.w);
+        tape.add_row_broadcast(xw, self.b)
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature count.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Layer for Linear {
+    fn params(&self) -> Vec<Var> {
+        vec![self.w, self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let layer = Linear::new(&mut tape, 5, 3, LinearInit::Xavier, &mut rng);
+        tape.seal();
+        let x = tape.constant(Matrix::ones(7, 5));
+        let y = layer.forward(&mut tape, x);
+        assert_eq!(tape.value(y).shape(), (7, 3));
+        assert_eq!(layer.params().len(), 2);
+    }
+
+    #[test]
+    fn learns_linear_map() {
+        // Fit y = 2x0 - x1 with a 2->1 linear layer.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape = Tape::new();
+        let layer = Linear::new(&mut tape, 2, 1, LinearInit::Xavier, &mut rng);
+        tape.seal();
+        let mut opt = Adam::new(0.05);
+        let params = layer.params();
+        for _ in 0..400 {
+            let x = Matrix::from_fn(8, 2, |r, c| ((r * 2 + c) as f32 * 0.37).sin());
+            let target = Matrix::from_fn(8, 1, |r, _| 2.0 * x.get(r, 0) - x.get(r, 1));
+            let xv = tape.constant(x);
+            let tv = tape.constant(target);
+            let pred = layer.forward(&mut tape, xv);
+            let err = tape.sub(pred, tv);
+            let sq = tape.mul(err, err);
+            let loss = tape.mean_all(sq);
+            tape.backward(loss);
+            opt.step(&mut tape, &params);
+            tape.reset();
+        }
+        let w = tape.value(params[0]);
+        assert!((w.get(0, 0) - 2.0).abs() < 0.05, "w0 = {}", w.get(0, 0));
+        assert!((w.get(1, 0) + 1.0).abs() < 0.05, "w1 = {}", w.get(1, 0));
+    }
+}

@@ -1,0 +1,279 @@
+//! Multi-layer LSTM session encoder.
+//!
+//! The paper adopts "LSTM as the foundation of our encoder ... two hidden
+//! layers with the same dimensions" and derives the session representation
+//! "by averaging the LSTM final hidden layer representations" (§III-B1).
+//! [`Lstm::forward_sequence`] returns the top-layer hidden state at every
+//! timestep and [`Lstm::mean_pool`] averages them over the valid (unpadded)
+//! steps of each session.
+
+use crate::Layer;
+use clfd_autograd::{Tape, Var};
+use clfd_tensor::{init, Matrix};
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct LstmCell {
+    /// Input weights `in_dim x 4*hidden` (gate order: i, f, g, o).
+    wx: Var,
+    /// Recurrent weights `hidden x 4*hidden`.
+    wh: Var,
+    /// Bias `1 x 4*hidden`; forget-gate block initialized to 1.
+    b: Var,
+    hidden: usize,
+}
+
+impl LstmCell {
+    fn new(tape: &mut Tape, in_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        let wx = init::xavier_uniform(in_dim, 4 * hidden, rng);
+        let wh = init::xavier_uniform(hidden, 4 * hidden, rng);
+        // Forget-gate bias of 1 is the standard fix for early-training
+        // vanishing memory.
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            b.set(0, c, 1.0);
+        }
+        Self { wx: tape.param(wx), wh: tape.param(wh), b: tape.param(b), hidden }
+    }
+
+    /// One timestep: returns `(h_t, c_t)`.
+    fn step(&self, tape: &mut Tape, x: Var, h_prev: Var, c_prev: Var) -> (Var, Var) {
+        let hd = self.hidden;
+        let zx = tape.matmul(x, self.wx);
+        let zh = tape.matmul(h_prev, self.wh);
+        let z = tape.add(zx, zh);
+        let z = tape.add_row_broadcast(z, self.b);
+        let i_gate = tape.slice_cols(z, 0, hd);
+        let f_gate = tape.slice_cols(z, hd, 2 * hd);
+        let g_gate = tape.slice_cols(z, 2 * hd, 3 * hd);
+        let o_gate = tape.slice_cols(z, 3 * hd, 4 * hd);
+        let i = tape.sigmoid(i_gate);
+        let f = tape.sigmoid(f_gate);
+        let g = tape.tanh(g_gate);
+        let o = tape.sigmoid(o_gate);
+        let fc = tape.mul(f, c_prev);
+        let ig = tape.mul(i, g);
+        let c = tape.add(fc, ig);
+        let c_tanh = tape.tanh(c);
+        let h = tape.mul(o, c_tanh);
+        (h, c)
+    }
+}
+
+/// Stacked LSTM; layer `l > 0` consumes the hidden sequence of layer `l-1`.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    cells: Vec<LstmCell>,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Registers a stacked LSTM (`num_layers ≥ 1`) on the tape.
+    pub fn new(
+        tape: &mut Tape,
+        in_dim: usize,
+        hidden: usize,
+        num_layers: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(num_layers >= 1, "LSTM needs at least one layer");
+        let mut cells = Vec::with_capacity(num_layers);
+        cells.push(LstmCell::new(tape, in_dim, hidden, rng));
+        for _ in 1..num_layers {
+            cells.push(LstmCell::new(tape, hidden, hidden, rng));
+        }
+        Self { cells, in_dim, hidden }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Unrolls the LSTM over `xs` (one `batch x in_dim` node per timestep)
+    /// and returns the top layer's hidden state at every timestep.
+    pub fn forward_sequence(&self, tape: &mut Tape, xs: &[Var]) -> Vec<Var> {
+        assert!(!xs.is_empty(), "empty input sequence");
+        let batch = tape.value(xs[0]).rows();
+        let mut sequence: Vec<Var> = xs.to_vec();
+        for cell in &self.cells {
+            let mut h = tape.constant(Matrix::zeros(batch, self.hidden));
+            let mut c = tape.constant(Matrix::zeros(batch, self.hidden));
+            let mut next = Vec::with_capacity(sequence.len());
+            for &x in &sequence {
+                let (h2, c2) = cell.step(tape, x, h, c);
+                h = h2;
+                c = c2;
+                next.push(h);
+            }
+            sequence = next;
+        }
+        sequence
+    }
+
+    /// Averages per-timestep hidden states over each row's valid prefix.
+    ///
+    /// `lengths[r]` is the number of real (unpadded) activities in session
+    /// `r`; hidden states at `t >= lengths[r]` contribute nothing to row `r`.
+    pub fn mean_pool(&self, tape: &mut Tape, hs: &[Var], lengths: &[usize]) -> Var {
+        assert!(!hs.is_empty(), "empty hidden sequence");
+        let batch = tape.value(hs[0]).rows();
+        assert_eq!(lengths.len(), batch, "one length per batch row");
+        let mut acc: Option<Var> = None;
+        for (t, &h) in hs.iter().enumerate() {
+            let scales: Vec<f32> = lengths
+                .iter()
+                .map(|&len| if t < len { 1.0 / len.max(1) as f32 } else { 0.0 })
+                .collect();
+            if scales.iter().all(|&s| s == 0.0) {
+                continue;
+            }
+            let contrib = tape.row_scale(h, scales);
+            acc = Some(match acc {
+                Some(a) => tape.add(a, contrib),
+                None => contrib,
+            });
+        }
+        acc.expect("at least one valid timestep")
+    }
+
+    /// Convenience: unroll and mean-pool in one call.
+    pub fn encode(&self, tape: &mut Tape, xs: &[Var], lengths: &[usize]) -> Var {
+        let hs = self.forward_sequence(tape, xs);
+        self.mean_pool(tape, &hs, lengths)
+    }
+}
+
+impl Layer for Lstm {
+    fn params(&self) -> Vec<Var> {
+        self.cells
+            .iter()
+            .flat_map(|c| [c.wx, c.wh, c.b])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn step_inputs(tape: &mut Tape, seq: &[Matrix]) -> Vec<Var> {
+        seq.iter().map(|m| tape.constant(m.clone())).collect()
+    }
+
+    #[test]
+    fn forward_shapes_and_param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let lstm = Lstm::new(&mut tape, 4, 6, 2, &mut rng);
+        tape.seal();
+        assert_eq!(lstm.params().len(), 6); // 3 per layer
+
+        let xs: Vec<Matrix> = (0..5).map(|_| Matrix::ones(3, 4)).collect();
+        let vars = step_inputs(&mut tape, &xs);
+        let hs = lstm.forward_sequence(&mut tape, &vars);
+        assert_eq!(hs.len(), 5);
+        assert_eq!(tape.value(hs[0]).shape(), (3, 6));
+        let pooled = lstm.mean_pool(&mut tape, &hs, &[5, 3, 1]);
+        assert_eq!(tape.value(pooled).shape(), (3, 6));
+    }
+
+    #[test]
+    fn mean_pool_respects_lengths() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape = Tape::new();
+        let lstm = Lstm::new(&mut tape, 2, 3, 1, &mut rng);
+        tape.seal();
+        let xs: Vec<Matrix> = (0..4)
+            .map(|t| Matrix::full(2, 2, t as f32 * 0.1))
+            .collect();
+        let vars = step_inputs(&mut tape, &xs);
+        let hs = lstm.forward_sequence(&mut tape, &vars);
+        // Row 1 has length 2: pooling must equal the average of h_0, h_1.
+        let pooled = lstm.mean_pool(&mut tape, &hs, &[4, 2]);
+        let expected: Vec<f32> = (0..3)
+            .map(|c| (tape.value(hs[0]).get(1, c) + tape.value(hs[1]).get(1, c)) / 2.0)
+            .collect();
+        for c in 0..3 {
+            assert!((tape.value(pooled).get(1, c) - expected[c]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lstm_learns_sequence_sum_sign() {
+        // Classify whether the sum of a short scalar sequence is positive —
+        // requires integrating information across timesteps.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tape = Tape::new();
+        let lstm = Lstm::new(&mut tape, 1, 8, 1, &mut rng);
+        let head = crate::linear::Linear::new(
+            &mut tape,
+            8,
+            2,
+            crate::linear::LinearInit::Xavier,
+            &mut rng,
+        );
+        tape.seal();
+        let mut params = lstm.params();
+        params.extend(head.params());
+        let mut opt = Adam::new(0.02);
+
+        let mut data_rng = StdRng::seed_from_u64(3);
+        let gen = |rng: &mut StdRng| -> (Vec<Matrix>, Vec<usize>) {
+            let batch = 16;
+            let t = 6;
+            let mut seq = vec![Matrix::zeros(batch, 1); t];
+            let mut labels = vec![0usize; batch];
+            let mut sums = vec![0.0f32; batch];
+            for step in seq.iter_mut() {
+                for r in 0..batch {
+                    let v: f32 = rng.gen_range(-1.0..1.0);
+                    step.set(r, 0, v);
+                    sums[r] += v;
+                }
+            }
+            for r in 0..batch {
+                labels[r] = usize::from(sums[r] > 0.0);
+            }
+            (seq, labels)
+        };
+
+        for _ in 0..150 {
+            let (seq, labels) = gen(&mut data_rng);
+            let vars = step_inputs(&mut tape, &seq);
+            let lens = vec![seq.len(); 16];
+            let z = lstm.encode(&mut tape, &vars, &lens);
+            let logits = head.forward(&mut tape, z);
+            let logp = tape.log_softmax_rows(logits);
+            let w = Matrix::from_fn(16, 2, |r, c| {
+                if c == labels[r] {
+                    -1.0 / 16.0
+                } else {
+                    0.0
+                }
+            });
+            let loss = tape.weighted_sum_all(logp, w);
+            tape.backward(loss);
+            opt.step(&mut tape, &params);
+            tape.reset();
+        }
+
+        // Evaluate accuracy on fresh data.
+        let (seq, labels) = gen(&mut data_rng);
+        let vars = step_inputs(&mut tape, &seq);
+        let z = lstm.encode(&mut tape, &vars, &vec![seq.len(); 16]);
+        let logits = head.forward(&mut tape, z);
+        let preds = tape.value(logits).argmax_rows();
+        let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        assert!(correct >= 13, "LSTM only classified {correct}/16 correctly");
+    }
+}

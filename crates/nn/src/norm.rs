@@ -1,0 +1,80 @@
+//! Affine layer normalization.
+
+use crate::Layer;
+use clfd_autograd::{Tape, Var};
+use clfd_tensor::Matrix;
+
+/// Layer normalization with learnable gain and bias:
+/// `y = gamma * (x - mean) / sqrt(var + eps) + beta`, per row.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Var,
+    beta: Var,
+    eps: f32,
+    dim: usize,
+}
+
+impl LayerNorm {
+    /// Registers gamma = 1, beta = 0 parameters of width `dim`.
+    pub fn new(tape: &mut Tape, dim: usize) -> Self {
+        Self {
+            gamma: tape.param(Matrix::ones(1, dim)),
+            beta: tape.param(Matrix::zeros(1, dim)),
+            eps: 1e-5,
+            dim,
+        }
+    }
+
+    /// Records the normalization on the tape.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        debug_assert_eq!(tape.value(x).cols(), self.dim);
+        let n = tape.layer_norm_rows(x, self.eps);
+        let scaled = tape.mul_row_broadcast(n, self.gamma);
+        tape.add_row_broadcast(scaled, self.beta)
+    }
+
+    /// Normalized width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for LayerNorm {
+    fn params(&self) -> Vec<Var> {
+        vec![self.gamma, self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_layer_standardizes_rows() {
+        let mut tape = Tape::new();
+        let ln = LayerNorm::new(&mut tape, 6);
+        tape.seal();
+        let x = tape.constant(Matrix::from_fn(3, 6, |r, c| (r * 6 + c) as f32 * 1.7 + 4.0));
+        let y = ln.forward(&mut tape, x);
+        let v = tape.value(y);
+        for r in 0..3 {
+            let mean: f32 = v.row(r).iter().sum::<f32>() / 6.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_shift_output() {
+        let mut tape = Tape::new();
+        let ln = LayerNorm::new(&mut tape, 2);
+        tape.seal();
+        *tape.value_mut(ln.gamma) = Matrix::from_vec(1, 2, vec![2.0, 2.0]).unwrap();
+        *tape.value_mut(ln.beta) = Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
+        let x = tape.constant(Matrix::from_vec(1, 2, vec![-1.0, 1.0]).unwrap());
+        let y = ln.forward(&mut tape, x);
+        // Normalized x is (-1, 1); output is 2*(-1,1)+1 = (-1, 3).
+        let v = tape.value(y);
+        assert!((v.get(0, 0) + 1.0).abs() < 1e-3);
+        assert!((v.get(0, 1) - 3.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,263 @@
+//! Optimizers: Adam (the paper's choice, lr = 0.005) and SGD with momentum.
+
+use clfd_autograd::{Tape, Var};
+use clfd_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Global-norm gradient clipping configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GradClip {
+    /// No clipping.
+    None,
+    /// Rescale all gradients so their global L2 norm is at most the value.
+    GlobalNorm(f32),
+}
+
+/// Common optimizer interface: consume gradients on the tape and update the
+/// parameter values in place.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently on the tape.
+    fn step(&mut self, tape: &mut Tape, params: &[Var]);
+}
+
+/// Computes the clip factor (≤ 1) for a set of gradients.
+fn clip_factor(tape: &Tape, params: &[Var], clip: GradClip) -> f32 {
+    match clip {
+        GradClip::None => 1.0,
+        GradClip::GlobalNorm(max_norm) => {
+            let total: f32 = params
+                .iter()
+                .map(|&p| {
+                    let g = tape.grad(p);
+                    g.as_slice().iter().map(|x| x * x).sum::<f32>()
+                })
+                .sum();
+            let norm = total.sqrt();
+            if norm > max_norm && norm > 0.0 {
+                max_norm / norm
+            } else {
+                1.0
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) — the optimizer used throughout the
+/// paper's experiments with a learning rate of 0.005 (§IV-A2).
+#[derive(Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Gradient clipping policy.
+    pub clip: GradClip,
+    /// Decoupled (AdamW-style) weight decay; 0 disables it.
+    pub weight_decay: f32,
+    t: u64,
+    moments: HashMap<usize, (Matrix, Matrix)>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: GradClip::GlobalNorm(5.0),
+            weight_decay: 0.0,
+            t: 0,
+            moments: HashMap::new(),
+        }
+    }
+
+    /// Enables decoupled (AdamW-style) weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Sets the gradient-clipping policy.
+    pub fn with_clip(mut self, clip: GradClip) -> Self {
+        self.clip = clip;
+        self
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, tape: &mut Tape, params: &[Var]) {
+        self.t += 1;
+        let factor = clip_factor(tape, params, self.clip);
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for &p in params {
+            let g = tape.grad(p).scale(factor);
+            let (rows, cols) = g.shape();
+            let (m, v) = self
+                .moments
+                .entry(p.index())
+                .or_insert_with(|| (Matrix::zeros(rows, cols), Matrix::zeros(rows, cols)));
+            let value = tape.value_mut(p);
+            let (ms, vs, gs, xs) =
+                (m.as_mut_slice(), v.as_mut_slice(), g.as_slice(), value.as_mut_slice());
+            for i in 0..gs.len() {
+                ms[i] = self.beta1 * ms[i] + (1.0 - self.beta1) * gs[i];
+                vs[i] = self.beta2 * vs[i] + (1.0 - self.beta2) * gs[i] * gs[i];
+                let m_hat = ms[i] / bc1;
+                let v_hat = vs[i] / bc2;
+                xs[i] -= self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * xs[i]);
+            }
+        }
+    }
+}
+
+/// SGD with (optional) classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// Gradient clipping policy.
+    pub clip: GradClip,
+    velocity: HashMap<usize, Matrix>,
+}
+
+impl Sgd {
+    /// Creates a plain SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, clip: GradClip::None, velocity: HashMap::new() }
+    }
+
+    /// Enables classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, tape: &mut Tape, params: &[Var]) {
+        let factor = clip_factor(tape, params, self.clip);
+        for &p in params {
+            let g = tape.grad(p).scale(factor);
+            if self.momentum == 0.0 {
+                tape.value_mut(p).add_scaled(&g, -self.lr);
+            } else {
+                let (rows, cols) = g.shape();
+                let v = self
+                    .velocity
+                    .entry(p.index())
+                    .or_insert_with(|| Matrix::zeros(rows, cols));
+                for (vi, &gi) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *vi = self.momentum * *vi + gi;
+                }
+                let vc = v.clone();
+                tape.value_mut(p).add_scaled(&vc, -self.lr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes `(w - 3)^2` and checks convergence.
+    fn quadratic_convergence(opt: &mut dyn Optimizer, tol: f32, iters: usize) {
+        let mut tape = Tape::new();
+        let w = tape.param(Matrix::from_vec(1, 1, vec![0.0]).unwrap());
+        tape.seal();
+        for _ in 0..iters {
+            let c = tape.constant(Matrix::from_vec(1, 1, vec![-3.0]).unwrap());
+            let d = tape.add(w, c);
+            let sq = tape.mul(d, d);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            opt.step(&mut tape, &[w]);
+            tape.reset();
+        }
+        let wv = tape.value(w).as_slice()[0];
+        assert!((wv - 3.0).abs() < tol, "w converged to {wv}");
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        quadratic_convergence(&mut Adam::new(0.1), 0.05, 300);
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        quadratic_convergence(&mut Sgd::new(0.1), 0.01, 200);
+    }
+
+    #[test]
+    fn sgd_with_momentum_minimizes_quadratic() {
+        quadratic_convergence(&mut Sgd::new(0.02).with_momentum(0.9), 0.05, 300);
+    }
+
+    #[test]
+    fn global_norm_clip_rescales() {
+        let mut tape = Tape::new();
+        let w = tape.param(Matrix::from_vec(1, 2, vec![0.0, 0.0]).unwrap());
+        tape.seal();
+        // Loss = 300*w0 + 400*w1 → grad (300, 400), norm 500.
+        let weights = Matrix::from_vec(1, 2, vec![300.0, 400.0]).unwrap();
+        let loss = tape.weighted_sum_all(w, weights);
+        tape.backward(loss);
+        let mut opt = Sgd::new(1.0);
+        opt.clip = GradClip::GlobalNorm(5.0);
+        opt.step(&mut tape, &[w]);
+        // Clipped gradient is (3, 4): w becomes (-3, -4).
+        let v = tape.value(w).as_slice();
+        assert!((v[0] + 3.0).abs() < 1e-4 && (v[1] + 4.0).abs() < 1e-4, "{v:?}");
+    }
+
+    #[test]
+    fn adam_step_counter_advances() {
+        let mut tape = Tape::new();
+        let w = tape.param(Matrix::zeros(1, 1));
+        tape.seal();
+        let mut opt = Adam::new(0.01);
+        assert_eq!(opt.steps(), 0);
+        let loss = tape.sum_all(w);
+        tape.backward(loss);
+        opt.step(&mut tape, &[w]);
+        assert_eq!(opt.steps(), 1);
+    }
+}
+
+#[cfg(test)]
+mod weight_decay_tests {
+    use super::*;
+
+    #[test]
+    fn weight_decay_shrinks_unused_parameters() {
+        // A parameter with zero gradient must decay toward zero.
+        let mut tape = Tape::new();
+        let w = tape.param(Matrix::from_vec(1, 1, vec![4.0]).unwrap());
+        tape.seal();
+        let mut opt = Adam::new(0.1).with_weight_decay(0.1);
+        for _ in 0..50 {
+            let zero = tape.constant(Matrix::zeros(1, 1));
+            let prod = tape.mul(w, zero);
+            let loss = tape.sum_all(prod);
+            tape.backward(loss);
+            opt.step(&mut tape, &[w]);
+            tape.reset();
+        }
+        let v = tape.value(w).as_slice()[0];
+        assert!(v.abs() < 4.0 * 0.99_f32.powi(40), "w barely decayed: {v}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Parameter snapshots: save / restore model weights.
+//!
+//! A [`Snapshot`] is the ordered list of parameter matrices of a model (the
+//! order is whatever [`Layer::params`](crate::Layer::params) yields). It
+//! serializes with serde, so trained models can be persisted as JSON and
+//! reloaded into a freshly constructed model of the same architecture.
+
+use clfd_autograd::{Tape, Var};
+use clfd_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Ordered parameter values captured from a tape.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Snapshot {
+    /// Parameter matrices, in the model's `params()` order.
+    pub values: Vec<Matrix>,
+}
+
+/// Errors when applying a snapshot to a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Snapshot holds a different number of parameters than the model.
+    CountMismatch {
+        /// Parameters expected by the model.
+        expected: usize,
+        /// Parameters present in the snapshot.
+        found: usize,
+    },
+    /// A parameter's shape differs between snapshot and model.
+    ShapeMismatch {
+        /// Position in the parameter list.
+        index: usize,
+        /// Shape expected by the model.
+        expected: (usize, usize),
+        /// Shape present in the snapshot.
+        found: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::CountMismatch { expected, found } => {
+                write!(f, "snapshot has {found} parameters, model expects {expected}")
+            }
+            Self::ShapeMismatch { index, expected, found } => write!(
+                f,
+                "parameter {index}: snapshot shape {found:?}, model shape {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl Snapshot {
+    /// Captures the current values of `params` from `tape`.
+    pub fn capture(tape: &Tape, params: &[Var]) -> Self {
+        Self { values: params.iter().map(|&p| tape.value(p).clone()).collect() }
+    }
+
+    /// Writes the captured values back into `params` on `tape`.
+    ///
+    /// # Errors
+    /// Fails without modifying anything if counts or shapes disagree.
+    pub fn restore(&self, tape: &mut Tape, params: &[Var]) -> Result<(), SnapshotError> {
+        if self.values.len() != params.len() {
+            return Err(SnapshotError::CountMismatch {
+                expected: params.len(),
+                found: self.values.len(),
+            });
+        }
+        for (i, (&p, v)) in params.iter().zip(&self.values).enumerate() {
+            if tape.value(p).shape() != v.shape() {
+                return Err(SnapshotError::ShapeMismatch {
+                    index: i,
+                    expected: tape.value(p).shape(),
+                    found: v.shape(),
+                });
+            }
+        }
+        for (&p, v) in params.iter().zip(&self.values) {
+            *tape.value_mut(p) = v.clone();
+        }
+        Ok(())
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Deserializes from a JSON string.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{Linear, LinearInit};
+    use crate::Layer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let layer = Linear::new(&mut tape, 3, 2, LinearInit::Xavier, &mut rng);
+        tape.seal();
+        let params = layer.params();
+        let snap = Snapshot::capture(&tape, &params);
+
+        // Clobber the weights, then restore.
+        for &p in &params {
+            tape.value_mut(p).map_inplace(|_| 99.0);
+        }
+        snap.restore(&mut tape, &params).unwrap();
+        assert_eq!(Snapshot::capture(&tape, &params), snap);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape = Tape::new();
+        let layer = Linear::new(&mut tape, 2, 2, LinearInit::He, &mut rng);
+        tape.seal();
+        let snap = Snapshot::capture(&tape, &layer.params());
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_architecture() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tape = Tape::new();
+        let small = Linear::new(&mut tape, 2, 2, LinearInit::Xavier, &mut rng);
+        let big = Linear::new(&mut tape, 4, 4, LinearInit::Xavier, &mut rng);
+        tape.seal();
+        let snap = Snapshot::capture(&tape, &small.params());
+        let err = snap.restore(&mut tape, &big.params()).unwrap_err();
+        assert!(matches!(err, SnapshotError::ShapeMismatch { .. }));
+
+        let err = snap
+            .restore(&mut tape, &big.params()[..1].to_vec())
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::CountMismatch { .. }));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the neural-network layers.
+
+use clfd_autograd::Tape;
+use clfd_nn::linear::LinearInit;
+use clfd_nn::{Layer, Linear, Lstm, TransformerEncoder};
+use clfd_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Linear layers map any batch size to the declared output width, and
+    /// gradients reach both weight and bias.
+    #[test]
+    fn linear_shape_and_gradient_flow(
+        batch in 1_usize..6,
+        in_dim in 1_usize..8,
+        out_dim in 1_usize..8,
+        seed in 0_u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tape = Tape::new();
+        let layer = Linear::new(&mut tape, in_dim, out_dim, LinearInit::Xavier, &mut rng);
+        tape.seal();
+        let x = tape.constant(Matrix::from_fn(batch, in_dim, |r, c| {
+            ((r * in_dim + c) as f32 * 0.7).sin()
+        }));
+        let y = layer.forward(&mut tape, x);
+        prop_assert_eq!(tape.value(y).shape(), (batch, out_dim));
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        for p in layer.params() {
+            let g = tape.grad(p);
+            prop_assert!(!g.has_non_finite());
+        }
+    }
+
+    /// The LSTM is causal: changing inputs at time t must not change hidden
+    /// states before t.
+    #[test]
+    fn lstm_is_causal(seed in 0_u64..50, t_changed in 1_usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tape = Tape::new();
+        let lstm = Lstm::new(&mut tape, 3, 4, 1, &mut rng);
+        tape.seal();
+
+        let steps: Vec<Matrix> = (0..4)
+            .map(|t| Matrix::from_fn(2, 3, |r, c| ((t + r * 3 + c) as f32 * 0.31).cos()))
+            .collect();
+        let run = |tape: &mut Tape, steps: &[Matrix]| -> Vec<Matrix> {
+            let vars: Vec<_> = steps.iter().map(|m| tape.constant(m.clone())).collect();
+            let hs = lstm.forward_sequence(tape, &vars);
+            let out = hs.iter().map(|&h| tape.value(h).clone()).collect();
+            tape.reset();
+            out
+        };
+        let base = run(&mut tape, &steps);
+        let mut perturbed_steps = steps.clone();
+        perturbed_steps[t_changed].map_inplace(|x| x + 1.0);
+        let perturbed = run(&mut tape, &perturbed_steps);
+
+        for t in 0..t_changed {
+            prop_assert_eq!(&base[t], &perturbed[t], "state at t={} changed", t);
+        }
+        // And the change must propagate forward.
+        prop_assert!(base[t_changed] != perturbed[t_changed]);
+    }
+
+    /// Mean pooling over a full-length mask equals the plain average.
+    #[test]
+    fn lstm_mean_pool_full_length_is_average(seed in 0_u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tape = Tape::new();
+        let lstm = Lstm::new(&mut tape, 2, 3, 1, &mut rng);
+        tape.seal();
+        let steps: Vec<Matrix> =
+            (0..3).map(|t| Matrix::full(2, 2, t as f32 * 0.2 - 0.1)).collect();
+        let vars: Vec<_> = steps.iter().map(|m| tape.constant(m.clone())).collect();
+        let hs = lstm.forward_sequence(&mut tape, &vars);
+        let pooled = lstm.mean_pool(&mut tape, &hs, &[3, 3]);
+        for r in 0..2 {
+            for c in 0..3 {
+                let avg: f32 = (0..3).map(|t| tape.value(hs[t]).get(r, c)).sum::<f32>() / 3.0;
+                prop_assert!((tape.value(pooled).get(r, c) - avg).abs() < 1e-5);
+            }
+        }
+    }
+
+    /// The transformer encoder preserves sequence shape for any length.
+    #[test]
+    fn transformer_preserves_shape(len in 2_usize..8, seed in 0_u64..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tape = Tape::new();
+        let enc = TransformerEncoder::new(&mut tape, 8, 2, 16, 1, &mut rng);
+        tape.seal();
+        let x = tape.constant(Matrix::from_fn(len, 8, |r, c| ((r + c) as f32 * 0.4).sin()));
+        let y = enc.forward(&mut tape, x);
+        prop_assert_eq!(tape.value(y).shape(), (len, 8));
+        prop_assert!(!tape.value(y).has_non_finite());
+    }
+}

@@ -1,0 +1,93 @@
+//! Weight initializers.
+//!
+//! All initializers take an explicit RNG so that every training run in the
+//! reproduction is deterministic given a seed.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Standard Gaussian sample via the Box–Muller transform.
+///
+/// `rand`'s `StandardNormal` lives in the separate `rand_distr` crate; a
+/// two-line Box–Muller keeps the dependency set minimal and is exact.
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Matrix with entries drawn uniformly from `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// Matrix with `N(mean, std²)` entries.
+pub fn gaussian(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| mean + std * standard_normal(rng))
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suited to tanh/sigmoid layers (the
+/// LSTM gates).
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(fan_in, fan_out, -a, a, rng)
+}
+
+/// He (Kaiming) normal initialization: `N(0, 2 / fan_in)`. Suited to
+/// ReLU-family layers (the FCNN classifier's LeakyReLU).
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let std = (2.0 / fan_in as f32).sqrt();
+    gaussian(fan_in, fan_out, 0.0, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = uniform(20, 20, -0.5, 0.5, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = xavier_uniform(10, 10, &mut rng);
+        let large = xavier_uniform(1000, 1000, &mut rng);
+        assert!(small.max_abs() > large.max_abs());
+        assert!(large.max_abs() <= (6.0 / 2000.0_f32).sqrt() + 1e-6);
+    }
+
+    #[test]
+    fn he_normal_variance_tracks_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = he_normal(200, 200, &mut rng);
+        let var = m.as_slice().iter().map(|x| x * x).sum::<f32>() / m.len() as f32;
+        let expected = 2.0 / 200.0;
+        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = gaussian(4, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = gaussian(4, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

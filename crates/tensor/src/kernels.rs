@@ -1,0 +1,385 @@
+//! Linear-algebra, elementwise, and reduction kernels for [`Matrix`].
+//!
+//! The matmul kernel uses an i-k-j loop order so the inner loop streams both
+//! the `b` row and the output row sequentially — the standard cache-friendly
+//! layout for row-major data (see the Rust Performance Book's advice on
+//! iteration order). No unsafe code is used anywhere in the workspace.
+
+use crate::matrix::Matrix;
+
+impl Matrix {
+    /// Matrix product `self * other` (`m x k` times `k x n`).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul inner dimensions differ ({:?} * {:?})",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k) = self.shape();
+        let n = other.cols();
+        let mut out = Matrix::zeros(m, n);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let o = out.as_mut_slice();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut o[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (ov, &bv) in o_row.iter_mut().zip(b_row) {
+                    *ov += aik * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * other^T` without materializing the transpose (`m x k` times
+    /// `n x k` → `m x n`). This is the hot kernel of every contrastive loss:
+    /// pairwise similarities between two batches of embeddings.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_transpose requires equal column counts ({:?} vs {:?})",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k) = self.shape();
+        let n = other.rows();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let o_row = out.row_mut(i);
+            for j in 0..n {
+                let b_row = &other.as_slice()[j * k..(j + 1) * k];
+                o_row[j] = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Adds `other` into `self` in place.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b;
+        }
+    }
+
+    /// `self += scale * other`, the AXPY update used by optimizers.
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
+        self.assert_same_shape(other, "add_scaled");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiplies every element by `s`, returning a new matrix.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s` to every element, returning a new matrix.
+    pub fn shift(&self, s: f32) -> Matrix {
+        self.map(|x| x + s)
+    }
+
+    /// Adds a `1 x cols` row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(
+            row.cols(),
+            self.cols(),
+            "broadcast vector has {} columns, matrix has {}",
+            row.cols(),
+            self.cols()
+        );
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(row.as_slice()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements; 0 for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Per-row sums as an `rows x 1` column vector.
+    pub fn row_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), 1);
+        for r in 0..self.rows() {
+            out.set(r, 0, self.row(r).iter().sum());
+        }
+        out
+    }
+
+    /// Per-column sums as a `1 x cols` row vector.
+    pub fn col_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols());
+        for r in 0..self.rows() {
+            for (o, &v) in out.as_mut_slice().iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Per-row means as an `rows x 1` column vector.
+    pub fn row_means(&self) -> Matrix {
+        let inv = 1.0 / self.cols().max(1) as f32;
+        self.row_sums().scale(inv)
+    }
+
+    /// Row-wise softmax; numerically stabilized by subtracting the row max.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        out
+    }
+
+    /// Row-wise log-softmax, numerically stabilized.
+    pub fn log_softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let log_sum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            for x in row.iter_mut() {
+                *x -= log_sum;
+            }
+        }
+        out
+    }
+
+    /// L2-normalizes each row; rows with norm below `eps` are left unchanged.
+    pub fn l2_normalize_rows(&self, eps: f32) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > eps {
+                for x in row.iter_mut() {
+                    *x /= norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the largest element in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows())
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Euclidean distance between two equal-length row-major buffers viewed
+    /// as flat vectors.
+    pub fn euclidean_distance(&self, other: &Matrix) -> f32 {
+        self.assert_same_shape(other, "euclidean_distance");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Cosine similarity of two slices; 0 when either has zero norm.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(a.matmul(&Matrix::identity(4)), a);
+        assert_eq!(Matrix::identity(4).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = Matrix::from_fn(4, 5, |r, c| (r * c) as f32 * 0.1);
+        let fast = a.matmul_transpose(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dimensions")]
+    fn matmul_dim_mismatch_panics() {
+        Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).as_slice(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn axpy_update() {
+        let mut a = m(1, 2, &[1.0, 1.0]);
+        let g = m(1, 2, &[2.0, 4.0]);
+        a.add_scaled(&g, -0.5);
+        assert_eq!(a.as_slice(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn broadcast_add() {
+        let a = Matrix::zeros(2, 3);
+        let b = m(1, 3, &[1.0, 2.0, 3.0]);
+        let c = a.add_row_broadcast(&b);
+        assert_eq!(c.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(c.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.row_sums().as_slice(), &[3.0, 7.0]);
+        assert_eq!(a.col_sums().as_slice(), &[4.0, 6.0]);
+        assert_eq!(a.row_means().as_slice(), &[1.5, 3.5]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, -1.0, 0.0, 100.0]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            assert!(s.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        // Large logits must not overflow.
+        assert!((s.get(1, 2) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let a = m(1, 4, &[0.5, -0.5, 2.0, 0.0]);
+        let s = a.softmax_rows();
+        let ls = a.log_softmax_rows();
+        for i in 0..4 {
+            assert!((ls.as_slice()[i].exp() - s.as_slice()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let a = m(2, 2, &[3.0, 4.0, 0.0, 0.0]);
+        let n = a.l2_normalize_rows(1e-8);
+        assert!((dot(n.row(0), n.row(0)).sqrt() - 1.0).abs() < 1e-6);
+        // Zero row is left untouched rather than producing NaN.
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let a = m(2, 3, &[0.1, 0.9, 0.0, 0.3, 0.2, 0.5]);
+        assert_eq!(a.argmax_rows(), vec![1, 2]);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+}

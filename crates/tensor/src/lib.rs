@@ -1,0 +1,24 @@
+//! Dense `f32` matrix kernels and a small statistical toolkit.
+//!
+//! This crate is the numeric substrate of the CLFD reproduction. It provides:
+//!
+//! - [`Matrix`] — a row-major dense `f32` matrix with shape-checked
+//!   constructors and a rich set of elementwise / reduction / linear-algebra
+//!   kernels (see [`matrix`] and [`kernels`]).
+//! - [`init`] — weight initializers (uniform, Gaussian, Xavier/Glorot, He).
+//! - [`stats`] — sampling for the Gamma and Beta distributions (used by the
+//!   paper's mixup strategy, λ ~ Beta(β, β)), a one-dimensional two-component
+//!   Gaussian mixture fitted with EM (used by the DivideMix-style baseline to
+//!   split clean from noisy samples), and running mean/std accumulators used
+//!   for the paper's `mean ± std over 5 runs` reporting.
+//!
+//! Shape mismatches in binary operations are programming errors and panic
+//! with a descriptive message; constructors that take caller-provided buffers
+//! return [`ShapeError`] instead.
+
+pub mod init;
+pub mod kernels;
+pub mod matrix;
+pub mod stats;
+
+pub use matrix::{Matrix, ShapeError};

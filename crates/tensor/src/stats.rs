@@ -1,0 +1,334 @@
+//! Statistical toolkit: Gamma/Beta sampling, a 1-D two-component Gaussian
+//! mixture fitted with EM, and running mean/std accumulators.
+//!
+//! These are deliberately implemented here instead of pulling `rand_distr`:
+//! the mixup strategy of the paper (λ ~ Beta(β, β), §III-A1) and the
+//! DivideMix-style clean/noisy split (per-sample loss GMM) are part of the
+//! system under reproduction, and the from-scratch implementations are
+//! covered by moment-matching property tests.
+
+use rand::Rng;
+
+use crate::init::standard_normal;
+
+/// Samples `Gamma(shape, 1)` using the Marsaglia–Tsang squeeze method.
+///
+/// For `shape < 1` the standard boosting identity
+/// `Gamma(a) = Gamma(a + 1) * U^(1/a)` is applied.
+///
+/// # Panics
+/// Panics if `shape` is not strictly positive and finite.
+pub fn sample_gamma(shape: f32, rng: &mut impl Rng) -> f32 {
+    assert!(shape.is_finite() && shape > 0.0, "gamma shape must be positive, got {shape}");
+    if shape < 1.0 {
+        let u: f32 = rng.gen::<f32>().max(f32::MIN_POSITIVE);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f32 = rng.gen::<f32>().max(f32::MIN_POSITIVE);
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Samples `Beta(a, b)` via the two-Gamma construction.
+///
+/// The paper's mixup coefficient is drawn as `λ ~ Beta(β, β)` with β = 16
+/// (§IV-A2), which concentrates λ near 0.5 — i.e. strong interpolation.
+pub fn sample_beta(a: f32, b: f32, rng: &mut impl Rng) -> f32 {
+    let x = sample_gamma(a, rng);
+    let y = sample_gamma(b, rng);
+    let s = x + y;
+    if s == 0.0 {
+        0.5
+    } else {
+        (x / s).clamp(0.0, 1.0)
+    }
+}
+
+/// A one-dimensional two-component Gaussian mixture fitted with EM.
+///
+/// DivideMix-style baselines fit this to the per-sample training loss each
+/// epoch: the low-mean component models "clean" samples, the high-mean
+/// component models "noisy" ones, and the posterior of the low-mean
+/// component is each sample's clean probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianMixture1d {
+    /// Component means, sorted ascending (index 0 = "clean" component).
+    pub means: [f32; 2],
+    /// Component variances (floored at `var_floor`).
+    pub variances: [f32; 2],
+    /// Mixing weights, summing to 1.
+    pub weights: [f32; 2],
+}
+
+impl GaussianMixture1d {
+    const VAR_FLOOR: f32 = 1e-6;
+
+    /// Fits the mixture to `data` with at most `max_iter` EM iterations.
+    ///
+    /// Initialization splits the data at its median, which is robust to the
+    /// heavy imbalance between clean and noisy losses. Returns `None` when
+    /// fewer than two samples are provided.
+    pub fn fit(data: &[f32], max_iter: usize) -> Option<Self> {
+        if data.len() < 2 {
+            return None;
+        }
+        let mut sorted: Vec<f32> = data.to_vec();
+        sorted.sort_by(f32::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let lo: Vec<f32> = sorted.iter().copied().filter(|&x| x <= median).collect();
+        let hi: Vec<f32> = sorted.iter().copied().filter(|&x| x > median).collect();
+        let hi = if hi.is_empty() { lo.clone() } else { hi };
+
+        let mut gmm = Self {
+            means: [mean_of(&lo), mean_of(&hi)],
+            variances: [
+                var_of(&lo).max(Self::VAR_FLOOR),
+                var_of(&hi).max(Self::VAR_FLOOR),
+            ],
+            weights: [0.5, 0.5],
+        };
+
+        let mut resp = vec![0.0_f32; data.len()];
+        for _ in 0..max_iter {
+            // E-step: responsibility of component 0 for each sample.
+            for (r, &x) in resp.iter_mut().zip(data) {
+                let p0 = gmm.weights[0] * gaussian_pdf(x, gmm.means[0], gmm.variances[0]);
+                let p1 = gmm.weights[1] * gaussian_pdf(x, gmm.means[1], gmm.variances[1]);
+                *r = if p0 + p1 > 0.0 { p0 / (p0 + p1) } else { 0.5 };
+            }
+            // M-step.
+            let n = data.len() as f32;
+            let n0: f32 = resp.iter().sum();
+            let n1 = n - n0;
+            if n0 < 1e-3 || n1 < 1e-3 {
+                break;
+            }
+            let m0 = resp.iter().zip(data).map(|(&r, &x)| r * x).sum::<f32>() / n0;
+            let m1 = resp.iter().zip(data).map(|(&r, &x)| (1.0 - r) * x).sum::<f32>() / n1;
+            let v0 = resp
+                .iter()
+                .zip(data)
+                .map(|(&r, &x)| r * (x - m0) * (x - m0))
+                .sum::<f32>()
+                / n0;
+            let v1 = resp
+                .iter()
+                .zip(data)
+                .map(|(&r, &x)| (1.0 - r) * (x - m1) * (x - m1))
+                .sum::<f32>()
+                / n1;
+            let next = Self {
+                means: [m0, m1],
+                variances: [v0.max(Self::VAR_FLOOR), v1.max(Self::VAR_FLOOR)],
+                weights: [n0 / n, n1 / n],
+            };
+            let delta = (next.means[0] - gmm.means[0]).abs() + (next.means[1] - gmm.means[1]).abs();
+            gmm = next;
+            if delta < 1e-5 {
+                break;
+            }
+        }
+        // Keep the invariant: component 0 is the low-mean ("clean") one.
+        if gmm.means[0] > gmm.means[1] {
+            gmm.means.swap(0, 1);
+            gmm.variances.swap(0, 1);
+            gmm.weights.swap(0, 1);
+        }
+        Some(gmm)
+    }
+
+    /// Posterior probability that `x` belongs to the low-mean component.
+    pub fn clean_probability(&self, x: f32) -> f32 {
+        let p0 = self.weights[0] * gaussian_pdf(x, self.means[0], self.variances[0]);
+        let p1 = self.weights[1] * gaussian_pdf(x, self.means[1], self.variances[1]);
+        if p0 + p1 > 0.0 {
+            p0 / (p0 + p1)
+        } else {
+            0.5
+        }
+    }
+}
+
+fn mean_of(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+fn var_of(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean_of(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+fn gaussian_pdf(x: f32, mean: f32, var: f32) -> f32 {
+    let d = x - mean;
+    (-(d * d) / (2.0 * var)).exp() / (2.0 * std::f32::consts::PI * var).sqrt()
+}
+
+/// Numerically-stable running mean / standard deviation (Welford).
+///
+/// Used to aggregate metric scores over repeated runs for the paper's
+/// `mean ± std` table cells.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation; 0 with fewer than two observations.
+    pub fn std(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gamma_moments_match_theory() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &shape in &[0.5_f32, 1.0, 2.5, 16.0] {
+            let n = 20_000;
+            let samples: Vec<f32> = (0..n).map(|_| sample_gamma(shape, &mut rng)).collect();
+            let mean = samples.iter().sum::<f32>() / n as f32;
+            // Gamma(k, 1) has mean k.
+            assert!(
+                (mean - shape).abs() < shape * 0.06 + 0.02,
+                "shape {shape}: mean {mean}"
+            );
+            assert!(samples.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn beta_symmetric_concentrates_at_half() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 10_000;
+        // β = 16 is the paper's mixup setting: strong interpolation.
+        let samples: Vec<f32> = (0..n).map(|_| sample_beta(16.0, 16.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        // Var of Beta(a,a) = 1 / (4(2a+1)) = 1/132 ≈ 0.00757.
+        assert!((var - 1.0 / 132.0).abs() < 0.0015, "var {var}");
+        assert!(samples.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn beta_asymmetric_mean() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 10_000;
+        let mean: f32 =
+            (0..n).map(|_| sample_beta(2.0, 6.0, &mut rng)).sum::<f32>() / n as f32;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gmm_separates_two_clusters() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut data = Vec::new();
+        // Mimic the DivideMix use case: most samples have low loss, a noisy
+        // minority has high loss.
+        for _ in 0..700 {
+            data.push(0.2 + 0.05 * standard_normal(&mut rng));
+        }
+        for _ in 0..300 {
+            data.push(1.5 + 0.1 * standard_normal(&mut rng));
+        }
+        let gmm = GaussianMixture1d::fit(&data, 50).unwrap();
+        assert!((gmm.means[0] - 0.2).abs() < 0.1, "means {:?}", gmm.means);
+        assert!((gmm.means[1] - 1.5).abs() < 0.15, "means {:?}", gmm.means);
+        assert!(gmm.clean_probability(0.2) > 0.95);
+        assert!(gmm.clean_probability(1.5) < 0.05);
+        assert!((gmm.weights[0] - 0.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn gmm_handles_degenerate_input() {
+        assert!(GaussianMixture1d::fit(&[], 10).is_none());
+        assert!(GaussianMixture1d::fit(&[1.0], 10).is_none());
+        // Identical values must not produce NaN.
+        let gmm = GaussianMixture1d::fit(&[0.5; 10], 10).unwrap();
+        assert!(gmm.means.iter().all(|m| m.is_finite()));
+        let p = gmm.clean_probability(0.5);
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn running_stats_welford() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_small_counts() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.std(), 0.0);
+    }
+}

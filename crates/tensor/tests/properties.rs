@@ -1,0 +1,116 @@
+//! Property-based tests for the matrix kernels and samplers.
+
+use clfd_tensor::{kernels::dot, stats, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0_f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_associativity(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+        c in matrix_strategy(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in matrix_strategy(3, 3),
+        b in matrix_strategy(3, 3),
+        c in matrix_strategy(3, 3),
+    ) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_of_product_is_reversed_product(
+        a in matrix_strategy(2, 4),
+        b in matrix_strategy(4, 3),
+    ) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_is_probability_simplex(m in matrix_strategy(4, 6)) {
+        let s = m.softmax_rows();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(m in matrix_strategy(2, 5), shift in -5.0_f32..5.0) {
+        let a = m.softmax_rows();
+        let b = m.shift(shift).softmax_rows();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn l2_normalized_rows_have_unit_norm(m in matrix_strategy(4, 8)) {
+        let n = m.l2_normalize_rows(1e-6);
+        for r in 0..n.rows() {
+            let norm = dot(n.row(r), n.row(r)).sqrt();
+            // Either the original row was (near) zero, or the result is unit.
+            let orig = dot(m.row(r), m.row(r)).sqrt();
+            if orig > 1e-6 {
+                prop_assert!((norm - 1.0).abs() < 1e-3, "norm {norm}");
+            }
+        }
+    }
+
+    #[test]
+    fn vstack_preserves_rows(a in matrix_strategy(2, 3), b in matrix_strategy(3, 3)) {
+        let v = a.vstack(&b);
+        prop_assert_eq!(v.rows(), 5);
+        prop_assert_eq!(v.row(0), a.row(0));
+        prop_assert_eq!(v.row(4), b.row(2));
+    }
+
+    #[test]
+    fn beta_sample_in_unit_interval(a in 0.2_f32..20.0, b in 0.2_f32..20.0, seed in 0_u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = stats::sample_beta(a, b, &mut rng);
+        prop_assert!((0.0..=1.0).contains(&x), "beta({a},{b}) gave {x}");
+    }
+
+    #[test]
+    fn gamma_sample_positive(shape in 0.2_f32..30.0, seed in 0_u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = stats::sample_gamma(shape, &mut rng);
+        prop_assert!(x > 0.0 && x.is_finite());
+    }
+
+    #[test]
+    fn running_stats_matches_direct_formula(xs in proptest::collection::vec(-100.0_f64..100.0, 2..50)) {
+        let s: stats::RunningStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6);
+        prop_assert!((s.std() - var.sqrt()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,61 @@
+//! Insider-threat scenario: end-to-end CLFD on the CERT-like simulator,
+//! with a per-archetype audit of what the detector catches.
+//!
+//! The CERT simulator plants four insider archetypes (USB exfiltration,
+//! cloud leaking, sabotage, job-hopper theft); this example reports, per
+//! discriminative token, how many of the caught / missed malicious test
+//! sessions contain it — the "session diversity" the paper's intro
+//! motivates, made visible.
+//!
+//! ```text
+//! cargo run --release --example insider_threat
+//! ```
+
+use clfd::{Ablation, ClfdConfig, TrainedClfd};
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::{DatasetKind, Label, Preset};
+use clfd_eval::metrics::RunMetrics;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let split = DatasetKind::Cert.generate(Preset::Smoke, 1);
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let truth = split.train_labels();
+    let mut rng = StdRng::seed_from_u64(3);
+    let noisy = NoiseModel::PAPER_CLASS_DEPENDENT.apply(&truth, &mut rng);
+    println!("training CLFD under class-dependent noise (η10=0.3, η01=0.45)...");
+
+    let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 11);
+    let preds = model.predict_test(&split);
+    let test_truth = split.test_labels();
+    let metrics = RunMetrics::compute(&preds, &test_truth);
+    println!(
+        "test metrics: F1 {:.2}%  FPR {:.2}%  AUC-ROC {:.2}%\n",
+        metrics.f1, metrics.fpr, metrics.auc_roc
+    );
+
+    // Audit: which insider archetypes does the detector catch?
+    let signature_tokens =
+        ["usb_connect", "web_leak_site", "file_delete", "web_job_search"];
+    println!("caught / total malicious test sessions containing each signature token:");
+    for token_name in signature_tokens {
+        let token = split.corpus.vocab.id(token_name).expect("known token");
+        let mut caught = 0;
+        let mut total = 0;
+        for ((pred, &t), &session_idx) in
+            preds.iter().zip(&test_truth).zip(&split.test)
+        {
+            if t != Label::Malicious {
+                continue;
+            }
+            if split.corpus.sessions[session_idx].activities.contains(&token) {
+                total += 1;
+                if pred.label == Label::Malicious {
+                    caught += 1;
+                }
+            }
+        }
+        println!("  {token_name:<16} {caught}/{total}");
+    }
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Sequential regeneration of the remaining experiments at Default scale.
+set -x
+cd /root/repo
+while pgrep -x table1 > /dev/null; do sleep 10; done
+target/release/table2 --preset default --runs 3 --out results/table2.json > results/table2.md 2> results/table2.log
+target/release/table3 --preset default --runs 3 --out results/table3.json > results/table3.md 2> results/table3.log
+target/release/table4 --preset default --runs 3 --out results/table4.json > results/table4.md 2> results/table4.log
+target/release/table5 --preset default --runs 3 --out results/table5.json > results/table5.md 2> results/table5.log
+target/release/latency --preset default --runs 1 --out results/latency.json > results/latency.md 2> results/latency.log
+target/release/repro_ablations --preset default --runs 2 --out results/repro_ablations.json > results/repro_ablations.md 2> results/repro_ablations.log
+target/release/theorems > results/theorems.md 2>/dev/null
+echo ALL-DONE > results/.done

@@ -1,0 +1,21 @@
+//! Umbrella crate for the CLFD reproduction suite.
+//!
+//! This crate exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests under `tests/`. The actual library surface
+//! lives in the workspace member crates:
+//!
+//! - [`clfd`] — the paper's contribution (label corrector + fraud detector)
+//! - [`clfd_baselines`] — the eight comparison systems from the evaluation
+//! - [`clfd_data`] — dataset simulators, noise injection, embeddings
+//! - [`clfd_losses`] — the loss-function library (GCE, mixup GCE, SupCon, ...)
+//! - [`clfd_nn`], [`clfd_autograd`], [`clfd_tensor`] — the training substrate
+//! - [`clfd_eval`] — metrics and the experiment runner
+
+pub use clfd;
+pub use clfd_autograd;
+pub use clfd_baselines;
+pub use clfd_data;
+pub use clfd_eval;
+pub use clfd_losses;
+pub use clfd_nn;
+pub use clfd_tensor;

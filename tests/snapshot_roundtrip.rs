@@ -1,0 +1,58 @@
+//! Integration test: model persistence via parameter snapshots survives a
+//! full train → save → clobber → restore cycle with bit-identical outputs.
+
+use clfd_autograd::Tape;
+use clfd_nn::linear::LinearInit;
+use clfd_nn::snapshot::Snapshot;
+use clfd_nn::{Adam, Layer, Linear, Lstm, Optimizer};
+use clfd_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn trained_model_round_trips_through_json() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut tape = Tape::new();
+    let lstm = Lstm::new(&mut tape, 4, 6, 2, &mut rng);
+    let head = Linear::new(&mut tape, 6, 2, LinearInit::Xavier, &mut rng);
+    tape.seal();
+    let mut params = lstm.params();
+    params.extend(head.params());
+
+    // Train a few steps so the parameters are non-trivial.
+    let mut opt = Adam::new(0.01);
+    let steps: Vec<Matrix> = (0..5)
+        .map(|_| init::uniform(3, 4, -1.0, 1.0, &mut rng))
+        .collect();
+    for _ in 0..10 {
+        let vars: Vec<_> = steps.iter().map(|m| tape.constant(m.clone())).collect();
+        let z = lstm.encode(&mut tape, &vars, &[5, 5, 5]);
+        let logits = head.forward(&mut tape, z);
+        let loss = tape.mean_all(logits);
+        tape.backward(loss);
+        opt.step(&mut tape, &params);
+        tape.reset();
+    }
+
+    let predict = |tape: &mut Tape| -> Matrix {
+        let vars: Vec<_> = steps.iter().map(|m| tape.constant(m.clone())).collect();
+        let z = lstm.encode(tape, &vars, &[5, 5, 5]);
+        let logits = head.forward(tape, z);
+        let out = tape.value(logits).softmax_rows();
+        tape.reset();
+        out
+    };
+    let before = predict(&mut tape);
+
+    // Save → JSON → clobber → restore.
+    let snap = Snapshot::capture(&tape, &params);
+    let json = snap.to_json();
+    for &p in &params {
+        tape.value_mut(p).map_inplace(|_| 0.123);
+    }
+    assert_ne!(predict(&mut tape), before, "clobbering must change outputs");
+    let restored = Snapshot::from_json(&json).expect("valid JSON");
+    restored.restore(&mut tape, &params).expect("matching architecture");
+
+    assert_eq!(predict(&mut tape), before, "restored model diverged");
+}
