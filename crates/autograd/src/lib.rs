@@ -184,6 +184,26 @@ impl Tape {
             .unwrap_or_else(|| Matrix::zeros(n.value.rows(), n.value.cols()))
     }
 
+    /// Mutable gradient of a node, materialised as zeros when the node never
+    /// received any gradient. Exists for divergence-guard tooling (e.g. the
+    /// fault-injection harness in `clfd-nn`); optimizers should keep reading
+    /// through [`Tape::grad`].
+    pub fn grad_mut(&mut self, v: Var) -> &mut Matrix {
+        let n = &mut self.nodes[v.0];
+        let (rows, cols) = n.value.shape();
+        n.grad.get_or_insert_with(|| Matrix::zeros(rows, cols))
+    }
+
+    /// True when the node's gradient contains a NaN or infinity. Cheaper than
+    /// cloning via [`Tape::grad`]; a node that never received a gradient
+    /// (implicitly zero) reports `false`.
+    pub fn grad_has_non_finite(&self, v: Var) -> bool {
+        self.nodes[v.0]
+            .grad
+            .as_ref()
+            .is_some_and(|g| g.has_non_finite())
+    }
+
     /// Scalar value of a `1 x 1` node (losses).
     pub fn scalar(&self, v: Var) -> f32 {
         let m = self.value(v);

@@ -4,7 +4,7 @@
 //! accumulation when a node feeds several consumers).
 
 use clfd_autograd::{Tape, Var};
-use clfd_tensor::{init, Matrix};
+use clfd_tensor::init;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

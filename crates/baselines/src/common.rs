@@ -354,7 +354,7 @@ pub fn percentile(values: &[f32], p: f32) -> f32 {
 }
 
 /// References to the train / test sessions of a split.
-pub fn session_refs<'a>(split: &'a SplitCorpus) -> (Vec<&'a Session>, Vec<&'a Session>) {
+pub fn session_refs(split: &SplitCorpus) -> (Vec<&Session>, Vec<&Session>) {
     let train = split.train.iter().map(|&i| &split.corpus.sessions[i]).collect();
     let test = split.test.iter().map(|&i| &split.corpus.sessions[i]).collect();
     (train, test)

@@ -44,6 +44,42 @@ pub trait SessionClassifier {
         cfg: &ClfdConfig,
         seed: u64,
     ) -> Vec<Prediction>;
+
+    /// Fault-isolated variant used by the experiment runner: one crashing
+    /// run must not take down a whole sweep.
+    ///
+    /// The default catches panics from [`SessionClassifier::fit_predict`]
+    /// and returns the panic message as the error string; implementations
+    /// with natively fallible training (CLFD's `try_fit`) override this to
+    /// surface their typed errors without unwinding.
+    ///
+    /// # Errors
+    /// Returns the panic payload (or the implementation's own error
+    /// rendering) when the run could not produce predictions.
+    fn try_fit_predict(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+    ) -> Result<Vec<Prediction>, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.fit_predict(split, noisy, cfg, seed)
+        }))
+        .map_err(|payload| panic_message(payload.as_ref()))
+    }
+}
+
+/// Renders a `catch_unwind` payload as text (panics carry `&str` or
+/// `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// CLFD itself behind the same interface (used by the experiment runner).
@@ -73,6 +109,25 @@ impl SessionClassifier for ClfdModel {
         let mut model = clfd::TrainedClfd::fit(split, noisy, cfg, &self.ablation, seed);
         model.predict_test(split)
     }
+
+    fn try_fit_predict(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+    ) -> Result<Vec<Prediction>, String> {
+        let mut model = clfd::TrainedClfd::try_fit(
+            split,
+            noisy,
+            cfg,
+            &self.ablation,
+            seed,
+            &clfd::TrainOptions::conservative(),
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(model.predict_test(split))
+    }
 }
 
 /// All eight baselines, boxed, in the paper's table order.
@@ -83,7 +138,7 @@ pub fn all_baselines() -> Vec<Box<dyn SessionClassifier>> {
         Box::new(selcl::SelCl::default()),
         Box::new(ctrr::Ctrr::default()),
         Box::new(fewshot::FewShot::default()),
-        Box::new(cldet::ClDet::default()),
+        Box::new(cldet::ClDet),
         Box::new(deeplog::DeepLog::default()),
         Box::new(logbert::LogBert::default()),
     ]

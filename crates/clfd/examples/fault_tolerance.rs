@@ -1,0 +1,87 @@
+//! Demonstrates the fault-tolerance surface of the CLFD pipeline:
+//!
+//! 1. guarded training absorbing injected NaN/Inf gradient faults,
+//! 2. a persistent fault exhausting the retry budget as a typed error,
+//! 3. structurally invalid input rejected before training starts,
+//! 4. a JSON snapshot round-trip reproducing predictions bit-for-bit.
+//!
+//! ```text
+//! cargo run --release -p clfd --example fault_tolerance
+//! ```
+
+use clfd::{Ablation, ClfdConfig, ClfdSnapshot, TrainOptions, TrainedClfd};
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::{DatasetKind, Preset};
+use clfd_nn::{FaultKind, FaultPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let split = DatasetKind::Cert.generate(Preset::Smoke, 7);
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let truth = split.train_labels();
+    let mut rng = StdRng::seed_from_u64(1);
+    let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
+    let ablation = Ablation::full();
+
+    // 1. Transient faults: NaN/Inf gradients injected into both contrastive
+    //    pre-training stages; the guard rolls back and training completes.
+    let opts = TrainOptions {
+        corrector_encoder_faults: Some(
+            FaultPlan::new().at(2, FaultKind::NanGrad).at(5, FaultKind::InfGrad),
+        ),
+        detector_encoder_faults: Some(FaultPlan::new().at(3, FaultKind::NanGrad)),
+        ..TrainOptions::conservative()
+    };
+    let mut model = TrainedClfd::try_fit(&split, &noisy, &cfg, &ablation, 5, &opts)
+        .expect("transient faults are recovered");
+    let preds = model.predict_test(&split);
+    let acc = preds
+        .iter()
+        .zip(&split.test_labels())
+        .filter(|(p, &t)| p.label == t)
+        .count() as f32
+        / preds.len() as f32;
+    println!("1. faulted training recovered; test accuracy {acc:.3}");
+
+    // 2. Persistent fault: every corrector pre-training step is corrupted,
+    //    so the retry budget runs out with a typed, stage-tagged error.
+    let poisoned = TrainOptions {
+        corrector_encoder_faults: Some(
+            FaultPlan::new().at_each(0..10_000, FaultKind::NanGrad),
+        ),
+        ..TrainOptions::conservative()
+    };
+    match TrainedClfd::try_fit(&split, &noisy, &cfg, &ablation, 5, &poisoned) {
+        Ok(_) => unreachable!("persistent faults cannot train"),
+        Err(e) => println!("2. persistent fault -> typed error: {e}"),
+    }
+
+    // 3. Invalid input: label/session count mismatch is rejected up front.
+    match TrainedClfd::try_fit(&split, &noisy[1..], &cfg, &ablation, 5, &opts) {
+        Ok(_) => unreachable!("mismatched labels cannot train"),
+        Err(e) => println!("3. invalid input -> typed error: {e}"),
+    }
+
+    // 4. Snapshot round-trip: serialize, restore into a differently seeded
+    //    model, and compare predictions bit-for-bit.
+    let json = model.snapshot().to_json();
+    let parsed = ClfdSnapshot::from_json(&json).expect("snapshot JSON parses");
+    let mut other = TrainedClfd::fit(&split, &noisy, &cfg, &ablation, 6);
+    other.restore(&parsed).expect("compatible snapshot restores");
+    let restored = other.predict_test(&split);
+    let identical = preds.iter().zip(&restored).all(|(a, b)| {
+        a.label == b.label && a.malicious_score.to_bits() == b.malicious_score.to_bits()
+    });
+    println!(
+        "4. snapshot round-trip ({} bytes of JSON): bit-identical predictions = {identical}",
+        json.len()
+    );
+    assert!(identical, "round-trip must reproduce predictions exactly");
+
+    // Corrupt snapshot JSON also fails typed, not with a panic.
+    match ClfdSnapshot::from_json("{\"not\": \"a snapshot\"}") {
+        Ok(_) => unreachable!("bogus JSON cannot parse"),
+        Err(e) => println!("5. corrupt snapshot -> typed error: {e}"),
+    }
+}

@@ -10,14 +10,17 @@
 //! detector's weighted supervised contrastive loss.
 
 use crate::config::{Ablation, ClfdConfig};
+use crate::error::{ClfdError, TrainStage};
 use crate::model::{
     predictions_from_proba, ClassifierHead, EncoderModel, LossKind, Prediction,
 };
+use crate::snapshot::CorrectorSnapshot;
 use clfd_data::augment::clear_view;
 use clfd_data::batch::{batch_indices, SessionBatch};
 use clfd_data::session::{Label, Session};
 use clfd_data::word2vec::ActivityEmbeddings;
-use clfd_losses::nt_xent;
+use clfd_losses::try_nt_xent;
+use clfd_nn::{FaultInjector, GuardConfig, TrainGuard};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -30,7 +33,11 @@ pub struct LabelCorrector {
 impl LabelCorrector {
     /// Trains the corrector on the noisy training set.
     ///
-    /// `sessions[i]` carries the noisy label `noisy_labels[i]`.
+    /// Panicking wrapper over [`LabelCorrector::try_train`] with the
+    /// default guard and no fault injection.
+    ///
+    /// # Panics
+    /// Panics on any [`ClfdError`].
     pub fn train(
         sessions: &[&Session],
         noisy_labels: &[Label],
@@ -39,9 +46,56 @@ impl LabelCorrector {
         ablation: &Ablation,
         rng: &mut StdRng,
     ) -> Self {
-        assert_eq!(sessions.len(), noisy_labels.len());
-        assert!(!sessions.is_empty(), "empty training set");
+        Self::try_train(
+            sessions,
+            noisy_labels,
+            embeddings,
+            cfg,
+            ablation,
+            &GuardConfig::conservative(),
+            None,
+            rng,
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Trains the corrector on the noisy training set, guarding every
+    /// optimizer step against divergence.
+    ///
+    /// `sessions[i]` carries the noisy label `noisy_labels[i]`.
+    /// `encoder_faults` (used by the fault-injection tests) corrupts
+    /// chosen SimCLR pre-training steps to exercise the recovery path.
+    ///
+    /// # Errors
+    /// Returns [`ClfdError::InvalidInput`] for structurally unusable
+    /// inputs, [`ClfdError::Loss`] when a loss rejects a batch, and
+    /// [`ClfdError::Diverged`] when the guard's retry budget runs out.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_train(
+        sessions: &[&Session],
+        noisy_labels: &[Label],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+        ablation: &Ablation,
+        guard_cfg: &GuardConfig,
+        encoder_faults: Option<FaultInjector>,
+        rng: &mut StdRng,
+    ) -> Result<Self, ClfdError> {
+        if sessions.len() != noisy_labels.len() {
+            return Err(ClfdError::InvalidInput(format!(
+                "one noisy label per training session: {} sessions vs {} labels",
+                sessions.len(),
+                noisy_labels.len()
+            )));
+        }
+        if sessions.is_empty() {
+            return Err(ClfdError::InvalidInput("empty training set".into()));
+        }
         let mut encoder = EncoderModel::new(cfg, rng);
+        let mut guard = TrainGuard::new(*guard_cfg);
+        if let Some(injector) = encoder_faults {
+            guard = guard.with_injector(injector);
+        }
 
         // Stage 1: self-supervised SimCLR pre-training on reordering views.
         // NT-Xent needs at least two sessions per batch to have negatives.
@@ -73,9 +127,17 @@ impl LabelCorrector {
                 let all: Vec<&Session> = views_a.iter().chain(views_b.iter()).collect();
                 let batch = SessionBatch::build(&all, embeddings, cfg.max_seq_len);
                 let z = encoder.encode(&batch);
-                let loss = nt_xent(&mut encoder.tape, z, cfg.simclr_temperature);
-                encoder.tape.backward(loss);
-                encoder.step();
+                let loss = try_nt_xent(&mut encoder.tape, z, cfg.simclr_temperature)
+                    .map_err(|source| ClfdError::Loss {
+                        stage: TrainStage::CorrectorEncoder,
+                        source,
+                    })?;
+                encoder.guarded_step(&mut guard, loss).map_err(|source| {
+                    ClfdError::Diverged {
+                        stage: TrainStage::CorrectorEncoder,
+                        source,
+                    }
+                })?;
             }
         }
 
@@ -88,9 +150,25 @@ impl LabelCorrector {
             .l2_normalize_rows(1e-9);
         let (mut head, mut opt) = ClassifierHead::new(cfg.hidden, cfg.lr, cfg.head_weight_decay, rng);
         let loss_kind = LossKind::from_ablation(ablation.use_mixup, ablation.use_gce);
-        head.train(&mut opt, &features, noisy_labels, cfg, loss_kind, rng);
+        head.try_train(&mut opt, &features, noisy_labels, cfg, loss_kind, guard_cfg, rng)
+            .map_err(|fault| fault.into_clfd(TrainStage::CorrectorHead))?;
 
-        Self { encoder, head }
+        Ok(Self { encoder, head })
+    }
+
+    /// Captures the corrector's encoder + head parameters.
+    pub fn snapshot(&self) -> CorrectorSnapshot {
+        CorrectorSnapshot { encoder: self.encoder.snapshot(), head: self.head.snapshot() }
+    }
+
+    /// Overwrites the corrector's parameters from a snapshot.
+    ///
+    /// # Errors
+    /// Returns [`ClfdError::Snapshot`] when the snapshot's parameter count
+    /// or shapes do not match this model.
+    pub fn restore(&mut self, snapshot: &CorrectorSnapshot) -> Result<(), ClfdError> {
+        self.encoder.restore(&snapshot.encoder)?;
+        self.head.restore(&snapshot.head)
     }
 
     /// Predicts labels + confidences for arbitrary sessions.

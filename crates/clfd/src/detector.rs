@@ -12,13 +12,17 @@
 //!    labels (Algorithm 1 lines 13–19).
 
 use crate::config::{Ablation, ClfdConfig};
+use crate::error::{ClfdError, TrainStage};
 use crate::model::{
     predictions_from_proba, sample_pool, ClassifierHead, EncoderModel, LossKind, Prediction,
 };
 use clfd_data::batch::{batch_indices, SessionBatch};
 use clfd_data::session::{Label, Session};
 use clfd_data::word2vec::ActivityEmbeddings;
-use clfd_losses::contrastive::sup_con_batch;
+use crate::snapshot::DetectorSnapshot;
+use clfd_losses::contrastive::try_sup_con_batch;
+use clfd_nn::snapshot::Snapshot;
+use clfd_nn::{FaultInjector, GuardConfig, TrainGuard};
 use clfd_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -44,8 +48,11 @@ pub struct FraudDetector {
 impl FraudDetector {
     /// Trains the detector per Algorithm 1.
     ///
-    /// `corrected` / `confidences` come from the trained label corrector
-    /// (or are the noisy labels with confidence 1 in the `w/o LC` ablation).
+    /// Panicking wrapper over [`FraudDetector::try_train`] with the
+    /// default guard and no fault injection.
+    ///
+    /// # Panics
+    /// Panics on any [`ClfdError`].
     pub fn train(
         sessions: &[&Session],
         corrected: &[Label],
@@ -55,10 +62,60 @@ impl FraudDetector {
         ablation: &Ablation,
         rng: &mut StdRng,
     ) -> Self {
-        assert_eq!(sessions.len(), corrected.len());
-        assert_eq!(sessions.len(), confidences.len());
-        assert!(!sessions.is_empty(), "empty training set");
+        Self::try_train(
+            sessions,
+            corrected,
+            confidences,
+            embeddings,
+            cfg,
+            ablation,
+            &GuardConfig::conservative(),
+            None,
+            rng,
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Trains the detector per Algorithm 1, guarding every optimizer step
+    /// against divergence.
+    ///
+    /// `corrected` / `confidences` come from the trained label corrector
+    /// (or are the noisy labels with confidence 1 in the `w/o LC` ablation).
+    /// `encoder_faults` (used by the fault-injection tests) corrupts chosen
+    /// supervised-contrastive pre-training steps to exercise recovery.
+    ///
+    /// # Errors
+    /// Returns [`ClfdError::InvalidInput`] for structurally unusable
+    /// inputs, [`ClfdError::Loss`] when a loss rejects a batch, and
+    /// [`ClfdError::Diverged`] when the guard's retry budget runs out.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_train(
+        sessions: &[&Session],
+        corrected: &[Label],
+        confidences: &[f32],
+        embeddings: &ActivityEmbeddings,
+        cfg: &ClfdConfig,
+        ablation: &Ablation,
+        guard_cfg: &GuardConfig,
+        encoder_faults: Option<FaultInjector>,
+        rng: &mut StdRng,
+    ) -> Result<Self, ClfdError> {
+        if sessions.len() != corrected.len() || sessions.len() != confidences.len() {
+            return Err(ClfdError::InvalidInput(format!(
+                "one corrected label and confidence per session: {} sessions vs {} labels vs {} confidences",
+                sessions.len(),
+                corrected.len(),
+                confidences.len()
+            )));
+        }
+        if sessions.is_empty() {
+            return Err(ClfdError::InvalidInput("empty training set".into()));
+        }
         let mut encoder = EncoderModel::new(cfg, rng);
+        let mut guard = TrainGuard::new(*guard_cfg);
+        if let Some(injector) = encoder_faults {
+            guard = guard.with_injector(injector);
+        }
 
         // T̃¹: sessions the corrector labeled malicious (Algorithm 1 l.2).
         let malicious_pool: Vec<usize> = corrected
@@ -89,7 +146,7 @@ impl FraudDetector {
                 let confs: Vec<f32> = rows.iter().map(|&i| confidences[i]).collect();
                 let batch = SessionBatch::build(&refs, embeddings, cfg.max_seq_len);
                 let z = encoder.encode(&batch);
-                let loss = sup_con_batch(
+                let loss = try_sup_con_batch(
                     &mut encoder.tape,
                     z,
                     &labels,
@@ -97,9 +154,17 @@ impl FraudDetector {
                     chunk.len(),
                     cfg.temperature,
                     ablation.supcon,
-                );
-                encoder.tape.backward(loss);
-                encoder.step();
+                )
+                .map_err(|source| ClfdError::Loss {
+                    stage: TrainStage::DetectorEncoder,
+                    source,
+                })?;
+                encoder.guarded_step(&mut guard, loss).map_err(|source| {
+                    ClfdError::Diverged {
+                        stage: TrainStage::DetectorEncoder,
+                        source,
+                    }
+                })?;
             }
         }
 
@@ -112,7 +177,8 @@ impl FraudDetector {
         let inference = if ablation.use_classifier {
             let (mut head, mut opt) = ClassifierHead::new(cfg.hidden, cfg.lr, cfg.head_weight_decay, rng);
             let loss_kind = LossKind::from_ablation(ablation.use_mixup, ablation.use_gce);
-            head.train(&mut opt, &features, corrected, cfg, loss_kind, rng);
+            head.try_train(&mut opt, &features, corrected, cfg, loss_kind, guard_cfg, rng)
+                .map_err(|fault| fault.into_clfd(TrainStage::DetectorHead))?;
             Inference::Classifier(head)
         } else {
             Inference::Centroids {
@@ -121,7 +187,50 @@ impl FraudDetector {
             }
         };
 
-        Self { encoder, inference }
+        Ok(Self { encoder, inference })
+    }
+
+    /// Captures the detector's encoder parameters plus its inference state
+    /// (classifier head or class centroids).
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        let (head, centroids) = match &self.inference {
+            Inference::Classifier(head) => (Some(head.snapshot()), None),
+            Inference::Centroids { normal, malicious } => (
+                None,
+                Some(Snapshot { values: vec![normal.clone(), malicious.clone()] }),
+            ),
+        };
+        DetectorSnapshot { encoder: self.encoder.snapshot(), head, centroids }
+    }
+
+    /// Overwrites the detector's parameters from a snapshot.
+    ///
+    /// # Errors
+    /// Returns [`ClfdError::Snapshot`] when the snapshot's inference mode
+    /// (classifier vs. centroids) does not match this model or when the
+    /// parameter counts or shapes differ.
+    pub fn restore(&mut self, snapshot: &DetectorSnapshot) -> Result<(), ClfdError> {
+        self.encoder.restore(&snapshot.encoder)?;
+        match (&mut self.inference, &snapshot.head, &snapshot.centroids) {
+            (Inference::Classifier(head), Some(s), _) => head.restore(s),
+            (Inference::Centroids { normal, malicious }, _, Some(s)) => {
+                let [n, m] = s.values.as_slice() else {
+                    return Err(ClfdError::Snapshot(format!(
+                        "centroid snapshot must hold 2 matrices, found {}",
+                        s.values.len()
+                    )));
+                };
+                *normal = n.clone();
+                *malicious = m.clone();
+                Ok(())
+            }
+            (Inference::Classifier(_), None, _) => Err(ClfdError::Snapshot(
+                "snapshot has no classifier head but the model uses one".into(),
+            )),
+            (Inference::Centroids { .. }, _, None) => Err(ClfdError::Snapshot(
+                "snapshot has no centroids but the model uses centroid inference".into(),
+            )),
+        }
     }
 
     /// Classifies sessions, returning label / malicious-score / confidence.

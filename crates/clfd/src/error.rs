@@ -1,0 +1,81 @@
+//! Typed errors for fault-tolerant CLFD training.
+//!
+//! [`TrainedClfd::try_fit`](crate::TrainedClfd::try_fit) and the
+//! `try_train` constructors of the corrector and detector return
+//! [`ClfdError`] instead of panicking, so sweep drivers can record a
+//! failed cell and keep going. The panicking `fit`/`train` entry points
+//! are thin wrappers whose messages are these errors' `Display` output.
+
+use clfd_losses::LossError;
+use clfd_nn::GuardError;
+
+/// Which phase of the CLFD pipeline an error came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainStage {
+    /// SimCLR pre-training of the label corrector's encoder.
+    CorrectorEncoder,
+    /// Mixup-GCE training of the label corrector's classifier head.
+    CorrectorHead,
+    /// Supervised-contrastive pre-training of the fraud detector's encoder.
+    DetectorEncoder,
+    /// Mixup-GCE training of the fraud detector's classifier head.
+    DetectorHead,
+}
+
+impl std::fmt::Display for TrainStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Self::CorrectorEncoder => "label-corrector encoder pre-training",
+            Self::CorrectorHead => "label-corrector head training",
+            Self::DetectorEncoder => "fraud-detector encoder pre-training",
+            Self::DetectorHead => "fraud-detector head training",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error training or restoring a CLFD model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClfdError {
+    /// The inputs are structurally unusable (length mismatches, empty
+    /// training set, an ablation that disables every model, …).
+    InvalidInput(String),
+    /// A loss function rejected its inputs during some training stage.
+    Loss {
+        /// Training stage the loss belongs to.
+        stage: TrainStage,
+        /// The underlying loss error.
+        source: LossError,
+    },
+    /// Training diverged and the guard's retry budget ran out.
+    Diverged {
+        /// Training stage that diverged.
+        stage: TrainStage,
+        /// The underlying guard error.
+        source: GuardError,
+    },
+    /// A serialized model could not be restored (shape or count mismatch,
+    /// malformed JSON).
+    Snapshot(String),
+}
+
+impl std::fmt::Display for ClfdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidInput(msg) => f.write_str(msg),
+            Self::Loss { stage, source } => write!(f, "{stage}: {source}"),
+            Self::Diverged { stage, source } => write!(f, "{stage}: {source}"),
+            Self::Snapshot(msg) => write!(f, "snapshot restore failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClfdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Loss { source, .. } => Some(source),
+            Self::Diverged { source, .. } => Some(source),
+            Self::InvalidInput(_) | Self::Snapshot(_) => None,
+        }
+    }
+}

@@ -40,17 +40,32 @@
 //! let predictions = model.predict_test(&split);
 //! assert_eq!(predictions.len(), split.test.len());
 //! ```
+//!
+//! # Fault tolerance
+//!
+//! Every training entry point comes in two flavours: a panicking `fit` /
+//! `train` (convenient in examples and benchmarks) and a fallible
+//! [`TrainedClfd::try_fit`] / `try_train` returning [`ClfdError`], with
+//! each optimizer step wrapped by a divergence guard
+//! ([`clfd_nn::TrainGuard`]) that rolls back to the last checkpoint and
+//! backs off the learning rate on NaN/Inf losses, gradient corruption, or
+//! loss spikes. [`TrainOptions`] tunes the guard and can inject
+//! deterministic faults ([`clfd_nn::FaultPlan`]) for robustness testing.
 
 pub mod config;
 pub mod corrector;
 pub mod detector;
+pub mod error;
 pub mod extensions;
 mod model;
 pub mod pipeline;
+pub mod snapshot;
 
 pub use config::{Ablation, ClfdConfig};
+pub use error::{ClfdError, TrainStage};
 pub use extensions::{CoCorrection, CoTeachingCorrector};
 pub use corrector::LabelCorrector;
 pub use detector::FraudDetector;
 pub use model::Prediction;
-pub use pipeline::TrainedClfd;
+pub use pipeline::{TrainOptions, TrainedClfd};
+pub use snapshot::{ClfdSnapshot, CorrectorSnapshot, DetectorSnapshot};

@@ -3,17 +3,60 @@
 //! detector.
 
 use crate::config::ClfdConfig;
+use crate::error::ClfdError;
 use clfd_autograd::{Tape, Var};
+use clfd_nn::snapshot::Snapshot;
 use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
 use clfd_data::session::{Label, Session};
 use clfd_data::word2vec::ActivityEmbeddings;
-use clfd_losses::{cce_loss, gce_loss, MixupPlan};
-use clfd_nn::{Adam, Layer, Linear, Lstm, Optimizer};
+use clfd_losses::{try_cce_loss, try_gce_loss, LossError, MixupPlan};
+use clfd_nn::{Adam, GuardConfig, GuardError, Layer, Linear, Lstm, StepOutcome, TrainGuard};
 use clfd_nn::linear::LinearInit;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use clfd_tensor::Matrix;
+
+/// A fault surfaced while training one model component; callers wrap it
+/// into [`crate::error::ClfdError`] with the stage attached.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TrainFault {
+    /// A loss constructor rejected its inputs.
+    Loss(LossError),
+    /// The divergence guard ran out of retries.
+    Guard(GuardError),
+}
+
+impl std::fmt::Display for TrainFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Loss(e) => e.fmt(f),
+            Self::Guard(e) => e.fmt(f),
+        }
+    }
+}
+
+impl TrainFault {
+    /// Attaches the pipeline stage, producing the public error type.
+    pub(crate) fn into_clfd(self, stage: crate::error::TrainStage) -> crate::error::ClfdError {
+        match self {
+            Self::Loss(source) => crate::error::ClfdError::Loss { stage, source },
+            Self::Guard(source) => crate::error::ClfdError::Diverged { stage, source },
+        }
+    }
+}
+
+impl From<LossError> for TrainFault {
+    fn from(e: LossError) -> Self {
+        Self::Loss(e)
+    }
+}
+
+impl From<GuardError> for TrainFault {
+    fn from(e: GuardError) -> Self {
+        Self::Guard(e)
+    }
+}
 
 /// An LSTM session encoder with its own tape and optimizer state.
 pub(crate) struct EncoderModel {
@@ -43,11 +86,27 @@ impl EncoderModel {
         self.lstm.encode(&mut self.tape, &steps, &batch.lengths)
     }
 
-    /// Runs one optimizer step from an already-backwarded loss and resets.
-    pub fn step(&mut self) {
-        let params = self.params.clone();
-        self.opt.step(&mut self.tape, &params);
-        self.tape.reset();
+    /// Runs one *guarded* step from a recorded (not yet backwarded) loss:
+    /// the guard performs `backward`, the health checks, the optimizer
+    /// update (or a checkpoint rollback), and the tape reset.
+    pub fn guarded_step(
+        &mut self,
+        guard: &mut TrainGuard,
+        loss: Var,
+    ) -> Result<StepOutcome, GuardError> {
+        guard.step(&mut self.tape, &mut self.opt, &self.params, loss)
+    }
+
+    /// Captures the encoder's parameter values.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(&self.tape, &self.params)
+    }
+
+    /// Overwrites the encoder's parameters from a snapshot.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), ClfdError> {
+        snapshot
+            .restore(&mut self.tape, &self.params)
+            .map_err(|e| ClfdError::Snapshot(e.to_string()))
     }
 
     /// Encodes every session with the (frozen) encoder, returning an
@@ -123,21 +182,29 @@ impl ClassifierHead {
         self.l2.forward(&mut self.tape, h)
     }
 
-    /// Trains the head on cached features with the selected loss.
+    /// Trains the head on cached features with the selected loss, with
+    /// every optimizer step wrapped by a divergence guard.
     ///
     /// Mixup (when enabled) follows Algorithm 1 lines 13–19: partners are
     /// drawn from the opposite class *of the supplied labels* within each
     /// mini-batch, λ ~ Beta(β, β).
-    pub fn train(
+    ///
+    /// # Errors
+    /// Returns a [`TrainFault`] when a loss constructor rejects its inputs
+    /// or the guard exhausts its retry budget.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_train(
         &mut self,
         opt: &mut Adam,
         features: &Matrix,
         labels: &[Label],
         cfg: &ClfdConfig,
         loss_kind: LossKind,
+        guard_cfg: &GuardConfig,
         rng: &mut StdRng,
-    ) {
-        assert_eq!(features.rows(), labels.len());
+    ) -> Result<(), TrainFault> {
+        assert_eq!(features.rows(), labels.len(), "one label per feature row");
+        let mut guard = TrainGuard::new(*guard_cfg);
         let mut order: Vec<usize> = (0..labels.len()).collect();
         for _ in 0..cfg.classifier_epochs {
             order.shuffle(rng);
@@ -152,23 +219,33 @@ impl ClassifierHead {
                         let mixed = plan.apply(&mut self.tape, x);
                         let mixed_targets = plan.mixed_targets(&targets);
                         let logits = self.logits(mixed);
-                        gce_loss(&mut self.tape, logits, &mixed_targets, cfg.q)
+                        try_gce_loss(&mut self.tape, logits, &mixed_targets, cfg.q)?
                     }
                     LossKind::VanillaGce => {
                         let logits = self.logits(x);
-                        gce_loss(&mut self.tape, logits, &targets, cfg.q)
+                        try_gce_loss(&mut self.tape, logits, &targets, cfg.q)?
                     }
                     LossKind::CrossEntropy => {
                         let logits = self.logits(x);
-                        cce_loss(&mut self.tape, logits, &targets)
+                        try_cce_loss(&mut self.tape, logits, &targets)?
                     }
                 };
-                self.tape.backward(loss);
-                let params = self.params.clone();
-                opt.step(&mut self.tape, &params);
-                self.tape.reset();
+                guard.step(&mut self.tape, opt, &self.params, loss)?;
             }
         }
+        Ok(())
+    }
+
+    /// Captures the head's parameter values.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(&self.tape, &self.params)
+    }
+
+    /// Overwrites the head's parameters from a snapshot.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), ClfdError> {
+        snapshot
+            .restore(&mut self.tape, &self.params)
+            .map_err(|e| ClfdError::Snapshot(e.to_string()))
     }
 
     /// Softmax class probabilities for cached features (`n x 2`).
@@ -245,7 +322,16 @@ mod tests {
             .map(|r| if r % 2 == 0 { Label::Malicious } else { Label::Normal })
             .collect();
         let (mut head, mut opt) = ClassifierHead::new(cfg.hidden, 0.01, 0.0, &mut rng);
-        head.train(&mut opt, &features, &labels, &cfg, LossKind::MixupGce, &mut rng);
+        head.try_train(
+            &mut opt,
+            &features,
+            &labels,
+            &cfg,
+            LossKind::MixupGce,
+            &GuardConfig::conservative(),
+            &mut rng,
+        )
+        .expect("separable features train cleanly");
         let probs = head.predict_proba(&features);
         let preds = predictions_from_proba(&probs);
         let correct = preds

@@ -3,11 +3,38 @@
 use crate::config::{Ablation, ClfdConfig};
 use crate::corrector::LabelCorrector;
 use crate::detector::FraudDetector;
+use crate::error::ClfdError;
 use crate::model::Prediction;
+use crate::snapshot::ClfdSnapshot;
 use clfd_data::session::{Label, Session, SplitCorpus};
 use clfd_data::word2vec::ActivityEmbeddings;
+use clfd_nn::snapshot::Snapshot;
+use clfd_nn::{FaultPlan, GuardConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Fault-tolerance knobs for [`TrainedClfd::try_fit`].
+///
+/// The default guards every optimizer step with a conservative divergence
+/// guard and injects no faults; fault plans exist for the fault-injection
+/// tests and for chaos-style robustness experiments.
+#[derive(Debug, Clone, Default)]
+pub struct TrainOptions {
+    /// Divergence-guard tuning shared by all four training stages.
+    pub guard: GuardConfig,
+    /// Faults injected into the label corrector's SimCLR pre-training.
+    pub corrector_encoder_faults: Option<FaultPlan>,
+    /// Faults injected into the fraud detector's supervised-contrastive
+    /// pre-training.
+    pub detector_encoder_faults: Option<FaultPlan>,
+}
+
+impl TrainOptions {
+    /// The options [`TrainedClfd::fit`] uses: conservative guard, no faults.
+    pub fn conservative() -> Self {
+        Self { guard: GuardConfig::conservative(), ..Self::default() }
+    }
+}
 
 /// A fully trained CLFD model, ready for inference.
 pub struct TrainedClfd {
@@ -23,8 +50,11 @@ impl TrainedClfd {
     /// Trains CLFD on the training part of `split` with labels
     /// `noisy_labels` (parallel to `split.train`).
     ///
-    /// The ablation switches reproduce every row of Tables IV/V; use
-    /// [`Ablation::full`] for the complete framework.
+    /// Panicking wrapper over [`TrainedClfd::try_fit`] with
+    /// [`TrainOptions::conservative`].
+    ///
+    /// # Panics
+    /// Panics on any [`ClfdError`].
     pub fn fit(
         split: &SplitCorpus,
         noisy_labels: &[Label],
@@ -32,11 +62,42 @@ impl TrainedClfd {
         ablation: &Ablation,
         seed: u64,
     ) -> Self {
-        assert_eq!(
-            noisy_labels.len(),
-            split.train.len(),
-            "one noisy label per training session"
-        );
+        Self::try_fit(split, noisy_labels, cfg, ablation, seed, &TrainOptions::conservative())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Trains CLFD on the training part of `split` with labels
+    /// `noisy_labels` (parallel to `split.train`), returning a typed error
+    /// instead of panicking when the inputs are unusable or training
+    /// diverges past the guard's retry budget.
+    ///
+    /// The ablation switches reproduce every row of Tables IV/V; use
+    /// [`Ablation::full`] for the complete framework.
+    ///
+    /// # Errors
+    /// Returns [`ClfdError::InvalidInput`] for structurally unusable
+    /// inputs, [`ClfdError::Loss`] when a loss rejects a batch, and
+    /// [`ClfdError::Diverged`] when a guard's retry budget runs out.
+    pub fn try_fit(
+        split: &SplitCorpus,
+        noisy_labels: &[Label],
+        cfg: &ClfdConfig,
+        ablation: &Ablation,
+        seed: u64,
+        opts: &TrainOptions,
+    ) -> Result<Self, ClfdError> {
+        if noisy_labels.len() != split.train.len() {
+            return Err(ClfdError::InvalidInput(format!(
+                "one noisy label per training session: {} labels vs {} sessions",
+                noisy_labels.len(),
+                split.train.len()
+            )));
+        }
+        if !ablation.use_fraud_detector && !ablation.use_label_corrector {
+            return Err(ClfdError::InvalidInput(
+                "disabling both the corrector and the detector leaves no model".into(),
+            ));
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let train_sessions: Vec<&Session> =
             split.train.iter().map(|&i| &split.corpus.sessions[i]).collect();
@@ -52,14 +113,16 @@ impl TrainedClfd {
         // Stage 1: label correction (skipped in the `w/o LC` ablation, where
         // the noisy labels pass through with full confidence).
         let (corrector, corrected, confidences) = if ablation.use_label_corrector {
-            let mut corrector = LabelCorrector::train(
+            let mut corrector = LabelCorrector::try_train(
                 &train_sessions,
                 noisy_labels,
                 &embeddings,
                 cfg,
                 ablation,
+                &opts.guard,
+                opts.corrector_encoder_faults.clone().map(Into::into),
                 &mut rng,
-            );
+            )?;
             let preds = corrector.predict(&train_sessions, &embeddings, cfg);
             let corrected: Vec<Label> = preds.iter().map(|p| p.label).collect();
             let confidences: Vec<f32> = preds.iter().map(|p| p.confidence).collect();
@@ -71,31 +134,86 @@ impl TrainedClfd {
         // Stage 2: fraud detector (skipped in the `w/o FD` ablation, which
         // deploys the corrector directly).
         let detector = if ablation.use_fraud_detector {
-            Some(FraudDetector::train(
+            Some(FraudDetector::try_train(
                 &train_sessions,
                 &corrected,
                 &confidences,
                 &embeddings,
                 cfg,
                 ablation,
+                &opts.guard,
+                opts.detector_encoder_faults.clone().map(Into::into),
                 &mut rng,
-            ))
+            )?)
         } else {
-            assert!(
-                ablation.use_label_corrector,
-                "disabling both the corrector and the detector leaves no model"
-            );
             None
         };
 
-        Self {
+        Ok(Self {
             cfg: *cfg,
             embeddings,
             corrector,
             detector,
             corrected,
             confidences,
+        })
+    }
+
+    /// Captures everything needed to reproduce this model's predictions:
+    /// the embedding table plus all trained stage parameters.
+    pub fn snapshot(&self) -> ClfdSnapshot {
+        ClfdSnapshot {
+            embeddings: Snapshot { values: vec![self.embeddings.matrix().clone()] },
+            corrector: self.corrector.as_ref().map(LabelCorrector::snapshot),
+            detector: self.detector.as_ref().map(FraudDetector::snapshot),
         }
+    }
+
+    /// Overwrites this model's embeddings and stage parameters from a
+    /// snapshot. The model must be structurally compatible (same config and
+    /// ablation); afterwards its predictions are bit-identical to the
+    /// snapshotted model's.
+    ///
+    /// # Errors
+    /// Returns [`ClfdError::Snapshot`] when the snapshot's stages,
+    /// parameter counts, or shapes do not match this model.
+    pub fn restore(&mut self, snapshot: &ClfdSnapshot) -> Result<(), ClfdError> {
+        let [embeddings] = snapshot.embeddings.values.as_slice() else {
+            return Err(ClfdError::Snapshot(format!(
+                "embedding snapshot must hold 1 matrix, found {}",
+                snapshot.embeddings.values.len()
+            )));
+        };
+        match (&mut self.corrector, &snapshot.corrector) {
+            (Some(model), Some(s)) => model.restore(s)?,
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(ClfdError::Snapshot(
+                    "snapshot has no corrector but the model trained one".into(),
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(ClfdError::Snapshot(
+                    "snapshot has a corrector but the model trained none".into(),
+                ))
+            }
+        }
+        match (&mut self.detector, &snapshot.detector) {
+            (Some(model), Some(s)) => model.restore(s)?,
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(ClfdError::Snapshot(
+                    "snapshot has no detector but the model trained one".into(),
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(ClfdError::Snapshot(
+                    "snapshot has a detector but the model trained none".into(),
+                ))
+            }
+        }
+        self.embeddings = ActivityEmbeddings::from_matrix(embeddings.clone());
+        Ok(())
     }
 
     /// Classifies arbitrary sessions.

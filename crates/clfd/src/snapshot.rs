@@ -1,0 +1,68 @@
+//! Whole-pipeline parameter snapshots.
+//!
+//! [`ClfdSnapshot`] captures everything a trained [`TrainedClfd`] needs to
+//! reproduce its predictions exactly: the word2vec embedding table plus the
+//! parameters of whichever corrector / detector stages the ablation
+//! trained. Snapshots serialize to JSON and restore into any structurally
+//! compatible model (same config, any seed), yielding bit-identical
+//! predictions — the checkpoint/restore story for long sweeps.
+//!
+//! [`TrainedClfd`]: crate::TrainedClfd
+
+use crate::error::ClfdError;
+use clfd_nn::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a trained label corrector: LSTM encoder + FCNN head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrectorSnapshot {
+    /// The SimCLR-pre-trained encoder parameters.
+    pub encoder: Snapshot,
+    /// The mixup-GCE classifier-head parameters.
+    pub head: Snapshot,
+}
+
+/// Parameters of a trained fraud detector.
+///
+/// Exactly one of `head` / `centroids` is populated, mirroring the
+/// detector's inference mode (classifier vs. the `w/o classifier (FD)`
+/// ablation's centroid scoring).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorSnapshot {
+    /// The SupCon-pre-trained encoder parameters.
+    pub encoder: Snapshot,
+    /// Classifier-head parameters; `None` under centroid inference.
+    pub head: Option<Snapshot>,
+    /// The `[normal, malicious]` class centroids; `None` under classifier
+    /// inference.
+    pub centroids: Option<Snapshot>,
+}
+
+/// Everything needed to reproduce a [`TrainedClfd`]'s predictions.
+///
+/// [`TrainedClfd`]: crate::TrainedClfd
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClfdSnapshot {
+    /// The word2vec activity-embedding table (a single `vocab x dim`
+    /// matrix).
+    pub embeddings: Snapshot,
+    /// Label-corrector parameters; `None` in the `w/o LC` ablation.
+    pub corrector: Option<CorrectorSnapshot>,
+    /// Fraud-detector parameters; `None` in the `w/o FD` ablation.
+    pub detector: Option<DetectorSnapshot>,
+}
+
+impl ClfdSnapshot {
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Deserializes from a JSON string.
+    ///
+    /// # Errors
+    /// Returns [`ClfdError::Snapshot`] on malformed JSON.
+    pub fn from_json(s: &str) -> Result<Self, ClfdError> {
+        serde_json::from_str(s).map_err(|e| ClfdError::Snapshot(e.to_string()))
+    }
+}

@@ -1,0 +1,84 @@
+//! Degenerate-input tests: structurally unusual training data must yield a
+//! typed error or a valid model — never a panic.
+
+use clfd::{Ablation, ClfdConfig, TrainOptions, TrainedClfd};
+use clfd_data::session::{
+    Corpus, DatasetKind, Label, Preset, Session, SplitCorpus, Vocab,
+};
+
+fn assert_no_panic(split: &SplitCorpus, noisy: &[Label], ablation: &Ablation) {
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let result =
+        TrainedClfd::try_fit(split, noisy, &cfg, ablation, 5, &TrainOptions::conservative());
+    // Either outcome is acceptable; reaching this line means no panic.
+    match result {
+        Ok(mut model) => {
+            let preds = model.predict_test(split);
+            assert_eq!(preds.len(), split.test.len());
+            assert!(preds.iter().all(|p| p.malicious_score.is_finite()));
+        }
+        Err(e) => {
+            // Typed errors must render a useful message.
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+/// Every noisy label collapsed onto one class: mixup has no opposite-class
+/// partners and the centroid path has an absent class, yet training must
+/// not panic.
+#[test]
+fn all_one_class_noisy_labels_never_panic() {
+    let split = DatasetKind::Cert.generate(Preset::Smoke, 7);
+    let noisy = vec![Label::Normal; split.train.len()];
+    assert_no_panic(&split, &noisy, &Ablation::full());
+}
+
+/// Same single-class collapse through the centroid-inference ablation,
+/// where the malicious centroid is computed over zero members.
+#[test]
+fn all_one_class_labels_with_centroid_inference_never_panic() {
+    let split = DatasetKind::Cert.generate(Preset::Smoke, 7);
+    let noisy = vec![Label::Normal; split.train.len()];
+    assert_no_panic(&split, &noisy, &Ablation::without_classifier());
+}
+
+/// Length-1 sessions: the reordering augmentation has nothing to permute
+/// and the LSTM sees single-step sequences.
+#[test]
+fn length_one_sessions_never_panic() {
+    let vocab = Vocab::new((0..4).map(|i| format!("act{i}")).collect());
+    let sessions: Vec<Session> = (0..12)
+        .map(|i| Session { activities: vec![i % 4], day: i })
+        .collect();
+    let labels: Vec<Label> = (0..12)
+        .map(|i| if i % 4 == 3 { Label::Malicious } else { Label::Normal })
+        .collect();
+    let split = SplitCorpus {
+        corpus: Corpus { sessions, labels, vocab },
+        train: (0..8).collect(),
+        test: (8..12).collect(),
+    };
+    let noisy = split.train_labels();
+    assert_no_panic(&split, &noisy, &Ablation::full());
+}
+
+/// A training split with zero malicious sessions (and truthful labels):
+/// extreme imbalance taken to its limit.
+#[test]
+fn zero_malicious_training_sessions_never_panic() {
+    let full = DatasetKind::Cert.generate(Preset::Smoke, 7);
+    let normal_train: Vec<usize> = full
+        .train
+        .iter()
+        .copied()
+        .filter(|&i| full.corpus.labels[i] == Label::Normal)
+        .collect();
+    let split = SplitCorpus {
+        corpus: full.corpus.clone(),
+        train: normal_train,
+        test: full.test.clone(),
+    };
+    let noisy = vec![Label::Normal; split.train.len()];
+    assert_no_panic(&split, &noisy, &Ablation::full());
+}

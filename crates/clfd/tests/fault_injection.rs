@@ -1,0 +1,107 @@
+//! Fault-injection tests for the guarded training pipeline.
+//!
+//! Deterministic faults ([`clfd_nn::FaultPlan`]) corrupt chosen optimizer
+//! steps of the contrastive pre-training stages. Transient faults must be
+//! absorbed by the divergence guard's checkpoint-rollback + LR-backoff
+//! recovery with essentially no quality loss; a persistent fault must
+//! exhaust the retry budget and surface as a typed [`ClfdError::Diverged`]
+//! rather than a panic.
+
+use clfd::{Ablation, ClfdConfig, ClfdError, TrainOptions, TrainStage, TrainedClfd};
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::{DatasetKind, Label, Preset, SplitCorpus};
+use clfd_nn::{FaultKind, FaultPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn smoke_setup() -> (SplitCorpus, ClfdConfig, Vec<Label>) {
+    let split = DatasetKind::Cert.generate(Preset::Smoke, 7);
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let truth = split.train_labels();
+    let mut rng = StdRng::seed_from_u64(1);
+    let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
+    (split, cfg, noisy)
+}
+
+/// Test-set F1 of the malicious class plus plain accuracy.
+fn test_quality(model: &mut TrainedClfd, split: &SplitCorpus) -> (f32, f32) {
+    let preds = model.predict_test(split);
+    let truth = split.test_labels();
+    let (mut tp, mut fp, mut fne, mut correct) = (0_f32, 0_f32, 0_f32, 0_usize);
+    for (p, &t) in preds.iter().zip(&truth) {
+        if p.label == t {
+            correct += 1;
+        }
+        match (p.label, t) {
+            (Label::Malicious, Label::Malicious) => tp += 1.0,
+            (Label::Malicious, Label::Normal) => fp += 1.0,
+            (Label::Normal, Label::Malicious) => fne += 1.0,
+            (Label::Normal, Label::Normal) => {}
+        }
+    }
+    let f1 = if tp > 0.0 { 2.0 * tp / (2.0 * tp + fp + fne) } else { 0.0 };
+    (f1, correct as f32 / truth.len() as f32)
+}
+
+/// Transient NaN/Inf gradient faults early in both contrastive pre-training
+/// stages: the guard rolls back to the last checkpoint, halves the learning
+/// rate, and training completes with quality close to the clean run.
+#[test]
+fn transient_faults_recover_to_clean_quality() {
+    let (split, cfg, noisy) = smoke_setup();
+    let ablation = Ablation::full();
+
+    let mut clean =
+        TrainedClfd::try_fit(&split, &noisy, &cfg, &ablation, 5, &TrainOptions::conservative())
+            .expect("clean training succeeds");
+    let (clean_f1, clean_acc) = test_quality(&mut clean, &split);
+
+    let faulted_opts = TrainOptions {
+        corrector_encoder_faults: Some(
+            FaultPlan::new().at(2, FaultKind::NanGrad).at(5, FaultKind::InfGrad),
+        ),
+        detector_encoder_faults: Some(FaultPlan::new().at(3, FaultKind::NanGrad)),
+        ..TrainOptions::conservative()
+    };
+    let mut faulted =
+        TrainedClfd::try_fit(&split, &noisy, &cfg, &ablation, 5, &faulted_opts)
+            .expect("transient faults must be recovered, not fatal");
+    let (faulted_f1, faulted_acc) = test_quality(&mut faulted, &split);
+
+    // One-sided bound: recovery must not *lose* quality. (At smoke scale a
+    // single flipped prediction moves F1 by ~10 points in either direction,
+    // and landing above the clean run is success, not failure.)
+    assert!(
+        faulted_f1 >= clean_f1 - 0.05,
+        "recovered F1 {faulted_f1} degraded more than 5 points below clean F1 {clean_f1}"
+    );
+    assert!(
+        faulted_acc >= clean_acc - 0.05,
+        "recovered accuracy {faulted_acc} degraded more than 5 points below clean {clean_acc}"
+    );
+}
+
+/// A fault on every step can never be outrun by rollback: once the retry
+/// budget is exhausted the pipeline must return a typed divergence error
+/// naming the stage that failed — not panic, not loop forever.
+#[test]
+fn persistent_faults_exhaust_the_retry_budget_with_a_typed_error() {
+    let (split, cfg, noisy) = smoke_setup();
+
+    let opts = TrainOptions {
+        corrector_encoder_faults: Some(
+            FaultPlan::new().at_each(0..10_000, FaultKind::NanGrad),
+        ),
+        ..TrainOptions::conservative()
+    };
+    let Err(err) = TrainedClfd::try_fit(&split, &noisy, &cfg, &Ablation::full(), 5, &opts)
+    else {
+        panic!("a fault on every step must exhaust the retry budget");
+    };
+    match err {
+        ClfdError::Diverged { stage, .. } => {
+            assert_eq!(stage, TrainStage::CorrectorEncoder)
+        }
+        other => panic!("expected Diverged, got: {other}"),
+    }
+}

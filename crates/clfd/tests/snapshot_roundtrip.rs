@@ -1,0 +1,72 @@
+//! Snapshot round-trip: a trained pipeline serialized to JSON and restored
+//! into a structurally compatible (but differently initialized) pipeline
+//! must reproduce the original predictions bit-for-bit.
+
+use clfd::{Ablation, ClfdConfig, ClfdError, ClfdSnapshot, TrainedClfd};
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::{DatasetKind, Label, Preset, SplitCorpus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn smoke_setup() -> (SplitCorpus, ClfdConfig, Vec<Label>) {
+    let split = DatasetKind::Cert.generate(Preset::Smoke, 7);
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let truth = split.train_labels();
+    let mut rng = StdRng::seed_from_u64(1);
+    let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
+    (split, cfg, noisy)
+}
+
+#[test]
+fn json_round_trip_reproduces_predictions_bit_for_bit() {
+    let (split, cfg, noisy) = smoke_setup();
+    let ablation = Ablation::full();
+
+    let mut original = TrainedClfd::fit(&split, &noisy, &cfg, &ablation, 5);
+    let json = original.snapshot().to_json();
+    let parsed = ClfdSnapshot::from_json(&json).expect("snapshot JSON round-trips");
+
+    // A fresh model trained with a different seed has the same structure but
+    // entirely different parameters — restore must overwrite all of them.
+    let mut restored = TrainedClfd::fit(&split, &noisy, &cfg, &ablation, 6);
+    restored.restore(&parsed).expect("structurally compatible snapshot restores");
+
+    let a = original.predict_test(&split);
+    let b = restored.predict_test(&split);
+    assert_eq!(a.len(), b.len());
+    for (pa, pb) in a.iter().zip(&b) {
+        assert_eq!(pa.label, pb.label);
+        assert_eq!(
+            pa.malicious_score.to_bits(),
+            pb.malicious_score.to_bits(),
+            "scores must match bit-for-bit: {} vs {}",
+            pa.malicious_score,
+            pb.malicious_score
+        );
+        assert_eq!(pa.confidence.to_bits(), pb.confidence.to_bits());
+    }
+}
+
+#[test]
+fn structurally_incompatible_snapshot_is_a_typed_error() {
+    let (split, cfg, noisy) = smoke_setup();
+
+    let full = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 5);
+    let snapshot = full.snapshot();
+
+    // A corrector-only model cannot absorb a snapshot that carries detector
+    // parameters: restore must refuse with a typed error, not panic.
+    let mut corrector_only =
+        TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::without_fraud_detector(), 5);
+    let err = corrector_only
+        .restore(&snapshot)
+        .expect_err("detector snapshot must not restore into a corrector-only model");
+    assert!(matches!(err, ClfdError::Snapshot(_)), "unexpected error: {err}");
+}
+
+#[test]
+fn corrupt_json_is_a_typed_error() {
+    let err = ClfdSnapshot::from_json("{\"not\": \"a snapshot\"}")
+        .expect_err("bogus JSON must not parse");
+    assert!(matches!(err, ClfdError::Snapshot(_)), "unexpected error: {err}");
+}

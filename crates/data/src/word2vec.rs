@@ -96,11 +96,13 @@ impl ActivityEmbeddings {
                     let center = center as usize;
                     let lo = pos.saturating_sub(cfg.window);
                     let hi = (pos + cfg.window).min(acts.len() - 1);
-                    for ctx_pos in lo..=hi {
+                    for (ctx_pos, &ctx_act) in
+                        acts.iter().enumerate().take(hi + 1).skip(lo)
+                    {
                         if ctx_pos == pos {
                             continue;
                         }
-                        let context = acts[ctx_pos] as usize;
+                        let context = ctx_act as usize;
                         grad_center.iter_mut().for_each(|g| *g = 0.0);
                         // Positive pair + k negatives, standard SGNS update.
                         for k in 0..=cfg.negatives {
@@ -115,8 +117,8 @@ impl ActivityEmbeddings {
                             let score =
                                 kernels::dot(input.row(center), output.row(target));
                             let err = (sigmoid(score) - label) * lr;
-                            for d in 0..dim {
-                                grad_center[d] += err * output.get(target, d);
+                            for (d, g) in grad_center.iter_mut().enumerate() {
+                                *g += err * output.get(target, d);
                             }
                             for d in 0..dim {
                                 let upd = err * input.get(center, d);
@@ -124,8 +126,8 @@ impl ActivityEmbeddings {
                                 output.set(target, d, v);
                             }
                         }
-                        for d in 0..dim {
-                            let v = input.get(center, d) - grad_center[d];
+                        for (d, &g) in grad_center.iter().enumerate() {
+                            let v = input.get(center, d) - g;
                             input.set(center, d, v);
                         }
                     }
@@ -147,6 +149,13 @@ impl ActivityEmbeddings {
         } else {
             trained
         };
+        Self { matrix }
+    }
+
+    /// Rebuilds an embedding table from a previously captured `vocab x dim`
+    /// matrix (snapshot restore); the inverse of
+    /// [`ActivityEmbeddings::matrix`].
+    pub fn from_matrix(matrix: Matrix) -> Self {
         Self { matrix }
     }
 

@@ -16,4 +16,6 @@ pub mod runner;
 
 pub use metrics::{auc_roc, ConfusionMatrix, MeanStd, RunMetrics};
 pub use parallel::{run_cells_parallel, SweepCell};
-pub use runner::{run_cell, run_corrector_quality, CellResult, CorrectorResult, ExperimentSpec};
+pub use runner::{
+    run_cell, run_corrector_quality, CellResult, CorrectorResult, ExperimentSpec, RunFailure,
+};

@@ -165,7 +165,13 @@ pub struct MeanStd {
 
 impl MeanStd {
     /// Aggregates raw values.
+    ///
+    /// An empty slice (every run of a cell failed) yields `NaN ± NaN` so
+    /// the absence of data can never be mistaken for a genuine score of 0.
     pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { mean: f64::NAN, std: f64::NAN };
+        }
         let s: RunningStats = values.iter().copied().collect();
         Self { mean: s.mean(), std: s.std() }
     }
@@ -232,6 +238,25 @@ mod tests {
     #[test]
     fn auc_single_class_is_half() {
         assert_eq!(auc_roc(&[0.1, 0.9], &[Label::Normal, Label::Normal]), 0.5);
+    }
+
+    #[test]
+    fn mean_std_of_empty_is_nan_not_zero() {
+        let m = MeanStd::of(&[]);
+        assert!(m.mean.is_nan());
+        assert!(m.std.is_nan());
+    }
+
+    #[test]
+    fn absent_malicious_class_yields_zero_f1_not_nan() {
+        use Label::Normal as N;
+        // All-normal truth and predictions: no positives anywhere.
+        let cm = ConfusionMatrix::from_labels(&[N, N, N], &[N, N, N]);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.fpr(), 0.0);
+        assert_eq!(cm.tnr(), 1.0);
+        assert_eq!(cm.accuracy(), 1.0);
     }
 
     #[test]

@@ -98,4 +98,43 @@ mod tests {
     fn zero_workers_is_rejected() {
         run_cells_parallel(&[], 0);
     }
+
+    /// A cell whose model always crashes in training.
+    struct PoisonedModel;
+
+    impl SessionClassifier for PoisonedModel {
+        fn name(&self) -> &'static str {
+            "Poisoned"
+        }
+
+        fn fit_predict(
+            &self,
+            _split: &clfd_data::session::SplitCorpus,
+            _noisy: &[clfd_data::session::Label],
+            _cfg: &ClfdConfig,
+            seed: u64,
+        ) -> Vec<clfd::Prediction> {
+            panic!("poisoned cell crashed at seed {seed}")
+        }
+    }
+
+    #[test]
+    fn poisoned_cell_does_not_kill_the_sweep() {
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let make_poisoned = || -> Box<dyn SessionClassifier> { Box::new(PoisonedModel) };
+        let make_healthy = || -> Box<dyn SessionClassifier> { Box::new(DeepLog::default()) };
+        let cells = vec![
+            SweepCell { model: Box::new(make_poisoned), spec: spec(200), cfg },
+            SweepCell { model: Box::new(make_healthy), spec: spec(201), cfg },
+        ];
+        let results = run_cells_parallel(&cells, 2);
+        assert_eq!(results.len(), 2);
+        // The poisoned cell reports its failure instead of aborting the sweep…
+        assert_eq!(results[0].failures.len(), 1);
+        assert!(results[0].failures[0].error.contains("poisoned cell crashed"));
+        assert!(results[0].f1.mean.is_nan());
+        // …and the healthy cell is unaffected.
+        assert!(results[1].failures.is_empty());
+        assert!(results[1].f1.mean.is_finite());
+    }
 }

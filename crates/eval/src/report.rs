@@ -110,6 +110,7 @@ mod tests {
             fpr: MeanStd { mean: 5.0, std: 0.5 },
             auc_roc: MeanStd { mean: 80.0, std: 2.0 },
             seconds_per_run: 1.0,
+            failures: Vec::new(),
         }
     }
 

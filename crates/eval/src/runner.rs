@@ -27,6 +27,17 @@ pub struct ExperimentSpec {
     pub base_seed: u64,
 }
 
+/// One failed run inside a cell: which repetition crashed and why.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunFailure {
+    /// Zero-based repetition index within the cell.
+    pub run: usize,
+    /// The seed that repetition used.
+    pub seed: u64,
+    /// Rendered error (a [`clfd::ClfdError`] display or a panic message).
+    pub error: String,
+}
+
 /// Aggregated scores for one cell of Tables I/II/IV/V.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellResult {
@@ -36,17 +47,26 @@ pub struct CellResult {
     pub dataset: String,
     /// Noise description.
     pub noise: String,
-    /// F1 (%) mean ± std.
+    /// F1 (%) mean ± std over the *surviving* runs.
     pub f1: MeanStd,
-    /// FPR (%) mean ± std.
+    /// FPR (%) mean ± std over the surviving runs.
     pub fpr: MeanStd,
-    /// AUC-ROC (%) mean ± std.
+    /// AUC-ROC (%) mean ± std over the surviving runs.
     pub auc_roc: MeanStd,
     /// Mean wall-clock training+inference seconds per run.
     pub seconds_per_run: f64,
+    /// Runs that crashed or returned a training error; empty on a clean
+    /// cell. When every run fails the metric means are `NaN`.
+    pub failures: Vec<RunFailure>,
 }
 
 /// Runs one model through an experiment spec.
+///
+/// Each repetition is fault-isolated via
+/// [`SessionClassifier::try_fit_predict`]: a run that panics or returns a
+/// training error is recorded in [`CellResult::failures`] and the
+/// remaining runs still execute, so a single diverging seed cannot take
+/// down a whole sweep. Metrics aggregate the surviving runs only.
 pub fn run_cell(
     model: &dyn SessionClassifier,
     spec: &ExperimentSpec,
@@ -56,6 +76,7 @@ pub fn run_cell(
     let mut f1 = Vec::with_capacity(spec.runs);
     let mut fpr = Vec::with_capacity(spec.runs);
     let mut auc = Vec::with_capacity(spec.runs);
+    let mut failures = Vec::new();
     let started = Instant::now();
     for r in 0..spec.runs {
         let seed = spec.base_seed + r as u64;
@@ -63,12 +84,16 @@ pub fn run_cell(
         let truth = split.train_labels();
         let mut noise_rng = StdRng::seed_from_u64(seed.wrapping_mul(7919).wrapping_add(13));
         let noisy = spec.noise.apply(&truth, &mut noise_rng);
-        let preds = model.fit_predict(&split, &noisy, cfg, seed);
-        let test_truth = split.test_labels();
-        let m = RunMetrics::compute(&preds, &test_truth);
-        f1.push(m.f1);
-        fpr.push(m.fpr);
-        auc.push(m.auc_roc);
+        match model.try_fit_predict(&split, &noisy, cfg, seed) {
+            Ok(preds) => {
+                let test_truth = split.test_labels();
+                let m = RunMetrics::compute(&preds, &test_truth);
+                f1.push(m.f1);
+                fpr.push(m.fpr);
+                auc.push(m.auc_roc);
+            }
+            Err(error) => failures.push(RunFailure { run: r, seed, error }),
+        }
     }
     CellResult {
         model: model.name().to_string(),
@@ -78,6 +103,7 @@ pub fn run_cell(
         fpr: MeanStd::of(&fpr),
         auc_roc: MeanStd::of(&auc),
         seconds_per_run: started.elapsed().as_secs_f64() / spec.runs as f64,
+        failures,
     }
 }
 
@@ -141,7 +167,73 @@ pub fn ablation_rows() -> Vec<(&'static str, Ablation)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clfd::Prediction;
     use clfd_baselines::ClfdModel;
+    use clfd_data::session::{Label, SplitCorpus};
+
+    /// Stand-in for a diverging system: training panics on selected seeds
+    /// and otherwise predicts all-normal.
+    struct FlakyModel {
+        panic_seeds: Vec<u64>,
+    }
+
+    impl SessionClassifier for FlakyModel {
+        fn name(&self) -> &'static str {
+            "Flaky"
+        }
+
+        fn fit_predict(
+            &self,
+            split: &SplitCorpus,
+            _noisy: &[Label],
+            _cfg: &ClfdConfig,
+            seed: u64,
+        ) -> Vec<Prediction> {
+            assert!(
+                !self.panic_seeds.contains(&seed),
+                "injected training failure for seed {seed}"
+            );
+            split
+                .test
+                .iter()
+                .map(|_| Prediction {
+                    label: Label::Normal,
+                    malicious_score: 0.0,
+                    confidence: 1.0,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn failed_runs_are_recorded_and_survivors_aggregated() {
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let spec = ExperimentSpec { runs: 3, ..smoke_spec() }; // seeds 3, 4, 5
+        let model = FlakyModel { panic_seeds: vec![4] };
+        let cell = run_cell(&model, &spec, &cfg);
+        assert_eq!(cell.failures.len(), 1);
+        assert_eq!(cell.failures[0].run, 1);
+        assert_eq!(cell.failures[0].seed, 4);
+        assert!(
+            cell.failures[0].error.contains("injected training failure"),
+            "error: {}",
+            cell.failures[0].error
+        );
+        // The two surviving runs still aggregate to finite metrics.
+        assert!(cell.f1.mean.is_finite());
+        assert!(cell.auc_roc.mean.is_finite());
+    }
+
+    #[test]
+    fn all_runs_failing_yields_nan_metrics_not_a_crash() {
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let spec = ExperimentSpec { runs: 2, ..smoke_spec() };
+        let model = FlakyModel { panic_seeds: vec![3, 4] };
+        let cell = run_cell(&model, &spec, &cfg);
+        assert_eq!(cell.failures.len(), 2);
+        assert!(cell.f1.mean.is_nan());
+        assert!(cell.fpr.mean.is_nan());
+    }
 
     fn smoke_spec() -> ExperimentSpec {
         ExperimentSpec {

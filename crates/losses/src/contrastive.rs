@@ -9,6 +9,7 @@
 //! paper's contribution lives: `c_i · c_p` down-weights pairs the label
 //! corrector is uncertain about.
 
+use crate::error::LossError;
 use clfd_autograd::{Tape, Var};
 use clfd_data::session::Label;
 use clfd_tensor::kernels;
@@ -33,8 +34,14 @@ pub enum SupConVariant {
 
 /// Builds the similarity → masked log-softmax pipeline shared by all
 /// contrastive losses. Returns the `n x n` log-probability node.
-fn log_softmax_similarities(tape: &mut Tape, z: Var, temperature: f32) -> Var {
-    assert!(temperature > 0.0, "temperature must be positive");
+fn log_softmax_similarities(
+    tape: &mut Tape,
+    z: Var,
+    temperature: f32,
+) -> Result<Var, LossError> {
+    if !(temperature > 0.0 && temperature.is_finite()) {
+        return Err(LossError::InvalidTemperature { temperature });
+    }
     let zn = tape.row_l2_normalize(z, 1e-12);
     let sims = tape.matmul_transpose(zn, zn);
     let scaled = tape.scale(sims, 1.0 / temperature);
@@ -47,17 +54,22 @@ fn log_softmax_similarities(tape: &mut Tape, z: Var, temperature: f32) -> Var {
         }
     }));
     let masked = tape.add(scaled, mask);
-    tape.log_softmax_rows(masked)
+    Ok(tape.log_softmax_rows(masked))
 }
 
 /// SimCLR NT-Xent loss over a `2N x d` batch where rows `i` and `i + N` are
 /// the two augmented views of sample `i` (used to pre-train the label
 /// corrector's encoder, §III-A).
-pub fn nt_xent(tape: &mut Tape, z: Var, temperature: f32) -> Var {
+///
+/// # Errors
+/// Rejects odd or under-sized batches and non-positive temperatures.
+pub fn try_nt_xent(tape: &mut Tape, z: Var, temperature: f32) -> Result<Var, LossError> {
     let n2 = tape.value(z).rows();
-    assert!(n2 >= 4 && n2 % 2 == 0, "NT-Xent needs an even batch of ≥ 4 views");
+    if n2 < 4 || !n2.is_multiple_of(2) {
+        return Err(LossError::BatchTooSmall { rows: n2 });
+    }
     let n = n2 / 2;
-    let logp = log_softmax_similarities(tape, z, temperature);
+    let logp = log_softmax_similarities(tape, z, temperature)?;
     let weights = Matrix::from_fn(n2, n2, |r, c| {
         let positive = if r < n { r + n } else { r - n };
         if c == positive {
@@ -66,7 +78,15 @@ pub fn nt_xent(tape: &mut Tape, z: Var, temperature: f32) -> Var {
             0.0
         }
     });
-    tape.weighted_sum_all(logp, weights)
+    Ok(tape.weighted_sum_all(logp, weights))
+}
+
+/// Panicking version of [`try_nt_xent`].
+///
+/// # Panics
+/// Panics on any [`LossError`].
+pub fn nt_xent(tape: &mut Tape, z: Var, temperature: f32) -> Var {
+    try_nt_xent(tape, z, temperature).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Supervised contrastive batch loss over `z` (`(R + M) x d`, the batch `S`
@@ -79,7 +99,11 @@ pub fn nt_xent(tape: &mut Tape, z: Var, temperature: f32) -> Var {
 ///
 /// Anchors with an empty positive set `B(x_i)` contribute nothing. If *no*
 /// anchor has positives the loss is a constant zero node.
-pub fn sup_con_batch(
+///
+/// # Errors
+/// Rejects label/confidence slices whose length differs from the row
+/// count, anchor counts outside `1..=n`, and non-positive temperatures.
+pub fn try_sup_con_batch(
     tape: &mut Tape,
     z: Var,
     labels: &[Label],
@@ -87,17 +111,31 @@ pub fn sup_con_batch(
     anchors: usize,
     temperature: f32,
     variant: SupConVariant,
-) -> Var {
+) -> Result<Var, LossError> {
     let n = tape.value(z).rows();
-    assert_eq!(labels.len(), n, "one label per row");
-    assert_eq!(confidences.len(), n, "one confidence per row");
-    assert!(anchors >= 1 && anchors <= n, "anchors must be in 1..=n");
+    if labels.len() != n {
+        return Err(LossError::LengthMismatch {
+            what: "one label per row",
+            expected: n,
+            found: labels.len(),
+        });
+    }
+    if confidences.len() != n {
+        return Err(LossError::LengthMismatch {
+            what: "one confidence per row",
+            expected: n,
+            found: confidences.len(),
+        });
+    }
+    if anchors < 1 || anchors > n {
+        return Err(LossError::InvalidAnchors { anchors, rows: n });
+    }
     debug_assert!(
         confidences.iter().all(|&c| (0.0..=1.0).contains(&c)),
         "confidences are softmax outputs"
     );
 
-    let logp = log_softmax_similarities(tape, z, temperature);
+    let logp = log_softmax_similarities(tape, z, temperature)?;
     let mut weights = Matrix::zeros(n, n);
     for i in 0..anchors {
         let b_size = (0..n).filter(|&j| j != i && labels[j] == labels[i]).count();
@@ -123,7 +161,24 @@ pub fn sup_con_batch(
             weights.set(i, j, -pair_weight * norm);
         }
     }
-    tape.weighted_sum_all(logp, weights)
+    Ok(tape.weighted_sum_all(logp, weights))
+}
+
+/// Panicking version of [`try_sup_con_batch`].
+///
+/// # Panics
+/// Panics on any [`LossError`].
+pub fn sup_con_batch(
+    tape: &mut Tape,
+    z: Var,
+    labels: &[Label],
+    confidences: &[f32],
+    anchors: usize,
+    temperature: f32,
+    variant: SupConVariant,
+) -> Var {
+    try_sup_con_batch(tape, z, labels, confidences, anchors, temperature, variant)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Scalar value of the individual pair loss `l_Sup(z_i, z_p)` of Eq. 6,
@@ -346,6 +401,42 @@ mod tests {
             SupConVariant::Weighted,
         );
         assert_eq!(tape.scalar(loss), 0.0);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        let (mut tape, z) = on_tape(embeddings(4, 3, 7));
+        assert_eq!(
+            try_nt_xent(&mut tape, z, 0.0),
+            Err(LossError::InvalidTemperature { temperature: 0.0 })
+        );
+        let (mut tape3, z3) = on_tape(embeddings(3, 3, 8));
+        assert_eq!(try_nt_xent(&mut tape3, z3, 0.5), Err(LossError::BatchTooSmall { rows: 3 }));
+        let labels = vec![Label::Normal, Label::Malicious, Label::Normal];
+        assert!(matches!(
+            try_sup_con_batch(
+                &mut tape3,
+                z3,
+                &labels,
+                &[0.9, 0.9],
+                3,
+                1.0,
+                SupConVariant::Weighted
+            ),
+            Err(LossError::LengthMismatch { what: "one confidence per row", .. })
+        ));
+        assert_eq!(
+            try_sup_con_batch(
+                &mut tape3,
+                z3,
+                &labels,
+                &[0.9; 3],
+                4,
+                1.0,
+                SupConVariant::Weighted
+            ),
+            Err(LossError::InvalidAnchors { anchors: 4, rows: 3 })
+        );
     }
 
     #[test]

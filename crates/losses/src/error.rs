@@ -1,0 +1,97 @@
+//! Typed validation errors for loss construction.
+//!
+//! Every loss in this crate has two entry points: a `try_*` function
+//! returning `Result<Var, LossError>`, and the original panicking function
+//! (kept for ergonomic use in experiment code where invalid
+//! hyper-parameters are programmer errors). The panicking wrappers
+//! delegate to the `try_*` versions, so the two can never disagree about
+//! what counts as invalid.
+
+/// A loss function rejected its inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossError {
+    /// GCE exponent outside `(0, 1]`.
+    InvalidExponent {
+        /// Offending exponent.
+        q: f32,
+    },
+    /// Truncated-GCE truncation level outside `[0, 1)`.
+    InvalidTruncation {
+        /// Offending truncation level.
+        k: f32,
+    },
+    /// Target matrix shape differs from the logits shape.
+    ShapeMismatch {
+        /// Shape of the logits node.
+        logits: (usize, usize),
+        /// Shape of the target matrix.
+        targets: (usize, usize),
+    },
+    /// NT-Xent batch is odd or has fewer than four view rows.
+    BatchTooSmall {
+        /// Number of view rows supplied.
+        rows: usize,
+    },
+    /// A per-row side input (labels, confidences, index targets) has the
+    /// wrong length.
+    LengthMismatch {
+        /// What the side input describes.
+        what: &'static str,
+        /// Rows in the embedding/logit matrix.
+        expected: usize,
+        /// Entries supplied.
+        found: usize,
+    },
+    /// An integer class target is outside the logit column range.
+    IndexOutOfRange {
+        /// Offending class index.
+        index: usize,
+        /// Number of classes (logit columns).
+        classes: usize,
+    },
+    /// Supervised-contrastive anchor count outside `1..=n`.
+    InvalidAnchors {
+        /// Requested anchor count.
+        anchors: usize,
+        /// Rows available.
+        rows: usize,
+    },
+    /// Softmax temperature is zero, negative, or non-finite.
+    InvalidTemperature {
+        /// Offending temperature.
+        temperature: f32,
+    },
+}
+
+impl std::fmt::Display for LossError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidExponent { q } => {
+                write!(f, "GCE exponent q must be in (0, 1], got {q}")
+            }
+            Self::InvalidTruncation { k } => {
+                write!(f, "truncation level k must be in [0, 1), got {k}")
+            }
+            Self::ShapeMismatch { logits, targets } => {
+                write!(f, "targets shape {targets:?} must match logits shape {logits:?}")
+            }
+            Self::BatchTooSmall { rows } => {
+                write!(f, "NT-Xent needs an even batch of ≥ 4 views, got {rows}")
+            }
+            Self::LengthMismatch { what, expected, found } => {
+                write!(f, "{what}: expected {expected} entries, found {found}")
+            }
+            Self::IndexOutOfRange { index, classes } => {
+                write!(f, "target index out of range: {index} with {classes} classes")
+            }
+            Self::InvalidAnchors { anchors, rows } => {
+                write!(f, "anchors must be in 1..=n, got {anchors} of {rows} rows")
+            }
+            Self::InvalidTemperature { temperature } => {
+                write!(f, "temperature must be positive, got {temperature}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LossError {}

@@ -12,22 +12,27 @@
 //! functional applied to mixup-interpolated representations and targets —
 //! the mixing itself lives in [`crate::mixup`], so every function here
 //! accepts an arbitrary row-stochastic target matrix.
+//!
+//! Each loss comes in a fallible `try_*` flavour returning
+//! [`LossError`] and a panicking flavour that delegates to it (see
+//! [`crate::error`]).
 
+use crate::error::LossError;
 use clfd_autograd::{Tape, Var};
 use clfd_tensor::Matrix;
 
-fn validate_targets(tape: &Tape, logits: Var, targets: &Matrix) {
+fn validate_targets(tape: &Tape, logits: Var, targets: &Matrix) -> Result<(), LossError> {
     let shape = tape.value(logits).shape();
-    assert_eq!(
-        shape,
-        targets.shape(),
-        "targets shape {:?} must match logits shape {shape:?}",
-        targets.shape()
-    );
+    if shape != targets.shape() {
+        return Err(LossError::ShapeMismatch { logits: shape, targets: targets.shape() });
+    }
+    // Out-of-range probabilities are a soft invariant (they distort but do
+    // not break the arithmetic), so they stay a debug-only check.
     debug_assert!(
         targets.as_slice().iter().all(|&t| (0.0..=1.0).contains(&t)),
         "targets must be class probabilities"
     );
+    Ok(())
 }
 
 /// Mean GCE loss (Eq. 1 averaged per Eq. 3) of a batch.
@@ -36,59 +41,124 @@ fn validate_targets(tape: &Tape, logits: Var, targets: &Matrix) {
 /// probabilities. Returns a scalar node; the exact loss *value* (not just
 /// its gradient) is reproduced, including the target-dependent constant.
 ///
-/// # Panics
-/// Panics unless `0 < q ≤ 1`.
-pub fn gce_loss(tape: &mut Tape, logits: Var, targets: &Matrix, q: f32) -> Var {
-    assert!(q > 0.0 && q <= 1.0, "GCE exponent q must be in (0, 1], got {q}");
-    validate_targets(tape, logits, targets);
+/// # Errors
+/// Rejects `q` outside `(0, 1]` and target/logit shape mismatches.
+pub fn try_gce_loss(
+    tape: &mut Tape,
+    logits: Var,
+    targets: &Matrix,
+    q: f32,
+) -> Result<Var, LossError> {
+    if !(q > 0.0 && q <= 1.0) {
+        return Err(LossError::InvalidExponent { q });
+    }
+    validate_targets(tape, logits, targets)?;
     let n = targets.rows() as f32;
     let p = tape.softmax_rows(logits);
     let pq = tape.pow(p, q);
     // Σ m/q (1 − p^q) / n  =  Σ m / (q n)  −  <p^q, m / (q n)>.
     let constant = targets.sum() / (q * n);
     let weighted = tape.weighted_sum_all(pq, targets.scale(-1.0 / (q * n)));
-    tape.add_scalar(weighted, constant)
+    Ok(tape.add_scalar(weighted, constant))
+}
+
+/// Panicking version of [`try_gce_loss`].
+///
+/// # Panics
+/// Panics on any [`LossError`].
+pub fn gce_loss(tape: &mut Tape, logits: Var, targets: &Matrix, q: f32) -> Var {
+    try_gce_loss(tape, logits, targets, q).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Mean categorical cross-entropy: `−Σ m_k log f_k(v)`, averaged over rows.
-pub fn cce_loss(tape: &mut Tape, logits: Var, targets: &Matrix) -> Var {
-    validate_targets(tape, logits, targets);
+///
+/// # Errors
+/// Rejects target/logit shape mismatches.
+pub fn try_cce_loss(tape: &mut Tape, logits: Var, targets: &Matrix) -> Result<Var, LossError> {
+    validate_targets(tape, logits, targets)?;
     let n = targets.rows() as f32;
     let logp = tape.log_softmax_rows(logits);
-    tape.weighted_sum_all(logp, targets.scale(-1.0 / n))
+    Ok(tape.weighted_sum_all(logp, targets.scale(-1.0 / n)))
+}
+
+/// Panicking version of [`try_cce_loss`].
+///
+/// # Panics
+/// Panics on any [`LossError`].
+pub fn cce_loss(tape: &mut Tape, logits: Var, targets: &Matrix) -> Var {
+    try_cce_loss(tape, logits, targets).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Mean MAE/unhinged loss: `Σ m_k (1 − f_k(v))`, averaged over rows.
-pub fn mae_loss(tape: &mut Tape, logits: Var, targets: &Matrix) -> Var {
-    validate_targets(tape, logits, targets);
+///
+/// # Errors
+/// Rejects target/logit shape mismatches.
+pub fn try_mae_loss(tape: &mut Tape, logits: Var, targets: &Matrix) -> Result<Var, LossError> {
+    validate_targets(tape, logits, targets)?;
     let n = targets.rows() as f32;
     let p = tape.softmax_rows(logits);
     let constant = targets.sum() / n;
     let weighted = tape.weighted_sum_all(p, targets.scale(-1.0 / n));
-    tape.add_scalar(weighted, constant)
+    Ok(tape.add_scalar(weighted, constant))
+}
+
+/// Panicking version of [`try_mae_loss`].
+///
+/// # Panics
+/// Panics on any [`LossError`].
+pub fn mae_loss(tape: &mut Tape, logits: Var, targets: &Matrix) -> Var {
+    try_mae_loss(tape, logits, targets).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Mean cross-entropy against integer class indices (`logits` is
 /// `n x k`, `targets[i] < k`). Used by the sequence-model baselines
 /// (DeepLog next-key prediction, LogBert masked-key prediction), whose
 /// class count is the activity vocabulary rather than {normal, malicious}.
-pub fn cce_loss_indices(tape: &mut Tape, logits: Var, targets: &[usize]) -> Var {
+///
+/// # Errors
+/// Rejects a target count differing from the row count and indices `≥ k`.
+pub fn try_cce_loss_indices(
+    tape: &mut Tape,
+    logits: Var,
+    targets: &[usize],
+) -> Result<Var, LossError> {
     let (n, k) = tape.value(logits).shape();
-    assert_eq!(targets.len(), n, "one target per row");
-    assert!(targets.iter().all(|&t| t < k), "target index out of range");
+    if targets.len() != n {
+        return Err(LossError::LengthMismatch {
+            what: "one target per row",
+            expected: n,
+            found: targets.len(),
+        });
+    }
+    if let Some(&bad) = targets.iter().find(|&&t| t >= k) {
+        return Err(LossError::IndexOutOfRange { index: bad, classes: k });
+    }
     let logp = tape.log_softmax_rows(logits);
     let mut weights = Matrix::zeros(n, k);
     for (r, &t) in targets.iter().enumerate() {
         weights.set(r, t, -1.0 / n as f32);
     }
-    tape.weighted_sum_all(logp, weights)
+    Ok(tape.weighted_sum_all(logp, weights))
+}
+
+/// Panicking version of [`try_cce_loss_indices`].
+///
+/// # Panics
+/// Panics on any [`LossError`].
+pub fn cce_loss_indices(tape: &mut Tape, logits: Var, targets: &[usize]) -> Var {
+    try_cce_loss_indices(tape, logits, targets).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Evaluates the *scalar value* of the GCE loss for given probabilities and
 /// targets without a tape (used by the theory checks and sample-selection
 /// baselines that rank per-sample losses).
+///
+/// # Panics
+/// Panics unless `0 < q ≤ 1` and the slices have equal lengths — both are
+/// compile-time-fixed in every caller, so this keeps the plain-`f32`
+/// hot path free of `Result` plumbing.
 pub fn gce_value(probs: &[f32], targets: &[f32], q: f32) -> f32 {
-    assert!(q > 0.0 && q <= 1.0);
+    assert!(q > 0.0 && q <= 1.0, "GCE exponent q must be in (0, 1], got {q}");
     assert_eq!(probs.len(), targets.len());
     probs
         .iter()
@@ -98,6 +168,9 @@ pub fn gce_value(probs: &[f32], targets: &[f32], q: f32) -> f32 {
 }
 
 /// Scalar categorical cross-entropy value for one sample.
+///
+/// # Panics
+/// Panics on length mismatch (see [`gce_value`] for why this is an assert).
 pub fn cce_value(probs: &[f32], targets: &[f32]) -> f32 {
     assert_eq!(probs.len(), targets.len());
     -probs
@@ -114,6 +187,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// Infallible `Matrix` literal for tests (lengths are written inline).
+    fn m(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        Matrix::from_vec(rows, cols, data).expect("test literal has matching dimensions")
+    }
+
     fn setup(logit_values: Matrix) -> (Tape, Var) {
         let mut tape = Tape::new();
         let logits = tape.param(logit_values);
@@ -125,7 +203,7 @@ mod tests {
     fn gce_matches_hand_computation() {
         // Single sample, logits (0, 0) → p = (0.5, 0.5); target (1, 0).
         let (mut tape, logits) = setup(Matrix::zeros(1, 2));
-        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let targets = m(1, 2, vec![1.0, 0.0]);
         let q = 0.7;
         let loss = gce_loss(&mut tape, logits, &targets, q);
         let expected = (1.0 - 0.5_f32.powf(q)) / q;
@@ -135,8 +213,8 @@ mod tests {
     #[test]
     fn gce_is_bounded_by_one_over_q() {
         // Theorem 2 upper bound: l ≤ 1/q, even for confident wrong outputs.
-        let (mut tape, logits) = setup(Matrix::from_vec(1, 2, vec![-20.0, 20.0]).unwrap());
-        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let (mut tape, logits) = setup(m(1, 2, vec![-20.0, 20.0]));
+        let targets = m(1, 2, vec![1.0, 0.0]);
         let loss = gce_loss(&mut tape, logits, &targets, 0.7);
         let v = tape.scalar(loss);
         assert!(v <= 1.0 / 0.7 + 1e-4, "GCE value {v} exceeds 1/q");
@@ -147,8 +225,8 @@ mod tests {
     fn cce_is_unbounded_where_gce_saturates() {
         // The same confident-wrong sample: CCE explodes, GCE does not —
         // this is the over-fitting mechanism of §III-A1.
-        let (mut tape, logits) = setup(Matrix::from_vec(1, 2, vec![-20.0, 20.0]).unwrap());
-        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let (mut tape, logits) = setup(m(1, 2, vec![-20.0, 20.0]));
+        let targets = m(1, 2, vec![1.0, 0.0]);
         let cce = cce_loss(&mut tape, logits, &targets);
         assert!(tape.scalar(cce) > 10.0, "CCE {}", tape.scalar(cce));
     }
@@ -160,9 +238,9 @@ mod tests {
         // whose prediction disagrees with the target than CCE does.
         // Compare gradient norms: CCE's wrong-sample/right-sample gradient
         // ratio must exceed GCE's.
-        let wrong = Matrix::from_vec(1, 2, vec![-3.0, 3.0]).unwrap();
-        let right = Matrix::from_vec(1, 2, vec![3.0, -3.0]).unwrap();
-        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let wrong = m(1, 2, vec![-3.0, 3.0]);
+        let right = m(1, 2, vec![3.0, -3.0]);
+        let targets = m(1, 2, vec![1.0, 0.0]);
         let grad_norm = |values: &Matrix, use_gce: bool| -> f32 {
             let (mut tape, logits) = setup(values.clone());
             let loss = if use_gce {
@@ -190,8 +268,8 @@ mod tests {
         let g = gce_loss(&mut tape, logits, &targets, 1.0);
         let gv = tape.scalar(g);
         let (mut tape2, logits2) = setup(values);
-        let m = mae_loss(&mut tape2, logits2, &targets);
-        assert!((gv - tape2.scalar(m)).abs() < 1e-5);
+        let ma = mae_loss(&mut tape2, logits2, &targets);
+        assert!((gv - tape2.scalar(ma)).abs() < 1e-5);
     }
 
     #[test]
@@ -200,7 +278,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let values = init::uniform(3, 2, -1.5, 1.5, &mut rng);
         // Soft (mixup-style) targets to exercise the general case.
-        let targets = Matrix::from_vec(3, 2, vec![0.8, 0.2, 0.3, 0.7, 0.55, 0.45]).unwrap();
+        let targets = m(3, 2, vec![0.8, 0.2, 0.3, 0.7, 0.55, 0.45]);
         let (mut tape, logits) = setup(values.clone());
         let g = gce_loss(&mut tape, logits, &targets, 0.001);
         let gv = tape.scalar(g);
@@ -223,7 +301,26 @@ mod tests {
     #[should_panic(expected = "q must be in (0, 1]")]
     fn invalid_q_panics() {
         let (mut tape, logits) = setup(Matrix::zeros(1, 2));
-        gce_loss(&mut tape, logits, &Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap(), 1.5);
+        gce_loss(&mut tape, logits, &m(1, 2, vec![1.0, 0.0]), 1.5);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        let (mut tape, logits) = setup(Matrix::zeros(2, 2));
+        let ok = m(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert!(try_gce_loss(&mut tape, logits, &ok, 0.7).is_ok());
+        assert_eq!(
+            try_gce_loss(&mut tape, logits, &ok, 0.0),
+            Err(LossError::InvalidExponent { q: 0.0 })
+        );
+        assert_eq!(
+            try_cce_loss(&mut tape, logits, &m(1, 2, vec![1.0, 0.0])),
+            Err(LossError::ShapeMismatch { logits: (2, 2), targets: (1, 2) })
+        );
+        assert!(matches!(
+            try_cce_loss_indices(&mut tape, logits, &[0]),
+            Err(LossError::LengthMismatch { .. })
+        ));
     }
 }
 
@@ -242,18 +339,23 @@ mod tests {
 /// which for one-hot `m` matches [13]'s formulation. `k = 0` recovers the
 /// plain GCE loss.
 ///
-/// # Panics
-/// Panics unless `0 < q ≤ 1` and `0 ≤ k < 1`.
-pub fn truncated_gce_loss(
+/// # Errors
+/// Rejects `q` outside `(0, 1]`, `k` outside `[0, 1)`, and shape
+/// mismatches.
+pub fn try_truncated_gce_loss(
     tape: &mut Tape,
     logits: Var,
     targets: &Matrix,
     q: f32,
     k: f32,
-) -> Var {
-    assert!(q > 0.0 && q <= 1.0, "GCE exponent q must be in (0, 1], got {q}");
-    assert!((0.0..1.0).contains(&k), "truncation level k must be in [0, 1), got {k}");
-    validate_targets(tape, logits, targets);
+) -> Result<Var, LossError> {
+    if !(q > 0.0 && q <= 1.0) {
+        return Err(LossError::InvalidExponent { q });
+    }
+    if !(0.0..1.0).contains(&k) {
+        return Err(LossError::InvalidTruncation { k });
+    }
+    validate_targets(tape, logits, targets)?;
     let n = targets.rows() as f32;
     let p = tape.softmax_rows(logits);
     // Clamp probabilities from below at k: for f < k the loss value and
@@ -264,12 +366,31 @@ pub fn truncated_gce_loss(
     let pq = tape.pow(clamped, q);
     let constant = targets.sum() / (q * n);
     let weighted = tape.weighted_sum_all(pq, targets.scale(-1.0 / (q * n)));
-    tape.add_scalar(weighted, constant)
+    Ok(tape.add_scalar(weighted, constant))
+}
+
+/// Panicking version of [`try_truncated_gce_loss`].
+///
+/// # Panics
+/// Panics on any [`LossError`].
+pub fn truncated_gce_loss(
+    tape: &mut Tape,
+    logits: Var,
+    targets: &Matrix,
+    q: f32,
+    k: f32,
+) -> Var {
+    try_truncated_gce_loss(tape, logits, targets, q, k).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
 mod truncated_tests {
     use super::*;
+
+    /// Infallible `Matrix` literal for tests.
+    fn m(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        Matrix::from_vec(rows, cols, data).expect("test literal has matching dimensions")
+    }
 
     fn setup(logit_values: Matrix) -> (Tape, Var) {
         let mut tape = Tape::new();
@@ -280,8 +401,8 @@ mod truncated_tests {
 
     #[test]
     fn truncation_at_zero_equals_plain_gce() {
-        let values = Matrix::from_vec(2, 2, vec![0.8, -0.3, -1.2, 0.4]).unwrap();
-        let targets = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let values = m(2, 2, vec![0.8, -0.3, -1.2, 0.4]);
+        let targets = m(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
         let (mut t1, l1) = setup(values.clone());
         let a = truncated_gce_loss(&mut t1, l1, &targets, 0.7, 0.0);
         let (mut t2, l2) = setup(values);
@@ -293,8 +414,8 @@ mod truncated_tests {
     fn truncation_caps_the_loss_of_hopeless_samples() {
         // A confidently-wrong sample: plain GCE approaches 1/q; truncated
         // GCE caps at (1 − k^q)/q.
-        let (mut tape, logits) = setup(Matrix::from_vec(1, 2, vec![-20.0, 20.0]).unwrap());
-        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let (mut tape, logits) = setup(m(1, 2, vec![-20.0, 20.0]));
+        let targets = m(1, 2, vec![1.0, 0.0]);
         let (q, k) = (0.7_f32, 0.3_f32);
         let loss = truncated_gce_loss(&mut tape, logits, &targets, q, k);
         let cap = (1.0 - k.powf(q)) / q;
@@ -303,8 +424,8 @@ mod truncated_tests {
 
     #[test]
     fn truncation_removes_the_gradient_of_clipped_samples() {
-        let (mut tape, logits) = setup(Matrix::from_vec(1, 2, vec![-20.0, 20.0]).unwrap());
-        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let (mut tape, logits) = setup(m(1, 2, vec![-20.0, 20.0]));
+        let targets = m(1, 2, vec![1.0, 0.0]);
         let loss = truncated_gce_loss(&mut tape, logits, &targets, 0.7, 0.3);
         tape.backward(loss);
         assert!(tape.grad(logits).max_abs() < 1e-6, "clipped sample still trains");
@@ -312,10 +433,20 @@ mod truncated_tests {
 
     #[test]
     fn unclipped_samples_still_train() {
-        let (mut tape, logits) = setup(Matrix::from_vec(1, 2, vec![0.2, -0.2]).unwrap());
-        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let (mut tape, logits) = setup(m(1, 2, vec![0.2, -0.2]));
+        let targets = m(1, 2, vec![1.0, 0.0]);
         let loss = truncated_gce_loss(&mut tape, logits, &targets, 0.7, 0.3);
         tape.backward(loss);
         assert!(tape.grad(logits).max_abs() > 1e-4);
+    }
+
+    #[test]
+    fn invalid_truncation_is_a_typed_error() {
+        let (mut tape, logits) = setup(Matrix::zeros(1, 2));
+        let targets = m(1, 2, vec![1.0, 0.0]);
+        assert_eq!(
+            try_truncated_gce_loss(&mut tape, logits, &targets, 0.7, 1.0),
+            Err(LossError::InvalidTruncation { k: 1.0 })
+        );
     }
 }

@@ -17,12 +17,23 @@
 //! All losses are recorded on a [`Tape`](clfd_autograd::Tape) and return a
 //! scalar `Var`, so `tape.backward(loss)` yields gradients for any encoder
 //! or classifier upstream.
+//!
+//! Each loss has a fallible `try_*` entry point returning
+//! [`error::LossError`] and a panicking wrapper; fault-tolerant callers
+//! (the pipeline's `try_fit` path) use the former.
 
 pub mod contrastive;
+pub mod error;
 pub mod gce;
 pub mod mixup;
 pub mod theory;
 
-pub use contrastive::{nt_xent, sup_con_batch, sup_con_pair, SupConVariant};
-pub use gce::{cce_loss, gce_loss, mae_loss, truncated_gce_loss};
+pub use contrastive::{
+    nt_xent, sup_con_batch, sup_con_pair, try_nt_xent, try_sup_con_batch, SupConVariant,
+};
+pub use error::LossError;
+pub use gce::{
+    cce_loss, gce_loss, mae_loss, truncated_gce_loss, try_cce_loss, try_gce_loss, try_mae_loss,
+    try_truncated_gce_loss,
+};
 pub use mixup::MixupPlan;

@@ -26,7 +26,7 @@ pub struct MultiHeadAttention {
 impl MultiHeadAttention {
     /// Registers projection parameters. `dim` must be divisible by `heads`.
     pub fn new(tape: &mut Tape, dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
-        assert!(heads >= 1 && dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        assert!(heads >= 1 && dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
         Self {
             wq: Linear::new(tape, dim, dim, LinearInit::Xavier, rng),
             wk: Linear::new(tape, dim, dim, LinearInit::Xavier, rng),
@@ -260,7 +260,7 @@ mod tests {
         let mut opt = Adam::new(0.01);
         let mut data_rng = StdRng::seed_from_u64(3);
 
-        let mut run = |train: bool, opt: &mut Adam, tape: &mut Tape, rng: &mut StdRng| -> f32 {
+        let run = |train: bool, opt: &mut Adam, tape: &mut Tape, rng: &mut StdRng| -> f32 {
             let mut correct = 0;
             let n = 16;
             for _ in 0..n {

@@ -1,0 +1,218 @@
+//! Deterministic fault injection for exercising the divergence guard.
+//!
+//! A [`FaultPlan`] schedules numerical corruption at exact guarded-step
+//! indices; the [`FaultInjector`] executes the plan from inside
+//! [`TrainGuard::step`](crate::guard::TrainGuard::step), after
+//! `backward()` and before the gradient health checks — the same place
+//! real numerical faults (overflowing activations, poisoned batches,
+//! mis-set hyper-parameters) surface in a training loop. Being purely
+//! step-indexed, an injection run is exactly reproducible.
+
+use crate::optim::Optimizer;
+use clfd_autograd::{Tape, Var};
+
+/// A single kind of injected numerical corruption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Overwrites one element of the first parameter's gradient with NaN.
+    NanGrad,
+    /// Overwrites one element of the first parameter's gradient with +∞.
+    InfGrad,
+    /// Multiplies the optimizer's learning rate by the factor, simulating
+    /// a runaway LR schedule. Undetectable by the gradient checks; the
+    /// guard's loss-spike detector has to catch the ensuing divergence.
+    LrBlowup(f32),
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::NanGrad => write!(f, "NaN gradient"),
+            FaultKind::InfGrad => write!(f, "infinite gradient"),
+            FaultKind::LrBlowup(factor) => write!(f, "learning rate blown up {factor}x"),
+        }
+    }
+}
+
+/// Schedule of faults keyed by guarded-step index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<(u64, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// Empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at guarded-step `step` (builder style). A step may
+    /// carry at most one fault; scheduling twice replaces the earlier one.
+    pub fn at(mut self, step: u64, kind: FaultKind) -> Self {
+        self.faults.retain(|&(s, _)| s != step);
+        self.faults.push((step, kind));
+        self
+    }
+
+    /// Schedules `kind` at every step in `steps`.
+    pub fn at_each(mut self, steps: impl IntoIterator<Item = u64>, kind: FaultKind) -> Self {
+        for s in steps {
+            self = self.at(s, kind);
+        }
+        self
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Executes a [`FaultPlan`] against a live training step.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    fired: Vec<(u64, FaultKind)>,
+}
+
+impl From<FaultPlan> for FaultInjector {
+    fn from(plan: FaultPlan) -> Self {
+        Self::new(plan)
+    }
+}
+
+impl FaultInjector {
+    /// Creates an injector for the given plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan, fired: Vec::new() }
+    }
+
+    /// Applies any fault scheduled for `step`. Called by the guard with
+    /// gradients already populated.
+    pub fn apply(&mut self, step: u64, tape: &mut Tape, opt: &mut dyn Optimizer, params: &[Var]) {
+        let Some(&(_, kind)) = self.plan.faults.iter().find(|&&(s, _)| s == step) else {
+            return;
+        };
+        match kind {
+            FaultKind::NanGrad => Self::poison_grad(tape, params, f32::NAN),
+            FaultKind::InfGrad => Self::poison_grad(tape, params, f32::INFINITY),
+            FaultKind::LrBlowup(factor) => opt.set_lr(opt.lr() * factor),
+        }
+        self.fired.push((step, kind));
+    }
+
+    /// Faults fired so far, in firing order.
+    pub fn fired(&self) -> &[(u64, FaultKind)] {
+        &self.fired
+    }
+
+    fn poison_grad(tape: &mut Tape, params: &[Var], value: f32) {
+        if let Some(&p) = params.first() {
+            let g = tape.grad_mut(p);
+            if let Some(first) = g.as_mut_slice().first_mut() {
+                *first = value;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{Fault, GuardConfig, StepOutcome, TrainGuard};
+    use crate::optim::Sgd;
+    use clfd_tensor::Matrix;
+
+    fn scalar_problem() -> (Tape, Var, Sgd) {
+        let mut tape = Tape::new();
+        let w = tape.param(Matrix::from_vec(1, 1, vec![0.0]).unwrap());
+        tape.seal();
+        (tape, w, Sgd::new(0.1))
+    }
+
+    fn quadratic_loss(tape: &mut Tape, w: Var) -> Var {
+        let c = tape.constant(Matrix::from_vec(1, 1, vec![-3.0]).unwrap());
+        let d = tape.add(w, c);
+        let sq = tape.mul(d, d);
+        tape.sum_all(sq)
+    }
+
+    #[test]
+    fn plan_replaces_duplicate_steps() {
+        let plan = FaultPlan::new()
+            .at(3, FaultKind::NanGrad)
+            .at(3, FaultKind::InfGrad)
+            .at_each([7, 9], FaultKind::NanGrad);
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn injected_nan_grad_is_caught_and_training_recovers() {
+        let (mut tape, w, mut opt) = scalar_problem();
+        let plan = FaultPlan::new().at(4, FaultKind::NanGrad).at(11, FaultKind::InfGrad);
+        let mut guard =
+            TrainGuard::new(GuardConfig::default()).with_injector(FaultInjector::new(plan));
+        let mut recovered = Vec::new();
+        // Two rollbacks halve the LR twice; the longer horizon gives the
+        // backed-off rate time to close the remaining gap.
+        for _ in 0..120 {
+            let loss = quadratic_loss(&mut tape, w);
+            match guard.step(&mut tape, &mut opt, &[w], loss).unwrap() {
+                StepOutcome::Applied => {}
+                StepOutcome::Recovered(fault) => recovered.push(fault),
+            }
+        }
+        assert_eq!(
+            recovered,
+            vec![Fault::NonFiniteGrad { param_index: 0 }, Fault::NonFiniteGrad { param_index: 0 }]
+        );
+        assert_eq!(guard.injected_faults().len(), 2);
+        // Despite two rollbacks (and their LR backoffs) the optimisation
+        // still converges on the quadratic's minimum.
+        let v = tape.value(w).as_slice()[0];
+        assert!((v - 3.0).abs() < 0.1, "w converged to {v}");
+    }
+
+    #[test]
+    fn persistent_faults_exhaust_the_retry_budget() {
+        let (mut tape, w, mut opt) = scalar_problem();
+        let plan = FaultPlan::new().at_each(0..100, FaultKind::NanGrad);
+        let cfg = GuardConfig { max_retries: 3, ..GuardConfig::default() };
+        let mut guard = TrainGuard::new(cfg).with_injector(FaultInjector::new(plan));
+        let err = loop {
+            let loss = quadratic_loss(&mut tape, w);
+            match guard.step(&mut tape, &mut opt, &[w], loss) {
+                Ok(StepOutcome::Recovered(_)) => continue,
+                Ok(StepOutcome::Applied) => panic!("corrupted step applied"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.retries, 3);
+        assert_eq!(err.fault, Fault::NonFiniteGrad { param_index: 0 });
+    }
+
+    #[test]
+    fn lr_blowup_is_caught_by_the_spike_detector() {
+        let (mut tape, w, mut opt) = scalar_problem();
+        let plan = FaultPlan::new().at(8, FaultKind::LrBlowup(1.0e4));
+        let cfg = GuardConfig { warmup_steps: 0, ..GuardConfig::default() };
+        let mut guard = TrainGuard::new(cfg).with_injector(FaultInjector::new(plan));
+        let mut spiked = false;
+        for _ in 0..80 {
+            let loss = quadratic_loss(&mut tape, w);
+            match guard.step(&mut tape, &mut opt, &[w], loss).unwrap() {
+                StepOutcome::Recovered(Fault::LossSpike { .. }) => spiked = true,
+                StepOutcome::Recovered(_) | StepOutcome::Applied => {}
+            }
+        }
+        assert!(spiked, "LR blow-up never tripped the spike detector");
+        assert!(opt.lr() <= 0.1, "rate not re-stabilised: {}", opt.lr());
+        let v = tape.value(w).as_slice()[0];
+        assert!(v.is_finite() && (v - 3.0).abs() < 0.5, "w ended at {v}");
+    }
+}

@@ -1,0 +1,568 @@
+//! Divergence guard: fault-tolerant optimizer stepping with
+//! checkpoint-rollback recovery.
+//!
+//! [`TrainGuard`] wraps the `backward → optimizer step → tape reset`
+//! sequence of a training loop. Before committing an update it verifies
+//! that the loss is finite and unexceptional (an EWMA spike detector
+//! catches finite-but-diverging losses) and that every parameter gradient
+//! is finite. Healthy steps are applied and periodically checkpointed via
+//! [`Snapshot`]; faulty steps are *not* applied — the guard rolls the
+//! parameters back to the last checkpoint, backs off the learning rate,
+//! clears stale optimizer accumulators, and lets the caller retry with the
+//! next batch. Once `max_retries` consecutive steps fault, the guard gives
+//! up with a typed [`GuardError`] instead of panicking or silently
+//! training on garbage.
+//!
+//! The guard is deliberately transparent on the healthy path: it never
+//! modifies values, gradients, or RNG state, so guarded and unguarded
+//! training produce bit-identical trajectories until the first fault.
+
+use crate::fault::FaultInjector;
+use crate::optim::Optimizer;
+use crate::snapshot::Snapshot;
+use clfd_autograd::{Tape, Var};
+
+/// Tuning knobs for [`TrainGuard`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// A loss counts as a spike when it exceeds
+    /// `spike_factor * ewma + spike_margin`.
+    pub spike_factor: f32,
+    /// Absolute slack added to the spike threshold so small-loss noise
+    /// (e.g. a GCE loss fluctuating around 0.1) never trips the detector.
+    pub spike_margin: f32,
+    /// Smoothing coefficient of the loss EWMA (weight of the newest loss).
+    pub ewma_alpha: f32,
+    /// Number of initial steps exempt from spike detection, letting the
+    /// EWMA settle while early losses are still moving fast.
+    pub warmup_steps: u64,
+    /// Consecutive faulty steps tolerated before giving up.
+    pub max_retries: u32,
+    /// Learning-rate multiplier applied per consecutive recovery
+    /// (`0.5` halves the rate on each retry).
+    pub lr_backoff: f32,
+    /// Learning-rate multiplier applied at each checkpoint while the rate
+    /// sits below its starting value, undoing backoff once training is
+    /// stable again (capped at the starting rate, so transient faults do
+    /// not permanently slow training down). `1.0` disables re-warming.
+    pub lr_rewarm: f32,
+    /// A checkpoint is captured every this many healthy steps.
+    pub snapshot_every: u64,
+    /// Global gradient-norm ceiling applied to healthy steps (the L2 norm
+    /// over *all* guarded parameters is rescaled to this bound when it
+    /// exceeds it). `None` disables clipping and leaves guarded training
+    /// bit-identical to unguarded training.
+    pub max_grad_norm: Option<f32>,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            spike_factor: 4.0,
+            spike_margin: 1.0,
+            ewma_alpha: 0.1,
+            warmup_steps: 5,
+            max_retries: 3,
+            lr_backoff: 0.5,
+            lr_rewarm: 2.0,
+            snapshot_every: 10,
+            max_grad_norm: None,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// A loose preset for production training loops whose losses move
+    /// fast early on (cross-entropy on freshly initialised heads,
+    /// contrastive losses over growing batches). The spike threshold is
+    /// twice as permissive as [`GuardConfig::default`] and warmup twice
+    /// as long, so healthy-but-noisy trajectories never trip the
+    /// detector while genuine NaN/Inf faults and order-of-magnitude
+    /// blowups are still caught.
+    pub fn conservative() -> Self {
+        Self {
+            spike_factor: 8.0,
+            spike_margin: 2.0,
+            warmup_steps: 10,
+            ..Self::default()
+        }
+    }
+}
+
+/// What the guard detected on a faulty step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The loss evaluated to NaN or infinity.
+    NonFiniteLoss,
+    /// The loss is finite but exceeded the EWMA spike threshold.
+    LossSpike {
+        /// Observed loss value.
+        loss: f32,
+        /// EWMA of recent healthy losses at detection time.
+        ewma: f32,
+    },
+    /// A parameter gradient contains NaN or infinity.
+    NonFiniteGrad {
+        /// Position of the offending parameter in the guarded `params` slice.
+        param_index: usize,
+    },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::NonFiniteLoss => write!(f, "non-finite loss"),
+            Fault::LossSpike { loss, ewma } => {
+                write!(f, "loss spike ({loss} against an EWMA of {ewma})")
+            }
+            Fault::NonFiniteGrad { param_index } => {
+                write!(f, "non-finite gradient on parameter {param_index}")
+            }
+        }
+    }
+}
+
+/// Result of a successful [`TrainGuard::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOutcome {
+    /// The update was healthy and has been applied.
+    Applied,
+    /// A fault was detected; the update was discarded, parameters were
+    /// rolled back to the last checkpoint, and the learning rate was
+    /// reduced. The caller should simply continue with the next batch.
+    Recovered(Fault),
+}
+
+/// Terminal guard failure: the retry budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardError {
+    /// Guarded step index at which training was abandoned.
+    pub step: u64,
+    /// Number of consecutive recoveries attempted before giving up.
+    pub retries: u32,
+    /// The fault observed on the final attempt.
+    pub fault: Fault,
+}
+
+impl std::fmt::Display for GuardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "training diverged at step {}: {} ({} consecutive rollbacks exhausted the retry budget)",
+            self.step, self.fault, self.retries
+        )
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+/// Checkpoint of parameter values plus the learning rate they were
+/// captured under.
+#[derive(Debug)]
+struct Checkpoint {
+    snapshot: Snapshot,
+    lr: f32,
+}
+
+/// Fault-tolerant wrapper around a training loop's optimizer steps.
+///
+/// One guard instance watches one `(tape, optimizer, params)` triple for
+/// the duration of a training phase. See the [module docs](self) for the
+/// recovery protocol.
+#[derive(Debug, Default)]
+pub struct TrainGuard {
+    cfg: GuardConfig,
+    injector: Option<FaultInjector>,
+    ewma: Option<f32>,
+    base_lr: Option<f32>,
+    step_idx: u64,
+    consecutive_retries: u32,
+    recoveries: u64,
+    checkpoint: Option<Checkpoint>,
+}
+
+impl TrainGuard {
+    /// Creates a guard with the given configuration.
+    pub fn new(cfg: GuardConfig) -> Self {
+        Self { cfg, ..Self::default() }
+    }
+
+    /// Attaches a deterministic fault injector (test harness). Injected
+    /// corruption is applied after `backward()` and before the health
+    /// checks, exactly where real numerical faults surface.
+    pub fn with_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Number of guarded steps attempted so far (healthy or not).
+    pub fn steps(&self) -> u64 {
+        self.step_idx
+    }
+
+    /// Total number of rollback recoveries performed.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Faults the attached injector has fired so far (empty without one).
+    pub fn injected_faults(&self) -> &[(u64, crate::fault::FaultKind)] {
+        self.injector.as_ref().map_or(&[], FaultInjector::fired)
+    }
+
+    /// Runs one guarded training step: `backward(loss)`, health checks,
+    /// optimizer update, `tape.reset()`.
+    ///
+    /// On a healthy step the update is applied and `Ok(Applied)` returned.
+    /// On a faulty step the update is discarded, the parameters roll back
+    /// to the last checkpoint, the learning rate is multiplied by
+    /// `lr_backoff` per consecutive retry, and `Ok(Recovered(fault))` is
+    /// returned so the caller can proceed with the next batch. After
+    /// `max_retries` *consecutive* faults the guard returns a
+    /// [`GuardError`].
+    ///
+    /// The tape is reset in every case, so the caller must not touch
+    /// non-persistent nodes afterwards.
+    pub fn step(
+        &mut self,
+        tape: &mut Tape,
+        opt: &mut dyn Optimizer,
+        params: &[Var],
+        loss: Var,
+    ) -> Result<StepOutcome, GuardError> {
+        let step = self.step_idx;
+        self.step_idx += 1;
+        // The pristine starting rate is the ceiling re-warming climbs back
+        // toward after backoff.
+        if self.base_lr.is_none() {
+            self.base_lr = Some(opt.lr());
+        }
+
+        if let Some(fault) = self.check_loss(tape, loss) {
+            // Skip backward(): differentiating a non-finite or spiking loss
+            // would only spread the damage into the gradients.
+            return self.recover(tape, opt, params, step, fault);
+        }
+
+        tape.backward(loss);
+        if let Some(injector) = self.injector.as_mut() {
+            injector.apply(step, tape, opt, params);
+        }
+        if let Some(idx) = params.iter().position(|&p| tape.grad_has_non_finite(p)) {
+            return self.recover(tape, opt, params, step, Fault::NonFiniteGrad { param_index: idx });
+        }
+        if let Some(max_norm) = self.cfg.max_grad_norm {
+            clip_global_grad_norm(tape, params, max_norm);
+        }
+
+        // Healthy: checkpoint the pre-update parameters on the configured
+        // cadence (always including step 0, so a rollback target exists
+        // before the first update can go wrong). Reaching a checkpoint also
+        // certifies a stable stretch, so a backed-off learning rate is
+        // re-warmed one notch toward its starting value — a transient fault
+        // must not depress the rate for the rest of the run. (If the higher
+        // rate re-diverges, the next recovery simply backs it off again.)
+        if step.is_multiple_of(self.cfg.snapshot_every) {
+            if let Some(base) = self.base_lr {
+                if opt.lr() < base {
+                    opt.set_lr((opt.lr() * self.cfg.lr_rewarm).min(base));
+                }
+            }
+            self.checkpoint =
+                Some(Checkpoint { snapshot: Snapshot::capture(tape, params), lr: opt.lr() });
+        }
+        let loss_val = tape.scalar(loss);
+        self.ewma = Some(match self.ewma {
+            None => loss_val,
+            Some(e) => e + self.cfg.ewma_alpha * (loss_val - e),
+        });
+        self.consecutive_retries = 0;
+        opt.step(tape, params);
+        tape.reset();
+        Ok(StepOutcome::Applied)
+    }
+
+    /// Loss health check: finite and below the EWMA spike threshold.
+    fn check_loss(&self, tape: &Tape, loss: Var) -> Option<Fault> {
+        let loss_val = tape.scalar(loss);
+        if !loss_val.is_finite() {
+            return Some(Fault::NonFiniteLoss);
+        }
+        if self.step_idx > self.cfg.warmup_steps {
+            if let Some(ewma) = self.ewma {
+                let threshold = self.cfg.spike_factor * ewma.max(0.0) + self.cfg.spike_margin;
+                if loss_val > threshold {
+                    return Some(Fault::LossSpike { loss: loss_val, ewma });
+                }
+            }
+        }
+        None
+    }
+
+    /// Rollback path: discard the step, restore the last checkpoint, back
+    /// off the learning rate, and clear optimizer accumulators.
+    fn recover(
+        &mut self,
+        tape: &mut Tape,
+        opt: &mut dyn Optimizer,
+        params: &[Var],
+        step: u64,
+        fault: Fault,
+    ) -> Result<StepOutcome, GuardError> {
+        tape.reset();
+        self.consecutive_retries += 1;
+        self.recoveries += 1;
+        if self.consecutive_retries > self.cfg.max_retries {
+            return Err(GuardError { step, retries: self.consecutive_retries - 1, fault });
+        }
+        // Back off from the *smaller* of the live rate and the checkpointed
+        // rate: the live rate may have been corrupted upward (LR blow-up),
+        // while the checkpointed rate may predate earlier backoffs. The
+        // reduced rate is written back into the checkpoint so repeated
+        // recoveries keep compounding even across interleaved healthy steps.
+        let base = self.checkpoint.as_ref().map_or(opt.lr(), |cp| opt.lr().min(cp.lr));
+        let new_lr = base * self.cfg.lr_backoff;
+        if let Some(cp) = &mut self.checkpoint {
+            cp.snapshot
+                .restore(tape, params)
+                .expect("checkpoint captured from these exact params");
+            cp.lr = new_lr;
+        }
+        // Without a checkpoint (fault before the first healthy step) the
+        // parameters are still at initialisation; only the rate backs off.
+        opt.set_lr(new_lr);
+        opt.reset_state();
+        // The spike baseline belongs to the diverged trajectory; let it
+        // re-settle on the restored one.
+        self.ewma = None;
+        Ok(StepOutcome::Recovered(fault))
+    }
+}
+
+/// Rescales the gradients of `params` in place so their global L2 norm is
+/// at most `max_norm`. Gradients already within the bound are untouched.
+fn clip_global_grad_norm(tape: &mut Tape, params: &[Var], max_norm: f32) {
+    let mut sq_sum = 0.0_f64;
+    for &p in params {
+        for &g in tape.grad_mut(p).as_slice() {
+            sq_sum += f64::from(g) * f64::from(g);
+        }
+    }
+    let norm = sq_sum.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for &p in params {
+            for g in tape.grad_mut(p).as_mut_slice() {
+                *g *= scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{GradClip, Sgd};
+    use clfd_tensor::Matrix;
+
+    /// Builds a sealed tape holding one scalar parameter.
+    fn scalar_param(init: f32) -> (Tape, Var) {
+        let mut tape = Tape::new();
+        let w = tape.param(Matrix::from_vec(1, 1, vec![init]).unwrap());
+        tape.seal();
+        (tape, w)
+    }
+
+    /// Records the quadratic loss `(w - 3)^2` on the tape.
+    fn quadratic_loss(tape: &mut Tape, w: Var) -> Var {
+        let c = tape.constant(Matrix::from_vec(1, 1, vec![-3.0]).unwrap());
+        let d = tape.add(w, c);
+        let sq = tape.mul(d, d);
+        tape.sum_all(sq)
+    }
+
+    #[test]
+    fn healthy_training_is_unaffected() {
+        // Guarded and unguarded optimisation of the same problem from the
+        // same init must produce bit-identical parameters.
+        let (mut tape_a, wa) = scalar_param(0.0);
+        let mut opt_a = Sgd::new(0.1);
+        for _ in 0..40 {
+            let loss = quadratic_loss(&mut tape_a, wa);
+            tape_a.backward(loss);
+            opt_a.step(&mut tape_a, &[wa]);
+            tape_a.reset();
+        }
+
+        let (mut tape_b, wb) = scalar_param(0.0);
+        let mut opt_b = Sgd::new(0.1);
+        let mut guard = TrainGuard::new(GuardConfig::default());
+        for _ in 0..40 {
+            let loss = quadratic_loss(&mut tape_b, wb);
+            let out = guard.step(&mut tape_b, &mut opt_b, &[wb], loss).unwrap();
+            assert_eq!(out, StepOutcome::Applied);
+        }
+
+        assert_eq!(tape_a.value(wa).as_slice(), tape_b.value(wb).as_slice());
+        assert_eq!(guard.recoveries(), 0);
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_the_update() {
+        // At w = 0 the quadratic's gradient is 2(w - 3) = -6 (norm 6);
+        // clipped to norm 1 it becomes -1, so SGD at lr 0.1 moves w to
+        // exactly +0.1 instead of +0.6.
+        let cfg = GuardConfig { max_grad_norm: Some(1.0), ..GuardConfig::default() };
+        let (mut tape, w) = scalar_param(0.0);
+        let mut opt = Sgd::new(0.1);
+        let mut guard = TrainGuard::new(cfg);
+        let loss = quadratic_loss(&mut tape, w);
+        assert_eq!(guard.step(&mut tape, &mut opt, &[w], loss).unwrap(), StepOutcome::Applied);
+        let v = tape.value(w).as_slice()[0];
+        assert!((v - 0.1).abs() < 1e-6, "clipped update moved w to {v}");
+    }
+
+    #[test]
+    fn non_finite_loss_rolls_back_without_update() {
+        let (mut tape, w) = scalar_param(1.0);
+        let mut opt = Sgd::new(0.1);
+        let mut guard = TrainGuard::new(GuardConfig::default());
+        // One healthy step so a checkpoint exists.
+        let loss = quadratic_loss(&mut tape, w);
+        guard.step(&mut tape, &mut opt, &[w], loss).unwrap();
+
+        // Poison the parameter value and present it as the "loss": the
+        // guard must flag it before backward() ever runs.
+        *tape.value_mut(w) = Matrix::from_vec(1, 1, vec![f32::NAN]).unwrap();
+        let out = guard.step(&mut tape, &mut opt, &[w], w).unwrap();
+        assert_eq!(out, StepOutcome::Recovered(Fault::NonFiniteLoss));
+        // Rollback restored the checkpointed (pre-first-update) value.
+        assert_eq!(tape.value(w).as_slice()[0], 1.0);
+        // Backoff halved the checkpointed learning rate.
+        assert!((opt.lr() - 0.05).abs() < 1e-7, "lr {}", opt.lr());
+        assert_eq!(guard.recoveries(), 1);
+    }
+
+    #[test]
+    fn loss_spike_is_detected_after_warmup() {
+        let cfg = GuardConfig { warmup_steps: 3, ..GuardConfig::default() };
+        let (mut tape, w) = scalar_param(2.9);
+        let mut opt = Sgd::new(0.001);
+        let mut guard = TrainGuard::new(cfg);
+        // Settle the EWMA near the tiny quadratic loss (~0.01).
+        for _ in 0..8 {
+            let loss = quadratic_loss(&mut tape, w);
+            assert_eq!(guard.step(&mut tape, &mut opt, &[w], loss).unwrap(), StepOutcome::Applied);
+        }
+        // Teleport the parameter far away: loss jumps to ~2500, well past
+        // 4 * ewma + 1.
+        *tape.value_mut(w) = Matrix::from_vec(1, 1, vec![-47.0]).unwrap();
+        let loss = quadratic_loss(&mut tape, w);
+        match guard.step(&mut tape, &mut opt, &[w], loss).unwrap() {
+            StepOutcome::Recovered(Fault::LossSpike { loss, .. }) => {
+                assert!(loss > 2000.0, "spike loss {loss}");
+            }
+            other => panic!("expected a spike recovery, got {other:?}"),
+        }
+        // The rollback re-landed the parameter on a checkpointed value.
+        let restored = tape.value(w).as_slice()[0];
+        assert!((restored - 2.9).abs() < 0.1, "restored to {restored}");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_returns_typed_error() {
+        let cfg = GuardConfig { max_retries: 2, ..GuardConfig::default() };
+        let (mut tape, w) = scalar_param(0.5);
+        let mut opt = Sgd::new(0.1);
+        let mut guard = TrainGuard::new(cfg);
+        let loss = quadratic_loss(&mut tape, w);
+        guard.step(&mut tape, &mut opt, &[w], loss).unwrap();
+
+        let mut failures = 0;
+        let err = loop {
+            *tape.value_mut(w) = Matrix::from_vec(1, 1, vec![f32::INFINITY]).unwrap();
+            match guard.step(&mut tape, &mut opt, &[w], w) {
+                Ok(StepOutcome::Recovered(_)) => failures += 1,
+                Ok(StepOutcome::Applied) => panic!("poisoned step applied"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(failures, 2);
+        assert_eq!(err.fault, Fault::NonFiniteLoss);
+        assert_eq!(err.retries, 2);
+        let msg = err.to_string();
+        assert!(msg.contains("diverged") && msg.contains("retry budget"), "{msg}");
+    }
+
+    #[test]
+    fn recovery_counter_resets_on_healthy_step() {
+        let cfg = GuardConfig { max_retries: 1, ..GuardConfig::default() };
+        let (mut tape, w) = scalar_param(0.5);
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        let mut guard = TrainGuard::new(cfg);
+        // Alternate healthy / poisoned steps: each single fault stays within
+        // the consecutive-retry budget, so training never aborts.
+        for round in 0..4 {
+            let loss = quadratic_loss(&mut tape, w);
+            assert_eq!(guard.step(&mut tape, &mut opt, &[w], loss).unwrap(), StepOutcome::Applied);
+            *tape.value_mut(w) = Matrix::from_vec(1, 1, vec![f32::NAN]).unwrap();
+            let out = guard.step(&mut tape, &mut opt, &[w], w).unwrap();
+            assert!(matches!(out, StepOutcome::Recovered(_)), "round {round}");
+        }
+        assert_eq!(guard.recoveries(), 4);
+    }
+
+    #[test]
+    fn diverging_sgd_is_caught_and_stabilised() {
+        // SGD with an absurd learning rate on a quadratic oscillates with
+        // exponentially growing amplitude. The guard must catch the blow-up
+        // (spike or non-finite loss) and keep backing the rate off until
+        // the optimisation stops diverging. (Re-warming is disabled: a
+        // genuinely unstable base rate would otherwise be legitimately
+        // revisited at every checkpoint.)
+        let cfg = GuardConfig {
+            warmup_steps: 0,
+            max_retries: 8,
+            lr_rewarm: 1.0,
+            ..GuardConfig::default()
+        };
+        let (mut tape, w) = scalar_param(2.0);
+        let mut opt = Sgd::new(40.0); // |1 - 2*lr| = 79 → wild divergence
+        opt.clip = GradClip::None;
+        let mut guard = TrainGuard::new(cfg);
+        for _ in 0..60 {
+            let loss = quadratic_loss(&mut tape, w);
+            guard
+                .step(&mut tape, &mut opt, &[w], loss)
+                .expect("guard should stabilise, not abort");
+        }
+        assert!(guard.recoveries() > 0, "divergence was never detected");
+        assert!(opt.lr() < 1.0, "learning rate never backed off: {}", opt.lr());
+        let v = tape.value(w).as_slice()[0];
+        assert!(v.is_finite(), "parameter still non-finite: {v}");
+    }
+
+    #[test]
+    fn learning_rate_rewarms_after_recovery() {
+        let cfg = GuardConfig { snapshot_every: 4, ..GuardConfig::default() };
+        let (mut tape, w) = scalar_param(1.0);
+        let mut opt = Sgd::new(0.1);
+        let mut guard = TrainGuard::new(cfg);
+        // Healthy step 0 checkpoints; a poisoned step 1 halves the rate.
+        let loss = quadratic_loss(&mut tape, w);
+        guard.step(&mut tape, &mut opt, &[w], loss).unwrap();
+        *tape.value_mut(w) = Matrix::from_vec(1, 1, vec![f32::NAN]).unwrap();
+        guard.step(&mut tape, &mut opt, &[w], w).unwrap();
+        assert!((opt.lr() - 0.05).abs() < 1e-7, "lr {}", opt.lr());
+        // The next checkpoint (step 4) certifies stability and doubles the
+        // rate back to — but never past — the starting value.
+        for _ in 0..6 {
+            let loss = quadratic_loss(&mut tape, w);
+            assert_eq!(
+                guard.step(&mut tape, &mut opt, &[w], loss).unwrap(),
+                StepOutcome::Applied
+            );
+        }
+        assert!((opt.lr() - 0.1).abs() < 1e-7, "lr never re-warmed: {}", opt.lr());
+    }
+}

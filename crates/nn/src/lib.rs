@@ -16,9 +16,14 @@
 //! - [`attention::TransformerEncoder`] — multi-head self-attention encoder
 //!   (the BERT stand-in for the Few-Shot and LogBert baselines)
 //! - [`snapshot`] — serde-based parameter save/restore
+//! - [`guard`] — divergence guard wrapping optimizer steps with health
+//!   checks and checkpoint-rollback recovery
+//! - [`fault`] — deterministic fault injection for exercising the guard
 
 pub mod attention;
 pub mod embedding;
+pub mod fault;
+pub mod guard;
 pub mod linear;
 pub mod lstm;
 pub mod norm;
@@ -27,6 +32,8 @@ pub mod snapshot;
 
 pub use attention::{TransformerBlock, TransformerEncoder};
 pub use embedding::Embedding;
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use guard::{Fault, GuardConfig, GuardError, StepOutcome, TrainGuard};
 pub use linear::Linear;
 pub use lstm::Lstm;
 pub use norm::LayerNorm;

@@ -203,8 +203,8 @@ mod tests {
         let expected: Vec<f32> = (0..3)
             .map(|c| (tape.value(hs[0]).get(1, c) + tape.value(hs[1]).get(1, c)) / 2.0)
             .collect();
-        for c in 0..3 {
-            assert!((tape.value(pooled).get(1, c) - expected[c]).abs() < 1e-6);
+        for (c, &e) in expected.iter().enumerate() {
+            assert!((tape.value(pooled).get(1, c) - e).abs() < 1e-6);
         }
     }
 
@@ -235,10 +235,10 @@ mod tests {
             let mut labels = vec![0usize; batch];
             let mut sums = vec![0.0f32; batch];
             for step in seq.iter_mut() {
-                for r in 0..batch {
+                for (r, sum) in sums.iter_mut().enumerate() {
                     let v: f32 = rng.gen_range(-1.0..1.0);
                     step.set(r, 0, v);
-                    sums[r] += v;
+                    *sum += v;
                 }
             }
             for r in 0..batch {
@@ -270,7 +270,7 @@ mod tests {
         // Evaluate accuracy on fresh data.
         let (seq, labels) = gen(&mut data_rng);
         let vars = step_inputs(&mut tape, &seq);
-        let z = lstm.encode(&mut tape, &vars, &vec![seq.len(); 16]);
+        let z = lstm.encode(&mut tape, &vars, &[seq.len(); 16]);
         let logits = head.forward(&mut tape, z);
         let preds = tape.value(logits).argmax_rows();
         let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();

@@ -15,9 +15,27 @@ pub enum GradClip {
 
 /// Common optimizer interface: consume gradients on the tape and update the
 /// parameter values in place.
+///
+/// The learning-rate accessors and [`Optimizer::reset_state`] exist for the
+/// divergence guard ([`crate::guard::TrainGuard`]), which backs off the
+/// learning rate and discards stale accumulator state after rolling a model
+/// back to a checkpoint.
 pub trait Optimizer {
     /// Applies one update step using the gradients currently on the tape.
     fn step(&mut self, tape: &mut Tape, params: &[Var]);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Replaces the learning rate (used by guard backoff).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Clears internal accumulator state (moments, velocity, step counters).
+    ///
+    /// After a checkpoint rollback the accumulators were computed against
+    /// parameter trajectories that no longer exist; reusing them would push
+    /// the restored parameters along the diverged direction.
+    fn reset_state(&mut self);
 }
 
 /// Computes the clip factor (≤ 1) for a set of gradients.
@@ -120,6 +138,19 @@ impl Optimizer for Adam {
             }
         }
     }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn reset_state(&mut self) {
+        self.t = 0;
+        self.moments.clear();
+    }
 }
 
 /// SGD with (optional) classical momentum.
@@ -168,19 +199,36 @@ impl Optimizer for Sgd {
             }
         }
     }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn reset_state(&mut self) {
+        self.velocity.clear();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Builds a test matrix from literal data (dimensions always consistent).
+    pub(super) fn m(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        Matrix::from_vec(rows, cols, data).expect("test matrix dimensions are consistent")
+    }
+
     /// Minimizes `(w - 3)^2` and checks convergence.
     fn quadratic_convergence(opt: &mut dyn Optimizer, tol: f32, iters: usize) {
         let mut tape = Tape::new();
-        let w = tape.param(Matrix::from_vec(1, 1, vec![0.0]).unwrap());
+        let w = tape.param(m(1, 1, vec![0.0]));
         tape.seal();
         for _ in 0..iters {
-            let c = tape.constant(Matrix::from_vec(1, 1, vec![-3.0]).unwrap());
+            let c = tape.constant(m(1, 1, vec![-3.0]));
             let d = tape.add(w, c);
             let sq = tape.mul(d, d);
             let loss = tape.sum_all(sq);
@@ -210,10 +258,10 @@ mod tests {
     #[test]
     fn global_norm_clip_rescales() {
         let mut tape = Tape::new();
-        let w = tape.param(Matrix::from_vec(1, 2, vec![0.0, 0.0]).unwrap());
+        let w = tape.param(m(1, 2, vec![0.0, 0.0]));
         tape.seal();
         // Loss = 300*w0 + 400*w1 → grad (300, 400), norm 500.
-        let weights = Matrix::from_vec(1, 2, vec![300.0, 400.0]).unwrap();
+        let weights = m(1, 2, vec![300.0, 400.0]);
         let loss = tape.weighted_sum_all(w, weights);
         tape.backward(loss);
         let mut opt = Sgd::new(1.0);
@@ -240,13 +288,14 @@ mod tests {
 
 #[cfg(test)]
 mod weight_decay_tests {
+    use super::tests::m;
     use super::*;
 
     #[test]
     fn weight_decay_shrinks_unused_parameters() {
         // A parameter with zero gradient must decay toward zero.
         let mut tape = Tape::new();
-        let w = tape.param(Matrix::from_vec(1, 1, vec![4.0]).unwrap());
+        let w = tape.param(m(1, 1, vec![4.0]));
         tape.seal();
         let mut opt = Adam::new(0.1).with_weight_decay(0.1);
         for _ in 0..50 {

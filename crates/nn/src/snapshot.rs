@@ -144,9 +144,7 @@ mod tests {
         let err = snap.restore(&mut tape, &big.params()).unwrap_err();
         assert!(matches!(err, SnapshotError::ShapeMismatch { .. }));
 
-        let err = snap
-            .restore(&mut tape, &big.params()[..1].to_vec())
-            .unwrap_err();
+        let err = snap.restore(&mut tape, &big.params()[..1]).unwrap_err();
         assert!(matches!(err, SnapshotError::CountMismatch { .. }));
     }
 }

@@ -56,9 +56,9 @@ impl Matrix {
         for i in 0..m {
             let a_row = self.row(i);
             let o_row = out.row_mut(i);
-            for j in 0..n {
+            for (j, o) in o_row.iter_mut().enumerate() {
                 let b_row = &other.as_slice()[j * k..(j + 1) * k];
-                o_row[j] = dot(a_row, b_row);
+                *o = dot(a_row, b_row);
             }
         }
         out

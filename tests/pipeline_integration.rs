@@ -2,7 +2,7 @@
 //! interface, and the experiment runner working together end-to-end.
 
 use clfd::{Ablation, ClfdConfig, TrainedClfd};
-use clfd_baselines::{all_baselines, ClfdModel, SessionClassifier};
+use clfd_baselines::{all_baselines, ClfdModel};
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Label, Preset};
 use clfd_eval::metrics::RunMetrics;

@@ -1,0 +1,178 @@
+//! Offline minimal stub of `criterion`.
+//!
+//! Provides just enough API for this workspace's benches to compile and
+//! run offline: each benchmark executes its routine a handful of times
+//! and prints a mean wall-clock duration. No warm-up, outlier analysis,
+//! or reports — for real numbers, run a networked build with the actual
+//! criterion.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Benchmark driver (stub: holds only the per-bench iteration count).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `routine` and prints its mean duration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        run_one(id, self.sample_size, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, routine);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            routine(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (stub: no-op; reports print as benches run).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifies a bench by its parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+
+    /// Identifies a bench by a function name and parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Timing harness handed to each benchmark routine.
+pub struct Bencher {
+    iters: usize,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut routine: F) {
+    let mut b = Bencher { iters: sample_size, total_nanos: 0 };
+    routine(&mut b);
+    let mean_us = b.total_nanos as f64 / b.iters.max(1) as f64 / 1_000.0;
+    println!("bench {id}: {mean_us:.1} us/iter (stub, n={sample_size})");
+}
+
+/// Opaque value sink preventing the optimiser from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0;
+        Criterion::default().sample_size(3).bench_function("t", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut ran = 0;
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| ran += x);
+        });
+        g.finish();
+        assert_eq!(ran, 14);
+    }
+}

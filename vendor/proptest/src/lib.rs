@@ -1,0 +1,305 @@
+//! Offline functional stub of `proptest`.
+//!
+//! Implements the subset of the proptest DSL this workspace's property
+//! tests use — the `proptest!` macro with a `proptest_config` header,
+//! range and `collection::vec` strategies, `prop_map`, `bool::ANY`, and
+//! the `prop_assert*` macros — backed by a deterministic SplitMix64
+//! case generator instead of proptest's shrinking engine. Failures
+//! therefore report the failing inputs (via the assert message) but are
+//! not shrunk. Case sequences are deterministic per (test name, case
+//! index), so reruns reproduce failures exactly.
+
+use std::ops::Range;
+
+/// Runner configuration (stub: only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-test-case generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Derives a stream from a test identity hash and case index.
+    pub fn new(name_hash: u64, case: u64) -> Self {
+        Self(name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a hash for deriving per-test streams from the test path.
+pub fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Value generators (stub: direct sampling, no shrink tree).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+int_range_strategies!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategies!(f32, f64);
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// Uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform boolean.
+    pub const ANY: Any = Any;
+
+    impl super::Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut super::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::new(
+                    $crate::fnv(concat!(module_path!(), "::", stringify!($name))),
+                    __case as u64,
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair_strategy() -> impl Strategy<Value = (usize, usize)> {
+        crate::collection::vec(0_usize..10, 2).prop_map(|v| (v[0], v[1]))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3_u32..9, f in -1.5_f32..2.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            v in crate::collection::vec(0_u64..5, 1..4),
+            exact in crate::collection::vec(crate::bool::ANY, 6),
+        ) {
+            prop_assert!((1..4).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 6);
+        }
+
+        #[test]
+        fn prop_map_composes(p in pair_strategy()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let mut a = crate::TestRng::new(crate::fnv("t"), 3);
+        let mut b = crate::TestRng::new(crate::fnv("t"), 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Regenerates .cargo-checksum.json for every vendored stub crate.
+# Cargo's directory sources require a checksum manifest per crate.
+set -eu
+
+cd "$(dirname "$0")"
+for crate in */; do
+    crate="${crate%/}"
+    [ -f "$crate/Cargo.toml" ] || continue
+    (
+        cd "$crate"
+        printf '{"files":{'
+        first=1
+        find . -type f ! -name '.cargo-checksum.json*' | LC_ALL=C sort | while read -r f; do
+            rel="${f#./}"
+            sum=$(sha256sum "$f" | cut -d' ' -f1)
+            [ "$first" = 1 ] || printf ','
+            first=0
+            printf '"%s":"%s"' "$rel" "$sum"
+        done
+        printf '}}'
+    ) > "$crate/.cargo-checksum.json.tmp"
+    mv "$crate/.cargo-checksum.json.tmp" "$crate/.cargo-checksum.json"
+    echo "checksummed $crate"
+done

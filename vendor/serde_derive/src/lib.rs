@@ -1,0 +1,311 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Generates impls of the stub `serde::Serialize` / `serde::Deserialize`
+//! traits (a direct `Value` data model, not the real serde visitor API).
+//! Supports exactly the shapes this workspace derives on: non-generic
+//! structs with named fields, enums with unit variants, and enums with
+//! struct variants. Anything else produces a compile error naming the
+//! unsupported construct. No `#[serde(...)]` attributes are interpreted.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<(String, Option<Vec<String>>)> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => struct_ser(&name, &fields),
+        (Item::Struct { name, fields }, Mode::Deserialize) => struct_de(&name, &fields),
+        (Item::Enum { name, variants }, Mode::Serialize) => enum_ser(&name, &variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => enum_de(&name, &variants),
+    };
+    code.parse().unwrap()
+}
+
+fn struct_ser(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(String::from({f:?}), serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> serde::Value {{\n\
+             serde::Value::Map(vec![{entries}])\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn struct_de(name: &str, fields: &[String]) -> String {
+    let inits: String = fields.iter().map(|f| field_init(name, f)).collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+           fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+             if v.as_map().is_none() {{\n\
+               return Err(serde::DeError::custom(concat!(\"expected object for \", {name:?})));\n\
+             }}\n\
+             Ok(Self {{ {inits} }})\n\
+           }}\n\
+         }}"
+    )
+}
+
+/// `field: Deserialize::from_value(lookup?)?,` with a missing-key error.
+fn field_init(owner: &str, field: &str) -> String {
+    format!(
+        "{field}: serde::Deserialize::from_value(v.get({field:?}).ok_or_else(|| \
+           serde::DeError::custom(concat!(\"missing field \", {field:?}, \" in \", {owner:?})))?)?,"
+    )
+}
+
+fn enum_ser(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            None => format!(
+                "{name}::{v} => serde::Value::Str(String::from({v:?})),"
+            ),
+            Some(fs) => {
+                let pat: String = fs.iter().map(|f| format!("{f},")).collect();
+                let entries: String = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(String::from({f:?}), serde::Serialize::to_value({f})),"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {pat} }} => serde::Value::Map(vec![\
+                       (String::from({v:?}), serde::Value::Map(vec![{entries}]))]),"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> serde::Value {{\n\
+             match self {{ {arms} }}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn enum_de(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, f)| f.is_none())
+        .map(|(v, _)| format!("{v:?} => Ok({name}::{v}),"))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|(v, f)| f.as_ref().map(|fs| (v, fs)))
+        .map(|(v, fs)| {
+            let inits: String = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(inner.get({f:?}).ok_or_else(|| \
+                           serde::DeError::custom(concat!(\"missing field \", {f:?}, \" in \", \
+                           {name:?}, \"::\", {v:?})))?)?,"
+                    )
+                })
+                .collect();
+            format!("{v:?} => Ok({name}::{v} {{ {inits} }}),")
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+           fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+             match v {{\n\
+               serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(serde::DeError::custom(format!(\
+                   \"unknown variant {{other}} for {name}\"))),\n\
+               }},\n\
+               serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                   {tagged_arms}\n\
+                   other => Err(serde::DeError::custom(format!(\
+                     \"unknown variant {{other}} for {name}\"))),\n\
+                 }}\n\
+               }}\n\
+               other => Err(serde::DeError::custom(format!(\
+                 \"bad enum value {{other:?}} for {name}\"))),\n\
+             }}\n\
+           }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing (no syn available offline).
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match ident_at(&tokens, i).as_deref() {
+        Some(k @ ("struct" | "enum")) => k.to_string(),
+        _ => return Err("derive(Serialize/Deserialize) stub: expected struct or enum".into()),
+    };
+    i += 1;
+    let name = ident_at(&tokens, i).ok_or("derive stub: missing type name")?;
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive stub: generic type {name} is unsupported"));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "derive stub: {name} must have a braced body (tuple/unit items unsupported)"
+            ))
+        }
+    };
+    if kind == "struct" {
+        Ok(Item::Struct { name, fields: parse_named_fields(body)? })
+    } else {
+        Ok(Item::Enum { name, variants: parse_variants(body)? })
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = ident_at(&tokens, i)
+            .ok_or_else(|| format!("derive stub: expected field name, found {:?}", tokens[i]))?
+            .to_string();
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("derive stub: field {fname} missing ':'")),
+        }
+        // Consume the type: everything up to a comma outside angle brackets.
+        let mut angle_depth = 0_i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Option<Vec<String>>)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = ident_at(&tokens, i)
+            .ok_or_else(|| format!("derive stub: expected variant name, found {:?}", tokens[i]))?
+            .to_string();
+        i += 1;
+        let mut fields = None;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_named_fields(g.stream())?);
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "derive stub: tuple variant {vname} is unsupported; use named fields"
+                ));
+            }
+            _ => {}
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(t) => {
+                return Err(format!(
+                    "derive stub: unexpected token {t:?} after variant {vname} \
+                     (discriminants are unsupported)"
+                ))
+            }
+        }
+        variants.push((vname, fields));
+    }
+    Ok(variants)
+}
+
+/// Advances past `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1; // optional pub(crate) / pub(super) group
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
