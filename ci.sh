@@ -30,4 +30,11 @@ run() {
 run build --release --workspace
 run test -q --workspace
 run clippy --workspace --all-targets -- -D warnings
+
+# Bench smoke: the kernel/e2e suite must run and produce a well-formed
+# JSON report (the binary re-parses what it wrote and fails otherwise).
+rm -f BENCH_kernels.json
+run run --release -p clfd-bench --bin bench_suite -- \
+    --preset smoke --threads 1,2 --out BENCH_kernels.json
+test -s BENCH_kernels.json
 echo "ci: all checks passed"

@@ -279,14 +279,14 @@ impl Tape {
     /// exponentiation so the backward pass cannot produce infinities (the
     /// intended inputs are softmax probabilities).
     pub fn pow(&mut self, a: Var, q: f32) -> Var {
-        let v = self.value(a).map(|x| x.max(1e-12).powf(q));
+        let v = self.value(a).map_par(move |x| x.max(1e-12).powf(q));
         let t = self.tracked(a);
         self.push(v, Op::Pow(a, q), t)
     }
 
     /// Elementwise natural log with the same positivity clamp as [`Tape::pow`].
     pub fn ln(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(1e-12).ln());
+        let v = self.value(a).map_par(|x| x.max(1e-12).ln());
         let t = self.tracked(a);
         self.push(v, Op::Ln(a), t)
     }
@@ -314,21 +314,21 @@ impl Tape {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.value(a).sigmoid();
         let t = self.tracked(a);
         self.push(v, Op::Sigmoid(a), t)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
+        let v = self.value(a).tanh();
         let t = self.tracked(a);
         self.push(v, Op::Tanh(a), t)
     }
 
     /// Leaky ReLU (`slope = 0` gives plain ReLU).
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        let v = self.value(a).leaky_relu(slope);
         let t = self.tracked(a);
         self.push(v, Op::LeakyRelu(a, slope), t)
     }

@@ -81,12 +81,13 @@ impl Tape {
             Op::Pow(a, q) => {
                 // d/dx x^q = q x^(q-1), with the same clamp as the forward.
                 let x = self.value(*a);
-                let da = g.zip_map(x, |gv, xv| gv * q * xv.max(1e-12).powf(q - 1.0));
+                let q = *q;
+                let da = g.zip_map_par(x, move |gv, xv| gv * q * xv.max(1e-12).powf(q - 1.0));
                 self.accumulate(*a, da);
             }
             Op::Ln(a) => {
                 let x = self.value(*a);
-                let da = g.zip_map(x, |gv, xv| gv / xv.max(1e-12));
+                let da = g.zip_map_par(x, |gv, xv| gv / xv.max(1e-12));
                 self.accumulate(*a, da);
             }
             Op::MatMul(a, b) => {
@@ -109,17 +110,18 @@ impl Tape {
             }
             Op::Sigmoid(a) => {
                 let y = &self.nodes[node].value;
-                let da = g.zip_map(y, |gv, yv| gv * yv * (1.0 - yv));
+                let da = g.zip_map_par(y, |gv, yv| gv * yv * (1.0 - yv));
                 self.accumulate(*a, da);
             }
             Op::Tanh(a) => {
                 let y = &self.nodes[node].value;
-                let da = g.zip_map(y, |gv, yv| gv * (1.0 - yv * yv));
+                let da = g.zip_map_par(y, |gv, yv| gv * (1.0 - yv * yv));
                 self.accumulate(*a, da);
             }
             Op::LeakyRelu(a, slope) => {
                 let x = self.value(*a);
-                let da = g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { gv * slope });
+                let slope = *slope;
+                let da = g.zip_map_par(x, move |gv, xv| if xv > 0.0 { gv } else { gv * slope });
                 self.accumulate(*a, da);
             }
             Op::SoftmaxRows(a) => {

@@ -348,3 +348,77 @@ fn layer_norm_rows_output_is_standardized() {
         assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
     }
 }
+
+#[test]
+fn grad_weighted_sum_all_direct() {
+    grad_check(rand_matrix(3, 5, 41), |t, p| {
+        let w = Matrix::from_fn(3, 5, |r, c| 0.4 * (r as f32) - 0.3 * (c as f32) + 0.1);
+        t.weighted_sum_all(p, w)
+    });
+}
+
+#[test]
+fn grad_mean_all_direct() {
+    grad_check(rand_matrix(4, 3, 42), |t, p| t.mean_all(p));
+}
+
+#[test]
+fn grad_sum_all_direct() {
+    grad_check(rand_matrix(4, 3, 43), |t, p| t.sum_all(p));
+}
+
+#[test]
+fn grad_attention_score_path() {
+    // Scaled dot-product attention as the encoder uses it:
+    // softmax(Q Kᵀ / sqrt(d)) V, with the gradient flowing through Q.
+    grad_check(rand_matrix(4, 6, 44), |t, q| {
+        let k = t.constant(rand_matrix(5, 6, 45));
+        let v = t.constant(rand_matrix(5, 3, 46));
+        let scores = t.matmul_transpose(q, k);
+        let scaled = t.scale(scores, 1.0 / (6.0_f32).sqrt());
+        let attn = t.softmax_rows(scaled);
+        let out = t.matmul(attn, v);
+        let w = Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) as f32 * 0.5).sin());
+        t.weighted_sum_all(out, w)
+    });
+    // ...and through K on the transposed side of the same graph.
+    grad_check(rand_matrix(5, 6, 47), |t, k| {
+        let q = t.constant(rand_matrix(4, 6, 48));
+        let v = t.constant(rand_matrix(5, 3, 49));
+        let scores = t.matmul_transpose(q, k);
+        let scaled = t.scale(scores, 1.0 / (6.0_f32).sqrt());
+        let attn = t.softmax_rows(scaled);
+        let out = t.matmul(attn, v);
+        let w = Matrix::from_fn(4, 3, |r, c| ((r + c) as f32 * 0.3).cos());
+        t.weighted_sum_all(out, w)
+    });
+}
+
+#[test]
+fn grad_embedding_gather_path() {
+    // An embedding lookup feeding a projection: repeated indices must
+    // accumulate into the same table rows.
+    grad_check(rand_matrix(6, 4, 50), |t, table| {
+        let e = t.gather(table, vec![1, 4, 1, 0, 5, 4, 4]);
+        let w = t.constant(rand_matrix(4, 3, 51));
+        let h = t.matmul(e, w);
+        let h = t.tanh(h);
+        let weights = Matrix::from_fn(7, 3, |r, c| 0.2 * (r as f32) - 0.1 * (c as f32));
+        t.weighted_sum_all(h, weights)
+    });
+}
+
+#[test]
+fn grad_layer_norm_with_affine_params() {
+    // LayerNorm as used in the encoder block: normalize then per-feature
+    // affine (gamma broadcast), gradient through gamma.
+    grad_check(rand_matrix(1, 6, 52), |t, gamma| {
+        let x = t.constant(rand_matrix(3, 6, 53));
+        let normed = t.layer_norm_rows(x, 1e-5);
+        let scaled = t.mul_row_broadcast(normed, gamma);
+        let beta = t.constant(rand_matrix(1, 6, 54));
+        let y = t.add_row_broadcast(scaled, beta);
+        let w = Matrix::from_fn(3, 6, |r, c| ((r * 6 + c) as f32 * 0.4).sin());
+        t.weighted_sum_all(y, w)
+    });
+}

@@ -1,0 +1,300 @@
+//! Kernel and end-to-end benchmark suite for the intra-op threaded tensor
+//! kernels.
+//!
+//! Times each hot kernel (dense matmul up to 512³, the contrastive-loss
+//! pairwise-similarity path, row softmax, elementwise add, column sums) and
+//! one full CLFD smoke-preset fit, at every requested thread count, and
+//! writes a machine-readable JSON report. Thread counts are pinned with
+//! [`clfd_tensor::with_threads`], so the serial baseline (`threads = 1`)
+//! runs byte-for-byte the pre-threading kernels and `speedup_vs_serial`
+//! isolates the parallel dispatch.
+//!
+//! ```text
+//! cargo run --release -p clfd-bench --bin bench_suite -- \
+//!     --preset smoke --threads 1,2,4 --out BENCH_kernels.json
+//! ```
+//!
+//! The report self-validates: after writing, the file is read back and
+//! re-parsed, so a `BENCH_kernels.json` on disk is always well-formed.
+
+use clfd::{Ablation, ClfdConfig, TrainedClfd};
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::{DatasetKind, Preset};
+use clfd_tensor::{init, with_threads};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Per-thread-count timing of one kernel.
+#[derive(Debug, Serialize, Deserialize)]
+struct ThreadTiming {
+    threads: usize,
+    seconds_per_call: f64,
+    /// Work items (see the kernel's `work_unit`) per second.
+    throughput_per_sec: f64,
+    /// Serial seconds / this configuration's seconds (1.0 at `threads = 1`).
+    speedup_vs_serial: f64,
+}
+
+/// One benchmarked kernel across all thread counts.
+#[derive(Debug, Serialize, Deserialize)]
+struct KernelBench {
+    name: String,
+    /// Work items per call (`work_unit` says what an item is).
+    work_items: f64,
+    work_unit: String,
+    results: Vec<ThreadTiming>,
+}
+
+/// Wall time of one full smoke fit+predict at a thread count.
+#[derive(Debug, Serialize, Deserialize)]
+struct EndToEnd {
+    threads: usize,
+    fit_seconds: f64,
+    predict_seconds: f64,
+}
+
+/// The whole report written to `--out`.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    preset: String,
+    thread_counts: Vec<usize>,
+    kernels: Vec<KernelBench>,
+    end_to_end: Vec<EndToEnd>,
+}
+
+/// Times `f`, adaptively picking an iteration count so cheap kernels are
+/// averaged over many calls while 512³ matmuls run only a few times.
+fn time_per_call(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: page in the buffers, spawn-path code, etc.
+    let mut iters = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed > 0.2 || iters >= 256 {
+            return elapsed / iters as f64;
+        }
+        iters *= 4;
+    }
+}
+
+/// Benchmarks one kernel closure at every thread count.
+fn bench_kernel(
+    name: &str,
+    work_items: f64,
+    work_unit: &str,
+    threads: &[usize],
+    f: impl Fn(),
+) -> KernelBench {
+    let mut results = Vec::new();
+    let mut serial_seconds = None;
+    for &t in threads {
+        let secs = with_threads(t, || time_per_call(&f));
+        let serial = *serial_seconds.get_or_insert_with(|| {
+            if t == 1 {
+                secs
+            } else {
+                // The serial baseline is always measured, even when the
+                // requested counts skip 1.
+                with_threads(1, || time_per_call(&f))
+            }
+        });
+        results.push(ThreadTiming {
+            threads: t,
+            seconds_per_call: secs,
+            throughput_per_sec: work_items / secs,
+            speedup_vs_serial: serial / secs,
+        });
+        eprintln!(
+            "[bench] {name} @ {t} threads: {:.3} ms/call ({:.2}x vs serial)",
+            secs * 1e3,
+            serial / secs
+        );
+    }
+    KernelBench {
+        name: name.to_string(),
+        work_items,
+        work_unit: work_unit.to_string(),
+        results,
+    }
+}
+
+fn kernel_benches(threads: &[usize]) -> Vec<KernelBench> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut out = Vec::new();
+
+    for &n in &[128_usize, 256, 512] {
+        let a = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        out.push(bench_kernel(
+            &format!("matmul_{n}x{n}x{n}"),
+            2.0 * (n * n * n) as f64,
+            "flops",
+            threads,
+            || {
+                std::hint::black_box(a.matmul(&b));
+            },
+        ));
+    }
+
+    // The contrastive-loss hot path at paper batch scale.
+    let z = init::uniform(512, 128, -1.0, 1.0, &mut rng);
+    out.push(bench_kernel(
+        "pairwise_similarities_512x128",
+        2.0 * (512 * 128 * 512) as f64,
+        "flops",
+        threads,
+        || {
+            let zn = z.l2_normalize_rows(1e-9);
+            std::hint::black_box(zn.matmul_transpose(&zn));
+        },
+    ));
+
+    let logits = init::uniform(512, 512, -4.0, 4.0, &mut rng);
+    out.push(bench_kernel(
+        "softmax_rows_512x512",
+        (512 * 512) as f64,
+        "elements",
+        threads,
+        || {
+            std::hint::black_box(logits.softmax_rows());
+        },
+    ));
+
+    let x = init::uniform(1024, 512, -1.0, 1.0, &mut rng);
+    let y = init::uniform(1024, 512, -1.0, 1.0, &mut rng);
+    out.push(bench_kernel(
+        "elementwise_add_1024x512",
+        (1024 * 512) as f64,
+        "elements",
+        threads,
+        || {
+            std::hint::black_box(x.add(&y));
+        },
+    ));
+    out.push(bench_kernel(
+        "col_sums_1024x512",
+        (1024 * 512) as f64,
+        "elements",
+        threads,
+        || {
+            std::hint::black_box(x.col_sums());
+        },
+    ));
+
+    out
+}
+
+/// One full fit + predict of the CLFD pipeline per thread count.
+fn end_to_end(preset: Preset, threads: &[usize]) -> Vec<EndToEnd> {
+    let split = DatasetKind::Cert.generate(preset, 7);
+    let cfg = ClfdConfig::for_preset(preset);
+    let truth = split.train_labels();
+    let mut rng = StdRng::seed_from_u64(1);
+    let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
+
+    threads
+        .iter()
+        .map(|&t| {
+            with_threads(t, || {
+                let start = Instant::now();
+                let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 5);
+                let fit_seconds = start.elapsed().as_secs_f64();
+                let start = Instant::now();
+                let preds = model.predict_test(&split);
+                let predict_seconds = start.elapsed().as_secs_f64();
+                std::hint::black_box(preds);
+                eprintln!(
+                    "[bench] end-to-end @ {t} threads: fit {fit_seconds:.2}s, \
+                     predict {predict_seconds:.3}s"
+                );
+                EndToEnd { threads: t, fit_seconds, predict_seconds }
+            })
+        })
+        .collect()
+}
+
+/// Minimal flag parsing (`--preset`, `--threads`, `--out`, `--no-e2e`).
+fn parse_args() -> Result<(Preset, Vec<usize>, String, bool), String> {
+    let mut preset = Preset::Smoke;
+    let mut threads = vec![1, 2, clfd_tensor::threads::available()];
+    let mut out = "BENCH_kernels.json".to_string();
+    let mut e2e = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--preset" => {
+                preset = match value()?.to_lowercase().as_str() {
+                    "smoke" => Preset::Smoke,
+                    "default" => Preset::Default,
+                    "paper" => Preset::Paper,
+                    other => return Err(format!("unknown preset {other}")),
+                }
+            }
+            "--threads" => {
+                threads = value()?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad thread count {s}: {e}"))
+                            .and_then(|n| {
+                                if n >= 1 {
+                                    Ok(n)
+                                } else {
+                                    Err("thread counts start at 1".to_string())
+                                }
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if threads.is_empty() {
+                    return Err("--threads needs at least one count".to_string());
+                }
+            }
+            "--out" => out = value()?,
+            "--no-e2e" => e2e = false,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    threads.sort_unstable();
+    threads.dedup();
+    Ok((preset, threads, out, e2e))
+}
+
+fn main() {
+    let (preset, threads, out, e2e) = parse_args().unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: bench_suite --preset smoke|default|paper --threads 1,2,4 \
+             --out PATH [--no-e2e]"
+        );
+        std::process::exit(2);
+    });
+
+    let report = BenchReport {
+        preset: format!("{preset:?}").to_lowercase(),
+        thread_counts: threads.clone(),
+        kernels: kernel_benches(&threads),
+        end_to_end: if e2e { end_to_end(preset, &threads) } else { Vec::new() },
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes cleanly");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+
+    // Self-validation: the artifact on disk must parse back into the same
+    // schema, so downstream tooling can rely on it.
+    let reread = std::fs::read_to_string(&out).unwrap_or_else(|e| panic!("cannot reread {out}: {e}"));
+    let parsed: BenchReport =
+        serde_json::from_str(&reread).expect("written report must re-parse");
+    assert_eq!(parsed.thread_counts, threads, "round-trip kept thread counts");
+    assert_eq!(parsed.kernels.len(), report.kernels.len());
+    eprintln!("wrote {out} ({} kernels, {} e2e rows)", parsed.kernels.len(), parsed.end_to_end.len());
+}

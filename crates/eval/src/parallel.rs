@@ -6,6 +6,16 @@
 //! (crossbeam), preserving the input order in the output. Determinism is
 //! unaffected: every cell derives its RNGs from its own spec, never from
 //! thread scheduling.
+//!
+//! # Composition with the intra-op kernel pool
+//!
+//! The tensor kernels are themselves threaded
+//! ([`clfd_tensor::threads`]). To avoid oversubscription (`workers ×
+//! kernel threads` runnable threads), each sweep worker runs its cells
+//! under [`clfd_tensor::with_threads`] with the configured kernel count
+//! divided by the worker count (at least 1). Because the threaded kernels
+//! are bit-identical at any thread count, this split never changes any
+//! result — only scheduling.
 
 use crate::runner::{run_cell, CellResult, ExperimentSpec};
 use clfd::ClfdConfig;
@@ -35,18 +45,25 @@ pub fn run_cells_parallel(cells: &[SweepCell<'_>], workers: usize) -> Vec<CellRe
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<CellResult>>> =
         (0..cells.len()).map(|_| Mutex::new(None)).collect();
+    let workers = workers.min(cells.len().max(1));
+    // Split the intra-op kernel budget across the sweep workers so the two
+    // pool layers compose without oversubscription (bit-identity of the
+    // threaded kernels makes the split invisible in the results).
+    let intra_op = (clfd_tensor::threads::threads() / workers).max(1);
 
     crossbeam::thread::scope(|scope| {
-        for _ in 0..workers.min(cells.len().max(1)) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let cell = &cells[i];
-                let model = (cell.model)();
-                let result = run_cell(model.as_ref(), &cell.spec, &cell.cfg);
-                *results[i].lock() = Some(result);
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                clfd_tensor::with_threads(intra_op, || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let cell = &cells[i];
+                    let model = (cell.model)();
+                    let result = run_cell(model.as_ref(), &cell.spec, &cell.cfg);
+                    *results[i].lock() = Some(result);
+                })
             });
         }
     })
@@ -96,7 +113,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_is_rejected() {
-        run_cells_parallel(&[], 0);
+        // A non-empty cell list proves the guard fires before any work is
+        // scheduled — with an empty slice the assert would be the only
+        // reachable path and the test would not distinguish the two.
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let make = || -> Box<dyn SessionClassifier> { Box::new(DeepLog::default()) };
+        let cells = vec![SweepCell { model: Box::new(make), spec: spec(42), cfg }];
+        run_cells_parallel(&cells, 0);
     }
 
     /// A cell whose model always crashes in training.
@@ -115,6 +138,41 @@ mod tests {
             seed: u64,
         ) -> Vec<clfd::Prediction> {
             panic!("poisoned cell crashed at seed {seed}")
+        }
+    }
+
+    #[test]
+    fn poisoned_and_healthy_cells_return_in_input_order_under_contention() {
+        // More cells than workers forces work-stealing contention; the
+        // output must still line up with the input order, with poisoned
+        // cells reporting failures exactly where they were submitted.
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let make_poisoned = || -> Box<dyn SessionClassifier> { Box::new(PoisonedModel) };
+        let make_healthy = || -> Box<dyn SessionClassifier> { Box::new(DeepLog::default()) };
+        let cells: Vec<SweepCell> = (0..5)
+            .map(|i| {
+                let model: Box<dyn Fn() -> Box<dyn SessionClassifier> + Sync> =
+                    if i % 2 == 0 { Box::new(make_poisoned) } else { Box::new(make_healthy) };
+                SweepCell { model, spec: spec(300 + i as u64), cfg }
+            })
+            .collect();
+        let results = run_cells_parallel(&cells, 2);
+        assert_eq!(results.len(), 5);
+        for (i, r) in results.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(r.model, "Poisoned", "cell {i} out of order");
+                assert_eq!(r.failures.len(), 1);
+                assert!(
+                    r.failures[0].error.contains(&format!("seed {}", 300 + i)),
+                    "cell {i} carries another cell's failure: {}",
+                    r.failures[0].error
+                );
+                assert!(r.f1.mean.is_nan());
+            } else {
+                assert_eq!(r.model, "DeepLog", "cell {i} out of order");
+                assert!(r.failures.is_empty());
+                assert!(r.f1.mean.is_finite());
+            }
         }
     }
 

@@ -1,0 +1,168 @@
+//! Finite-difference gradient checks through the full loss graphs.
+//!
+//! The autograd crate checks every op in isolation; these tests check the
+//! *composed* graphs the training loop actually differentiates: GCE / CCE /
+//! MAE / truncated-GCE classification losses, the NT-Xent and
+//! confidence-weighted SupCon contrastive losses, and the opposite-class
+//! mixup interpolation feeding a classification loss.
+
+use clfd_autograd::{Tape, Var};
+use clfd_data::session::Label;
+use clfd_losses::contrastive::{sup_con_batch, try_nt_xent, SupConVariant};
+use clfd_losses::gce::{cce_loss, cce_loss_indices, gce_loss, mae_loss, truncated_gce_loss};
+use clfd_losses::mixup::MixupPlan;
+use clfd_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Central-difference gradient check with mixed absolute/relative tolerance
+/// (same contract as the autograd crate's op-level checks).
+fn grad_check(init_value: Matrix, build: impl Fn(&mut Tape, Var) -> Var) {
+    let mut tape = Tape::new();
+    let p = tape.param(init_value.clone());
+    tape.seal();
+    let loss = build(&mut tape, p);
+    tape.backward(loss);
+    let analytic = tape.grad(p);
+
+    let h = 1e-2_f32;
+    let mut numeric = Matrix::zeros(init_value.rows(), init_value.cols());
+    for i in 0..init_value.len() {
+        let mut plus = init_value.clone();
+        plus.as_mut_slice()[i] += h;
+        let mut minus = init_value.clone();
+        minus.as_mut_slice()[i] -= h;
+
+        let eval = |value: Matrix| -> f32 {
+            let mut t = Tape::new();
+            let p = t.param(value);
+            t.seal();
+            let l = build(&mut t, p);
+            t.scalar(l)
+        };
+        numeric.as_mut_slice()[i] = (eval(plus) - eval(minus)) / (2.0 * h);
+    }
+
+    for i in 0..analytic.len() {
+        let a = analytic.as_slice()[i];
+        let n = numeric.as_slice()[i];
+        let tol = 1e-2 + 2e-2 * n.abs().max(a.abs());
+        assert!(
+            (a - n).abs() < tol,
+            "element {i}: analytic {a} vs numeric {n} (tol {tol})"
+        );
+    }
+}
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::uniform(rows, cols, -1.0, 1.0, &mut rng)
+}
+
+/// Binary one-hot targets alternating the two classes.
+fn one_hot(rows: usize) -> Matrix {
+    Matrix::from_fn(rows, 2, |r, c| if c == r % 2 { 1.0 } else { 0.0 })
+}
+
+#[test]
+fn grad_gce_loss() {
+    let targets = one_hot(5);
+    grad_check(rand_matrix(5, 2, 60), |t, logits| {
+        gce_loss(t, logits, &targets, 0.7)
+    });
+}
+
+#[test]
+fn grad_gce_loss_near_mae_and_near_cce_exponents() {
+    // The q → 1 (MAE) and small-q (CCE-like) ends of the GCE family.
+    let targets = one_hot(4);
+    grad_check(rand_matrix(4, 2, 61), |t, logits| {
+        gce_loss(t, logits, &targets, 1.0)
+    });
+    grad_check(rand_matrix(4, 2, 62), |t, logits| {
+        gce_loss(t, logits, &targets, 0.05)
+    });
+}
+
+#[test]
+fn grad_cce_loss() {
+    let targets = one_hot(5);
+    grad_check(rand_matrix(5, 2, 63), |t, logits| {
+        cce_loss(t, logits, &targets)
+    });
+}
+
+#[test]
+fn grad_cce_loss_indices() {
+    let targets = vec![0_usize, 1, 1, 0, 1];
+    grad_check(rand_matrix(5, 2, 64), |t, logits| {
+        cce_loss_indices(t, logits, &targets)
+    });
+}
+
+#[test]
+fn grad_mae_loss() {
+    let targets = one_hot(5);
+    grad_check(rand_matrix(5, 2, 65), |t, logits| {
+        mae_loss(t, logits, &targets)
+    });
+}
+
+#[test]
+fn grad_truncated_gce_loss() {
+    // k = 0.05 keeps every softmax output above the truncation threshold,
+    // so the finite difference never straddles the clamp kink.
+    let targets = one_hot(5);
+    grad_check(rand_matrix(5, 2, 66), |t, logits| {
+        truncated_gce_loss(t, logits, &targets, 0.7, 0.05)
+    });
+}
+
+#[test]
+fn grad_nt_xent() {
+    grad_check(rand_matrix(6, 4, 67).shift(0.3), |t, z| {
+        try_nt_xent(t, z, 0.5).expect("valid NT-Xent inputs")
+    });
+}
+
+#[test]
+fn grad_sup_con_all_variants() {
+    let labels = [
+        Label::Normal,
+        Label::Malicious,
+        Label::Normal,
+        Label::Malicious,
+        Label::Normal,
+        Label::Normal,
+    ];
+    let confidences = [0.9, 0.8, 0.6, 0.95, 0.7, 0.85];
+    for variant in [
+        SupConVariant::Weighted,
+        SupConVariant::Unweighted,
+        SupConVariant::Filtered { tau: 0.5 },
+    ] {
+        grad_check(rand_matrix(6, 4, 68).shift(0.2), |t, z| {
+            sup_con_batch(t, z, &labels, &confidences, 6, 0.5, variant)
+        });
+    }
+}
+
+#[test]
+fn grad_through_mixup_interpolation() {
+    // The classifier's actual training graph: mix the representations with
+    // a fixed opposite-class plan, then take CCE against the mixed targets.
+    let labels = [
+        Label::Normal,
+        Label::Malicious,
+        Label::Normal,
+        Label::Malicious,
+        Label::Normal,
+    ];
+    let mut rng = StdRng::seed_from_u64(69);
+    let plan = MixupPlan::sample(&labels, 16.0, &mut rng);
+    let targets = plan.mixed_targets(&one_hot(5));
+    grad_check(rand_matrix(5, 2, 70), |t, v| {
+        let mixed = plan.apply(t, v);
+        cce_loss(t, mixed, &targets)
+    });
+}

@@ -128,3 +128,62 @@ proptest! {
         prop_assert!(weighted <= unweighted + 1e-4, "{weighted} > {unweighted}");
     }
 }
+
+/// The NT-Xent graph (row-normalize → pairwise similarities → masked
+/// log-softmax) runs threaded kernels when the batch is big enough; loss
+/// *and* gradient must be bit-identical to the serial path.
+#[test]
+fn nt_xent_is_bit_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(77);
+    // 64 x 128: the similarity matmul is 64·128·64 ≈ 524k madds, well past
+    // the spawn threshold, so the parallel dispatch genuinely runs.
+    let z = clfd_tensor::init::gaussian(64, 128, 0.0, 1.0, &mut rng);
+    let run = |threads: usize| -> (f32, Matrix) {
+        clfd_tensor::with_threads(threads, || {
+            let mut tape = Tape::new();
+            let zv = tape.param(z.clone());
+            tape.seal();
+            let loss = clfd_losses::contrastive::nt_xent(&mut tape, zv, 0.5);
+            tape.backward(loss);
+            (tape.scalar(loss), tape.grad(zv))
+        })
+    };
+    let (serial_loss, serial_grad) = run(1);
+    for t in [2, 4] {
+        let (loss, grad) = run(t);
+        assert_eq!(serial_loss.to_bits(), loss.to_bits(), "loss at {t} threads");
+        for (a, b) in serial_grad.as_slice().iter().zip(grad.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "gradient at {t} threads");
+        }
+    }
+}
+
+/// Same contract for the confidence-weighted SupCon loss of Eq. 5.
+#[test]
+fn sup_con_is_bit_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(78);
+    let z = clfd_tensor::init::gaussian(64, 128, 0.0, 1.0, &mut rng);
+    let labels: Vec<Label> = (0..64)
+        .map(|i| if i % 3 == 0 { Label::Malicious } else { Label::Normal })
+        .collect();
+    let conf: Vec<f32> = (0..64).map(|i| 0.5 + 0.007 * i as f32).collect();
+    let run = |threads: usize| -> (f32, Matrix) {
+        clfd_tensor::with_threads(threads, || {
+            let mut tape = Tape::new();
+            let zv = tape.param(z.clone());
+            tape.seal();
+            let loss =
+                sup_con_batch(&mut tape, zv, &labels, &conf, 64, 0.5, SupConVariant::Weighted);
+            tape.backward(loss);
+            (tape.scalar(loss), tape.grad(zv))
+        })
+    };
+    let (serial_loss, serial_grad) = run(1);
+    for t in [2, 4] {
+        let (loss, grad) = run(t);
+        assert_eq!(serial_loss.to_bits(), loss.to_bits(), "loss at {t} threads");
+        for (a, b) in serial_grad.as_slice().iter().zip(grad.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "gradient at {t} threads");
+        }
+    }
+}

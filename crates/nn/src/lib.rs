@@ -6,6 +6,11 @@
 //! Optimizers ([`optim::Adam`], [`optim::Sgd`]) update parameter values in
 //! place after `backward()`.
 //!
+//! Forward and backward passes inherit the tensor crate's intra-op
+//! threading (`clfd_tensor::set_threads`) and its bit-identity contract:
+//! layer outputs and parameter gradients are byte-for-byte identical at
+//! any kernel thread count.
+//!
 //! The layer set covers everything the CLFD paper and its baselines need:
 //!
 //! - [`linear::Linear`] — affine layer (FCNN classifier heads)

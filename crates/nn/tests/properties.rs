@@ -101,3 +101,47 @@ proptest! {
         prop_assert!(!tape.value(y).has_non_finite());
     }
 }
+
+/// Forward and backward passes of the layers are bit-identical at any
+/// kernel thread count: layer outputs and parameter gradients must carry
+/// exactly the serial bytes (the tensor crate's bit-identity contract,
+/// checked here end-to-end through real layer graphs).
+#[test]
+fn linear_and_lstm_are_bit_identical_across_thread_counts() {
+    // 64-wide batch and dims push the gate matmuls past the spawn
+    // threshold, so the threaded path genuinely executes.
+    let run = |threads: usize| -> Vec<Matrix> {
+        clfd_tensor::with_threads(threads, || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut tape = Tape::new();
+            let linear = Linear::new(&mut tape, 64, 64, LinearInit::Xavier, &mut rng);
+            let lstm = Lstm::new(&mut tape, 64, 64, 1, &mut rng);
+            tape.seal();
+            let x = tape.constant(clfd_tensor::init::gaussian(64, 64, 0.0, 1.0, &mut rng));
+            let h = linear.forward(&mut tape, x);
+            let h = tape.tanh(h);
+            let hs = lstm.forward_sequence(&mut tape, &[h, x, h]);
+            let pooled = lstm.mean_pool(&mut tape, &hs, &vec![3; 64]);
+            let loss = tape.mean_all(pooled);
+            tape.backward(loss);
+            let mut out: Vec<Matrix> = vec![tape.value(pooled).clone()];
+            out.extend(tape.param_vars().into_iter().map(|p| tape.grad(p)));
+            out
+        })
+    };
+    let serial = run(1);
+    for t in [2, 4] {
+        let threaded = run(t);
+        assert_eq!(serial.len(), threaded.len());
+        for (which, (a, b)) in serial.iter().zip(&threaded).enumerate() {
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "matrix {which} diverged at {t} threads"
+                );
+            }
+        }
+    }
+}

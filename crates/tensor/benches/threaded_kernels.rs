@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks for the intra-op threaded kernels: the same
+//! kernel at 1/2/4 threads, so a regression in either the serial code or
+//! the parallel dispatch shows up as a per-thread-count number. Thread
+//! counts are pinned per measurement with
+//! [`clfd_tensor::with_threads`], which is thread-local and therefore safe
+//! under criterion's harness.
+
+// criterion_group!/criterion_main! expand to undocumented items.
+#![allow(missing_docs)]
+
+use clfd_tensor::{init, with_threads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn bench_matmul_threads(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    for &n in &[128usize, 256] {
+        let a = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        let mut group = c.benchmark_group(&format!("matmul_{n}x{n}x{n}"));
+        for &t in &THREAD_COUNTS {
+            group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, &t| {
+                bench.iter(|| with_threads(t, || black_box(a.matmul(&b))));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_similarity_threads(c: &mut Criterion) {
+    // The contrastive-loss hot path at paper batch scale: L2-normalize a
+    // batch of embeddings and form all pairwise similarities.
+    let mut rng = StdRng::seed_from_u64(1);
+    let z = init::uniform(512, 128, -1.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("pairwise_similarities_512x128");
+    for &t in &THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, &t| {
+            bench.iter(|| {
+                with_threads(t, || {
+                    let zn = z.l2_normalize_rows(1e-9);
+                    black_box(zn.matmul_transpose(&zn))
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_threads(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let logits = init::uniform(512, 512, -4.0, 4.0, &mut rng);
+    let mut group = c.benchmark_group("softmax_rows_512x512");
+    for &t in &THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, &t| {
+            bench.iter(|| with_threads(t, || black_box(logits.softmax_rows())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_elementwise_threads(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = init::uniform(1024, 512, -1.0, 1.0, &mut rng);
+    let b = init::uniform(1024, 512, -1.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("elementwise_add_1024x512");
+    for &t in &THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, &t| {
+            bench.iter(|| with_threads(t, || black_box(a.add(&b))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul_threads, bench_similarity_threads, bench_softmax_threads,
+        bench_elementwise_threads
+}
+criterion_main!(benches);

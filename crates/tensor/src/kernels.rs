@@ -4,11 +4,53 @@
 //! the `b` row and the output row sequentially — the standard cache-friendly
 //! layout for row-major data (see the Rust Performance Book's advice on
 //! iteration order). No unsafe code is used anywhere in the workspace.
+//!
+//! Kernels whose output rows (or elements) are independent are row-block
+//! parallel over the intra-op pool configured by
+//! [`threads::set_threads`](crate::threads::set_threads): each worker runs
+//! the serial per-row code on a disjoint output block, so results are
+//! **bit-identical** to the serial kernel at any thread count (see the
+//! [`threads`](crate::threads) module docs for the argument). Whole-matrix
+//! scalar reductions (`sum`, `mean`) stay serial: splitting them would
+//! reassociate the accumulation and break bit-identity.
 
 use crate::matrix::Matrix;
+use crate::threads;
+
+/// Spawn threshold for matmul-family kernels, in multiply-adds (`m·k·n`).
+/// Below this the serial path wins on thread-startup cost alone.
+const MATMUL_MIN_WORK: usize = 64 * 1024;
+
+/// Spawn threshold for cheap elementwise kernels, in elements.
+const ELEMWISE_MIN_WORK: usize = 64 * 1024;
+
+/// Spawn threshold for exp/sqrt-heavy row-wise kernels (softmax, norm), in
+/// elements. Lower than [`ELEMWISE_MIN_WORK`] because each element costs a
+/// transcendental.
+const ROWWISE_MIN_WORK: usize = 8 * 1024;
+
+/// Serial core of [`Matrix::matmul`] for rows `first..first + block/n`.
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, first: usize, block: &mut [f32]) {
+    for (ii, o_row) in block.chunks_mut(n).enumerate() {
+        let i = first + ii;
+        let a_row = &a[i * k..(i + 1) * k];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (ov, &bv) in o_row.iter_mut().zip(b_row) {
+                *ov += aik * bv;
+            }
+        }
+    }
+}
 
 impl Matrix {
     /// Matrix product `self * other` (`m x k` times `k x n`).
+    ///
+    /// Row-block parallel; bit-identical to the serial kernel at any thread
+    /// count because each output row is produced by the same serial code.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols(),
@@ -20,28 +62,24 @@ impl Matrix {
         let (m, k) = self.shape();
         let n = other.cols();
         let mut out = Matrix::zeros(m, n);
+        if out.is_empty() {
+            return out;
+        }
         let a = self.as_slice();
         let b = other.as_slice();
-        let o = out.as_mut_slice();
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let o_row = &mut o[i * n..(i + 1) * n];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (ov, &bv) in o_row.iter_mut().zip(b_row) {
-                    *ov += aik * bv;
-                }
-            }
-        }
+        let parts = threads::plan(m, m * k * n, MATMUL_MIN_WORK);
+        threads::run_row_blocks(out.as_mut_slice(), n, m, parts, |first, block| {
+            matmul_rows(a, b, k, n, first, block);
+        });
         out
     }
 
     /// `self * other^T` without materializing the transpose (`m x k` times
     /// `n x k` → `m x n`). This is the hot kernel of every contrastive loss:
     /// pairwise similarities between two batches of embeddings.
+    ///
+    /// Row-block parallel with the same bit-identity guarantee as
+    /// [`Matrix::matmul`].
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols(),
@@ -53,61 +91,135 @@ impl Matrix {
         let (m, k) = self.shape();
         let n = other.rows();
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let o_row = out.row_mut(i);
-            for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = &other.as_slice()[j * k..(j + 1) * k];
-                *o = dot(a_row, b_row);
-            }
+        if out.is_empty() {
+            return out;
         }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let parts = threads::plan(m, m * k.max(1) * n, MATMUL_MIN_WORK);
+        threads::run_row_blocks(out.as_mut_slice(), n, m, parts, |first, block| {
+            for (ii, o_row) in block.chunks_mut(n).enumerate() {
+                let i = first + ii;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    *o = dot(a_row, b_row);
+                }
+            }
+        });
+        out
+    }
+
+    /// Threaded elementwise map; bit-identical to [`Matrix::map`] because
+    /// each element is produced by the same single evaluation of `f`.
+    ///
+    /// The closure must be pure: it may run concurrently on disjoint
+    /// elements and must not care which thread evaluates it.
+    pub fn map_par(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let len = self.len();
+        let parts = threads::plan(len, len, ELEMWISE_MIN_WORK);
+        if parts <= 1 {
+            return self.map(f);
+        }
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        let a = self.as_slice();
+        threads::run_row_blocks(out.as_mut_slice(), 1, len, parts, |first, block| {
+            for (j, o) in block.iter_mut().enumerate() {
+                *o = f(a[first + j]);
+            }
+        });
+        out
+    }
+
+    /// Threaded elementwise binary combination; bit-identical to
+    /// [`Matrix::zip_map`]. Same purity requirement as [`Matrix::map_par`].
+    pub fn zip_map_par(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+        self.assert_same_shape(other, "zip_map_par");
+        let len = self.len();
+        let parts = threads::plan(len, len, ELEMWISE_MIN_WORK);
+        if parts <= 1 {
+            return self.zip_map(other, f);
+        }
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        let a = self.as_slice();
+        let b = other.as_slice();
+        threads::run_row_blocks(out.as_mut_slice(), 1, len, parts, |first, block| {
+            for (j, o) in block.iter_mut().enumerate() {
+                *o = f(a[first + j], b[first + j]);
+            }
+        });
         out
     }
 
     /// Elementwise sum.
     pub fn add(&self, other: &Matrix) -> Matrix {
-        self.zip_map(other, |a, b| a + b)
+        self.zip_map_par(other, |a, b| a + b)
     }
 
     /// Elementwise difference.
     pub fn sub(&self, other: &Matrix) -> Matrix {
-        self.zip_map(other, |a, b| a - b)
+        self.zip_map_par(other, |a, b| a - b)
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Matrix) -> Matrix {
-        self.zip_map(other, |a, b| a * b)
+        self.zip_map_par(other, |a, b| a * b)
     }
 
     /// Elementwise quotient.
     pub fn div(&self, other: &Matrix) -> Matrix {
-        self.zip_map(other, |a, b| a / b)
+        self.zip_map_par(other, |a, b| a / b)
     }
 
     /// Adds `other` into `self` in place.
     pub fn add_assign(&mut self, other: &Matrix) {
         self.assert_same_shape(other, "add_assign");
-        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
-            *a += b;
-        }
+        let len = self.len();
+        let parts = threads::plan(len, len, ELEMWISE_MIN_WORK);
+        let b = other.as_slice();
+        threads::run_row_blocks(self.as_mut_slice(), 1, len, parts, |first, block| {
+            for (j, a) in block.iter_mut().enumerate() {
+                *a += b[first + j];
+            }
+        });
     }
 
     /// `self += scale * other`, the AXPY update used by optimizers.
     pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
         self.assert_same_shape(other, "add_scaled");
-        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
-            *a += scale * b;
-        }
+        let len = self.len();
+        let parts = threads::plan(len, len, ELEMWISE_MIN_WORK);
+        let b = other.as_slice();
+        threads::run_row_blocks(self.as_mut_slice(), 1, len, parts, |first, block| {
+            for (j, a) in block.iter_mut().enumerate() {
+                *a += scale * b[first + j];
+            }
+        });
     }
 
     /// Multiplies every element by `s`, returning a new matrix.
     pub fn scale(&self, s: f32) -> Matrix {
-        self.map(|x| x * s)
+        self.map_par(move |x| x * s)
     }
 
     /// Adds `s` to every element, returning a new matrix.
     pub fn shift(&self, s: f32) -> Matrix {
-        self.map(|x| x + s)
+        self.map_par(move |x| x + s)
+    }
+
+    /// Elementwise logistic sigmoid `1 / (1 + e^-x)`.
+    pub fn sigmoid(&self) -> Matrix {
+        self.map_par(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Matrix {
+        self.map_par(f32::tanh)
+    }
+
+    /// Elementwise leaky ReLU (`slope = 0` gives plain ReLU).
+    pub fn leaky_relu(&self, slope: f32) -> Matrix {
+        self.map_par(move |x| if x > 0.0 { x } else { slope * x })
     }
 
     /// Adds a `1 x cols` row vector to every row.
@@ -121,15 +233,24 @@ impl Matrix {
             self.cols()
         );
         let mut out = self.clone();
-        for r in 0..out.rows() {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(row.as_slice()) {
-                *o += b;
-            }
+        if out.is_empty() {
+            return out;
         }
+        let (rows, cols) = out.shape();
+        let bias = row.as_slice();
+        let parts = threads::plan(rows, rows * cols, ELEMWISE_MIN_WORK);
+        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, |_, block| {
+            for o_row in block.chunks_mut(cols) {
+                for (o, &b) in o_row.iter_mut().zip(bias) {
+                    *o += b;
+                }
+            }
+        });
         out
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements. Serial on purpose: a parallel reduction would
+    /// reassociate the floating-point accumulation and break bit-identity.
     pub fn sum(&self) -> f32 {
         self.as_slice().iter().sum()
     }
@@ -143,23 +264,44 @@ impl Matrix {
         }
     }
 
-    /// Per-row sums as an `rows x 1` column vector.
+    /// Per-row sums as an `rows x 1` column vector. Row-block parallel;
+    /// each row's accumulation order is the serial one.
     pub fn row_sums(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.rows(), 1);
-        for r in 0..self.rows() {
-            out.set(r, 0, self.row(r).iter().sum());
+        let (rows, cols) = self.shape();
+        let mut out = Matrix::zeros(rows, 1);
+        if rows == 0 {
+            return out;
         }
+        let a = self.as_slice();
+        let parts = threads::plan(rows, rows * cols, ELEMWISE_MIN_WORK);
+        threads::run_row_blocks(out.as_mut_slice(), 1, rows, parts, |first, block| {
+            for (j, o) in block.iter_mut().enumerate() {
+                let r = first + j;
+                *o = a[r * cols..(r + 1) * cols].iter().sum();
+            }
+        });
         out
     }
 
-    /// Per-column sums as a `1 x cols` row vector.
+    /// Per-column sums as a `1 x cols` row vector. Column-block parallel:
+    /// every column is owned by one worker and accumulated in row order,
+    /// exactly as the serial loop does.
     pub fn col_sums(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols());
-        for r in 0..self.rows() {
-            for (o, &v) in out.as_mut_slice().iter_mut().zip(self.row(r)) {
-                *o += v;
-            }
+        let (rows, cols) = self.shape();
+        let mut out = Matrix::zeros(1, cols);
+        if cols == 0 {
+            return out;
         }
+        let a = self.as_slice();
+        let parts = threads::plan(cols, rows * cols, ELEMWISE_MIN_WORK);
+        threads::run_row_blocks(out.as_mut_slice(), 1, cols, parts, |first, block| {
+            for r in 0..rows {
+                let row = &a[r * cols..(r + 1) * cols];
+                for (j, o) in block.iter_mut().enumerate() {
+                    *o += row[first + j];
+                }
+            }
+        });
         out
     }
 
@@ -170,64 +312,93 @@ impl Matrix {
     }
 
     /// Row-wise softmax; numerically stabilized by subtracting the row max.
+    /// Row-block parallel (each row is independent).
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-            let mut sum = 0.0;
-            for x in row.iter_mut() {
-                *x = (*x - max).exp();
-                sum += *x;
-            }
-            for x in row.iter_mut() {
-                *x /= sum;
-            }
+        let (rows, cols) = out.shape();
+        if out.is_empty() {
+            return out;
         }
-        out
-    }
-
-    /// Row-wise log-softmax, numerically stabilized.
-    pub fn log_softmax_rows(&self) -> Matrix {
-        let mut out = self.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-            let log_sum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-            for x in row.iter_mut() {
-                *x -= log_sum;
-            }
-        }
-        out
-    }
-
-    /// L2-normalizes each row; rows with norm below `eps` are left unchanged.
-    pub fn l2_normalize_rows(&self, eps: f32) -> Matrix {
-        let mut out = self.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
-            if norm > eps {
+        let parts = threads::plan(rows, rows * cols, ROWWISE_MIN_WORK);
+        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, |_, block| {
+            for row in block.chunks_mut(cols) {
+                let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+                let mut sum = 0.0;
                 for x in row.iter_mut() {
-                    *x /= norm;
+                    *x = (*x - max).exp();
+                    sum += *x;
+                }
+                for x in row.iter_mut() {
+                    *x /= sum;
                 }
             }
-        }
+        });
         out
     }
 
-    /// Index of the largest element in each row.
+    /// Row-wise log-softmax, numerically stabilized. Row-block parallel.
+    pub fn log_softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        let (rows, cols) = out.shape();
+        if out.is_empty() {
+            return out;
+        }
+        let parts = threads::plan(rows, rows * cols, ROWWISE_MIN_WORK);
+        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, |_, block| {
+            for row in block.chunks_mut(cols) {
+                let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+                let log_sum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+                for x in row.iter_mut() {
+                    *x -= log_sum;
+                }
+            }
+        });
+        out
+    }
+
+    /// L2-normalizes each row; rows with norm below `eps` are left
+    /// unchanged. Row-block parallel.
+    pub fn l2_normalize_rows(&self, eps: f32) -> Matrix {
+        let mut out = self.clone();
+        let (rows, cols) = out.shape();
+        if out.is_empty() {
+            return out;
+        }
+        let parts = threads::plan(rows, rows * cols, ROWWISE_MIN_WORK);
+        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, |_, block| {
+            for row in block.chunks_mut(cols) {
+                let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+                if norm > eps {
+                    for x in row.iter_mut() {
+                        *x /= norm;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Index of the largest element in each row. Row-block parallel.
     pub fn argmax_rows(&self) -> Vec<usize> {
-        (0..self.rows())
-            .map(|r| {
-                self.row(r)
+        let (rows, cols) = self.shape();
+        let mut out = vec![0usize; rows];
+        if rows == 0 {
+            return out;
+        }
+        let a = self.as_slice();
+        let parts = threads::plan(rows, rows * cols, ELEMWISE_MIN_WORK);
+        threads::run_row_blocks(&mut out, 1, rows, parts, |first, block| {
+            for (j, o) in block.iter_mut().enumerate() {
+                let r = first + j;
+                *o = a[r * cols..(r + 1) * cols]
                     .iter()
                     .enumerate()
                     .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
-                    .unwrap_or(0)
-            })
-            .collect()
+                    .unwrap_or(0);
+            }
+        });
+        out
     }
 
     /// Euclidean distance between two equal-length row-major buffers viewed
@@ -374,6 +545,19 @@ mod tests {
     fn argmax_rows_picks_largest() {
         let a = m(2, 3, &[0.1, 0.9, 0.0, 0.3, 0.2, 0.5]);
         assert_eq!(a.argmax_rows(), vec![1, 2]);
+    }
+
+    #[test]
+    fn sigmoid_tanh_leaky_relu_values() {
+        let a = m(1, 3, &[-1.0, 0.0, 2.0]);
+        let s = a.sigmoid();
+        assert!((s.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(s.as_slice()[0] < 0.5 && s.as_slice()[2] > 0.5);
+        let t = a.tanh();
+        assert_eq!(t.as_slice()[1], 0.0);
+        assert!((t.as_slice()[2] - 2.0_f32.tanh()).abs() < 1e-6);
+        let l = a.leaky_relu(0.1);
+        assert_eq!(l.as_slice(), &[-0.1, 0.0, 2.0]);
     }
 
     #[test]

@@ -15,10 +15,17 @@
 //! Shape mismatches in binary operations are programming errors and panic
 //! with a descriptive message; constructors that take caller-provided buffers
 //! return [`ShapeError`] instead.
+//!
+//! Heavy kernels are intra-op parallel over a scoped thread pool with a
+//! **bit-identity guarantee**: any thread count produces exactly the bytes
+//! the serial kernel produces. See [`threads`] for the knobs
+//! ([`threads::set_threads`], [`threads::with_threads`]) and the argument.
 
 pub mod init;
 pub mod kernels;
 pub mod matrix;
 pub mod stats;
+pub mod threads;
 
 pub use matrix::{Matrix, ShapeError};
+pub use threads::{set_threads, with_threads};

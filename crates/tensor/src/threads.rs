@@ -1,0 +1,205 @@
+//! Intra-op thread pool for the matrix kernels.
+//!
+//! # Model
+//!
+//! Every heavy kernel ([`Matrix::matmul`](crate::Matrix::matmul), the
+//! elementwise family, the row-wise reductions) partitions its *output* into
+//! contiguous row blocks and hands each block to a scoped worker thread
+//! (crossbeam). Because every output element is written by exactly one
+//! worker, and every worker runs the exact per-row/per-element code of the
+//! serial kernel, the result is **bit-identical** to the serial kernel at
+//! any thread count — no atomics, no reduction-order changes, no tolerance
+//! needed. The determinism contract that the snapshot round-trip tests and
+//! `clfd_eval`'s parallel sweeps rely on is therefore preserved verbatim.
+//!
+//! Whole-matrix scalar reductions (`sum`, `mean`, `frobenius_norm`) stay
+//! serial on purpose: splitting them across threads would reassociate the
+//! floating-point accumulation and break bit-identity, and they are
+//! memory-bound `O(n)` passes that gain little from threading anyway.
+//!
+//! # Knobs
+//!
+//! - [`set_threads`] — process-global thread count. Defaults to
+//!   [`available`] (the number of cores); `1` degenerates every kernel to
+//!   the exact serial code path.
+//! - [`with_threads`] — thread-local override for a closure, used by tests
+//!   and by sweep workers to divide cores without touching the global.
+//! - Kernels only spawn when the work is large enough to amortize thread
+//!   startup (per-kernel thresholds in `kernels.rs`); below the threshold
+//!   they run the serial path, which is bit-identical by construction.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global thread-count knob; 0 means "unset, use [`available`]".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`]; 0 means "none".
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of logical cores available to the process (at least 1).
+pub fn available() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Sets the process-global intra-op thread count.
+///
+/// `1` makes every kernel take the exact serial code path. The default
+/// (before the first call) is [`available`].
+///
+/// # Panics
+/// Panics if `n` is 0 — a pool needs at least one thread.
+pub fn set_threads(n: usize) {
+    assert!(n >= 1, "intra-op pool needs at least one thread");
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The intra-op thread count kernels on the *calling thread* will use:
+/// the innermost [`with_threads`] override if one is active, otherwise the
+/// [`set_threads`] global, otherwise [`available`].
+pub fn threads() -> usize {
+    let over = OVERRIDE.with(Cell::get);
+    if over > 0 {
+        return over;
+    }
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => available(),
+        n => n,
+    }
+}
+
+/// Runs `f` with the calling thread's kernel thread count overridden to
+/// `n`, restoring the previous value afterwards (also on panic).
+///
+/// The override is thread-local: concurrent callers (test harness threads,
+/// sweep workers) do not observe each other's value, which makes this the
+/// race-free way to compare thread counts inside one process.
+///
+/// # Panics
+/// Panics if `n` is 0.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "intra-op pool needs at least one thread");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(n)));
+    f()
+}
+
+/// Decides how many workers a kernel should use for `rows` independent
+/// output rows totalling `work` scalar operations: 1 (serial path) unless
+/// the configured thread count exceeds 1, there are at least two rows to
+/// split, and the work clears the kernel's spawn threshold.
+pub(crate) fn plan(rows: usize, work: usize, min_work: usize) -> usize {
+    let t = threads();
+    if t <= 1 || rows < 2 || work < min_work {
+        1
+    } else {
+        t.min(rows)
+    }
+}
+
+/// Splits `rows` output rows of `row_len` elements each (`out.len() ==
+/// rows * row_len`) into `parts` contiguous balanced blocks and runs
+/// `f(first_row, block)` on each, one scoped thread per block. With
+/// `parts <= 1` it calls `f(0, out)` on the current thread — the exact
+/// serial path.
+///
+/// Bit-identity argument: the blocks are disjoint `&mut` sub-slices of the
+/// output, so each element is computed once, by the same code the serial
+/// call would run, with the same operand order.
+pub(crate) fn run_row_blocks<T, F>(out: &mut [T], row_len: usize, rows: usize, parts: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * row_len, "output buffer / row count mismatch");
+    if parts <= 1 {
+        f(0, out);
+        return;
+    }
+    let parts = parts.min(rows.max(1));
+    let base = rows / parts;
+    let extra = rows % parts;
+    crossbeam::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0;
+        for b in 0..parts {
+            let block_rows = base + usize::from(b < extra);
+            let (head, tail) = rest.split_at_mut(block_rows * row_len);
+            rest = tail;
+            let first_row = start;
+            start += block_rows;
+            let f = &f;
+            scope.spawn(move |_| f(first_row, head));
+        }
+    })
+    .expect("tensor kernel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let before = threads();
+        let inside = with_threads(3, threads);
+        assert_eq!(inside, 3);
+        assert_eq!(threads(), before);
+        // Nested overrides: innermost wins, both restore.
+        let (inner, outer) = with_threads(5, || (with_threads(2, threads), threads()));
+        assert_eq!(inner, 2);
+        assert_eq!(outer, 5);
+    }
+
+    #[test]
+    fn plan_degenerates_to_serial() {
+        with_threads(4, || {
+            assert_eq!(plan(1, 1 << 30, 0), 1, "a single row cannot be split");
+            assert_eq!(plan(100, 10, 1000), 1, "small work stays serial");
+            assert_eq!(plan(2, 1 << 20, 0), 2, "parts never exceed rows");
+            assert_eq!(plan(100, 1 << 20, 0), 4);
+        });
+        with_threads(1, || {
+            assert_eq!(plan(100, 1 << 30, 0), 1);
+        });
+    }
+
+    #[test]
+    fn row_blocks_cover_disjointly_in_order() {
+        let rows = 7;
+        let row_len = 3;
+        let mut out = vec![0usize; rows * row_len];
+        run_row_blocks(&mut out, row_len, rows, 3, |first_row, block| {
+            for (i, v) in block.iter_mut().enumerate() {
+                *v = (first_row * row_len + i) + 1;
+            }
+        });
+        let expect: Vec<usize> = (1..=rows * row_len).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn serial_part_runs_on_caller() {
+        let mut out = vec![0u8; 4];
+        run_row_blocks(&mut out, 2, 2, 1, |first, block| {
+            assert_eq!(first, 0);
+            assert_eq!(block.len(), 4);
+            block.fill(9);
+        });
+        assert_eq!(out, [9, 9, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        set_threads(0);
+    }
+}

@@ -1,6 +1,10 @@
-//! Property-based tests for the matrix kernels and samplers.
+//! Property-based tests for the matrix kernels and samplers, including the
+//! bit-identity contract of the intra-op threaded kernels: for any shape
+//! (empty, `1 x n`, `n x 1`, square, ragged) and any thread count, the
+//! threaded kernel must produce exactly the bytes of the serial
+//! (`with_threads(1)`) kernel.
 
-use clfd_tensor::{kernels::dot, stats, Matrix};
+use clfd_tensor::{kernels::dot, stats, with_threads, Matrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -8,6 +12,29 @@ use rand::SeedableRng;
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-10.0_f32..10.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+/// Exact bitwise equality, treating equal-bit NaNs as equal (unlike `==`).
+fn assert_bits_eq(a: &Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape());
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {} differs: {} vs {}",
+            i,
+            x,
+            y
+        );
+    }
+}
+
+/// A deterministic random matrix for a proptest-chosen shape (the vendored
+/// proptest stub has no `prop_flat_map`, so shapes come in as plain scalar
+/// strategies and the data from a seeded RNG).
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    clfd_tensor::init::uniform(rows, cols, -10.0, 10.0, &mut rng)
 }
 
 proptest! {
@@ -112,5 +139,174 @@ proptest! {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
         prop_assert!((s.mean() - mean).abs() < 1e-6);
         prop_assert!((s.std() - var.sqrt()).abs() < 1e-6);
+    }
+}
+
+// ---- threaded-kernel bit-identity -------------------------------------
+//
+// The contract under test: for random shapes (including empty, 1 x n, and
+// n x 1 edges) and random thread counts, every threaded kernel produces
+// exactly the bytes of its serial counterpart (`with_threads(1)`). The
+// `with_threads` override is thread-local, so these cases cannot interfere
+// with each other or with the rest of the suite under the parallel test
+// harness.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn threaded_matmul_is_bit_identical(
+        m in 0_usize..24, k in 0_usize..24, n in 0_usize..24,
+        threads in 1_usize..9, seed in 0_u64..10_000,
+    ) {
+        let a = rand_matrix(m, k, seed);
+        let b = rand_matrix(k, n, seed ^ 0x9e37);
+        let serial = with_threads(1, || a.matmul(&b));
+        let parallel = with_threads(threads, || a.matmul(&b));
+        assert_bits_eq(&serial, &parallel);
+    }
+
+    #[test]
+    fn threaded_matmul_transpose_is_bit_identical(
+        m in 0_usize..24, k in 0_usize..24, n in 0_usize..24,
+        threads in 1_usize..9, seed in 0_u64..10_000,
+    ) {
+        let a = rand_matrix(m, k, seed);
+        let b = rand_matrix(n, k, seed ^ 0x517c);
+        let serial = with_threads(1, || a.matmul_transpose(&b));
+        let parallel = with_threads(threads, || a.matmul_transpose(&b));
+        assert_bits_eq(&serial, &parallel);
+    }
+
+    #[test]
+    fn threaded_elementwise_is_bit_identical(
+        rows in 0_usize..40, cols in 0_usize..40,
+        threads in 1_usize..9, seed in 0_u64..10_000,
+    ) {
+        let a = rand_matrix(rows, cols, seed);
+        let b = rand_matrix(rows, cols, seed ^ 0x2b01);
+        for (s, p) in [
+            (with_threads(1, || a.add(&b)), with_threads(threads, || a.add(&b))),
+            (with_threads(1, || a.sub(&b)), with_threads(threads, || a.sub(&b))),
+            (with_threads(1, || a.mul(&b)), with_threads(threads, || a.mul(&b))),
+            (with_threads(1, || a.scale(1.7)), with_threads(threads, || a.scale(1.7))),
+            (with_threads(1, || a.sigmoid()), with_threads(threads, || a.sigmoid())),
+            (with_threads(1, || a.tanh()), with_threads(threads, || a.tanh())),
+        ] {
+            assert_bits_eq(&s, &p);
+        }
+        // In-place AXPY too.
+        let mut s = a.clone();
+        with_threads(1, || s.add_scaled(&b, -0.3));
+        let mut p = a.clone();
+        with_threads(threads, || p.add_scaled(&b, -0.3));
+        assert_bits_eq(&s, &p);
+    }
+
+    #[test]
+    fn threaded_rowwise_reductions_are_bit_identical(
+        rows in 0_usize..40, cols in 0_usize..40,
+        threads in 1_usize..9, seed in 0_u64..10_000,
+    ) {
+        let a = rand_matrix(rows, cols, seed);
+        assert_bits_eq(
+            &with_threads(1, || a.row_sums()),
+            &with_threads(threads, || a.row_sums()),
+        );
+        assert_bits_eq(
+            &with_threads(1, || a.col_sums()),
+            &with_threads(threads, || a.col_sums()),
+        );
+        assert_bits_eq(
+            &with_threads(1, || a.softmax_rows()),
+            &with_threads(threads, || a.softmax_rows()),
+        );
+        assert_bits_eq(
+            &with_threads(1, || a.log_softmax_rows()),
+            &with_threads(threads, || a.log_softmax_rows()),
+        );
+        assert_bits_eq(
+            &with_threads(1, || a.l2_normalize_rows(1e-9)),
+            &with_threads(threads, || a.l2_normalize_rows(1e-9)),
+        );
+        prop_assert_eq!(
+            with_threads(1, || a.argmax_rows()),
+            with_threads(threads, || a.argmax_rows())
+        );
+    }
+
+    #[test]
+    fn threaded_broadcast_is_bit_identical(
+        rows in 0_usize..40, cols in 0_usize..40,
+        threads in 1_usize..9, seed in 0_u64..10_000,
+    ) {
+        let a = rand_matrix(rows, cols, seed);
+        let bias = rand_matrix(1, cols, seed ^ 0x77aa);
+        let serial = with_threads(1, || a.add_row_broadcast(&bias));
+        let parallel = with_threads(threads, || a.add_row_broadcast(&bias));
+        assert_bits_eq(&serial, &parallel);
+    }
+}
+
+/// Shapes above the spawn thresholds, where the parallel dispatch provably
+/// runs (the proptest shapes above mostly stay below them): the contract
+/// must hold on the actually-threaded path at several thread counts.
+#[test]
+fn large_kernels_bit_identical_across_thread_counts() {
+    let a = rand_matrix(96, 64, 1);
+    let b = rand_matrix(64, 96, 2);
+    let bt = rand_matrix(96, 64, 3);
+    let e = rand_matrix(384, 384, 4); // 147k elements ≥ every threshold
+    let e2 = rand_matrix(384, 384, 5);
+    let bias = rand_matrix(1, 384, 6);
+    let serial_mm = with_threads(1, || a.matmul(&b));
+    let serial_mt = with_threads(1, || a.matmul_transpose(&bt));
+    let serial_sm = with_threads(1, || e.softmax_rows());
+    let serial_lsm = with_threads(1, || e.log_softmax_rows());
+    let serial_l2 = with_threads(1, || e.l2_normalize_rows(1e-9));
+    let serial_add = with_threads(1, || e.add(&e2));
+    let serial_rs = with_threads(1, || e.row_sums());
+    let serial_cs = with_threads(1, || e.col_sums());
+    let serial_bc = with_threads(1, || e.add_row_broadcast(&bias));
+    for t in [2, 3, 4, 7] {
+        let eq = |s: &Matrix, p: Matrix, what: &str| {
+            assert_eq!(s.shape(), p.shape());
+            for (x, y) in s.as_slice().iter().zip(p.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{what} diverged at {t} threads");
+            }
+        };
+        eq(&serial_mm, with_threads(t, || a.matmul(&b)), "matmul");
+        eq(&serial_mt, with_threads(t, || a.matmul_transpose(&bt)), "matmul_transpose");
+        eq(&serial_sm, with_threads(t, || e.softmax_rows()), "softmax_rows");
+        eq(&serial_lsm, with_threads(t, || e.log_softmax_rows()), "log_softmax_rows");
+        eq(&serial_l2, with_threads(t, || e.l2_normalize_rows(1e-9)), "l2_normalize_rows");
+        eq(&serial_add, with_threads(t, || e.add(&e2)), "add");
+        eq(&serial_rs, with_threads(t, || e.row_sums()), "row_sums");
+        eq(&serial_cs, with_threads(t, || e.col_sums()), "col_sums");
+        eq(&serial_bc, with_threads(t, || e.add_row_broadcast(&bias)), "add_row_broadcast");
+    }
+}
+
+/// The global knob: `set_threads` is observed by kernels (restored at the
+/// end so concurrently running tests keep their thread-local overrides,
+/// which always win over the global).
+#[test]
+fn set_threads_governs_default_and_one_is_serial() {
+    let a = rand_matrix(128, 128, 7);
+    let b = rand_matrix(128, 128, 8);
+    let serial = with_threads(1, || a.matmul(&b));
+    clfd_tensor::set_threads(3);
+    let threaded = a.matmul(&b);
+    clfd_tensor::set_threads(1);
+    let back_to_serial = a.matmul(&b);
+    clfd_tensor::set_threads(clfd_tensor::threads::available());
+    for ((x, y), z) in serial
+        .as_slice()
+        .iter()
+        .zip(threaded.as_slice())
+        .zip(back_to_serial.as_slice())
+    {
+        assert_eq!(x.to_bits(), y.to_bits());
+        assert_eq!(x.to_bits(), z.to_bits());
     }
 }

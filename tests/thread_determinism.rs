@@ -1,0 +1,73 @@
+//! Golden determinism test for the threaded kernels: the complete CLFD
+//! pipeline (embedding pretrain → label correction → contrastive fraud
+//! detector → prediction) run twice at 4 kernel threads must produce
+//! bit-identical predictions, and the 4-thread run must match the serial
+//! (1-thread) run bit-for-bit. This is the end-to-end witness of the
+//! tensor crate's bit-identity contract: if any kernel reassociated float
+//! arithmetic across threads, the divergence would be amplified by
+//! hundreds of training steps and caught here.
+
+use clfd::{Ablation, ClfdConfig, Prediction, TrainedClfd};
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::{DatasetKind, Label, Preset};
+use clfd_tensor::with_threads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One full smoke-preset fit + predict at a pinned kernel thread count.
+fn smoke_fit(threads: usize) -> (Vec<Prediction>, Vec<Label>, Vec<f32>) {
+    with_threads(threads, || {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 7);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let truth = split.train_labels();
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
+        let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 5);
+        let preds = model.predict_test(&split);
+        let corrected = model.corrected_labels().to_vec();
+        let confidences = model.correction_confidences().to_vec();
+        (preds, corrected, confidences)
+    })
+}
+
+fn assert_identical(
+    (a_preds, a_corrected, a_conf): &(Vec<Prediction>, Vec<Label>, Vec<f32>),
+    (b_preds, b_corrected, b_conf): &(Vec<Prediction>, Vec<Label>, Vec<f32>),
+    what: &str,
+) {
+    assert_eq!(a_preds.len(), b_preds.len(), "{what}: prediction counts");
+    for (i, (a, b)) in a_preds.iter().zip(b_preds).enumerate() {
+        assert_eq!(a.label, b.label, "{what}: label of test session {i}");
+        assert_eq!(
+            a.malicious_score.to_bits(),
+            b.malicious_score.to_bits(),
+            "{what}: malicious score of test session {i}"
+        );
+        assert_eq!(
+            a.confidence.to_bits(),
+            b.confidence.to_bits(),
+            "{what}: confidence of test session {i}"
+        );
+    }
+    assert_eq!(a_corrected, b_corrected, "{what}: corrected labels");
+    assert_eq!(a_conf.len(), b_conf.len(), "{what}: confidence counts");
+    for (i, (a, b)) in a_conf.iter().zip(b_conf).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: correction confidence of train session {i}"
+        );
+    }
+}
+
+#[test]
+fn full_pipeline_is_bit_identical_across_runs_and_thread_counts() {
+    let serial = smoke_fit(1);
+    let threaded_a = smoke_fit(4);
+    let threaded_b = smoke_fit(4);
+    // Repeatability at a fixed thread count: no scheduling leak anywhere.
+    assert_identical(&threaded_a, &threaded_b, "4 threads, run A vs run B");
+    // Thread-count invariance: the parallel kernels are bit-identical to
+    // the serial ones even through a full training trajectory.
+    assert_identical(&serial, &threaded_a, "1 thread vs 4 threads");
+}
