@@ -31,6 +31,15 @@ run build --release --workspace
 run test -q --workspace
 run clippy --workspace --all-targets -- -D warnings
 
+# Library crates must never print: human-facing output belongs to the
+# binaries (src/bin/) and examples. `--lib` scopes the denied lints to
+# library targets so tests/bins can keep their eprintln!s.
+for lib in clfd clfd-tensor clfd-autograd clfd-nn clfd-losses clfd-data \
+    clfd-baselines clfd-eval clfd-bench clfd-obs; do
+    run clippy -p "$lib" --lib -- -D warnings \
+        -D clippy::print_stdout -D clippy::print_stderr
+done
+
 # Bench smoke: the kernel/e2e suite must run and produce a well-formed
 # JSON report (the binary re-parses what it wrote and fails otherwise).
 rm -f BENCH_kernels.json

@@ -12,6 +12,7 @@ use crate::common::{
 use crate::SessionClassifier;
 use clfd::{ClfdConfig, Prediction};
 use clfd_data::session::{Label, SplitCorpus};
+use clfd_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,17 +31,35 @@ impl SessionClassifier for ClDet {
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Vec<Prediction> {
         let mut rng = StdRng::seed_from_u64(seed);
         let (train, test) = session_refs(split);
         let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
 
         let mut encoder = Encoder::new(cfg, &mut rng);
-        simclr_warmup(&mut encoder, &train, &embeddings, cfg, cfg.pretrain_epochs, &mut rng);
+        simclr_warmup(
+            &mut encoder,
+            &train,
+            &embeddings,
+            cfg,
+            cfg.pretrain_epochs,
+            "baseline/cldet/simclr",
+            obs,
+            &mut rng,
+        );
 
         let features = encoder.features(&train, &embeddings, cfg);
         let mut head = LinearHead::new(cfg.hidden, cfg.lr, &mut rng);
-        head.train_ce(&features, noisy, cfg.classifier_epochs, cfg.batch_size, &mut rng);
+        head.train_ce(
+            &features,
+            noisy,
+            cfg.classifier_epochs,
+            cfg.batch_size,
+            "baseline/cldet/head",
+            obs,
+            &mut rng,
+        );
 
         let test_features = encoder.features(&test, &embeddings, cfg);
         to_predictions(&head.proba(&test_features))
@@ -59,7 +78,7 @@ mod tests {
         let cfg = ClfdConfig::for_preset(Preset::Smoke);
         let mut rng = StdRng::seed_from_u64(0);
         let noisy = NoiseModel::Uniform { eta: 0.1 }.apply(&split.train_labels(), &mut rng);
-        let preds = ClDet.fit_predict(&split, &noisy, &cfg, 1);
+        let preds = ClDet.fit_predict(&split, &noisy, &cfg, 1, &Obs::null());
         assert_eq!(preds.len(), split.test.len());
         let truth = split.test_labels();
         let acc = preds

@@ -11,6 +11,7 @@ use clfd_data::word2vec::ActivityEmbeddings;
 use clfd_losses::{cce_loss, nt_xent};
 use clfd_nn::linear::LinearInit;
 use clfd_nn::{Adam, Layer, Linear, Lstm, Optimizer};
+use clfd_obs::{Event, Obs, Stopwatch};
 use clfd_tensor::{kernels, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -90,16 +91,25 @@ pub fn train_embeddings(
 
 /// SimCLR warm-up of an encoder using the session-reordering augmentation
 /// (Sel-CL's warm-up and CLDet's pre-training stage, §IV-A3).
+///
+/// Emits one [`Event::EpochEnd`] per epoch under `stage`.
+#[allow(clippy::too_many_arguments)]
 pub fn simclr_warmup(
     encoder: &mut Encoder,
     sessions: &[&Session],
     embeddings: &ActivityEmbeddings,
     cfg: &ClfdConfig,
     epochs: usize,
+    stage: &str,
+    obs: &Obs,
     rng: &mut StdRng,
 ) {
+    let span = obs.stage(stage);
     let mut order: Vec<usize> = (0..sessions.len()).collect();
-    for _ in 0..epochs {
+    for epoch in 0..epochs {
+        let epoch_clock = Stopwatch::start();
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
         order.shuffle(rng);
         for chunk in batch_indices(&order, cfg.batch_size) {
             if chunk.len() < 2 {
@@ -116,10 +126,23 @@ pub fn simclr_warmup(
             let batch = SessionBatch::build(&all, embeddings, cfg.max_seq_len);
             let z = encoder.encode(&batch);
             let loss = nt_xent(&mut encoder.tape, z, cfg.simclr_temperature);
+            loss_sum += f64::from(encoder.tape.scalar(loss));
+            batches += 1;
             encoder.tape.backward(loss);
             encoder.step();
         }
+        obs.emit(Event::EpochEnd {
+            stage: stage.to_string(),
+            epoch,
+            epochs,
+            batches,
+            loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
+            grad_norm: None,
+            lr: encoder.opt.lr(),
+            wall_ms: epoch_clock.elapsed_ms(),
+        });
     }
+    span.finish();
 }
 
 /// A linear softmax head with its own tape (baseline classifiers).
@@ -163,23 +186,44 @@ impl LinearHead {
     }
 
     /// Trains with CE over hard labels for `epochs`.
+    ///
+    /// Emits one [`Event::EpochEnd`] per epoch under `stage`.
+    #[allow(clippy::too_many_arguments)]
     pub fn train_ce(
         &mut self,
         features: &Matrix,
         labels: &[Label],
         epochs: usize,
         batch_size: usize,
+        stage: &str,
+        obs: &Obs,
         rng: &mut StdRng,
     ) {
+        let span = obs.stage(stage);
         let mut order: Vec<usize> = (0..labels.len()).collect();
-        for _ in 0..epochs {
+        for epoch in 0..epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             order.shuffle(rng);
             for chunk in batch_indices(&order, batch_size) {
                 let f = features.select_rows(&chunk);
                 let ls: Vec<Label> = chunk.iter().map(|&i| labels[i]).collect();
-                self.step_ce(&f, &one_hot(&ls));
+                loss_sum += f64::from(self.step_ce(&f, &one_hot(&ls)));
+                batches += 1;
             }
+            obs.emit(Event::EpochEnd {
+                stage: stage.to_string(),
+                epoch,
+                epochs,
+                batches,
+                loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
+                grad_norm: None,
+                lr: self.opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
         }
+        span.finish();
     }
 }
 
@@ -231,12 +275,14 @@ impl JointModel {
         self.tape.reset();
     }
 
-    /// One CE step on a session batch with soft targets.
-    pub fn step_ce(&mut self, batch: &SessionBatch, targets: &Matrix) {
+    /// One CE step on a session batch with soft targets; returns the loss.
+    pub fn step_ce(&mut self, batch: &SessionBatch, targets: &Matrix) -> f32 {
         let (_, logits) = self.forward(batch);
         let loss = cce_loss(&mut self.tape, logits, targets);
+        let value = self.tape.scalar(loss);
         self.tape.backward(loss);
         self.step();
+        value
     }
 
     /// Softmax probabilities for one batch (no training).
@@ -413,7 +459,7 @@ mod tests {
             .map(|r| if r % 2 == 0 { Label::Malicious } else { Label::Normal })
             .collect();
         let mut head = LinearHead::new(3, 0.05, &mut rng);
-        head.train_ce(&features, &labels, 50, 16, &mut rng);
+        head.train_ce(&features, &labels, 50, 16, "test/head", &Obs::null(), &mut rng);
         let preds = to_predictions(&head.proba(&features));
         let acc = preds.iter().zip(&labels).filter(|(p, &l)| p.label == l).count();
         assert!(acc >= 38, "accuracy {acc}/40");

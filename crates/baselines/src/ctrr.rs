@@ -16,6 +16,8 @@ use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
 use clfd_data::session::{Label, Session, SplitCorpus};
 use clfd_losses::cce_loss;
 use clfd_losses::contrastive::{sup_con_batch, SupConVariant};
+use clfd_nn::Optimizer;
+use clfd_obs::{Event, Obs, Stopwatch};
 use clfd_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -49,6 +51,7 @@ impl SessionClassifier for Ctrr {
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Vec<Prediction> {
         let mut rng = StdRng::seed_from_u64(seed);
         let (train, test) = session_refs(split);
@@ -58,8 +61,12 @@ impl SessionClassifier for Ctrr {
         // the CE gradient reaches the encoder.
         let mut model = JointModel::new(cfg, &mut rng);
 
+        let span = obs.stage("baseline/ctrr/joint");
         let mut order: Vec<usize> = (0..train.len()).collect();
-        for _ in 0..self.epochs {
+        for epoch in 0..self.epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             order.shuffle(&mut rng);
             for chunk in batch_indices(&order, cfg.batch_size) {
                 if chunk.len() < 2 {
@@ -68,9 +75,21 @@ impl SessionClassifier for Ctrr {
                 let refs: Vec<&Session> = chunk.iter().map(|&i| train[i]).collect();
                 let labels: Vec<Label> = chunk.iter().map(|&i| noisy[i]).collect();
                 let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
-                train_step(&mut model, &batch, &labels, cfg, self);
+                loss_sum += f64::from(train_step(&mut model, &batch, &labels, cfg, self));
+                batches += 1;
             }
+            obs.emit(Event::EpochEnd {
+                stage: "baseline/ctrr/joint".to_string(),
+                epoch,
+                epochs: self.epochs,
+                batches,
+                loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
+                grad_norm: None,
+                lr: model.opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
         }
+        span.finish();
 
         let mut probs = Matrix::zeros(test.len(), 2);
         let all: Vec<usize> = (0..test.len()).collect();
@@ -87,13 +106,14 @@ impl SessionClassifier for Ctrr {
 }
 
 /// One CTRR step: CE + confidence-filtered contrastive regularization.
+/// Returns the total loss value.
 fn train_step(
     model: &mut JointModel,
     batch: &SessionBatch,
     labels: &[Label],
     cfg: &ClfdConfig,
     spec: &Ctrr,
-) {
+) -> f32 {
     let (z, logits) = model.forward(batch);
     let ce = cce_loss(&mut model.tape, logits, &one_hot(labels));
 
@@ -120,8 +140,10 @@ fn train_step(
     );
     let scaled_reg = model.tape.scale(reg, spec.reg_weight);
     let total = model.tape.add(ce, scaled_reg);
+    let value = model.tape.scalar(total);
     model.tape.backward(total);
     model.step();
+    value
 }
 
 #[cfg(test)]
@@ -137,7 +159,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
         let spec = Ctrr { epochs: 4, ..Ctrr::default() };
-        let preds = spec.fit_predict(&split, &noisy, &cfg, 6);
+        let preds = spec.fit_predict(&split, &noisy, &cfg, 6, &Obs::null());
         assert_eq!(preds.len(), split.test.len());
         let truth = split.test_labels();
         let acc = preds

@@ -15,6 +15,7 @@ use clfd_data::session::{Label, Session, SplitCorpus};
 use clfd_losses::gce::cce_loss_indices;
 use clfd_nn::linear::LinearInit;
 use clfd_nn::{Adam, Embedding, Layer, Linear, Lstm, Optimizer};
+use clfd_obs::{Event, Obs, Stopwatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -116,6 +117,7 @@ impl SessionClassifier for DeepLog {
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Vec<Prediction> {
         let mut rng = StdRng::seed_from_u64(seed);
         let (train, test) = session_refs(split);
@@ -129,9 +131,13 @@ impl SessionClassifier for DeepLog {
             .filter(|(i, &l)| l == Label::Normal && train[*i].len() >= 2)
             .map(|(i, _)| i)
             .collect();
+        let span = obs.stage("baseline/deeplog/next-key");
         let mut order = normal_pool.clone();
         let accumulate = 8;
-        for _ in 0..self.epochs {
+        for epoch in 0..self.epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             order.shuffle(&mut rng);
             for chunk in batch_indices(&order, accumulate) {
                 for &i in &chunk {
@@ -142,13 +148,30 @@ impl SessionClassifier for DeepLog {
                         .map(|&a| a as usize)
                         .collect();
                     let loss = cce_loss_indices(&mut model.tape, logits, &targets);
+                    loss_sum += f64::from(model.tape.scalar(loss));
                     model.tape.backward(loss);
                 }
+                batches += 1;
                 let params = model.params.clone();
                 model.opt.step(&mut model.tape, &params);
                 model.tape.reset();
             }
+            obs.emit(Event::EpochEnd {
+                stage: "baseline/deeplog/next-key".to_string(),
+                epoch,
+                epochs: self.epochs,
+                batches,
+                loss: if normal_pool.is_empty() {
+                    0.0
+                } else {
+                    (loss_sum / normal_pool.len() as f64) as f32
+                },
+                grad_norm: None,
+                lr: model.opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
         }
+        span.finish();
 
         // Threshold from the distribution of train-pool miss rates.
         let train_scores: Vec<f32> = normal_pool
@@ -183,7 +206,7 @@ mod tests {
         let cfg = ClfdConfig::for_preset(Preset::Smoke);
         let mut rng = StdRng::seed_from_u64(0);
         let noisy = NoiseModel::Uniform { eta: 0.1 }.apply(&split.train_labels(), &mut rng);
-        let preds = DeepLog::default().fit_predict(&split, &noisy, &cfg, 3);
+        let preds = DeepLog::default().fit_predict(&split, &noisy, &cfg, 3, &Obs::null());
         let truth = split.test_labels();
         let mean_score = |want: Label| {
             let (sum, count) = preds

@@ -18,6 +18,8 @@ use clfd_data::session::{Label, SplitCorpus};
 use clfd_data::session::Session;
 use clfd_losses::cce_loss;
 use clfd_losses::MixupPlan;
+use clfd_nn::Optimizer;
+use clfd_obs::{Event, Obs, Stopwatch};
 use clfd_tensor::stats::GaussianMixture1d;
 use clfd_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -52,6 +54,7 @@ impl SessionClassifier for DivMix {
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Vec<Prediction> {
         let mut rng = StdRng::seed_from_u64(seed);
         let (train, test) = session_refs(split);
@@ -62,20 +65,41 @@ impl SessionClassifier for DivMix {
         let mut net_b = JointModel::new(cfg, &mut rng);
 
         // Warm-up: plain CE on the noisy labels.
+        let warmup_span = obs.stage("baseline/divmix/warmup");
         let mut order: Vec<usize> = (0..train.len()).collect();
-        for _ in 0..self.warmup_epochs {
+        for epoch in 0..self.warmup_epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             order.shuffle(&mut rng);
             for chunk in batch_indices(&order, cfg.batch_size) {
                 let refs: Vec<&Session> = chunk.iter().map(|&i| train[i]).collect();
                 let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
                 let t = targets_noisy.select_rows(&chunk);
-                net_a.step_ce(&batch, &t);
-                net_b.step_ce(&batch, &t);
+                let la = net_a.step_ce(&batch, &t);
+                let lb = net_b.step_ce(&batch, &t);
+                loss_sum += f64::from(la + lb) * 0.5;
+                batches += 1;
             }
+            obs.emit(Event::EpochEnd {
+                stage: "baseline/divmix/warmup".to_string(),
+                epoch,
+                epochs: self.warmup_epochs,
+                batches,
+                loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
+                grad_norm: None,
+                lr: net_a.opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
         }
+        warmup_span.finish();
 
         // Co-teaching epochs.
-        for _ in 0..self.co_epochs {
+        let co_span = obs.stage("baseline/divmix/co-teaching");
+        for epoch in 0..self.co_epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             // Clean probabilities from each network's loss GMM.
             let w_from_a = clean_probabilities(
                 &mut net_a, &train, noisy, &embeddings, cfg, self.gmm_iters,
@@ -115,11 +139,24 @@ impl SessionClassifier for DivMix {
                     let logits = net.head.forward(&mut net.tape, mixed_z);
                     let mixed_targets = plan.mixed_targets(&refined);
                     let loss = cce_loss(&mut net.tape, logits, &mixed_targets);
+                    loss_sum += f64::from(net.tape.scalar(loss));
+                    batches += 1;
                     net.tape.backward(loss);
                     net.step();
                 }
             }
+            obs.emit(Event::EpochEnd {
+                stage: "baseline/divmix/co-teaching".to_string(),
+                epoch,
+                epochs: self.co_epochs,
+                batches,
+                loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
+                grad_norm: None,
+                lr: net_a.opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
         }
+        co_span.finish();
 
         // Inference: ensemble of both networks.
         let pa = net_a.proba_all(&test, &embeddings, cfg);
@@ -157,7 +194,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
         let spec = DivMix { warmup_epochs: 1, co_epochs: 2, ..DivMix::default() };
-        let preds = spec.fit_predict(&split, &noisy, &cfg, 7);
+        let preds = spec.fit_predict(&split, &noisy, &cfg, 7, &Obs::null());
         assert_eq!(preds.len(), split.test.len());
         assert!(preds.iter().all(|p| (0.0..=1.0).contains(&p.malicious_score)));
     }

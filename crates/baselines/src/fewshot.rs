@@ -16,6 +16,7 @@ use clfd_data::word2vec::ActivityEmbeddings;
 use clfd_losses::cce_loss;
 use clfd_nn::linear::LinearInit;
 use clfd_nn::{Adam, Layer, Linear, Optimizer, TransformerEncoder};
+use clfd_obs::{Event, Obs, Stopwatch};
 use clfd_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -92,6 +93,7 @@ impl SessionClassifier for FewShot {
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Vec<Prediction> {
         let mut rng = StdRng::seed_from_u64(seed);
         let (train, test) = session_refs(split);
@@ -101,22 +103,43 @@ impl SessionClassifier for FewShot {
         // End-to-end CE training, one session per step (attention is
         // per-sequence); gradients are accumulated over a mini-batch before
         // each optimizer step.
+        let span = obs.stage("baseline/few-shot/transformer");
         let accumulate = 16;
         let mut order: Vec<usize> = (0..train.len()).collect();
-        for _ in 0..self.epochs {
+        for epoch in 0..self.epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             order.shuffle(&mut rng);
             for chunk in batch_indices(&order, accumulate) {
                 for &i in &chunk {
                     let logits = model.logits(train[i], &embeddings, cfg);
                     let target = one_hot(&[noisy[i]]);
                     let loss = cce_loss(&mut model.tape, logits, &target);
+                    loss_sum += f64::from(model.tape.scalar(loss));
                     model.tape.backward(loss);
                 }
+                batches += 1;
                 let params = model.params.clone();
                 model.opt.step(&mut model.tape, &params);
                 model.tape.reset();
             }
+            obs.emit(Event::EpochEnd {
+                stage: "baseline/few-shot/transformer".to_string(),
+                epoch,
+                epochs: self.epochs,
+                batches,
+                loss: if train.is_empty() {
+                    0.0
+                } else {
+                    (loss_sum / train.len() as f64) as f32
+                },
+                grad_norm: None,
+                lr: model.opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
         }
+        span.finish();
 
         let mut probs = Matrix::zeros(test.len(), 2);
         for (r, s) in test.iter().enumerate() {
@@ -142,7 +165,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let noisy = NoiseModel::Uniform { eta: 0.1 }.apply(&split.train_labels(), &mut rng);
         let spec = FewShot { epochs: 1, ..FewShot::default() };
-        let preds = spec.fit_predict(&split, &noisy, &cfg, 2);
+        let preds = spec.fit_predict(&split, &noisy, &cfg, 2, &Obs::null());
         assert_eq!(preds.len(), split.test.len());
         assert!(preds.iter().all(|p| (0.0..=1.0).contains(&p.malicious_score)));
         // Scores must vary across sessions (the model is not a constant

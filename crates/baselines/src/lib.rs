@@ -29,6 +29,7 @@ pub mod ulc;
 
 use clfd::{ClfdConfig, Prediction};
 use clfd_data::session::{Label, SplitCorpus};
+use clfd_obs::Obs;
 
 /// Uniform train-and-predict interface for all nine systems.
 pub trait SessionClassifier {
@@ -37,12 +38,17 @@ pub trait SessionClassifier {
 
     /// Trains on `split.train` with the given noisy labels and classifies
     /// `split.test`, returning one prediction per test session.
+    ///
+    /// `obs` receives per-stage training telemetry (stage spans and
+    /// per-epoch losses, under `baseline/<name>/...` stage names); pass
+    /// [`Obs::null`] to record nothing.
     fn fit_predict(
         &self,
         split: &SplitCorpus,
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Vec<Prediction>;
 
     /// Fault-isolated variant used by the experiment runner: one crashing
@@ -62,9 +68,10 @@ pub trait SessionClassifier {
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Result<Vec<Prediction>, String> {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.fit_predict(split, noisy, cfg, seed)
+            self.fit_predict(split, noisy, cfg, seed, obs)
         }))
         .map_err(|payload| panic_message(payload.as_ref()))
     }
@@ -105,9 +112,10 @@ impl SessionClassifier for ClfdModel {
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Vec<Prediction> {
-        let mut model = clfd::TrainedClfd::fit(split, noisy, cfg, &self.ablation, seed);
-        model.predict_test(split)
+        self.try_fit_predict(split, noisy, cfg, seed, obs)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn try_fit_predict(
@@ -116,16 +124,15 @@ impl SessionClassifier for ClfdModel {
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Result<Vec<Prediction>, String> {
-        let mut model = clfd::TrainedClfd::try_fit(
-            split,
-            noisy,
-            cfg,
-            &self.ablation,
-            seed,
-            &clfd::TrainOptions::conservative(),
-        )
-        .map_err(|e| e.to_string())?;
+        let opts = clfd::TrainOptions {
+            obs: obs.clone(),
+            ..clfd::TrainOptions::conservative()
+        };
+        let model =
+            clfd::TrainedClfd::try_fit(split, noisy, cfg, &self.ablation, seed, &opts)
+                .map_err(|e| e.to_string())?;
         Ok(model.predict_test(split))
     }
 }

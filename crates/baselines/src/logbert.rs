@@ -17,6 +17,7 @@ use clfd_data::session::{Label, Session, SplitCorpus};
 use clfd_losses::gce::cce_loss_indices;
 use clfd_nn::linear::LinearInit;
 use clfd_nn::{Adam, Embedding, Layer, Linear, Optimizer, TransformerEncoder};
+use clfd_obs::{Event, Obs, Stopwatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -147,6 +148,7 @@ impl SessionClassifier for LogBert {
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Vec<Prediction> {
         let mut rng = StdRng::seed_from_u64(seed);
         let (train, test) = session_refs(split);
@@ -160,9 +162,13 @@ impl SessionClassifier for LogBert {
             .map(|(i, _)| i)
             .collect();
 
+        let span = obs.stage("baseline/logbert/masked-key");
         let mut order = normal_pool.clone();
         let accumulate = 8;
-        for _ in 0..self.epochs {
+        for epoch in 0..self.epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             order.shuffle(&mut rng);
             for chunk in batch_indices(&order, accumulate) {
                 for &i in &chunk {
@@ -174,13 +180,30 @@ impl SessionClassifier for LogBert {
                         .collect();
                     let logits = model.masked_logits(&ids, &positions);
                     let loss = cce_loss_indices(&mut model.tape, logits, &targets);
+                    loss_sum += f64::from(model.tape.scalar(loss));
                     model.tape.backward(loss);
                 }
+                batches += 1;
                 let params = model.params.clone();
                 model.opt.step(&mut model.tape, &params);
                 model.tape.reset();
             }
+            obs.emit(Event::EpochEnd {
+                stage: "baseline/logbert/masked-key".to_string(),
+                epoch,
+                epochs: self.epochs,
+                batches,
+                loss: if normal_pool.is_empty() {
+                    0.0
+                } else {
+                    (loss_sum / normal_pool.len() as f64) as f32
+                },
+                grad_norm: None,
+                lr: model.opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
         }
+        span.finish();
 
         let train_scores: Vec<f32> = normal_pool
             .iter()
@@ -210,7 +233,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let noisy = NoiseModel::Uniform { eta: 0.1 }.apply(&split.train_labels(), &mut rng);
         let spec = LogBert { epochs: 2, ..LogBert::default() };
-        let preds = spec.fit_predict(&split, &noisy, &cfg, 4);
+        let preds = spec.fit_predict(&split, &noisy, &cfg, 4, &Obs::null());
         let truth = split.test_labels();
         let mean_score = |want: Label| {
             let (sum, count) = preds

@@ -19,6 +19,8 @@ use clfd::{ClfdConfig, Prediction};
 use clfd_data::batch::{batch_indices, SessionBatch};
 use clfd_data::session::{Label, Session, SplitCorpus};
 use clfd_losses::contrastive::{sup_con_batch, SupConVariant};
+use clfd_nn::Optimizer;
+use clfd_obs::{Event, Obs, Stopwatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -49,6 +51,7 @@ impl SessionClassifier for SelCl {
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Vec<Prediction> {
         let mut rng = StdRng::seed_from_u64(seed);
         let (train, test) = session_refs(split);
@@ -56,7 +59,16 @@ impl SessionClassifier for SelCl {
 
         // (1) SimCLR warm-up.
         let mut encoder = Encoder::new(cfg, &mut rng);
-        simclr_warmup(&mut encoder, &train, &embeddings, cfg, cfg.pretrain_epochs, &mut rng);
+        simclr_warmup(
+            &mut encoder,
+            &train,
+            &embeddings,
+            cfg,
+            cfg.pretrain_epochs,
+            "baseline/sel-cl/simclr",
+            obs,
+            &mut rng,
+        );
 
         // (2) kNN label correction in the warm representation space.
         let warm_features = encoder.features(&train, &embeddings, cfg);
@@ -71,8 +83,12 @@ impl SessionClassifier for SelCl {
         // (every pair of same-label confident samples in a batch is a
         // confident pair), then a CE classifier on the confident set.
         if confident.len() >= 4 {
+            let span = obs.stage("baseline/sel-cl/supcon");
             let mut order = confident.clone();
-            for _ in 0..self.supcon_epochs {
+            for epoch in 0..self.supcon_epochs {
+                let epoch_clock = Stopwatch::start();
+                let mut loss_sum = 0.0f64;
+                let mut batches = 0usize;
                 order.shuffle(&mut rng);
                 for chunk in batch_indices(&order, cfg.batch_size) {
                     if chunk.len() < 2 {
@@ -92,16 +108,37 @@ impl SessionClassifier for SelCl {
                         cfg.temperature,
                         SupConVariant::Unweighted,
                     );
+                    loss_sum += f64::from(encoder.tape.scalar(loss));
+                    batches += 1;
                     encoder.tape.backward(loss);
                     encoder.step();
                 }
+                obs.emit(Event::EpochEnd {
+                    stage: "baseline/sel-cl/supcon".to_string(),
+                    epoch,
+                    epochs: self.supcon_epochs,
+                    batches,
+                    loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
+                    grad_norm: None,
+                    lr: encoder.opt.lr(),
+                    wall_ms: epoch_clock.elapsed_ms(),
+                });
             }
+            span.finish();
         }
 
         let features = encoder.features(&train, &embeddings, cfg);
         let mut head = LinearHead::new(cfg.hidden, cfg.lr, &mut rng);
         if confident.is_empty() {
-            head.train_ce(&features, noisy, cfg.classifier_epochs, cfg.batch_size, &mut rng);
+            head.train_ce(
+                &features,
+                noisy,
+                cfg.classifier_epochs,
+                cfg.batch_size,
+                "baseline/sel-cl/head",
+                obs,
+                &mut rng,
+            );
         } else {
             let conf_features = features.select_rows(&confident);
             let conf_labels: Vec<Label> = confident.iter().map(|&i| corrected[i]).collect();
@@ -110,6 +147,8 @@ impl SessionClassifier for SelCl {
                 &conf_labels,
                 cfg.classifier_epochs,
                 cfg.batch_size,
+                "baseline/sel-cl/head",
+                obs,
                 &mut rng,
             );
         }
@@ -131,7 +170,7 @@ mod tests {
         let cfg = ClfdConfig::for_preset(Preset::Smoke);
         let mut rng = StdRng::seed_from_u64(0);
         let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
-        let preds = SelCl::default().fit_predict(&split, &noisy, &cfg, 5);
+        let preds = SelCl::default().fit_predict(&split, &noisy, &cfg, 5, &Obs::null());
         assert_eq!(preds.len(), split.test.len());
         let truth = split.test_labels();
         let acc = preds

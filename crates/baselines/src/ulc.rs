@@ -14,6 +14,8 @@ use crate::SessionClassifier;
 use clfd::{ClfdConfig, Prediction};
 use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
 use clfd_data::session::{Label, Session, SplitCorpus};
+use clfd_nn::Optimizer;
+use clfd_obs::{Event, Obs, Stopwatch};
 use clfd_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -54,6 +56,7 @@ impl SessionClassifier for Ulc {
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
+        obs: &Obs,
     ) -> Vec<Prediction> {
         let mut rng = StdRng::seed_from_u64(seed);
         let (train, test) = session_refs(split);
@@ -67,16 +70,32 @@ impl SessionClassifier for Ulc {
         let mut ema_b = Matrix::full(n, 2, 0.5);
 
         // Warm-up with EMA tracking.
+        let warmup_span = obs.stage("baseline/ulc/warmup");
         let mut order: Vec<usize> = (0..n).collect();
-        for _ in 0..self.warmup_epochs {
+        for epoch in 0..self.warmup_epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             order.shuffle(&mut rng);
             for chunk in batch_indices(&order, cfg.batch_size) {
                 let refs: Vec<&Session> = chunk.iter().map(|&i| train[i]).collect();
                 let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
                 let t = targets_noisy.select_rows(&chunk);
-                net_a.step_ce(&batch, &t);
-                net_b.step_ce(&batch, &t);
+                let la = net_a.step_ce(&batch, &t);
+                let lb = net_b.step_ce(&batch, &t);
+                loss_sum += f64::from(la + lb) * 0.5;
+                batches += 1;
             }
+            obs.emit(Event::EpochEnd {
+                stage: "baseline/ulc/warmup".to_string(),
+                epoch,
+                epochs: self.warmup_epochs,
+                batches,
+                loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
+                grad_norm: None,
+                lr: net_a.opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
             for (net, ema) in [(&mut net_a, &mut ema_a), (&mut net_b, &mut ema_b)] {
                 let p = net.proba_all(&train, &embeddings, cfg);
                 for i in 0..n {
@@ -88,13 +107,18 @@ impl SessionClassifier for Ulc {
                 }
             }
         }
+        warmup_span.finish();
 
         // Uncertainty-aware correction (per network).
         let corrected_by_a = correct_labels(noisy, &ema_a, self.entropy_threshold);
         let corrected_by_b = correct_labels(noisy, &ema_b, self.entropy_threshold);
 
         // Co-teaching: each net trains on the peer's corrected labels.
-        for _ in 0..self.corrected_epochs {
+        let corrected_span = obs.stage("baseline/ulc/corrected");
+        for epoch in 0..self.corrected_epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             for (net, corrected) in
                 [(&mut net_a, &corrected_by_b), (&mut net_b, &corrected_by_a)]
             {
@@ -103,10 +127,22 @@ impl SessionClassifier for Ulc {
                     let refs: Vec<&Session> = chunk.iter().map(|&i| train[i]).collect();
                     let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
                     let labels: Vec<Label> = chunk.iter().map(|&i| corrected[i]).collect();
-                    net.step_ce(&batch, &one_hot(&labels));
+                    loss_sum += f64::from(net.step_ce(&batch, &one_hot(&labels)));
+                    batches += 1;
                 }
             }
+            obs.emit(Event::EpochEnd {
+                stage: "baseline/ulc/corrected".to_string(),
+                epoch,
+                epochs: self.corrected_epochs,
+                batches,
+                loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
+                grad_norm: None,
+                lr: net_a.opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
         }
+        corrected_span.finish();
 
         let pa = net_a.proba_all(&test, &embeddings, cfg);
         let pb = net_b.proba_all(&test, &embeddings, cfg);
@@ -180,7 +216,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
         let spec = Ulc { warmup_epochs: 1, corrected_epochs: 1, ..Ulc::default() };
-        let preds = spec.fit_predict(&split, &noisy, &cfg, 8);
+        let preds = spec.fit_predict(&split, &noisy, &cfg, 8, &Obs::null());
         assert_eq!(preds.len(), split.test.len());
     }
 }

@@ -7,6 +7,7 @@ use clfd_baselines::{cldet::ClDet, deeplog::DeepLog, SessionClassifier};
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Preset};
 use clfd_data::word2vec::ActivityEmbeddings;
+use clfd_obs::Obs;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,18 +42,20 @@ fn bench_full_models(c: &mut Criterion) {
 
     group.bench_function("clfd", |b| {
         b.iter(|| {
-            let mut model =
+            let model =
                 TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 3);
             black_box(model.predict_test(&split))
         });
     });
 
     group.bench_function("cldet", |b| {
-        b.iter(|| black_box(ClDet.fit_predict(&split, &noisy, &cfg, 3)));
+        b.iter(|| black_box(ClDet.fit_predict(&split, &noisy, &cfg, 3, &Obs::null())));
     });
 
     group.bench_function("deeplog", |b| {
-        b.iter(|| black_box(DeepLog::default().fit_predict(&split, &noisy, &cfg, 3)));
+        b.iter(|| {
+            black_box(DeepLog::default().fit_predict(&split, &noisy, &cfg, 3, &Obs::null()))
+        });
     });
 
     group.finish();

@@ -20,11 +20,29 @@
 use clfd::{Ablation, ClfdConfig, TrainedClfd};
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Preset};
+use clfd_obs::{Event, Obs, Stopwatch};
+use clfd_tensor::threads::counters;
 use clfd_tensor::{init, with_threads};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Emits the kernel-counter delta accumulated by `f` as a
+/// [`Event::KernelCounters`] under `scope` (counters are enabled for the
+/// whole run by `main`).
+fn counted<R>(obs: &Obs, scope: String, f: impl FnOnce() -> R) -> R {
+    let before = counters::snapshot();
+    let r = f();
+    let after = counters::snapshot();
+    obs.emit(Event::KernelCounters {
+        scope,
+        launches: after.launches - before.launches,
+        parallel_launches: after.parallel_launches - before.parallel_launches,
+        busy_ns: after.busy_ns - before.busy_ns,
+    });
+    r
+}
 
 /// Per-thread-count timing of one kernel.
 #[derive(Debug, Serialize, Deserialize)]
@@ -88,12 +106,15 @@ fn bench_kernel(
     work_items: f64,
     work_unit: &str,
     threads: &[usize],
+    obs: &Obs,
     f: impl Fn(),
 ) -> KernelBench {
     let mut results = Vec::new();
     let mut serial_seconds = None;
     for &t in threads {
-        let secs = with_threads(t, || time_per_call(&f));
+        let secs = counted(obs, format!("{name}@{t}t"), || {
+            with_threads(t, || time_per_call(&f))
+        });
         let serial = *serial_seconds.get_or_insert_with(|| {
             if t == 1 {
                 secs
@@ -123,7 +144,7 @@ fn bench_kernel(
     }
 }
 
-fn kernel_benches(threads: &[usize]) -> Vec<KernelBench> {
+fn kernel_benches(threads: &[usize], obs: &Obs) -> Vec<KernelBench> {
     let mut rng = StdRng::seed_from_u64(0);
     let mut out = Vec::new();
 
@@ -135,6 +156,7 @@ fn kernel_benches(threads: &[usize]) -> Vec<KernelBench> {
             2.0 * (n * n * n) as f64,
             "flops",
             threads,
+            obs,
             || {
                 std::hint::black_box(a.matmul(&b));
             },
@@ -148,6 +170,7 @@ fn kernel_benches(threads: &[usize]) -> Vec<KernelBench> {
         2.0 * (512 * 128 * 512) as f64,
         "flops",
         threads,
+        obs,
         || {
             let zn = z.l2_normalize_rows(1e-9);
             std::hint::black_box(zn.matmul_transpose(&zn));
@@ -160,6 +183,7 @@ fn kernel_benches(threads: &[usize]) -> Vec<KernelBench> {
         (512 * 512) as f64,
         "elements",
         threads,
+        obs,
         || {
             std::hint::black_box(logits.softmax_rows());
         },
@@ -172,6 +196,7 @@ fn kernel_benches(threads: &[usize]) -> Vec<KernelBench> {
         (1024 * 512) as f64,
         "elements",
         threads,
+        obs,
         || {
             std::hint::black_box(x.add(&y));
         },
@@ -181,6 +206,7 @@ fn kernel_benches(threads: &[usize]) -> Vec<KernelBench> {
         (1024 * 512) as f64,
         "elements",
         threads,
+        obs,
         || {
             std::hint::black_box(x.col_sums());
         },
@@ -190,7 +216,7 @@ fn kernel_benches(threads: &[usize]) -> Vec<KernelBench> {
 }
 
 /// One full fit + predict of the CLFD pipeline per thread count.
-fn end_to_end(preset: Preset, threads: &[usize]) -> Vec<EndToEnd> {
+fn end_to_end(preset: Preset, threads: &[usize], obs: &Obs) -> Vec<EndToEnd> {
     let split = DatasetKind::Cert.generate(preset, 7);
     let cfg = ClfdConfig::for_preset(preset);
     let truth = split.train_labels();
@@ -200,29 +226,42 @@ fn end_to_end(preset: Preset, threads: &[usize]) -> Vec<EndToEnd> {
     threads
         .iter()
         .map(|&t| {
-            with_threads(t, || {
-                let start = Instant::now();
-                let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 5);
-                let fit_seconds = start.elapsed().as_secs_f64();
-                let start = Instant::now();
-                let preds = model.predict_test(&split);
-                let predict_seconds = start.elapsed().as_secs_f64();
-                std::hint::black_box(preds);
-                eprintln!(
-                    "[bench] end-to-end @ {t} threads: fit {fit_seconds:.2}s, \
-                     predict {predict_seconds:.3}s"
-                );
-                EndToEnd { threads: t, fit_seconds, predict_seconds }
+            counted(obs, format!("e2e@{t}t"), || {
+                with_threads(t, || {
+                    let start = Instant::now();
+                    let model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 5);
+                    let fit_seconds = start.elapsed().as_secs_f64();
+                    let start = Instant::now();
+                    let preds = model.predict_test(&split);
+                    let predict_seconds = start.elapsed().as_secs_f64();
+                    std::hint::black_box(preds);
+                    eprintln!(
+                        "[bench] end-to-end @ {t} threads: fit {fit_seconds:.2}s, \
+                         predict {predict_seconds:.3}s"
+                    );
+                    EndToEnd { threads: t, fit_seconds, predict_seconds }
+                })
             })
         })
         .collect()
 }
 
-/// Minimal flag parsing (`--preset`, `--threads`, `--out`, `--no-e2e`).
-fn parse_args() -> Result<(Preset, Vec<usize>, String, bool), String> {
+/// Parsed command line of the suite.
+struct CliArgs {
+    preset: Preset,
+    threads: Vec<usize>,
+    out: String,
+    log: Option<String>,
+    e2e: bool,
+}
+
+/// Minimal flag parsing (`--preset`, `--threads`, `--out`, `--log`,
+/// `--no-e2e`).
+fn parse_args() -> Result<CliArgs, String> {
     let mut preset = Preset::Smoke;
     let mut threads = vec![1, 2, clfd_tensor::threads::available()];
     let mut out = "BENCH_kernels.json".to_string();
+    let mut log = None;
     let mut e2e = true;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -260,34 +299,49 @@ fn parse_args() -> Result<(Preset, Vec<usize>, String, bool), String> {
                 }
             }
             "--out" => out = value()?,
+            "--log" => log = Some(value()?),
             "--no-e2e" => e2e = false,
             other => return Err(format!("unknown flag {other}")),
         }
     }
     threads.sort_unstable();
     threads.dedup();
-    Ok((preset, threads, out, e2e))
+    Ok(CliArgs { preset, threads, out, log, e2e })
 }
 
 fn main() {
-    let (preset, threads, out, e2e) = parse_args().unwrap_or_else(|msg| {
+    let CliArgs { preset, threads, out, log, e2e } = parse_args().unwrap_or_else(|msg| {
         eprintln!("error: {msg}");
         eprintln!(
             "usage: bench_suite --preset smoke|default|paper --threads 1,2,4 \
-             --out PATH [--no-e2e]"
+             --out PATH --log PATH [--no-e2e]"
         );
         std::process::exit(2);
     });
+    // Telemetry goes to --log, defaulting to RUN_<stem>.jsonl next to --out.
+    let log = log.unwrap_or_else(|| {
+        let path = std::path::Path::new(&out);
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
+        path.with_file_name(format!("RUN_{stem}.jsonl")).to_string_lossy().into_owned()
+    });
+    let obs = Obs::jsonl(&log).unwrap_or_else(|e| panic!("cannot create log {log}: {e}"));
+    let run_clock = Stopwatch::start();
+    obs.emit(Event::RunStart {
+        name: "bench_suite".into(),
+        detail: format!("preset={preset:?} threads={threads:?} e2e={e2e}"),
+    });
+    counters::set_enabled(true);
 
     let report = BenchReport {
         preset: format!("{preset:?}").to_lowercase(),
         thread_counts: threads.clone(),
-        kernels: kernel_benches(&threads),
-        end_to_end: if e2e { end_to_end(preset, &threads) } else { Vec::new() },
+        kernels: kernel_benches(&threads, &obs),
+        end_to_end: if e2e { end_to_end(preset, &threads, &obs) } else { Vec::new() },
     };
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes cleanly");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    obs.emit(Event::ArtifactWritten { path: out.clone() });
 
     // Self-validation: the artifact on disk must parse back into the same
     // schema, so downstream tooling can rely on it.
@@ -296,5 +350,7 @@ fn main() {
         serde_json::from_str(&reread).expect("written report must re-parse");
     assert_eq!(parsed.thread_counts, threads, "round-trip kept thread counts");
     assert_eq!(parsed.kernels.len(), report.kernels.len());
-    eprintln!("wrote {out} ({} kernels, {} e2e rows)", parsed.kernels.len(), parsed.end_to_end.len());
+    obs.emit(Event::RunEnd { name: "bench_suite".into(), wall_ms: run_clock.elapsed_ms() });
+    obs.flush();
+    eprintln!("wrote {out} ({} kernels, {} e2e rows); log {log}", parsed.kernels.len(), parsed.end_to_end.len());
 }

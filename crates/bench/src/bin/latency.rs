@@ -13,13 +13,23 @@ use clfd_bench::TableArgs;
 use clfd_data::noise::NoiseModel;
 use clfd_eval::report::latency_table;
 use clfd_eval::runner::{run_cell, ExperimentSpec};
+use clfd_obs::{Event, Stopwatch};
 
 fn main() {
-    let args = TableArgs::parse();
+    let args = TableArgs::try_parse(std::env::args().skip(1)).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}\nusage: {}", clfd_bench::USAGE);
+        std::process::exit(2);
+    });
     let cfg = args.config();
     let dataset = args.datasets.first().copied().unwrap_or_else(|| {
         eprintln!("error: --datasets must not be empty");
         std::process::exit(2);
+    });
+    let obs = args.obs();
+    let run_clock = Stopwatch::start();
+    obs.emit(Event::RunStart {
+        name: "latency".into(),
+        detail: format!("preset={:?} dataset={} seed={}", args.preset, dataset.name(), args.seed),
     });
 
     let mut models: Vec<Box<dyn SessionClassifier>> = all_baselines();
@@ -37,7 +47,7 @@ fn main() {
             runs: args.runs,
             base_seed: args.seed,
         };
-        let cell = run_cell(model.as_ref(), &spec, &cfg);
+        let cell = run_cell(model.as_ref(), &spec, &cfg, &obs);
         eprintln!("[latency] {}: {:.1}s/run", cell.model, cell.seconds_per_run);
         rows.push((cell.model, cell.seconds_per_run));
     }
@@ -49,5 +59,9 @@ fn main() {
             &rows
         )
     );
-    args.write_json(&rows);
+    if let Some(path) = args.write_json(&rows, &obs) {
+        eprintln!("wrote {path}");
+    }
+    obs.emit(Event::RunEnd { name: "latency".into(), wall_ms: run_clock.elapsed_ms() });
+    obs.flush();
 }

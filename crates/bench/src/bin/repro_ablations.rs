@@ -19,10 +19,20 @@ use clfd_data::noise::NoiseModel;
 use clfd_eval::report::corrector_table;
 use clfd_eval::runner::{run_corrector_quality, ExperimentSpec};
 use clfd_eval::CorrectorResult;
+use clfd_obs::{Event, Stopwatch};
 
 fn main() {
-    let args = TableArgs::parse();
+    let args = TableArgs::try_parse(std::env::args().skip(1)).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}\nusage: {}", clfd_bench::USAGE);
+        std::process::exit(2);
+    });
     let base = args.config();
+    let obs = args.obs();
+    let run_clock = Stopwatch::start();
+    obs.emit(Event::RunStart {
+        name: "repro_ablations".into(),
+        detail: format!("preset={:?} runs={} seed={}", args.preset, args.runs, args.seed),
+    });
 
     let variants: Vec<(&str, ClfdConfig)> = vec![
         ("full reproduction", base),
@@ -47,7 +57,7 @@ fn main() {
                 runs: args.runs,
                 base_seed: args.seed,
             };
-            let mut row = run_corrector_quality(&spec, cfg);
+            let mut row = run_corrector_quality(&spec, cfg, &obs);
             row.noise = format!("eta=0.3, {name}");
             eprintln!(
                 "[repro] {} / {}: TPR {} TNR {}",
@@ -64,5 +74,9 @@ fn main() {
             &rows
         )
     );
-    args.write_json(&rows);
+    if let Some(path) = args.write_json(&rows, &obs) {
+        eprintln!("wrote {path}");
+    }
+    obs.emit(Event::RunEnd { name: "repro_ablations".into(), wall_ms: run_clock.elapsed_ms() });
+    obs.flush();
 }

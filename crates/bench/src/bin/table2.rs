@@ -11,10 +11,20 @@ use clfd_data::noise::NoiseModel;
 use clfd_eval::report::comparison_table;
 use clfd_eval::runner::{run_cell, ExperimentSpec};
 use clfd_eval::CellResult;
+use clfd_obs::{Event, Stopwatch};
 
 fn main() {
-    let args = TableArgs::parse();
+    let args = TableArgs::try_parse(std::env::args().skip(1)).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}\nusage: {}", clfd_bench::USAGE);
+        std::process::exit(2);
+    });
     let cfg = args.config();
+    let obs = args.obs();
+    let run_clock = Stopwatch::start();
+    obs.emit(Event::RunStart {
+        name: "table2".into(),
+        detail: format!("preset={:?} runs={} seed={}", args.preset, args.runs, args.seed),
+    });
 
     let mut models: Vec<Box<dyn SessionClassifier>> = all_baselines();
     models.push(Box::new(ClfdModel::default()));
@@ -32,7 +42,7 @@ fn main() {
                 runs: args.runs,
                 base_seed: args.seed,
             };
-            let cell = run_cell(model.as_ref(), &spec, &cfg);
+            let cell = run_cell(model.as_ref(), &spec, &cfg, &obs);
             eprintln!(
                 "[table2] {} / {}: F1 {} FPR {} AUC {} ({:.1}s/run)",
                 cell.model, cell.dataset, cell.f1, cell.fpr, cell.auc_roc,
@@ -49,5 +59,9 @@ fn main() {
             &cells
         )
     );
-    args.write_json(&cells);
+    if let Some(path) = args.write_json(&cells, &obs) {
+        eprintln!("wrote {path}");
+    }
+    obs.emit(Event::RunEnd { name: "table2".into(), wall_ms: run_clock.elapsed_ms() });
+    obs.flush();
 }

@@ -10,10 +10,20 @@ use clfd_data::noise::NoiseModel;
 use clfd_eval::report::corrector_table;
 use clfd_eval::runner::{run_corrector_quality, ExperimentSpec};
 use clfd_eval::CorrectorResult;
+use clfd_obs::{Event, Stopwatch};
 
 fn main() {
-    let args = TableArgs::parse();
+    let args = TableArgs::try_parse(std::env::args().skip(1)).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}\nusage: {}", clfd_bench::USAGE);
+        std::process::exit(2);
+    });
     let cfg = args.config();
+    let obs = args.obs();
+    let run_clock = Stopwatch::start();
+    obs.emit(Event::RunStart {
+        name: "table3".into(),
+        detail: format!("preset={:?} runs={} seed={}", args.preset, args.runs, args.seed),
+    });
 
     let noises = [
         NoiseModel::Uniform { eta: 0.45 },
@@ -30,7 +40,7 @@ fn main() {
                 runs: args.runs,
                 base_seed: args.seed,
             };
-            let row = run_corrector_quality(&spec, &cfg);
+            let row = run_corrector_quality(&spec, &cfg, &obs);
             eprintln!(
                 "[table3] {} / {}: TPR {} TNR {}",
                 row.dataset, row.noise, row.tpr, row.tnr
@@ -43,5 +53,9 @@ fn main() {
         "{}",
         corrector_table("Table III — label corrector TPR/TNR on the noisy training set", &rows)
     );
-    args.write_json(&rows);
+    if let Some(path) = args.write_json(&rows, &obs) {
+        eprintln!("wrote {path}");
+    }
+    obs.emit(Event::RunEnd { name: "table3".into(), wall_ms: run_clock.elapsed_ms() });
+    obs.flush();
 }

@@ -11,10 +11,20 @@ use clfd_data::noise::NoiseModel;
 use clfd_eval::report::comparison_table;
 use clfd_eval::runner::{ablation_rows, run_cell, ExperimentSpec};
 use clfd_eval::CellResult;
+use clfd_obs::{Event, Stopwatch};
 
 fn main() {
-    let args = TableArgs::parse();
+    let args = TableArgs::try_parse(std::env::args().skip(1)).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}\nusage: {}", clfd_bench::USAGE);
+        std::process::exit(2);
+    });
     let cfg = args.config();
+    let obs = args.obs();
+    let run_clock = Stopwatch::start();
+    obs.emit(Event::RunStart {
+        name: "table5".into(),
+        detail: format!("preset={:?} runs={} seed={}", args.preset, args.runs, args.seed),
+    });
 
     let mut cells: Vec<CellResult> = Vec::new();
     for (name, ablation) in ablation_rows() {
@@ -30,7 +40,7 @@ fn main() {
                 runs: args.runs,
                 base_seed: args.seed,
             };
-            let mut cell = run_cell(&model, &spec, &cfg);
+            let mut cell = run_cell(&model, &spec, &cfg, &obs);
             cell.model = name.to_string();
             eprintln!(
                 "[table5] {} / {}: F1 {} FPR {} AUC {}",
@@ -47,5 +57,9 @@ fn main() {
             &cells
         )
     );
-    args.write_json(&cells);
+    if let Some(path) = args.write_json(&cells, &obs) {
+        eprintln!("wrote {path}");
+    }
+    obs.emit(Event::RunEnd { name: "table5".into(), wall_ms: run_clock.elapsed_ms() });
+    obs.flush();
 }

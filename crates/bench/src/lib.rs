@@ -9,11 +9,26 @@
 //! --models a,b,c                 subset of model names   (default: all)
 //! --datasets cert,umd,openstack  subset of datasets      (default: all)
 //! --out PATH                     also write JSON results (default: none)
+//! --log PATH                     JSONL run telemetry     (default: RUN_<stem>.jsonl
+//!                                next to --out; none without --out)
 //! ```
+//!
+//! This is a *library* crate: it never prints. Usage errors surface as
+//! `Err(String)` from [`TableArgs::try_parse`] and artifact paths come back
+//! from [`TableArgs::write_json`]; the binaries under `src/bin/` own all
+//! human-facing output, while structured progress flows through the
+//! [`clfd_obs`] recorder from [`TableArgs::obs`].
 
 use clfd::ClfdConfig;
 use clfd_data::session::{DatasetKind, Preset};
+use clfd_obs::{Event, Obs};
 use std::io::Write as _;
+use std::path::Path;
+
+/// One-line usage summary of the shared flags, for the binaries' error
+/// messages.
+pub const USAGE: &str = "--preset smoke|default|paper --runs N --seed N \
+     --models a,b,c --datasets cert,umd,openstack --out PATH --log PATH";
 
 /// Parsed command-line options shared by the table binaries.
 #[derive(Debug, Clone)]
@@ -30,6 +45,9 @@ pub struct TableArgs {
     pub datasets: Vec<DatasetKind>,
     /// Optional JSON output path.
     pub out: Option<String>,
+    /// Optional JSONL telemetry path; overrides the `RUN_<stem>.jsonl`
+    /// default derived from [`Self::out`].
+    pub log: Option<String>,
 }
 
 impl Default for TableArgs {
@@ -41,27 +59,14 @@ impl Default for TableArgs {
             models: Vec::new(),
             datasets: DatasetKind::ALL.to_vec(),
             out: None,
+            log: None,
         }
     }
 }
 
 impl TableArgs {
-    /// Parses `std::env::args()`, exiting with a usage message on error.
-    pub fn parse() -> Self {
-        match Self::try_parse(std::env::args().skip(1)) {
-            Ok(args) => args,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                eprintln!(
-                    "usage: --preset smoke|default|paper --runs N --seed N \
-                     --models a,b,c --datasets cert,umd,openstack --out PATH"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
-
-    /// Parses an iterator of arguments (testable core of [`Self::parse`]).
+    /// Parses an iterator of arguments. The binaries report the `Err`
+    /// message together with [`USAGE`] and exit.
     pub fn try_parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut out = Self::default();
         while let Some(flag) = args.next() {
@@ -109,6 +114,7 @@ impl TableArgs {
                         .collect::<Result<_, _>>()?;
                 }
                 "--out" => out.out = Some(value()?),
+                "--log" => out.log = Some(value()?),
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -125,17 +131,44 @@ impl TableArgs {
         self.models.is_empty() || self.models.iter().any(|m| m == &name.to_lowercase())
     }
 
-    /// Writes serialized results to `--out` if given.
-    pub fn write_json<T: serde::Serialize>(&self, results: &T) {
-        if let Some(path) = &self.out {
-            let json = serde_json::to_string_pretty(results)
-                .expect("results serialize cleanly");
-            let mut f = std::fs::File::create(path)
-                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
-            f.write_all(json.as_bytes())
-                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-            eprintln!("wrote {path}");
+    /// Where run telemetry goes: `--log` if given, else `RUN_<stem>.jsonl`
+    /// next to `--out`, else nowhere.
+    pub fn log_path(&self) -> Option<String> {
+        if let Some(path) = &self.log {
+            return Some(path.clone());
         }
+        let out = self.out.as_ref()?;
+        let out = Path::new(out);
+        let stem = out.file_stem().and_then(|s| s.to_str()).unwrap_or("run");
+        Some(
+            out.with_file_name(format!("RUN_{stem}.jsonl"))
+                .to_string_lossy()
+                .into_owned(),
+        )
+    }
+
+    /// The telemetry handle for this invocation: a JSONL sink at
+    /// [`Self::log_path`], or disabled when no path is configured.
+    pub fn obs(&self) -> Obs {
+        match self.log_path() {
+            Some(path) => Obs::jsonl(&path)
+                .unwrap_or_else(|e| panic!("cannot create log {path}: {e}")),
+            None => Obs::null(),
+        }
+    }
+
+    /// Writes serialized results to `--out` if given, recording the
+    /// artifact on `obs` and returning the path for the caller to report.
+    pub fn write_json<T: serde::Serialize>(&self, results: &T, obs: &Obs) -> Option<String> {
+        let path = self.out.as_ref()?;
+        let json = serde_json::to_string_pretty(results)
+            .expect("results serialize cleanly");
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        f.write_all(json.as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        obs.emit(Event::ArtifactWritten { path: path.clone() });
+        Some(path.clone())
     }
 }
 
@@ -170,6 +203,19 @@ mod tests {
         assert!(!a.wants_model("ULC"));
         assert_eq!(a.datasets, vec![DatasetKind::Cert, DatasetKind::UmdWikipedia]);
         assert_eq!(a.out.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn log_path_defaults_next_to_out() {
+        let a = parse(&["--out", "/tmp/reports/table1.json"]).unwrap();
+        assert_eq!(a.log_path().as_deref(), Some("/tmp/reports/RUN_table1.jsonl"));
+        // An explicit --log wins over the derived default.
+        let b = parse(&["--out", "x.json", "--log", "/tmp/custom.jsonl"]).unwrap();
+        assert_eq!(b.log_path().as_deref(), Some("/tmp/custom.jsonl"));
+        // No --out and no --log: telemetry stays off.
+        let c = parse(&[]).unwrap();
+        assert!(c.log_path().is_none());
+        assert!(!c.obs().enabled());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use clfd::{Ablation, ClfdConfig, ClfdSnapshot, TrainOptions, TrainedClfd};
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Preset};
 use clfd_nn::{FaultKind, FaultPlan};
+use clfd_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,15 +27,29 @@ fn main() {
 
     // 1. Transient faults: NaN/Inf gradients injected into both contrastive
     //    pre-training stages; the guard rolls back and training completes.
+    //    The whole faulted run streams to a JSONL log, so every injected
+    //    fault and guard intervention is on the record.
+    let log = "RUN_fault_tolerance.jsonl";
     let opts = TrainOptions {
         corrector_encoder_faults: Some(
             FaultPlan::new().at(2, FaultKind::NanGrad).at(5, FaultKind::InfGrad),
         ),
         detector_encoder_faults: Some(FaultPlan::new().at(3, FaultKind::NanGrad)),
+        obs: Obs::jsonl(log).expect("create run log"),
         ..TrainOptions::conservative()
     };
-    let mut model = TrainedClfd::try_fit(&split, &noisy, &cfg, &ablation, 5, &opts)
+    let model = TrainedClfd::try_fit(&split, &noisy, &cfg, &ablation, 5, &opts)
         .expect("transient faults are recovered");
+    opts.obs.flush();
+    let trace = std::fs::read_to_string(log).expect("read back run log");
+    let count = |needle: &str| trace.lines().filter(|l| l.contains(needle)).count();
+    println!(
+        "0. {log}: {} events ({} faults injected, {} guard interventions, {} epochs)",
+        trace.lines().count(),
+        count("\"type\":\"fault_injected\""),
+        count("\"type\":\"guard\""),
+        count("\"type\":\"epoch_end\""),
+    );
     let preds = model.predict_test(&split);
     let acc = preds
         .iter()

@@ -20,7 +20,8 @@ use clfd_data::batch::{batch_indices, SessionBatch};
 use clfd_data::session::{Label, Session};
 use clfd_data::word2vec::ActivityEmbeddings;
 use clfd_losses::try_nt_xent;
-use clfd_nn::{FaultInjector, GuardConfig, TrainGuard};
+use clfd_nn::{FaultInjector, GuardConfig, Optimizer, TrainGuard};
+use clfd_obs::{Event, Obs, Stopwatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -54,6 +55,7 @@ impl LabelCorrector {
             ablation,
             &GuardConfig::conservative(),
             None,
+            &Obs::null(),
             rng,
         )
         .unwrap_or_else(|e| panic!("{e}"))
@@ -65,6 +67,8 @@ impl LabelCorrector {
     /// `sessions[i]` carries the noisy label `noisy_labels[i]`.
     /// `encoder_faults` (used by the fault-injection tests) corrupts
     /// chosen SimCLR pre-training steps to exercise the recovery path.
+    /// `obs` receives stage spans, per-epoch losses, and every guard
+    /// intervention (stages `corrector/simclr` and `corrector/head`).
     ///
     /// # Errors
     /// Returns [`ClfdError::InvalidInput`] for structurally unusable
@@ -79,6 +83,7 @@ impl LabelCorrector {
         ablation: &Ablation,
         guard_cfg: &GuardConfig,
         encoder_faults: Option<FaultInjector>,
+        obs: &Obs,
         rng: &mut StdRng,
     ) -> Result<Self, ClfdError> {
         if sessions.len() != noisy_labels.len() {
@@ -92,15 +97,20 @@ impl LabelCorrector {
             return Err(ClfdError::InvalidInput("empty training set".into()));
         }
         let mut encoder = EncoderModel::new(cfg, rng);
-        let mut guard = TrainGuard::new(*guard_cfg);
+        let mut guard =
+            TrainGuard::new(*guard_cfg).with_obs(obs.clone(), "corrector/simclr");
         if let Some(injector) = encoder_faults {
             guard = guard.with_injector(injector);
         }
 
         // Stage 1: self-supervised SimCLR pre-training on reordering views.
         // NT-Xent needs at least two sessions per batch to have negatives.
+        let span = obs.stage("corrector/simclr");
         let mut order: Vec<usize> = (0..sessions.len()).collect();
-        for _ in 0..cfg.pretrain_epochs {
+        for epoch in 0..cfg.pretrain_epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             order.shuffle(rng);
             for chunk in batch_indices(&order, cfg.batch_size) {
                 if chunk.len() < 2 {
@@ -132,6 +142,9 @@ impl LabelCorrector {
                         stage: TrainStage::CorrectorEncoder,
                         source,
                     })?;
+                // Pure read of the recorded loss scalar — telemetry only.
+                loss_sum += f64::from(encoder.tape.scalar(loss));
+                batches += 1;
                 encoder.guarded_step(&mut guard, loss).map_err(|source| {
                     ClfdError::Diverged {
                         stage: TrainStage::CorrectorEncoder,
@@ -139,7 +152,18 @@ impl LabelCorrector {
                     }
                 })?;
             }
+            obs.emit(Event::EpochEnd {
+                stage: "corrector/simclr".to_string(),
+                epoch,
+                epochs: cfg.pretrain_epochs,
+                batches,
+                loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
+                grad_norm: guard.last_grad_norm(),
+                lr: encoder.opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
         }
+        span.finish();
 
         // Stage 2: mixup-GCE classifier over the frozen representations.
         // Representations are L2-normalized before the head — the encoder
@@ -150,8 +174,18 @@ impl LabelCorrector {
             .l2_normalize_rows(1e-9);
         let (mut head, mut opt) = ClassifierHead::new(cfg.hidden, cfg.lr, cfg.head_weight_decay, rng);
         let loss_kind = LossKind::from_ablation(ablation.use_mixup, ablation.use_gce);
-        head.try_train(&mut opt, &features, noisy_labels, cfg, loss_kind, guard_cfg, rng)
-            .map_err(|fault| fault.into_clfd(TrainStage::CorrectorHead))?;
+        head.try_train(
+            &mut opt,
+            &features,
+            noisy_labels,
+            cfg,
+            loss_kind,
+            guard_cfg,
+            "corrector/head",
+            obs,
+            rng,
+        )
+        .map_err(|fault| fault.into_clfd(TrainStage::CorrectorHead))?;
 
         Ok(Self { encoder, head })
     }
@@ -176,8 +210,11 @@ impl LabelCorrector {
     /// Applied to the training set this yields the corrected labels `ŷ_i`
     /// and confidences `c_i`; applied to the test set it is the `w/o FD`
     /// ablation's inference path.
+    ///
+    /// Takes `&self`: inference is value-only (no tape recording), so one
+    /// trained corrector can serve predictions from multiple threads.
     pub fn predict(
-        &mut self,
+        &self,
         sessions: &[&Session],
         embeddings: &ActivityEmbeddings,
         cfg: &ClfdConfig,
@@ -222,7 +259,7 @@ mod tests {
             &cfg.w2v_config(),
             &mut rng,
         );
-        let mut corrector = LabelCorrector::train(
+        let corrector = LabelCorrector::train(
             &train_sessions,
             &noisy,
             &embeddings,

@@ -22,7 +22,8 @@ use clfd_data::word2vec::ActivityEmbeddings;
 use crate::snapshot::DetectorSnapshot;
 use clfd_losses::contrastive::try_sup_con_batch;
 use clfd_nn::snapshot::Snapshot;
-use clfd_nn::{FaultInjector, GuardConfig, TrainGuard};
+use clfd_nn::{FaultInjector, GuardConfig, Optimizer, TrainGuard};
+use clfd_obs::{Event, Obs, Stopwatch};
 use clfd_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -71,6 +72,7 @@ impl FraudDetector {
             ablation,
             &GuardConfig::conservative(),
             None,
+            &Obs::null(),
             rng,
         )
         .unwrap_or_else(|e| panic!("{e}"))
@@ -83,6 +85,8 @@ impl FraudDetector {
     /// (or are the noisy labels with confidence 1 in the `w/o LC` ablation).
     /// `encoder_faults` (used by the fault-injection tests) corrupts chosen
     /// supervised-contrastive pre-training steps to exercise recovery.
+    /// `obs` receives stage spans, per-epoch losses, and every guard
+    /// intervention (stages `detector/supcon` and `detector/head`).
     ///
     /// # Errors
     /// Returns [`ClfdError::InvalidInput`] for structurally unusable
@@ -98,6 +102,7 @@ impl FraudDetector {
         ablation: &Ablation,
         guard_cfg: &GuardConfig,
         encoder_faults: Option<FaultInjector>,
+        obs: &Obs,
         rng: &mut StdRng,
     ) -> Result<Self, ClfdError> {
         if sessions.len() != corrected.len() || sessions.len() != confidences.len() {
@@ -112,7 +117,8 @@ impl FraudDetector {
             return Err(ClfdError::InvalidInput("empty training set".into()));
         }
         let mut encoder = EncoderModel::new(cfg, rng);
-        let mut guard = TrainGuard::new(*guard_cfg);
+        let mut guard =
+            TrainGuard::new(*guard_cfg).with_obs(obs.clone(), "detector/supcon");
         if let Some(injector) = encoder_faults {
             guard = guard.with_injector(injector);
         }
@@ -126,8 +132,12 @@ impl FraudDetector {
             .collect();
 
         // Stage 1: supervised contrastive pre-training (lines 3–12).
+        let span = obs.stage("detector/supcon");
         let mut order: Vec<usize> = (0..sessions.len()).collect();
-        for _ in 0..cfg.pretrain_epochs {
+        for epoch in 0..cfg.pretrain_epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             order.shuffle(rng);
             for chunk in batch_indices(&order, cfg.batch_size) {
                 // Auxiliary malicious batch S¹ (line 5); skipped when the
@@ -159,6 +169,9 @@ impl FraudDetector {
                     stage: TrainStage::DetectorEncoder,
                     source,
                 })?;
+                // Pure read of the recorded loss scalar — telemetry only.
+                loss_sum += f64::from(encoder.tape.scalar(loss));
+                batches += 1;
                 encoder.guarded_step(&mut guard, loss).map_err(|source| {
                     ClfdError::Diverged {
                         stage: TrainStage::DetectorEncoder,
@@ -166,7 +179,18 @@ impl FraudDetector {
                     }
                 })?;
             }
+            obs.emit(Event::EpochEnd {
+                stage: "detector/supcon".to_string(),
+                epoch,
+                epochs: cfg.pretrain_epochs,
+                batches,
+                loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
+                grad_norm: guard.last_grad_norm(),
+                lr: encoder.opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
         }
+        span.finish();
 
         // Stage 2: classifier (or centroid) construction over frozen
         // representations (lines 13–19). As in the corrector, cosine-trained
@@ -177,8 +201,18 @@ impl FraudDetector {
         let inference = if ablation.use_classifier {
             let (mut head, mut opt) = ClassifierHead::new(cfg.hidden, cfg.lr, cfg.head_weight_decay, rng);
             let loss_kind = LossKind::from_ablation(ablation.use_mixup, ablation.use_gce);
-            head.try_train(&mut opt, &features, corrected, cfg, loss_kind, guard_cfg, rng)
-                .map_err(|fault| fault.into_clfd(TrainStage::DetectorHead))?;
+            head.try_train(
+                &mut opt,
+                &features,
+                corrected,
+                cfg,
+                loss_kind,
+                guard_cfg,
+                "detector/head",
+                obs,
+                rng,
+            )
+            .map_err(|fault| fault.into_clfd(TrainStage::DetectorHead))?;
             Inference::Classifier(head)
         } else {
             Inference::Centroids {
@@ -234,8 +268,11 @@ impl FraudDetector {
     }
 
     /// Classifies sessions, returning label / malicious-score / confidence.
+    ///
+    /// Takes `&self`: inference is value-only (no tape recording), so one
+    /// trained detector can serve predictions from multiple threads.
     pub fn predict(
-        &mut self,
+        &self,
         sessions: &[&Session],
         embeddings: &ActivityEmbeddings,
         cfg: &ClfdConfig,
@@ -244,7 +281,7 @@ impl FraudDetector {
             .encoder
             .encode_frozen(sessions, embeddings, cfg)
             .l2_normalize_rows(1e-9);
-        let probs = match &mut self.inference {
+        let probs = match &self.inference {
             Inference::Classifier(head) => head.predict_proba(&features),
             Inference::Centroids { normal, malicious } => {
                 centroid_proba(&features, normal, malicious)

@@ -60,7 +60,7 @@ impl CoTeachingCorrector {
     /// Produces the agreement-gated corrections for `sessions` given their
     /// original noisy labels.
     pub fn correct(
-        &mut self,
+        &self,
         sessions: &[&Session],
         noisy_labels: &[Label],
         embeddings: &ActivityEmbeddings,
@@ -111,7 +111,7 @@ mod tests {
             &cfg.w2v_config(),
             &mut rng,
         );
-        let mut co = CoTeachingCorrector::train(
+        let co = CoTeachingCorrector::train(
             &train,
             &noisy,
             &embeddings,

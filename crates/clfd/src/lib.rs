@@ -36,7 +36,7 @@
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let noisy = NoiseModel::Uniform { eta: 0.3 }.apply(&split.train_labels(), &mut rng);
 //!
-//! let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 0);
+//! let model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 0);
 //! let predictions = model.predict_test(&split);
 //! assert_eq!(predictions.len(), split.test.len());
 //! ```
@@ -51,6 +51,15 @@
 //! backs off the learning rate on NaN/Inf losses, gradient corruption, or
 //! loss spikes. [`TrainOptions`] tunes the guard and can inject
 //! deterministic faults ([`clfd_nn::FaultPlan`]) for robustness testing.
+//!
+//! # Observability
+//!
+//! [`TrainOptions::obs`] attaches a [`clfd_obs::Recorder`] (e.g. a JSONL
+//! sink) to every training stage: stage spans, per-epoch mean losses,
+//! gradient norms, learning rates, and every guard intervention stream out
+//! as structured events. Recording is observation-only — the golden
+//! determinism test proves predictions are bit-identical with and without
+//! a sink attached.
 
 pub mod config;
 pub mod corrector;

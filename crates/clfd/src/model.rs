@@ -10,8 +10,11 @@ use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
 use clfd_data::session::{Label, Session};
 use clfd_data::word2vec::ActivityEmbeddings;
 use clfd_losses::{try_cce_loss, try_gce_loss, LossError, MixupPlan};
-use clfd_nn::{Adam, GuardConfig, GuardError, Layer, Linear, Lstm, StepOutcome, TrainGuard};
+use clfd_nn::{
+    Adam, GuardConfig, GuardError, Layer, Linear, Lstm, Optimizer, StepOutcome, TrainGuard,
+};
 use clfd_nn::linear::LinearInit;
+use clfd_obs::{Event, Obs, Stopwatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -110,9 +113,15 @@ impl EncoderModel {
     }
 
     /// Encodes every session with the (frozen) encoder, returning an
-    /// `n x hidden` feature matrix. The tape is reset between batches.
+    /// `n x hidden` feature matrix.
+    ///
+    /// This is the shared inference path: it reads parameter values through
+    /// [`Lstm::infer`] without recording on the tape, so it takes `&self`
+    /// and may run from multiple threads concurrently. The value-only
+    /// forward pass performs the same `Matrix` operations as the recorded
+    /// one, keeping it bit-identical to training-time encoding.
     pub fn encode_frozen(
-        &mut self,
+        &self,
         sessions: &[&Session],
         embeddings: &ActivityEmbeddings,
         cfg: &ClfdConfig,
@@ -122,12 +131,10 @@ impl EncoderModel {
         for chunk in batch_indices(&all, cfg.batch_size) {
             let refs: Vec<&Session> = chunk.iter().map(|&i| sessions[i]).collect();
             let batch = SessionBatch::build(&refs, embeddings, cfg.max_seq_len);
-            let z = self.encode(&batch);
-            let values = self.tape.value(z).clone();
+            let values = self.lstm.infer(&self.tape, &batch.steps, &batch.lengths);
             for (row, &i) in chunk.iter().enumerate() {
                 features.row_mut(i).copy_from_slice(values.row(row));
             }
-            self.tape.reset();
         }
         features
     }
@@ -201,12 +208,18 @@ impl ClassifierHead {
         cfg: &ClfdConfig,
         loss_kind: LossKind,
         guard_cfg: &GuardConfig,
+        stage: &str,
+        obs: &Obs,
         rng: &mut StdRng,
     ) -> Result<(), TrainFault> {
         assert_eq!(features.rows(), labels.len(), "one label per feature row");
-        let mut guard = TrainGuard::new(*guard_cfg);
+        let span = obs.stage(stage);
+        let mut guard = TrainGuard::new(*guard_cfg).with_obs(obs.clone(), stage);
         let mut order: Vec<usize> = (0..labels.len()).collect();
-        for _ in 0..cfg.classifier_epochs {
+        for epoch in 0..cfg.classifier_epochs {
+            let epoch_clock = Stopwatch::start();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
             order.shuffle(rng);
             for chunk in batch_indices(&order, cfg.batch_size) {
                 let feats = features.select_rows(&chunk);
@@ -230,9 +243,23 @@ impl ClassifierHead {
                         try_cce_loss(&mut self.tape, logits, &targets)?
                     }
                 };
+                // Pure read of an already-computed scalar — telemetry only.
+                loss_sum += f64::from(self.tape.scalar(loss));
+                batches += 1;
                 guard.step(&mut self.tape, opt, &self.params, loss)?;
             }
+            obs.emit(Event::EpochEnd {
+                stage: stage.to_string(),
+                epoch,
+                epochs: cfg.classifier_epochs,
+                batches,
+                loss: if batches > 0 { (loss_sum / batches as f64) as f32 } else { 0.0 },
+                grad_norm: guard.last_grad_norm(),
+                lr: opt.lr(),
+                wall_ms: epoch_clock.elapsed_ms(),
+            });
         }
+        span.finish();
         Ok(())
     }
 
@@ -249,12 +276,13 @@ impl ClassifierHead {
     }
 
     /// Softmax class probabilities for cached features (`n x 2`).
-    pub fn predict_proba(&mut self, features: &Matrix) -> Matrix {
-        let x = self.tape.constant(features.clone());
-        let logits = self.logits(x);
-        let probs = self.tape.value(logits).softmax_rows();
-        self.tape.reset();
-        probs
+    ///
+    /// Shared inference path: value-only forward through [`Linear::infer`],
+    /// bit-identical to the tape-recorded logits and safe to call from
+    /// multiple threads on one model.
+    pub fn predict_proba(&self, features: &Matrix) -> Matrix {
+        let h = self.l1.infer(&self.tape, features).leaky_relu(LEAKY_SLOPE);
+        self.l2.infer(&self.tape, &h).softmax_rows()
     }
 }
 
@@ -329,6 +357,8 @@ mod tests {
             &cfg,
             LossKind::MixupGce,
             &GuardConfig::conservative(),
+            "test/head",
+            &Obs::null(),
             &mut rng,
         )
         .expect("separable features train cleanly");

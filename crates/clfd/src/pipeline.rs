@@ -10,14 +10,17 @@ use clfd_data::session::{Label, Session, SplitCorpus};
 use clfd_data::word2vec::ActivityEmbeddings;
 use clfd_nn::snapshot::Snapshot;
 use clfd_nn::{FaultPlan, GuardConfig};
+use clfd_obs::{Event, Obs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Fault-tolerance knobs for [`TrainedClfd::try_fit`].
+/// Fault-tolerance and telemetry knobs for [`TrainedClfd::try_fit`].
 ///
 /// The default guards every optimizer step with a conservative divergence
-/// guard and injects no faults; fault plans exist for the fault-injection
-/// tests and for chaos-style robustness experiments.
+/// guard, injects no faults, and records no telemetry; fault plans exist
+/// for the fault-injection tests and for chaos-style robustness
+/// experiments, and `obs` attaches a [`clfd_obs::Recorder`] to every
+/// training stage.
 #[derive(Debug, Clone, Default)]
 pub struct TrainOptions {
     /// Divergence-guard tuning shared by all four training stages.
@@ -27,6 +30,10 @@ pub struct TrainOptions {
     /// Faults injected into the fraud detector's supervised-contrastive
     /// pre-training.
     pub detector_encoder_faults: Option<FaultPlan>,
+    /// Telemetry sink for stage spans, per-epoch losses, and guard events.
+    /// Recording is observation-only: attaching a sink never changes the
+    /// trained parameters or predictions (see the golden determinism test).
+    pub obs: Obs,
 }
 
 impl TrainOptions {
@@ -103,17 +110,20 @@ impl TrainedClfd {
             split.train.iter().map(|&i| &split.corpus.sessions[i]).collect();
 
         // Activity embeddings are trained on the raw (label-free) corpus.
+        let obs = &opts.obs;
+        let w2v_span = obs.stage("embeddings");
         let embeddings = ActivityEmbeddings::train(
             &train_sessions,
             split.corpus.vocab.len(),
             &cfg.w2v_config(),
             &mut rng,
         );
+        w2v_span.finish();
 
         // Stage 1: label correction (skipped in the `w/o LC` ablation, where
         // the noisy labels pass through with full confidence).
         let (corrector, corrected, confidences) = if ablation.use_label_corrector {
-            let mut corrector = LabelCorrector::try_train(
+            let corrector = LabelCorrector::try_train(
                 &train_sessions,
                 noisy_labels,
                 &embeddings,
@@ -121,6 +131,7 @@ impl TrainedClfd {
                 ablation,
                 &opts.guard,
                 opts.corrector_encoder_faults.clone().map(Into::into),
+                obs,
                 &mut rng,
             )?;
             let preds = corrector.predict(&train_sessions, &embeddings, cfg);
@@ -143,11 +154,18 @@ impl TrainedClfd {
                 ablation,
                 &opts.guard,
                 opts.detector_encoder_faults.clone().map(Into::into),
+                obs,
                 &mut rng,
             )?)
         } else {
             None
         };
+        obs.emit(Event::Message {
+            text: format!(
+                "fit complete: {} training sessions, ablation {ablation:?}",
+                train_sessions.len()
+            ),
+        });
 
         Ok(Self {
             cfg: *cfg,
@@ -217,19 +235,24 @@ impl TrainedClfd {
     }
 
     /// Classifies arbitrary sessions.
-    pub fn predict_sessions(&mut self, sessions: &[&Session]) -> Vec<Prediction> {
-        if let Some(detector) = &mut self.detector {
+    ///
+    /// Takes `&self`: inference is value-only (no tape recording), so one
+    /// trained model can serve predictions from multiple threads at once.
+    pub fn predict_sessions(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        if let Some(detector) = &self.detector {
             detector.predict(sessions, &self.embeddings, &self.cfg)
         } else {
             self.corrector
-                .as_mut()
+                .as_ref()
                 .expect("fit() guarantees at least one model")
                 .predict(sessions, &self.embeddings, &self.cfg)
         }
     }
 
     /// Classifies the test split of `split`.
-    pub fn predict_test(&mut self, split: &SplitCorpus) -> Vec<Prediction> {
+    ///
+    /// Takes `&self`; see [`TrainedClfd::predict_sessions`].
+    pub fn predict_test(&self, split: &SplitCorpus) -> Vec<Prediction> {
         let test: Vec<&Session> =
             split.test.iter().map(|&i| &split.corpus.sessions[i]).collect();
         self.predict_sessions(&test)
@@ -260,7 +283,7 @@ mod tests {
         let truth = split.train_labels();
         let mut rng = StdRng::seed_from_u64(1);
         let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
-        let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &ablation, 5);
+        let model = TrainedClfd::fit(&split, &noisy, &cfg, &ablation, 5);
         let preds = model.predict_test(&split);
         let test_truth = split.test_labels();
         let correct = preds

@@ -12,7 +12,7 @@ fn assert_no_panic(split: &SplitCorpus, noisy: &[Label], ablation: &Ablation) {
         TrainedClfd::try_fit(split, noisy, &cfg, ablation, 5, &TrainOptions::conservative());
     // Either outcome is acceptable; reaching this line means no panic.
     match result {
-        Ok(mut model) => {
+        Ok(model) => {
             let preds = model.predict_test(split);
             assert_eq!(preds.len(), split.test.len());
             assert!(preds.iter().all(|p| p.malicious_score.is_finite()));

@@ -11,8 +11,10 @@ use clfd::{Ablation, ClfdConfig, ClfdError, TrainOptions, TrainStage, TrainedClf
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Label, Preset, SplitCorpus};
 use clfd_nn::{FaultKind, FaultPlan};
+use clfd_obs::{Event, GuardAction, MemorySink, Obs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn smoke_setup() -> (SplitCorpus, ClfdConfig, Vec<Label>) {
     let split = DatasetKind::Cert.generate(Preset::Smoke, 7);
@@ -24,7 +26,7 @@ fn smoke_setup() -> (SplitCorpus, ClfdConfig, Vec<Label>) {
 }
 
 /// Test-set F1 of the malicious class plus plain accuracy.
-fn test_quality(model: &mut TrainedClfd, split: &SplitCorpus) -> (f32, f32) {
+fn test_quality(model: &TrainedClfd, split: &SplitCorpus) -> (f32, f32) {
     let preds = model.predict_test(split);
     let truth = split.test_labels();
     let (mut tp, mut fp, mut fne, mut correct) = (0_f32, 0_f32, 0_f32, 0_usize);
@@ -51,10 +53,10 @@ fn transient_faults_recover_to_clean_quality() {
     let (split, cfg, noisy) = smoke_setup();
     let ablation = Ablation::full();
 
-    let mut clean =
+    let clean =
         TrainedClfd::try_fit(&split, &noisy, &cfg, &ablation, 5, &TrainOptions::conservative())
             .expect("clean training succeeds");
-    let (clean_f1, clean_acc) = test_quality(&mut clean, &split);
+    let (clean_f1, clean_acc) = test_quality(&clean, &split);
 
     let faulted_opts = TrainOptions {
         corrector_encoder_faults: Some(
@@ -63,10 +65,10 @@ fn transient_faults_recover_to_clean_quality() {
         detector_encoder_faults: Some(FaultPlan::new().at(3, FaultKind::NanGrad)),
         ..TrainOptions::conservative()
     };
-    let mut faulted =
+    let faulted =
         TrainedClfd::try_fit(&split, &noisy, &cfg, &ablation, 5, &faulted_opts)
             .expect("transient faults must be recovered, not fatal");
-    let (faulted_f1, faulted_acc) = test_quality(&mut faulted, &split);
+    let (faulted_f1, faulted_acc) = test_quality(&faulted, &split);
 
     // One-sided bound: recovery must not *lose* quality. (At smoke scale a
     // single flipped prediction moves F1 by ~10 points in either direction,
@@ -103,5 +105,60 @@ fn persistent_faults_exhaust_the_retry_budget_with_a_typed_error() {
             assert_eq!(stage, TrainStage::CorrectorEncoder)
         }
         other => panic!("expected Diverged, got: {other}"),
+    }
+}
+
+/// Every guard intervention the pipeline performs silently must also be
+/// visible in the telemetry stream: injected faults surface as
+/// [`Event::FaultInjected`] in the stage that suffered them, each recovery
+/// as a [`GuardAction::Rollback`] guard event, and all four training stages
+/// report per-epoch progress around them.
+#[test]
+fn guard_interventions_are_recorded_as_events() {
+    let (split, cfg, noisy) = smoke_setup();
+    let sink = Arc::new(MemorySink::new());
+    let opts = TrainOptions {
+        corrector_encoder_faults: Some(FaultPlan::new().at(2, FaultKind::NanGrad)),
+        detector_encoder_faults: Some(FaultPlan::new().at(3, FaultKind::InfGrad)),
+        obs: Obs::from_arc(sink.clone()),
+        ..TrainOptions::conservative()
+    };
+    TrainedClfd::try_fit(&split, &noisy, &cfg, &Ablation::full(), 5, &opts)
+        .expect("transient faults must be recovered, not fatal");
+    let events = sink.take();
+
+    let fault_stages: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::FaultInjected { stage, .. } => Some(stage.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(fault_stages.contains(&"corrector/simclr"), "faults seen: {fault_stages:?}");
+    assert!(fault_stages.contains(&"detector/supcon"), "faults seen: {fault_stages:?}");
+
+    let rollback_stages: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Guard { action: GuardAction::Rollback, stage, .. } => Some(stage.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(rollback_stages.contains(&"corrector/simclr"), "rollbacks: {rollback_stages:?}");
+    assert!(rollback_stages.contains(&"detector/supcon"), "rollbacks: {rollback_stages:?}");
+
+    for stage in ["corrector/simclr", "corrector/head", "detector/supcon", "detector/head"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::EpochEnd { stage: s, .. } if s == stage)),
+            "no per-epoch telemetry for {stage}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::StageStart { stage: s } if s == stage)),
+            "no stage span for {stage}"
+        );
     }
 }

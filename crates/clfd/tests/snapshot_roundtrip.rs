@@ -22,7 +22,7 @@ fn json_round_trip_reproduces_predictions_bit_for_bit() {
     let (split, cfg, noisy) = smoke_setup();
     let ablation = Ablation::full();
 
-    let mut original = TrainedClfd::fit(&split, &noisy, &cfg, &ablation, 5);
+    let original = TrainedClfd::fit(&split, &noisy, &cfg, &ablation, 5);
     let json = original.snapshot().to_json();
     let parsed = ClfdSnapshot::from_json(&json).expect("snapshot JSON round-trips");
 

@@ -20,6 +20,7 @@
 use crate::runner::{run_cell, CellResult, ExperimentSpec};
 use clfd::ClfdConfig;
 use clfd_baselines::SessionClassifier;
+use clfd_obs::{Event, Obs, Stopwatch};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -40,7 +41,18 @@ pub struct SweepCell<'a> {
 ///
 /// `workers = 1` degenerates to a sequential loop (the single-core default;
 /// training a cell is already compute-bound, so use one worker per core).
-pub fn run_cells_parallel(cells: &[SweepCell<'_>], workers: usize) -> Vec<CellResult> {
+///
+/// Sweep progress flows to `obs`: one [`Event::SweepStart`]/[`Event::SweepEnd`]
+/// pair around the whole sweep, [`Event::CellStart`]/[`Event::CellEnd`] per
+/// cell (tagged with the worker that claimed it), and one
+/// [`Event::WorkerEnd`] per worker with its cell count and busy time —
+/// enough to audit worker utilization after the fact. The sink is shared
+/// across workers; [`clfd_obs::JsonlSink`] serializes concurrent emits.
+pub fn run_cells_parallel(
+    cells: &[SweepCell<'_>],
+    workers: usize,
+    obs: &Obs,
+) -> Vec<CellResult> {
     assert!(workers >= 1, "at least one worker");
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<CellResult>>> =
@@ -51,9 +63,15 @@ pub fn run_cells_parallel(cells: &[SweepCell<'_>], workers: usize) -> Vec<CellRe
     // threaded kernels makes the split invisible in the results).
     let intra_op = (clfd_tensor::threads::threads() / workers).max(1);
 
+    let sweep_clock = Stopwatch::start();
+    obs.emit(Event::SweepStart { cells: cells.len(), workers });
     crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
+        let next = &next;
+        let results = &results;
+        for w in 0..workers {
+            scope.spawn(move |_| {
+                let mut claimed = 0usize;
+                let mut busy_ms = 0u64;
                 clfd_tensor::with_threads(intra_op, || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= cells.len() {
@@ -61,13 +79,33 @@ pub fn run_cells_parallel(cells: &[SweepCell<'_>], workers: usize) -> Vec<CellRe
                     }
                     let cell = &cells[i];
                     let model = (cell.model)();
-                    let result = run_cell(model.as_ref(), &cell.spec, &cell.cfg);
+                    obs.emit(Event::CellStart {
+                        cell: i,
+                        worker: w,
+                        model: model.name().to_string(),
+                        dataset: cell.spec.dataset.name().to_string(),
+                        noise: cell.spec.noise.describe(),
+                    });
+                    let cell_clock = Stopwatch::start();
+                    let result = run_cell(model.as_ref(), &cell.spec, &cell.cfg, obs);
+                    let wall_ms = cell_clock.elapsed_ms();
+                    obs.emit(Event::CellEnd {
+                        cell: i,
+                        worker: w,
+                        model: result.model.clone(),
+                        wall_ms,
+                        failures: result.failures.len(),
+                    });
+                    claimed += 1;
+                    busy_ms += wall_ms;
                     *results[i].lock() = Some(result);
-                })
+                });
+                obs.emit(Event::WorkerEnd { worker: w, cells: claimed, busy_ms });
             });
         }
     })
     .expect("sweep worker panicked");
+    obs.emit(Event::SweepEnd { cells: cells.len(), wall_ms: sweep_clock.elapsed_ms() });
 
     results
         .into_iter()
@@ -99,8 +137,8 @@ mod tests {
         let cells: Vec<SweepCell> = (0..3)
             .map(|i| SweepCell { model: Box::new(make), spec: spec(100 + i), cfg })
             .collect();
-        let sequential = run_cells_parallel(&cells, 1);
-        let parallel = run_cells_parallel(&cells, 3);
+        let sequential = run_cells_parallel(&cells, 1, &Obs::null());
+        let parallel = run_cells_parallel(&cells, 3, &Obs::null());
         assert_eq!(sequential.len(), 3);
         for (a, b) in sequential.iter().zip(&parallel) {
             assert_eq!(a.model, b.model);
@@ -119,7 +157,7 @@ mod tests {
         let cfg = ClfdConfig::for_preset(Preset::Smoke);
         let make = || -> Box<dyn SessionClassifier> { Box::new(DeepLog::default()) };
         let cells = vec![SweepCell { model: Box::new(make), spec: spec(42), cfg }];
-        run_cells_parallel(&cells, 0);
+        run_cells_parallel(&cells, 0, &Obs::null());
     }
 
     /// A cell whose model always crashes in training.
@@ -136,6 +174,7 @@ mod tests {
             _noisy: &[clfd_data::session::Label],
             _cfg: &ClfdConfig,
             seed: u64,
+            _obs: &Obs,
         ) -> Vec<clfd::Prediction> {
             panic!("poisoned cell crashed at seed {seed}")
         }
@@ -156,7 +195,7 @@ mod tests {
                 SweepCell { model, spec: spec(300 + i as u64), cfg }
             })
             .collect();
-        let results = run_cells_parallel(&cells, 2);
+        let results = run_cells_parallel(&cells, 2, &Obs::null());
         assert_eq!(results.len(), 5);
         for (i, r) in results.iter().enumerate() {
             if i % 2 == 0 {
@@ -176,6 +215,75 @@ mod tests {
         }
     }
 
+    /// `Write` impl over a shared byte buffer so a test can read back what
+    /// a [`clfd_obs::JsonlSink`] wrote without touching the filesystem.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_log_stays_well_formed_under_worker_contention() {
+        // Multiple sweep workers hammer one JSONL sink concurrently. Every
+        // line must still be a complete, valid JSON object (no interleaved
+        // halves), sequence numbers must appear in file order with no gaps,
+        // and the sweep's bracketing events must frame the log.
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let make = || -> Box<dyn SessionClassifier> { Box::new(DeepLog::default()) };
+        let cells: Vec<SweepCell> = (0..4)
+            .map(|i| SweepCell { model: Box::new(make), spec: spec(400 + i), cfg })
+            .collect();
+
+        let buf = SharedBuf::default();
+        let obs = Obs::new(clfd_obs::JsonlSink::from_writer(buf.clone()));
+        let results = run_cells_parallel(&cells, 2, &obs);
+        obs.flush();
+        assert_eq!(results.len(), 4);
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("log is valid UTF-8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "sweep produced no telemetry");
+
+        let mut counts = std::collections::HashMap::new();
+        for (i, line) in lines.iter().enumerate() {
+            clfd_obs::json::validate(line)
+                .unwrap_or_else(|e| panic!("line {i} invalid under contention: {e}\n{line}"));
+            let seq: usize = line
+                .split("\"seq\":")
+                .nth(1)
+                .and_then(|rest| {
+                    rest.split(|c: char| !c.is_ascii_digit()).next()?.parse().ok()
+                })
+                .unwrap_or_else(|| panic!("line {i} has no seq: {line}"));
+            assert_eq!(seq, i, "sequence number out of file order at line {i}");
+            let ty = line
+                .split("\"type\":\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .unwrap_or_else(|| panic!("line {i} has no type: {line}"));
+            *counts.entry(ty.to_string()).or_insert(0usize) += 1;
+        }
+        assert!(lines[0].contains("\"type\":\"sweep_start\""), "first: {}", lines[0]);
+        assert!(
+            lines[lines.len() - 1].contains("\"type\":\"sweep_end\""),
+            "last: {}",
+            lines[lines.len() - 1]
+        );
+        assert_eq!(counts.get("cell_start"), Some(&4), "one start per cell");
+        assert_eq!(counts.get("cell_end"), Some(&4), "one end per cell");
+        assert_eq!(counts.get("worker_end"), Some(&2), "one summary per worker");
+    }
+
     #[test]
     fn poisoned_cell_does_not_kill_the_sweep() {
         let cfg = ClfdConfig::for_preset(Preset::Smoke);
@@ -185,7 +293,7 @@ mod tests {
             SweepCell { model: Box::new(make_poisoned), spec: spec(200), cfg },
             SweepCell { model: Box::new(make_healthy), spec: spec(201), cfg },
         ];
-        let results = run_cells_parallel(&cells, 2);
+        let results = run_cells_parallel(&cells, 2, &Obs::null());
         assert_eq!(results.len(), 2);
         // The poisoned cell reports its failure instead of aborting the sweep…
         assert_eq!(results[0].failures.len(), 1);

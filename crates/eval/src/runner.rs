@@ -3,10 +3,11 @@
 //! aggregated `mean ± std` cells of the paper's tables.
 
 use crate::metrics::{ConfusionMatrix, MeanStd, RunMetrics};
-use clfd::{Ablation, ClfdConfig, TrainedClfd};
+use clfd::{Ablation, ClfdConfig, TrainOptions, TrainedClfd};
 use clfd_baselines::SessionClassifier;
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Preset};
+use clfd_obs::{Event, Obs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -67,10 +68,14 @@ pub struct CellResult {
 /// training error is recorded in [`CellResult::failures`] and the
 /// remaining runs still execute, so a single diverging seed cannot take
 /// down a whole sweep. Metrics aggregate the surviving runs only.
+///
+/// `obs` receives the per-run training telemetry plus one
+/// [`Event::RunFailure`] per isolated failure.
 pub fn run_cell(
     model: &dyn SessionClassifier,
     spec: &ExperimentSpec,
     cfg: &ClfdConfig,
+    obs: &Obs,
 ) -> CellResult {
     assert!(spec.runs >= 1, "at least one run");
     let mut f1 = Vec::with_capacity(spec.runs);
@@ -84,7 +89,7 @@ pub fn run_cell(
         let truth = split.train_labels();
         let mut noise_rng = StdRng::seed_from_u64(seed.wrapping_mul(7919).wrapping_add(13));
         let noisy = spec.noise.apply(&truth, &mut noise_rng);
-        match model.try_fit_predict(&split, &noisy, cfg, seed) {
+        match model.try_fit_predict(&split, &noisy, cfg, seed, obs) {
             Ok(preds) => {
                 let test_truth = split.test_labels();
                 let m = RunMetrics::compute(&preds, &test_truth);
@@ -92,7 +97,15 @@ pub fn run_cell(
                 fpr.push(m.fpr);
                 auc.push(m.auc_roc);
             }
-            Err(error) => failures.push(RunFailure { run: r, seed, error }),
+            Err(error) => {
+                obs.emit(Event::RunFailure {
+                    model: model.name().to_string(),
+                    run: r,
+                    seed,
+                    error: error.clone(),
+                });
+                failures.push(RunFailure { run: r, seed, error });
+            }
         }
     }
     CellResult {
@@ -122,9 +135,14 @@ pub struct CorrectorResult {
 }
 
 /// Runs CLFD's label corrector and scores its corrections (Table III).
-pub fn run_corrector_quality(spec: &ExperimentSpec, cfg: &ClfdConfig) -> CorrectorResult {
+pub fn run_corrector_quality(
+    spec: &ExperimentSpec,
+    cfg: &ClfdConfig,
+    obs: &Obs,
+) -> CorrectorResult {
     let mut tpr = Vec::with_capacity(spec.runs);
     let mut tnr = Vec::with_capacity(spec.runs);
+    let opts = TrainOptions { obs: obs.clone(), ..TrainOptions::conservative() };
     for r in 0..spec.runs {
         let seed = spec.base_seed + r as u64;
         let split = spec.dataset.generate(spec.preset, seed);
@@ -132,13 +150,15 @@ pub fn run_corrector_quality(spec: &ExperimentSpec, cfg: &ClfdConfig) -> Correct
         let mut noise_rng = StdRng::seed_from_u64(seed.wrapping_mul(7919).wrapping_add(13));
         let noisy = spec.noise.apply(&truth, &mut noise_rng);
         // Only the corrector matters here; skip the fraud detector.
-        let model = TrainedClfd::fit(
+        let model = TrainedClfd::try_fit(
             &split,
             &noisy,
             cfg,
             &Ablation::without_fraud_detector(),
             seed,
-        );
+            &opts,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let cm = ConfusionMatrix::from_labels(model.corrected_labels(), &truth);
         tpr.push(cm.tpr() * 100.0);
         tnr.push(cm.tnr() * 100.0);
@@ -188,6 +208,7 @@ mod tests {
             _noisy: &[Label],
             _cfg: &ClfdConfig,
             seed: u64,
+            _obs: &Obs,
         ) -> Vec<Prediction> {
             assert!(
                 !self.panic_seeds.contains(&seed),
@@ -210,7 +231,7 @@ mod tests {
         let cfg = ClfdConfig::for_preset(Preset::Smoke);
         let spec = ExperimentSpec { runs: 3, ..smoke_spec() }; // seeds 3, 4, 5
         let model = FlakyModel { panic_seeds: vec![4] };
-        let cell = run_cell(&model, &spec, &cfg);
+        let cell = run_cell(&model, &spec, &cfg, &Obs::null());
         assert_eq!(cell.failures.len(), 1);
         assert_eq!(cell.failures[0].run, 1);
         assert_eq!(cell.failures[0].seed, 4);
@@ -229,7 +250,7 @@ mod tests {
         let cfg = ClfdConfig::for_preset(Preset::Smoke);
         let spec = ExperimentSpec { runs: 2, ..smoke_spec() };
         let model = FlakyModel { panic_seeds: vec![3, 4] };
-        let cell = run_cell(&model, &spec, &cfg);
+        let cell = run_cell(&model, &spec, &cfg, &Obs::null());
         assert_eq!(cell.failures.len(), 2);
         assert!(cell.f1.mean.is_nan());
         assert!(cell.fpr.mean.is_nan());
@@ -248,7 +269,7 @@ mod tests {
     #[test]
     fn run_cell_produces_finite_metrics() {
         let cfg = ClfdConfig::for_preset(Preset::Smoke);
-        let cell = run_cell(&ClfdModel::default(), &smoke_spec(), &cfg);
+        let cell = run_cell(&ClfdModel::default(), &smoke_spec(), &cfg, &Obs::null());
         assert_eq!(cell.model, "CLFD");
         assert!(cell.f1.mean.is_finite());
         assert!((0.0..=100.0).contains(&cell.fpr.mean));
@@ -259,7 +280,7 @@ mod tests {
     #[test]
     fn corrector_quality_reports_percentages() {
         let cfg = ClfdConfig::for_preset(Preset::Smoke);
-        let result = run_corrector_quality(&smoke_spec(), &cfg);
+        let result = run_corrector_quality(&smoke_spec(), &cfg, &Obs::null());
         assert!((0.0..=100.0).contains(&result.tpr.mean));
         assert!((0.0..=100.0).contains(&result.tnr.mean));
     }

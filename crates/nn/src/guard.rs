@@ -21,6 +21,7 @@ use crate::fault::FaultInjector;
 use crate::optim::Optimizer;
 use crate::snapshot::Snapshot;
 use clfd_autograd::{Tape, Var};
+use clfd_obs::{Event, GuardAction, Obs};
 
 /// Tuning knobs for [`TrainGuard`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,11 +174,14 @@ struct Checkpoint {
 pub struct TrainGuard {
     cfg: GuardConfig,
     injector: Option<FaultInjector>,
+    obs: Obs,
+    stage: String,
     ewma: Option<f32>,
     base_lr: Option<f32>,
     step_idx: u64,
     consecutive_retries: u32,
     recoveries: u64,
+    last_grad_norm: Option<f32>,
     checkpoint: Option<Checkpoint>,
 }
 
@@ -195,6 +199,17 @@ impl TrainGuard {
         self
     }
 
+    /// Attaches a telemetry handle; every intervention (rollback, clip,
+    /// re-warm, abort, injected fault) is emitted as an [`Event`] tagged
+    /// with `stage`. Telemetry only reads values the guard already
+    /// computed, so guarded training stays bit-identical with or without
+    /// a recorder.
+    pub fn with_obs(mut self, obs: Obs, stage: impl Into<String>) -> Self {
+        self.obs = obs;
+        self.stage = stage.into();
+        self
+    }
+
     /// Number of guarded steps attempted so far (healthy or not).
     pub fn steps(&self) -> u64 {
         self.step_idx
@@ -208,6 +223,13 @@ impl TrainGuard {
     /// Faults the attached injector has fired so far (empty without one).
     pub fn injected_faults(&self) -> &[(u64, crate::fault::FaultKind)] {
         self.injector.as_ref().map_or(&[], FaultInjector::fired)
+    }
+
+    /// Global gradient L2 norm observed on the most recent healthy step.
+    /// Computed only when clipping or telemetry asks for it; `None`
+    /// otherwise (and after a rollback, whose gradients were discarded).
+    pub fn last_grad_norm(&self) -> Option<f32> {
+        self.last_grad_norm
     }
 
     /// Runs one guarded training step: `backward(loss)`, health checks,
@@ -245,14 +267,40 @@ impl TrainGuard {
         }
 
         tape.backward(loss);
+        let fired_before = self.injector.as_ref().map_or(0, |i| i.fired().len());
         if let Some(injector) = self.injector.as_mut() {
             injector.apply(step, tape, opt, params);
+        }
+        if let Some(injector) = self.injector.as_ref() {
+            for &(at, kind) in &injector.fired()[fired_before..] {
+                self.obs.emit(Event::FaultInjected {
+                    stage: self.stage.clone(),
+                    step: at,
+                    kind: kind.to_string(),
+                });
+            }
         }
         if let Some(idx) = params.iter().position(|&p| tape.grad_has_non_finite(p)) {
             return self.recover(tape, opt, params, step, Fault::NonFiniteGrad { param_index: idx });
         }
-        if let Some(max_norm) = self.cfg.max_grad_norm {
-            clip_global_grad_norm(tape, params, max_norm);
+        // The norm is a pure read of already-computed gradients; skipping
+        // it when nobody wants it keeps the no-clip no-telemetry path free.
+        self.last_grad_norm = None;
+        if self.cfg.max_grad_norm.is_some() || self.obs.enabled() {
+            let norm = global_grad_norm(tape, params);
+            self.last_grad_norm = Some(norm);
+            if let Some(max_norm) = self.cfg.max_grad_norm {
+                if norm > max_norm && norm > 0.0 {
+                    scale_grads(tape, params, max_norm / norm);
+                    self.obs.emit(Event::Guard {
+                        stage: self.stage.clone(),
+                        step,
+                        action: GuardAction::Clip,
+                        detail: format!("grad norm {norm} clipped to {max_norm}"),
+                        lr: opt.lr(),
+                    });
+                }
+            }
         }
 
         // Healthy: checkpoint the pre-update parameters on the configured
@@ -265,7 +313,17 @@ impl TrainGuard {
         if step.is_multiple_of(self.cfg.snapshot_every) {
             if let Some(base) = self.base_lr {
                 if opt.lr() < base {
+                    let before = opt.lr();
                     opt.set_lr((opt.lr() * self.cfg.lr_rewarm).min(base));
+                    if opt.lr() != before {
+                        self.obs.emit(Event::Guard {
+                            stage: self.stage.clone(),
+                            step,
+                            action: GuardAction::Rewarm,
+                            detail: format!("lr re-warmed from {before} toward base {base}"),
+                            lr: opt.lr(),
+                        });
+                    }
                 }
             }
             self.checkpoint =
@@ -312,8 +370,17 @@ impl TrainGuard {
         tape.reset();
         self.consecutive_retries += 1;
         self.recoveries += 1;
+        self.last_grad_norm = None;
         if self.consecutive_retries > self.cfg.max_retries {
-            return Err(GuardError { step, retries: self.consecutive_retries - 1, fault });
+            let err = GuardError { step, retries: self.consecutive_retries - 1, fault };
+            self.obs.emit(Event::Guard {
+                stage: self.stage.clone(),
+                step,
+                action: GuardAction::Abort,
+                detail: err.to_string(),
+                lr: opt.lr(),
+            });
+            return Err(err);
         }
         // Back off from the *smaller* of the live rate and the checkpointed
         // rate: the live rate may have been corrupted upward (LR blow-up),
@@ -332,6 +399,16 @@ impl TrainGuard {
         // parameters are still at initialisation; only the rate backs off.
         opt.set_lr(new_lr);
         opt.reset_state();
+        self.obs.emit(Event::Guard {
+            stage: self.stage.clone(),
+            step,
+            action: GuardAction::Rollback,
+            detail: format!(
+                "{fault}; rolled back, lr backed off to {new_lr} (retry {}/{})",
+                self.consecutive_retries, self.cfg.max_retries
+            ),
+            lr: new_lr,
+        });
         // The spike baseline belongs to the diverged trajectory; let it
         // re-settle on the restored one.
         self.ewma = None;
@@ -339,22 +416,22 @@ impl TrainGuard {
     }
 }
 
-/// Rescales the gradients of `params` in place so their global L2 norm is
-/// at most `max_norm`. Gradients already within the bound are untouched.
-fn clip_global_grad_norm(tape: &mut Tape, params: &[Var], max_norm: f32) {
+/// Global L2 norm over the gradients of `params` (pure read).
+fn global_grad_norm(tape: &mut Tape, params: &[Var]) -> f32 {
     let mut sq_sum = 0.0_f64;
     for &p in params {
         for &g in tape.grad_mut(p).as_slice() {
             sq_sum += f64::from(g) * f64::from(g);
         }
     }
-    let norm = sq_sum.sqrt() as f32;
-    if norm > max_norm && norm > 0.0 {
-        let scale = max_norm / norm;
-        for &p in params {
-            for g in tape.grad_mut(p).as_mut_slice() {
-                *g *= scale;
-            }
+    sq_sum.sqrt() as f32
+}
+
+/// Rescales every parameter gradient in place by `scale`.
+fn scale_grads(tape: &mut Tape, params: &[Var], scale: f32) {
+    for &p in params {
+        for g in tape.grad_mut(p).as_mut_slice() {
+            *g *= scale;
         }
     }
 }
@@ -540,6 +617,77 @@ mod tests {
         assert!(opt.lr() < 1.0, "learning rate never backed off: {}", opt.lr());
         let v = tape.value(w).as_slice()[0];
         assert!(v.is_finite(), "parameter still non-finite: {v}");
+    }
+
+    #[test]
+    fn interventions_are_emitted_as_guard_events() {
+        use clfd_obs::{Event, GuardAction, MemorySink, Obs};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let cfg = GuardConfig {
+            max_grad_norm: Some(1.0),
+            snapshot_every: 2,
+            ..GuardConfig::default()
+        };
+        let (mut tape, w) = scalar_param(0.0);
+        let mut opt = Sgd::new(0.1);
+        let mut guard = TrainGuard::new(cfg).with_obs(Obs::from_arc(sink.clone()), "test/stage");
+
+        // Step 0: gradient norm 6 > 1 → clip event.
+        let loss = quadratic_loss(&mut tape, w);
+        guard.step(&mut tape, &mut opt, &[w], loss).unwrap();
+        assert!((guard.last_grad_norm().unwrap() - 6.0).abs() < 1e-4);
+
+        // A poisoned loss → rollback event.
+        *tape.value_mut(w) = Matrix::from_vec(1, 1, vec![f32::NAN]).unwrap();
+        guard.step(&mut tape, &mut opt, &[w], w).unwrap();
+
+        // Healthy steps up to the next checkpoint → rewarm event.
+        for _ in 0..4 {
+            let loss = quadratic_loss(&mut tape, w);
+            guard.step(&mut tape, &mut opt, &[w], loss).unwrap();
+        }
+
+        let events = sink.take();
+        let actions: Vec<GuardAction> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Guard { action, stage, .. } => {
+                    assert_eq!(stage, "test/stage");
+                    Some(*action)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(actions.contains(&GuardAction::Clip), "no clip event: {actions:?}");
+        assert!(actions.contains(&GuardAction::Rollback), "no rollback event: {actions:?}");
+        assert!(actions.contains(&GuardAction::Rewarm), "no rewarm event: {actions:?}");
+    }
+
+    #[test]
+    fn exhausted_retries_emit_an_abort_event() {
+        use clfd_obs::{Event, GuardAction, MemorySink, Obs};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let cfg = GuardConfig { max_retries: 1, ..GuardConfig::default() };
+        let (mut tape, w) = scalar_param(0.5);
+        let mut opt = Sgd::new(0.1);
+        let mut guard = TrainGuard::new(cfg).with_obs(Obs::from_arc(sink.clone()), "test/abort");
+        let err = loop {
+            *tape.value_mut(w) = Matrix::from_vec(1, 1, vec![f32::NAN]).unwrap();
+            match guard.step(&mut tape, &mut opt, &[w], w) {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        let events = sink.take();
+        let abort = events.iter().find_map(|e| match e {
+            Event::Guard { action: GuardAction::Abort, detail, .. } => Some(detail.clone()),
+            _ => None,
+        });
+        assert_eq!(abort.as_deref(), Some(err.to_string().as_str()));
     }
 
     #[test]

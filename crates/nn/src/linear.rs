@@ -59,6 +59,20 @@ impl Linear {
         tape.add_row_broadcast(xw, self.b)
     }
 
+    /// Value-only `x W + b` for shared concurrent inference: reads the
+    /// parameter values from `tape` without recording anything. Performs
+    /// the same `Matrix` operations as [`Linear::forward`], so the result
+    /// is bit-identical to the tape-recorded pass.
+    pub fn infer(&self, tape: &Tape, x: &Matrix) -> Matrix {
+        debug_assert_eq!(
+            x.cols(),
+            self.in_dim,
+            "Linear expects {} input features",
+            self.in_dim
+        );
+        x.matmul(tape.value(self.w)).add_row_broadcast(tape.value(self.b))
+    }
+
     /// Input feature count.
     pub fn in_dim(&self) -> usize {
         self.in_dim
@@ -93,6 +107,24 @@ mod tests {
         let y = layer.forward(&mut tape, x);
         assert_eq!(tape.value(y).shape(), (7, 3));
         assert_eq!(layer.params().len(), 2);
+    }
+
+    #[test]
+    fn infer_is_bit_identical_to_forward() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tape = Tape::new();
+        let layer = Linear::new(&mut tape, 6, 4, LinearInit::He, &mut rng);
+        tape.seal();
+        let x = Matrix::from_fn(5, 6, |r, c| ((r * 7 + c) as f32 * 0.13).sin());
+        let xv = tape.constant(x.clone());
+        let y = layer.forward(&mut tape, xv);
+        let recorded = tape.value(y).clone();
+        tape.reset();
+        let inferred = layer.infer(&tape, &x);
+        assert_eq!(recorded.shape(), inferred.shape());
+        for (a, b) in recorded.as_slice().iter().zip(inferred.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -36,6 +36,30 @@ impl LstmCell {
         Self { wx: tape.param(wx), wh: tape.param(wh), b: tape.param(b), hidden }
     }
 
+    /// Value-only timestep for the shared-inference path: reads parameter
+    /// values from the (immutable) tape and performs exactly the same
+    /// `Matrix` operations in the same order as [`LstmCell::step`], so the
+    /// result is bit-identical to the tape-recorded forward pass.
+    fn infer_step(
+        &self,
+        tape: &Tape,
+        x: &Matrix,
+        h_prev: &Matrix,
+        c_prev: &Matrix,
+    ) -> (Matrix, Matrix) {
+        let hd = self.hidden;
+        let zx = x.matmul(tape.value(self.wx));
+        let zh = h_prev.matmul(tape.value(self.wh));
+        let z = zx.add(&zh).add_row_broadcast(tape.value(self.b));
+        let i = slice_cols(&z, 0, hd).sigmoid();
+        let f = slice_cols(&z, hd, 2 * hd).sigmoid();
+        let g = slice_cols(&z, 2 * hd, 3 * hd).tanh();
+        let o = slice_cols(&z, 3 * hd, 4 * hd).sigmoid();
+        let c = f.mul(c_prev).add(&i.mul(&g));
+        let h = o.mul(&c.tanh());
+        (h, c)
+    }
+
     /// One timestep: returns `(h_t, c_t)`.
     fn step(&self, tape: &mut Tape, x: Var, h_prev: Var, c_prev: Var) -> (Var, Var) {
         let hd = self.hidden;
@@ -148,6 +172,63 @@ impl Lstm {
         let hs = self.forward_sequence(tape, xs);
         self.mean_pool(tape, &hs, lengths)
     }
+
+    /// Value-only encode for shared concurrent inference: reads parameter
+    /// values from `tape` without recording anything, so it needs only
+    /// `&Tape` and can run from multiple threads at once.
+    ///
+    /// Performs exactly the same `Matrix` operations in the same order as
+    /// [`Lstm::encode`]'s tape-recorded path, so its output is
+    /// bit-identical — the golden determinism test relies on this.
+    pub fn infer(&self, tape: &Tape, xs: &[Matrix], lengths: &[usize]) -> Matrix {
+        assert!(!xs.is_empty(), "empty input sequence");
+        let batch = xs[0].rows();
+        assert_eq!(lengths.len(), batch, "one length per batch row");
+        let mut sequence: Vec<Matrix> = xs.to_vec();
+        for cell in &self.cells {
+            let mut h = Matrix::zeros(batch, self.hidden);
+            let mut c = Matrix::zeros(batch, self.hidden);
+            let mut next = Vec::with_capacity(sequence.len());
+            for x in &sequence {
+                let (h2, c2) = cell.infer_step(tape, x, &h, &c);
+                h = h2;
+                c = c2;
+                next.push(h.clone());
+            }
+            sequence = next;
+        }
+        // Mean-pool over each row's valid prefix, mirroring `mean_pool`.
+        let mut acc: Option<Matrix> = None;
+        for (t, h) in sequence.iter().enumerate() {
+            let scales: Vec<f32> = lengths
+                .iter()
+                .map(|&len| if t < len { 1.0 / len.max(1) as f32 } else { 0.0 })
+                .collect();
+            if scales.iter().all(|&s| s == 0.0) {
+                continue;
+            }
+            let mut contrib = h.clone();
+            for (r, &s) in scales.iter().enumerate() {
+                for x in contrib.row_mut(r) {
+                    *x *= s;
+                }
+            }
+            acc = Some(match acc {
+                Some(a) => a.add(&contrib),
+                None => contrib,
+            });
+        }
+        acc.expect("at least one valid timestep")
+    }
+}
+
+/// Column slice copied row by row, mirroring `Tape::slice_cols`.
+fn slice_cols(m: &Matrix, start: usize, end: usize) -> Matrix {
+    let mut v = Matrix::zeros(m.rows(), end - start);
+    for r in 0..m.rows() {
+        v.row_mut(r).copy_from_slice(&m.row(r)[start..end]);
+    }
+    v
 }
 
 impl Layer for Lstm {
@@ -205,6 +286,27 @@ mod tests {
             .collect();
         for (c, &e) in expected.iter().enumerate() {
             assert!((tape.value(pooled).get(1, c) - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn infer_is_bit_identical_to_tape_encode() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut tape = Tape::new();
+        let lstm = Lstm::new(&mut tape, 3, 5, 2, &mut rng);
+        tape.seal();
+        let xs: Vec<Matrix> = (0..6)
+            .map(|t| Matrix::from_fn(4, 3, |r, c| ((t * 11 + r * 3 + c) as f32 * 0.17).sin()))
+            .collect();
+        let lengths = [6, 4, 1, 3];
+        let vars = step_inputs(&mut tape, &xs);
+        let z = lstm.encode(&mut tape, &vars, &lengths);
+        let recorded = tape.value(z).clone();
+        tape.reset();
+        let inferred = lstm.infer(&tape, &xs, &lengths);
+        assert_eq!(recorded.shape(), inferred.shape());
+        for (a, b) in recorded.as_slice().iter().zip(inferred.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

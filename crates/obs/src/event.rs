@@ -1,0 +1,298 @@
+//! The structured event taxonomy emitted by the CLFD stack.
+//!
+//! Events are plain data: producing one never touches model state, RNG
+//! state, or float accumulation order, so a run with telemetry enabled is
+//! bit-identical to one without (the golden determinism test enforces
+//! this). Wall-clock fields (`wall_ms`, `busy_ns`) are measured with
+//! [`std::time::Instant`] and feed *only* these event fields — never the
+//! compute path.
+
+use crate::json::Obj;
+
+/// Which intervention a [`TrainGuard`](../../clfd_nn/guard/struct.TrainGuard.html)
+/// performed on a training step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardAction {
+    /// A fault was detected; parameters rolled back to the last checkpoint
+    /// and the learning rate backed off.
+    Rollback,
+    /// The global gradient norm exceeded its ceiling and was rescaled.
+    Clip,
+    /// A checkpoint certified a stable stretch and the backed-off learning
+    /// rate was re-warmed one notch toward its starting value.
+    Rewarm,
+    /// The consecutive-retry budget was exhausted; training aborted with a
+    /// typed error.
+    Abort,
+}
+
+impl GuardAction {
+    /// Stable lowercase tag used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GuardAction::Rollback => "rollback",
+            GuardAction::Clip => "clip",
+            GuardAction::Rewarm => "rewarm",
+            GuardAction::Abort => "abort",
+        }
+    }
+}
+
+/// One structured telemetry event.
+///
+/// `stage` fields are slash-separated paths identifying the training phase
+/// (e.g. `"corrector/simclr"`, `"detector/head"`, `"baseline/cl-det/encoder"`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A top-level run (a binary invocation, a sweep, a benchmark) began.
+    RunStart {
+        /// Run name, e.g. the binary or table being produced.
+        name: String,
+        /// Free-form description of the run configuration.
+        detail: String,
+    },
+    /// The matching end of a [`Event::RunStart`].
+    RunEnd {
+        /// Run name echoed from the start event.
+        name: String,
+        /// Wall-clock duration of the run in milliseconds.
+        wall_ms: u64,
+    },
+    /// A training stage (encoder pre-train, head fit, …) began.
+    StageStart {
+        /// Stage path, e.g. `"corrector/simclr"`.
+        stage: String,
+    },
+    /// The matching end of a [`Event::StageStart`].
+    StageEnd {
+        /// Stage path echoed from the start event.
+        stage: String,
+        /// Wall-clock duration of the stage in milliseconds.
+        wall_ms: u64,
+    },
+    /// One epoch of a training stage finished.
+    EpochEnd {
+        /// Stage path this epoch belongs to.
+        stage: String,
+        /// Zero-based epoch index.
+        epoch: usize,
+        /// Total number of epochs the stage will run.
+        epochs: usize,
+        /// Number of optimizer steps taken this epoch.
+        batches: usize,
+        /// Mean training loss over the epoch's batches.
+        loss: f32,
+        /// Global gradient L2 norm of the final batch, when the guard
+        /// computed one (clipping enabled); `None` otherwise.
+        grad_norm: Option<f32>,
+        /// Learning rate at the end of the epoch (reflects guard backoff).
+        lr: f32,
+        /// Wall-clock duration of the epoch in milliseconds.
+        wall_ms: u64,
+    },
+    /// A divergence-guard intervention (PR 1 previously swallowed these).
+    Guard {
+        /// Stage path of the guarded training loop.
+        stage: String,
+        /// Guarded step index at which the intervention happened.
+        step: u64,
+        /// Which intervention was performed.
+        action: GuardAction,
+        /// Human-readable detail (the fault, the clipped norm, …).
+        detail: String,
+        /// Learning rate after the intervention.
+        lr: f32,
+    },
+    /// The deterministic fault-injection harness fired.
+    FaultInjected {
+        /// Stage path of the training loop under test.
+        stage: String,
+        /// Guarded step index the fault was injected at.
+        step: u64,
+        /// Fault kind, e.g. `"NaN gradient"`.
+        kind: String,
+    },
+    /// A parallel sweep over experiment cells began.
+    SweepStart {
+        /// Number of cells queued.
+        cells: usize,
+        /// Number of worker threads.
+        workers: usize,
+    },
+    /// The matching end of a [`Event::SweepStart`].
+    SweepEnd {
+        /// Number of cells completed.
+        cells: usize,
+        /// Wall-clock duration of the sweep in milliseconds.
+        wall_ms: u64,
+    },
+    /// A sweep worker claimed an experiment cell.
+    CellStart {
+        /// Cell index in the sweep's input order.
+        cell: usize,
+        /// Worker thread index that claimed the cell.
+        worker: usize,
+        /// Model name.
+        model: String,
+        /// Dataset name.
+        dataset: String,
+        /// Noise condition, e.g. `"uniform 0.2"`.
+        noise: String,
+    },
+    /// The matching end of a [`Event::CellStart`].
+    CellEnd {
+        /// Cell index echoed from the start event.
+        cell: usize,
+        /// Worker thread index echoed from the start event.
+        worker: usize,
+        /// Model name echoed from the start event.
+        model: String,
+        /// Wall-clock duration of the cell in milliseconds.
+        wall_ms: u64,
+        /// Number of runs inside the cell that failed and were isolated.
+        failures: usize,
+    },
+    /// A sweep worker ran out of cells and exited (utilization record).
+    WorkerEnd {
+        /// Worker thread index.
+        worker: usize,
+        /// Number of cells this worker completed.
+        cells: usize,
+        /// Milliseconds this worker spent inside cells (busy time).
+        busy_ms: u64,
+    },
+    /// One run inside an experiment cell failed and was isolated.
+    RunFailure {
+        /// Model name.
+        model: String,
+        /// Run index within the cell.
+        run: usize,
+        /// Seed of the failed run.
+        seed: u64,
+        /// The error message.
+        error: String,
+    },
+    /// Snapshot of the tensor crate's kernel launch counters.
+    KernelCounters {
+        /// What the counters cover, e.g. `"e2e@4threads"`.
+        scope: String,
+        /// Total threaded-kernel launches (including serial fallbacks).
+        launches: u64,
+        /// Launches that actually fanned out to more than one part.
+        parallel_launches: u64,
+        /// Nanoseconds spent inside kernel launch blocks.
+        busy_ns: u64,
+    },
+    /// A report artifact (JSON table, benchmark file) was written.
+    ArtifactWritten {
+        /// Path of the artifact.
+        path: String,
+    },
+    /// Free-form progress message.
+    Message {
+        /// The message text.
+        text: String,
+    },
+}
+
+impl Event {
+    /// Stable lowercase type tag used in the JSONL encoding.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::RunEnd { .. } => "run_end",
+            Event::StageStart { .. } => "stage_start",
+            Event::StageEnd { .. } => "stage_end",
+            Event::EpochEnd { .. } => "epoch_end",
+            Event::Guard { .. } => "guard",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::SweepStart { .. } => "sweep_start",
+            Event::SweepEnd { .. } => "sweep_end",
+            Event::CellStart { .. } => "cell_start",
+            Event::CellEnd { .. } => "cell_end",
+            Event::WorkerEnd { .. } => "worker_end",
+            Event::RunFailure { .. } => "run_failure",
+            Event::KernelCounters { .. } => "kernel_counters",
+            Event::ArtifactWritten { .. } => "artifact_written",
+            Event::Message { .. } => "message",
+        }
+    }
+
+    /// Serializes the event as a single-line JSON object (no trailing
+    /// newline), with the given sink-assigned sequence number and
+    /// milliseconds-since-sink-creation timestamp.
+    pub fn to_json_line(&self, seq: u64, t_ms: u64) -> String {
+        let obj = Obj::new().u64("seq", seq).u64("t_ms", t_ms).str("type", self.type_tag());
+        self.fill(obj).finish()
+    }
+
+    /// Serializes the event as a single-line JSON object without sink
+    /// metadata.
+    pub fn to_json(&self) -> String {
+        let obj = Obj::new().str("type", self.type_tag());
+        self.fill(obj).finish()
+    }
+
+    fn fill(&self, obj: Obj) -> Obj {
+        match self {
+            Event::RunStart { name, detail } => obj.str("name", name).str("detail", detail),
+            Event::RunEnd { name, wall_ms } => obj.str("name", name).u64("wall_ms", *wall_ms),
+            Event::StageStart { stage } => obj.str("stage", stage),
+            Event::StageEnd { stage, wall_ms } => {
+                obj.str("stage", stage).u64("wall_ms", *wall_ms)
+            }
+            Event::EpochEnd { stage, epoch, epochs, batches, loss, grad_norm, lr, wall_ms } => {
+                obj.str("stage", stage)
+                    .usize("epoch", *epoch)
+                    .usize("epochs", *epochs)
+                    .usize("batches", *batches)
+                    .f32("loss", *loss)
+                    .opt_f32("grad_norm", *grad_norm)
+                    .f32("lr", *lr)
+                    .u64("wall_ms", *wall_ms)
+            }
+            Event::Guard { stage, step, action, detail, lr } => obj
+                .str("stage", stage)
+                .u64("step", *step)
+                .str("action", action.as_str())
+                .str("detail", detail)
+                .f32("lr", *lr),
+            Event::FaultInjected { stage, step, kind } => {
+                obj.str("stage", stage).u64("step", *step).str("kind", kind)
+            }
+            Event::SweepStart { cells, workers } => {
+                obj.usize("cells", *cells).usize("workers", *workers)
+            }
+            Event::SweepEnd { cells, wall_ms } => {
+                obj.usize("cells", *cells).u64("wall_ms", *wall_ms)
+            }
+            Event::CellStart { cell, worker, model, dataset, noise } => obj
+                .usize("cell", *cell)
+                .usize("worker", *worker)
+                .str("model", model)
+                .str("dataset", dataset)
+                .str("noise", noise),
+            Event::CellEnd { cell, worker, model, wall_ms, failures } => obj
+                .usize("cell", *cell)
+                .usize("worker", *worker)
+                .str("model", model)
+                .u64("wall_ms", *wall_ms)
+                .usize("failures", *failures),
+            Event::WorkerEnd { worker, cells, busy_ms } => {
+                obj.usize("worker", *worker).usize("cells", *cells).u64("busy_ms", *busy_ms)
+            }
+            Event::RunFailure { model, run, seed, error } => obj
+                .str("model", model)
+                .usize("run", *run)
+                .u64("seed", *seed)
+                .str("error", error),
+            Event::KernelCounters { scope, launches, parallel_launches, busy_ns } => obj
+                .str("scope", scope)
+                .u64("launches", *launches)
+                .u64("parallel_launches", *parallel_launches)
+                .u64("busy_ns", *busy_ns),
+            Event::ArtifactWritten { path } => obj.str("path", path),
+            Event::Message { text } => obj.str("text", text),
+        }
+    }
+}

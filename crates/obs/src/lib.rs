@@ -1,0 +1,392 @@
+//! Structured run telemetry for the CLFD stack.
+//!
+//! Every training loop, divergence guard, sweep worker, and benchmark in
+//! this workspace reports what it does through this crate: a [`Recorder`]
+//! trait consuming a typed [`Event`] taxonomy, behind a cheap cloneable
+//! [`Obs`] handle that call sites thread through their APIs. Three sinks
+//! ship with the crate:
+//!
+//! * [`JsonlSink`] — thread-safe, one JSON object per line, flushed per
+//!   event so a live run can be tailed (`RUN_*.jsonl` artifacts);
+//! * [`NullSink`] / [`Obs::null`] — telemetry off, near-zero cost;
+//! * [`MemorySink`] — test sink capturing events in arrival order.
+//!
+//! # Determinism contract
+//!
+//! Telemetry is observational only. Producing an event reads values the
+//! compute path already produced (loss scalars, learning rates, gradient
+//! norms) and captures wall time from a monotonic clock, but never touches
+//! RNG state, float accumulation order, or parameter values. A run with a
+//! sink attached is bit-identical to a run without one; the golden
+//! end-to-end determinism test enforces this.
+//!
+//! This crate is dependency-free (stdlib only) so every other crate in the
+//! workspace can depend on it without weight.
+
+mod event;
+pub mod json;
+mod sink;
+
+pub use event::{Event, GuardAction};
+pub use sink::{JsonlSink, MemorySink, NullSink, Recorder};
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cheap cloneable handle to a shared [`Recorder`] (or to nothing).
+///
+/// `Obs` is the unit APIs accept: `Obs::null()` disables telemetry,
+/// `Obs::jsonl(path)?` logs to a JSONL file, `Obs::new(sink)` wraps any
+/// recorder. Cloning shares the underlying recorder.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl Obs {
+    /// Telemetry disabled: every [`Obs::emit`] is a no-op.
+    pub fn null() -> Self {
+        Self { inner: None }
+    }
+
+    /// Wraps a recorder.
+    pub fn new(recorder: impl Recorder + 'static) -> Self {
+        Self { inner: Some(Arc::new(recorder)) }
+    }
+
+    /// Wraps an already-shared recorder (used by tests that keep a handle
+    /// to a [`MemorySink`] while the stack writes to it).
+    pub fn from_arc(recorder: Arc<dyn Recorder>) -> Self {
+        Self { inner: Some(recorder) }
+    }
+
+    /// Creates a [`JsonlSink`] at `path` and wraps it.
+    pub fn jsonl(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(JsonlSink::create(path)?))
+    }
+
+    /// True when a recorder is attached. Call sites may use this to skip
+    /// *formatting* work for disabled telemetry, but must never branch
+    /// compute-path behavior on it (that would break the determinism
+    /// contract).
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn emit(&self, event: Event) {
+        if let Some(rec) = &self.inner {
+            rec.record(&event);
+        }
+    }
+
+    /// Flushes the underlying recorder.
+    pub fn flush(&self) {
+        if let Some(rec) = &self.inner {
+            rec.flush();
+        }
+    }
+
+    /// Emits [`Event::StageStart`] and returns a span guard that emits the
+    /// matching [`Event::StageEnd`] (with wall-clock duration) when dropped
+    /// or [`finish`](StageSpan::finish)ed — including on early error
+    /// returns.
+    pub fn stage(&self, stage: impl Into<String>) -> StageSpan {
+        let stage = stage.into();
+        self.emit(Event::StageStart { stage: stage.clone() });
+        StageSpan { obs: self.clone(), stage, start: Instant::now(), done: false }
+    }
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.enabled() { "Obs(recorder)" } else { "Obs(null)" })
+    }
+}
+
+/// RAII guard for a stage: emits [`Event::StageEnd`] exactly once, on drop
+/// or explicit [`finish`](StageSpan::finish).
+pub struct StageSpan {
+    obs: Obs,
+    stage: String,
+    start: Instant,
+    done: bool,
+}
+
+impl StageSpan {
+    /// The stage path this span covers.
+    pub fn stage(&self) -> &str {
+        &self.stage
+    }
+
+    /// Ends the span now (equivalent to dropping it, but reads better at
+    /// call sites).
+    pub fn finish(mut self) {
+        self.end();
+    }
+
+    fn end(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.obs.emit(Event::StageEnd {
+                stage: std::mem::take(&mut self.stage),
+                wall_ms: millis_since(self.start),
+            });
+        }
+    }
+}
+
+impl Drop for StageSpan {
+    fn drop(&mut self) {
+        self.end();
+    }
+}
+
+/// Monotonic stopwatch for wall-clock event fields. The reading feeds
+/// telemetry only — never the compute path.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ms(&self) -> u64 {
+        millis_since(self.start)
+    }
+}
+
+fn millis_since(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RunStart { name: "t".into(), detail: "preset=smoke".into() },
+            Event::StageStart { stage: "corrector/simclr".into() },
+            Event::EpochEnd {
+                stage: "corrector/simclr".into(),
+                epoch: 0,
+                epochs: 3,
+                batches: 7,
+                loss: 1.25,
+                grad_norm: Some(0.5),
+                lr: 1e-3,
+                wall_ms: 12,
+            },
+            Event::Guard {
+                stage: "detector/supcon".into(),
+                step: 9,
+                action: GuardAction::Rollback,
+                detail: "non-finite loss \"NaN\"\n".into(),
+                lr: 5e-4,
+            },
+            Event::FaultInjected { stage: "detector/supcon".into(), step: 9, kind: "NaN gradient".into() },
+            Event::EpochEnd {
+                stage: "detector/head".into(),
+                epoch: 1,
+                epochs: 2,
+                batches: 4,
+                loss: f32::NAN,
+                grad_norm: None,
+                lr: 0.01,
+                wall_ms: 3,
+            },
+            Event::CellStart {
+                cell: 0,
+                worker: 1,
+                model: "CLFD".into(),
+                dataset: "cert".into(),
+                noise: "uniform 0.2".into(),
+            },
+            Event::CellEnd { cell: 0, worker: 1, model: "CLFD".into(), wall_ms: 80, failures: 0 },
+            Event::RunFailure { model: "ULC".into(), run: 2, seed: 44, error: "boom \\ quote \"".into() },
+            Event::KernelCounters { scope: "fit".into(), launches: 10, parallel_launches: 4, busy_ns: 12345 },
+            Event::ArtifactWritten { path: "results/table1.json".into() },
+            Event::Message { text: "control \u{1} char".into() },
+            Event::RunEnd { name: "t".into(), wall_ms: 99 },
+        ]
+    }
+
+    #[test]
+    fn every_event_serializes_to_valid_json() {
+        for (i, ev) in sample_events().iter().enumerate() {
+            let line = ev.to_json_line(i as u64, 17);
+            json::validate(&line).unwrap_or_else(|e| panic!("event {i} invalid: {e}\n{line}"));
+            assert!(line.contains(&format!("\"type\":\"{}\"", ev.type_tag())), "{line}");
+            assert!(line.starts_with(&format!("{{\"seq\":{i},")), "{line}");
+            // Single line: embedded newlines must have been escaped.
+            assert!(!line.contains('\n'), "{line}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let ev = Event::EpochEnd {
+            stage: "s".into(),
+            epoch: 0,
+            epochs: 1,
+            batches: 1,
+            loss: f32::INFINITY,
+            grad_norm: None,
+            lr: 0.1,
+            wall_ms: 0,
+        };
+        let line = ev.to_json();
+        json::validate(&line).unwrap();
+        assert!(line.contains("\"loss\":null"), "{line}");
+        assert!(line.contains("\"grad_norm\":null"), "{line}");
+    }
+
+    #[test]
+    fn string_escaping_round_trips_through_the_validator() {
+        let nasty = "quote \" backslash \\ newline \n tab \t ctrl \u{3} unicode ✓";
+        let line = Event::Message { text: nasty.into() }.to_json();
+        json::validate(&line).unwrap_or_else(|e| panic!("{e}\n{line}"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for bad in [
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":1}x",
+            "{\"a\":\"unterminated}",
+            "{\"a\":nanan}",
+            "{\"a\":1.}",
+            "[1,2",
+            "",
+        ] {
+            assert!(json::validate(bad).is_err(), "accepted: {bad:?}");
+        }
+        json::validate("  {\"a\": [1, 2.5e-3, null, true, \"x\"]}  ").unwrap();
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_valid_line_per_event_with_increasing_seq() {
+        // Shared Vec<u8> target so the test can inspect what was written.
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let target = Shared::default();
+        let obs = Obs::new(JsonlSink::from_writer(target.clone()));
+        for ev in sample_events() {
+            obs.emit(ev);
+        }
+        obs.flush();
+        let bytes = target.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), sample_events().len());
+        for (i, line) in lines.iter().enumerate() {
+            json::validate(line).unwrap_or_else(|e| panic!("line {i}: {e}\n{line}"));
+            assert!(line.starts_with(&format!("{{\"seq\":{i},")), "line {i}: {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_is_thread_safe_and_keeps_seq_in_file_order() {
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let target = Shared::default();
+        let obs = Obs::new(JsonlSink::from_writer(target.clone()));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        obs.emit(Event::Message { text: format!("t{t} m{i}") });
+                    }
+                });
+            }
+        });
+        let bytes = target.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 200);
+        for (i, line) in lines.iter().enumerate() {
+            json::validate(line).unwrap_or_else(|e| panic!("line {i}: {e}\n{line}"));
+            // Interleaved writers must still produce file-order == seq-order.
+            assert!(line.starts_with(&format!("{{\"seq\":{i},")), "line {i}: {line}");
+        }
+    }
+
+    #[test]
+    fn memory_sink_captures_events_in_order_and_take_drains() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::from_arc(sink.clone());
+        assert!(obs.enabled());
+        obs.emit(Event::Message { text: "a".into() });
+        obs.emit(Event::Message { text: "b".into() });
+        assert_eq!(sink.len(), 2);
+        let events = sink.take();
+        assert_eq!(
+            events,
+            vec![Event::Message { text: "a".into() }, Event::Message { text: "b".into() }]
+        );
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn null_obs_is_disabled_and_emits_nothing() {
+        let obs = Obs::null();
+        assert!(!obs.enabled());
+        obs.emit(Event::Message { text: "dropped".into() });
+        obs.flush();
+        let _ = Obs::new(NullSink); // the explicit sink also swallows
+        assert_eq!(format!("{obs:?}"), "Obs(null)");
+        assert_eq!(format!("{:?}", Obs::default()), "Obs(null)");
+    }
+
+    #[test]
+    fn stage_span_emits_start_and_end_even_on_early_drop() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::from_arc(sink.clone());
+        {
+            let _span = obs.stage("corrector/simclr");
+            // dropped here without finish(): simulates an error return
+        }
+        let span = obs.stage("detector/head");
+        span.finish();
+        let events = sink.take();
+        let tags: Vec<&str> = events.iter().map(Event::type_tag).collect();
+        assert_eq!(tags, ["stage_start", "stage_end", "stage_start", "stage_end"]);
+        match (&events[0], &events[1]) {
+            (Event::StageStart { stage: s0 }, Event::StageEnd { stage: s1, .. }) => {
+                assert_eq!(s0, "corrector/simclr");
+                assert_eq!(s1, "corrector/simclr");
+            }
+            other => panic!("unexpected events: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Recorder implementations: a thread-safe JSONL file sink, a no-op null
+//! sink, and an in-memory sink for tests.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Consumer of telemetry [`Event`]s.
+///
+/// Implementations must be thread-safe: training loops, sweep workers, and
+/// kernel instrumentation all share one recorder. `record` is best-effort —
+/// it must never panic the training path over an I/O problem.
+pub trait Recorder: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Recorder that drops every event. Exists so call sites can hold a real
+/// recorder object when telemetry is off; [`Obs::null`](crate::Obs::null)
+/// is the cheaper everyday spelling.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Recorder for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Interior state of a [`JsonlSink`]: the writer and the line sequence
+/// counter live behind one mutex so sequence numbers appear in the file in
+/// strictly increasing order even under contention.
+struct JsonlState {
+    writer: Box<dyn Write + Send>,
+    seq: u64,
+}
+
+/// Thread-safe JSONL sink: one event per line, each line a self-contained
+/// JSON object carrying a monotonic `seq` number and a `t_ms` timestamp
+/// (milliseconds since the sink was created, from a monotonic clock).
+///
+/// Lines are flushed as they are written so `tail -f RUN_*.jsonl` follows a
+/// live run. Write errors are swallowed: telemetry is best-effort and must
+/// never abort training.
+pub struct JsonlSink {
+    state: Mutex<JsonlState>,
+    start: Instant,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path` and returns a sink writing
+    /// to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(BufWriter::new(file)))
+    }
+
+    /// Wraps an arbitrary writer (used by tests with `Vec<u8>` buffers).
+    pub fn from_writer(writer: impl Write + Send + 'static) -> Self {
+        Self {
+            state: Mutex::new(JsonlState { writer: Box::new(writer), seq: 0 }),
+            start: Instant::now(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, JsonlState> {
+        // A panicking writer thread must not silence every other thread's
+        // telemetry; the state is a byte sink, so poisoning is harmless.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&self, event: &Event) {
+        let t_ms = u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let mut state = self.lock();
+        let line = event.to_json_line(state.seq, t_ms);
+        state.seq += 1;
+        // Best-effort: a full disk must not kill the run being observed.
+        let _ = writeln!(state.writer, "{line}");
+        let _ = state.writer.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.lock().writer.flush();
+    }
+}
+
+/// In-memory sink for tests: stores every event in arrival order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy of all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Drains and returns all events recorded so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).push(event.clone());
+    }
+}

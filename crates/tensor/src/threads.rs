@@ -32,6 +32,77 @@ use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod counters {
+    //! Optional process-global kernel launch counters.
+    //!
+    //! Disabled by default: the only cost a kernel pays then is one relaxed
+    //! atomic load per launch. When enabled (benchmark harnesses, telemetry
+    //! runs), every [`run_row_blocks`](super::run_row_blocks) dispatch
+    //! counts one launch, notes whether it actually fanned out to threads,
+    //! and accumulates its wall time. Counting is observational only — it
+    //! never changes how a kernel partitions or orders its work, so the
+    //! bit-identity contract of the pool is untouched.
+
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Instant;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static LAUNCHES: AtomicU64 = AtomicU64::new(0);
+    static PARALLEL_LAUNCHES: AtomicU64 = AtomicU64::new(0);
+    static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+    /// A point-in-time reading of the counters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Snapshot {
+        /// Kernel dispatches since the last [`reset`] (serial or threaded).
+        pub launches: u64,
+        /// Dispatches that actually spawned worker threads (`parts > 1`).
+        pub parallel_launches: u64,
+        /// Total wall nanoseconds spent inside counted dispatches.
+        pub busy_ns: u64,
+    }
+
+    /// Turns counting on or off (off by default).
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether launches are currently being counted.
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes all counters.
+    pub fn reset() {
+        LAUNCHES.store(0, Ordering::Relaxed);
+        PARALLEL_LAUNCHES.store(0, Ordering::Relaxed);
+        BUSY_NS.store(0, Ordering::Relaxed);
+    }
+
+    /// Reads the counters without resetting them.
+    pub fn snapshot() -> Snapshot {
+        Snapshot {
+            launches: LAUNCHES.load(Ordering::Relaxed),
+            parallel_launches: PARALLEL_LAUNCHES.load(Ordering::Relaxed),
+            busy_ns: BUSY_NS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Times `f` as one launch of `parts` blocks (called only when
+    /// [`enabled`]).
+    pub(super) fn count<R>(parts: usize, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        LAUNCHES.fetch_add(1, Ordering::Relaxed);
+        if parts > 1 {
+            PARALLEL_LAUNCHES.fetch_add(1, Ordering::Relaxed);
+        }
+        BUSY_NS.fetch_add(ns, Ordering::Relaxed);
+        r
+    }
+}
+
 /// Global thread-count knob; 0 means "unset, use [`available`]".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 
@@ -119,6 +190,19 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    if counters::enabled() {
+        return counters::count(parts, move || {
+            dispatch_row_blocks(out, row_len, rows, parts, f)
+        });
+    }
+    dispatch_row_blocks(out, row_len, rows, parts, f)
+}
+
+fn dispatch_row_blocks<T, F>(out: &mut [T], row_len: usize, rows: usize, parts: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     debug_assert_eq!(out.len(), rows * row_len, "output buffer / row count mismatch");
     if parts <= 1 {
         f(0, out);
@@ -201,5 +285,31 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         set_threads(0);
+    }
+
+    /// One test covers both counter states so it cannot race a sibling test
+    /// toggling the process-global enable flag mid-measurement.
+    #[test]
+    fn counters_track_launches_only_when_enabled() {
+        assert!(!counters::enabled(), "counters must default to off");
+        // Disabled: the dispatch path runs normally and counts nothing.
+        counters::reset();
+        let mut out = vec![0u32; 8 * 4];
+        run_row_blocks(&mut out, 4, 8, 2, |_, block| block.fill(7));
+        assert_eq!(counters::snapshot().launches, 0);
+        assert!(out.iter().all(|&v| v == 7));
+
+        counters::set_enabled(true);
+        let before = counters::snapshot();
+        run_row_blocks(&mut out, 4, 8, 1, |_, block| block.fill(1));
+        run_row_blocks(&mut out, 4, 8, 4, |_, block| block.fill(2));
+        let after = counters::snapshot();
+        counters::set_enabled(false);
+        // Other tests' kernels may run concurrently while enabled, so the
+        // deltas are lower bounds, not exact counts.
+        assert!(after.launches >= before.launches + 2, "{after:?}");
+        assert!(after.parallel_launches > before.parallel_launches, "{after:?}");
+        assert!(after.launches > after.parallel_launches, "{after:?}");
+        assert!(out.iter().all(|&v| v == 2));
     }
 }

@@ -36,7 +36,7 @@ fn main() {
     println!("noisy labels agree with ground truth: {}/{}", agree(&noisy), truth.len());
 
     // Single corrector.
-    let mut single = LabelCorrector::train(
+    let single = LabelCorrector::train(
         &train,
         &noisy,
         &embeddings,
@@ -52,7 +52,7 @@ fn main() {
     println!("single corrector agreement:            {}/{}", agree(&single_labels), truth.len());
 
     // Co-teaching pair.
-    let mut co = CoTeachingCorrector::train(
+    let co = CoTeachingCorrector::train(
         &train,
         &noisy,
         &embeddings,

@@ -26,7 +26,7 @@ fn main() {
     let noisy = NoiseModel::PAPER_CLASS_DEPENDENT.apply(&truth, &mut rng);
     println!("training CLFD under class-dependent noise (η10=0.3, η01=0.45)...");
 
-    let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 11);
+    let model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 11);
     let preds = model.predict_test(&split);
     let test_truth = split.test_labels();
     let metrics = RunMetrics::compute(&preds, &test_truth);

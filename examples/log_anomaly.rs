@@ -15,6 +15,7 @@ use clfd_baselines::{deeplog::DeepLog, logbert::LogBert, ClfdModel, SessionClass
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Preset};
 use clfd_eval::metrics::RunMetrics;
+use clfd_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,7 +35,7 @@ fn main() {
         Box::new(LogBert::default()),
     ];
     for model in &models {
-        let preds = model.fit_predict(&split, &noisy, &cfg, 13);
+        let preds = model.fit_predict(&split, &noisy, &cfg, 13, &Obs::null());
         let m = RunMetrics::compute(&preds, &split.test_labels());
         println!(
             "{:<8} {:>8.2} {:>8.2} {:>9.2}",

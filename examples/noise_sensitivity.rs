@@ -20,7 +20,7 @@ fn main() {
         let truth = split.train_labels();
         let mut rng = StdRng::seed_from_u64(17);
         let noisy = NoiseModel::Uniform { eta }.apply(&truth, &mut rng);
-        let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 23);
+        let model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 23);
 
         let corrector_cm = ConfusionMatrix::from_labels(model.corrected_labels(), &truth);
         let preds = model.predict_test(&split);

@@ -31,7 +31,7 @@ fn main() {
 
     // 3. Train the full CLFD framework (label corrector + fraud detector).
     let cfg = ClfdConfig::for_preset(Preset::Smoke);
-    let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 7);
+    let model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 7);
 
     // 4. How well did the label corrector clean the training labels?
     let corrected = model.corrected_labels();

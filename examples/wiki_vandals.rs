@@ -11,6 +11,7 @@ use clfd_baselines::{cldet::ClDet, selcl::SelCl, ClfdModel, SessionClassifier};
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Preset};
 use clfd_eval::metrics::RunMetrics;
+use clfd_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,7 +31,7 @@ fn main() {
         Box::new(ClDet),
     ];
     for model in &models {
-        let preds = model.fit_predict(&split, &noisy, &cfg, 9);
+        let preds = model.fit_predict(&split, &noisy, &cfg, 9, &Obs::null());
         let m = RunMetrics::compute(&preds, &split.test_labels());
         println!(
             "{:<8} {:>8.2} {:>8.2} {:>9.2}",

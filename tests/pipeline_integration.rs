@@ -7,6 +7,7 @@ use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Label, Preset};
 use clfd_eval::metrics::RunMetrics;
 use clfd_eval::runner::{run_cell, ExperimentSpec};
+use clfd_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,7 +30,7 @@ fn label_correction_helps_the_detector_under_noise() {
             let truth = split.train_labels();
             let mut rng = StdRng::seed_from_u64(seed + 100);
             let noisy = NoiseModel::Uniform { eta: 0.3 }.apply(&truth, &mut rng);
-            let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &ablation, seed);
+            let model = TrainedClfd::fit(&split, &noisy, &cfg, &ablation, seed);
             let preds = model.predict_test(&split);
             total += RunMetrics::compute(&preds, &split.test_labels()).f1;
         }
@@ -55,7 +56,7 @@ fn every_model_satisfies_the_classifier_contract() {
     let mut rng = StdRng::seed_from_u64(4);
     let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
     for model in &models {
-        let preds = model.fit_predict(&split, &noisy, &cfg, 77);
+        let preds = model.fit_predict(&split, &noisy, &cfg, 77, &Obs::null());
         assert_eq!(preds.len(), split.test.len(), "{} count", model.name());
         for p in &preds {
             assert!(
@@ -83,7 +84,7 @@ fn training_is_reproducible_for_a_fixed_seed() {
     let noisy = NoiseModel::Uniform { eta: 0.1 }.apply(&truth, &mut rng);
 
     let run = || {
-        let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 55);
+        let model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 55);
         model
             .predict_test(&split)
             .iter()
@@ -103,7 +104,7 @@ fn noise_monotonically_damages_the_uncorrected_model() {
     let metric_at = |eta: f32| {
         let mut rng = StdRng::seed_from_u64(8);
         let noisy = NoiseModel::Uniform { eta }.apply(&truth, &mut rng);
-        let mut model = TrainedClfd::fit(
+        let model = TrainedClfd::fit(
             &split,
             &noisy,
             &cfg,
@@ -122,6 +123,43 @@ fn noise_monotonically_damages_the_uncorrected_model() {
 }
 
 #[test]
+fn concurrent_prediction_matches_sequential_bit_for_bit() {
+    // `predict_test` borrows the model immutably, so two threads sharing
+    // one trained model must run safely and both reproduce the sequential
+    // result exactly — the regression test for inference mutating (and
+    // therefore racing on) model state.
+    let split = DatasetKind::Cert.generate(Preset::Smoke, 43);
+    let cfg = smoke_cfg();
+    let truth = split.train_labels();
+    let mut rng = StdRng::seed_from_u64(12);
+    let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
+    let model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 99);
+
+    let sequential = model.predict_test(&split);
+    let (a, b) = std::thread::scope(|s| {
+        let ta = s.spawn(|| model.predict_test(&split));
+        let tb = s.spawn(|| model.predict_test(&split));
+        (ta.join().expect("thread A"), tb.join().expect("thread B"))
+    });
+    for (which, preds) in [("A", &a), ("B", &b)] {
+        assert_eq!(preds.len(), sequential.len(), "thread {which} count");
+        for (i, (p, q)) in preds.iter().zip(&sequential).enumerate() {
+            assert_eq!(p.label, q.label, "thread {which}, session {i}");
+            assert_eq!(
+                p.malicious_score.to_bits(),
+                q.malicious_score.to_bits(),
+                "thread {which}, session {i} score"
+            );
+            assert_eq!(
+                p.confidence.to_bits(),
+                q.confidence.to_bits(),
+                "thread {which}, session {i} confidence"
+            );
+        }
+    }
+}
+
+#[test]
 fn runner_aggregates_multiple_runs() {
     let cfg = smoke_cfg();
     let spec = ExperimentSpec {
@@ -131,7 +169,7 @@ fn runner_aggregates_multiple_runs() {
         runs: 2,
         base_seed: 41,
     };
-    let cell = run_cell(&clfd_baselines::deeplog::DeepLog::default(), &spec, &cfg);
+    let cell = run_cell(&clfd_baselines::deeplog::DeepLog::default(), &spec, &cfg, &Obs::null());
     assert_eq!(cell.model, "DeepLog");
     assert!(cell.f1.mean.is_finite());
     // Two different seeds: the std is almost surely nonzero.

@@ -1,28 +1,35 @@
-//! Golden determinism test for the threaded kernels: the complete CLFD
-//! pipeline (embedding pretrain → label correction → contrastive fraud
-//! detector → prediction) run twice at 4 kernel threads must produce
-//! bit-identical predictions, and the 4-thread run must match the serial
-//! (1-thread) run bit-for-bit. This is the end-to-end witness of the
-//! tensor crate's bit-identity contract: if any kernel reassociated float
-//! arithmetic across threads, the divergence would be amplified by
-//! hundreds of training steps and caught here.
+//! Golden determinism test for the threaded kernels and the telemetry
+//! layer: the complete CLFD pipeline (embedding pretrain → label
+//! correction → contrastive fraud detector → prediction) run twice at 4
+//! kernel threads must produce bit-identical predictions, the 4-thread run
+//! must match the serial (1-thread) run bit-for-bit, and attaching a JSONL
+//! telemetry sink must change nothing. This is the end-to-end witness of
+//! the tensor crate's bit-identity contract and of `clfd_obs`'s
+//! observation-only contract: if any kernel reassociated float arithmetic
+//! across threads, or any telemetry read perturbed the compute path, the
+//! divergence would be amplified by hundreds of training steps and caught
+//! here.
 
-use clfd::{Ablation, ClfdConfig, Prediction, TrainedClfd};
+use clfd::{Ablation, ClfdConfig, Prediction, TrainOptions, TrainedClfd};
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Label, Preset};
+use clfd_obs::Obs;
 use clfd_tensor::with_threads;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// One full smoke-preset fit + predict at a pinned kernel thread count.
-fn smoke_fit(threads: usize) -> (Vec<Prediction>, Vec<Label>, Vec<f32>) {
+/// One full smoke-preset fit + predict at a pinned kernel thread count,
+/// with training telemetry flowing to `obs`.
+fn smoke_fit(threads: usize, obs: &Obs) -> (Vec<Prediction>, Vec<Label>, Vec<f32>) {
     with_threads(threads, || {
         let split = DatasetKind::Cert.generate(Preset::Smoke, 7);
         let cfg = ClfdConfig::for_preset(Preset::Smoke);
         let truth = split.train_labels();
         let mut rng = StdRng::seed_from_u64(1);
         let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
-        let mut model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 5);
+        let opts = TrainOptions { obs: obs.clone(), ..TrainOptions::conservative() };
+        let model = TrainedClfd::try_fit(&split, &noisy, &cfg, &Ablation::full(), 5, &opts)
+            .expect("smoke fit trains cleanly");
         let preds = model.predict_test(&split);
         let corrected = model.corrected_labels().to_vec();
         let confidences = model.correction_confidences().to_vec();
@@ -62,12 +69,42 @@ fn assert_identical(
 
 #[test]
 fn full_pipeline_is_bit_identical_across_runs_and_thread_counts() {
-    let serial = smoke_fit(1);
-    let threaded_a = smoke_fit(4);
-    let threaded_b = smoke_fit(4);
+    let serial = smoke_fit(1, &Obs::null());
+    let threaded_a = smoke_fit(4, &Obs::null());
+    let threaded_b = smoke_fit(4, &Obs::null());
     // Repeatability at a fixed thread count: no scheduling leak anywhere.
     assert_identical(&threaded_a, &threaded_b, "4 threads, run A vs run B");
     // Thread-count invariance: the parallel kernels are bit-identical to
     // the serial ones even through a full training trajectory.
     assert_identical(&serial, &threaded_a, "1 thread vs 4 threads");
+
+    // Telemetry invariance: a JSONL sink recording the whole run must not
+    // perturb predictions, corrected labels, or confidences by a single
+    // bit, and the log it produces must be well-formed JSONL with the
+    // pipeline's stage structure in it.
+    let log = std::env::temp_dir().join(format!("RUN_golden_{}.jsonl", std::process::id()));
+    let logged = {
+        let obs = Obs::jsonl(&log).expect("create jsonl sink");
+        let out = smoke_fit(4, &obs);
+        obs.flush();
+        out
+    };
+    assert_identical(&threaded_a, &logged, "null sink vs JSONL sink");
+    let text = std::fs::read_to_string(&log).expect("read back the run log");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 10, "log suspiciously short: {} lines", lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        clfd_obs::json::validate(line)
+            .unwrap_or_else(|e| panic!("log line {i} invalid: {e}\n{line}"));
+    }
+    for needle in [
+        "\"type\":\"stage_start\"",
+        "\"type\":\"epoch_end\"",
+        "\"corrector/simclr\"",
+        "\"detector/supcon\"",
+        "\"embeddings\"",
+    ] {
+        assert!(text.contains(needle), "run log missing {needle}");
+    }
+    std::fs::remove_file(&log).ok();
 }
