@@ -35,7 +35,7 @@ run clippy --workspace --all-targets -- -D warnings
 # binaries (src/bin/) and examples. `--lib` scopes the denied lints to
 # library targets so tests/bins can keep their eprintln!s.
 for lib in clfd clfd-tensor clfd-autograd clfd-nn clfd-losses clfd-data \
-    clfd-baselines clfd-eval clfd-bench clfd-obs; do
+    clfd-baselines clfd-eval clfd-bench clfd-obs clfd-serve; do
     run clippy -p "$lib" --lib -- -D warnings \
         -D clippy::print_stdout -D clippy::print_stderr
 done
@@ -46,4 +46,15 @@ rm -f BENCH_kernels.json
 run run --release -p clfd-bench --bin bench_suite -- \
     --preset smoke --threads 1,2 --out BENCH_kernels.json
 test -s BENCH_kernels.json
+
+# Serve smoke: freeze a trained smoke model, stream 100 requests through
+# the micro-batching engine at several batch/worker shapes, and require a
+# well-formed report. The binary itself asserts the frozen artifact
+# scores bit-identically to the live pipeline before benchmarking, and
+# re-parses the JSON it wrote.
+rm -f BENCH_serve.json
+run run --release -p clfd-bench --bin bench_serve -- \
+    --preset smoke --batches 1,32 --workers 1,2 --requests 100 \
+    --out BENCH_serve.json
+test -s BENCH_serve.json
 echo "ci: all checks passed"

@@ -7,10 +7,11 @@
 //! is what motivates the mixup-GCE replacement.
 
 use crate::common::{
-    session_refs, simclr_warmup, to_predictions, train_embeddings, Encoder, LinearHead,
+    session_refs, simclr_warmup, train_embeddings, Encoder, LinearHead, TrainedEncoderHead,
 };
 use crate::SessionClassifier;
-use clfd::{ClfdConfig, Prediction};
+use clfd::api::Scorer;
+use clfd::ClfdConfig;
 use clfd_data::session::{Label, SplitCorpus};
 use clfd_obs::Obs;
 use rand::rngs::StdRng;
@@ -25,16 +26,16 @@ impl SessionClassifier for ClDet {
         "CLDet"
     }
 
-    fn fit_predict(
+    fn fit_scorer(
         &self,
         split: &SplitCorpus,
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
         obs: &Obs,
-    ) -> Vec<Prediction> {
+    ) -> Box<dyn Scorer> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (train, test) = session_refs(split);
+        let (train, _) = session_refs(split);
         let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
 
         let mut encoder = Encoder::new(cfg, &mut rng);
@@ -61,8 +62,7 @@ impl SessionClassifier for ClDet {
             &mut rng,
         );
 
-        let test_features = encoder.features(&test, &embeddings, cfg);
-        to_predictions(&head.proba(&test_features))
+        Box::new(TrainedEncoderHead { encoder, head, embeddings, cfg: *cfg })
     }
 }
 

@@ -2,10 +2,11 @@
 //! SimCLR warm-up, frozen-feature extraction, CE classifier heads, and
 //! k-nearest-neighbour utilities.
 
+use clfd::api::Scorer;
 use clfd::{ClfdConfig, Prediction};
 use clfd_autograd::{Tape, Var};
 use clfd_data::augment::two_views;
-use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
+use clfd_data::batch::{assemble_features, batch_indices, one_hot, SessionBatch};
 use clfd_data::session::{Label, Session, SplitCorpus};
 use clfd_data::word2vec::ActivityEmbeddings;
 use clfd_losses::{cce_loss, nt_xent};
@@ -57,25 +58,20 @@ impl Encoder {
     }
 
     /// L2-normalized frozen features for all sessions.
+    ///
+    /// Value-only (no tape recording), so it takes `&self` and is
+    /// bit-identical to the tape-recorded encoding — see
+    /// `clfd_nn::Lstm::infer`.
     pub fn features(
-        &mut self,
+        &self,
         sessions: &[&Session],
         embeddings: &ActivityEmbeddings,
         cfg: &ClfdConfig,
     ) -> Matrix {
-        let mut features = Matrix::zeros(sessions.len(), cfg.hidden);
-        let all: Vec<usize> = (0..sessions.len()).collect();
-        for chunk in batch_indices(&all, cfg.batch_size) {
-            let refs: Vec<&Session> = chunk.iter().map(|&i| sessions[i]).collect();
-            let batch = SessionBatch::build(&refs, embeddings, cfg.max_seq_len);
-            let z = self.encode(&batch);
-            let values = self.tape.value(z).clone();
-            for (row, &i) in chunk.iter().enumerate() {
-                features.row_mut(i).copy_from_slice(values.row(row));
-            }
-            self.tape.reset();
-        }
-        features.l2_normalize_rows(1e-9)
+        assemble_features(sessions, embeddings, cfg.batch_size, cfg.max_seq_len, cfg.hidden, |b| {
+            self.lstm.infer(&self.tape, &b.steps, &b.lengths)
+        })
+        .l2_normalize_rows(1e-9)
     }
 }
 
@@ -177,12 +173,11 @@ impl LinearHead {
     }
 
     /// Softmax probabilities for features.
-    pub fn proba(&mut self, features: &Matrix) -> Matrix {
-        let x = self.tape.constant(features.clone());
-        let logits = self.layer.forward(&mut self.tape, x);
-        let p = self.tape.value(logits).softmax_rows();
-        self.tape.reset();
-        p
+    ///
+    /// Value-only forward (`clfd_nn::Linear::infer`), bit-identical to the
+    /// tape-recorded logits and callable on a shared head.
+    pub fn proba(&self, features: &Matrix) -> Matrix {
+        self.layer.infer(&self.tape, features).softmax_rows()
     }
 
     /// Trains with CE over hard labels for `epochs`.
@@ -286,37 +281,31 @@ impl JointModel {
     }
 
     /// Softmax probabilities for one batch (no training).
-    pub fn proba(&mut self, batch: &SessionBatch) -> Matrix {
-        let (_, logits) = self.forward(batch);
-        let p = self.tape.value(logits).softmax_rows();
-        self.tape.reset();
-        p
+    ///
+    /// Value-only forward through the shared inference paths
+    /// (`clfd_nn::Lstm::infer` + `clfd_nn::Linear::infer`), bit-identical
+    /// to the tape-recorded `forward` and callable on a shared model.
+    pub fn proba(&self, batch: &SessionBatch) -> Matrix {
+        let z = self.lstm.infer(&self.tape, &batch.steps, &batch.lengths);
+        self.head.infer(&self.tape, &z).softmax_rows()
     }
 
     /// Softmax probabilities for a full session list, batched.
     pub fn proba_all(
-        &mut self,
+        &self,
         sessions: &[&Session],
         embeddings: &ActivityEmbeddings,
         cfg: &ClfdConfig,
     ) -> Matrix {
-        let mut probs = Matrix::zeros(sessions.len(), 2);
-        let all: Vec<usize> = (0..sessions.len()).collect();
-        for chunk in batch_indices(&all, cfg.batch_size) {
-            let refs: Vec<&Session> = chunk.iter().map(|&i| sessions[i]).collect();
-            let batch = SessionBatch::build(&refs, embeddings, cfg.max_seq_len);
-            let p = self.proba(&batch);
-            for (row, &i) in chunk.iter().enumerate() {
-                probs.row_mut(i).copy_from_slice(p.row(row));
-            }
-        }
-        probs
+        assemble_features(sessions, embeddings, cfg.batch_size, cfg.max_seq_len, 2, |b| {
+            self.proba(b)
+        })
     }
 
     /// Per-sample CE loss values over the full training set (for the
     /// DivideMix-style GMM split).
     pub fn per_sample_ce(
-        &mut self,
+        &self,
         sessions: &[&Session],
         labels: &[Label],
         embeddings: &ActivityEmbeddings,
@@ -328,6 +317,61 @@ impl JointModel {
             .enumerate()
             .map(|(i, l)| -probs.get(i, l.index()).max(1e-12).ln())
             .collect()
+    }
+}
+
+/// A trained ensemble of [`JointModel`]s bound to its embedding table and
+/// batch-shaping config — the [`Scorer`] form of the jointly-trained
+/// baselines (one network for CTRR, two for the co-teaching pair of DivMix
+/// and ULC). Scoring averages the member networks' probabilities.
+pub struct TrainedJointEnsemble {
+    /// The trained member networks.
+    pub nets: Vec<JointModel>,
+    /// The activity-embedding table the networks were trained over.
+    pub embeddings: ActivityEmbeddings,
+    /// Hyper-parameters (batch shaping is read at scoring time).
+    pub cfg: ClfdConfig,
+}
+
+impl TrainedJointEnsemble {
+    /// Averaged class probabilities over the member networks (`n x 2`).
+    pub fn proba(&self, sessions: &[&Session]) -> Matrix {
+        assert!(!self.nets.is_empty(), "ensemble needs at least one network");
+        let mut acc = self.nets[0].proba_all(sessions, &self.embeddings, &self.cfg);
+        for net in &self.nets[1..] {
+            acc = acc.add(&net.proba_all(sessions, &self.embeddings, &self.cfg));
+        }
+        if self.nets.len() > 1 {
+            acc = acc.scale(1.0 / self.nets.len() as f32);
+        }
+        acc
+    }
+}
+
+impl Scorer for TrainedJointEnsemble {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        to_predictions(&self.proba(sessions))
+    }
+}
+
+/// A frozen-feature [`Encoder`] plus a [`LinearHead`] bound to its
+/// embedding table and config — the [`Scorer`] form of the two-stage
+/// contrastive baselines (Sel-CL, CLDet).
+pub struct TrainedEncoderHead {
+    /// The (SimCLR-warmed) session encoder.
+    pub encoder: Encoder,
+    /// The CE-trained softmax head.
+    pub head: LinearHead,
+    /// The activity-embedding table the model was trained over.
+    pub embeddings: ActivityEmbeddings,
+    /// Hyper-parameters (batch shaping is read at scoring time).
+    pub cfg: ClfdConfig,
+}
+
+impl Scorer for TrainedEncoderHead {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        let features = self.encoder.features(sessions, &self.embeddings, &self.cfg);
+        to_predictions(&self.head.proba(&features))
     }
 }
 

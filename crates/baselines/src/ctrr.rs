@@ -9,16 +9,16 @@
 //! observes — confident-pair selection through sample similarity breaks
 //! down under session diversity.
 
-use crate::common::{session_refs, to_predictions, train_embeddings, JointModel};
+use crate::common::{session_refs, train_embeddings, JointModel, TrainedJointEnsemble};
 use crate::SessionClassifier;
-use clfd::{ClfdConfig, Prediction};
+use clfd::api::Scorer;
+use clfd::ClfdConfig;
 use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
 use clfd_data::session::{Label, Session, SplitCorpus};
 use clfd_losses::cce_loss;
 use clfd_losses::contrastive::{sup_con_batch, SupConVariant};
 use clfd_nn::Optimizer;
 use clfd_obs::{Event, Obs, Stopwatch};
-use clfd_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -45,16 +45,16 @@ impl SessionClassifier for Ctrr {
         "CTRR"
     }
 
-    fn fit_predict(
+    fn fit_scorer(
         &self,
         split: &SplitCorpus,
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
         obs: &Obs,
-    ) -> Vec<Prediction> {
+    ) -> Box<dyn Scorer> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (train, test) = session_refs(split);
+        let (train, _) = session_refs(split);
         let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
 
         // Encoder + classifier trained jointly: they must share one tape so
@@ -91,17 +91,7 @@ impl SessionClassifier for Ctrr {
         }
         span.finish();
 
-        let mut probs = Matrix::zeros(test.len(), 2);
-        let all: Vec<usize> = (0..test.len()).collect();
-        for chunk in batch_indices(&all, cfg.batch_size) {
-            let refs: Vec<&Session> = chunk.iter().map(|&i| test[i]).collect();
-            let batch = SessionBatch::build(&refs, &embeddings, cfg.max_seq_len);
-            let p = model.proba(&batch);
-            for (row, &i) in chunk.iter().enumerate() {
-                probs.row_mut(i).copy_from_slice(p.row(row));
-            }
-        }
-        to_predictions(&probs)
+        Box::new(TrainedJointEnsemble { nets: vec![model], embeddings, cfg: *cfg })
     }
 }
 

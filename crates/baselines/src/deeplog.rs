@@ -8,7 +8,9 @@
 
 use crate::common::{percentile, scores_to_predictions, session_refs};
 use crate::SessionClassifier;
+use clfd::api::Scorer;
 use clfd::{ClfdConfig, Prediction};
+use std::sync::Mutex;
 use clfd_autograd::{Tape, Var};
 use clfd_data::batch::batch_indices;
 use clfd_data::session::{Label, Session, SplitCorpus};
@@ -106,21 +108,42 @@ impl Model {
     }
 }
 
+/// DeepLog frozen for scoring: the trained model plus its calibrated
+/// threshold. The tape-based forward needs `&mut`, so concurrent scorers
+/// serialize through the mutex.
+struct TrainedDeepLog {
+    model: Mutex<Model>,
+    cfg: ClfdConfig,
+    top_g: usize,
+    threshold: f32,
+}
+
+impl Scorer for TrainedDeepLog {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        let mut model = self.model.lock().expect("deeplog model lock");
+        let scores: Vec<f32> = sessions
+            .iter()
+            .map(|s| model.miss_rate(s, &self.cfg, self.top_g))
+            .collect();
+        scores_to_predictions(&scores, self.threshold)
+    }
+}
+
 impl SessionClassifier for DeepLog {
     fn name(&self) -> &'static str {
         "DeepLog"
     }
 
-    fn fit_predict(
+    fn fit_scorer(
         &self,
         split: &SplitCorpus,
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
         obs: &Obs,
-    ) -> Vec<Prediction> {
+    ) -> Box<dyn Scorer> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (train, test) = session_refs(split);
+        let (train, _) = session_refs(split);
         let vocab = split.corpus.vocab.len();
         let mut model = Model::new(vocab, cfg, &mut rng);
 
@@ -184,11 +207,12 @@ impl SessionClassifier for DeepLog {
             percentile(&train_scores, self.threshold_percentile)
         };
 
-        let test_scores: Vec<f32> = test
-            .iter()
-            .map(|s| model.miss_rate(s, cfg, self.top_g))
-            .collect();
-        scores_to_predictions(&test_scores, threshold)
+        Box::new(TrainedDeepLog {
+            model: Mutex::new(model),
+            cfg: *cfg,
+            top_g: self.top_g,
+            threshold,
+        })
     }
 }
 

@@ -10,9 +10,10 @@
 //! two networks' averaged prediction (label co-refinement / co-guessing),
 //! followed by mixup. Inference averages both networks.
 
-use crate::common::{session_refs, to_predictions, train_embeddings, JointModel};
+use crate::common::{session_refs, train_embeddings, JointModel, TrainedJointEnsemble};
 use crate::SessionClassifier;
-use clfd::{ClfdConfig, Prediction};
+use clfd::api::Scorer;
+use clfd::ClfdConfig;
 use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
 use clfd_data::session::{Label, SplitCorpus};
 use clfd_data::session::Session;
@@ -48,16 +49,16 @@ impl SessionClassifier for DivMix {
         "DivMix"
     }
 
-    fn fit_predict(
+    fn fit_scorer(
         &self,
         split: &SplitCorpus,
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
         obs: &Obs,
-    ) -> Vec<Prediction> {
+    ) -> Box<dyn Scorer> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (train, test) = session_refs(split);
+        let (train, _) = session_refs(split);
         let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
         let targets_noisy = one_hot(noisy);
 
@@ -159,9 +160,7 @@ impl SessionClassifier for DivMix {
         co_span.finish();
 
         // Inference: ensemble of both networks.
-        let pa = net_a.proba_all(&test, &embeddings, cfg);
-        let pb = net_b.proba_all(&test, &embeddings, cfg);
-        to_predictions(&pa.add(&pb).scale(0.5))
+        Box::new(TrainedJointEnsemble { nets: vec![net_a, net_b], embeddings, cfg: *cfg })
     }
 }
 

@@ -8,7 +8,9 @@
 
 use crate::common::{session_refs, to_predictions, train_embeddings};
 use crate::SessionClassifier;
+use clfd::api::Scorer;
 use clfd::{ClfdConfig, Prediction};
+use std::sync::Mutex;
 use clfd_autograd::{Tape, Var};
 use clfd_data::batch::{batch_indices, one_hot};
 use clfd_data::session::{Label, Session, SplitCorpus};
@@ -82,21 +84,43 @@ impl Model {
     }
 }
 
+/// Few-Shot frozen for scoring. The transformer forward is tape-based
+/// (`&mut`), so concurrent scorers serialize through the mutex.
+struct TrainedFewShot {
+    model: Mutex<Model>,
+    embeddings: ActivityEmbeddings,
+    cfg: ClfdConfig,
+}
+
+impl Scorer for TrainedFewShot {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        let mut model = self.model.lock().expect("few-shot model lock");
+        let mut probs = Matrix::zeros(sessions.len(), 2);
+        for (r, s) in sessions.iter().enumerate() {
+            let logits = model.logits(s, &self.embeddings, &self.cfg);
+            let p = model.tape.value(logits).softmax_rows();
+            probs.row_mut(r).copy_from_slice(p.row(0));
+            model.tape.reset();
+        }
+        to_predictions(&probs)
+    }
+}
+
 impl SessionClassifier for FewShot {
     fn name(&self) -> &'static str {
         "Few-Shot"
     }
 
-    fn fit_predict(
+    fn fit_scorer(
         &self,
         split: &SplitCorpus,
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
         obs: &Obs,
-    ) -> Vec<Prediction> {
+    ) -> Box<dyn Scorer> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (train, test) = session_refs(split);
+        let (train, _) = session_refs(split);
         let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
         let mut model = Model::new(cfg, self, &mut rng);
 
@@ -141,14 +165,7 @@ impl SessionClassifier for FewShot {
         }
         span.finish();
 
-        let mut probs = Matrix::zeros(test.len(), 2);
-        for (r, s) in test.iter().enumerate() {
-            let logits = model.logits(s, &embeddings, cfg);
-            let p = model.tape.value(logits).softmax_rows();
-            probs.row_mut(r).copy_from_slice(p.row(0));
-            model.tape.reset();
-        }
-        to_predictions(&probs)
+        Box::new(TrainedFewShot { model: Mutex::new(model), embeddings, cfg: *cfg })
     }
 }
 

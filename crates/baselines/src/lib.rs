@@ -27,6 +27,7 @@ pub mod logbert;
 pub mod selcl;
 pub mod ulc;
 
+use clfd::api::Scorer;
 use clfd::{ClfdConfig, Prediction};
 use clfd_data::session::{Label, SplitCorpus};
 use clfd_obs::Obs;
@@ -36,12 +37,28 @@ pub trait SessionClassifier {
     /// Display name matching the paper's table rows.
     fn name(&self) -> &'static str;
 
-    /// Trains on `split.train` with the given noisy labels and classifies
-    /// `split.test`, returning one prediction per test session.
+    /// Trains on `split.train` with the given noisy labels and returns the
+    /// fitted model as a reusable [`Scorer`]: the evaluation runner, the
+    /// serving benchmarks, and ad-hoc analysis all score through this one
+    /// surface instead of each baseline exposing its own inference shape.
     ///
     /// `obs` receives per-stage training telemetry (stage spans and
     /// per-epoch losses, under `baseline/<name>/...` stage names); pass
     /// [`Obs::null`] to record nothing.
+    fn fit_scorer(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+        obs: &Obs,
+    ) -> Box<dyn Scorer>;
+
+    /// Trains on `split.train` with the given noisy labels and classifies
+    /// `split.test`, returning one prediction per test session.
+    ///
+    /// The default trains via [`SessionClassifier::fit_scorer`] and scores
+    /// the test split through the returned [`Scorer`].
     fn fit_predict(
         &self,
         split: &SplitCorpus,
@@ -49,7 +66,12 @@ pub trait SessionClassifier {
         cfg: &ClfdConfig,
         seed: u64,
         obs: &Obs,
-    ) -> Vec<Prediction>;
+    ) -> Vec<Prediction> {
+        let scorer = self.fit_scorer(split, noisy, cfg, seed, obs);
+        let test: Vec<_> =
+            split.test.iter().map(|&i| &split.corpus.sessions[i]).collect();
+        scorer.score(&test)
+    }
 
     /// Fault-isolated variant used by the experiment runner: one crashing
     /// run must not take down a whole sweep.
@@ -101,21 +123,42 @@ impl Default for ClfdModel {
     }
 }
 
-impl SessionClassifier for ClfdModel {
-    fn name(&self) -> &'static str {
-        "CLFD"
-    }
-
-    fn fit_predict(
+impl ClfdModel {
+    /// Runs the builder pipeline, surfacing typed errors as strings.
+    fn train(
         &self,
         split: &SplitCorpus,
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
         obs: &Obs,
-    ) -> Vec<Prediction> {
-        self.try_fit_predict(split, noisy, cfg, seed, obs)
-            .unwrap_or_else(|e| panic!("{e}"))
+    ) -> Result<clfd::TrainedClfd, String> {
+        clfd::TrainedClfd::builder()
+            .config(*cfg)
+            .ablation(self.ablation)
+            .seed(seed)
+            .obs(obs.clone())
+            .try_fit(split, noisy)
+            .map_err(|e| e.to_string())
+    }
+}
+
+impl SessionClassifier for ClfdModel {
+    fn name(&self) -> &'static str {
+        "CLFD"
+    }
+
+    fn fit_scorer(
+        &self,
+        split: &SplitCorpus,
+        noisy: &[Label],
+        cfg: &ClfdConfig,
+        seed: u64,
+        obs: &Obs,
+    ) -> Box<dyn Scorer> {
+        let model =
+            self.train(split, noisy, cfg, seed, obs).unwrap_or_else(|e| panic!("{e}"));
+        Box::new(model)
     }
 
     fn try_fit_predict(
@@ -126,13 +169,7 @@ impl SessionClassifier for ClfdModel {
         seed: u64,
         obs: &Obs,
     ) -> Result<Vec<Prediction>, String> {
-        let opts = clfd::TrainOptions {
-            obs: obs.clone(),
-            ..clfd::TrainOptions::conservative()
-        };
-        let model =
-            clfd::TrainedClfd::try_fit(split, noisy, cfg, &self.ablation, seed, &opts)
-                .map_err(|e| e.to_string())?;
+        let model = self.train(split, noisy, cfg, seed, obs)?;
         Ok(model.predict_test(split))
     }
 }

@@ -10,7 +10,9 @@
 
 use crate::common::{percentile, scores_to_predictions, session_refs};
 use crate::SessionClassifier;
+use clfd::api::Scorer;
 use clfd::{ClfdConfig, Prediction};
+use std::sync::Mutex;
 use clfd_autograd::{Tape, Var};
 use clfd_data::batch::batch_indices;
 use clfd_data::session::{Label, Session, SplitCorpus};
@@ -23,7 +25,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// LogBert baseline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LogBert {
     /// Fraction of positions masked per pass.
     pub mask_ratio: f32,
@@ -137,21 +139,45 @@ impl Model {
     }
 }
 
+/// LogBert frozen for scoring: the trained model, its calibrated
+/// threshold, and the *continuing* mask RNG — masks are re-sampled on
+/// every scoring pass, so the RNG advances with each call (scoring the
+/// same sessions twice draws different masks, exactly as repeated calls
+/// on the live model would).
+struct TrainedLogBert {
+    inner: Mutex<(Model, StdRng)>,
+    spec: LogBert,
+    cfg: ClfdConfig,
+    threshold: f32,
+}
+
+impl Scorer for TrainedLogBert {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        let mut inner = self.inner.lock().expect("logbert model lock");
+        let (model, rng) = &mut *inner;
+        let scores: Vec<f32> = sessions
+            .iter()
+            .map(|s| model.score(s, &self.cfg, &self.spec, rng))
+            .collect();
+        scores_to_predictions(&scores, self.threshold)
+    }
+}
+
 impl SessionClassifier for LogBert {
     fn name(&self) -> &'static str {
         "LogBert"
     }
 
-    fn fit_predict(
+    fn fit_scorer(
         &self,
         split: &SplitCorpus,
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
         obs: &Obs,
-    ) -> Vec<Prediction> {
+    ) -> Box<dyn Scorer> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (train, test) = session_refs(split);
+        let (train, _) = session_refs(split);
         let vocab = split.corpus.vocab.len();
         let mut model = Model::new(vocab, cfg, &mut rng);
 
@@ -214,9 +240,12 @@ impl SessionClassifier for LogBert {
         } else {
             percentile(&train_scores, self.threshold_percentile)
         };
-        let test_scores: Vec<f32> =
-            test.iter().map(|s| model.score(s, cfg, self, &mut rng)).collect();
-        scores_to_predictions(&test_scores, threshold)
+        Box::new(TrainedLogBert {
+            inner: Mutex::new((model, rng)),
+            spec: self.clone(),
+            cfg: *cfg,
+            threshold,
+        })
     }
 }
 

@@ -11,11 +11,12 @@
 //! reports for this baseline.
 
 use crate::common::{
-    knn_correct, session_refs, simclr_warmup, to_predictions, train_embeddings, Encoder,
-    LinearHead,
+    knn_correct, session_refs, simclr_warmup, train_embeddings, Encoder, LinearHead,
+    TrainedEncoderHead,
 };
 use crate::SessionClassifier;
-use clfd::{ClfdConfig, Prediction};
+use clfd::api::Scorer;
+use clfd::ClfdConfig;
 use clfd_data::batch::{batch_indices, SessionBatch};
 use clfd_data::session::{Label, Session, SplitCorpus};
 use clfd_losses::contrastive::{sup_con_batch, SupConVariant};
@@ -45,16 +46,16 @@ impl SessionClassifier for SelCl {
         "Sel-CL"
     }
 
-    fn fit_predict(
+    fn fit_scorer(
         &self,
         split: &SplitCorpus,
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
         obs: &Obs,
-    ) -> Vec<Prediction> {
+    ) -> Box<dyn Scorer> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (train, test) = session_refs(split);
+        let (train, _) = session_refs(split);
         let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
 
         // (1) SimCLR warm-up.
@@ -153,8 +154,7 @@ impl SessionClassifier for SelCl {
             );
         }
 
-        let test_features = encoder.features(&test, &embeddings, cfg);
-        to_predictions(&head.proba(&test_features))
+        Box::new(TrainedEncoderHead { encoder, head, embeddings, cfg: *cfg })
     }
 }
 

@@ -9,9 +9,10 @@
 //! continues training on the label set corrected by its *peer* (the
 //! co-teaching exchange), and inference averages the two networks.
 
-use crate::common::{session_refs, to_predictions, train_embeddings, JointModel};
+use crate::common::{session_refs, train_embeddings, JointModel, TrainedJointEnsemble};
 use crate::SessionClassifier;
-use clfd::{ClfdConfig, Prediction};
+use clfd::api::Scorer;
+use clfd::ClfdConfig;
 use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
 use clfd_data::session::{Label, Session, SplitCorpus};
 use clfd_nn::Optimizer;
@@ -50,16 +51,16 @@ impl SessionClassifier for Ulc {
         "ULC"
     }
 
-    fn fit_predict(
+    fn fit_scorer(
         &self,
         split: &SplitCorpus,
         noisy: &[Label],
         cfg: &ClfdConfig,
         seed: u64,
         obs: &Obs,
-    ) -> Vec<Prediction> {
+    ) -> Box<dyn Scorer> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (train, test) = session_refs(split);
+        let (train, _) = session_refs(split);
         let embeddings = train_embeddings(&train, split.corpus.vocab.len(), cfg, &mut rng);
         let targets_noisy = one_hot(noisy);
 
@@ -144,9 +145,7 @@ impl SessionClassifier for Ulc {
         }
         corrected_span.finish();
 
-        let pa = net_a.proba_all(&test, &embeddings, cfg);
-        let pb = net_b.proba_all(&test, &embeddings, cfg);
-        to_predictions(&pa.add(&pb).scale(0.5))
+        Box::new(TrainedJointEnsemble { nets: vec![net_a, net_b], embeddings, cfg: *cfg })
     }
 }
 

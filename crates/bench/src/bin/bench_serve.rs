@@ -1,0 +1,313 @@
+//! Serving benchmark: latency and throughput of the `clfd-serve`
+//! micro-batching engine across batch-size × worker-count configurations.
+//!
+//! Trains one smoke CLFD model on CERT, freezes it into an
+//! [`InferenceArtifact`], and replays the test sessions as a stream of
+//! requests through an [`Engine`] per configuration. Per-request latency
+//! (enqueue → answer) comes from the engine's own `RequestDone` telemetry
+//! captured in a [`MemorySink`]; the single-session baseline scores the
+//! same request stream one session at a time through the bare artifact.
+//!
+//! ```text
+//! cargo run --release -p clfd-bench --bin bench_serve -- \
+//!     --preset smoke --batches 1,8,32 --workers 1,2 --out BENCH_serve.json
+//! ```
+//!
+//! The report self-validates: after writing, the file is read back and
+//! re-parsed, so a `BENCH_serve.json` on disk is always well-formed.
+
+use clfd::api::Scorer;
+use clfd::TrainedClfd;
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::{DatasetKind, Preset, Session};
+use clfd_obs::{Event, MemorySink, Obs, Stopwatch};
+use clfd_serve::{Engine, EngineConfig, InferenceArtifact};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One engine configuration's measurements.
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeConfigResult {
+    max_batch: usize,
+    workers: usize,
+    requests: usize,
+    wall_seconds: f64,
+    /// Answered requests per second (submit of the first to answer of the
+    /// last).
+    throughput_per_sec: f64,
+    /// Median enqueue→answer latency, microseconds.
+    latency_us_p50: u64,
+    /// 99th-percentile enqueue→answer latency, microseconds.
+    latency_us_p99: u64,
+    /// Micro-batches the workers flushed while draining the stream.
+    batches_flushed: usize,
+    /// Mean rows per flushed micro-batch.
+    mean_batch_rows: f64,
+}
+
+/// The whole report written to `--out`.
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeReport {
+    preset: String,
+    dataset: String,
+    requests: usize,
+    /// Baseline: sessions/second scoring one at a time through the bare
+    /// artifact (no queue, no batching).
+    single_session_per_sec: f64,
+    /// Best batch-32 engine throughput over the single-session baseline.
+    speedup_batch32_vs_single: f64,
+    results: Vec<ServeConfigResult>,
+}
+
+/// `q`-th percentile (0.0–1.0) of `sorted` (ascending, non-empty).
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Runs `requests` through one engine configuration and collects the
+/// engine's own telemetry for the latency distribution.
+fn run_config(
+    artifact: &InferenceArtifact,
+    requests: &[&Session],
+    max_batch: usize,
+    workers: usize,
+) -> ServeConfigResult {
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::from_arc(sink.clone());
+    let engine = Engine::with_obs(
+        artifact.clone(),
+        EngineConfig { max_batch, queue_capacity: max_batch.max(64) * 4, workers },
+        obs,
+    );
+
+    let start = Instant::now();
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|s| engine.submit(s).expect("benchmark sessions are valid"))
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("engine answers every accepted request");
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    drop(engine); // join the workers so the sink holds the full event stream
+
+    let mut latencies = Vec::new();
+    let mut batches_flushed = 0usize;
+    let mut flushed_rows = 0usize;
+    for event in sink.events() {
+        match event {
+            Event::RequestDone { latency_us, .. } => latencies.push(latency_us),
+            Event::BatchFlushed { rows, .. } => {
+                batches_flushed += 1;
+                flushed_rows += rows;
+            }
+            _ => {}
+        }
+    }
+    latencies.sort_unstable();
+    assert_eq!(latencies.len(), requests.len(), "one RequestDone per request");
+
+    ServeConfigResult {
+        max_batch,
+        workers,
+        requests: requests.len(),
+        wall_seconds,
+        throughput_per_sec: requests.len() as f64 / wall_seconds,
+        latency_us_p50: percentile_us(&latencies, 0.50),
+        latency_us_p99: percentile_us(&latencies, 0.99),
+        batches_flushed,
+        mean_batch_rows: if batches_flushed > 0 {
+            flushed_rows as f64 / batches_flushed as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Parsed command line of the benchmark.
+struct CliArgs {
+    preset: Preset,
+    batches: Vec<usize>,
+    workers: Vec<usize>,
+    requests: usize,
+    out: String,
+    log: Option<String>,
+}
+
+/// Parses a comma-separated list of positive integers.
+fn parse_counts(what: &str, raw: &str) -> Result<Vec<usize>, String> {
+    let counts: Vec<usize> = raw
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|e| format!("bad {what} {s}: {e}"))
+                .and_then(|n| if n >= 1 { Ok(n) } else { Err(format!("{what} starts at 1")) })
+        })
+        .collect::<Result<_, _>>()?;
+    if counts.is_empty() {
+        return Err(format!("--{what} needs at least one count"));
+    }
+    Ok(counts)
+}
+
+/// Minimal flag parsing (`--preset`, `--batches`, `--workers`,
+/// `--requests`, `--out`, `--log`).
+fn parse_args() -> Result<CliArgs, String> {
+    let mut preset = Preset::Smoke;
+    let mut batches = vec![1, 8, 32];
+    let mut workers = vec![1, 2];
+    let mut requests = 512;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut log = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--preset" => {
+                preset = match value()?.to_lowercase().as_str() {
+                    "smoke" => Preset::Smoke,
+                    "default" => Preset::Default,
+                    "paper" => Preset::Paper,
+                    other => return Err(format!("unknown preset {other}")),
+                }
+            }
+            "--batches" => batches = parse_counts("batches", &value()?)?,
+            "--workers" => workers = parse_counts("workers", &value()?)?,
+            "--requests" => {
+                requests = value()?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad request count: {e}"))?;
+                if requests == 0 {
+                    return Err("--requests starts at 1".to_string());
+                }
+            }
+            "--out" => out = value()?,
+            "--log" => log = Some(value()?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    batches.sort_unstable();
+    batches.dedup();
+    workers.sort_unstable();
+    workers.dedup();
+    Ok(CliArgs { preset, batches, workers, requests, out, log })
+}
+
+fn main() {
+    let CliArgs { preset, batches, workers, requests, out, log } =
+        parse_args().unwrap_or_else(|msg| {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: bench_serve --preset smoke|default|paper --batches 1,8,32 \
+                 --workers 1,2 --requests 512 --out PATH --log PATH"
+            );
+            std::process::exit(2);
+        });
+    let log = log.unwrap_or_else(|| {
+        let path = std::path::Path::new(&out);
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
+        path.with_file_name(format!("RUN_{stem}.jsonl")).to_string_lossy().into_owned()
+    });
+    let obs = Obs::jsonl(&log).unwrap_or_else(|e| panic!("cannot create log {log}: {e}"));
+    let run_clock = Stopwatch::start();
+    obs.emit(Event::RunStart {
+        name: "bench_serve".into(),
+        detail: format!(
+            "preset={preset:?} batches={batches:?} workers={workers:?} requests={requests}"
+        ),
+    });
+
+    // One trained model, frozen once, shared by every configuration.
+    let split = DatasetKind::Cert.generate(preset, 7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+    let fit_span = obs.stage("bench_serve/fit");
+    let model = TrainedClfd::builder()
+        .preset(preset)
+        .seed(7)
+        .obs(obs.clone())
+        .fit(&split, &noisy);
+    fit_span.finish();
+    let artifact = InferenceArtifact::freeze(&model).expect("trained model freezes");
+
+    // Replay the test split cyclically as the request stream.
+    let test: Vec<&Session> =
+        split.test.iter().map(|&i| &split.corpus.sessions[i]).collect();
+    let stream: Vec<&Session> = (0..requests).map(|i| test[i % test.len()]).collect();
+
+    // Sanity: the frozen artifact (the thing every configuration serves)
+    // must agree with the live model on the whole stream.
+    let expected = model.predict_sessions(&stream);
+    let frozen = artifact.score(&stream);
+    for (a, b) in expected.iter().zip(&frozen) {
+        assert_eq!(a.label, b.label, "frozen artifact drifted from the live model");
+        assert_eq!(a.malicious_score.to_bits(), b.malicious_score.to_bits());
+    }
+
+    // Single-session baseline: no queue, no batching, one forward per
+    // request.
+    let start = Instant::now();
+    for s in &stream {
+        std::hint::black_box(artifact.predict(&[s]));
+    }
+    let single_session_per_sec = stream.len() as f64 / start.elapsed().as_secs_f64();
+    eprintln!("[bench_serve] single-session baseline: {single_session_per_sec:.1} req/s");
+
+    let mut results = Vec::new();
+    for &max_batch in &batches {
+        for &w in &workers {
+            let r = run_config(&artifact, &stream, max_batch, w);
+            eprintln!(
+                "[bench_serve] batch {max_batch} x {w} workers: {:.1} req/s, \
+                 p50 {}us, p99 {}us ({} flushes, {:.1} rows/flush)",
+                r.throughput_per_sec,
+                r.latency_us_p50,
+                r.latency_us_p99,
+                r.batches_flushed,
+                r.mean_batch_rows
+            );
+            results.push(r);
+        }
+    }
+
+    let best_batch32 = results
+        .iter()
+        .filter(|r| r.max_batch >= 32)
+        .map(|r| r.throughput_per_sec)
+        .fold(0.0_f64, f64::max);
+    let report = ServeReport {
+        preset: format!("{preset:?}").to_lowercase(),
+        dataset: "cert".to_string(),
+        requests,
+        single_session_per_sec,
+        speedup_batch32_vs_single: best_batch32 / single_session_per_sec,
+        results,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes cleanly");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    obs.emit(Event::ArtifactWritten { path: out.clone() });
+
+    // Self-validation: the artifact on disk must parse back into the same
+    // schema, so downstream tooling can rely on it.
+    let reread =
+        std::fs::read_to_string(&out).unwrap_or_else(|e| panic!("cannot reread {out}: {e}"));
+    let parsed: ServeReport =
+        serde_json::from_str(&reread).expect("written report must re-parse");
+    assert_eq!(parsed.results.len(), report.results.len(), "round-trip kept all rows");
+    obs.emit(Event::RunEnd { name: "bench_serve".into(), wall_ms: run_clock.elapsed_ms() });
+    obs.flush();
+    eprintln!(
+        "wrote {out} ({} configurations, batch-32 speedup {:.2}x vs single-session); log {log}",
+        parsed.results.len(),
+        parsed.speedup_batch32_vs_single
+    );
+}

@@ -17,7 +17,7 @@
 //! The report self-validates: after writing, the file is read back and
 //! re-parsed, so a `BENCH_kernels.json` on disk is always well-formed.
 
-use clfd::{Ablation, ClfdConfig, TrainedClfd};
+use clfd::{ClfdConfig, TrainedClfd};
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Preset};
 use clfd_obs::{Event, Obs, Stopwatch};
@@ -229,7 +229,8 @@ fn end_to_end(preset: Preset, threads: &[usize], obs: &Obs) -> Vec<EndToEnd> {
             counted(obs, format!("e2e@{t}t"), || {
                 with_threads(t, || {
                     let start = Instant::now();
-                    let model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 5);
+                    let model =
+                        TrainedClfd::builder().config(cfg).seed(5).fit(&split, &noisy);
                     let fit_seconds = start.elapsed().as_secs_f64();
                     let start = Instant::now();
                     let preds = model.predict_test(&split);

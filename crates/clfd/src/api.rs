@@ -1,0 +1,126 @@
+//! The unified scoring surface shared by every trained model in the
+//! workspace.
+//!
+//! Training surfaces differ widely — CLFD's two-stage pipeline, the
+//! baselines' single joint loops, the frozen serving artifact — but once
+//! trained they all answer the same question: *given sessions, how
+//! malicious is each one?* [`Scorer`] is that question as a trait, so
+//! evaluation and benchmark code can iterate over heterogeneous models
+//! (`&dyn Scorer`) without caring how each was fit.
+//!
+//! Implementations in this workspace:
+//!
+//! * [`TrainedClfd`](crate::TrainedClfd) — the full pipeline (detector if
+//!   trained, else corrector);
+//! * [`DetectorScorer`] / [`CorrectorScorer`] — one CLFD stage bound to
+//!   its embedding table and config;
+//! * every baseline's trained form (`clfd-baselines`);
+//! * the frozen `InferenceArtifact` and serving engine (`clfd-serve`).
+//!
+//! The contract is *thread-safe, value-only inference*: `score` takes
+//! `&self`, never mutates model parameters, and one scorer may be shared
+//! across threads (`Send + Sync`).
+
+use crate::config::ClfdConfig;
+use crate::corrector::LabelCorrector;
+use crate::detector::FraudDetector;
+use crate::model::Prediction;
+use crate::pipeline::TrainedClfd;
+use clfd_data::session::Session;
+use clfd_data::word2vec::ActivityEmbeddings;
+
+/// A trained model that classifies sessions.
+///
+/// `score` returns one [`Prediction`] per input session, in input order.
+/// Implementations must be pure with respect to model state: scoring the
+/// same sessions twice yields bitwise-identical predictions, and scoring
+/// may run concurrently from multiple threads.
+pub trait Scorer: Send + Sync {
+    /// Classifies `sessions`, one prediction per input, in input order.
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction>;
+}
+
+impl Scorer for TrainedClfd {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        self.predict_sessions(sessions)
+    }
+}
+
+impl<S: Scorer + ?Sized> Scorer for &S {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        (**self).score(sessions)
+    }
+}
+
+impl<S: Scorer + ?Sized> Scorer for Box<S> {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        (**self).score(sessions)
+    }
+}
+
+/// A trained fraud detector bound to the embedding table and config it was
+/// trained with, satisfying [`Scorer`]. Built by [`FraudDetector::scorer`].
+pub struct DetectorScorer<'a> {
+    pub(crate) detector: &'a FraudDetector,
+    pub(crate) embeddings: &'a ActivityEmbeddings,
+    pub(crate) cfg: &'a ClfdConfig,
+}
+
+impl Scorer for DetectorScorer<'_> {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        self.detector.predict(sessions, self.embeddings, self.cfg)
+    }
+}
+
+/// A trained label corrector bound to the embedding table and config it
+/// was trained with, satisfying [`Scorer`]. Built by
+/// [`LabelCorrector::scorer`]; this is the inference path of the `w/o FD`
+/// ablation.
+pub struct CorrectorScorer<'a> {
+    pub(crate) corrector: &'a LabelCorrector,
+    pub(crate) embeddings: &'a ActivityEmbeddings,
+    pub(crate) cfg: &'a ClfdConfig,
+}
+
+impl Scorer for CorrectorScorer<'_> {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        self.corrector.predict(sessions, self.embeddings, self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Ablation;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::{DatasetKind, Preset};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scorer_matches_predict_sessions_across_stage_views() {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 11);
+        let cfg = crate::ClfdConfig::for_preset(Preset::Smoke);
+        let truth = split.train_labels();
+        let mut rng = StdRng::seed_from_u64(4);
+        let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&truth, &mut rng);
+        let model =
+            TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 3);
+        let test: Vec<&Session> =
+            split.test.iter().map(|&i| &split.corpus.sessions[i]).collect();
+
+        let direct = model.predict_sessions(&test);
+        // Through the trait object: identical, by construction.
+        let generic: &dyn Scorer = &model;
+        assert_eq!(generic.score(&test), direct);
+        // The detector stage view is the full model's inference path when
+        // the detector is trained.
+        let detector = model.detector().expect("full ablation trains a detector");
+        let bound = detector.scorer(model.embeddings(), model.config());
+        assert_eq!(bound.score(&test), direct);
+        // The corrector view exists and produces one prediction per input.
+        let corrector = model.corrector().expect("full ablation trains a corrector");
+        let cpreds = corrector.scorer(model.embeddings(), model.config()).score(&test);
+        assert_eq!(cpreds.len(), test.len());
+    }
+}

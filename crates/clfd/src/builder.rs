@@ -1,0 +1,203 @@
+//! Fluent construction of CLFD training runs.
+//!
+//! [`TrainedClfd::fit`]/[`try_fit`](TrainedClfd::try_fit) accumulated six
+//! positional arguments as the framework grew; [`ClfdBuilder`] replaces
+//! that surface with named, defaulted knobs:
+//!
+//! ```no_run
+//! # use clfd::prelude::*;
+//! # use clfd_data::session::{DatasetKind, Preset};
+//! # let split = DatasetKind::Cert.generate(Preset::Smoke, 1);
+//! # let noisy = split.train_labels();
+//! let model = TrainedClfd::builder()
+//!     .preset(Preset::Smoke)
+//!     .ablation(Ablation::without_fraud_detector())
+//!     .seed(7)
+//!     .try_fit(&split, &noisy)?;
+//! # Ok::<(), ClfdError>(())
+//! ```
+//!
+//! Every knob the old surface exposed is here: the hyper-parameter
+//! [`config`](ClfdBuilder::config) (or its [`preset`](ClfdBuilder::preset)
+//! shorthand), the [`ablation`](ClfdBuilder::ablation) switches, the RNG
+//! [`seed`](ClfdBuilder::seed), the divergence-[`guard`](ClfdBuilder::guard)
+//! tuning, the [`obs`](ClfdBuilder::obs) telemetry sink, and the
+//! fault-injection plans used by the robustness tests.
+
+use crate::config::{Ablation, ClfdConfig};
+use crate::error::ClfdError;
+use crate::pipeline::{TrainOptions, TrainedClfd};
+use clfd_data::session::{Label, Preset, SplitCorpus};
+use clfd_nn::{FaultPlan, GuardConfig};
+use clfd_obs::Obs;
+
+/// Builder for a CLFD training run; start from [`TrainedClfd::builder`].
+///
+/// Defaults: the `Default` preset's hyper-parameters, the full framework
+/// (no ablation), seed 0, a conservative divergence guard, no fault
+/// injection, and no telemetry.
+#[derive(Debug, Clone)]
+pub struct ClfdBuilder {
+    cfg: ClfdConfig,
+    ablation: Ablation,
+    seed: u64,
+    opts: TrainOptions,
+}
+
+impl Default for ClfdBuilder {
+    fn default() -> Self {
+        Self {
+            cfg: ClfdConfig::for_preset(Preset::Default),
+            ablation: Ablation::full(),
+            seed: 0,
+            opts: TrainOptions::conservative(),
+        }
+    }
+}
+
+impl ClfdBuilder {
+    /// A builder with the documented defaults (equivalent to
+    /// [`TrainedClfd::builder`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the full hyper-parameter configuration.
+    pub fn config(mut self, cfg: ClfdConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Shorthand for [`config`](Self::config) with a preset's
+    /// hyper-parameters ([`ClfdConfig::for_preset`]).
+    pub fn preset(mut self, preset: Preset) -> Self {
+        self.cfg = ClfdConfig::for_preset(preset);
+        self
+    }
+
+    /// Sets the ablation switches (default: the full framework).
+    pub fn ablation(mut self, ablation: Ablation) -> Self {
+        self.ablation = ablation;
+        self
+    }
+
+    /// Sets the training RNG seed (default: 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Tunes the divergence guard shared by all training stages.
+    pub fn guard(mut self, guard: GuardConfig) -> Self {
+        self.opts.guard = guard;
+        self
+    }
+
+    /// Attaches a telemetry sink to every training stage.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.opts.obs = obs;
+        self
+    }
+
+    /// Injects faults into the corrector's SimCLR pre-training (robustness
+    /// tests only).
+    pub fn corrector_faults(mut self, plan: FaultPlan) -> Self {
+        self.opts.corrector_encoder_faults = Some(plan);
+        self
+    }
+
+    /// Injects faults into the detector's supervised-contrastive
+    /// pre-training (robustness tests only).
+    pub fn detector_faults(mut self, plan: FaultPlan) -> Self {
+        self.opts.detector_encoder_faults = Some(plan);
+        self
+    }
+
+    /// Replaces the whole options bag at once (guard + faults + obs) —
+    /// the bridge for call sites still holding a [`TrainOptions`].
+    pub fn options(mut self, opts: TrainOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Trains CLFD on the training part of `split` with labels
+    /// `noisy_labels` (parallel to `split.train`).
+    ///
+    /// # Errors
+    /// Returns [`ClfdError::InvalidInput`] for structurally unusable
+    /// inputs, [`ClfdError::Loss`] when a loss rejects a batch, and
+    /// [`ClfdError::Diverged`] when a guard's retry budget runs out.
+    pub fn try_fit(
+        &self,
+        split: &SplitCorpus,
+        noisy_labels: &[Label],
+    ) -> Result<TrainedClfd, ClfdError> {
+        TrainedClfd::train_impl(
+            split,
+            noisy_labels,
+            &self.cfg,
+            &self.ablation,
+            self.seed,
+            &self.opts,
+        )
+    }
+
+    /// Panicking wrapper over [`ClfdBuilder::try_fit`].
+    ///
+    /// # Panics
+    /// Panics on any [`ClfdError`].
+    pub fn fit(&self, split: &SplitCorpus, noisy_labels: &[Label]) -> TrainedClfd {
+        self.try_fit(split, noisy_labels).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_data::noise::NoiseModel;
+    use clfd_data::session::DatasetKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_fit_is_bit_identical_to_the_legacy_surface() {
+        let split = DatasetKind::OpenStack.generate(Preset::Smoke, 5);
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let truth = split.train_labels();
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = NoiseModel::Uniform { eta: 0.3 }.apply(&truth, &mut rng);
+        let ablation = Ablation::without_fraud_detector();
+
+        let legacy = TrainedClfd::fit(&split, &noisy, &cfg, &ablation, 9);
+        let built = TrainedClfd::builder()
+            .config(cfg)
+            .ablation(ablation)
+            .seed(9)
+            .fit(&split, &noisy);
+
+        let legacy_preds = legacy.predict_test(&split);
+        let built_preds = built.predict_test(&split);
+        assert_eq!(legacy_preds.len(), built_preds.len());
+        for (a, b) in legacy_preds.iter().zip(&built_preds) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.malicious_score.to_bits(), b.malicious_score.to_bits());
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        }
+    }
+
+    #[test]
+    fn builder_surfaces_typed_errors() {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 2);
+        let mut ablation = Ablation::without_fraud_detector();
+        ablation.use_label_corrector = false;
+        let err = match TrainedClfd::builder()
+            .preset(Preset::Smoke)
+            .ablation(ablation)
+            .try_fit(&split, &split.train_labels())
+        {
+            Ok(_) => panic!("a corrector-less, detector-less build must be rejected"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ClfdError::InvalidInput(_)), "{err}");
+    }
+}

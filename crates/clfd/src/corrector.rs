@@ -226,6 +226,17 @@ impl LabelCorrector {
         let probs = self.head.predict_proba(&features);
         predictions_from_proba(&probs)
     }
+
+    /// Binds this corrector to its embedding table and config, producing a
+    /// [`Scorer`](crate::api::Scorer) view of this single stage (the
+    /// `w/o FD` ablation's deployment mode).
+    pub fn scorer<'a>(
+        &'a self,
+        embeddings: &'a ActivityEmbeddings,
+        cfg: &'a ClfdConfig,
+    ) -> crate::api::CorrectorScorer<'a> {
+        crate::api::CorrectorScorer { corrector: self, embeddings, cfg }
+    }
 }
 
 #[cfg(test)]

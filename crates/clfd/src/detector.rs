@@ -289,6 +289,16 @@ impl FraudDetector {
         };
         predictions_from_proba(&probs)
     }
+
+    /// Binds this detector to its embedding table and config, producing a
+    /// [`Scorer`](crate::api::Scorer) view of this single stage.
+    pub fn scorer<'a>(
+        &'a self,
+        embeddings: &'a ActivityEmbeddings,
+        cfg: &'a ClfdConfig,
+    ) -> crate::api::DetectorScorer<'a> {
+        crate::api::DetectorScorer { detector: self, embeddings, cfg }
+    }
 }
 
 /// Mean feature vector of one class; zero vector if the class is absent.

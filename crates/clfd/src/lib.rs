@@ -25,21 +25,27 @@
 //! # Quick start
 //!
 //! ```
-//! use clfd::{Ablation, ClfdConfig, TrainedClfd};
+//! use clfd::prelude::*;
 //! use clfd_data::noise::NoiseModel;
-//! use clfd_data::session::{DatasetKind, Preset};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
 //! let split = DatasetKind::Cert.generate(Preset::Smoke, 42);
-//! let cfg = ClfdConfig::for_preset(Preset::Smoke);
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let noisy = NoiseModel::Uniform { eta: 0.3 }.apply(&split.train_labels(), &mut rng);
 //!
-//! let model = TrainedClfd::fit(&split, &noisy, &cfg, &Ablation::full(), 0);
+//! let model = TrainedClfd::builder().preset(Preset::Smoke).fit(&split, &noisy);
 //! let predictions = model.predict_test(&split);
 //! assert_eq!(predictions.len(), split.test.len());
 //! ```
+//!
+//! # The `Scorer` API
+//!
+//! Every trained model in the workspace — the full pipeline, a single CLFD
+//! stage, each baseline, the frozen serving artifact — implements
+//! [`api::Scorer`], so evaluation and benchmark code can hold a
+//! heterogeneous `Vec<Box<dyn Scorer>>` and score sessions without caring
+//! how each model was fit.
 //!
 //! # Fault tolerance
 //!
@@ -61,6 +67,8 @@
 //! determinism test proves predictions are bit-identical with and without
 //! a sink attached.
 
+pub mod api;
+pub mod builder;
 pub mod config;
 pub mod corrector;
 pub mod detector;
@@ -68,8 +76,11 @@ pub mod error;
 pub mod extensions;
 mod model;
 pub mod pipeline;
+pub mod prelude;
 pub mod snapshot;
 
+pub use api::Scorer;
+pub use builder::ClfdBuilder;
 pub use config::{Ablation, ClfdConfig};
 pub use error::{ClfdError, TrainStage};
 pub use extensions::{CoCorrection, CoTeachingCorrector};

@@ -6,7 +6,7 @@ use crate::config::ClfdConfig;
 use crate::error::ClfdError;
 use clfd_autograd::{Tape, Var};
 use clfd_nn::snapshot::Snapshot;
-use clfd_data::batch::{batch_indices, one_hot, SessionBatch};
+use clfd_data::batch::{assemble_features, batch_indices, one_hot, SessionBatch};
 use clfd_data::session::{Label, Session};
 use clfd_data::word2vec::ActivityEmbeddings;
 use clfd_losses::{try_cce_loss, try_gce_loss, LossError, MixupPlan};
@@ -126,17 +126,9 @@ impl EncoderModel {
         embeddings: &ActivityEmbeddings,
         cfg: &ClfdConfig,
     ) -> Matrix {
-        let mut features = Matrix::zeros(sessions.len(), cfg.hidden);
-        let all: Vec<usize> = (0..sessions.len()).collect();
-        for chunk in batch_indices(&all, cfg.batch_size) {
-            let refs: Vec<&Session> = chunk.iter().map(|&i| sessions[i]).collect();
-            let batch = SessionBatch::build(&refs, embeddings, cfg.max_seq_len);
-            let values = self.lstm.infer(&self.tape, &batch.steps, &batch.lengths);
-            for (row, &i) in chunk.iter().enumerate() {
-                features.row_mut(i).copy_from_slice(values.row(row));
-            }
-        }
-        features
+        assemble_features(sessions, embeddings, cfg.batch_size, cfg.max_seq_len, cfg.hidden, |b| {
+            self.lstm.infer(&self.tape, &b.steps, &b.lengths)
+        })
     }
 }
 

@@ -54,11 +54,22 @@ pub struct TrainedClfd {
 }
 
 impl TrainedClfd {
+    /// Starts a fluent training run — the blessed construction surface.
+    ///
+    /// See [`ClfdBuilder`](crate::ClfdBuilder) for the available knobs and
+    /// defaults.
+    pub fn builder() -> crate::builder::ClfdBuilder {
+        crate::builder::ClfdBuilder::new()
+    }
+
     /// Trains CLFD on the training part of `split` with labels
     /// `noisy_labels` (parallel to `split.train`).
     ///
-    /// Panicking wrapper over [`TrainedClfd::try_fit`] with
-    /// [`TrainOptions::conservative`].
+    /// Deprecated: prefer [`TrainedClfd::builder`]
+    /// (`TrainedClfd::builder().config(*cfg).ablation(*ablation).seed(seed)
+    /// .fit(split, noisy_labels)`), which replaces this positional-argument
+    /// surface. This forwarder remains for existing call sites and trains
+    /// with [`TrainOptions::conservative`].
     ///
     /// # Panics
     /// Panics on any [`ClfdError`].
@@ -69,8 +80,11 @@ impl TrainedClfd {
         ablation: &Ablation,
         seed: u64,
     ) -> Self {
-        Self::try_fit(split, noisy_labels, cfg, ablation, seed, &TrainOptions::conservative())
-            .unwrap_or_else(|e| panic!("{e}"))
+        Self::builder()
+            .config(*cfg)
+            .ablation(*ablation)
+            .seed(seed)
+            .fit(split, noisy_labels)
     }
 
     /// Trains CLFD on the training part of `split` with labels
@@ -78,14 +92,39 @@ impl TrainedClfd {
     /// instead of panicking when the inputs are unusable or training
     /// diverges past the guard's retry budget.
     ///
-    /// The ablation switches reproduce every row of Tables IV/V; use
-    /// [`Ablation::full`] for the complete framework.
+    /// Deprecated: prefer [`TrainedClfd::builder`], which replaces this
+    /// positional-argument surface (`opts` unpacks into the builder's
+    /// [`guard`](crate::ClfdBuilder::guard)/[`obs`](crate::ClfdBuilder::obs)/
+    /// fault knobs, or wholesale via
+    /// [`options`](crate::ClfdBuilder::options)). This forwarder remains
+    /// for existing call sites.
     ///
     /// # Errors
     /// Returns [`ClfdError::InvalidInput`] for structurally unusable
     /// inputs, [`ClfdError::Loss`] when a loss rejects a batch, and
     /// [`ClfdError::Diverged`] when a guard's retry budget runs out.
     pub fn try_fit(
+        split: &SplitCorpus,
+        noisy_labels: &[Label],
+        cfg: &ClfdConfig,
+        ablation: &Ablation,
+        seed: u64,
+        opts: &TrainOptions,
+    ) -> Result<Self, ClfdError> {
+        Self::builder()
+            .config(*cfg)
+            .ablation(*ablation)
+            .seed(seed)
+            .options(opts.clone())
+            .try_fit(split, noisy_labels)
+    }
+
+    /// The training pipeline itself: word2vec → label corrector → fraud
+    /// detector. All public construction surfaces funnel here.
+    ///
+    /// The ablation switches reproduce every row of Tables IV/V; use
+    /// [`Ablation::full`] for the complete framework.
+    pub(crate) fn train_impl(
         split: &SplitCorpus,
         noisy_labels: &[Label],
         cfg: &ClfdConfig,
@@ -256,6 +295,26 @@ impl TrainedClfd {
         let test: Vec<&Session> =
             split.test.iter().map(|&i| &split.corpus.sessions[i]).collect();
         self.predict_sessions(&test)
+    }
+
+    /// The hyper-parameters this model was trained with.
+    pub fn config(&self) -> &ClfdConfig {
+        &self.cfg
+    }
+
+    /// The activity-embedding table this model was trained with.
+    pub fn embeddings(&self) -> &ActivityEmbeddings {
+        &self.embeddings
+    }
+
+    /// The trained fraud detector, when the ablation kept one.
+    pub fn detector(&self) -> Option<&FraudDetector> {
+        self.detector.as_ref()
+    }
+
+    /// The trained label corrector, when the ablation kept one.
+    pub fn corrector(&self) -> Option<&LabelCorrector> {
+        self.corrector.as_ref()
     }
 
     /// The corrected labels the detector was supervised with (parallel to

@@ -1,0 +1,21 @@
+//! One-line import of the blessed CLFD surface.
+//!
+//! ```
+//! use clfd::prelude::*;
+//! ```
+//!
+//! brings in everything a typical training-and-scoring program needs: the
+//! builder-based construction surface, the unified [`Scorer`] trait, the
+//! configuration and ablation types, the typed error, and the session/data
+//! types those APIs consume.
+
+pub use crate::api::Scorer;
+pub use crate::builder::ClfdBuilder;
+pub use crate::config::{Ablation, ClfdConfig};
+pub use crate::error::ClfdError;
+pub use crate::model::Prediction;
+pub use crate::pipeline::{TrainOptions, TrainedClfd};
+pub use crate::snapshot::ClfdSnapshot;
+pub use clfd_data::session::{DatasetKind, Label, Preset, Session, SplitCorpus};
+pub use clfd_nn::GuardConfig;
+pub use clfd_obs::Obs;

@@ -80,6 +80,44 @@ pub fn batch_indices(indices: &[usize], batch_size: usize) -> Vec<Vec<usize>> {
     indices.chunks(batch_size).map(<[usize]>::to_vec).collect()
 }
 
+/// The shared feature-assembly loop used by every session encoder in the
+/// workspace: chunk `sessions` into mini-batches, [`SessionBatch::build`]
+/// each one, run `forward` over it, and scatter the resulting rows back
+/// into one `sessions.len() x out_cols` matrix in input order.
+///
+/// `forward` must return one `out_cols`-wide row per batch row. Because
+/// each output row depends only on its own session, the assembled matrix is
+/// independent of `batch_size` — the chunking is purely a working-set bound.
+///
+/// # Panics
+/// Panics on an empty session list or if `forward` returns a matrix of the
+/// wrong shape.
+pub fn assemble_features(
+    sessions: &[&Session],
+    embeddings: &ActivityEmbeddings,
+    batch_size: usize,
+    max_len: usize,
+    out_cols: usize,
+    mut forward: impl FnMut(&SessionBatch) -> Matrix,
+) -> Matrix {
+    let mut out = Matrix::zeros(sessions.len(), out_cols);
+    let all: Vec<usize> = (0..sessions.len()).collect();
+    for chunk in batch_indices(&all, batch_size) {
+        let refs: Vec<&Session> = chunk.iter().map(|&i| sessions[i]).collect();
+        let batch = SessionBatch::build(&refs, embeddings, max_len);
+        let values = forward(&batch);
+        assert_eq!(
+            values.shape(),
+            (chunk.len(), out_cols),
+            "forward must return one {out_cols}-wide row per session"
+        );
+        for (row, &i) in chunk.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(values.row(row));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +171,40 @@ mod tests {
     fn empty_batch_panics() {
         let emb = tiny_embeddings();
         SessionBatch::build(&[], &emb, 5);
+    }
+
+    #[test]
+    fn assemble_features_is_independent_of_batch_size() {
+        let emb = tiny_embeddings();
+        let sessions: Vec<Session> = (0..5)
+            .map(|i| Session { activities: (0..=(i % 4)).collect(), day: i })
+            .collect();
+        let refs: Vec<&Session> = sessions.iter().collect();
+        // A per-row "model": mean of the valid timestep embeddings.
+        let forward = |batch: &SessionBatch| {
+            let mut m = Matrix::zeros(batch.batch_size(), batch.dim());
+            for (r, &len) in batch.lengths.iter().enumerate() {
+                for step in batch.steps.iter().take(len) {
+                    for (c, &v) in step.row(r).iter().enumerate() {
+                        m.set(r, c, m.get(r, c) + v / len as f32);
+                    }
+                }
+            }
+            m
+        };
+        let whole = assemble_features(&refs, &emb, 5, 6, 4, forward);
+        let chunked = assemble_features(&refs, &emb, 2, 6, 4, forward);
+        assert_eq!(whole.shape(), (5, 4));
+        for (a, b) in whole.as_slice().iter().zip(chunked.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one 3-wide row per session")]
+    fn assemble_features_rejects_bad_forward_shape() {
+        let emb = tiny_embeddings();
+        let s = Session { activities: vec![0, 1], day: 0 };
+        assemble_features(&[&s], &emb, 4, 6, 3, |b| Matrix::zeros(b.batch_size(), 2));
     }
 }

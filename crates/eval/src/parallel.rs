@@ -168,14 +168,14 @@ mod tests {
             "Poisoned"
         }
 
-        fn fit_predict(
+        fn fit_scorer(
             &self,
             _split: &clfd_data::session::SplitCorpus,
             _noisy: &[clfd_data::session::Label],
             _cfg: &ClfdConfig,
             seed: u64,
             _obs: &Obs,
-        ) -> Vec<clfd::Prediction> {
+        ) -> Box<dyn clfd::api::Scorer> {
             panic!("poisoned cell crashed at seed {seed}")
         }
     }

@@ -3,7 +3,7 @@
 //! aggregated `mean ± std` cells of the paper's tables.
 
 use crate::metrics::{ConfusionMatrix, MeanStd, RunMetrics};
-use clfd::{Ablation, ClfdConfig, TrainOptions, TrainedClfd};
+use clfd::{Ablation, ClfdConfig, TrainedClfd};
 use clfd_baselines::SessionClassifier;
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Preset};
@@ -142,7 +142,6 @@ pub fn run_corrector_quality(
 ) -> CorrectorResult {
     let mut tpr = Vec::with_capacity(spec.runs);
     let mut tnr = Vec::with_capacity(spec.runs);
-    let opts = TrainOptions { obs: obs.clone(), ..TrainOptions::conservative() };
     for r in 0..spec.runs {
         let seed = spec.base_seed + r as u64;
         let split = spec.dataset.generate(spec.preset, seed);
@@ -150,15 +149,13 @@ pub fn run_corrector_quality(
         let mut noise_rng = StdRng::seed_from_u64(seed.wrapping_mul(7919).wrapping_add(13));
         let noisy = spec.noise.apply(&truth, &mut noise_rng);
         // Only the corrector matters here; skip the fraud detector.
-        let model = TrainedClfd::try_fit(
-            &split,
-            &noisy,
-            cfg,
-            &Ablation::without_fraud_detector(),
-            seed,
-            &opts,
-        )
-        .unwrap_or_else(|e| panic!("{e}"));
+        let model = TrainedClfd::builder()
+            .config(*cfg)
+            .ablation(Ablation::without_fraud_detector())
+            .seed(seed)
+            .obs(obs.clone())
+            .try_fit(&split, &noisy)
+            .unwrap_or_else(|e| panic!("{e}"));
         let cm = ConfusionMatrix::from_labels(model.corrected_labels(), &truth);
         tpr.push(cm.tpr() * 100.0);
         tnr.push(cm.tnr() * 100.0);
@@ -197,25 +194,12 @@ mod tests {
         panic_seeds: Vec<u64>,
     }
 
-    impl SessionClassifier for FlakyModel {
-        fn name(&self) -> &'static str {
-            "Flaky"
-        }
+    /// The trivial scorer a successful [`FlakyModel`] run returns.
+    struct AllNormal;
 
-        fn fit_predict(
-            &self,
-            split: &SplitCorpus,
-            _noisy: &[Label],
-            _cfg: &ClfdConfig,
-            seed: u64,
-            _obs: &Obs,
-        ) -> Vec<Prediction> {
-            assert!(
-                !self.panic_seeds.contains(&seed),
-                "injected training failure for seed {seed}"
-            );
-            split
-                .test
+    impl clfd::api::Scorer for AllNormal {
+        fn score(&self, sessions: &[&clfd_data::session::Session]) -> Vec<Prediction> {
+            sessions
                 .iter()
                 .map(|_| Prediction {
                     label: Label::Normal,
@@ -223,6 +207,27 @@ mod tests {
                     confidence: 1.0,
                 })
                 .collect()
+        }
+    }
+
+    impl SessionClassifier for FlakyModel {
+        fn name(&self) -> &'static str {
+            "Flaky"
+        }
+
+        fn fit_scorer(
+            &self,
+            _split: &SplitCorpus,
+            _noisy: &[Label],
+            _cfg: &ClfdConfig,
+            seed: u64,
+            _obs: &Obs,
+        ) -> Box<dyn clfd::api::Scorer> {
+            assert!(
+                !self.panic_seeds.contains(&seed),
+                "injected training failure for seed {seed}"
+            );
+            Box::new(AllNormal)
         }
     }
 

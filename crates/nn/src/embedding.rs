@@ -37,6 +37,26 @@ impl Embedding {
         tape.gather(self.table, ids.to_vec())
     }
 
+    /// Value-only lookup for shared concurrent inference: copies the table
+    /// rows for `ids` without recording a tape node, so it needs only
+    /// `&Tape`. Bit-identical to [`Embedding::forward`]'s gather.
+    ///
+    /// # Panics
+    /// Panics if any id is out of vocabulary.
+    pub fn infer(&self, tape: &Tape, ids: &[usize]) -> clfd_tensor::Matrix {
+        assert!(
+            ids.iter().all(|&i| i < self.vocab),
+            "embedding id out of range (vocab = {})",
+            self.vocab
+        );
+        let table = tape.value(self.table);
+        let mut out = clfd_tensor::Matrix::zeros(ids.len(), self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(table.row(id));
+        }
+        out
+    }
+
     /// Vocabulary size.
     pub fn vocab(&self) -> usize {
         self.vocab
@@ -85,6 +105,23 @@ mod tests {
         let g = tape.grad(emb.table);
         assert_eq!(g.row(2), &[2.0, 2.0]); // two lookups, accumulated
         assert_eq!(g.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tape = Tape::new();
+        let emb = Embedding::new(&mut tape, 12, 6, &mut rng);
+        tape.seal();
+        let ids = [0, 11, 4, 4, 7];
+        let node = emb.forward(&mut tape, &ids);
+        let recorded = tape.value(node).clone();
+        tape.reset();
+        let inferred = emb.infer(&tape, &ids);
+        assert_eq!(recorded.shape(), inferred.shape());
+        for (a, b) in recorded.as_slice().iter().zip(inferred.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

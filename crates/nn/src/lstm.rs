@@ -37,9 +37,10 @@ impl LstmCell {
     }
 
     /// Value-only timestep for the shared-inference path: reads parameter
-    /// values from the (immutable) tape and performs exactly the same
-    /// `Matrix` operations in the same order as [`LstmCell::step`], so the
-    /// result is bit-identical to the tape-recorded forward pass.
+    /// values from the (immutable) tape and evaluates exactly the same
+    /// float expressions in the same order as [`LstmCell::step`] (via the
+    /// fused [`Matrix::lstm_cell_update`] kernel), so the result is
+    /// bit-identical to the tape-recorded forward pass.
     fn infer_step(
         &self,
         tape: &Tape,
@@ -47,17 +48,10 @@ impl LstmCell {
         h_prev: &Matrix,
         c_prev: &Matrix,
     ) -> (Matrix, Matrix) {
-        let hd = self.hidden;
         let zx = x.matmul(tape.value(self.wx));
         let zh = h_prev.matmul(tape.value(self.wh));
         let z = zx.add(&zh).add_row_broadcast(tape.value(self.b));
-        let i = slice_cols(&z, 0, hd).sigmoid();
-        let f = slice_cols(&z, hd, 2 * hd).sigmoid();
-        let g = slice_cols(&z, 2 * hd, 3 * hd).tanh();
-        let o = slice_cols(&z, 3 * hd, 4 * hd).sigmoid();
-        let c = f.mul(c_prev).add(&i.mul(&g));
-        let h = o.mul(&c.tanh());
-        (h, c)
+        z.lstm_cell_update(c_prev)
     }
 
     /// One timestep: returns `(h_t, c_t)`.
@@ -173,17 +167,16 @@ impl Lstm {
         self.mean_pool(tape, &hs, lengths)
     }
 
-    /// Value-only encode for shared concurrent inference: reads parameter
-    /// values from `tape` without recording anything, so it needs only
-    /// `&Tape` and can run from multiple threads at once.
+    /// Value-only unroll for shared concurrent inference: the top layer's
+    /// hidden state at every timestep, reading parameter values from
+    /// `tape` without recording anything, so it needs only `&Tape` and can
+    /// run from multiple threads at once.
     ///
-    /// Performs exactly the same `Matrix` operations in the same order as
-    /// [`Lstm::encode`]'s tape-recorded path, so its output is
-    /// bit-identical — the golden determinism test relies on this.
-    pub fn infer(&self, tape: &Tape, xs: &[Matrix], lengths: &[usize]) -> Matrix {
+    /// Bit-identical to [`Lstm::forward_sequence`] (see
+    /// [`LstmCell::infer_step`]).
+    pub fn infer_sequence(&self, tape: &Tape, xs: &[Matrix]) -> Vec<Matrix> {
         assert!(!xs.is_empty(), "empty input sequence");
         let batch = xs[0].rows();
-        assert_eq!(lengths.len(), batch, "one length per batch row");
         let mut sequence: Vec<Matrix> = xs.to_vec();
         for cell in &self.cells {
             let mut h = Matrix::zeros(batch, self.hidden);
@@ -197,6 +190,20 @@ impl Lstm {
             }
             sequence = next;
         }
+        sequence
+    }
+
+    /// Value-only encode for shared concurrent inference:
+    /// [`Lstm::infer_sequence`] followed by length-masked mean pooling.
+    ///
+    /// Performs exactly the same `Matrix` operations in the same order as
+    /// [`Lstm::encode`]'s tape-recorded path, so its output is
+    /// bit-identical — the golden determinism test relies on this.
+    pub fn infer(&self, tape: &Tape, xs: &[Matrix], lengths: &[usize]) -> Matrix {
+        assert!(!xs.is_empty(), "empty input sequence");
+        let batch = xs[0].rows();
+        assert_eq!(lengths.len(), batch, "one length per batch row");
+        let sequence = self.infer_sequence(tape, xs);
         // Mean-pool over each row's valid prefix, mirroring `mean_pool`.
         let mut acc: Option<Matrix> = None;
         for (t, h) in sequence.iter().enumerate() {
@@ -220,15 +227,6 @@ impl Lstm {
         }
         acc.expect("at least one valid timestep")
     }
-}
-
-/// Column slice copied row by row, mirroring `Tape::slice_cols`.
-fn slice_cols(m: &Matrix, start: usize, end: usize) -> Matrix {
-    let mut v = Matrix::zeros(m.rows(), end - start);
-    for r in 0..m.rows() {
-        v.row_mut(r).copy_from_slice(&m.row(r)[start..end]);
-    }
-    v
 }
 
 impl Layer for Lstm {

@@ -183,6 +183,33 @@ pub enum Event {
         /// Nanoseconds spent inside kernel launch blocks.
         busy_ns: u64,
     },
+    /// Depth of a serving request queue, sampled when a worker drains it.
+    QueueDepth {
+        /// Requests waiting in the queue after the drain.
+        depth: usize,
+        /// Bound of the queue (submissions beyond this are rejected).
+        capacity: usize,
+    },
+    /// A serving worker flushed one micro-batch through the model.
+    BatchFlushed {
+        /// Worker index that ran the batch.
+        worker: usize,
+        /// Number of sessions in the batch.
+        rows: usize,
+        /// Padded sequence length the batch ran at.
+        padded_len: usize,
+        /// Wall-clock duration of the batched forward in microseconds.
+        wall_us: u64,
+    },
+    /// A serving request completed and its response was delivered.
+    RequestDone {
+        /// Submission-order identifier of the request.
+        request: u64,
+        /// Number of sessions the request carried.
+        sessions: usize,
+        /// Queue-to-response latency in microseconds.
+        latency_us: u64,
+    },
     /// A report artifact (JSON table, benchmark file) was written.
     ArtifactWritten {
         /// Path of the artifact.
@@ -213,6 +240,9 @@ impl Event {
             Event::WorkerEnd { .. } => "worker_end",
             Event::RunFailure { .. } => "run_failure",
             Event::KernelCounters { .. } => "kernel_counters",
+            Event::QueueDepth { .. } => "queue_depth",
+            Event::BatchFlushed { .. } => "batch_flushed",
+            Event::RequestDone { .. } => "request_done",
             Event::ArtifactWritten { .. } => "artifact_written",
             Event::Message { .. } => "message",
         }
@@ -291,6 +321,18 @@ impl Event {
                 .u64("launches", *launches)
                 .u64("parallel_launches", *parallel_launches)
                 .u64("busy_ns", *busy_ns),
+            Event::QueueDepth { depth, capacity } => {
+                obj.usize("depth", *depth).usize("capacity", *capacity)
+            }
+            Event::BatchFlushed { worker, rows, padded_len, wall_us } => obj
+                .usize("worker", *worker)
+                .usize("rows", *rows)
+                .usize("padded_len", *padded_len)
+                .u64("wall_us", *wall_us),
+            Event::RequestDone { request, sessions, latency_us } => obj
+                .u64("request", *request)
+                .usize("sessions", *sessions)
+                .u64("latency_us", *latency_us),
             Event::ArtifactWritten { path } => obj.str("path", path),
             Event::Message { text } => obj.str("text", text),
         }

@@ -214,6 +214,9 @@ mod tests {
             Event::CellEnd { cell: 0, worker: 1, model: "CLFD".into(), wall_ms: 80, failures: 0 },
             Event::RunFailure { model: "ULC".into(), run: 2, seed: 44, error: "boom \\ quote \"".into() },
             Event::KernelCounters { scope: "fit".into(), launches: 10, parallel_launches: 4, busy_ns: 12345 },
+            Event::QueueDepth { depth: 3, capacity: 64 },
+            Event::BatchFlushed { worker: 1, rows: 32, padded_len: 12, wall_us: 480 },
+            Event::RequestDone { request: 17, sessions: 1, latency_us: 950 },
             Event::ArtifactWritten { path: "results/table1.json".into() },
             Event::Message { text: "control \u{1} char".into() },
             Event::RunEnd { name: "t".into(), wall_ms: 99 },

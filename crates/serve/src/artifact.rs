@@ -1,0 +1,490 @@
+//! Frozen inference artifacts.
+//!
+//! [`InferenceArtifact`] packs everything a trained [`TrainedClfd`] needs at
+//! serving time — the embedding table, the inference encoder's LSTM stack,
+//! and whichever head the pipeline would route predictions through — into
+//! plain contiguous matrices with no tape, optimizer state, or training
+//! corpus attached. Artifacts serialize to JSON (like
+//! [`clfd::ClfdSnapshot`]) and their value-only forward pass performs
+//! exactly the same `Matrix` operations in the same order as
+//! [`TrainedClfd::predict_sessions`], so a frozen artifact's predictions
+//! are bit-identical to the live model's.
+//!
+//! [`clfd::ClfdSnapshot`]: clfd::ClfdSnapshot
+
+use crate::error::ServeError;
+use clfd::api::Scorer;
+use clfd::{ClfdConfig, ClfdSnapshot, Prediction, TrainedClfd};
+use clfd_data::batch::{assemble_features, SessionBatch};
+use clfd_data::session::{Label, Session};
+use clfd_data::word2vec::ActivityEmbeddings;
+use clfd_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Mirrors the classifier head's private LeakyReLU slope; the serve crate's
+/// bit-identity tests pin the two together.
+const LEAKY_SLOPE: f32 = 0.01;
+
+/// Epsilon of the unit-sphere projection applied to encoder features,
+/// mirroring the corrector/detector inference paths.
+const L2_EPS: f32 = 1e-9;
+
+/// One LSTM layer's parameters (gate order i, f, g, o, matching
+/// `clfd_nn::Lstm`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedLstmLayer {
+    /// Input weights, `in_dim x 4*hidden`.
+    pub wx: Matrix,
+    /// Recurrent weights, `hidden x 4*hidden`.
+    pub wh: Matrix,
+    /// Bias, `1 x 4*hidden`.
+    pub b: Matrix,
+}
+
+/// A linear layer's parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedLinear {
+    /// Weights, `in_dim x out_dim`.
+    pub w: Matrix,
+    /// Bias, `1 x out_dim`.
+    pub b: Matrix,
+}
+
+/// The frozen inference head: whichever of the pipeline's two scoring modes
+/// the trained model would use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArtifactHead {
+    /// Two-layer FCNN classifier (LeakyReLU hidden layer + softmax).
+    Classifier {
+        /// Hidden layer.
+        l1: PackedLinear,
+        /// Output layer.
+        l2: PackedLinear,
+    },
+    /// Class centroids — the `w/o classifier (FD)` ablation's
+    /// distance-softmax scoring.
+    Centroids {
+        /// Normal-class centroid, `1 x hidden`.
+        normal: Matrix,
+        /// Malicious-class centroid, `1 x hidden`.
+        malicious: Matrix,
+    },
+}
+
+/// A trained model frozen into contiguous buffers for serving.
+///
+/// Built with [`InferenceArtifact::freeze`], serialized with
+/// [`InferenceArtifact::to_json`], scored with
+/// [`InferenceArtifact::predict`] or through the [`Scorer`] trait.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceArtifact {
+    /// The hyper-parameters the model was trained with (batch shaping and
+    /// widths are read at inference time).
+    cfg: ClfdConfig,
+    /// The word2vec activity-embedding table, `vocab x embed_dim`.
+    embeddings: Matrix,
+    /// The inference encoder's LSTM stack, input layer first.
+    lstm: Vec<PackedLstmLayer>,
+    /// The scoring head.
+    head: ArtifactHead,
+}
+
+impl InferenceArtifact {
+    /// Freezes a trained pipeline into a serving artifact.
+    ///
+    /// Routing mirrors [`TrainedClfd::predict_sessions`]: the fraud
+    /// detector's encoder and head when the detector was trained, otherwise
+    /// the label corrector's.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Freeze`] when the snapshot is structurally
+    /// incomplete or inconsistent with the model's config.
+    pub fn freeze(model: &TrainedClfd) -> Result<Self, ServeError> {
+        Self::from_snapshot(&model.snapshot(), *model.config())
+    }
+
+    /// Builds an artifact from an already-captured snapshot plus the config
+    /// it was trained under.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Freeze`] on a structurally invalid snapshot.
+    pub fn from_snapshot(snapshot: &ClfdSnapshot, cfg: ClfdConfig) -> Result<Self, ServeError> {
+        let [embeddings] = snapshot.embeddings.values.as_slice() else {
+            return Err(ServeError::Freeze(format!(
+                "embedding snapshot must hold 1 matrix, found {}",
+                snapshot.embeddings.values.len()
+            )));
+        };
+        let (encoder, head) = if let Some(det) = &snapshot.detector {
+            let head = match (&det.head, &det.centroids) {
+                (Some(head), None) => ArtifactHead::Classifier {
+                    l1: PackedLinear {
+                        w: get(&head.values, 0, "detector head")?,
+                        b: get(&head.values, 1, "detector head")?,
+                    },
+                    l2: PackedLinear {
+                        w: get(&head.values, 2, "detector head")?,
+                        b: get(&head.values, 3, "detector head")?,
+                    },
+                },
+                (None, Some(centroids)) => ArtifactHead::Centroids {
+                    normal: get(&centroids.values, 0, "centroids")?,
+                    malicious: get(&centroids.values, 1, "centroids")?,
+                },
+                (head, _) => {
+                    return Err(ServeError::Freeze(format!(
+                        "detector snapshot must hold exactly one of head/centroids \
+                         (head: {}, centroids: {})",
+                        head.is_some(),
+                        det.centroids.is_some()
+                    )))
+                }
+            };
+            (&det.encoder, head)
+        } else if let Some(cor) = &snapshot.corrector {
+            let head = ArtifactHead::Classifier {
+                l1: PackedLinear {
+                    w: get(&cor.head.values, 0, "corrector head")?,
+                    b: get(&cor.head.values, 1, "corrector head")?,
+                },
+                l2: PackedLinear {
+                    w: get(&cor.head.values, 2, "corrector head")?,
+                    b: get(&cor.head.values, 3, "corrector head")?,
+                },
+            };
+            (&cor.encoder, head)
+        } else {
+            return Err(ServeError::Freeze(
+                "snapshot holds neither a detector nor a corrector".into(),
+            ));
+        };
+
+        if encoder.values.len() != 3 * cfg.lstm_layers {
+            return Err(ServeError::Freeze(format!(
+                "encoder snapshot holds {} matrices, expected {} (3 per LSTM layer)",
+                encoder.values.len(),
+                3 * cfg.lstm_layers
+            )));
+        }
+        let lstm: Vec<PackedLstmLayer> = encoder
+            .values
+            .chunks_exact(3)
+            .map(|layer| PackedLstmLayer {
+                wx: layer[0].clone(),
+                wh: layer[1].clone(),
+                b: layer[2].clone(),
+            })
+            .collect();
+
+        let artifact = Self { cfg, embeddings: embeddings.clone(), lstm, head };
+        artifact.validate().map_err(|e| ServeError::Freeze(e.to_string()))?;
+        Ok(artifact)
+    }
+
+    /// Structural consistency check: every matrix has the shape the config
+    /// promises.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Artifact`] naming the first inconsistency.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let bad = |what: &str, got: (usize, usize), want: (usize, usize)| {
+            Err(ServeError::Artifact(format!(
+                "{what} has shape {}x{}, expected {}x{}",
+                got.0, got.1, want.0, want.1
+            )))
+        };
+        let (dim, hid) = (self.cfg.embed_dim, self.cfg.hidden);
+        if self.embeddings.rows() == 0 || self.embeddings.cols() != dim {
+            return bad("embedding table", self.embeddings.shape(), (1, dim));
+        }
+        if self.lstm.len() != self.cfg.lstm_layers {
+            return Err(ServeError::Artifact(format!(
+                "artifact has {} LSTM layers, config promises {}",
+                self.lstm.len(),
+                self.cfg.lstm_layers
+            )));
+        }
+        for (l, layer) in self.lstm.iter().enumerate() {
+            let in_dim = if l == 0 { dim } else { hid };
+            if layer.wx.shape() != (in_dim, 4 * hid) {
+                return bad("LSTM wx", layer.wx.shape(), (in_dim, 4 * hid));
+            }
+            if layer.wh.shape() != (hid, 4 * hid) {
+                return bad("LSTM wh", layer.wh.shape(), (hid, 4 * hid));
+            }
+            if layer.b.shape() != (1, 4 * hid) {
+                return bad("LSTM bias", layer.b.shape(), (1, 4 * hid));
+            }
+        }
+        match &self.head {
+            ArtifactHead::Classifier { l1, l2 } => {
+                if l1.w.shape() != (hid, hid) {
+                    return bad("head l1 weights", l1.w.shape(), (hid, hid));
+                }
+                if l1.b.shape() != (1, hid) {
+                    return bad("head l1 bias", l1.b.shape(), (1, hid));
+                }
+                if l2.w.shape() != (hid, 2) {
+                    return bad("head l2 weights", l2.w.shape(), (hid, 2));
+                }
+                if l2.b.shape() != (1, 2) {
+                    return bad("head l2 bias", l2.b.shape(), (1, 2));
+                }
+            }
+            ArtifactHead::Centroids { normal, malicious } => {
+                if normal.shape() != (1, hid) {
+                    return bad("normal centroid", normal.shape(), (1, hid));
+                }
+                if malicious.shape() != (1, hid) {
+                    return bad("malicious centroid", malicious.shape(), (1, hid));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The hyper-parameters baked into the artifact.
+    pub fn config(&self) -> &ClfdConfig {
+        &self.cfg
+    }
+
+    /// Embedding vocabulary size — the exclusive upper bound on activity
+    /// tokens this artifact can score.
+    pub fn vocab(&self) -> usize {
+        self.embeddings.rows()
+    }
+
+    /// Checks that a session is scorable by this artifact.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::EmptySession`] or [`ServeError::UnknownToken`].
+    pub fn validate_session(&self, session: &Session) -> Result<(), ServeError> {
+        if session.is_empty() {
+            return Err(ServeError::EmptySession);
+        }
+        let vocab = self.vocab();
+        for &token in &session.activities {
+            if token as usize >= vocab {
+                return Err(ServeError::UnknownToken { token, vocab });
+            }
+        }
+        Ok(())
+    }
+
+    /// Scores sessions, bit-identically to
+    /// [`TrainedClfd::predict_sessions`] on the model this artifact froze.
+    ///
+    /// # Panics
+    /// Panics on an empty session list, an empty session, or a token
+    /// outside the vocabulary — use
+    /// [`validate_session`](Self::validate_session) (or go through the
+    /// engine, which validates at submit time) for a typed rejection.
+    pub fn predict(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        predictions_from_proba(&self.proba(sessions))
+    }
+
+    /// Class-probability matrix (`n x 2`) for `sessions`.
+    pub fn proba(&self, sessions: &[&Session]) -> Matrix {
+        let embeddings = ActivityEmbeddings::from_matrix(self.embeddings.clone());
+        let features = assemble_features(
+            sessions,
+            &embeddings,
+            self.cfg.batch_size,
+            self.cfg.max_seq_len,
+            self.cfg.hidden,
+            |b| self.encode(b),
+        )
+        .l2_normalize_rows(L2_EPS);
+        match &self.head {
+            ArtifactHead::Classifier { l1, l2 } => {
+                let h = features.matmul(&l1.w).add_row_broadcast(&l1.b).leaky_relu(LEAKY_SLOPE);
+                h.matmul(&l2.w).add_row_broadcast(&l2.b).softmax_rows()
+            }
+            ArtifactHead::Centroids { normal, malicious } => {
+                centroid_proba(&features, normal, malicious)
+            }
+        }
+    }
+
+    /// Value-only LSTM encode of one padded batch: per-timestep recurrence
+    /// through the packed stack, then length-masked mean pooling. Performs
+    /// exactly the same `Matrix` operations in the same order as
+    /// `clfd_nn::Lstm::infer`, keeping the artifact bit-identical to the
+    /// live encoder.
+    fn encode(&self, batch: &SessionBatch) -> Matrix {
+        let rows = batch.batch_size();
+        let hid = self.cfg.hidden;
+        let mut sequence: Vec<Matrix> = batch.steps.clone();
+        for layer in &self.lstm {
+            let mut h = Matrix::zeros(rows, hid);
+            let mut c = Matrix::zeros(rows, hid);
+            let mut next = Vec::with_capacity(sequence.len());
+            for x in &sequence {
+                let zx = x.matmul(&layer.wx);
+                let zh = h.matmul(&layer.wh);
+                let z = zx.add(&zh).add_row_broadcast(&layer.b);
+                let (h2, c2) = z.lstm_cell_update(&c);
+                h = h2;
+                c = c2;
+                next.push(h.clone());
+            }
+            sequence = next;
+        }
+        let mut acc: Option<Matrix> = None;
+        for (t, h) in sequence.iter().enumerate() {
+            let scales: Vec<f32> = batch
+                .lengths
+                .iter()
+                .map(|&len| if t < len { 1.0 / len.max(1) as f32 } else { 0.0 })
+                .collect();
+            if scales.iter().all(|&s| s == 0.0) {
+                continue;
+            }
+            let mut contrib = h.clone();
+            for (r, &s) in scales.iter().enumerate() {
+                for x in contrib.row_mut(r) {
+                    *x *= s;
+                }
+            }
+            acc = Some(match acc {
+                Some(a) => a.add(&contrib),
+                None => contrib,
+            });
+        }
+        acc.expect("at least one valid timestep")
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serialization cannot fail")
+    }
+
+    /// Deserializes from a JSON string and validates the result.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Artifact`] on malformed JSON or a structurally
+    /// inconsistent artifact.
+    pub fn from_json(s: &str) -> Result<Self, ServeError> {
+        let artifact: Self =
+            serde_json::from_str(s).map_err(|e| ServeError::Artifact(e.to_string()))?;
+        artifact.validate()?;
+        Ok(artifact)
+    }
+}
+
+impl Scorer for InferenceArtifact {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        self.predict(sessions)
+    }
+}
+
+/// Distance-softmax over the two class centroids; mirrors the detector's
+/// centroid inference expression-for-expression.
+fn centroid_proba(features: &Matrix, normal: &Matrix, malicious: &Matrix) -> Matrix {
+    Matrix::from_fn(features.rows(), 2, |r, c| {
+        let row = Matrix::row_vector(features.row(r));
+        let d0 = row.euclidean_distance(normal);
+        let d1 = row.euclidean_distance(malicious);
+        let e0 = (-d0).exp();
+        let e1 = (-d1).exp();
+        let denom = (e0 + e1).max(f32::MIN_POSITIVE);
+        if c == 0 {
+            e0 / denom
+        } else {
+            e1 / denom
+        }
+    })
+}
+
+/// Mirrors the pipeline's probability → [`Prediction`] conversion.
+fn predictions_from_proba(probs: &Matrix) -> Vec<Prediction> {
+    (0..probs.rows())
+        .map(|r| {
+            let p0 = probs.get(r, 0);
+            let p1 = probs.get(r, 1);
+            Prediction {
+                label: if p1 > p0 { Label::Malicious } else { Label::Normal },
+                malicious_score: p1,
+                confidence: p0.max(p1),
+            }
+        })
+        .collect()
+}
+
+fn get(values: &[Matrix], index: usize, what: &str) -> Result<Matrix, ServeError> {
+    values.get(index).cloned().ok_or_else(|| {
+        ServeError::Freeze(format!(
+            "{what} snapshot holds {} matrices, need at least {}",
+            values.len(),
+            index + 1
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_artifact() -> InferenceArtifact {
+        let cfg = ClfdConfig {
+            embed_dim: 3,
+            hidden: 4,
+            lstm_layers: 1,
+            ..ClfdConfig::for_preset(clfd_data::session::Preset::Smoke)
+        };
+        InferenceArtifact {
+            cfg,
+            embeddings: Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32 * 0.1),
+            lstm: vec![PackedLstmLayer {
+                wx: Matrix::from_fn(3, 16, |r, c| ((r + c) as f32 * 0.07).sin()),
+                wh: Matrix::from_fn(4, 16, |r, c| ((r * 2 + c) as f32 * 0.05).cos()),
+                b: Matrix::zeros(1, 16),
+            }],
+            head: ArtifactHead::Centroids {
+                normal: Matrix::full(1, 4, 0.1),
+                malicious: Matrix::full(1, 4, -0.2),
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let artifact = tiny_artifact();
+        let back = InferenceArtifact::from_json(&artifact.to_json()).expect("round trip");
+        assert_eq!(artifact, back);
+        let s = Session { activities: vec![0, 2, 4, 1], day: 0 };
+        let a = artifact.predict(&[&s]);
+        let b = back.predict(&[&s]);
+        assert_eq!(a[0].malicious_score.to_bits(), b[0].malicious_score.to_bits());
+    }
+
+    #[test]
+    fn validate_session_rejects_bad_inputs() {
+        let artifact = tiny_artifact();
+        let empty = Session { activities: vec![], day: 0 };
+        assert_eq!(artifact.validate_session(&empty), Err(ServeError::EmptySession));
+        let oov = Session { activities: vec![0, 9], day: 0 };
+        assert_eq!(
+            artifact.validate_session(&oov),
+            Err(ServeError::UnknownToken { token: 9, vocab: 5 })
+        );
+        let ok = Session { activities: vec![0, 4], day: 0 };
+        assert_eq!(artifact.validate_session(&ok), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_shape_drift() {
+        let mut artifact = tiny_artifact();
+        artifact.lstm[0].wh = Matrix::zeros(4, 8);
+        let err = artifact.validate().expect_err("bad wh must be rejected");
+        assert!(err.to_string().contains("wh"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(
+            InferenceArtifact::from_json("{not json"),
+            Err(ServeError::Artifact(_))
+        ));
+    }
+}

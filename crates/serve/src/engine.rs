@@ -1,0 +1,312 @@
+//! The micro-batching request engine.
+//!
+//! Callers submit individual [`Session`]s; a pool of worker threads drains
+//! the bounded queue into batches (bucketed by padded session length so
+//! every forward pass is uniformly shaped), scores each batch through the
+//! frozen [`InferenceArtifact`], and delivers [`Prediction`]s back through
+//! per-request tickets. Queue depth, batch flushes, and per-request latency
+//! stream out as structured `clfd-obs` events.
+//!
+//! Because every per-session output of the artifact's forward pass is
+//! independent of its batch neighbours, predictions are bit-identical to
+//! [`InferenceArtifact::predict`] (and hence to
+//! `TrainedClfd::predict_sessions`) no matter how requests happen to be
+//! batched together — the contention test pins this.
+
+use crate::artifact::InferenceArtifact;
+use crate::error::ServeError;
+use clfd::api::Scorer;
+use clfd::Prediction;
+use clfd_data::session::Session;
+use clfd_obs::{Event, Obs};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine shape: batch bound, queue bound, worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Maximum requests drained into one flush (further split into
+    /// uniform-length buckets before the forward pass).
+    pub max_batch: usize,
+    /// Bound on queued (not yet drained) requests; submissions beyond it
+    /// block ([`Engine::submit`]) or fail with [`ServeError::Overloaded`]
+    /// ([`Engine::try_submit`]).
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { max_batch: 32, queue_capacity: 256, workers: 1 }
+    }
+}
+
+impl EngineConfig {
+    /// Single-worker mode: requests are drained and flushed in strict
+    /// submission order, so the whole engine behaves like one serial
+    /// scorer. (Per-request *results* are bit-identical at any worker
+    /// count; this mode additionally makes batch composition and the obs
+    /// event stream deterministic.)
+    pub fn deterministic() -> Self {
+        Self { workers: 1, ..Self::default() }
+    }
+}
+
+/// A pending request: one session, its submission time, and the channel its
+/// prediction travels back on.
+struct Request {
+    id: u64,
+    session: Session,
+    enqueued: Instant,
+    resp: mpsc::Sender<Prediction>,
+}
+
+struct QueueState {
+    items: VecDeque<Request>,
+    shutdown: bool,
+    next_id: u64,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when work arrives (workers wait here).
+    work_cv: Condvar,
+    /// Signalled when queue space frees up (blocking submitters wait here).
+    space_cv: Condvar,
+    artifact: InferenceArtifact,
+    cfg: EngineConfig,
+    obs: Obs,
+}
+
+/// Claim on one in-flight prediction; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    rx: mpsc::Receiver<Prediction>,
+}
+
+impl Ticket {
+    /// Blocks until the prediction arrives.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::ShuttingDown`] if the engine dropped before
+    /// answering.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+}
+
+/// A batched streaming inference engine over one frozen artifact.
+///
+/// Dropping the engine drains already-queued requests, then joins the
+/// workers.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawns an engine (and its worker pool) over `artifact`.
+    ///
+    /// # Panics
+    /// Panics when `cfg` asks for zero workers, a zero batch bound, or a
+    /// zero-capacity queue.
+    pub fn new(artifact: InferenceArtifact, cfg: EngineConfig) -> Self {
+        Self::with_obs(artifact, cfg, Obs::null())
+    }
+
+    /// Like [`Engine::new`] with a `clfd-obs` sink attached: the engine
+    /// emits [`Event::QueueDepth`], [`Event::BatchFlushed`], and
+    /// [`Event::RequestDone`].
+    pub fn with_obs(artifact: InferenceArtifact, cfg: EngineConfig, obs: Obs) -> Self {
+        assert!(cfg.workers > 0, "engine needs at least one worker");
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        assert!(cfg.queue_capacity > 0, "queue_capacity must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                shutdown: false,
+                next_id: 0,
+            }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            artifact,
+            cfg,
+            obs,
+        });
+        let workers = (0..cfg.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, w))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The frozen artifact this engine scores with.
+    pub fn artifact(&self) -> &InferenceArtifact {
+        &self.shared.artifact
+    }
+
+    /// Non-blocking submit: validates the session and enqueues it.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when the queue is full,
+    /// [`ServeError::ShuttingDown`] after shutdown began, or a validation
+    /// error ([`ServeError::EmptySession`] / [`ServeError::UnknownToken`]).
+    pub fn try_submit(&self, session: &Session) -> Result<Ticket, ServeError> {
+        self.shared.artifact.validate_session(session)?;
+        let state = self.lock_state();
+        if state.items.len() >= self.shared.cfg.queue_capacity {
+            return Err(ServeError::Overloaded { capacity: self.shared.cfg.queue_capacity });
+        }
+        self.enqueue(state, session)
+    }
+
+    /// Blocking submit: validates the session, then waits for queue space
+    /// if necessary.
+    ///
+    /// # Errors
+    /// [`ServeError::ShuttingDown`] after shutdown began, or a validation
+    /// error ([`ServeError::EmptySession`] / [`ServeError::UnknownToken`]).
+    pub fn submit(&self, session: &Session) -> Result<Ticket, ServeError> {
+        self.shared.artifact.validate_session(session)?;
+        let mut state = self.lock_state();
+        while state.items.len() >= self.shared.cfg.queue_capacity && !state.shutdown {
+            state = self
+                .shared
+                .space_cv
+                .wait(state)
+                .expect("engine state mutex poisoned");
+        }
+        self.enqueue(state, session)
+    }
+
+    /// Submits every session (blocking on backpressure) and waits for all
+    /// predictions, returned in input order.
+    ///
+    /// # Errors
+    /// Any [`ServeError`] from submission, or
+    /// [`ServeError::ShuttingDown`] if the engine dropped mid-flight.
+    pub fn score_batch(&self, sessions: &[&Session]) -> Result<Vec<Prediction>, ServeError> {
+        let tickets: Vec<Ticket> = sessions
+            .iter()
+            .map(|s| self.submit(s))
+            .collect::<Result<_, _>>()?;
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.shared.state.lock().expect("engine state mutex poisoned")
+    }
+
+    fn enqueue(
+        &self,
+        mut state: MutexGuard<'_, QueueState>,
+        session: &Session,
+    ) -> Result<Ticket, ServeError> {
+        if state.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        let (tx, rx) = mpsc::channel();
+        state.items.push_back(Request {
+            id,
+            session: session.clone(),
+            enqueued: Instant::now(),
+            resp: tx,
+        });
+        drop(state);
+        self.shared.work_cv.notify_one();
+        Ok(Ticket { rx })
+    }
+}
+
+impl Scorer for Engine {
+    /// # Panics
+    /// Panics on a rejected session (empty or out-of-vocabulary) or when
+    /// the engine is shutting down; use [`Engine::score_batch`] for typed
+    /// errors.
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        self.score_batch(sessions).expect("engine scoring failed")
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        {
+            let mut state = self.lock_state();
+            state.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.space_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    loop {
+        let drained = {
+            let mut state = shared.state.lock().expect("engine state mutex poisoned");
+            loop {
+                if !state.items.is_empty() {
+                    break;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .expect("engine state mutex poisoned");
+            }
+            let n = state.items.len().min(shared.cfg.max_batch);
+            let drained: Vec<Request> = state.items.drain(..n).collect();
+            shared.obs.emit(Event::QueueDepth {
+                depth: state.items.len(),
+                capacity: shared.cfg.queue_capacity,
+            });
+            drained
+        };
+        shared.space_cv.notify_all();
+
+        // Bucket by padded length so each forward pass is uniformly shaped
+        // (no wasted timesteps on mostly-padding rows). BTreeMap keeps the
+        // bucket order deterministic.
+        let mut buckets: BTreeMap<usize, Vec<Request>> = BTreeMap::new();
+        let max_len = shared.artifact.config().max_seq_len;
+        for req in drained {
+            let len = req.session.len().min(max_len);
+            buckets.entry(len).or_default().push(req);
+        }
+        for (padded_len, requests) in buckets {
+            let clock = Instant::now();
+            let sessions: Vec<&Session> = requests.iter().map(|r| &r.session).collect();
+            let predictions = shared.artifact.predict(&sessions);
+            shared.obs.emit(Event::BatchFlushed {
+                worker,
+                rows: requests.len(),
+                padded_len,
+                wall_us: elapsed_us(clock),
+            });
+            for (req, prediction) in requests.into_iter().zip(predictions) {
+                shared.obs.emit(Event::RequestDone {
+                    request: req.id,
+                    sessions: 1,
+                    latency_us: elapsed_us(req.enqueued),
+                });
+                // The ticket may have been dropped; that just discards the
+                // prediction.
+                let _ = req.resp.send(prediction);
+            }
+        }
+    }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}

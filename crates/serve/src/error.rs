@@ -1,0 +1,66 @@
+//! Typed serving failures.
+
+use std::fmt;
+
+/// Everything that can go wrong between freezing a model and delivering a
+/// prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is full; the caller should back off and
+    /// retry ([`try_submit`](crate::Engine::try_submit) only — the blocking
+    /// [`submit`](crate::Engine::submit) waits instead).
+    Overloaded {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// A trained model could not be frozen into an
+    /// [`InferenceArtifact`](crate::InferenceArtifact) (structurally
+    /// incomplete or inconsistent snapshot).
+    Freeze(String),
+    /// A serialized artifact could not be decoded.
+    Artifact(String),
+    /// The submitted session has no activities.
+    EmptySession,
+    /// The submitted session references a token outside the artifact's
+    /// embedding vocabulary.
+    UnknownToken {
+        /// The offending activity token.
+        token: u32,
+        /// The artifact's vocabulary size.
+        vocab: usize,
+    },
+    /// The engine is shutting down and no longer accepts or answers
+    /// requests.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            Self::Freeze(msg) => write!(f, "cannot freeze model: {msg}"),
+            Self::Artifact(msg) => write!(f, "malformed artifact: {msg}"),
+            Self::EmptySession => write!(f, "session has no activities"),
+            Self::UnknownToken { token, vocab } => {
+                write!(f, "token {token} outside the artifact vocabulary of {vocab}")
+            }
+            Self::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServeError::Overloaded { capacity: 8 }.to_string().contains("capacity 8"));
+        assert!(ServeError::UnknownToken { token: 9, vocab: 4 }.to_string().contains("token 9"));
+        assert!(ServeError::Freeze("no head".into()).to_string().contains("no head"));
+    }
+}

@@ -1,0 +1,54 @@
+//! **clfd-serve** — batched streaming inference for trained CLFD models.
+//!
+//! Training produces a [`clfd::TrainedClfd`] dragging tapes, optimizer
+//! state, and a corpus behind it; serving wants none of that. This crate
+//! splits inference into two pieces:
+//!
+//! * [`InferenceArtifact`] — a trained model frozen into plain contiguous
+//!   matrices (embedding table + LSTM stack + scoring head), JSON
+//!   round-trippable, scoring **bit-identically** to
+//!   [`TrainedClfd::predict_sessions`].
+//! * [`Engine`] — a bounded micro-batching request queue over one
+//!   artifact: callers [`Engine::submit`] sessions, a worker pool drains
+//!   the queue into length-bucketed batches, runs the artifact's value-only
+//!   batched forward on the threaded tensor kernels, and answers each
+//!   [`Ticket`] with a [`clfd::Prediction`]. Queue depth, flushes, and
+//!   per-request latency stream out as `clfd-obs` events.
+//!
+//! ```
+//! use clfd::prelude::*;
+//! use clfd_serve::{Engine, EngineConfig, InferenceArtifact};
+//! use clfd_data::noise::NoiseModel;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let split = DatasetKind::Cert.generate(Preset::Smoke, 42);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+//! let model = TrainedClfd::builder().preset(Preset::Smoke).fit(&split, &noisy);
+//!
+//! // Freeze, (optionally) ship as JSON, and serve.
+//! let artifact = InferenceArtifact::freeze(&model).expect("trained model freezes");
+//! let engine = Engine::new(artifact, EngineConfig::default());
+//! let session = &split.corpus.sessions[split.test[0]];
+//! let prediction = engine.submit(session).unwrap().wait().unwrap();
+//! assert_eq!(prediction.label, model.predict_sessions(&[session])[0].label);
+//! ```
+//!
+//! Backpressure is explicit: the queue is bounded, [`Engine::try_submit`]
+//! fails fast with [`ServeError::Overloaded`], and the blocking
+//! [`Engine::submit`] waits for space. [`EngineConfig::deterministic`]
+//! (one worker) additionally makes batch composition and the event stream
+//! deterministic — though per-request predictions are bit-identical at any
+//! worker count, because each session's output is independent of its batch
+//! neighbours.
+//!
+//! [`TrainedClfd::predict_sessions`]: clfd::TrainedClfd::predict_sessions
+
+pub mod artifact;
+pub mod engine;
+pub mod error;
+
+pub use artifact::{ArtifactHead, InferenceArtifact, PackedLinear, PackedLstmLayer};
+pub use engine::{Engine, EngineConfig, Ticket};
+pub use error::ServeError;

@@ -1,0 +1,224 @@
+//! End-to-end serving guarantees: frozen artifacts and the micro-batching
+//! engine must score **bit-identically** to the live pipeline's
+//! `predict_sessions`, survive a JSON round trip unchanged, preserve
+//! per-submitter result identity under thread contention, and shed load
+//! with a typed error when the queue fills.
+
+#![allow(missing_docs)]
+
+use clfd::prelude::*;
+use clfd::{CorrectorSnapshot, ClfdSnapshot};
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::DatasetKind;
+use clfd_nn::snapshot::Snapshot;
+use clfd_serve::{Engine, EngineConfig, InferenceArtifact, ServeError};
+use clfd_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn train(kind: DatasetKind, ablation: Ablation, seed: u64) -> (TrainedClfd, SplitCorpus) {
+    let split = kind.generate(Preset::Smoke, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+    let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+    let model = TrainedClfd::builder()
+        .preset(Preset::Smoke)
+        .ablation(ablation)
+        .seed(seed)
+        .fit(&split, &noisy);
+    (model, split)
+}
+
+fn test_sessions(split: &SplitCorpus) -> Vec<&Session> {
+    split.test.iter().map(|&i| &split.corpus.sessions[i]).collect()
+}
+
+fn assert_bit_identical(a: &[Prediction], b: &[Prediction], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.label, y.label, "{context}: label drift at {i}");
+        assert_eq!(
+            x.malicious_score.to_bits(),
+            y.malicious_score.to_bits(),
+            "{context}: score drift at {i}"
+        );
+        assert_eq!(
+            x.confidence.to_bits(),
+            y.confidence.to_bits(),
+            "{context}: confidence drift at {i}"
+        );
+    }
+}
+
+/// Freezes `model`, scores via the raw artifact, a JSON-round-tripped
+/// artifact, and the deterministic engine, and demands all three match
+/// `predict_sessions` bit for bit.
+fn exercise(model: &TrainedClfd, split: &SplitCorpus, context: &str) {
+    let sessions = test_sessions(split);
+    let expected = model.predict_sessions(&sessions);
+
+    let artifact = InferenceArtifact::freeze(model).expect("trained model freezes");
+    assert_bit_identical(&artifact.predict(&sessions), &expected, context);
+
+    let thawed = InferenceArtifact::from_json(&artifact.to_json()).expect("round trip");
+    assert_bit_identical(&thawed.predict(&sessions), &expected, context);
+
+    let engine = Engine::new(artifact, EngineConfig::deterministic());
+    let served = engine.score_batch(&sessions).expect("engine scores");
+    assert_bit_identical(&served, &expected, context);
+
+    // The generic Scorer surface routes through the same paths.
+    let scorers: Vec<&dyn Scorer> = vec![model, &engine];
+    for scorer in scorers {
+        assert_bit_identical(&scorer.score(&sessions), &expected, context);
+    }
+}
+
+#[test]
+fn artifact_is_bit_identical_on_cert_with_classifier_head() {
+    let (model, split) = train(DatasetKind::Cert, Ablation::full(), 11);
+    exercise(&model, &split, "cert/full");
+}
+
+#[test]
+fn artifact_is_bit_identical_on_wikipedia_with_corrector_head() {
+    let (model, split) = train(DatasetKind::UmdWikipedia, Ablation::without_fraud_detector(), 7);
+    exercise(&model, &split, "wiki/corrector");
+}
+
+#[test]
+fn artifact_is_bit_identical_on_openstack_with_centroid_head() {
+    let (model, split) = train(DatasetKind::OpenStack, Ablation::without_classifier(), 5);
+    exercise(&model, &split, "openstack/centroids");
+}
+
+const TINY_VOCAB: usize = 6;
+
+/// A hand-packed corrector-shaped artifact: no training involved, so the
+/// queue-mechanics tests stay fast.
+fn tiny_artifact() -> InferenceArtifact {
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let (dim, hid) = (cfg.embed_dim, cfg.hidden);
+    let wave = |scale: f32| move |r: usize, c: usize| ((r * 13 + c * 7) as f32 * scale).sin();
+    let mut encoder = Vec::new();
+    for layer in 0..cfg.lstm_layers {
+        let in_dim = if layer == 0 { dim } else { hid };
+        encoder.push(Matrix::from_fn(in_dim, 4 * hid, wave(0.11 + layer as f32)));
+        encoder.push(Matrix::from_fn(hid, 4 * hid, wave(0.07 + layer as f32)));
+        encoder.push(Matrix::from_fn(1, 4 * hid, wave(0.05)));
+    }
+    let snapshot = ClfdSnapshot {
+        embeddings: Snapshot { values: vec![Matrix::from_fn(TINY_VOCAB, dim, wave(0.19))] },
+        corrector: Some(CorrectorSnapshot {
+            encoder: Snapshot { values: encoder },
+            head: Snapshot {
+                values: vec![
+                    Matrix::from_fn(hid, hid, wave(0.03)),
+                    Matrix::zeros(1, hid),
+                    Matrix::from_fn(hid, 2, wave(0.23)),
+                    Matrix::zeros(1, 2),
+                ],
+            },
+        }),
+        detector: None,
+    };
+    InferenceArtifact::from_snapshot(&snapshot, cfg).expect("hand-packed snapshot freezes")
+}
+
+fn synthetic_sessions(n: usize) -> Vec<Session> {
+    (0..n)
+        .map(|i| Session {
+            activities: (0..=(i % 9)).map(|j| ((i * 5 + j * 3) % TINY_VOCAB) as u32).collect(),
+            day: i as u32,
+        })
+        .collect()
+}
+
+#[test]
+fn contention_preserves_per_submitter_order_and_identity() {
+    let artifact = tiny_artifact();
+    let sessions = synthetic_sessions(24);
+    // Serial per-session reference: what any batching must reproduce.
+    let expected: Vec<Prediction> =
+        sessions.iter().map(|s| artifact.predict(&[s]).remove(0)).collect();
+    let engine = Engine::new(
+        artifact,
+        EngineConfig { max_batch: 4, queue_capacity: 16, workers: 3 },
+    );
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for submitter in 0..4 {
+            let engine = &engine;
+            let sessions = &sessions;
+            handles.push(scope.spawn(move || {
+                // Each submitter walks the sessions at its own stride so the
+                // workers see interleaved, differently-ordered traffic.
+                let order: Vec<usize> = (0..sessions.len())
+                    .map(|i| (i * 7 + submitter * 3) % sessions.len())
+                    .collect();
+                let tickets: Vec<_> = order
+                    .iter()
+                    .map(|&i| engine.submit(&sessions[i]).expect("submit"))
+                    .collect();
+                let results: Vec<Prediction> =
+                    tickets.into_iter().map(|t| t.wait().expect("answered")).collect();
+                (order, results)
+            }));
+        }
+        for handle in handles {
+            let (order, results) = handle.join().expect("submitter thread");
+            // Results come back in each submitter's own submission order and
+            // match the serial reference bit for bit, regardless of how the
+            // engine happened to compose its batches.
+            for (&i, got) in order.iter().zip(&results) {
+                assert_bit_identical(
+                    std::slice::from_ref(got),
+                    std::slice::from_ref(&expected[i]),
+                    "contention",
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn full_queue_sheds_load_with_a_typed_error() {
+    let artifact = tiny_artifact();
+    let session = Session { activities: vec![0, 1, 2], day: 0 };
+    let engine = Engine::new(
+        artifact,
+        EngineConfig { max_batch: 1, queue_capacity: 2, workers: 1 },
+    );
+    let mut tickets = Vec::new();
+    let mut overloaded = false;
+    for _ in 0..500 {
+        match engine.try_submit(&session) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 2);
+                overloaded = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(overloaded, "a capacity-2 queue must eventually shed load");
+    // Accepted requests still complete.
+    for t in tickets {
+        t.wait().expect("accepted requests are answered");
+    }
+}
+
+#[test]
+fn engine_rejects_invalid_sessions_at_submit_time() {
+    let artifact = tiny_artifact();
+    let vocab = artifact.vocab();
+    let engine = Engine::new(artifact, EngineConfig::deterministic());
+    let empty = Session { activities: vec![], day: 0 };
+    assert_eq!(engine.submit(&empty).err(), Some(ServeError::EmptySession));
+    let oov = Session { activities: vec![u32::MAX], day: 0 };
+    assert_eq!(
+        engine.try_submit(&oov).err(),
+        Some(ServeError::UnknownToken { token: u32::MAX, vocab })
+    );
+}

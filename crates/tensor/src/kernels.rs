@@ -412,6 +412,67 @@ impl Matrix {
             .sum::<f32>()
             .sqrt()
     }
+
+    /// Fused LSTM cell update: `self` is the pre-activation gate block
+    /// `z = [i | f | g | o]` (`rows x 4h`), `c_prev` the previous cell state
+    /// (`rows x h`). Returns the new `(hidden, cell)` states, both
+    /// `rows x h`:
+    ///
+    /// ```text
+    /// c = σ(z_f) · c_prev + σ(z_i) · tanh(z_g)
+    /// h = σ(z_o) · tanh(c)
+    /// ```
+    ///
+    /// Per element this evaluates exactly the float expressions of the
+    /// unfused `sigmoid`/`tanh`/`mul`/`add` chain in the same order, so the
+    /// result is bit-identical to it — the fusion only removes the six
+    /// intermediate gate matrices and their kernel launches. Row-block
+    /// parallel with the usual bit-identity guarantee at any thread count.
+    pub fn lstm_cell_update(&self, c_prev: &Matrix) -> (Matrix, Matrix) {
+        let (rows, gate_cols) = self.shape();
+        let hid = c_prev.cols();
+        assert_eq!(rows, c_prev.rows(), "lstm_cell_update row counts differ");
+        assert_eq!(
+            gate_cols,
+            4 * hid,
+            "gate block must be 4x the cell width ({gate_cols} vs {hid})"
+        );
+        let mut c = Matrix::zeros(rows, hid);
+        let mut h = Matrix::zeros(rows, hid);
+        if c.is_empty() {
+            return (h, c);
+        }
+        let z = self.as_slice();
+        let cp = c_prev.as_slice();
+        // Transcendental-heavy like softmax, so the row-wise threshold.
+        let parts = threads::plan(rows, rows * gate_cols, ROWWISE_MIN_WORK);
+        threads::run_row_blocks(c.as_mut_slice(), hid, rows, parts, |first, block| {
+            for (ii, c_row) in block.chunks_mut(hid).enumerate() {
+                let r = first + ii;
+                let z_row = &z[r * gate_cols..(r + 1) * gate_cols];
+                let cp_row = &cp[r * hid..(r + 1) * hid];
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    let i = 1.0 / (1.0 + (-z_row[j]).exp());
+                    let f = 1.0 / (1.0 + (-z_row[hid + j]).exp());
+                    let g = z_row[2 * hid + j].tanh();
+                    *cv = f * cp_row[j] + i * g;
+                }
+            }
+        });
+        let c_done = c.as_slice();
+        threads::run_row_blocks(h.as_mut_slice(), hid, rows, parts, |first, block| {
+            for (ii, h_row) in block.chunks_mut(hid).enumerate() {
+                let r = first + ii;
+                let z_row = &z[r * gate_cols..(r + 1) * gate_cols];
+                let c_row = &c_done[r * hid..(r + 1) * hid];
+                for (j, hv) in h_row.iter_mut().enumerate() {
+                    let o = 1.0 / (1.0 + (-z_row[3 * hid + j]).exp());
+                    *hv = o * c_row[j].tanh();
+                }
+            }
+        });
+        (h, c)
+    }
 }
 
 /// Dot product of two equal-length slices.
@@ -520,6 +581,40 @@ mod tests {
         }
         // Large logits must not overflow.
         assert!((s.get(1, 2) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lstm_cell_update_is_bit_identical_to_unfused_chain() {
+        let rows = 7;
+        let hid = 9;
+        let z = Matrix::from_fn(rows, 4 * hid, |r, c| ((r * 31 + c * 7) % 23) as f32 * 0.17 - 1.9);
+        let c_prev = Matrix::from_fn(rows, hid, |r, c| ((r * 13 + c * 5) % 11) as f32 * 0.3 - 1.5);
+        // The unfused reference: slice out the four gates and run the
+        // separate sigmoid/tanh/mul/add kernels.
+        let gate = |g: usize| {
+            Matrix::from_fn(rows, hid, |r, c| z.get(r, g * hid + c))
+        };
+        let i = gate(0).sigmoid();
+        let f = gate(1).sigmoid();
+        let g = gate(2).tanh();
+        let o = gate(3).sigmoid();
+        let c_ref = f.mul(&c_prev).add(&i.mul(&g));
+        let h_ref = o.mul(&c_ref.tanh());
+        for threads in [1, 4] {
+            let (h, c) = crate::threads::with_threads(threads, || z.lstm_cell_update(&c_prev));
+            for (a, b) in c.as_slice().iter().zip(c_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cell state diverges at {threads} threads");
+            }
+            for (a, b) in h.as_slice().iter().zip(h_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "hidden state diverges at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gate block")]
+    fn lstm_cell_update_rejects_mismatched_widths() {
+        Matrix::zeros(2, 12).lstm_cell_update(&Matrix::zeros(2, 4));
     }
 
     #[test]
