@@ -35,7 +35,7 @@ run clippy --workspace --all-targets -- -D warnings
 # binaries (src/bin/) and examples. `--lib` scopes the denied lints to
 # library targets so tests/bins can keep their eprintln!s.
 for lib in clfd clfd-tensor clfd-autograd clfd-nn clfd-losses clfd-data \
-    clfd-baselines clfd-eval clfd-bench clfd-obs clfd-serve; do
+    clfd-baselines clfd-eval clfd-bench clfd-obs clfd-metrics clfd-serve; do
     run clippy -p "$lib" --lib -- -D warnings \
         -D clippy::print_stdout -D clippy::print_stderr
 done
@@ -52,9 +52,19 @@ test -s BENCH_kernels.json
 # well-formed report. The binary itself asserts the frozen artifact
 # scores bit-identically to the live pipeline before benchmarking, and
 # re-parses the JSON it wrote.
-rm -f BENCH_serve.json
+rm -f BENCH_serve.json RUN_BENCH_serve.jsonl METRICS_BENCH_serve.prom
 run run --release -p clfd-bench --bin bench_serve -- \
     --preset smoke --batches 1,32 --workers 1,2 --requests 100 \
     --out BENCH_serve.json
 test -s BENCH_serve.json
+
+# Run-report smoke: clfd-report must ingest the serve run's telemetry and
+# produce a non-empty summary, and the Prometheus metrics snapshot the
+# benchmark wrote must agree with the latency percentiles the report
+# computes independently from the raw RUN_*.jsonl (exits non-zero on
+# parse errors, empty summaries, or disagreement).
+test -s RUN_BENCH_serve.jsonl
+test -s METRICS_BENCH_serve.prom
+run run --release -p clfd-metrics --bin clfd-report -- \
+    --check-snapshot METRICS_BENCH_serve.prom RUN_BENCH_serve.jsonl >/dev/null
 echo "ci: all checks passed"

@@ -15,12 +15,18 @@
 //!
 //! The report self-validates: after writing, the file is read back and
 //! re-parsed, so a `BENCH_serve.json` on disk is always well-formed.
+//!
+//! All telemetry folds through a [`clfd_metrics::Registry`] on its way to
+//! the `RUN_*.jsonl` log; at exit the registry is frozen into a
+//! Prometheus-text snapshot (`--metrics`, default `METRICS_<stem>.prom`)
+//! that `clfd-report --check-snapshot` can cross-validate against the log.
 
 use clfd::api::Scorer;
 use clfd::TrainedClfd;
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Preset, Session};
-use clfd_obs::{Event, MemorySink, Obs, Stopwatch};
+use clfd_metrics::{EventFold, Registry};
+use clfd_obs::{Event, JsonlSink, MemorySink, Obs, Recorder, Stopwatch, Tee};
 use clfd_serve::{Engine, EngineConfig, InferenceArtifact};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,18 +76,32 @@ fn percentile_us(sorted: &[u64], q: f64) -> u64 {
 
 /// Runs `requests` through one engine configuration and collects the
 /// engine's own telemetry for the latency distribution.
+///
+/// Engine events land in a local [`MemorySink`] (for this configuration's
+/// percentiles) *and* tee into `outer` — the shared recorder behind the
+/// RUN jsonl and the metrics registry — so the run log carries every
+/// configuration's `RequestDone` stream and the registry histogram
+/// aggregates the whole benchmark.
 fn run_config(
     artifact: &InferenceArtifact,
     requests: &[&Session],
     max_batch: usize,
     workers: usize,
+    outer: &Arc<dyn Recorder>,
+    registry: &Arc<Registry>,
 ) -> ServeConfigResult {
     let sink = Arc::new(MemorySink::new());
-    let obs = Obs::from_arc(sink.clone());
-    let engine = Engine::with_obs(
+    let obs = Obs::new(Tee::new(vec![sink.clone() as Arc<dyn Recorder>, outer.clone()]));
+    let engine = Engine::with_metrics(
         artifact.clone(),
-        EngineConfig { max_batch, queue_capacity: max_batch.max(64) * 4, workers },
+        EngineConfig {
+            max_batch,
+            queue_capacity: max_batch.max(64) * 4,
+            workers,
+            metrics_every: Some(128),
+        },
         obs,
+        registry.clone(),
     );
 
     let start = Instant::now();
@@ -136,6 +156,7 @@ struct CliArgs {
     requests: usize,
     out: String,
     log: Option<String>,
+    metrics: Option<String>,
 }
 
 /// Parses a comma-separated list of positive integers.
@@ -156,7 +177,7 @@ fn parse_counts(what: &str, raw: &str) -> Result<Vec<usize>, String> {
 }
 
 /// Minimal flag parsing (`--preset`, `--batches`, `--workers`,
-/// `--requests`, `--out`, `--log`).
+/// `--requests`, `--out`, `--log`, `--metrics`).
 fn parse_args() -> Result<CliArgs, String> {
     let mut preset = Preset::Smoke;
     let mut batches = vec![1, 8, 32];
@@ -164,6 +185,7 @@ fn parse_args() -> Result<CliArgs, String> {
     let mut requests = 512;
     let mut out = "BENCH_serve.json".to_string();
     let mut log = None;
+    let mut metrics = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -191,6 +213,7 @@ fn parse_args() -> Result<CliArgs, String> {
             }
             "--out" => out = value()?,
             "--log" => log = Some(value()?),
+            "--metrics" => metrics = Some(value()?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -198,25 +221,38 @@ fn parse_args() -> Result<CliArgs, String> {
     batches.dedup();
     workers.sort_unstable();
     workers.dedup();
-    Ok(CliArgs { preset, batches, workers, requests, out, log })
+    Ok(CliArgs { preset, batches, workers, requests, out, log, metrics })
 }
 
 fn main() {
-    let CliArgs { preset, batches, workers, requests, out, log } =
+    let CliArgs { preset, batches, workers, requests, out, log, metrics } =
         parse_args().unwrap_or_else(|msg| {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: bench_serve --preset smoke|default|paper --batches 1,8,32 \
-                 --workers 1,2 --requests 512 --out PATH --log PATH"
+                 --workers 1,2 --requests 512 --out PATH --log PATH --metrics PATH"
             );
             std::process::exit(2);
         });
-    let log = log.unwrap_or_else(|| {
+    let stem_sibling = |prefix: &str, ext: &str| {
         let path = std::path::Path::new(&out);
         let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
-        path.with_file_name(format!("RUN_{stem}.jsonl")).to_string_lossy().into_owned()
-    });
-    let obs = Obs::jsonl(&log).unwrap_or_else(|e| panic!("cannot create log {log}: {e}"));
+        path.with_file_name(format!("{prefix}{stem}.{ext}")).to_string_lossy().into_owned()
+    };
+    let log = log.unwrap_or_else(|| stem_sibling("RUN_", "jsonl"));
+    let metrics = metrics.unwrap_or_else(|| stem_sibling("METRICS_", "prom"));
+
+    // Every event — the run narrative here and the engine telemetry teed
+    // out of `run_config` — folds into one metrics registry on its way to
+    // the RUN jsonl, so the Prometheus snapshot and the log describe the
+    // exact same stream.
+    let registry = Arc::new(Registry::new());
+    let jsonl: Arc<dyn Recorder> = Arc::new(
+        JsonlSink::create(&log).unwrap_or_else(|e| panic!("cannot create log {log}: {e}")),
+    );
+    let recorder: Arc<dyn Recorder> =
+        Arc::new(EventFold::tee(registry.clone(), jsonl));
+    let obs = Obs::from_arc(recorder.clone());
     let run_clock = Stopwatch::start();
     obs.emit(Event::RunStart {
         name: "bench_serve".into(),
@@ -264,7 +300,7 @@ fn main() {
     let mut results = Vec::new();
     for &max_batch in &batches {
         for &w in &workers {
-            let r = run_config(&artifact, &stream, max_batch, w);
+            let r = run_config(&artifact, &stream, max_batch, w, &recorder, &registry);
             eprintln!(
                 "[bench_serve] batch {max_batch} x {w} workers: {:.1} req/s, \
                  p50 {}us, p99 {}us ({} flushes, {:.1} rows/flush)",
@@ -303,10 +339,18 @@ fn main() {
     let parsed: ServeReport =
         serde_json::from_str(&reread).expect("written report must re-parse");
     assert_eq!(parsed.results.len(), report.results.len(), "round-trip kept all rows");
+
+    // Freeze the registry into a Prometheus-text snapshot next to the
+    // report. `clfd-report --check-snapshot` cross-checks its latency
+    // percentiles against the RUN jsonl written above.
+    std::fs::write(&metrics, registry.snapshot().to_prometheus())
+        .unwrap_or_else(|e| panic!("cannot write {metrics}: {e}"));
+    obs.emit(Event::ArtifactWritten { path: metrics.clone() });
     obs.emit(Event::RunEnd { name: "bench_serve".into(), wall_ms: run_clock.elapsed_ms() });
     obs.flush();
     eprintln!(
-        "wrote {out} ({} configurations, batch-32 speedup {:.2}x vs single-session); log {log}",
+        "wrote {out} ({} configurations, batch-32 speedup {:.2}x vs single-session); \
+         log {log}; metrics {metrics}",
         parsed.results.len(),
         parsed.speedup_batch32_vs_single
     );

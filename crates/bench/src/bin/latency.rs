@@ -25,7 +25,8 @@ fn main() {
         eprintln!("error: --datasets must not be empty");
         std::process::exit(2);
     });
-    let obs = args.obs();
+    let telemetry = args.telemetry();
+    let obs = telemetry.obs.clone();
     let run_clock = Stopwatch::start();
     obs.emit(Event::RunStart {
         name: "latency".into(),
@@ -63,5 +64,7 @@ fn main() {
         eprintln!("wrote {path}");
     }
     obs.emit(Event::RunEnd { name: "latency".into(), wall_ms: run_clock.elapsed_ms() });
-    obs.flush();
+    if let Some(path) = telemetry.finish() {
+        eprintln!("wrote metrics snapshot {path}");
+    }
 }

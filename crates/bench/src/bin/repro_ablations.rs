@@ -27,7 +27,8 @@ fn main() {
         std::process::exit(2);
     });
     let base = args.config();
-    let obs = args.obs();
+    let telemetry = args.telemetry();
+    let obs = telemetry.obs.clone();
     let run_clock = Stopwatch::start();
     obs.emit(Event::RunStart {
         name: "repro_ablations".into(),
@@ -78,5 +79,7 @@ fn main() {
         eprintln!("wrote {path}");
     }
     obs.emit(Event::RunEnd { name: "repro_ablations".into(), wall_ms: run_clock.elapsed_ms() });
-    obs.flush();
+    if let Some(path) = telemetry.finish() {
+        eprintln!("wrote metrics snapshot {path}");
+    }
 }

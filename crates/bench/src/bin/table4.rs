@@ -20,7 +20,8 @@ fn main() {
         std::process::exit(2);
     });
     let cfg = args.config();
-    let obs = args.obs();
+    let telemetry = args.telemetry();
+    let obs = telemetry.obs.clone();
     let run_clock = Stopwatch::start();
     obs.emit(Event::RunStart {
         name: "table4".into(),
@@ -59,5 +60,7 @@ fn main() {
         eprintln!("wrote {path}");
     }
     obs.emit(Event::RunEnd { name: "table4".into(), wall_ms: run_clock.elapsed_ms() });
-    obs.flush();
+    if let Some(path) = telemetry.finish() {
+        eprintln!("wrote metrics snapshot {path}");
+    }
 }

@@ -19,7 +19,8 @@ fn main() {
         std::process::exit(2);
     });
     let cfg = args.config();
-    let obs = args.obs();
+    let telemetry = args.telemetry();
+    let obs = telemetry.obs.clone();
     let run_clock = Stopwatch::start();
     obs.emit(Event::RunStart {
         name: "table5".into(),
@@ -61,5 +62,7 @@ fn main() {
         eprintln!("wrote {path}");
     }
     obs.emit(Event::RunEnd { name: "table5".into(), wall_ms: run_clock.elapsed_ms() });
-    obs.flush();
+    if let Some(path) = telemetry.finish() {
+        eprintln!("wrote metrics snapshot {path}");
+    }
 }

@@ -11,6 +11,9 @@
 //! --out PATH                     also write JSON results (default: none)
 //! --log PATH                     JSONL run telemetry     (default: RUN_<stem>.jsonl
 //!                                next to --out; none without --out)
+//! --metrics PATH                 Prometheus metrics snapshot written at exit
+//!                                (default: none; aggregated live from the
+//!                                telemetry event stream)
 //! ```
 //!
 //! This is a *library* crate: it never prints. Usage errors surface as
@@ -21,14 +24,16 @@
 
 use clfd::ClfdConfig;
 use clfd_data::session::{DatasetKind, Preset};
-use clfd_obs::{Event, Obs};
+use clfd_metrics::{EventFold, Registry};
+use clfd_obs::{Event, JsonlSink, Obs, Recorder};
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 /// One-line usage summary of the shared flags, for the binaries' error
 /// messages.
 pub const USAGE: &str = "--preset smoke|default|paper --runs N --seed N \
-     --models a,b,c --datasets cert,umd,openstack --out PATH --log PATH";
+     --models a,b,c --datasets cert,umd,openstack --out PATH --log PATH --metrics PATH";
 
 /// Parsed command-line options shared by the table binaries.
 #[derive(Debug, Clone)]
@@ -48,6 +53,10 @@ pub struct TableArgs {
     /// Optional JSONL telemetry path; overrides the `RUN_<stem>.jsonl`
     /// default derived from [`Self::out`].
     pub log: Option<String>,
+    /// Optional Prometheus metrics snapshot path; when set,
+    /// [`Self::telemetry`] folds the event stream into a live
+    /// [`Registry`] and [`Telemetry::finish`] writes the exposition here.
+    pub metrics: Option<String>,
 }
 
 impl Default for TableArgs {
@@ -60,6 +69,7 @@ impl Default for TableArgs {
             datasets: DatasetKind::ALL.to_vec(),
             out: None,
             log: None,
+            metrics: None,
         }
     }
 }
@@ -115,6 +125,7 @@ impl TableArgs {
                 }
                 "--out" => out.out = Some(value()?),
                 "--log" => out.log = Some(value()?),
+                "--metrics" => out.metrics = Some(value()?),
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -149,11 +160,43 @@ impl TableArgs {
 
     /// The telemetry handle for this invocation: a JSONL sink at
     /// [`Self::log_path`], or disabled when no path is configured.
+    ///
+    /// Ignores `--metrics`; binaries that honor it call
+    /// [`Self::telemetry`] instead.
     pub fn obs(&self) -> Obs {
         match self.log_path() {
             Some(path) => Obs::jsonl(&path)
                 .unwrap_or_else(|e| panic!("cannot create log {path}: {e}")),
             None => Obs::null(),
+        }
+    }
+
+    /// The full telemetry rig for this invocation: the JSONL sink from
+    /// [`Self::log_path`] (if any), wrapped in a metrics
+    /// [`EventFold`] when `--metrics` is set. Call [`Telemetry::finish`]
+    /// after the run to write the Prometheus snapshot.
+    pub fn telemetry(&self) -> Telemetry {
+        let sink: Option<Arc<dyn Recorder>> = self.log_path().map(|path| {
+            let sink = JsonlSink::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create log {path}: {e}"));
+            Arc::new(sink) as Arc<dyn Recorder>
+        });
+        match &self.metrics {
+            Some(metrics_path) => {
+                let registry = Arc::new(Registry::new());
+                let fold = match sink {
+                    Some(sink) => EventFold::tee(registry.clone(), sink),
+                    None => EventFold::new(registry.clone()),
+                };
+                Telemetry {
+                    obs: Obs::new(fold),
+                    metrics: Some((registry, metrics_path.clone())),
+                }
+            }
+            None => Telemetry {
+                obs: sink.map_or_else(Obs::null, Obs::from_arc),
+                metrics: None,
+            },
         }
     }
 
@@ -169,6 +212,38 @@ impl TableArgs {
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         obs.emit(Event::ArtifactWritten { path: path.clone() });
         Some(path.clone())
+    }
+}
+
+/// The telemetry rig of one binary invocation: the recorder handle the
+/// runners emit into, plus (under `--metrics`) the registry those events
+/// fold into and the snapshot path to write at exit.
+pub struct Telemetry {
+    /// Recorder handle to pass into runners and engines.
+    pub obs: Obs,
+    metrics: Option<(Arc<Registry>, String)>,
+}
+
+impl Telemetry {
+    /// The live metrics registry, when `--metrics` is active (e.g. to hand
+    /// to [`clfd_serve::Engine::with_metrics`]-style consumers).
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.metrics.as_ref().map(|(r, _)| r)
+    }
+
+    /// Writes the Prometheus snapshot to the `--metrics` path (when
+    /// active), records the artifact on the event stream, and flushes the
+    /// recorder. Returns the snapshot path for the caller to report.
+    pub fn finish(&self) -> Option<String> {
+        let written = self.metrics.as_ref().map(|(registry, path)| {
+            let text = registry.snapshot().to_prometheus();
+            std::fs::write(path, text)
+                .unwrap_or_else(|e| panic!("cannot write metrics snapshot {path}: {e}"));
+            self.obs.emit(Event::ArtifactWritten { path: path.clone() });
+            path.clone()
+        });
+        self.obs.flush();
+        written
     }
 }
 
@@ -216,6 +291,40 @@ mod tests {
         let c = parse(&[]).unwrap();
         assert!(c.log_path().is_none());
         assert!(!c.obs().enabled());
+    }
+
+    #[test]
+    fn metrics_flag_builds_a_folding_telemetry_rig() {
+        let dir = std::env::temp_dir().join(format!(
+            "clfd_bench_metrics_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prom = dir.join("m.prom");
+        let a = parse(&["--metrics", prom.to_str().unwrap()]).unwrap();
+        let telemetry = a.telemetry();
+        assert!(telemetry.obs.enabled(), "folding requires a live recorder");
+        let registry = telemetry.registry().expect("registry under --metrics");
+        telemetry.obs.emit(Event::RequestDone { request: 0, sessions: 1, latency_us: 321 });
+        assert_eq!(
+            registry.counter(clfd_metrics::names::SERVE_REQUESTS_TOTAL, "", &[]).get(),
+            1
+        );
+        let written = telemetry.finish().expect("snapshot written");
+        let text = std::fs::read_to_string(&written).unwrap();
+        assert!(text.contains("clfd_serve_requests_total 1"), "{text}");
+        clfd_metrics::parse_prometheus(&text).expect("snapshot parses");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn without_metrics_finish_is_a_quiet_flush() {
+        let a = parse(&[]).unwrap();
+        let telemetry = a.telemetry();
+        assert!(telemetry.registry().is_none());
+        assert!(!telemetry.obs.enabled());
+        assert_eq!(telemetry.finish(), None);
     }
 
     #[test]

@@ -176,6 +176,12 @@ impl TrainedClfd {
             let preds = corrector.predict(&train_sessions, &embeddings, cfg);
             let corrected: Vec<Label> = preds.iter().map(|p| p.label).collect();
             let confidences: Vec<f32> = preds.iter().map(|p| p.confidence).collect();
+            // The c_i distribution is the health signal of two-stage noise
+            // correction: a collapse toward 0.5 means Stage 2 trains on
+            // coin flips. Emit it where it's produced.
+            if obs.enabled() {
+                obs.emit(Event::confidence("corrector/confidence", &confidences));
+            }
             (Some(corrector), corrected, confidences)
         } else {
             (None, noisy_labels.to_vec(), vec![1.0; noisy_labels.len()])

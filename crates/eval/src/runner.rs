@@ -85,6 +85,10 @@ pub fn run_cell(
     let started = Instant::now();
     for r in 0..spec.runs {
         let seed = spec.base_seed + r as u64;
+        // One span per repetition, labeled by model/dataset only (the run
+        // index would blow up metric label cardinality; repetitions
+        // aggregate into one clfd_stage_wall_us series instead).
+        let span = obs.stage(format!("cell/{}/{}", model.name(), spec.dataset.name()));
         let split = spec.dataset.generate(spec.preset, seed);
         let truth = split.train_labels();
         let mut noise_rng = StdRng::seed_from_u64(seed.wrapping_mul(7919).wrapping_add(13));
@@ -107,6 +111,7 @@ pub fn run_cell(
                 failures.push(RunFailure { run: r, seed, error });
             }
         }
+        span.finish();
     }
     CellResult {
         model: model.name().to_string(),
@@ -144,6 +149,7 @@ pub fn run_corrector_quality(
     let mut tnr = Vec::with_capacity(spec.runs);
     for r in 0..spec.runs {
         let seed = spec.base_seed + r as u64;
+        let span = obs.stage(format!("cell/corrector-quality/{}", spec.dataset.name()));
         let split = spec.dataset.generate(spec.preset, seed);
         let truth = split.train_labels();
         let mut noise_rng = StdRng::seed_from_u64(seed.wrapping_mul(7919).wrapping_add(13));
@@ -159,6 +165,7 @@ pub fn run_corrector_quality(
         let cm = ConfusionMatrix::from_labels(model.corrected_labels(), &truth);
         tpr.push(cm.tpr() * 100.0);
         tnr.push(cm.tnr() * 100.0);
+        span.finish();
     }
     CorrectorResult {
         dataset: spec.dataset.name().to_string(),
@@ -280,6 +287,29 @@ mod tests {
         assert!((0.0..=100.0).contains(&cell.fpr.mean));
         assert!((0.0..=100.0).contains(&cell.auc_roc.mean));
         assert!(cell.seconds_per_run > 0.0);
+    }
+
+    #[test]
+    fn run_cell_emits_cell_spans_and_confidence_histograms() {
+        use clfd_obs::MemorySink;
+        use std::sync::Arc;
+        let cfg = ClfdConfig::for_preset(Preset::Smoke);
+        let spec = smoke_spec();
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::from_arc(sink.clone());
+        run_cell(&ClfdModel::default(), &spec, &cfg, &obs);
+        let events = sink.events();
+        let cell_stage = format!("cell/CLFD/{}", spec.dataset.name());
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e, Event::StageEnd { stage, .. } if *stage == cell_stage))
+            .count();
+        assert_eq!(spans, spec.runs, "one cell span per repetition");
+        let confidences = events.iter().any(|e| {
+            matches!(e, Event::Confidence { stage, count, .. }
+                if stage == "corrector/confidence" && *count > 0)
+        });
+        assert!(confidences, "corrector emits its c_i histogram");
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! `clfd-report`: summarize `RUN_*.jsonl` telemetry streams and
+//! cross-check Prometheus metric snapshots against them.
+//!
+//! ```text
+//! clfd-report [--check-snapshot FILE.prom] RUN.jsonl [MORE.jsonl ...]
+//! ```
+//!
+//! Every `.jsonl` argument is ingested into one combined
+//! [`RunSummary`]; `.prom` arguments are parsed and their latency
+//! histograms summarized. `--check-snapshot` additionally verifies that
+//! the snapshot's request-latency p50/p99 bucket estimates agree (±1
+//! bucket) with exact percentiles recomputed from the JSONL stream, and
+//! that observation counts match.
+//!
+//! Exit codes: `0` success, `1` parse error / empty stream / snapshot
+//! mismatch, `2` usage error.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use clfd_metrics::{names, parse_prometheus, RunSummary};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: clfd-report [--check-snapshot FILE.prom] RUN.jsonl [MORE.jsonl ...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut check_snapshot: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check-snapshot" => match args.next() {
+                Some(path) => check_snapshot = Some(path),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "clfd-report: summarize RUN_*.jsonl telemetry and check metric snapshots"
+                );
+                println!(
+                    "usage: clfd-report [--check-snapshot FILE.prom] RUN.jsonl [MORE.jsonl ...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("clfd-report: unknown flag {flag}");
+                return usage();
+            }
+            _ => inputs.push(arg),
+        }
+    }
+    if inputs.is_empty() {
+        return usage();
+    }
+
+    let mut jsonl_text = String::new();
+    let mut failed = false;
+    for path in &inputs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("clfd-report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if path.ends_with(".prom") {
+            match summarize_prom(path, &text) {
+                Ok(summary) => println!("{summary}"),
+                Err(e) => {
+                    eprintln!("clfd-report: {path}: {e}");
+                    failed = true;
+                }
+            }
+        } else {
+            jsonl_text.push_str(&text);
+            jsonl_text.push('\n');
+        }
+    }
+
+    let has_jsonl = inputs.iter().any(|p| !p.ends_with(".prom"));
+    if has_jsonl {
+        let summary = match RunSummary::from_lines(jsonl_text.lines()) {
+            Ok(summary) => summary,
+            Err(e) => {
+                eprintln!("clfd-report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if summary.is_empty() {
+            eprintln!("clfd-report: no events found — a silent run is a broken run");
+            return ExitCode::FAILURE;
+        }
+        println!("{}", summary.render());
+        if let Some(path) = &check_snapshot {
+            let prom = match std::fs::read_to_string(path) {
+                Ok(prom) => prom,
+                Err(e) => {
+                    eprintln!("clfd-report: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match summary.check_snapshot(&prom) {
+                Ok(report) => println!("{report}"),
+                Err(e) => {
+                    eprintln!("clfd-report: snapshot check failed: {e}");
+                    failed = true;
+                }
+            }
+        }
+    } else if check_snapshot.is_some() {
+        eprintln!("clfd-report: --check-snapshot needs at least one .jsonl input");
+        return usage();
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Summarizes a standalone Prometheus snapshot: sample count and, when the
+/// serve latency histogram is present, its quantile estimates.
+fn summarize_prom(path: &str, text: &str) -> Result<String, String> {
+    let samples = parse_prometheus(text)?;
+    if samples.is_empty() {
+        return Err("snapshot contains no samples".to_string());
+    }
+    let mut out = format!("snapshot {path}: {} samples", samples.len());
+    let hists =
+        clfd_metrics::expo::hist_from_samples(&samples, names::SERVE_REQUEST_LATENCY_US)?;
+    for (labels, hist) in &hists {
+        if hist.count == 0 {
+            continue;
+        }
+        let show = if labels.is_empty() { "request latency" } else { labels.as_str() };
+        out.push_str(&format!("\n  {show}: n={}", hist.count));
+        for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+            if let Some(est) = hist.quantile(q) {
+                out.push_str(&format!(" {tag}<={est:.0}us"));
+            }
+        }
+    }
+    Ok(out)
+}

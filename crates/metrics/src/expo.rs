@@ -1,0 +1,631 @@
+//! Snapshot exposition: immutable captures of a
+//! [`Registry`](crate::Registry) rendered as Prometheus text or JSON, plus
+//! a parser for the Prometheus text format so tests and `clfd-report` can
+//! read an exposition back without trusting the writer.
+
+use crate::hist::{quantile_bounds_from, resolve_bucket};
+use crate::registry::MetricKind;
+use clfd_obs::json::{escape_into, Obj};
+
+/// Immutable, deterministically ordered capture of every metric family in
+/// a registry at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Families sorted by metric name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+/// One metric family (a name, its help text and kind, and every labeled
+/// series under it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// The metric name, e.g. `clfd_serve_request_latency_us`.
+    pub name: String,
+    /// Help text fixed by the family's first registration.
+    pub help: String,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Series sorted by rendered label set.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// One labeled series and its captured value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Rendered label set: `{k="v",…}` with sorted keys, or `""`.
+    pub labels: String,
+    /// The captured value.
+    pub value: SeriesValue,
+}
+
+/// Captured value of a series, by kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Instantaneous value.
+    Gauge(f64),
+    /// Bucketed distribution.
+    Histogram(HistSnapshot),
+}
+
+/// Captured state of one histogram series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    /// Finite bucket upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; the final entry is the `+Inf`
+    /// overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Lower edge of the first bucket (for quantile bracketing).
+    pub lower_edge: f64,
+}
+
+impl HistSnapshot {
+    /// The `(lo, hi]` interval guaranteed to contain the nearest-rank
+    /// `q`-quantile, or `None` when empty. See
+    /// [`Histogram::quantile_bounds`](crate::Histogram::quantile_bounds).
+    pub fn quantile_bounds(&self, q: f64) -> Option<(f64, f64)> {
+        quantile_bounds_from(&self.bounds, &self.buckets, self.lower_edge, q)
+    }
+
+    /// Point estimate of the `q`-quantile (the containing bucket's upper
+    /// bound), or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.quantile_bounds(q).map(resolve_bucket)
+    }
+
+    /// Index of the bucket containing the nearest-rank `q`-quantile (the
+    /// overflow bucket is index `bounds.len()`), or `None` when empty.
+    pub fn quantile_bucket_index(&self, q: f64) -> Option<usize> {
+        let (_, hi) = self.quantile_bounds(q)?;
+        if hi.is_finite() {
+            Some(self.bounds.partition_point(|&b| b < hi))
+        } else {
+            Some(self.bounds.len())
+        }
+    }
+
+    /// Index of the bucket a raw value `v` would land in (mirror of
+    /// [`Histogram::observe`](crate::Histogram::observe)'s routing).
+    pub fn bucket_index_of(&self, v: f64) -> usize {
+        if v.is_finite() {
+            self.bounds.partition_point(|&ub| ub < v)
+        } else {
+            self.bounds.len()
+        }
+    }
+}
+
+/// Formats a float the way the Prometheus text format expects: `+Inf`,
+/// `-Inf`, `NaN`, or Rust's shortest round-trip decimal form.
+pub fn format_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Splices an extra label (e.g. `le="0.5"`) into a rendered label set.
+fn labels_with(labels: &str, key: &str, value: &str) -> String {
+    let mut rendered = String::from(key);
+    rendered.push_str("=\"");
+    for c in value.chars() {
+        match c {
+            '\\' => rendered.push_str("\\\\"),
+            '"' => rendered.push_str("\\\""),
+            '\n' => rendered.push_str("\\n"),
+            c => rendered.push(c),
+        }
+    }
+    rendered.push('"');
+    if labels.is_empty() {
+        format!("{{{rendered}}}")
+    } else {
+        // "{a=\"b\"}" → "{a=\"b\",le=\"…\"}"
+        format!("{},{rendered}}}", &labels[..labels.len() - 1])
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` headers, one sample per line, histograms as
+    /// cumulative `_bucket{le="…"}` series ending at `le="+Inf"` plus
+    /// `_sum` and `_count`.
+    ///
+    /// The output is byte-for-byte deterministic for a given set of metric
+    /// values (families and series are sorted, floats use shortest
+    /// round-trip formatting).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            out.push_str("# HELP ");
+            out.push_str(&family.name);
+            out.push(' ');
+            // HELP text is a single line; escape the two characters the
+            // format reserves.
+            for c in family.help.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(family.kind.as_str());
+            out.push('\n');
+            for series in &family.series {
+                match &series.value {
+                    SeriesValue::Counter(v) => {
+                        out.push_str(&family.name);
+                        out.push_str(&series.labels);
+                        out.push(' ');
+                        out.push_str(&v.to_string());
+                        out.push('\n');
+                    }
+                    SeriesValue::Gauge(v) => {
+                        out.push_str(&family.name);
+                        out.push_str(&series.labels);
+                        out.push(' ');
+                        out.push_str(&format_value(*v));
+                        out.push('\n');
+                    }
+                    SeriesValue::Histogram(h) => {
+                        let mut cum = 0u64;
+                        for (i, count) in h.buckets.iter().enumerate() {
+                            cum += count;
+                            let le = h
+                                .bounds
+                                .get(i)
+                                .copied()
+                                .map_or_else(|| "+Inf".to_string(), format_value);
+                            out.push_str(&family.name);
+                            out.push_str("_bucket");
+                            out.push_str(&labels_with(&series.labels, "le", &le));
+                            out.push(' ');
+                            out.push_str(&cum.to_string());
+                            out.push('\n');
+                        }
+                        out.push_str(&family.name);
+                        out.push_str("_sum");
+                        out.push_str(&series.labels);
+                        out.push(' ');
+                        out.push_str(&format_value(h.sum));
+                        out.push('\n');
+                        out.push_str(&family.name);
+                        out.push_str("_count");
+                        out.push_str(&series.labels);
+                        out.push(' ');
+                        out.push_str(&h.count.to_string());
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a single-line JSON object
+    /// (`{"families":[…]}`), using the same encoder as the telemetry event
+    /// stream so [`clfd_obs::json::validate`] accepts it.
+    pub fn to_json(&self) -> String {
+        let mut families = String::from("[");
+        for (i, family) in self.families.iter().enumerate() {
+            if i > 0 {
+                families.push(',');
+            }
+            let mut series = String::from("[");
+            for (j, s) in family.series.iter().enumerate() {
+                if j > 0 {
+                    series.push(',');
+                }
+                let obj = Obj::new().str("labels", &s.labels);
+                let obj = match &s.value {
+                    SeriesValue::Counter(v) => obj.u64("counter", *v),
+                    SeriesValue::Gauge(v) => obj.f64("gauge", *v),
+                    SeriesValue::Histogram(h) => {
+                        let hist = Obj::new()
+                            .raw("bounds", &f64_array(&h.bounds))
+                            .u64_array("buckets", &h.buckets)
+                            .u64("count", h.count)
+                            .f64("sum", h.sum)
+                            .f64("lower_edge", h.lower_edge)
+                            .finish();
+                        obj.raw("hist", &hist)
+                    }
+                };
+                series.push_str(&obj.finish());
+            }
+            series.push(']');
+            let family_obj = Obj::new()
+                .str("name", &family.name)
+                .str("help", &family.help)
+                .str("kind", family.kind.as_str())
+                .raw("series", &series)
+                .finish();
+            families.push_str(&family_obj);
+        }
+        families.push(']');
+        Obj::new().raw("families", &families).finish()
+    }
+}
+
+/// Renders a JSON array of floats (non-finite values become `null`).
+fn f64_array(vs: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if v.is_finite() {
+            out.push_str(&v.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// One sample line parsed from a Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// The sample name (histogram series appear as `…_bucket`, `…_sum`,
+    /// `…_count`).
+    pub name: String,
+    /// Label pairs in file order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf`/`-Inf`/`NaN` accepted).
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The first value of the label named `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses the Prometheus text exposition format: `# …` comment lines are
+/// skipped, every other non-empty line must be
+/// `name[{k="v",…}] value`.
+///
+/// # Errors
+/// Returns a message naming the first malformed line (1-based).
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(
+            parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?,
+        );
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ' || b == b'\t')
+        .ok_or("missing value")?;
+    let name = &line[..name_end];
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let mut rest = &line[name_end..];
+    if rest.starts_with('{') {
+        let (parsed, after) = parse_labels(rest)?;
+        labels = parsed;
+        rest = after;
+    }
+    let value_text = rest.trim();
+    if value_text.is_empty() {
+        return Err("missing value".to_string());
+    }
+    let value = match value_text {
+        "+Inf" | "Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse::<f64>().map_err(|_| format!("bad value {v:?}"))?,
+    };
+    Ok(PromSample { name: name.to_string(), labels, value })
+}
+
+/// Label pairs plus the unparsed remainder of the line.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parses `{k="v",…}`; returns the pairs and the remainder after `}`.
+fn parse_labels(s: &str) -> Result<ParsedLabels<'_>, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 1; // '{'
+    let mut labels = Vec::new();
+    loop {
+        if bytes.get(pos) == Some(&b'}') {
+            return Ok((labels, &s[pos + 1..]));
+        }
+        let key_start = pos;
+        while bytes
+            .get(pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            pos += 1;
+        }
+        if pos == key_start {
+            return Err(format!("bad label key at byte {pos}"));
+        }
+        let key = s[key_start..pos].to_string();
+        if bytes.get(pos) != Some(&b'=') || bytes.get(pos + 1) != Some(&b'"') {
+            return Err(format!("expected =\" at byte {pos}"));
+        }
+        pos += 2;
+        let mut value = String::new();
+        loop {
+            match bytes.get(pos) {
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(pos + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    pos += 2;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 character.
+                    let start = pos;
+                    pos += 1;
+                    while pos < bytes.len() && (bytes[pos] & 0xC0) == 0x80 {
+                        pos += 1;
+                    }
+                    value.push_str(&s[start..pos]);
+                }
+                None => return Err("unterminated label value".to_string()),
+            }
+        }
+        labels.push((key, value));
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => {}
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+/// Reconstructs per-series [`HistSnapshot`]s for histogram `name` from
+/// parsed Prometheus samples, keyed by the series' non-`le` label pairs
+/// (rendered `k="v"` comma-joined, file order). Cumulative `_bucket`
+/// counts are de-accumulated; `_sum`/`_count` lines fill in the exact
+/// totals.
+///
+/// # Errors
+/// Returns a message when bucket lines are missing, out of order, or not
+/// cumulative.
+pub fn hist_from_samples(
+    samples: &[PromSample],
+    name: &str,
+) -> Result<Vec<(String, HistSnapshot)>, String> {
+    let bucket_name = format!("{name}_bucket");
+    let sum_name = format!("{name}_sum");
+    let count_name = format!("{name}_count");
+    // Keep insertion order so output is as deterministic as the input.
+    let mut order: Vec<String> = Vec::new();
+    // Per-series accumulator: cumulative (le, count) pairs, sum, count.
+    type Partial = (Vec<(f64, u64)>, Option<f64>, Option<u64>);
+    let mut partial: std::collections::BTreeMap<String, Partial> =
+        std::collections::BTreeMap::new();
+    let series_key = |s: &PromSample| -> String {
+        let mut key = String::new();
+        for (k, v) in &s.labels {
+            if k == "le" {
+                continue;
+            }
+            if !key.is_empty() {
+                key.push(',');
+            }
+            key.push_str(k);
+            key.push_str("=\"");
+            escape_into(&mut key, v);
+            key.push('"');
+        }
+        key
+    };
+    for s in samples {
+        let key = series_key(s);
+        let slot = partial.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (Vec::new(), None, None)
+        });
+        if s.name == bucket_name {
+            let le = s.label("le").ok_or_else(|| format!("{name}_bucket line without le"))?;
+            let bound = match le {
+                "+Inf" | "Inf" => f64::INFINITY,
+                v => v.parse::<f64>().map_err(|_| format!("bad le {v:?}"))?,
+            };
+            if !s.value.is_finite() || s.value < 0.0 {
+                return Err(format!("bad bucket count {}", s.value));
+            }
+            slot.0.push((bound, s.value as u64));
+        } else if s.name == sum_name {
+            slot.1 = Some(s.value);
+        } else if s.name == count_name {
+            if !s.value.is_finite() || s.value < 0.0 {
+                return Err(format!("bad count {}", s.value));
+            }
+            slot.2 = Some(s.value as u64);
+        }
+    }
+    let mut out = Vec::new();
+    for key in order {
+        let (mut bucket_lines, sum, count) = partial.remove(&key).expect("keyed by order");
+        if bucket_lines.is_empty() {
+            continue; // only _sum/_count seen, or unrelated metric labels
+        }
+        bucket_lines.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le bounds are not NaN"));
+        let last = bucket_lines.last().expect("non-empty");
+        if last.0.is_finite() {
+            return Err(format!("{name}: missing le=\"+Inf\" bucket for {{{key}}}"));
+        }
+        let mut bounds = Vec::with_capacity(bucket_lines.len() - 1);
+        let mut buckets = Vec::with_capacity(bucket_lines.len());
+        let mut prev = 0u64;
+        for (bound, cum) in &bucket_lines {
+            if *cum < prev {
+                return Err(format!("{name}: non-cumulative bucket counts for {{{key}}}"));
+            }
+            buckets.push(cum - prev);
+            prev = *cum;
+            if bound.is_finite() {
+                bounds.push(*bound);
+            }
+        }
+        let total = prev;
+        let hist = HistSnapshot {
+            bounds,
+            buckets,
+            count: count.unwrap_or(total),
+            sum: sum.unwrap_or(f64::NAN),
+            lower_edge: 0.0,
+        };
+        out.push((key, hist));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::BucketSpec;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("b_requests_total", "requests", &[("route", "score")]).add(7);
+        reg.gauge("a_depth", "queue depth", &[]).set(3.5);
+        let h = reg.histogram(
+            "c_latency_us",
+            "latency",
+            &[("worker", "0")],
+            BucketSpec::log(1.0, 2.0, 3),
+        );
+        for v in [0.5, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_is_cumulative_and_ordered() {
+        let text = sample_registry().snapshot().to_prometheus();
+        let expected = "\
+# HELP a_depth queue depth
+# TYPE a_depth gauge
+a_depth 3.5
+# HELP b_requests_total requests
+# TYPE b_requests_total counter
+b_requests_total{route=\"score\"} 7
+# HELP c_latency_us latency
+# TYPE c_latency_us histogram
+c_latency_us_bucket{worker=\"0\",le=\"1\"} 1
+c_latency_us_bucket{worker=\"0\",le=\"2\"} 2
+c_latency_us_bucket{worker=\"0\",le=\"4\"} 3
+c_latency_us_bucket{worker=\"0\",le=\"+Inf\"} 4
+c_latency_us_sum{worker=\"0\"} 105
+c_latency_us_count{worker=\"0\"} 4
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn parse_prometheus_round_trips_the_exposition() {
+        let snap = sample_registry().snapshot();
+        let samples = parse_prometheus(&snap.to_prometheus()).unwrap();
+        assert_eq!(samples.len(), 8);
+        let bucket = samples
+            .iter()
+            .find(|s| s.name == "c_latency_us_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(bucket.value, 4.0);
+        assert_eq!(bucket.label("worker"), Some("0"));
+    }
+
+    #[test]
+    fn hist_from_samples_de_accumulates() {
+        let snap = sample_registry().snapshot();
+        let samples = parse_prometheus(&snap.to_prometheus()).unwrap();
+        let hists = hist_from_samples(&samples, "c_latency_us").unwrap();
+        assert_eq!(hists.len(), 1);
+        let (key, hist) = &hists[0];
+        assert_eq!(key, "worker=\"0\"");
+        assert_eq!(hist.bounds, vec![1.0, 2.0, 4.0]);
+        assert_eq!(hist.buckets, vec![1, 1, 1, 1]);
+        assert_eq!(hist.count, 4);
+        assert!((hist.sum - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_and_carries_values() {
+        let json = sample_registry().snapshot().to_json();
+        clfd_obs::json::validate(&json).unwrap();
+        let v = clfd_obs::json::parse(&json).unwrap();
+        let families = v.get("families").and_then(|f| f.as_array()).unwrap();
+        assert_eq!(families.len(), 3);
+        assert_eq!(
+            families[0].get("name").and_then(|n| n.as_str()),
+            Some("a_depth")
+        );
+        let hist_series = families[2].get("series").and_then(|s| s.as_array()).unwrap();
+        let hist = hist_series[0].get("hist").unwrap();
+        assert_eq!(hist.get("count").and_then(|c| c.as_u64()), Some(4));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_prometheus("name_only").is_err());
+        assert!(parse_prometheus("9leading 1").is_err());
+        assert!(parse_prometheus("m{k=\"unterminated} 1").is_err());
+        assert!(parse_prometheus("m{k=\"v\"} notanumber").is_err());
+    }
+
+    #[test]
+    fn quantile_bucket_index_matches_raw_value_routing() {
+        let h = HistSnapshot {
+            bounds: vec![1.0, 2.0, 4.0],
+            buckets: vec![0, 3, 0, 1],
+            count: 4,
+            sum: 0.0,
+            lower_edge: 0.0,
+        };
+        // Median sits in bucket (1,2] = index 1; a raw 1.7 lands there too.
+        assert_eq!(h.quantile_bucket_index(0.5), Some(1));
+        assert_eq!(h.bucket_index_of(1.7), 1);
+        // p99 is the max (overflow bucket).
+        assert_eq!(h.quantile_bucket_index(0.99), Some(3));
+        assert_eq!(h.bucket_index_of(1e9), 3);
+    }
+}

@@ -1,0 +1,430 @@
+//! [`EventFold`]: a [`clfd_obs::Recorder`] that folds the existing event
+//! stream into a metrics [`Registry`].
+//!
+//! The CLFD stack already narrates itself through typed
+//! [`Event`](clfd_obs::Event)s; this adapter turns that narration into
+//! aggregates (latency histograms, loss gauges, intervention counters)
+//! with **zero new instrumentation call sites** — wrap any recorder in an
+//! `EventFold` and every event it sees is counted on the way through.
+//! Folding is pure aggregation: replaying the same event sequence into a
+//! fresh registry produces an identical snapshot.
+
+use crate::hist::BucketSpec;
+use crate::registry::Registry;
+use clfd_obs::{Event, Recorder, CONFIDENCE_BUCKETS};
+use std::f64::consts::SQRT_2;
+use std::sync::Arc;
+
+/// Metric names and bucket layouts used by [`EventFold`], public so tests
+/// and `clfd-report` reference the exact same contract.
+pub mod names {
+    use super::{BucketSpec, CONFIDENCE_BUCKETS, SQRT_2};
+
+    /// Counter of every event seen, labeled by `type` tag.
+    pub const EVENTS_TOTAL: &str = "clfd_obs_events_total";
+    /// Serve request queue-to-response latency in microseconds.
+    pub const SERVE_REQUEST_LATENCY_US: &str = "clfd_serve_request_latency_us";
+    /// Counter of completed serve requests.
+    pub const SERVE_REQUESTS_TOTAL: &str = "clfd_serve_requests_total";
+    /// Counter of sessions carried by completed serve requests.
+    pub const SERVE_SESSIONS_TOTAL: &str = "clfd_serve_sessions_total";
+    /// Gauge: queue depth sampled at each worker drain.
+    pub const SERVE_QUEUE_DEPTH: &str = "clfd_serve_queue_depth";
+    /// Gauge: configured queue capacity.
+    pub const SERVE_QUEUE_CAPACITY: &str = "clfd_serve_queue_capacity";
+    /// Histogram of micro-batch sizes (rows per flush).
+    pub const SERVE_BATCH_ROWS: &str = "clfd_serve_batch_rows";
+    /// Histogram of micro-batch forward wall time in microseconds.
+    pub const SERVE_BATCH_WALL_US: &str = "clfd_serve_batch_wall_us";
+    /// Counter of flushed micro-batches.
+    pub const SERVE_BATCHES_TOTAL: &str = "clfd_serve_batches_total";
+    /// Histogram of stage wall time in microseconds, labeled by stage path.
+    pub const STAGE_WALL_US: &str = "clfd_stage_wall_us";
+    /// Counter of finished training epochs, labeled by stage path.
+    pub const TRAIN_EPOCHS_TOTAL: &str = "clfd_train_epochs_total";
+    /// Gauge: last epoch's mean training loss per stage.
+    pub const TRAIN_LOSS: &str = "clfd_train_loss";
+    /// Gauge: last epoch's final-batch gradient norm per stage.
+    pub const TRAIN_GRAD_NORM: &str = "clfd_train_grad_norm";
+    /// Gauge: learning rate at the end of the last epoch per stage.
+    pub const TRAIN_LR: &str = "clfd_train_lr";
+    /// Histogram of epoch wall time in milliseconds per stage.
+    pub const TRAIN_EPOCH_WALL_MS: &str = "clfd_train_epoch_wall_ms";
+    /// Counter of divergence-guard interventions by stage and action.
+    pub const GUARD_INTERVENTIONS_TOTAL: &str = "clfd_guard_interventions_total";
+    /// Counter of injected faults by stage.
+    pub const FAULTS_INJECTED_TOTAL: &str = "clfd_faults_injected_total";
+    /// Histogram of label-corrector confidences `c_i` by stage.
+    pub const CORRECTION_CONFIDENCE: &str = "clfd_correction_confidence";
+    /// Histogram of sweep cell wall time in milliseconds by model.
+    pub const SWEEP_CELL_WALL_MS: &str = "clfd_sweep_cell_wall_ms";
+    /// Counter of isolated run failures inside sweep cells, by model.
+    pub const SWEEP_CELL_FAILURES_TOTAL: &str = "clfd_sweep_cell_failures_total";
+    /// Counter of isolated run failures, by model.
+    pub const RUN_FAILURES_TOTAL: &str = "clfd_run_failures_total";
+    /// Gauge: threaded-kernel launches, by counter scope.
+    pub const KERNEL_LAUNCHES: &str = "clfd_kernel_launches";
+    /// Gauge: launches that fanned out to >1 part, by counter scope.
+    pub const KERNEL_PARALLEL_LAUNCHES: &str = "clfd_kernel_parallel_launches";
+    /// Gauge: nanoseconds inside kernel launch blocks, by counter scope.
+    pub const KERNEL_BUSY_NS: &str = "clfd_kernel_busy_ns";
+
+    /// Buckets for request latency: √2 growth from 1 µs covers ~11.9 s at
+    /// constant ±√2 relative error.
+    pub fn latency_us_buckets() -> BucketSpec {
+        BucketSpec::log(1.0, SQRT_2, 48)
+    }
+
+    /// Buckets for micro-batch forward wall time (same span as request
+    /// latency — a batch is the unit of serving work).
+    pub fn batch_wall_us_buckets() -> BucketSpec {
+        BucketSpec::log(1.0, SQRT_2, 48)
+    }
+
+    /// Buckets for batch sizes: powers of two up to 4096 rows.
+    pub fn batch_rows_buckets() -> BucketSpec {
+        BucketSpec::log(1.0, 2.0, 12)
+    }
+
+    /// Buckets for stage wall time: 100 µs doubling to ~3.6 min.
+    pub fn stage_wall_us_buckets() -> BucketSpec {
+        BucketSpec::log(100.0, 2.0, 32)
+    }
+
+    /// Buckets for epoch wall time: 1 ms doubling to ~2.8 h.
+    pub fn epoch_wall_ms_buckets() -> BucketSpec {
+        BucketSpec::log(1.0, 2.0, 24)
+    }
+
+    /// Buckets for sweep cell wall time: 1 ms doubling to ~2.8 h.
+    pub fn cell_wall_ms_buckets() -> BucketSpec {
+        BucketSpec::log(1.0, 2.0, 24)
+    }
+
+    /// Buckets for corrector confidences: mirrors the pre-bucketed layout
+    /// of [`clfd_obs::Event::Confidence`] so counts merge without
+    /// resampling.
+    pub fn confidence_buckets() -> BucketSpec {
+        BucketSpec::linear(0.0, 1.0, CONFIDENCE_BUCKETS)
+    }
+}
+
+/// Recorder adapter folding the event stream into a [`Registry`], then
+/// forwarding each event to an optional inner recorder (so one `Obs`
+/// handle can feed both a JSONL log and live metrics).
+pub struct EventFold {
+    registry: Arc<Registry>,
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl EventFold {
+    /// Folds events into `registry` and drops them afterwards.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self { registry, inner: None }
+    }
+
+    /// Folds events into `registry` and forwards each one to `inner`.
+    pub fn tee(registry: Arc<Registry>, inner: Arc<dyn Recorder>) -> Self {
+        Self { registry, inner: Some(inner) }
+    }
+
+    /// The registry this fold aggregates into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    fn fold(&self, event: &Event) {
+        let reg = &self.registry;
+        reg.counter(
+            names::EVENTS_TOTAL,
+            "Telemetry events seen, by type tag",
+            &[("type", event.type_tag())],
+        )
+        .inc();
+        match event {
+            Event::RequestDone { sessions, latency_us, .. } => {
+                reg.histogram(
+                    names::SERVE_REQUEST_LATENCY_US,
+                    "Serve request queue-to-response latency (us)",
+                    &[],
+                    names::latency_us_buckets(),
+                )
+                .observe(*latency_us as f64);
+                reg.counter(names::SERVE_REQUESTS_TOTAL, "Completed serve requests", &[]).inc();
+                reg.counter(
+                    names::SERVE_SESSIONS_TOTAL,
+                    "Sessions carried by completed serve requests",
+                    &[],
+                )
+                .add(*sessions as u64);
+            }
+            Event::QueueDepth { depth, capacity } => {
+                reg.gauge(
+                    names::SERVE_QUEUE_DEPTH,
+                    "Serve queue depth at last worker drain",
+                    &[],
+                )
+                .set(*depth as f64);
+                reg.gauge(names::SERVE_QUEUE_CAPACITY, "Serve queue capacity", &[])
+                    .set(*capacity as f64);
+            }
+            Event::BatchFlushed { rows, wall_us, .. } => {
+                reg.histogram(
+                    names::SERVE_BATCH_ROWS,
+                    "Serve micro-batch size (rows)",
+                    &[],
+                    names::batch_rows_buckets(),
+                )
+                .observe(*rows as f64);
+                reg.histogram(
+                    names::SERVE_BATCH_WALL_US,
+                    "Serve micro-batch forward wall time (us)",
+                    &[],
+                    names::batch_wall_us_buckets(),
+                )
+                .observe(*wall_us as f64);
+                reg.counter(names::SERVE_BATCHES_TOTAL, "Flushed serve micro-batches", &[]).inc();
+            }
+            Event::StageEnd { stage, wall_us, .. } => {
+                reg.histogram(
+                    names::STAGE_WALL_US,
+                    "Stage wall time (us), by stage path",
+                    &[("stage", stage)],
+                    names::stage_wall_us_buckets(),
+                )
+                .observe(*wall_us as f64);
+            }
+            Event::EpochEnd { stage, loss, grad_norm, lr, wall_ms, .. } => {
+                let labels: &[(&str, &str)] = &[("stage", stage)];
+                reg.counter(names::TRAIN_EPOCHS_TOTAL, "Finished training epochs", labels).inc();
+                reg.gauge(names::TRAIN_LOSS, "Mean training loss of the last epoch", labels)
+                    .set(f64::from(*loss));
+                if let Some(g) = grad_norm {
+                    reg.gauge(
+                        names::TRAIN_GRAD_NORM,
+                        "Final-batch gradient norm of the last epoch",
+                        labels,
+                    )
+                    .set(f64::from(*g));
+                }
+                reg.gauge(names::TRAIN_LR, "Learning rate at the end of the last epoch", labels)
+                    .set(f64::from(*lr));
+                reg.histogram(
+                    names::TRAIN_EPOCH_WALL_MS,
+                    "Epoch wall time (ms)",
+                    labels,
+                    names::epoch_wall_ms_buckets(),
+                )
+                .observe(*wall_ms as f64);
+            }
+            Event::Guard { stage, action, .. } => {
+                reg.counter(
+                    names::GUARD_INTERVENTIONS_TOTAL,
+                    "Divergence-guard interventions, by stage and action",
+                    &[("stage", stage), ("action", action.as_str())],
+                )
+                .inc();
+            }
+            Event::FaultInjected { stage, .. } => {
+                reg.counter(
+                    names::FAULTS_INJECTED_TOTAL,
+                    "Faults injected by the test harness",
+                    &[("stage", stage)],
+                )
+                .inc();
+            }
+            Event::Confidence { stage, count, sum, buckets } => {
+                reg.histogram(
+                    names::CORRECTION_CONFIDENCE,
+                    "Label-corrector confidence c_i",
+                    &[("stage", stage)],
+                    names::confidence_buckets(),
+                )
+                .merge_counts(buckets, *count, *sum);
+            }
+            Event::CellEnd { model, wall_ms, failures, .. } => {
+                reg.histogram(
+                    names::SWEEP_CELL_WALL_MS,
+                    "Sweep cell wall time (ms), by model",
+                    &[("model", model)],
+                    names::cell_wall_ms_buckets(),
+                )
+                .observe(*wall_ms as f64);
+                if *failures > 0 {
+                    reg.counter(
+                        names::SWEEP_CELL_FAILURES_TOTAL,
+                        "Isolated run failures inside sweep cells, by model",
+                        &[("model", model)],
+                    )
+                    .add(*failures as u64);
+                }
+            }
+            Event::RunFailure { model, .. } => {
+                reg.counter(
+                    names::RUN_FAILURES_TOTAL,
+                    "Isolated run failures, by model",
+                    &[("model", model)],
+                )
+                .inc();
+            }
+            Event::KernelCounters { scope, launches, parallel_launches, busy_ns } => {
+                let labels: &[(&str, &str)] = &[("scope", scope)];
+                reg.gauge(names::KERNEL_LAUNCHES, "Threaded-kernel launches", labels)
+                    .set(*launches as f64);
+                reg.gauge(
+                    names::KERNEL_PARALLEL_LAUNCHES,
+                    "Kernel launches that fanned out to >1 part",
+                    labels,
+                )
+                .set(*parallel_launches as f64);
+                reg.gauge(names::KERNEL_BUSY_NS, "Nanoseconds inside kernel launches", labels)
+                    .set(*busy_ns as f64);
+            }
+            // MetricsReport is a *product* of this registry; folding it back
+            // in (beyond the events_total count) would self-amplify.
+            Event::MetricsReport { .. } => {}
+            // Lifecycle and free-form events carry no aggregate beyond the
+            // events_total count.
+            Event::RunStart { .. }
+            | Event::RunEnd { .. }
+            | Event::StageStart { .. }
+            | Event::SweepStart { .. }
+            | Event::SweepEnd { .. }
+            | Event::CellStart { .. }
+            | Event::WorkerEnd { .. }
+            | Event::ArtifactWritten { .. }
+            | Event::Message { .. } => {}
+        }
+    }
+}
+
+impl Recorder for EventFold {
+    fn record(&self, event: &Event) {
+        self.fold(event);
+        if let Some(inner) = &self.inner {
+            inner.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfd_obs::{GuardAction, MemorySink, Obs};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::StageEnd { stage: "corrector/simclr".into(), wall_ms: 0, wall_us: 412 },
+            Event::EpochEnd {
+                stage: "detector/supcon".into(),
+                epoch: 0,
+                epochs: 2,
+                batches: 10,
+                loss: 1.25,
+                grad_norm: Some(0.5),
+                lr: 0.01,
+                wall_ms: 7,
+            },
+            Event::Guard {
+                stage: "detector/supcon".into(),
+                step: 3,
+                action: GuardAction::Clip,
+                detail: "norm 12.0 > 5.0".into(),
+                lr: 0.01,
+            },
+            Event::QueueDepth { depth: 3, capacity: 64 },
+            Event::BatchFlushed { worker: 0, rows: 8, padded_len: 16, wall_us: 950 },
+            Event::RequestDone { request: 0, sessions: 2, latency_us: 1500 },
+            Event::RequestDone { request: 1, sessions: 1, latency_us: 700 },
+            Event::confidence("corrector/confidence", &[0.55, 0.8, 0.97]),
+        ]
+    }
+
+    #[test]
+    fn folds_serve_and_train_events_into_metrics() {
+        let registry = Arc::new(Registry::new());
+        let fold = EventFold::new(registry.clone());
+        for e in sample_events() {
+            fold.record(&e);
+        }
+        assert_eq!(registry.counter(names::SERVE_REQUESTS_TOTAL, "", &[]).get(), 2);
+        assert_eq!(registry.counter(names::SERVE_SESSIONS_TOTAL, "", &[]).get(), 3);
+        let lat = registry.histogram(
+            names::SERVE_REQUEST_LATENCY_US,
+            "",
+            &[],
+            names::latency_us_buckets(),
+        );
+        assert_eq!(lat.count(), 2);
+        assert!((lat.sum() - 2200.0).abs() < 1e-9);
+        let stage = registry.histogram(
+            names::STAGE_WALL_US,
+            "",
+            &[("stage", "corrector/simclr")],
+            names::stage_wall_us_buckets(),
+        );
+        assert_eq!(stage.count(), 1);
+        assert!((stage.sum() - 412.0).abs() < 1e-9);
+        let conf = registry.histogram(
+            names::CORRECTION_CONFIDENCE,
+            "",
+            &[("stage", "corrector/confidence")],
+            names::confidence_buckets(),
+        );
+        assert_eq!(conf.count(), 3);
+        assert_eq!(
+            registry
+                .counter(
+                    names::GUARD_INTERVENTIONS_TOTAL,
+                    "",
+                    &[("stage", "detector/supcon"), ("action", "clip")]
+                )
+                .get(),
+            1
+        );
+        assert_eq!(
+            registry
+                .counter(names::EVENTS_TOTAL, "", &[("type", "request_done")])
+                .get(),
+            2
+        );
+    }
+
+    #[test]
+    fn replaying_a_captured_stream_reproduces_the_snapshot() {
+        // Live: events flow through an EventFold teeing into a MemorySink.
+        let live_reg = Arc::new(Registry::new());
+        let capture = Arc::new(MemorySink::new());
+        let obs = Obs::new(EventFold::tee(live_reg.clone(), capture.clone()));
+        for e in sample_events() {
+            obs.emit(e);
+        }
+        // Replay: fold the captured stream into a fresh registry.
+        let replay_reg = Arc::new(Registry::new());
+        let replay = EventFold::new(replay_reg.clone());
+        for e in capture.events() {
+            replay.record(&e);
+        }
+        let live = live_reg.snapshot();
+        assert_eq!(live, replay_reg.snapshot());
+        assert_eq!(live.to_prometheus(), replay_reg.snapshot().to_prometheus());
+    }
+
+    #[test]
+    fn metrics_report_is_counted_but_not_refolded() {
+        let registry = Arc::new(Registry::new());
+        let fold = EventFold::new(registry.clone());
+        let snapshot = registry.snapshot().to_json();
+        fold.record(&Event::MetricsReport { scope: "serve/1".into(), snapshot });
+        let snap = registry.snapshot();
+        // Only the events_total family exists.
+        assert_eq!(snap.families.len(), 1);
+        assert_eq!(snap.families[0].name, names::EVENTS_TOTAL);
+    }
+}

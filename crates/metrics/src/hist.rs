@@ -1,0 +1,345 @@
+//! Lock-free histograms with exact count/sum and bucket-bounded quantile
+//! estimation.
+//!
+//! A [`Histogram`] is a fixed set of upper-bounded buckets (log-spaced for
+//! latencies that span orders of magnitude, linear for bounded quantities
+//! like confidences in `[0, 1]`) plus an exact observation count and sum.
+//! Observations are a handful of relaxed atomic adds — safe to call from
+//! serving workers and training loops without a lock.
+//!
+//! Quantiles from bucketed data are *estimates*: the true `q`-quantile of
+//! the observed samples is guaranteed to lie inside the bucket
+//! [`Histogram::quantile_bounds`] returns (the property tests pin this
+//! bracketing), and [`Histogram::quantile`] reports that bucket's upper
+//! bound as the point estimate, mirroring how Prometheus' `histogram_quantile`
+//! resolves a bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket layout of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BucketSpec {
+    /// `n` buckets with upper bounds `lo * growth^i` for `i in 0..n`
+    /// (plus an implicit `+Inf` overflow bucket). Suits latencies: constant
+    /// *relative* resolution across orders of magnitude.
+    Log {
+        /// Upper bound of the first bucket (must be positive).
+        lo: f64,
+        /// Multiplicative step between bucket bounds (must exceed 1).
+        growth: f64,
+        /// Number of finite buckets.
+        n: usize,
+    },
+    /// `n` equal-width buckets spanning `[lo, hi]` (plus an implicit
+    /// `+Inf` overflow bucket). Suits bounded quantities.
+    Linear {
+        /// Lower edge of the first bucket.
+        lo: f64,
+        /// Upper bound of the last finite bucket (must exceed `lo`).
+        hi: f64,
+        /// Number of finite buckets.
+        n: usize,
+    },
+}
+
+impl BucketSpec {
+    /// Log-spaced buckets; see [`BucketSpec::Log`].
+    ///
+    /// # Panics
+    /// Panics on `lo <= 0`, `growth <= 1`, or `n == 0`.
+    pub fn log(lo: f64, growth: f64, n: usize) -> Self {
+        assert!(lo > 0.0 && lo.is_finite(), "log buckets need a positive first bound");
+        assert!(growth > 1.0 && growth.is_finite(), "log buckets need growth > 1");
+        assert!(n > 0, "at least one bucket");
+        Self::Log { lo, growth, n }
+    }
+
+    /// Equal-width buckets; see [`BucketSpec::Linear`].
+    ///
+    /// # Panics
+    /// Panics on `hi <= lo`, non-finite edges, or `n == 0`.
+    pub fn linear(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "need a finite span");
+        assert!(n > 0, "at least one bucket");
+        Self::Linear { lo, hi, n }
+    }
+
+    /// Number of finite buckets (the overflow bucket is implicit).
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Log { n, .. } | Self::Linear { n, .. } => *n,
+        }
+    }
+
+    /// True when the spec has no finite buckets (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The finite upper bounds, ascending.
+    pub fn bounds(&self) -> Vec<f64> {
+        match *self {
+            Self::Log { lo, growth, n } => {
+                let mut bounds = Vec::with_capacity(n);
+                let mut b = lo;
+                for _ in 0..n {
+                    bounds.push(b);
+                    b *= growth;
+                }
+                bounds
+            }
+            Self::Linear { lo, hi, n } => (1..=n)
+                .map(|i| lo + (hi - lo) * i as f64 / n as f64)
+                .collect(),
+        }
+    }
+
+    /// Lower edge of the first bucket (0 for log buckets: they cover
+    /// `(0, lo]` downward to zero in practice, since observations are
+    /// magnitudes).
+    pub fn lower_edge(&self) -> f64 {
+        match *self {
+            Self::Log { .. } => 0.0,
+            Self::Linear { lo, .. } => lo,
+        }
+    }
+}
+
+/// Thread-safe log/linear-bucketed histogram with exact count and sum.
+///
+/// `count`, `sum`, and the bucket counters are separate atomics: a snapshot
+/// taken *during* concurrent observation can be torn by a few in-flight
+/// observations (bucket totals momentarily behind `count`). Every
+/// observation eventually lands exactly once; quiesce writers before
+/// treating a snapshot as exact.
+#[derive(Debug)]
+pub struct Histogram {
+    spec: BucketSpec,
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; index `bounds.len()` is the
+    /// `+Inf` overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64` bits, updated with a CAS loop.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given bucket layout.
+    pub fn new(spec: BucketSpec) -> Self {
+        let bounds = spec.bounds();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self { spec, bounds, buckets, count: AtomicU64::new(0), sum_bits: AtomicU64::new(0) }
+    }
+
+    /// The bucket layout.
+    pub fn spec(&self) -> BucketSpec {
+        self.spec
+    }
+
+    /// The finite upper bounds, ascending.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Records one observation. Non-finite values count toward `count` and
+    /// the overflow bucket but are excluded from `sum` (a single `NaN`
+    /// must not poison the running total).
+    pub fn observe(&self, v: f64) {
+        let idx = if v.is_finite() {
+            self.add_sum(v);
+            self.bounds.partition_point(|&ub| ub < v)
+        } else {
+            self.bounds.len()
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merges pre-bucketed counts produced under the *same* layout (e.g. a
+    /// [`clfd_obs::Event::Confidence`] histogram). `bucket_counts` may be
+    /// shorter than the bucket array; missing trailing buckets are zero.
+    ///
+    /// # Panics
+    /// Panics when `bucket_counts` has more entries than this histogram has
+    /// buckets (layout mismatch).
+    pub fn merge_counts(&self, bucket_counts: &[u64], count: u64, sum: f64) {
+        assert!(
+            bucket_counts.len() <= self.buckets.len(),
+            "bucket layout mismatch: {} counts into {} buckets",
+            bucket_counts.len(),
+            self.buckets.len()
+        );
+        for (slot, &c) in self.buckets.iter().zip(bucket_counts) {
+            if c > 0 {
+                slot.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(count, Ordering::Relaxed);
+        if sum.is_finite() {
+            self.add_sum(sum);
+        }
+    }
+
+    fn add_sum(&self, v: f64) {
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket (non-cumulative) counts; the final entry is the overflow
+    /// bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// The half-open value interval `(lo, hi]` guaranteed to contain the
+    /// nearest-rank `q`-quantile of the observations, or `None` when empty.
+    /// `hi` is `+Inf` when the quantile falls in the overflow bucket.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(f64, f64)> {
+        quantile_bounds_from(&self.bounds, &self.bucket_counts(), self.spec.lower_edge(), q)
+    }
+
+    /// Point estimate of the `q`-quantile: the upper bound of the bucket
+    /// containing it (its lower bound when that bucket is the overflow
+    /// bucket), or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.quantile_bounds(q).map(resolve_bucket)
+    }
+}
+
+/// Collapses a quantile bucket interval to a point estimate: the finite
+/// upper bound, or the lower bound for the overflow bucket.
+pub(crate) fn resolve_bucket((lo, hi): (f64, f64)) -> f64 {
+    if hi.is_finite() {
+        hi
+    } else {
+        lo
+    }
+}
+
+/// Shared quantile-bracketing logic over (bounds, per-bucket counts):
+/// returns the `(lo, hi]` interval of the bucket holding the nearest-rank
+/// `q`-quantile. Also used on parsed snapshots, where no live [`Histogram`]
+/// exists.
+pub(crate) fn quantile_bounds_from(
+    bounds: &[f64],
+    bucket_counts: &[u64],
+    lower_edge: f64,
+    q: f64,
+) -> Option<(f64, f64)> {
+    let total: u64 = bucket_counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Nearest-rank: the k-th smallest observation with k = ceil(q * total),
+    // at least 1.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &c) in bucket_counts.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            let lo = if i == 0 { lower_edge } else { bounds[i - 1] };
+            let hi = bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            return Some((lo, hi));
+        }
+    }
+    None // unreachable: cum == total >= rank by the loop end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_bounds_grow_geometrically() {
+        let spec = BucketSpec::log(1.0, 2.0, 5);
+        assert_eq!(spec.bounds(), vec![1.0, 2.0, 4.0, 8.0, 16.0]);
+        assert_eq!(spec.len(), 5);
+    }
+
+    #[test]
+    fn linear_bounds_are_equal_width() {
+        let spec = BucketSpec::linear(0.0, 1.0, 4);
+        assert_eq!(spec.bounds(), vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn observe_routes_to_the_right_bucket() {
+        let h = Histogram::new(BucketSpec::log(1.0, 2.0, 3)); // bounds 1,2,4
+        for v in [0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 4.1, 1e9] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]); // (..1],(1,2],(2,4],overflow
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn non_finite_observations_count_but_do_not_poison_sum() {
+        let h = Histogram::new(BucketSpec::linear(0.0, 1.0, 2));
+        h.observe(0.25);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 0.25).abs() < 1e-12);
+        assert_eq!(h.bucket_counts(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn quantiles_on_exact_bucket_edges() {
+        let h = Histogram::new(BucketSpec::log(1.0, 2.0, 4)); // 1,2,4,8
+        for v in [1.0, 2.0, 2.0, 8.0] {
+            h.observe(v);
+        }
+        // rank(0.5) = 2 → second observation (2.0) → bucket (1,2].
+        assert_eq!(h.quantile_bounds(0.5), Some((1.0, 2.0)));
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        // rank(1.0) = 4 → 8.0 → bucket (4,8].
+        assert_eq!(h.quantile_bounds(1.0), Some((4.0, 8.0)));
+    }
+
+    #[test]
+    fn overflow_quantile_reports_lower_bound() {
+        let h = Histogram::new(BucketSpec::log(1.0, 2.0, 2)); // 1,2
+        h.observe(100.0);
+        assert_eq!(h.quantile_bounds(0.5), Some((2.0, f64::INFINITY)));
+        assert_eq!(h.quantile(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(BucketSpec::linear(0.0, 1.0, 4));
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_counts_accumulates_shorter_layouts() {
+        let h = Histogram::new(BucketSpec::linear(0.0, 1.0, 4));
+        h.merge_counts(&[1, 2], 3, 0.6);
+        h.merge_counts(&[0, 0, 0, 5], 5, 4.5);
+        assert_eq!(h.bucket_counts(), vec![1, 2, 0, 5, 0]);
+        assert_eq!(h.count(), 8);
+        assert!((h.sum() - 5.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! Metrics aggregation for the CLFD stack.
+//!
+//! The stack's telemetry layer ([`clfd_obs`]) narrates runs as a stream of
+//! typed events; this crate folds that stream into *aggregates* without
+//! adding a single new instrumentation call site:
+//!
+//! - [`Registry`] — thread-safe families of atomic [`Counter`]s,
+//!   [`Gauge`]s, and log/linear-bucketed [`Histogram`]s with exact
+//!   count/sum and bucket-bounded quantile estimation.
+//! - [`EventFold`] — a [`clfd_obs::Recorder`] adapter that aggregates the
+//!   event stream into a registry, optionally teeing each event onward to
+//!   a JSONL sink. Folding is pure aggregation: replaying a captured
+//!   stream reproduces the snapshot bit-for-bit.
+//! - [`Snapshot`] — deterministically ordered captures rendered as
+//!   Prometheus text ([`Snapshot::to_prometheus`]) or JSON
+//!   ([`Snapshot::to_json`], accepted by [`clfd_obs::json::validate`]),
+//!   plus [`parse_prometheus`] to read an exposition back.
+//! - `clfd-report` (binary, [`report`] module) — ingests `RUN_*.jsonl`
+//!   streams, prints a run summary (stage timing tree, epoch-loss table,
+//!   guard timeline, serve latency percentiles), and cross-checks a
+//!   Prometheus snapshot against exact percentiles recomputed from the raw
+//!   events.
+//!
+//! Like the rest of the workspace this crate is dependency-free: metrics
+//! never touch model state or float accumulation order, so a run with
+//! metrics enabled stays bit-identical to one without.
+
+pub mod expo;
+pub mod fold;
+pub mod hist;
+pub mod registry;
+pub mod report;
+
+pub use expo::{
+    parse_prometheus, FamilySnapshot, HistSnapshot, PromSample, SeriesSnapshot, SeriesValue,
+    Snapshot,
+};
+pub use fold::{names, EventFold};
+pub use hist::{BucketSpec, Histogram};
+pub use registry::{Counter, Gauge, MetricKind, Registry};
+pub use report::RunSummary;

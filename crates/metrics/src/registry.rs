@@ -1,0 +1,338 @@
+//! The metric registry: named, labeled families of atomic counters,
+//! gauges, and histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`crate::Histogram`]) are `Arc`s
+//! returned by the registration methods; after registration every update
+//! is a relaxed atomic operation with no registry lock. Registering the
+//! same `(name, labels)` pair again returns the existing handle, so call
+//! sites don't need to cache handles to cooperate. Families and series are
+//! stored in `BTreeMap`s, which makes every [`Registry::snapshot`]
+//! deterministically ordered — the property the exposition golden tests
+//! pin.
+
+use crate::expo::{FamilySnapshot, HistSnapshot, SeriesSnapshot, SeriesValue, Snapshot};
+use crate::hist::{BucketSpec, Histogram};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0 before the first [`Gauge::set`]).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// What a metric family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counts.
+    Counter,
+    /// Instantaneous values.
+    Gauge,
+    /// Bucketed distributions.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Keyed by the rendered label set (`{k="v",…}` with sorted keys), which
+    /// doubles as the exposition ordering.
+    series: BTreeMap<String, Series>,
+}
+
+/// A set of metric families, deterministic in exposition order and
+/// thread-safe in registration and update.
+#[derive(Default)]
+pub struct Registry {
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or finds) a counter. The first registration of a family
+    /// fixes its help text.
+    ///
+    /// # Panics
+    /// Panics when `name` already names a gauge or histogram family.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.series(name, help, labels, MetricKind::Counter, |series| match series {
+            Series::Counter(c) => c.clone(),
+            _ => unreachable!("kind checked by family lookup"),
+        })
+    }
+
+    /// Registers (or finds) a gauge.
+    ///
+    /// # Panics
+    /// Panics when `name` already names a counter or histogram family.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.series(name, help, labels, MetricKind::Gauge, |series| match series {
+            Series::Gauge(g) => g.clone(),
+            _ => unreachable!("kind checked by family lookup"),
+        })
+    }
+
+    /// Registers (or finds) a histogram. The first registration of a series
+    /// fixes its bucket layout; later calls with a different `spec` return
+    /// the existing histogram unchanged.
+    ///
+    /// # Panics
+    /// Panics when `name` already names a counter or gauge family.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        spec: BucketSpec,
+    ) -> Arc<Histogram> {
+        let key = render_labels(labels);
+        {
+            let families = self.read();
+            if let Some(family) = families.get(name) {
+                check_kind(name, family.kind, MetricKind::Histogram);
+                if let Some(Series::Histogram(h)) = family.series.get(&key) {
+                    return h.clone();
+                }
+            }
+        }
+        let mut families = self.write();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind: MetricKind::Histogram,
+            series: BTreeMap::new(),
+        });
+        check_kind(name, family.kind, MetricKind::Histogram);
+        let entry = family
+            .series
+            .entry(key)
+            .or_insert_with(|| Series::Histogram(Arc::new(Histogram::new(spec))));
+        match entry {
+            Series::Histogram(h) => h.clone(),
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    fn series<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        extract: impl Fn(&Series) -> Arc<T>,
+    ) -> Arc<T> {
+        let key = render_labels(labels);
+        {
+            let families = self.read();
+            if let Some(family) = families.get(name) {
+                check_kind(name, family.kind, kind);
+                if let Some(series) = family.series.get(&key) {
+                    return extract(series);
+                }
+            }
+        }
+        let mut families = self.write();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        check_kind(name, family.kind, kind);
+        let entry = family.series.entry(key).or_insert_with(|| match kind {
+            MetricKind::Counter => Series::Counter(Arc::new(Counter::default())),
+            MetricKind::Gauge => Series::Gauge(Arc::new(Gauge::default())),
+            MetricKind::Histogram => unreachable!("histograms register via Registry::histogram"),
+        });
+        extract(entry)
+    }
+
+    /// Captures every family, series, and value into an immutable,
+    /// deterministically ordered [`Snapshot`].
+    ///
+    /// The capture is per-atomic, not globally atomic: values written
+    /// *during* the snapshot may straddle it (see [`Histogram`] on
+    /// tearing). Quiesce writers for an exact snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let families = self.read();
+        let families = families
+            .iter()
+            .map(|(name, family)| FamilySnapshot {
+                name: name.clone(),
+                help: family.help.clone(),
+                kind: family.kind,
+                series: family
+                    .series
+                    .iter()
+                    .map(|(labels, series)| SeriesSnapshot {
+                        labels: labels.clone(),
+                        value: match series {
+                            Series::Counter(c) => SeriesValue::Counter(c.get()),
+                            Series::Gauge(g) => SeriesValue::Gauge(g.get()),
+                            Series::Histogram(h) => SeriesValue::Histogram(HistSnapshot {
+                                bounds: h.bounds().to_vec(),
+                                buckets: h.bucket_counts(),
+                                count: h.count(),
+                                sum: h.sum(),
+                                lower_edge: h.spec().lower_edge(),
+                            }),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        Snapshot { families }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Family>> {
+        self.families.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Family>> {
+        self.families.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+fn check_kind(name: &str, have: MetricKind, want: MetricKind) {
+    assert!(
+        have == want,
+        "metric family {name} already registered as a {}, requested as a {}",
+        have.as_str(),
+        want.as_str()
+    );
+}
+
+/// Renders a label set as `{k="v",…}` with keys sorted, or `""` when
+/// empty — the canonical series key and exposition form.
+pub(crate) fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::from("{");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_one_atom() {
+        let reg = Registry::new();
+        let a = reg.counter("requests_total", "requests", &[("route", "score")]);
+        let b = reg.counter("requests_total", "ignored on re-registration", &[("route", "score")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let c = reg.counter("requests_total", "", &[("route", "other")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = Registry::new();
+        let a = reg.gauge("g", "", &[("a", "1"), ("b", "2")]);
+        let b = reg.gauge("g", "", &[("b", "2"), ("a", "1")]);
+        a.set(7.0);
+        assert_eq!(b.get(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("x_total", "", &[]);
+        let _ = reg.gauge("x_total", "", &[]);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(render_labels(&[("k", "a\"b\\c\nd")]), "{k=\"a\\\"b\\\\c\\nd\"}");
+        assert_eq!(render_labels(&[]), "");
+    }
+
+    #[test]
+    fn histogram_registration_is_idempotent() {
+        let reg = Registry::new();
+        let h1 = reg.histogram("lat", "", &[], BucketSpec::log(1.0, 2.0, 4));
+        h1.observe(3.0);
+        // A different spec on re-registration is ignored; same atoms.
+        let h2 = reg.histogram("lat", "", &[], BucketSpec::log(1.0, 4.0, 2));
+        assert_eq!(h2.count(), 1);
+        assert_eq!(h2.bounds(), h1.bounds());
+    }
+}

@@ -1,0 +1,571 @@
+//! Run-log analysis for `clfd-report`: folds a `RUN_*.jsonl` telemetry
+//! stream into a [`RunSummary`] (stage timing tree, epoch-loss table,
+//! guard timeline, serve latency percentiles) and cross-checks a
+//! Prometheus snapshot against the exact percentiles recomputed from the
+//! raw event stream.
+
+use crate::expo::{hist_from_samples, parse_prometheus};
+use crate::fold::names;
+use clfd_obs::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One epoch row extracted from an `epoch_end` event.
+#[derive(Debug, Clone)]
+pub struct EpochRow {
+    /// Zero-based epoch index.
+    pub epoch: u64,
+    /// Total epochs the stage runs.
+    pub epochs: u64,
+    /// Mean training loss.
+    pub loss: f64,
+    /// Final-batch gradient norm, when recorded.
+    pub grad_norm: Option<f64>,
+    /// Learning rate at epoch end.
+    pub lr: f64,
+    /// Epoch wall time in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// One guard intervention extracted from a `guard` event.
+#[derive(Debug, Clone)]
+pub struct GuardRow {
+    /// Milliseconds since the sink was created (file time axis).
+    pub t_ms: u64,
+    /// Stage path.
+    pub stage: String,
+    /// Guarded step index.
+    pub step: u64,
+    /// Intervention tag (`rollback`, `clip`, `rewarm`, `abort`).
+    pub action: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Aggregated wall time of one stage path.
+#[derive(Debug, Clone, Default)]
+pub struct StageAgg {
+    /// Number of `stage_end` events for the path.
+    pub count: u64,
+    /// Total wall time in microseconds.
+    pub total_us: u64,
+}
+
+/// Serving aggregates from `request_done` / `batch_flushed` /
+/// `queue_depth` events.
+#[derive(Debug, Clone, Default)]
+pub struct ServeAgg {
+    /// Every request latency in microseconds, in completion order.
+    pub latencies_us: Vec<u64>,
+    /// Total sessions carried by completed requests.
+    pub sessions: u64,
+    /// Number of flushed micro-batches.
+    pub batches: u64,
+    /// Total rows across flushed micro-batches.
+    pub batch_rows: u64,
+    /// Maximum sampled queue depth.
+    pub max_queue_depth: u64,
+    /// Configured queue capacity (last seen).
+    pub capacity: u64,
+}
+
+/// Aggregated corrector-confidence histogram per stage.
+#[derive(Debug, Clone, Default)]
+pub struct ConfAgg {
+    /// Number of confidences summarized.
+    pub count: u64,
+    /// Sum of confidences.
+    pub sum: f64,
+    /// Per-bucket counts over `[0, 1]`.
+    pub buckets: Vec<u64>,
+}
+
+/// Everything `clfd-report` extracts from one or more JSONL event streams.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Total events ingested.
+    pub events: u64,
+    /// `run_start` names with details, in order.
+    pub runs: Vec<(String, String)>,
+    /// Stage wall-time aggregates, keyed by stage path.
+    pub stages: BTreeMap<String, StageAgg>,
+    /// Epoch rows per stage path.
+    pub epochs: BTreeMap<String, Vec<EpochRow>>,
+    /// Guard interventions in file order.
+    pub guards: Vec<GuardRow>,
+    /// Number of injected faults.
+    pub faults: u64,
+    /// Serving aggregates.
+    pub serve: ServeAgg,
+    /// Confidence aggregates per stage path.
+    pub confidence: BTreeMap<String, ConfAgg>,
+    /// Isolated run failures (`model: error`), in file order.
+    pub run_failures: Vec<String>,
+    /// Number of sweep cells completed.
+    pub cells: u64,
+    /// Number of embedded `metrics_report` snapshots (each validated).
+    pub metrics_reports: u64,
+    /// Artifact paths written during the run.
+    pub artifacts: Vec<String>,
+}
+
+fn need_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+fn opt_f64(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+impl RunSummary {
+    /// Folds JSONL lines (blank lines skipped) into a summary.
+    ///
+    /// # Errors
+    /// Returns `"line N: …"` for the first malformed line — a parse error
+    /// in a telemetry stream means the producer is broken, which is
+    /// exactly what the CI gate exists to catch.
+    pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> Result<Self, String> {
+        let mut s = RunSummary::default();
+        for (i, line) in lines.into_iter().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            s.ingest(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        }
+        Ok(s)
+    }
+
+    fn ingest(&mut self, line: &str) -> Result<(), String> {
+        let v = parse(line)?;
+        let ty = need_str(&v, "type")?;
+        self.events += 1;
+        match ty.as_str() {
+            "run_start" => {
+                self.runs.push((need_str(&v, "name")?, need_str(&v, "detail")?));
+            }
+            "stage_end" => {
+                let stage = need_str(&v, "stage")?;
+                // Older streams only carried wall_ms; fall back so mixed
+                // logs still report (at ms resolution).
+                let wall_us = v
+                    .get("wall_us")
+                    .and_then(Value::as_u64)
+                    .or_else(|| v.get("wall_ms").and_then(Value::as_u64).map(|ms| ms * 1000))
+                    .ok_or("stage_end without wall_us/wall_ms")?;
+                let agg = self.stages.entry(stage).or_default();
+                agg.count += 1;
+                agg.total_us += wall_us;
+            }
+            "epoch_end" => {
+                let stage = need_str(&v, "stage")?;
+                self.epochs.entry(stage).or_default().push(EpochRow {
+                    epoch: need_u64(&v, "epoch")?,
+                    epochs: need_u64(&v, "epochs")?,
+                    loss: opt_f64(&v, "loss").unwrap_or(f64::NAN),
+                    grad_norm: opt_f64(&v, "grad_norm"),
+                    lr: opt_f64(&v, "lr").unwrap_or(f64::NAN),
+                    wall_ms: need_u64(&v, "wall_ms")?,
+                });
+            }
+            "guard" => {
+                self.guards.push(GuardRow {
+                    t_ms: v.get("t_ms").and_then(Value::as_u64).unwrap_or(0),
+                    stage: need_str(&v, "stage")?,
+                    step: need_u64(&v, "step")?,
+                    action: need_str(&v, "action")?,
+                    detail: need_str(&v, "detail")?,
+                });
+            }
+            "fault_injected" => self.faults += 1,
+            "request_done" => {
+                self.serve.latencies_us.push(need_u64(&v, "latency_us")?);
+                self.serve.sessions += need_u64(&v, "sessions")?;
+            }
+            "batch_flushed" => {
+                self.serve.batches += 1;
+                self.serve.batch_rows += need_u64(&v, "rows")?;
+            }
+            "queue_depth" => {
+                let depth = need_u64(&v, "depth")?;
+                self.serve.max_queue_depth = self.serve.max_queue_depth.max(depth);
+                self.serve.capacity = need_u64(&v, "capacity")?;
+            }
+            "confidence" => {
+                let stage = need_str(&v, "stage")?;
+                let buckets: Vec<u64> = v
+                    .get("buckets")
+                    .and_then(Value::as_array)
+                    .ok_or("confidence without buckets")?
+                    .iter()
+                    .map(|b| b.as_u64().ok_or("non-integer bucket count"))
+                    .collect::<Result<_, _>>()?;
+                let agg = self.confidence.entry(stage).or_default();
+                if agg.buckets.len() < buckets.len() {
+                    agg.buckets.resize(buckets.len(), 0);
+                }
+                for (slot, b) in agg.buckets.iter_mut().zip(&buckets) {
+                    *slot += b;
+                }
+                agg.count += need_u64(&v, "count")?;
+                agg.sum += opt_f64(&v, "sum").unwrap_or(0.0);
+            }
+            "run_failure" => {
+                self.run_failures
+                    .push(format!("{}: {}", need_str(&v, "model")?, need_str(&v, "error")?));
+            }
+            "cell_end" => self.cells += 1,
+            "metrics_report" => {
+                let snapshot = need_str(&v, "snapshot")?;
+                parse(&snapshot).map_err(|e| format!("embedded metrics snapshot: {e}"))?;
+                self.metrics_reports += 1;
+            }
+            "artifact_written" => self.artifacts.push(need_str(&v, "path")?),
+            // Known lifecycle events carry nothing the summary tabulates;
+            // unknown types are tolerated (the stream may outgrow this
+            // reader) but still counted.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// True when the stream contained nothing reportable (the CI gate
+    /// treats this as a failure: a silent run is a broken run).
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "events ingested: {}", self.events);
+        for (name, detail) in &self.runs {
+            let _ = writeln!(out, "run: {name} ({detail})");
+        }
+        if !self.stages.is_empty() {
+            let _ = writeln!(out, "\nStage timing (wall):");
+            for (path, agg) in &self.stages {
+                let depth = path.matches('/').count();
+                let parent = path.rsplit_once('/').map(|(p, _)| p);
+                let label = match parent {
+                    Some(p) if self.stages.contains_key(p) => {
+                        path.rsplit_once('/').map_or(path.as_str(), |(_, l)| l)
+                    }
+                    _ => path.as_str(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:indent$}{label:<30} {:>4}x {:>12}",
+                    "",
+                    agg.count,
+                    format_us(agg.total_us),
+                    indent = depth * 2,
+                );
+            }
+        }
+        if !self.epochs.is_empty() {
+            let _ = writeln!(out, "\nEpoch losses:");
+            for (stage, rows) in &self.epochs {
+                let _ = writeln!(out, "  {stage}:");
+                let _ = writeln!(
+                    out,
+                    "    {:>5} {:>12} {:>12} {:>10} {:>9}",
+                    "epoch", "loss", "grad_norm", "lr", "wall_ms"
+                );
+                for r in rows {
+                    let gn =
+                        r.grad_norm.map_or_else(|| "-".to_string(), |g| format!("{g:.4}"));
+                    let _ = writeln!(
+                        out,
+                        "    {:>2}/{:<2} {:>12.6} {:>12} {:>10.6} {:>9}",
+                        r.epoch + 1,
+                        r.epochs,
+                        r.loss,
+                        gn,
+                        r.lr,
+                        r.wall_ms
+                    );
+                }
+            }
+        }
+        if !self.guards.is_empty() || self.faults > 0 {
+            let _ = writeln!(
+                out,
+                "\nGuard timeline ({} interventions, {} faults injected):",
+                self.guards.len(),
+                self.faults
+            );
+            for g in &self.guards {
+                let _ = writeln!(
+                    out,
+                    "  t={:>6}ms {:<10} step {:>5} [{}] {}",
+                    g.t_ms, g.action, g.step, g.stage, g.detail
+                );
+            }
+        }
+        if !self.serve.latencies_us.is_empty() {
+            let mut sorted = self.serve.latencies_us.clone();
+            sorted.sort_unstable();
+            let _ = writeln!(out, "\nServe latency (us), {} requests:", sorted.len());
+            for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                let _ = writeln!(out, "  {tag:<4} {:>10}", percentile(&sorted, q));
+            }
+            let _ = writeln!(out, "  max  {:>10}", sorted[sorted.len() - 1]);
+            let mean_rows = if self.serve.batches > 0 {
+                self.serve.batch_rows as f64 / self.serve.batches as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  sessions {} | batches {} (mean {:.1} rows) | peak queue {}/{}",
+                self.serve.sessions,
+                self.serve.batches,
+                mean_rows,
+                self.serve.max_queue_depth,
+                self.serve.capacity
+            );
+        }
+        if !self.confidence.is_empty() {
+            let _ = writeln!(out, "\nCorrector confidence:");
+            for (stage, agg) in &self.confidence {
+                let mean = if agg.count > 0 { agg.sum / agg.count as f64 } else { f64::NAN };
+                let frac_high = if agg.count > 0 {
+                    // Buckets ≥ 0.9 in a 20-bucket [0,1] layout are the
+                    // last two.
+                    let high: u64 = agg.buckets.iter().rev().take(2).sum();
+                    high as f64 / agg.count as f64
+                } else {
+                    f64::NAN
+                };
+                let _ = writeln!(
+                    out,
+                    "  {stage}: n={} mean={mean:.4} frac(c>=0.9)={frac_high:.3}",
+                    agg.count
+                );
+            }
+        }
+        if self.cells > 0 || !self.run_failures.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nSweep: {} cells, {} isolated run failures",
+                self.cells,
+                self.run_failures.len()
+            );
+            for f in &self.run_failures {
+                let _ = writeln!(out, "  FAIL {f}");
+            }
+        }
+        if self.metrics_reports > 0 {
+            let _ = writeln!(out, "\nmetrics_report snapshots: {} (all valid JSON)", self.metrics_reports);
+        }
+        for a in &self.artifacts {
+            let _ = writeln!(out, "artifact: {a}");
+        }
+        out
+    }
+
+    /// Cross-checks a Prometheus snapshot against this summary: the
+    /// snapshot's request-latency histogram must contain every request the
+    /// JSONL stream recorded, and its p50/p99 bucket estimates must agree
+    /// with the exact percentiles recomputed from the raw latencies to
+    /// within ±1 bucket.
+    ///
+    /// # Errors
+    /// Returns a description of the first disagreement.
+    pub fn check_snapshot(&self, prom_text: &str) -> Result<String, String> {
+        let samples = parse_prometheus(prom_text)?;
+        if samples.is_empty() {
+            return Err("snapshot contains no samples".to_string());
+        }
+        let hists = hist_from_samples(&samples, names::SERVE_REQUEST_LATENCY_US)?;
+        if self.serve.latencies_us.is_empty() {
+            return if hists.iter().all(|(_, h)| h.count == 0) {
+                Ok(format!("snapshot ok: {} samples, no serve traffic on either side", samples.len()))
+            } else {
+                Err("snapshot has request latencies but the JSONL stream has none".to_string())
+            };
+        }
+        let (_, hist) = hists
+            .iter()
+            .find(|(_, h)| h.count > 0)
+            .ok_or("JSONL stream has request latencies but the snapshot has none")?;
+        let n = self.serve.latencies_us.len() as u64;
+        if hist.count != n {
+            return Err(format!(
+                "request count mismatch: snapshot histogram has {} observations, JSONL has {n}",
+                hist.count
+            ));
+        }
+        let mut sorted = self.serve.latencies_us.clone();
+        sorted.sort_unstable();
+        let mut lines = vec![format!("snapshot ok: {} samples, {n} requests", samples.len())];
+        for (tag, q) in [("p50", 0.5), ("p99", 0.99)] {
+            let exact = percentile(&sorted, q);
+            let exact_bucket = hist.bucket_index_of(exact as f64);
+            let est_bucket = hist
+                .quantile_bucket_index(q)
+                .ok_or("empty snapshot histogram after count check")?;
+            let diff = exact_bucket.abs_diff(est_bucket);
+            if diff > 1 {
+                return Err(format!(
+                    "{tag} disagrees: exact {exact}us lands in bucket {exact_bucket}, \
+                     snapshot estimates bucket {est_bucket} ({diff} buckets apart)"
+                ));
+            }
+            let est = hist.quantile(q).unwrap_or(f64::NAN);
+            lines.push(format!(
+                "  {tag}: exact {exact}us, snapshot bucket <= {est:.1}us (bucket {est_bucket} vs {exact_bucket})"
+            ));
+        }
+        Ok(lines.join("\n"))
+    }
+}
+
+/// Nearest-index percentile of an already-sorted slice:
+/// `sorted[round((len-1) * q)]` — the same estimator `bench_serve` reports,
+/// so report and benchmark agree exactly.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty slice");
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Formats microseconds with an adaptive unit.
+fn format_us(us: u64) -> String {
+    if us >= 10_000_000 {
+        format!("{:.2} s", us as f64 / 1e6)
+    } else if us >= 10_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::EventFold;
+    use crate::registry::Registry;
+    use clfd_obs::{Event, Recorder};
+    use std::sync::Arc;
+
+    fn jsonl_for(events: &[Event]) -> String {
+        events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.to_json_line(i as u64, i as u64))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn serve_events(latencies: &[u64]) -> Vec<Event> {
+        let mut events = vec![Event::RunStart { name: "serve".into(), detail: "smoke".into() }];
+        for (i, &l) in latencies.iter().enumerate() {
+            events.push(Event::RequestDone { request: i as u64, sessions: 1, latency_us: l });
+        }
+        events
+    }
+
+    #[test]
+    fn summary_extracts_stages_epochs_and_latencies() {
+        let events = vec![
+            Event::RunStart { name: "fit".into(), detail: "demo".into() },
+            Event::StageEnd { stage: "corrector".into(), wall_ms: 1, wall_us: 1500 },
+            Event::StageEnd { stage: "corrector/simclr".into(), wall_ms: 0, wall_us: 900 },
+            Event::EpochEnd {
+                stage: "corrector/simclr".into(),
+                epoch: 0,
+                epochs: 1,
+                batches: 4,
+                loss: 2.0,
+                grad_norm: None,
+                lr: 0.01,
+                wall_ms: 3,
+            },
+            Event::RequestDone { request: 0, sessions: 2, latency_us: 750 },
+        ];
+        let text = jsonl_for(&events);
+        let s = RunSummary::from_lines(text.lines()).unwrap();
+        assert_eq!(s.events, 5);
+        assert_eq!(s.stages["corrector/simclr"].total_us, 900);
+        assert_eq!(s.epochs["corrector/simclr"].len(), 1);
+        assert_eq!(s.serve.latencies_us, vec![750]);
+        let rendered = s.render();
+        assert!(rendered.contains("corrector"));
+        assert!(rendered.contains("simclr"));
+        assert!(rendered.contains("p50"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_position() {
+        let err = RunSummary::from_lines(["{\"type\":\"message\",\"text\":\"ok\"}", "{oops"])
+            .unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn check_snapshot_accepts_a_matching_fold() {
+        let latencies: Vec<u64> = (1..=200).map(|i| i * 37).collect();
+        let events = serve_events(&latencies);
+        // The snapshot is exactly what an EventFold would have aggregated.
+        let registry = Arc::new(Registry::new());
+        let fold = EventFold::new(registry.clone());
+        for e in &events {
+            fold.record(e);
+        }
+        let prom = registry.snapshot().to_prometheus();
+        let text = jsonl_for(&events);
+        let summary = RunSummary::from_lines(text.lines()).unwrap();
+        let report = summary.check_snapshot(&prom).unwrap();
+        assert!(report.contains("p50"), "{report}");
+        assert!(report.contains("p99"), "{report}");
+    }
+
+    #[test]
+    fn check_snapshot_rejects_count_mismatch() {
+        let events = serve_events(&[100, 200, 300]);
+        let registry = Arc::new(Registry::new());
+        let fold = EventFold::new(registry.clone());
+        for e in &events {
+            fold.record(e);
+        }
+        // Summary sees one extra request the snapshot never counted.
+        let mut all = events.clone();
+        all.push(Event::RequestDone { request: 9, sessions: 1, latency_us: 400 });
+        let text = jsonl_for(&all);
+        let summary = RunSummary::from_lines(text.lines()).unwrap();
+        let err = summary.check_snapshot(&registry.snapshot().to_prometheus()).unwrap_err();
+        assert!(err.contains("count mismatch"), "{err}");
+    }
+
+    #[test]
+    fn check_snapshot_rejects_shifted_percentiles() {
+        // Snapshot folded from very different latencies than the stream.
+        let registry = Arc::new(Registry::new());
+        let fold = EventFold::new(registry.clone());
+        for e in serve_events(&[1_000_000; 4]) {
+            fold.record(&e);
+        }
+        let text = jsonl_for(&serve_events(&[10, 20, 30, 40]));
+        let summary = RunSummary::from_lines(text.lines()).unwrap();
+        let err = summary.check_snapshot(&registry.snapshot().to_prometheus()).unwrap_err();
+        assert!(err.contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn percentile_matches_bench_serve_estimator() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&sorted, 0.5), 51); // round(99*0.5)=50 → 51
+        assert_eq!(percentile(&sorted, 0.99), 99); // round(98.01)=98 → 99
+        assert_eq!(percentile(&sorted, 1.0), 100);
+    }
+}

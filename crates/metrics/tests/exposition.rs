@@ -1,0 +1,126 @@
+//! Exposition-format integration tests: the Prometheus text and JSON
+//! renderings must be deterministic regardless of registration order or
+//! thread interleaving, parse back line by line, and validate as JSON.
+
+use clfd_metrics::{names, BucketSpec, EventFold, Registry};
+use clfd_obs::{Event, MemorySink, Obs, Recorder};
+use std::sync::Arc;
+use std::thread;
+
+/// Drives a fixed workload into a registry, registering series in a
+/// thread- and order-dependent way; the *snapshot* must not depend on
+/// either.
+fn drive(registry: &Arc<Registry>, threads: usize) {
+    let total = 240usize;
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let registry = Arc::clone(registry);
+            scope.spawn(move || {
+                for i in (t..total).step_by(threads) {
+                    let stage = if i % 3 == 0 { "train" } else { "eval" };
+                    registry
+                        .counter("steps_total", "steps", &[("stage", stage)])
+                        .inc();
+                    registry
+                        .histogram(
+                            "step_us",
+                            "step latency",
+                            &[("stage", stage)],
+                            BucketSpec::log(1.0, 2.0, 20),
+                        )
+                        .observe((i * 17 % 5000) as f64);
+                    registry.gauge("queue_depth", "depth", &[]).set((i % 7) as f64);
+                }
+            });
+        }
+    });
+    // Gauge order is racy under threads; pin it after the barrier so the
+    // final value is deterministic while the counters/histograms above
+    // still exercise contended registration.
+    registry.gauge("queue_depth", "depth", &[]).set(3.0);
+}
+
+#[test]
+fn prometheus_text_is_identical_across_runs_and_thread_counts() {
+    let mut renderings = Vec::new();
+    for &threads in &[1usize, 2, 8] {
+        let registry = Arc::new(Registry::new());
+        drive(&registry, threads);
+        renderings.push(registry.snapshot().to_prometheus());
+    }
+    assert_eq!(renderings[0], renderings[1], "1 thread vs 2 threads");
+    assert_eq!(renderings[0], renderings[2], "1 thread vs 8 threads");
+
+    // And across repeated runs at the same thread count.
+    let registry = Arc::new(Registry::new());
+    drive(&registry, 8);
+    assert_eq!(renderings[2], registry.snapshot().to_prometheus(), "repeat run");
+}
+
+#[test]
+fn prometheus_text_parses_line_by_line() {
+    let registry = Arc::new(Registry::new());
+    drive(&registry, 4);
+    let text = registry.snapshot().to_prometheus();
+
+    let samples = clfd_metrics::parse_prometheus(&text).expect("own output parses");
+    assert!(!samples.is_empty());
+
+    // Every non-comment line must have produced exactly one sample.
+    let value_lines =
+        text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count();
+    assert_eq!(samples.len(), value_lines, "no line silently dropped");
+
+    // The histogram reconstructs: counts match the live registry.
+    let hists = clfd_metrics::expo::hist_from_samples(&samples, "step_us")
+        .expect("histogram series reconstruct");
+    assert_eq!(hists.len(), 2, "one series per stage label");
+    let total: u64 = hists.iter().map(|(_, h)| h.count).sum();
+    assert_eq!(total, 240, "every observation survived the text round-trip");
+    for (labels, hist) in &hists {
+        assert_eq!(
+            hist.buckets.iter().sum::<u64>(),
+            hist.count,
+            "series {labels}: de-accumulated buckets sum to the count"
+        );
+    }
+}
+
+#[test]
+fn json_snapshot_validates_and_stays_single_line() {
+    let registry = Arc::new(Registry::new());
+    drive(&registry, 2);
+    let json = registry.snapshot().to_json();
+    assert!(!json.contains('\n'), "snapshot JSON must be jsonl-embeddable");
+    clfd_obs::json::validate(&json).expect("snapshot JSON validates");
+}
+
+/// Folding the same captured event stream twice — even from different
+/// thread counts upstream — produces byte-identical expositions.
+#[test]
+fn event_fold_exposition_is_deterministic_for_a_fixed_stream() {
+    let capture = Arc::new(MemorySink::new());
+    {
+        let obs = Obs::from_arc(capture.clone() as Arc<dyn Recorder>);
+        for i in 0..50u64 {
+            obs.emit(Event::RequestDone {
+                request: i,
+                sessions: 1 + (i % 3) as usize,
+                latency_us: 10 * i + 1,
+            });
+        }
+        obs.emit(Event::BatchFlushed { worker: 0, rows: 32, padded_len: 64, wall_us: 900 });
+    }
+
+    let render = || {
+        let fold = EventFold::new(Arc::new(Registry::new()));
+        for event in capture.events() {
+            fold.record(&event);
+        }
+        fold.registry().snapshot().to_prometheus()
+    };
+    let first = render();
+    assert_eq!(first, render(), "same stream, same text");
+    assert!(first.contains(names::SERVE_REQUESTS_TOTAL));
+    assert!(first.contains(names::SERVE_REQUEST_LATENCY_US));
+}

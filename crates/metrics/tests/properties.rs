@@ -1,0 +1,156 @@
+//! Property tests for the metrics registry: quantile bracketing on random
+//! samples, and counter/gauge/histogram integrity under thread contention.
+
+use clfd_metrics::{BucketSpec, Registry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::thread;
+
+/// Exact `q`-th quantile of `sorted` by the nearest-rank definition the
+/// histogram estimator brackets: the smallest value with at least
+/// `ceil(q * n)` samples at or below it.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// For random samples and a spread of quantiles, the histogram's
+/// `(lo, hi]` bracket must contain the exact nearest-rank quantile.
+#[test]
+fn log_bucket_quantiles_bracket_the_exact_quantile() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for trial in 0..20 {
+        let registry = Registry::new();
+        let hist = registry.histogram(
+            "trial_us",
+            "random latencies",
+            &[],
+            BucketSpec::log(1.0, std::f64::consts::SQRT_2, 48),
+        );
+        // Mix scales so samples land across many buckets, including some
+        // below the lowest bound and some in the overflow bucket.
+        let n = 100 + trial * 37;
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| {
+                let magnitude = rng.gen_range(0.0_f64..7.0);
+                10.0_f64.powf(magnitude) * rng.gen_range(0.1_f64..1.0)
+            })
+            .collect();
+        for &s in &samples {
+            hist.observe(s);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let (lo, hi) = hist.quantile_bounds(q).expect("non-empty histogram");
+            assert!(
+                lo < exact && exact <= hi,
+                "trial {trial} q={q}: exact {exact} outside bracket ({lo}, {hi}]"
+            );
+            assert!(lo < hi, "bracket must be a non-empty interval");
+        }
+    }
+}
+
+/// Linear buckets over [0, 1] bracket confidence-style samples too.
+#[test]
+fn linear_bucket_quantiles_bracket_the_exact_quantile() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let registry = Registry::new();
+    let hist = registry.histogram(
+        "confidence",
+        "corrector confidence",
+        &[],
+        BucketSpec::linear(0.0, 1.0, 20),
+    );
+    let mut samples: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0_f64..1.0)).collect();
+    for &s in &samples {
+        hist.observe(s);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for q in [0.1, 0.5, 0.9, 0.99] {
+        let exact = exact_quantile(&samples, q);
+        let (lo, hi) = hist.quantile_bounds(q).expect("non-empty histogram");
+        assert!(lo < exact && exact <= hi, "q={q}: {exact} outside ({lo}, {hi}]");
+        assert!(hi - lo <= 0.05 + 1e-12, "linear(0,1,20) buckets are 0.05 wide");
+    }
+}
+
+/// Eight threads hammer the same counter, gauge, and histogram series —
+/// resolved independently by name from each thread — and nothing is lost.
+#[test]
+fn counters_gauges_and_histograms_survive_contention() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Arc::new(Registry::new());
+
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || {
+                // Re-resolving by name must yield the same underlying series.
+                let counter = registry.counter("hits_total", "hits", &[("kind", "x")]);
+                let gauge = registry.gauge("depth", "queue depth", &[]);
+                let hist = registry.histogram(
+                    "obs_us",
+                    "latencies",
+                    &[],
+                    BucketSpec::log(1.0, 2.0, 16),
+                );
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.set(t as f64);
+                    hist.observe((t * PER_THREAD + i) as f64 % 4096.0);
+                }
+            });
+        }
+    });
+
+    let counter = registry.counter("hits_total", "hits", &[("kind", "x")]);
+    assert_eq!(counter.get(), THREADS * PER_THREAD, "no increment lost");
+
+    let gauge = registry.gauge("depth", "queue depth", &[]);
+    let last = gauge.get();
+    assert!(last.fract() == 0.0 && (0.0..THREADS as f64).contains(&last),
+        "gauge holds one of the written values, got {last}");
+
+    let hist = registry.histogram("obs_us", "latencies", &[], BucketSpec::log(1.0, 2.0, 16));
+    assert_eq!(hist.count(), THREADS * PER_THREAD, "no observation lost");
+    let expected_sum: f64 = (0..THREADS * PER_THREAD).map(|v| (v % 4096) as f64).sum();
+    assert!(
+        (hist.sum() - expected_sum).abs() < 1e-6 * expected_sum,
+        "sum drifted: {} vs {expected_sum}",
+        hist.sum()
+    );
+    assert_eq!(
+        hist.bucket_counts().iter().sum::<u64>(),
+        THREADS * PER_THREAD,
+        "bucket counts account for every observation"
+    );
+}
+
+/// Concurrent counter families with disjoint label sets stay disjoint.
+#[test]
+fn label_sets_are_isolated_under_contention() {
+    let registry = Arc::new(Registry::new());
+    thread::scope(|scope| {
+        for t in 0..8usize {
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || {
+                let label = format!("worker-{t}");
+                let counter =
+                    registry.counter("work_total", "per-worker", &[("worker", &label)]);
+                for _ in 0..1_000 {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    for t in 0..8usize {
+        let label = format!("worker-{t}");
+        let counter = registry.counter("work_total", "per-worker", &[("worker", &label)]);
+        assert_eq!(counter.get(), 1_000, "series {label} kept its own count");
+    }
+}

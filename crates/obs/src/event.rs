@@ -67,8 +67,14 @@ pub enum Event {
     StageEnd {
         /// Stage path echoed from the start event.
         stage: String,
-        /// Wall-clock duration of the stage in milliseconds.
+        /// Wall-clock duration of the stage in milliseconds (truncated;
+        /// kept for human eyes and backward compatibility — latency math
+        /// should use `wall_us`).
         wall_ms: u64,
+        /// Wall-clock duration of the stage in microseconds. Sub-millisecond
+        /// stages used to flatten to `wall_ms = 0`; this field preserves
+        /// them.
+        wall_us: u64,
     },
     /// One epoch of a training stage finished.
     EpochEnd {
@@ -210,6 +216,33 @@ pub enum Event {
         /// Queue-to-response latency in microseconds.
         latency_us: u64,
     },
+    /// Histogram of the label corrector's confidences `c_i`, emitted at
+    /// correction time. Two-stage noise-correction methods silently degrade
+    /// when the corrector's confidence collapses; this event makes the
+    /// distribution observable per run. Build with [`Event::confidence`]
+    /// so the bucket layout matches [`CONFIDENCE_BUCKETS`].
+    Confidence {
+        /// Stage path, e.g. `"corrector/confidence"`.
+        stage: String,
+        /// Number of confidences summarized.
+        count: u64,
+        /// Sum of the confidences (mean = `sum / count`).
+        sum: f64,
+        /// Per-bucket counts over `[0, 1]` split into
+        /// [`CONFIDENCE_BUCKETS`] equal-width buckets; values ≥ 1 land in
+        /// the last bucket.
+        buckets: Vec<u64>,
+    },
+    /// A metrics snapshot flushed mid-run (e.g. periodically by the serve
+    /// engine). `snapshot` is the registry's JSON exposition, embedded as a
+    /// string so the JSONL stream stays one self-contained object per line.
+    MetricsReport {
+        /// What flushed the snapshot, e.g. `"serve/128"` after 128 answered
+        /// requests.
+        scope: String,
+        /// The JSON snapshot text (parse with [`crate::json::parse`]).
+        snapshot: String,
+    },
     /// A report artifact (JSON table, benchmark file) was written.
     ArtifactWritten {
         /// Path of the artifact.
@@ -222,7 +255,32 @@ pub enum Event {
     },
 }
 
+/// Number of equal-width buckets a [`Event::Confidence`] histogram splits
+/// `[0, 1]` into. Metrics consumers (`clfd-metrics`) mirror this layout so
+/// bucket counts merge without resampling.
+pub const CONFIDENCE_BUCKETS: usize = 20;
+
 impl Event {
+    /// Builds a [`Event::Confidence`] histogram over `values` (softmax
+    /// confidences in `[0.5, 1]`; anything is accepted and clamped into
+    /// `[0, 1]`). Non-finite values are dropped.
+    pub fn confidence(stage: impl Into<String>, values: &[f32]) -> Self {
+        let mut buckets = vec![0u64; CONFIDENCE_BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        for &v in values {
+            if !v.is_finite() {
+                continue;
+            }
+            let v = f64::from(v).clamp(0.0, 1.0);
+            let idx = ((v * CONFIDENCE_BUCKETS as f64) as usize).min(CONFIDENCE_BUCKETS - 1);
+            buckets[idx] += 1;
+            count += 1;
+            sum += v;
+        }
+        Event::Confidence { stage: stage.into(), count, sum, buckets }
+    }
+
     /// Stable lowercase type tag used in the JSONL encoding.
     pub fn type_tag(&self) -> &'static str {
         match self {
@@ -243,6 +301,8 @@ impl Event {
             Event::QueueDepth { .. } => "queue_depth",
             Event::BatchFlushed { .. } => "batch_flushed",
             Event::RequestDone { .. } => "request_done",
+            Event::Confidence { .. } => "confidence",
+            Event::MetricsReport { .. } => "metrics_report",
             Event::ArtifactWritten { .. } => "artifact_written",
             Event::Message { .. } => "message",
         }
@@ -268,8 +328,8 @@ impl Event {
             Event::RunStart { name, detail } => obj.str("name", name).str("detail", detail),
             Event::RunEnd { name, wall_ms } => obj.str("name", name).u64("wall_ms", *wall_ms),
             Event::StageStart { stage } => obj.str("stage", stage),
-            Event::StageEnd { stage, wall_ms } => {
-                obj.str("stage", stage).u64("wall_ms", *wall_ms)
+            Event::StageEnd { stage, wall_ms, wall_us } => {
+                obj.str("stage", stage).u64("wall_ms", *wall_ms).u64("wall_us", *wall_us)
             }
             Event::EpochEnd { stage, epoch, epochs, batches, loss, grad_norm, lr, wall_ms } => {
                 obj.str("stage", stage)
@@ -333,6 +393,14 @@ impl Event {
                 .u64("request", *request)
                 .usize("sessions", *sessions)
                 .u64("latency_us", *latency_us),
+            Event::Confidence { stage, count, sum, buckets } => obj
+                .str("stage", stage)
+                .u64("count", *count)
+                .f64("sum", *sum)
+                .u64_array("buckets", buckets),
+            Event::MetricsReport { scope, snapshot } => {
+                obj.str("scope", scope).str("snapshot", snapshot)
+            }
             Event::ArtifactWritten { path } => obj.str("path", path),
             Event::Message { text } => obj.str("text", text),
         }

@@ -1,16 +1,21 @@
-//! Minimal JSON support for the telemetry sinks: an append-only object
-//! writer used to serialize [`Event`](crate::Event)s, and a dependency-free
-//! validator used by tests to prove every emitted line is well-formed.
+//! Minimal JSON support for the telemetry stack: an append-only object
+//! writer used to serialize [`Event`](crate::Event)s (and the metrics
+//! snapshots built on top of them), a recursive-descent parser producing a
+//! [`Value`] tree, and a validator proving emitted lines are well-formed.
 //!
 //! The stack is air-gapped, so this module hand-rolls the few pieces of
-//! JSON it needs instead of pulling in a serializer. Only the event shapes
-//! defined in this crate are ever written: flat objects of strings,
-//! unsigned integers, and floats (non-finite floats become `null`, which
-//! strict JSON requires).
+//! JSON it needs instead of pulling in a serializer. The writer only ever
+//! produces the shapes this workspace emits: objects of strings, numbers,
+//! `null`, arrays of unsigned integers, and nested pre-rendered fragments
+//! (non-finite floats become `null`, which strict JSON requires). The
+//! parser accepts any well-formed JSON value, so downstream tooling
+//! (`clfd-report`) can read the JSONL streams back without a dependency.
+
+use std::collections::BTreeMap;
 
 /// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
 /// and control characters).
-pub(crate) fn escape_into(out: &mut String, s: &str) {
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -26,16 +31,25 @@ pub(crate) fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-/// Single-line JSON object builder. Keys are trusted (compile-time event
-/// field names); values are escaped.
-pub(crate) struct Obj {
+/// Single-line JSON object builder. Keys are trusted (compile-time field
+/// names); values are escaped.
+///
+/// Public so downstream crates (`clfd-metrics`) can emit snapshots that
+/// match the event stream's encoding without hand-rolling escaping.
+pub struct Obj {
     buf: String,
     first: bool,
 }
 
+impl Default for Obj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Obj {
     /// Starts an empty object `{`.
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         Self { buf: String::from("{"), first: true }
     }
 
@@ -45,12 +59,12 @@ impl Obj {
         }
         self.first = false;
         self.buf.push('"');
-        self.buf.push_str(k);
+        escape_into(&mut self.buf, k);
         self.buf.push_str("\":");
     }
 
     /// Adds a string field.
-    pub(crate) fn str(mut self, k: &str, v: &str) -> Self {
+    pub fn str(mut self, k: &str, v: &str) -> Self {
         self.key(k);
         self.buf.push('"');
         escape_into(&mut self.buf, v);
@@ -59,20 +73,26 @@ impl Obj {
     }
 
     /// Adds an unsigned integer field.
-    pub(crate) fn u64(mut self, k: &str, v: u64) -> Self {
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
         self.key(k);
         self.buf.push_str(&v.to_string());
         self
     }
 
     /// Adds a `usize` field.
-    pub(crate) fn usize(self, k: &str, v: usize) -> Self {
+    pub fn usize(self, k: &str, v: usize) -> Self {
         self.u64(k, v as u64)
     }
 
     /// Adds a float field; non-finite values become `null` (JSON has no
     /// NaN/Infinity literals).
-    pub(crate) fn f32(mut self, k: &str, v: f32) -> Self {
+    pub fn f32(self, k: &str, v: f32) -> Self {
+        self.f64(k, f64::from(v))
+    }
+
+    /// Adds a double-precision float field; non-finite values become
+    /// `null`.
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
         self.key(k);
         if v.is_finite() {
             self.buf.push_str(&v.to_string());
@@ -83,7 +103,7 @@ impl Obj {
     }
 
     /// Adds an optional float field (`None` → `null`).
-    pub(crate) fn opt_f32(self, k: &str, v: Option<f32>) -> Self {
+    pub fn opt_f32(self, k: &str, v: Option<f32>) -> Self {
         match v {
             Some(v) => self.f32(k, v),
             None => {
@@ -95,11 +115,114 @@ impl Obj {
         }
     }
 
+    /// Adds an array of unsigned integers.
+    pub fn u64_array(mut self, k: &str, vs: &[u64]) -> Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&v.to_string());
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Adds a pre-rendered JSON fragment verbatim (the caller vouches that
+    /// `v` is itself well-formed JSON — e.g. another [`Obj::finish`]).
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
     /// Closes the object and returns the single-line JSON string.
-    pub(crate) fn finish(mut self) -> String {
+    pub fn finish(mut self) -> String {
         self.buf.push('}');
         self.buf
     }
+}
+
+/// A parsed JSON value.
+///
+/// Numbers are held as `f64` (every number this stack emits fits: `u64`
+/// sequence numbers stay exact up to 2^53, far beyond any event count, and
+/// the accessors saturate rather than wrap beyond that).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. `BTreeMap` keeps iteration deterministic.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload truncated to `u64` (saturating at the bounds),
+    /// if this is a non-negative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` as exactly one well-formed JSON value (with optional
+/// surrounding whitespace).
+///
+/// # Errors
+/// Returns the byte offset and a message for the first syntax error.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let b = s.as_bytes();
+    let mut pos = 0;
+    skip_ws(b, &mut pos);
+    let v = value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
 }
 
 /// Validates that `s` is exactly one well-formed JSON value (with optional
@@ -107,15 +230,7 @@ impl Obj {
 /// first syntax error. Used by tests to assert the sink's output parses
 /// under any strict JSON reader.
 pub fn validate(s: &str) -> Result<(), String> {
-    let b = s.as_bytes();
-    let mut pos = 0;
-    skip_ws(b, &mut pos);
-    value(b, &mut pos)?;
-    skip_ws(b, &mut pos);
-    if pos != b.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(())
+    parse(s).map(|_| ())
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -124,14 +239,14 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     match b.get(*pos) {
         Some(b'{') => object(b, pos),
         Some(b'[') => array(b, pos),
-        Some(b'"') => string(b, pos),
-        Some(b't') => literal(b, pos, "true"),
-        Some(b'f') => literal(b, pos, "false"),
-        Some(b'n') => literal(b, pos, "null"),
+        Some(b'"') => string(b, pos).map(Value::Str),
+        Some(b't') => literal(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => literal(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'n') => literal(b, pos, "null").map(|()| Value::Null),
         Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
         Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}", pos = *pos)),
         None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
@@ -147,82 +262,118 @@ fn literal(b: &[u8], pos: &mut usize, word: &str) -> Result<(), String> {
     }
 }
 
-fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     *pos += 1; // '{'
+    let mut map = BTreeMap::new();
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(Value::Obj(map));
     }
     loop {
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b'"') {
             return Err(format!("expected object key at byte {pos}", pos = *pos));
         }
-        string(b, pos)?;
+        let key = string(b, pos)?;
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b':') {
             return Err(format!("expected ':' at byte {pos}", pos = *pos));
         }
         *pos += 1;
         skip_ws(b, pos);
-        value(b, pos)?;
+        let v = value(b, pos)?;
+        map.insert(key, v);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Obj(map));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     *pos += 1; // '['
+    let mut items = Vec::new();
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(Value::Arr(items));
     }
     loop {
         skip_ws(b, pos);
-        value(b, pos)?;
+        items.push(value(b, pos)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Arr(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let mut out = String::new();
     *pos += 1; // opening quote
     while let Some(&c) = b.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match b.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => push_escaped(&mut out, '"', pos),
+                    Some(b'\\') => push_escaped(&mut out, '\\', pos),
+                    Some(b'/') => push_escaped(&mut out, '/', pos),
+                    Some(b'b') => push_escaped(&mut out, '\u{8}', pos),
+                    Some(b'f') => push_escaped(&mut out, '\u{c}', pos),
+                    Some(b'n') => push_escaped(&mut out, '\n', pos),
+                    Some(b'r') => push_escaped(&mut out, '\r', pos),
+                    Some(b't') => push_escaped(&mut out, '\t', pos),
                     Some(b'u') => {
                         *pos += 1;
-                        for _ in 0..4 {
-                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                        let code = hex4(b, pos)?;
+                        // Surrogate pairs: a high surrogate must be followed
+                        // by an escaped low surrogate.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            if b.get(*pos) == Some(&b'\\') && b.get(*pos + 1) == Some(&b'u') {
+                                *pos += 2;
+                                let low = hex4(b, pos)?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(format!(
+                                        "unpaired surrogate at byte {pos}",
+                                        pos = *pos
+                                    ));
+                                }
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
                                 return Err(format!(
-                                    "bad \\u escape at byte {pos}",
+                                    "unpaired surrogate at byte {pos}",
                                     pos = *pos
                                 ));
                             }
-                            *pos += 1;
+                        } else {
+                            char::from_u32(code)
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => {
+                                return Err(format!(
+                                    "invalid \\u escape at byte {pos}",
+                                    pos = *pos
+                                ))
+                            }
                         }
                     }
                     _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
@@ -231,13 +382,47 @@ fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
             c if c < 0x20 => {
                 return Err(format!("raw control byte in string at {pos}", pos = *pos))
             }
-            _ => *pos += 1,
+            _ => {
+                // Advance over one UTF-8 character (the input is a &str, so
+                // boundaries are trustworthy).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|_| {
+                    format!("invalid UTF-8 in string at byte {start}")
+                })?);
+            }
         }
     }
     Err("unterminated string".to_string())
 }
 
-fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn push_escaped(out: &mut String, c: char, pos: &mut usize) {
+    out.push(c);
+    *pos += 1;
+}
+
+fn hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let mut code = 0u32;
+    for _ in 0..4 {
+        let Some(&d) = b.get(*pos) else {
+            return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+        };
+        let v = match d {
+            b'0'..=b'9' => u32::from(d - b'0'),
+            b'a'..=b'f' => u32::from(d - b'a') + 10,
+            b'A'..=b'F' => u32::from(d - b'A') + 10,
+            _ => return Err(format!("bad \\u escape at byte {pos}", pos = *pos)),
+        };
+        code = code * 16 + v;
+        *pos += 1;
+    }
+    Ok(code)
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -267,5 +452,60 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("bad number exponent at byte {start}"));
         }
     }
-    Ok(())
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| format!("bad number at byte {start}"))?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_an_event_like_object() {
+        let v = parse(
+            "{\"seq\":3,\"t_ms\":12,\"type\":\"epoch_end\",\"loss\":1.25,\
+             \"grad_norm\":null,\"ok\":true,\"buckets\":[1,2,3]}",
+        )
+        .unwrap();
+        assert_eq!(v.get("seq").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("epoch_end"));
+        assert_eq!(v.get("loss").and_then(Value::as_f64), Some(1.25));
+        assert_eq!(v.get("grad_norm"), Some(&Value::Null));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let buckets: Vec<u64> = v
+            .get("buckets")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        assert_eq!(buckets, [1, 2, 3]);
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_surrogate_pairs() {
+        let v = parse("\"quote \\\" slash \\/ nl \\n u \\u00e9 pair \\ud83d\\ude00\"")
+            .unwrap();
+        assert_eq!(v.as_str(), Some("quote \" slash / nl \n u é pair 😀"));
+        assert!(parse("\"\\ud800 lone\"").is_err());
+    }
+
+    #[test]
+    fn obj_supports_f64_arrays_and_raw_nesting() {
+        let inner = Obj::new().u64("count", 2).finish();
+        let line = Obj::new()
+            .f64("sum", 1.5)
+            .f64("inf", f64::INFINITY)
+            .u64_array("buckets", &[0, 4, 9])
+            .raw("inner", &inner)
+            .finish();
+        validate(&line).unwrap();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("sum").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("inf"), Some(&Value::Null));
+        assert_eq!(v.get("inner").and_then(|i| i.get("count")).and_then(Value::as_u64), Some(2));
+    }
 }

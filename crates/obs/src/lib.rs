@@ -27,8 +27,8 @@ mod event;
 pub mod json;
 mod sink;
 
-pub use event::{Event, GuardAction};
-pub use sink::{JsonlSink, MemorySink, NullSink, Recorder};
+pub use event::{Event, GuardAction, CONFIDENCE_BUCKETS};
+pub use sink::{JsonlSink, MemorySink, NullSink, Recorder, Tee};
 
 use std::fmt;
 use std::path::Path;
@@ -93,10 +93,21 @@ impl Obs {
     /// matching [`Event::StageEnd`] (with wall-clock duration) when dropped
     /// or [`finish`](StageSpan::finish)ed — including on early error
     /// returns.
+    ///
+    /// When telemetry is disabled this short-circuits to an inert span
+    /// before even converting `stage` into a `String`, so hot loops wrapped
+    /// in spans pay no allocation and no clock read with a [`NullSink`] /
+    /// [`Obs::null`] handle.
     pub fn stage(&self, stage: impl Into<String>) -> StageSpan {
+        if self.inner.is_none() {
+            return StageSpan { inner: None, done: true };
+        }
         let stage = stage.into();
         self.emit(Event::StageStart { stage: stage.clone() });
-        StageSpan { obs: self.clone(), stage, start: Instant::now(), done: false }
+        StageSpan {
+            inner: Some(SpanInner { obs: self.clone(), stage, start: Instant::now() }),
+            done: false,
+        }
     }
 }
 
@@ -107,18 +118,24 @@ impl fmt::Debug for Obs {
 }
 
 /// RAII guard for a stage: emits [`Event::StageEnd`] exactly once, on drop
-/// or explicit [`finish`](StageSpan::finish).
+/// or explicit [`finish`](StageSpan::finish). Spans from a disabled
+/// [`Obs`] are inert (no state, no emission).
 pub struct StageSpan {
-    obs: Obs,
-    stage: String,
-    start: Instant,
+    inner: Option<SpanInner>,
     done: bool,
 }
 
+struct SpanInner {
+    obs: Obs,
+    stage: String,
+    start: Instant,
+}
+
 impl StageSpan {
-    /// The stage path this span covers.
+    /// The stage path this span covers (empty for an inert span from a
+    /// disabled [`Obs`]).
     pub fn stage(&self) -> &str {
-        &self.stage
+        self.inner.as_ref().map_or("", |inner| &inner.stage)
     }
 
     /// Ends the span now (equivalent to dropping it, but reads better at
@@ -128,11 +145,16 @@ impl StageSpan {
     }
 
     fn end(&mut self) {
-        if !self.done {
-            self.done = true;
-            self.obs.emit(Event::StageEnd {
-                stage: std::mem::take(&mut self.stage),
-                wall_ms: millis_since(self.start),
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if let Some(inner) = self.inner.take() {
+            let wall_us = micros_since(inner.start);
+            inner.obs.emit(Event::StageEnd {
+                stage: inner.stage,
+                wall_ms: wall_us / 1000,
+                wall_us,
             });
         }
     }
@@ -161,10 +183,21 @@ impl Stopwatch {
     pub fn elapsed_ms(&self) -> u64 {
         millis_since(self.start)
     }
+
+    /// Microseconds elapsed since [`Stopwatch::start`] (sub-millisecond
+    /// stages flatten to 0 in [`Stopwatch::elapsed_ms`]; this one keeps
+    /// them).
+    pub fn elapsed_us(&self) -> u64 {
+        micros_since(self.start)
+    }
 }
 
 fn millis_since(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+fn micros_since(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -176,6 +209,7 @@ mod tests {
         vec![
             Event::RunStart { name: "t".into(), detail: "preset=smoke".into() },
             Event::StageStart { stage: "corrector/simclr".into() },
+            Event::StageEnd { stage: "corrector/simclr".into(), wall_ms: 0, wall_us: 412 },
             Event::EpochEnd {
                 stage: "corrector/simclr".into(),
                 epoch: 0,
@@ -217,6 +251,11 @@ mod tests {
             Event::QueueDepth { depth: 3, capacity: 64 },
             Event::BatchFlushed { worker: 1, rows: 32, padded_len: 12, wall_us: 480 },
             Event::RequestDone { request: 17, sessions: 1, latency_us: 950 },
+            Event::confidence("corrector/confidence", &[0.55, 0.98, 1.0, f32::NAN]),
+            Event::MetricsReport {
+                scope: "serve/64".into(),
+                snapshot: "{\"families\":[]}".into(),
+            },
             Event::ArtifactWritten { path: "results/table1.json".into() },
             Event::Message { text: "control \u{1} char".into() },
             Event::RunEnd { name: "t".into(), wall_ms: 99 },
@@ -391,5 +430,86 @@ mod tests {
             }
             other => panic!("unexpected events: {other:?}"),
         }
+    }
+
+    #[test]
+    fn stage_end_keeps_submillisecond_durations_in_wall_us() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::from_arc(sink.clone());
+        obs.stage("fast").finish(); // returns within microseconds
+        let events = sink.take();
+        match &events[1] {
+            Event::StageEnd { wall_ms, wall_us, .. } => {
+                // ms is derived from us, so the two can never disagree …
+                assert_eq!(*wall_ms, wall_us / 1000);
+                // … and a sub-millisecond stage keeps a meaningful reading
+                // (wall_us is a real clock read; it may legitimately be 0
+                // only on a sub-microsecond span).
+                assert!(*wall_us < 1_000_000, "smoke span took {wall_us}us");
+            }
+            other => panic!("expected StageEnd, got {other:?}"),
+        }
+    }
+
+    /// A stage name whose `Into<String>` conversion panics: proof that the
+    /// disabled path never converts (and hence never allocates) the name.
+    struct PanicsOnConvert;
+
+    impl From<PanicsOnConvert> for String {
+        fn from(_: PanicsOnConvert) -> String {
+            panic!("disabled Obs::stage must not convert the stage name")
+        }
+    }
+
+    #[test]
+    fn disabled_stage_short_circuits_without_converting_the_name() {
+        let obs = Obs::null();
+        let span = obs.stage(PanicsOnConvert); // must not reach the From impl
+        assert_eq!(span.stage(), "");
+        span.finish();
+        let _implicit = obs.stage(PanicsOnConvert); // drop path is inert too
+    }
+
+    #[test]
+    fn enabled_stage_still_converts_and_emits() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::from_arc(sink.clone());
+        let span = obs.stage(String::from("real"));
+        assert_eq!(span.stage(), "real");
+        drop(span);
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn tee_forwards_every_event_to_every_sink() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let obs = Obs::new(Tee::new(vec![
+            a.clone() as Arc<dyn Recorder>,
+            b.clone() as Arc<dyn Recorder>,
+        ]));
+        obs.emit(Event::Message { text: "x".into() });
+        obs.emit(Event::QueueDepth { depth: 1, capacity: 4 });
+        obs.flush();
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn confidence_constructor_buckets_clamps_and_drops_non_finite() {
+        let ev = Event::confidence("s", &[0.5, 0.52, 0.999, 1.0, 2.0, -1.0, f32::NAN]);
+        let Event::Confidence { stage, count, sum, buckets } = &ev else {
+            panic!("wrong variant");
+        };
+        assert_eq!(stage, "s");
+        assert_eq!(*count, 6); // NaN dropped; 2.0 and -1.0 clamped
+        assert_eq!(buckets.len(), CONFIDENCE_BUCKETS);
+        assert_eq!(buckets.iter().sum::<u64>(), 6);
+        assert_eq!(buckets[10], 2); // 0.5 and 0.52
+        assert_eq!(buckets[0], 1); // -1.0 clamped to 0
+        assert_eq!(buckets[CONFIDENCE_BUCKETS - 1], 3); // 0.999, 1.0, 2.0
+        // f32 inputs widened to f64, so compare at f32 precision.
+        assert!((sum - (0.5 + 0.52 + 0.999 + 1.0 + 1.0 + 0.0)).abs() < 1e-6);
+        json::validate(&ev.to_json()).unwrap();
     }
 }

@@ -1,11 +1,11 @@
 //! Recorder implementations: a thread-safe JSONL file sink, a no-op null
-//! sink, and an in-memory sink for tests.
+//! sink, an in-memory sink for tests, and a fan-out tee.
 
 use crate::event::Event;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Consumer of telemetry [`Event`]s.
@@ -125,5 +125,33 @@ impl MemorySink {
 impl Recorder for MemorySink {
     fn record(&self, event: &Event) {
         self.events.lock().unwrap_or_else(PoisonError::into_inner).push(event.clone());
+    }
+}
+
+/// Fan-out recorder: forwards every event (and flush) to each wrapped
+/// recorder in order. Lets one producer feed a JSONL log, an in-memory
+/// capture, and a metrics fold at the same time.
+pub struct Tee {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl Tee {
+    /// Wraps the given recorders. An empty list behaves like [`NullSink`].
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Recorder for Tee {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
     }
 }

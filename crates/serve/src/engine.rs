@@ -18,8 +18,10 @@ use crate::error::ServeError;
 use clfd::api::Scorer;
 use clfd::Prediction;
 use clfd_data::session::Session;
+use clfd_metrics::Registry;
 use clfd_obs::{Event, Obs};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -36,11 +38,16 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// Worker threads draining the queue.
     pub workers: usize,
+    /// With a metrics registry attached ([`Engine::with_metrics`]), flush
+    /// an [`Event::MetricsReport`] snapshot into the event stream every
+    /// this many completed requests. `None` disables periodic flushing
+    /// (a final snapshot can still be taken from the registry directly).
+    pub metrics_every: Option<u64>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { max_batch: 32, queue_capacity: 256, workers: 1 }
+        Self { max_batch: 32, queue_capacity: 256, workers: 1, metrics_every: None }
     }
 }
 
@@ -79,6 +86,13 @@ struct Shared {
     artifact: InferenceArtifact,
     cfg: EngineConfig,
     obs: Obs,
+    /// Registry for periodic [`Event::MetricsReport`] snapshots; the
+    /// *aggregation* itself happens in whatever `EventFold` the caller
+    /// wired into `obs`.
+    metrics: Option<Arc<Registry>>,
+    /// Requests completed across all workers, driving the
+    /// [`EngineConfig::metrics_every`] flush cadence.
+    done: AtomicU64,
 }
 
 /// Claim on one in-flight prediction; redeem with [`Ticket::wait`].
@@ -120,6 +134,32 @@ impl Engine {
     /// emits [`Event::QueueDepth`], [`Event::BatchFlushed`], and
     /// [`Event::RequestDone`].
     pub fn with_obs(artifact: InferenceArtifact, cfg: EngineConfig, obs: Obs) -> Self {
+        Self::build(artifact, cfg, obs, None)
+    }
+
+    /// Like [`Engine::with_obs`] with a metrics [`Registry`] attached:
+    /// every [`EngineConfig::metrics_every`] completed requests, a worker
+    /// emits an [`Event::MetricsReport`] carrying the registry's JSON
+    /// snapshot into the event stream.
+    ///
+    /// The registry is only *read* here — to aggregate this engine's
+    /// events into it, wire a [`clfd_metrics::EventFold`] over the same
+    /// registry into `obs`.
+    pub fn with_metrics(
+        artifact: InferenceArtifact,
+        cfg: EngineConfig,
+        obs: Obs,
+        metrics: Arc<Registry>,
+    ) -> Self {
+        Self::build(artifact, cfg, obs, Some(metrics))
+    }
+
+    fn build(
+        artifact: InferenceArtifact,
+        cfg: EngineConfig,
+        obs: Obs,
+        metrics: Option<Arc<Registry>>,
+    ) -> Self {
         assert!(cfg.workers > 0, "engine needs at least one worker");
         assert!(cfg.max_batch > 0, "max_batch must be positive");
         assert!(cfg.queue_capacity > 0, "queue_capacity must be positive");
@@ -134,6 +174,8 @@ impl Engine {
             artifact,
             cfg,
             obs,
+            metrics,
+            done: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers)
             .map(|w| {
@@ -299,11 +341,30 @@ fn worker_loop(shared: &Shared, worker: usize) {
                     sessions: 1,
                     latency_us: elapsed_us(req.enqueued),
                 });
+                maybe_flush_metrics(shared);
                 // The ticket may have been dropped; that just discards the
                 // prediction.
                 let _ = req.resp.send(prediction);
             }
         }
+    }
+}
+
+/// Counts one completed request and, at every `metrics_every`-th
+/// completion, flushes the attached registry's JSON snapshot into the
+/// event stream. The count is global across workers, so the cadence holds
+/// at any worker count (which worker flushes is racy; the *snapshot* is
+/// whatever the registry holds at that instant).
+fn maybe_flush_metrics(shared: &Shared) {
+    let done = shared.done.fetch_add(1, Ordering::Relaxed) + 1;
+    let (Some(registry), Some(every)) = (&shared.metrics, shared.cfg.metrics_every) else {
+        return;
+    };
+    if every > 0 && done.is_multiple_of(every) {
+        shared.obs.emit(Event::MetricsReport {
+            scope: format!("serve/{done}"),
+            snapshot: registry.snapshot().to_json(),
+        });
     }
 }
 

@@ -142,7 +142,7 @@ fn contention_preserves_per_submitter_order_and_identity() {
         sessions.iter().map(|s| artifact.predict(&[s]).remove(0)).collect();
     let engine = Engine::new(
         artifact,
-        EngineConfig { max_batch: 4, queue_capacity: 16, workers: 3 },
+        EngineConfig { max_batch: 4, queue_capacity: 16, workers: 3, ..EngineConfig::default() },
     );
 
     std::thread::scope(|scope| {
@@ -187,7 +187,7 @@ fn full_queue_sheds_load_with_a_typed_error() {
     let session = Session { activities: vec![0, 1, 2], day: 0 };
     let engine = Engine::new(
         artifact,
-        EngineConfig { max_batch: 1, queue_capacity: 2, workers: 1 },
+        EngineConfig { max_batch: 1, queue_capacity: 2, workers: 1, ..EngineConfig::default() },
     );
     let mut tickets = Vec::new();
     let mut overloaded = false;
@@ -207,6 +207,74 @@ fn full_queue_sheds_load_with_a_typed_error() {
     for t in tickets {
         t.wait().expect("accepted requests are answered");
     }
+}
+
+#[test]
+fn engine_folds_events_into_metrics_and_flushes_periodic_reports() {
+    use clfd_metrics::{names, EventFold, Registry};
+    use clfd_obs::{Event, MemorySink, Obs};
+    use std::sync::Arc;
+
+    let artifact = tiny_artifact();
+    let sessions = synthetic_sessions(32);
+    let registry = Arc::new(Registry::new());
+    let capture = Arc::new(MemorySink::new());
+    // One obs handle: aggregates into the registry, tees raw events into
+    // the capture (standing in for the JSONL file).
+    let obs = Obs::new(EventFold::tee(registry.clone(), capture.clone()));
+    let engine = Engine::with_metrics(
+        artifact,
+        EngineConfig { metrics_every: Some(8), ..EngineConfig::deterministic() },
+        obs,
+        registry.clone(),
+    );
+    let refs: Vec<&Session> = sessions.iter().collect();
+    let served = engine.score_batch(&refs).expect("engine scores");
+    assert_eq!(served.len(), 32);
+    drop(engine);
+
+    assert_eq!(registry.counter(names::SERVE_REQUESTS_TOTAL, "", &[]).get(), 32);
+    let latency = registry.histogram(
+        names::SERVE_REQUEST_LATENCY_US,
+        "",
+        &[],
+        names::latency_us_buckets(),
+    );
+    assert_eq!(latency.count(), 32);
+
+    let reports: Vec<(String, String)> = capture
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            Event::MetricsReport { scope, snapshot } => Some((scope, snapshot)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reports.len(), 4, "32 requests / metrics_every=8");
+    assert_eq!(reports[0].0, "serve/8");
+    assert_eq!(reports[3].0, "serve/32");
+    for (scope, snapshot) in &reports {
+        clfd_obs::json::validate(snapshot)
+            .unwrap_or_else(|e| panic!("snapshot {scope} is invalid JSON: {e}"));
+    }
+    // The deterministic engine answers in order, and each RequestDone is
+    // folded before the flush that counts it — so the serve/8 snapshot
+    // holds exactly 8 requests.
+    let v = clfd_obs::json::parse(&reports[0].1).expect("parsed");
+    let requests_total = v
+        .get("families")
+        .and_then(|f| f.as_array())
+        .and_then(|fams| {
+            fams.iter().find(|f| {
+                f.get("name").and_then(|n| n.as_str()) == Some(names::SERVE_REQUESTS_TOTAL)
+            })
+        })
+        .and_then(|f| f.get("series"))
+        .and_then(|s| s.as_array())
+        .and_then(|s| s.first())
+        .and_then(|s| s.get("counter"))
+        .and_then(|c| c.as_u64());
+    assert_eq!(requests_total, Some(8));
 }
 
 #[test]
