@@ -35,7 +35,8 @@ run clippy --workspace --all-targets -- -D warnings
 # binaries (src/bin/) and examples. `--lib` scopes the denied lints to
 # library targets so tests/bins can keep their eprintln!s.
 for lib in clfd clfd-tensor clfd-autograd clfd-nn clfd-losses clfd-data \
-    clfd-baselines clfd-eval clfd-bench clfd-obs clfd-metrics clfd-serve; do
+    clfd-baselines clfd-eval clfd-bench clfd-obs clfd-metrics clfd-serve \
+    clfd-registry; do
     run clippy -p "$lib" --lib -- -D warnings \
         -D clippy::print_stdout -D clippy::print_stderr
 done
@@ -67,4 +68,15 @@ test -s RUN_BENCH_serve.jsonl
 test -s METRICS_BENCH_serve.prom
 run run --release -p clfd-metrics --bin clfd-report -- \
     --check-snapshot METRICS_BENCH_serve.prom RUN_BENCH_serve.jsonl >/dev/null
+
+# Registry smoke: stage + promote two artifact versions, hot-swap between
+# them under a 100-request load, then stage a corrupt candidate — it must
+# be rejected (SwapRollback) while the engine keeps serving the good
+# version. The binary exits non-zero on any dropped request, any response
+# that matches neither installed version, or a corrupt promote sneaking
+# through.
+rm -rf REGISTRY_SMOKE
+run run --release -p clfd-registry --bin registry_smoke -- \
+    --root REGISTRY_SMOKE --requests 100
+rm -rf REGISTRY_SMOKE
 echo "ci: all checks passed"

@@ -306,14 +306,25 @@ mod tests {
         let telemetry = a.telemetry();
         assert!(telemetry.obs.enabled(), "folding requires a live recorder");
         let registry = telemetry.registry().expect("registry under --metrics");
-        telemetry.obs.emit(Event::RequestDone { request: 0, sessions: 1, latency_us: 321 });
+        telemetry.obs.emit(Event::RequestDone {
+            request: 0,
+            sessions: 1,
+            latency_us: 321,
+            model: "default".into(),
+        });
         assert_eq!(
-            registry.counter(clfd_metrics::names::SERVE_REQUESTS_TOTAL, "", &[]).get(),
+            registry
+                .counter(
+                    clfd_metrics::names::SERVE_REQUESTS_TOTAL,
+                    "",
+                    &[("model", "default")]
+                )
+                .get(),
             1
         );
         let written = telemetry.finish().expect("snapshot written");
         let text = std::fs::read_to_string(&written).unwrap();
-        assert!(text.contains("clfd_serve_requests_total 1"), "{text}");
+        assert!(text.contains("clfd_serve_requests_total{model=\"default\"} 1"), "{text}");
         clfd_metrics::parse_prometheus(&text).expect("snapshot parses");
         std::fs::remove_dir_all(&dir).ok();
     }

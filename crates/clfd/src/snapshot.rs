@@ -61,8 +61,58 @@ impl ClfdSnapshot {
     /// Deserializes from a JSON string.
     ///
     /// # Errors
-    /// Returns [`ClfdError::Snapshot`] on malformed JSON.
+    /// Returns [`ClfdError::Snapshot`] on malformed JSON or a matrix whose
+    /// buffer disagrees with its declared shape.
     pub fn from_json(s: &str) -> Result<Self, ClfdError> {
-        serde_json::from_str(s).map_err(|e| ClfdError::Snapshot(e.to_string()))
+        let snapshot: Self =
+            serde_json::from_str(s).map_err(|e| ClfdError::Snapshot(e.to_string()))?;
+        snapshot.check_shapes()?;
+        Ok(snapshot)
+    }
+
+    /// Deserializes from raw bytes (a file read), rejecting non-UTF-8
+    /// input with a typed error instead of panicking — the entry point for
+    /// loading snapshots that may be truncated or corrupted on disk.
+    ///
+    /// # Errors
+    /// Returns [`ClfdError::Snapshot`] on non-UTF-8 input, malformed JSON,
+    /// or a matrix whose buffer disagrees with its declared shape.
+    pub fn from_json_bytes(bytes: &[u8]) -> Result<Self, ClfdError> {
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| ClfdError::Snapshot(format!("snapshot is not UTF-8: {e}")))?;
+        Self::from_json(s)
+    }
+
+    /// Verifies every matrix's buffer matches its declared dimensions —
+    /// decoded snapshots come from disk, and restoring a matrix that lies
+    /// about its shape would panic deep inside a kernel instead of failing
+    /// the load.
+    ///
+    /// # Errors
+    /// Returns [`ClfdError::Snapshot`] naming the first inconsistent
+    /// matrix.
+    fn check_shapes(&self) -> Result<(), ClfdError> {
+        let mut parts: Vec<(&str, &Snapshot)> = vec![("embeddings", &self.embeddings)];
+        if let Some(c) = &self.corrector {
+            parts.push(("corrector encoder", &c.encoder));
+            parts.push(("corrector head", &c.head));
+        }
+        if let Some(d) = &self.detector {
+            parts.push(("detector encoder", &d.encoder));
+            if let Some(h) = &d.head {
+                parts.push(("detector head", h));
+            }
+            if let Some(c) = &d.centroids {
+                parts.push(("detector centroids", c));
+            }
+        }
+        for (what, snap) in parts {
+            for (i, m) in snap.values.iter().enumerate() {
+                m.check_shape().map_err(|e| {
+                    ClfdError::Snapshot(format!("{what} matrix {i}: {e}"))
+                })?;
+            }
+        }
+        Ok(())
     }
 }

@@ -22,12 +22,19 @@ pub mod names {
 
     /// Counter of every event seen, labeled by `type` tag.
     pub const EVENTS_TOTAL: &str = "clfd_obs_events_total";
-    /// Serve request queue-to-response latency in microseconds.
+    /// Serve request queue-to-response latency in microseconds, by model.
     pub const SERVE_REQUEST_LATENCY_US: &str = "clfd_serve_request_latency_us";
-    /// Counter of completed serve requests.
+    /// Counter of completed serve requests, by model.
     pub const SERVE_REQUESTS_TOTAL: &str = "clfd_serve_requests_total";
-    /// Counter of sessions carried by completed serve requests.
+    /// Counter of sessions carried by completed serve requests, by model.
     pub const SERVE_SESSIONS_TOTAL: &str = "clfd_serve_sessions_total";
+    /// Counter of requests shed because their deadline passed, by model.
+    pub const SERVE_DEADLINE_EXCEEDED_TOTAL: &str = "clfd_serve_deadline_exceeded_total";
+    /// Counter of scoring-path panics caught by serve workers, by model.
+    pub const SERVE_PANICS_TOTAL: &str = "clfd_serve_panics_total";
+    /// Counter of registry swap lifecycle transitions, by model and
+    /// outcome (`start` / `commit` / `rollback`).
+    pub const REGISTRY_SWAPS_TOTAL: &str = "clfd_registry_swaps_total";
     /// Gauge: queue depth sampled at each worker drain.
     pub const SERVE_QUEUE_DEPTH: &str = "clfd_serve_queue_depth";
     /// Gauge: configured queue capacity.
@@ -142,21 +149,63 @@ impl EventFold {
         )
         .inc();
         match event {
-            Event::RequestDone { sessions, latency_us, .. } => {
+            Event::RequestDone { sessions, latency_us, model, .. } => {
+                let labels: &[(&str, &str)] = &[("model", model)];
                 reg.histogram(
                     names::SERVE_REQUEST_LATENCY_US,
-                    "Serve request queue-to-response latency (us)",
-                    &[],
+                    "Serve request queue-to-response latency (us), by model",
+                    labels,
                     names::latency_us_buckets(),
                 )
                 .observe(*latency_us as f64);
-                reg.counter(names::SERVE_REQUESTS_TOTAL, "Completed serve requests", &[]).inc();
+                reg.counter(names::SERVE_REQUESTS_TOTAL, "Completed serve requests", labels)
+                    .inc();
                 reg.counter(
                     names::SERVE_SESSIONS_TOTAL,
                     "Sessions carried by completed serve requests",
-                    &[],
+                    labels,
                 )
                 .add(*sessions as u64);
+            }
+            Event::RequestExpired { model, .. } => {
+                reg.counter(
+                    names::SERVE_DEADLINE_EXCEEDED_TOTAL,
+                    "Requests shed because their deadline passed, by model",
+                    &[("model", model)],
+                )
+                .inc();
+            }
+            Event::ServePanic { model, .. } => {
+                reg.counter(
+                    names::SERVE_PANICS_TOTAL,
+                    "Scoring-path panics caught by serve workers, by model",
+                    &[("model", model)],
+                )
+                .inc();
+            }
+            Event::SwapStart { model, .. } => {
+                reg.counter(
+                    names::REGISTRY_SWAPS_TOTAL,
+                    "Registry swap lifecycle transitions, by model and outcome",
+                    &[("model", model), ("outcome", "start")],
+                )
+                .inc();
+            }
+            Event::SwapCommit { model, .. } => {
+                reg.counter(
+                    names::REGISTRY_SWAPS_TOTAL,
+                    "Registry swap lifecycle transitions, by model and outcome",
+                    &[("model", model), ("outcome", "commit")],
+                )
+                .inc();
+            }
+            Event::SwapRollback { model, .. } => {
+                reg.counter(
+                    names::REGISTRY_SWAPS_TOTAL,
+                    "Registry swap lifecycle transitions, by model and outcome",
+                    &[("model", model), ("outcome", "rollback")],
+                )
+                .inc();
             }
             Event::QueueDepth { depth, capacity } => {
                 reg.gauge(
@@ -168,22 +217,24 @@ impl EventFold {
                 reg.gauge(names::SERVE_QUEUE_CAPACITY, "Serve queue capacity", &[])
                     .set(*capacity as f64);
             }
-            Event::BatchFlushed { rows, wall_us, .. } => {
+            Event::BatchFlushed { rows, wall_us, model, .. } => {
+                let labels: &[(&str, &str)] = &[("model", model)];
                 reg.histogram(
                     names::SERVE_BATCH_ROWS,
-                    "Serve micro-batch size (rows)",
-                    &[],
+                    "Serve micro-batch size (rows), by model",
+                    labels,
                     names::batch_rows_buckets(),
                 )
                 .observe(*rows as f64);
                 reg.histogram(
                     names::SERVE_BATCH_WALL_US,
-                    "Serve micro-batch forward wall time (us)",
-                    &[],
+                    "Serve micro-batch forward wall time (us), by model",
+                    labels,
                     names::batch_wall_us_buckets(),
                 )
                 .observe(*wall_us as f64);
-                reg.counter(names::SERVE_BATCHES_TOTAL, "Flushed serve micro-batches", &[]).inc();
+                reg.counter(names::SERVE_BATCHES_TOTAL, "Flushed serve micro-batches", labels)
+                    .inc();
             }
             Event::StageEnd { stage, wall_us, .. } => {
                 reg.histogram(
@@ -339,9 +390,35 @@ mod tests {
                 lr: 0.01,
             },
             Event::QueueDepth { depth: 3, capacity: 64 },
-            Event::BatchFlushed { worker: 0, rows: 8, padded_len: 16, wall_us: 950 },
-            Event::RequestDone { request: 0, sessions: 2, latency_us: 1500 },
-            Event::RequestDone { request: 1, sessions: 1, latency_us: 700 },
+            Event::BatchFlushed {
+                worker: 0,
+                rows: 8,
+                padded_len: 16,
+                wall_us: 950,
+                model: "fraud@1".into(),
+            },
+            Event::RequestDone {
+                request: 0,
+                sessions: 2,
+                latency_us: 1500,
+                model: "fraud@1".into(),
+            },
+            Event::RequestDone {
+                request: 1,
+                sessions: 1,
+                latency_us: 700,
+                model: "fraud@1".into(),
+            },
+            Event::RequestExpired { request: 2, model: "fraud@1".into(), waited_us: 5000 },
+            Event::ServePanic { worker: 0, model: "fraud@1".into(), detail: "boom".into() },
+            Event::SwapStart { model: "fraud".into(), version: 2 },
+            Event::SwapCommit { model: "fraud".into(), version: 2, prior: Some(1) },
+            Event::SwapRollback {
+                model: "fraud".into(),
+                version: 3,
+                active: Some(2),
+                reason: "canary error rate".into(),
+            },
             Event::confidence("corrector/confidence", &[0.55, 0.8, 0.97]),
         ]
     }
@@ -353,12 +430,28 @@ mod tests {
         for e in sample_events() {
             fold.record(&e);
         }
-        assert_eq!(registry.counter(names::SERVE_REQUESTS_TOTAL, "", &[]).get(), 2);
-        assert_eq!(registry.counter(names::SERVE_SESSIONS_TOTAL, "", &[]).get(), 3);
+        let model: &[(&str, &str)] = &[("model", "fraud@1")];
+        assert_eq!(registry.counter(names::SERVE_REQUESTS_TOTAL, "", model).get(), 2);
+        assert_eq!(registry.counter(names::SERVE_SESSIONS_TOTAL, "", model).get(), 3);
+        assert_eq!(registry.counter(names::SERVE_DEADLINE_EXCEEDED_TOTAL, "", model).get(), 1);
+        assert_eq!(registry.counter(names::SERVE_PANICS_TOTAL, "", model).get(), 1);
+        for (outcome, want) in [("start", 1), ("commit", 1), ("rollback", 1)] {
+            assert_eq!(
+                registry
+                    .counter(
+                        names::REGISTRY_SWAPS_TOTAL,
+                        "",
+                        &[("model", "fraud"), ("outcome", outcome)]
+                    )
+                    .get(),
+                want,
+                "swap outcome {outcome}"
+            );
+        }
         let lat = registry.histogram(
             names::SERVE_REQUEST_LATENCY_US,
             "",
-            &[],
+            model,
             names::latency_us_buckets(),
         );
         assert_eq!(lat.count(), 2);

@@ -1,10 +1,10 @@
 //! Run-log analysis for `clfd-report`: folds a `RUN_*.jsonl` telemetry
 //! stream into a [`RunSummary`] (stage timing tree, epoch-loss table,
-//! guard timeline, serve latency percentiles) and cross-checks a
-//! Prometheus snapshot against the exact percentiles recomputed from the
-//! raw event stream.
+//! guard timeline, per-model serve latency percentiles, registry swap
+//! timeline) and cross-checks a Prometheus snapshot against the exact
+//! percentiles recomputed from the raw event stream.
 
-use crate::expo::{hist_from_samples, parse_prometheus};
+use crate::expo::{hist_from_samples, parse_prometheus, HistSnapshot};
 use crate::fold::names;
 use clfd_obs::json::{parse, Value};
 use std::collections::BTreeMap;
@@ -51,8 +51,8 @@ pub struct StageAgg {
     pub total_us: u64,
 }
 
-/// Serving aggregates from `request_done` / `batch_flushed` /
-/// `queue_depth` events.
+/// Per-model serving aggregates from `request_done` / `batch_flushed` /
+/// `request_expired` / `serve_panic` events.
 #[derive(Debug, Clone, Default)]
 pub struct ServeAgg {
     /// Every request latency in microseconds, in completion order.
@@ -63,10 +63,26 @@ pub struct ServeAgg {
     pub batches: u64,
     /// Total rows across flushed micro-batches.
     pub batch_rows: u64,
-    /// Maximum sampled queue depth.
-    pub max_queue_depth: u64,
-    /// Configured queue capacity (last seen).
-    pub capacity: u64,
+    /// Requests shed because their deadline passed.
+    pub deadline_exceeded: u64,
+    /// Scoring-path panics caught by workers.
+    pub panics: u64,
+}
+
+/// One registry swap transition extracted from a
+/// `swap_start` / `swap_commit` / `swap_rollback` event.
+#[derive(Debug, Clone)]
+pub struct SwapRow {
+    /// Milliseconds since the sink was created (file time axis).
+    pub t_ms: u64,
+    /// Model id the transition belongs to.
+    pub model: String,
+    /// The candidate version involved.
+    pub version: u64,
+    /// Transition tag (`start`, `commit`, `rollback`).
+    pub outcome: String,
+    /// Rollback reason, or empty for start/commit.
+    pub reason: String,
 }
 
 /// Aggregated corrector-confidence histogram per stage.
@@ -95,8 +111,15 @@ pub struct RunSummary {
     pub guards: Vec<GuardRow>,
     /// Number of injected faults.
     pub faults: u64,
-    /// Serving aggregates.
-    pub serve: ServeAgg,
+    /// Serving aggregates, keyed by model label (`"default"` for
+    /// single-model engines, `model-id@version` under a registry).
+    pub serve: BTreeMap<String, ServeAgg>,
+    /// Registry swap timeline in file order.
+    pub swaps: Vec<SwapRow>,
+    /// Maximum sampled queue depth (engine-global, not per model).
+    pub max_queue_depth: u64,
+    /// Configured queue capacity (last seen).
+    pub queue_capacity: u64,
     /// Confidence aggregates per stage path.
     pub confidence: BTreeMap<String, ConfAgg>,
     /// Isolated run failures (`model: error`), in file order.
@@ -122,6 +145,12 @@ fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
 
 fn opt_f64(v: &Value, key: &str) -> Option<f64> {
     v.get(key).and_then(Value::as_f64)
+}
+
+/// The event's `model` label, defaulting to `"default"` so streams from
+/// before per-model labeling still aggregate.
+fn opt_model(v: &Value) -> String {
+    v.get("model").and_then(Value::as_str).unwrap_or("default").to_string()
 }
 
 impl RunSummary {
@@ -186,17 +215,41 @@ impl RunSummary {
             }
             "fault_injected" => self.faults += 1,
             "request_done" => {
-                self.serve.latencies_us.push(need_u64(&v, "latency_us")?);
-                self.serve.sessions += need_u64(&v, "sessions")?;
+                let latency = need_u64(&v, "latency_us")?;
+                let sessions = need_u64(&v, "sessions")?;
+                let agg = self.serve.entry(opt_model(&v)).or_default();
+                agg.latencies_us.push(latency);
+                agg.sessions += sessions;
             }
             "batch_flushed" => {
-                self.serve.batches += 1;
-                self.serve.batch_rows += need_u64(&v, "rows")?;
+                let rows = need_u64(&v, "rows")?;
+                let agg = self.serve.entry(opt_model(&v)).or_default();
+                agg.batches += 1;
+                agg.batch_rows += rows;
+            }
+            "request_expired" => {
+                self.serve.entry(opt_model(&v)).or_default().deadline_exceeded += 1;
+            }
+            "serve_panic" => {
+                self.serve.entry(opt_model(&v)).or_default().panics += 1;
             }
             "queue_depth" => {
                 let depth = need_u64(&v, "depth")?;
-                self.serve.max_queue_depth = self.serve.max_queue_depth.max(depth);
-                self.serve.capacity = need_u64(&v, "capacity")?;
+                self.max_queue_depth = self.max_queue_depth.max(depth);
+                self.queue_capacity = need_u64(&v, "capacity")?;
+            }
+            "swap_start" | "swap_commit" | "swap_rollback" => {
+                self.swaps.push(SwapRow {
+                    t_ms: v.get("t_ms").and_then(Value::as_u64).unwrap_or(0),
+                    model: need_str(&v, "model")?,
+                    version: need_u64(&v, "version")?,
+                    outcome: ty.trim_start_matches("swap_").to_string(),
+                    reason: v
+                        .get("reason")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                });
             }
             "confidence" => {
                 let stage = need_str(&v, "stage")?;
@@ -310,28 +363,61 @@ impl RunSummary {
                 );
             }
         }
-        if !self.serve.latencies_us.is_empty() {
-            let mut sorted = self.serve.latencies_us.clone();
-            sorted.sort_unstable();
-            let _ = writeln!(out, "\nServe latency (us), {} requests:", sorted.len());
-            for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
-                let _ = writeln!(out, "  {tag:<4} {:>10}", percentile(&sorted, q));
-            }
-            let _ = writeln!(out, "  max  {:>10}", sorted[sorted.len() - 1]);
-            let mean_rows = if self.serve.batches > 0 {
-                self.serve.batch_rows as f64 / self.serve.batches as f64
-            } else {
-                0.0
-            };
+        let total_requests: usize = self.serve.values().map(|a| a.latencies_us.len()).sum();
+        if total_requests > 0 {
             let _ = writeln!(
                 out,
-                "  sessions {} | batches {} (mean {:.1} rows) | peak queue {}/{}",
-                self.serve.sessions,
-                self.serve.batches,
-                mean_rows,
-                self.serve.max_queue_depth,
-                self.serve.capacity
+                "\nServe latency (us), {} requests across {} model(s), peak queue {}/{}:",
+                total_requests,
+                self.serve.len(),
+                self.max_queue_depth,
+                self.queue_capacity
             );
+            for (model, agg) in &self.serve {
+                if agg.latencies_us.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  [{model}] 0 requests | expired {} | panics {}",
+                        agg.deadline_exceeded, agg.panics
+                    );
+                    continue;
+                }
+                let mut sorted = agg.latencies_us.clone();
+                sorted.sort_unstable();
+                let _ = writeln!(out, "  [{model}] {} requests:", sorted.len());
+                for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                    let _ = writeln!(out, "    {tag:<4} {:>10}", percentile(&sorted, q));
+                }
+                let _ = writeln!(out, "    max  {:>10}", sorted[sorted.len() - 1]);
+                let mean_rows = if agg.batches > 0 {
+                    agg.batch_rows as f64 / agg.batches as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "    sessions {} | batches {} (mean {:.1} rows) | expired {} | panics {}",
+                    agg.sessions, agg.batches, mean_rows, agg.deadline_exceeded, agg.panics
+                );
+            }
+        }
+        if !self.swaps.is_empty() {
+            let rollbacks = self.swaps.iter().filter(|s| s.outcome == "rollback").count();
+            let _ = writeln!(
+                out,
+                "\nSwap timeline ({} transitions, {} rollbacks):",
+                self.swaps.len(),
+                rollbacks
+            );
+            for s in &self.swaps {
+                let reason =
+                    if s.reason.is_empty() { String::new() } else { format!(" — {}", s.reason) };
+                let _ = writeln!(
+                    out,
+                    "  t={:>6}ms {:<8} [{}@{}]{reason}",
+                    s.t_ms, s.outcome, s.model, s.version
+                );
+            }
         }
         if !self.confidence.is_empty() {
             let _ = writeln!(out, "\nCorrector confidence:");
@@ -372,11 +458,18 @@ impl RunSummary {
         out
     }
 
+    /// Every request latency across all models, unsorted.
+    fn all_latencies(&self) -> Vec<u64> {
+        self.serve.values().flat_map(|a| a.latencies_us.iter().copied()).collect()
+    }
+
     /// Cross-checks a Prometheus snapshot against this summary: the
-    /// snapshot's request-latency histogram must contain every request the
-    /// JSONL stream recorded, and its p50/p99 bucket estimates must agree
-    /// with the exact percentiles recomputed from the raw latencies to
-    /// within ±1 bucket.
+    /// snapshot's request-latency histograms (one series per `model`
+    /// label) must together contain every request the JSONL stream
+    /// recorded — and per model, each series' count must match that
+    /// model's JSONL request count — and the merged p50/p99 bucket
+    /// estimates must agree with the exact percentiles recomputed from
+    /// the raw latencies to within ±1 bucket.
     ///
     /// # Errors
     /// Returns a description of the first disagreement.
@@ -386,27 +479,47 @@ impl RunSummary {
             return Err("snapshot contains no samples".to_string());
         }
         let hists = hist_from_samples(&samples, names::SERVE_REQUEST_LATENCY_US)?;
-        if self.serve.latencies_us.is_empty() {
+        let latencies = self.all_latencies();
+        if latencies.is_empty() {
             return if hists.iter().all(|(_, h)| h.count == 0) {
                 Ok(format!("snapshot ok: {} samples, no serve traffic on either side", samples.len()))
             } else {
                 Err("snapshot has request latencies but the JSONL stream has none".to_string())
             };
         }
-        let (_, hist) = hists
-            .iter()
-            .find(|(_, h)| h.count > 0)
-            .ok_or("JSONL stream has request latencies but the snapshot has none")?;
-        let n = self.serve.latencies_us.len() as u64;
+        // Per-model counts must match series-for-series.
+        for (model, agg) in &self.serve {
+            if agg.latencies_us.is_empty() {
+                continue;
+            }
+            let key = format!("model=\"{model}\"");
+            let series = hists
+                .iter()
+                .find(|(labels, _)| *labels == key)
+                .ok_or_else(|| format!("snapshot has no latency series for model {model:?}"))?;
+            if series.1.count != agg.latencies_us.len() as u64 {
+                return Err(format!(
+                    "model {model:?} count mismatch: snapshot has {} observations, JSONL has {}",
+                    series.1.count,
+                    agg.latencies_us.len()
+                ));
+            }
+        }
+        let hist = merge_hists(&hists)?;
+        let n = latencies.len() as u64;
         if hist.count != n {
             return Err(format!(
-                "request count mismatch: snapshot histogram has {} observations, JSONL has {n}",
+                "request count mismatch: snapshot histograms hold {} observations, JSONL has {n}",
                 hist.count
             ));
         }
-        let mut sorted = self.serve.latencies_us.clone();
+        let mut sorted = latencies;
         sorted.sort_unstable();
-        let mut lines = vec![format!("snapshot ok: {} samples, {n} requests", samples.len())];
+        let mut lines = vec![format!(
+            "snapshot ok: {} samples, {n} requests across {} model series",
+            samples.len(),
+            self.serve.values().filter(|a| !a.latencies_us.is_empty()).count()
+        )];
         for (tag, q) in [("p50", 0.5), ("p99", 0.99)] {
             let exact = percentile(&sorted, q);
             let exact_bucket = hist.bucket_index_of(exact as f64);
@@ -427,6 +540,28 @@ impl RunSummary {
         }
         Ok(lines.join("\n"))
     }
+}
+
+/// Merges per-label histogram series (identical bucket layouts — they all
+/// come from the same [`names`] spec) into one distribution, so overall
+/// percentiles can be checked across models.
+fn merge_hists(hists: &[(String, HistSnapshot)]) -> Result<HistSnapshot, String> {
+    let mut populated = hists.iter().filter(|(_, h)| h.count > 0);
+    let first = populated
+        .next()
+        .ok_or("JSONL stream has request latencies but the snapshot has none")?;
+    let mut merged = first.1.clone();
+    for (labels, h) in populated {
+        if h.bounds != merged.bounds {
+            return Err(format!("latency series {{{labels}}} has mismatched bucket bounds"));
+        }
+        for (slot, b) in merged.buckets.iter_mut().zip(&h.buckets) {
+            *slot += b;
+        }
+        merged.count += h.count;
+        merged.sum += h.sum;
+    }
+    Ok(merged)
 }
 
 /// Nearest-index percentile of an already-sorted slice:
@@ -467,9 +602,18 @@ mod tests {
     }
 
     fn serve_events(latencies: &[u64]) -> Vec<Event> {
+        serve_events_for("default", latencies)
+    }
+
+    fn serve_events_for(model: &str, latencies: &[u64]) -> Vec<Event> {
         let mut events = vec![Event::RunStart { name: "serve".into(), detail: "smoke".into() }];
         for (i, &l) in latencies.iter().enumerate() {
-            events.push(Event::RequestDone { request: i as u64, sessions: 1, latency_us: l });
+            events.push(Event::RequestDone {
+                request: i as u64,
+                sessions: 1,
+                latency_us: l,
+                model: model.to_string(),
+            });
         }
         events
     }
@@ -490,18 +634,80 @@ mod tests {
                 lr: 0.01,
                 wall_ms: 3,
             },
-            Event::RequestDone { request: 0, sessions: 2, latency_us: 750 },
+            Event::RequestDone {
+                request: 0,
+                sessions: 2,
+                latency_us: 750,
+                model: "fraud@1".into(),
+            },
         ];
         let text = jsonl_for(&events);
         let s = RunSummary::from_lines(text.lines()).unwrap();
         assert_eq!(s.events, 5);
         assert_eq!(s.stages["corrector/simclr"].total_us, 900);
         assert_eq!(s.epochs["corrector/simclr"].len(), 1);
-        assert_eq!(s.serve.latencies_us, vec![750]);
+        assert_eq!(s.serve["fraud@1"].latencies_us, vec![750]);
         let rendered = s.render();
         assert!(rendered.contains("corrector"));
         assert!(rendered.contains("simclr"));
         assert!(rendered.contains("p50"));
+        assert!(rendered.contains("[fraud@1]"), "{rendered}");
+    }
+
+    #[test]
+    fn summary_groups_serve_and_swaps_by_model() {
+        let mut events = serve_events_for("fraud@1", &[100, 200]);
+        events.extend(serve_events_for("fraud@2", &[300]).split_off(1));
+        events.push(Event::RequestExpired {
+            request: 7,
+            model: "fraud@1".into(),
+            waited_us: 9000,
+        });
+        events.push(Event::ServePanic {
+            worker: 0,
+            model: "fraud@2".into(),
+            detail: "boom".into(),
+        });
+        events.push(Event::SwapStart { model: "fraud".into(), version: 2 });
+        events.push(Event::SwapCommit { model: "fraud".into(), version: 2, prior: Some(1) });
+        events.push(Event::SwapRollback {
+            model: "fraud".into(),
+            version: 3,
+            active: Some(2),
+            reason: "canary error rate".into(),
+        });
+        let text = jsonl_for(&events);
+        let s = RunSummary::from_lines(text.lines()).unwrap();
+        assert_eq!(s.serve["fraud@1"].latencies_us, vec![100, 200]);
+        assert_eq!(s.serve["fraud@1"].deadline_exceeded, 1);
+        assert_eq!(s.serve["fraud@2"].latencies_us, vec![300]);
+        assert_eq!(s.serve["fraud@2"].panics, 1);
+        assert_eq!(s.swaps.len(), 3);
+        assert_eq!(s.swaps[2].outcome, "rollback");
+        assert_eq!(s.swaps[2].reason, "canary error rate");
+        let rendered = s.render();
+        assert!(rendered.contains("[fraud@1]"), "{rendered}");
+        assert!(rendered.contains("[fraud@2]"), "{rendered}");
+        assert!(rendered.contains("Swap timeline (3 transitions, 1 rollbacks)"), "{rendered}");
+        assert!(rendered.contains("canary error rate"), "{rendered}");
+    }
+
+    #[test]
+    fn check_snapshot_merges_per_model_series() {
+        let mut events = serve_events_for("fraud@1", &(1..=50).map(|i| i * 31).collect::<Vec<_>>());
+        events.extend(
+            serve_events_for("fraud@2", &(1..=50).map(|i| i * 53).collect::<Vec<_>>())
+                .split_off(1),
+        );
+        let registry = Arc::new(Registry::new());
+        let fold = EventFold::new(registry.clone());
+        for e in &events {
+            fold.record(e);
+        }
+        let text = jsonl_for(&events);
+        let summary = RunSummary::from_lines(text.lines()).unwrap();
+        let report = summary.check_snapshot(&registry.snapshot().to_prometheus()).unwrap();
+        assert!(report.contains("100 requests across 2 model series"), "{report}");
     }
 
     #[test]
@@ -539,7 +745,12 @@ mod tests {
         }
         // Summary sees one extra request the snapshot never counted.
         let mut all = events.clone();
-        all.push(Event::RequestDone { request: 9, sessions: 1, latency_us: 400 });
+        all.push(Event::RequestDone {
+            request: 9,
+            sessions: 1,
+            latency_us: 400,
+            model: "default".into(),
+        });
         let text = jsonl_for(&all);
         let summary = RunSummary::from_lines(text.lines()).unwrap();
         let err = summary.check_snapshot(&registry.snapshot().to_prometheus()).unwrap_err();

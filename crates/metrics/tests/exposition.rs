@@ -107,9 +107,16 @@ fn event_fold_exposition_is_deterministic_for_a_fixed_stream() {
                 request: i,
                 sessions: 1 + (i % 3) as usize,
                 latency_us: 10 * i + 1,
+                model: "default".into(),
             });
         }
-        obs.emit(Event::BatchFlushed { worker: 0, rows: 32, padded_len: 64, wall_us: 900 });
+        obs.emit(Event::BatchFlushed {
+            worker: 0,
+            rows: 32,
+            padded_len: 64,
+            wall_us: 900,
+            model: "default".into(),
+        });
     }
 
     let render = || {

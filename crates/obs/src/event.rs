@@ -206,6 +206,9 @@ pub enum Event {
         padded_len: usize,
         /// Wall-clock duration of the batched forward in microseconds.
         wall_us: u64,
+        /// Model label that scored the batch, e.g. `"default"` or
+        /// `"fraud@3"` (a registry model-id at a specific version).
+        model: String,
     },
     /// A serving request completed and its response was delivered.
     RequestDone {
@@ -215,6 +218,60 @@ pub enum Event {
         sessions: usize,
         /// Queue-to-response latency in microseconds.
         latency_us: u64,
+        /// Model label that answered the request, e.g. `"fraud@3"`.
+        model: String,
+    },
+    /// A serving request expired (its deadline passed before a worker
+    /// could score it) and was answered with a typed error instead.
+    RequestExpired {
+        /// Submission-order identifier of the request.
+        request: u64,
+        /// Model label of the engine's scorer at expiry time.
+        model: String,
+        /// Microseconds the request sat in the queue before expiring.
+        waited_us: u64,
+    },
+    /// A serving worker caught a panic from the scoring path, answered the
+    /// affected requests with a typed error, and kept running.
+    ServePanic {
+        /// Worker index that caught the panic.
+        worker: usize,
+        /// Model label the panicking batch was routed to.
+        model: String,
+        /// The panic payload, best-effort stringified.
+        detail: String,
+    },
+    /// A registry began validating a candidate version for promotion.
+    SwapStart {
+        /// Registry model id.
+        model: String,
+        /// Candidate version under validation.
+        version: u64,
+    },
+    /// A registry promoted a version to Active (the atomic hot-swap
+    /// committed).
+    SwapCommit {
+        /// Registry model id.
+        model: String,
+        /// Version now Active.
+        version: u64,
+        /// Previously Active version, if there was one.
+        prior: Option<u64>,
+    },
+    /// A candidate was rejected, a canary was rolled back, or a manual
+    /// rollback reinstated an older version — in every case the version in
+    /// `active` keeps serving.
+    SwapRollback {
+        /// Registry model id.
+        model: String,
+        /// The version that was rejected or rolled back.
+        version: u64,
+        /// Version serving after the rollback (`None` when the model has
+        /// no Active version at all, e.g. a first install failed).
+        active: Option<u64>,
+        /// Why the rollback happened (validation failure, canary
+        /// regression, injected fault, manual request, …).
+        reason: String,
     },
     /// Histogram of the label corrector's confidences `c_i`, emitted at
     /// correction time. Two-stage noise-correction methods silently degrade
@@ -301,6 +358,11 @@ impl Event {
             Event::QueueDepth { .. } => "queue_depth",
             Event::BatchFlushed { .. } => "batch_flushed",
             Event::RequestDone { .. } => "request_done",
+            Event::RequestExpired { .. } => "request_expired",
+            Event::ServePanic { .. } => "serve_panic",
+            Event::SwapStart { .. } => "swap_start",
+            Event::SwapCommit { .. } => "swap_commit",
+            Event::SwapRollback { .. } => "swap_rollback",
             Event::Confidence { .. } => "confidence",
             Event::MetricsReport { .. } => "metrics_report",
             Event::ArtifactWritten { .. } => "artifact_written",
@@ -384,15 +446,36 @@ impl Event {
             Event::QueueDepth { depth, capacity } => {
                 obj.usize("depth", *depth).usize("capacity", *capacity)
             }
-            Event::BatchFlushed { worker, rows, padded_len, wall_us } => obj
+            Event::BatchFlushed { worker, rows, padded_len, wall_us, model } => obj
                 .usize("worker", *worker)
                 .usize("rows", *rows)
                 .usize("padded_len", *padded_len)
-                .u64("wall_us", *wall_us),
-            Event::RequestDone { request, sessions, latency_us } => obj
+                .u64("wall_us", *wall_us)
+                .str("model", model),
+            Event::RequestDone { request, sessions, latency_us, model } => obj
                 .u64("request", *request)
                 .usize("sessions", *sessions)
-                .u64("latency_us", *latency_us),
+                .u64("latency_us", *latency_us)
+                .str("model", model),
+            Event::RequestExpired { request, model, waited_us } => obj
+                .u64("request", *request)
+                .str("model", model)
+                .u64("waited_us", *waited_us),
+            Event::ServePanic { worker, model, detail } => obj
+                .usize("worker", *worker)
+                .str("model", model)
+                .str("detail", detail),
+            Event::SwapStart { model, version } => {
+                obj.str("model", model).u64("version", *version)
+            }
+            Event::SwapCommit { model, version, prior } => {
+                obj.str("model", model).u64("version", *version).opt_u64("prior", *prior)
+            }
+            Event::SwapRollback { model, version, active, reason } => obj
+                .str("model", model)
+                .u64("version", *version)
+                .opt_u64("active", *active)
+                .str("reason", reason),
             Event::Confidence { stage, count, sum, buckets } => obj
                 .str("stage", stage)
                 .u64("count", *count)

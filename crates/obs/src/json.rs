@@ -115,6 +115,16 @@ impl Obj {
         }
     }
 
+    /// Adds an optional unsigned integer field (`None` → `null`).
+    pub fn opt_u64(mut self, k: &str, v: Option<u64>) -> Self {
+        self.key(k);
+        match v {
+            Some(v) => self.buf.push_str(&v.to_string()),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
     /// Adds an array of unsigned integers.
     pub fn u64_array(mut self, k: &str, vs: &[u64]) -> Self {
         self.key(k);

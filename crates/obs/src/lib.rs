@@ -249,8 +249,30 @@ mod tests {
             Event::RunFailure { model: "ULC".into(), run: 2, seed: 44, error: "boom \\ quote \"".into() },
             Event::KernelCounters { scope: "fit".into(), launches: 10, parallel_launches: 4, busy_ns: 12345 },
             Event::QueueDepth { depth: 3, capacity: 64 },
-            Event::BatchFlushed { worker: 1, rows: 32, padded_len: 12, wall_us: 480 },
-            Event::RequestDone { request: 17, sessions: 1, latency_us: 950 },
+            Event::BatchFlushed {
+                worker: 1,
+                rows: 32,
+                padded_len: 12,
+                wall_us: 480,
+                model: "default".into(),
+            },
+            Event::RequestDone {
+                request: 17,
+                sessions: 1,
+                latency_us: 950,
+                model: "fraud@3".into(),
+            },
+            Event::RequestExpired { request: 18, model: "fraud@3".into(), waited_us: 5000 },
+            Event::ServePanic { worker: 0, model: "fraud@3".into(), detail: "boom".into() },
+            Event::SwapStart { model: "fraud".into(), version: 4 },
+            Event::SwapCommit { model: "fraud".into(), version: 4, prior: Some(3) },
+            Event::SwapCommit { model: "fraud".into(), version: 1, prior: None },
+            Event::SwapRollback {
+                model: "fraud".into(),
+                version: 5,
+                active: Some(4),
+                reason: "checksum mismatch".into(),
+            },
             Event::confidence("corrector/confidence", &[0.55, 0.98, 1.0, f32::NAN]),
             Event::MetricsReport {
                 scope: "serve/64".into(),

@@ -1,0 +1,215 @@
+//! `clfd-registry`: operate a model registry root from the command line.
+//!
+//! ```text
+//! clfd-registry init       --root DIR
+//! clfd-registry train-demo --root DIR --model ID [--seed N] [--note TEXT]
+//! clfd-registry stage      --root DIR --model ID --file ARTIFACT.json [--note TEXT]
+//! clfd-registry promote    --root DIR --model ID --version N [--canary-every N]
+//! clfd-registry rollback   --root DIR --model ID
+//! clfd-registry status     --root DIR
+//! ```
+//!
+//! `train-demo` trains a smoke-preset CLFD pipeline on synthetic CERT-like
+//! data, freezes it to an inference artifact, and stages it — the fastest
+//! way to get a promotable version into a fresh root. `promote` runs the
+//! full validation gate (decode, shape check, deterministic probe scoring)
+//! before the version becomes Active; with `--canary-every N` the registry
+//! is configured for canary rollout, which matters for long-running serve
+//! processes watching the same root.
+//!
+//! Exit codes: `0` success, `1` registry/validation failure, `2` usage.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use clfd::prelude::*;
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::{DatasetKind, Session};
+use clfd_obs::Obs;
+use clfd_registry::{
+    ArtifactStore, CanaryConfig, ModelRegistry, PromotionOutcome, RegistryConfig,
+};
+use clfd_serve::InferenceArtifact;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: clfd-registry <init|train-demo|stage|promote|rollback|status> \
+         --root DIR [--model ID] [--version N] [--file F] [--seed N] \
+         [--note TEXT] [--canary-every N]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    command: String,
+    flags: BTreeMap<String, String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next()?;
+    let mut flags = BTreeMap::new();
+    while let Some(flag) = argv.next() {
+        let key = flag.strip_prefix("--")?.to_string();
+        let value = argv.next()?;
+        flags.insert(key, value);
+    }
+    Some(Args { command, flags })
+}
+
+impl Args {
+    fn get(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn get_u64(&self, key: &str) -> Result<u64, String> {
+        self.get(key)?.parse().map_err(|e| format!("--{key}: {e}"))
+    }
+
+    fn opt_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(key) {
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+            None => Ok(default),
+        }
+    }
+}
+
+/// Small deterministic probe set; activity ids 0..3 are valid for any
+/// realistically sized vocabulary.
+fn probe_set() -> Vec<Session> {
+    (0..6)
+        .map(|i| Session {
+            activities: (0..3 + i % 2).map(|j| ((i + j * 2) % 4) as u32).collect(),
+            day: (i % 7) as u32,
+        })
+        .collect()
+}
+
+fn registry_at(root: &str, canary_every: u64) -> Result<ModelRegistry, String> {
+    let store = ArtifactStore::open(root).map_err(|e| e.to_string())?;
+    let cfg = RegistryConfig {
+        probe: probe_set(),
+        canary: (canary_every > 0)
+            .then(|| CanaryConfig { every: canary_every, ..CanaryConfig::default() }),
+        ..RegistryConfig::default()
+    };
+    // Swap-lifecycle events for this invocation land next to the manifest
+    // so `clfd-report` can render the transition timeline.
+    let obs = Obs::jsonl(std::path::Path::new(root).join("RUN_registry.jsonl"))
+        .unwrap_or_else(|_| Obs::null());
+    Ok(ModelRegistry::new(store, cfg, obs))
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let root = args.get("root")?;
+    match args.command.as_str() {
+        "init" => {
+            let store = ArtifactStore::open(root).map_err(|e| e.to_string())?;
+            store.save().map_err(|e| e.to_string())?;
+            println!("initialized registry root {root}");
+            Ok(())
+        }
+        "train-demo" => {
+            let model_id = args.get("model")?;
+            let seed = args.opt_u64("seed", 17)?;
+            let note = args.flags.get("note").cloned().unwrap_or_else(|| {
+                format!("train-demo smoke preset, seed {seed}")
+            });
+            eprintln!("training smoke pipeline (seed {seed})...");
+            let split = DatasetKind::Cert.generate(Preset::Smoke, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+            let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+            let trained = TrainedClfd::builder()
+                .preset(Preset::Smoke)
+                .seed(seed)
+                .fit(&split, &noisy);
+            let artifact = InferenceArtifact::freeze(&trained).map_err(|e| e.to_string())?;
+            let registry = registry_at(root, 0)?;
+            let version = registry
+                .stage(model_id, artifact.to_json().as_bytes(), &note)
+                .map_err(|e| e.to_string())?;
+            println!("staged {model_id}@{version} ({note})");
+            Ok(())
+        }
+        "stage" => {
+            let model_id = args.get("model")?;
+            let file = args.get("file")?;
+            let note = args.flags.get("note").map(String::as_str).unwrap_or("");
+            let bytes = std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
+            let registry = registry_at(root, 0)?;
+            let version =
+                registry.stage(model_id, &bytes, note).map_err(|e| e.to_string())?;
+            println!("staged {model_id}@{version} from {file}");
+            Ok(())
+        }
+        "promote" => {
+            let model_id = args.get("model")?;
+            let version = args.get_u64("version")?;
+            let canary_every = args.opt_u64("canary-every", 0)?;
+            let registry = registry_at(root, canary_every)?;
+            // A long-running serve process resumes the current Active
+            // version so the canary (if any) has a baseline.
+            if registry.manifest_snapshot().models.iter().any(|m| m.id == model_id) {
+                let _ = registry.source_for(model_id);
+            }
+            match registry.promote(model_id, version).map_err(|e| e.to_string())? {
+                PromotionOutcome::Committed => {
+                    println!("{model_id}@{version} is now active")
+                }
+                PromotionOutcome::CanaryStarted => println!(
+                    "{model_id}@{version} entered the canary phase \
+                     (1 in {canary_every} leases)"
+                ),
+            }
+            Ok(())
+        }
+        "rollback" => {
+            let model_id = args.get("model")?;
+            let registry = registry_at(root, 0)?;
+            let _ = registry.source_for(model_id); // resume Active + previous
+            let reinstated = registry.rollback(model_id).map_err(|e| e.to_string())?;
+            println!("{model_id} rolled back; {model_id}@{reinstated} is active again");
+            Ok(())
+        }
+        "status" => {
+            let store = ArtifactStore::open(root).map_err(|e| e.to_string())?;
+            let manifest = store.manifest();
+            if manifest.models.is_empty() {
+                println!("registry {root}: no models");
+                return Ok(());
+            }
+            for model in &manifest.models {
+                println!("model {} (active: v{})", model.id, model.active);
+                for v in &model.versions {
+                    println!(
+                        "  v{:<4} {:<9} {:>9} bytes  {}  {}",
+                        v.version, v.state.to_string(), v.bytes, v.checksum, v.note
+                    );
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else { return usage() };
+    if args.command == "--help" || args.command == "-h" || args.command == "help" {
+        println!("clfd-registry: manage versioned inference artifacts with validated promotion");
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("clfd-registry: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

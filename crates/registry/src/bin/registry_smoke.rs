@@ -1,0 +1,210 @@
+//! `registry_smoke`: the CI gate for the zero-downtime registry.
+//!
+//! ```text
+//! registry_smoke [--root DIR] [--requests N]
+//! ```
+//!
+//! End to end, in one process: stage and promote an artifact, serve a
+//! sustained request load through an engine wired to the registry, hot-swap
+//! to a second version mid-load, then stage a corrupt candidate and prove
+//! it is rejected while serving never hiccups. The process exits non-zero
+//! if a single request fails, a response matches neither installed
+//! version, or the corrupt candidate slips through.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use clfd::prelude::*;
+use clfd::{ClfdSnapshot, CorrectorSnapshot};
+use clfd_data::session::Session;
+use clfd_nn::snapshot::Snapshot;
+use clfd_obs::{Event, MemorySink, Obs};
+use clfd_registry::{ArtifactStore, ModelRegistry, RegistryConfig, RegistryError};
+use clfd_serve::{Engine, EngineConfig, InferenceArtifact};
+use clfd_tensor::Matrix;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const VOCAB: usize = 6;
+
+/// Hand-packed corrector-shaped artifact (no training: the smoke must be
+/// fast). `variant` perturbs every weight so the two versions disagree.
+fn artifact(variant: u32) -> InferenceArtifact {
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let (dim, hid) = (cfg.embed_dim, cfg.hidden);
+    let shift = variant as f32 * 0.37;
+    let wave =
+        move |scale: f32| move |r: usize, c: usize| ((r * 13 + c * 7) as f32 * scale + shift).sin();
+    let mut encoder = Vec::new();
+    for layer in 0..cfg.lstm_layers {
+        let in_dim = if layer == 0 { dim } else { hid };
+        encoder.push(Matrix::from_fn(in_dim, 4 * hid, wave(0.11 + layer as f32)));
+        encoder.push(Matrix::from_fn(hid, 4 * hid, wave(0.07 + layer as f32)));
+        encoder.push(Matrix::from_fn(1, 4 * hid, wave(0.05)));
+    }
+    let snapshot = ClfdSnapshot {
+        embeddings: Snapshot { values: vec![Matrix::from_fn(VOCAB, dim, wave(0.19))] },
+        corrector: Some(CorrectorSnapshot {
+            encoder: Snapshot { values: encoder },
+            head: Snapshot {
+                values: vec![
+                    Matrix::from_fn(hid, hid, wave(0.03)),
+                    Matrix::zeros(1, hid),
+                    Matrix::from_fn(hid, 2, wave(0.23)),
+                    Matrix::zeros(1, 2),
+                ],
+            },
+        }),
+        detector: None,
+    };
+    InferenceArtifact::from_snapshot(&snapshot, cfg).expect("hand-packed snapshot freezes")
+}
+
+fn traffic(n: usize) -> Vec<Session> {
+    (0..n)
+        .map(|i| Session {
+            activities: (0..3 + i % 3).map(|j| ((i + j * 5) % VOCAB) as u32).collect(),
+            day: (i % 7) as u32,
+        })
+        .collect()
+}
+
+fn same(a: &Prediction, b: &Prediction) -> bool {
+    a.label == b.label
+        && a.malicious_score.to_bits() == b.malicious_score.to_bits()
+        && a.confidence.to_bits() == b.confidence.to_bits()
+}
+
+fn run(root: &str, requests: usize) -> Result<(), String> {
+    let _ = std::fs::remove_dir_all(root);
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::from_arc(sink.clone() as Arc<dyn clfd_obs::Recorder>);
+    let probe = traffic(4);
+    let cfg = RegistryConfig { probe, ..RegistryConfig::default() };
+    let registry = ModelRegistry::new(
+        ArtifactStore::open(root).map_err(|e| e.to_string())?,
+        cfg,
+        obs,
+    );
+
+    let v1_json = artifact(0).to_json();
+    let v1 = registry.stage("fraud", v1_json.as_bytes(), "smoke v1").map_err(|e| e.to_string())?;
+    registry.promote("fraud", v1).map_err(|e| format!("promote v1: {e}"))?;
+
+    let engine = Arc::new(Engine::from_source(
+        registry.source_for("fraud").map_err(|e| e.to_string())?,
+        EngineConfig { workers: 2, ..EngineConfig::default() },
+        Obs::null(),
+        None,
+    ));
+
+    // Precompute what each version predicts for every traffic session.
+    let sessions = traffic(10);
+    let refs: Vec<&Session> = sessions.iter().collect();
+    let expected_v1 = artifact(0).predict(&refs);
+    let expected_v2 = artifact(1).predict(&refs);
+
+    // Sustained load from two submitter threads while the main thread
+    // swaps versions and feeds the registry a corrupt candidate.
+    let unmatched = Arc::new(AtomicUsize::new(0));
+    let submitters: Vec<_> = (0..2)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let sessions = sessions.clone();
+            let expected_v1 = expected_v1.clone();
+            let expected_v2 = expected_v2.clone();
+            let unmatched = Arc::clone(&unmatched);
+            let per_thread = requests / 2;
+            std::thread::spawn(move || -> Result<usize, String> {
+                for i in 0..per_thread {
+                    let idx = (t + i * 2) % sessions.len();
+                    let pred = engine
+                        .submit(&sessions[idx])
+                        .map_err(|e| format!("submit failed: {e}"))?
+                        .wait()
+                        .map_err(|e| format!("request failed mid-swap: {e}"))?;
+                    if !same(&pred, &expected_v1[idx]) && !same(&pred, &expected_v2[idx]) {
+                        unmatched.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if i % 10 == 0 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                Ok(per_thread)
+            })
+        })
+        .collect();
+
+    // Hot-swap to v2 while the load runs.
+    std::thread::sleep(Duration::from_millis(10));
+    let v2_json = artifact(1).to_json();
+    let v2 = registry.stage("fraud", v2_json.as_bytes(), "smoke v2").map_err(|e| e.to_string())?;
+    registry.promote("fraud", v2).map_err(|e| format!("promote v2 under load: {e}"))?;
+
+    // A corrupt candidate must be rejected while serving continues.
+    let mut torn = v1_json.into_bytes();
+    torn.truncate(torn.len() / 3);
+    let v3 = registry.stage("fraud", &torn, "torn write").map_err(|e| e.to_string())?;
+    match registry.promote("fraud", v3) {
+        Err(RegistryError::Corrupt(_)) => {}
+        Err(other) => return Err(format!("expected Corrupt rejection, got: {other}")),
+        Ok(_) => return Err("corrupt candidate was promoted".into()),
+    }
+    if registry.active_version("fraud") != Some(v2) {
+        return Err("active version changed after the corrupt candidate".into());
+    }
+
+    let mut served = 0;
+    for handle in submitters {
+        served += handle.join().map_err(|_| "submitter panicked".to_string())??;
+    }
+    if unmatched.load(Ordering::Relaxed) != 0 {
+        return Err(format!(
+            "{} responses matched neither installed version",
+            unmatched.load(Ordering::Relaxed)
+        ));
+    }
+
+    // The lifecycle was observable: two commits, one rollback.
+    let events = sink.events();
+    let commits = events.iter().filter(|e| matches!(e, Event::SwapCommit { .. })).count();
+    let rollbacks = events.iter().filter(|e| matches!(e, Event::SwapRollback { .. })).count();
+    if commits != 2 || rollbacks != 1 {
+        return Err(format!("expected 2 commits + 1 rollback, saw {commits} + {rollbacks}"));
+    }
+
+    println!(
+        "registry smoke ok: {served} requests served across a hot swap, \
+         corrupt candidate rejected, {commits} commits / {rollbacks} rollback observed"
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut root = "REGISTRY_SMOKE".to_string();
+    let mut requests = 100usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = v,
+                None => return ExitCode::from(2),
+            },
+            "--requests" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => requests = v,
+                None => return ExitCode::from(2),
+            },
+            _ => {
+                eprintln!("usage: registry_smoke [--root DIR] [--requests N]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match run(&root, requests) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("registry_smoke: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

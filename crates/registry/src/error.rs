@@ -1,0 +1,117 @@
+//! Typed registry failures.
+
+use std::fmt;
+
+/// Everything that can go wrong between staging an artifact file and
+/// serving it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Filesystem trouble (read, write, rename, create-dir). Transient by
+    /// assumption: loads are retried with backoff before giving up.
+    Io(String),
+    /// The artifact file's bytes do not match the checksum recorded when
+    /// it was staged — disk corruption or a torn write, detected *before*
+    /// attempting a decode.
+    ChecksumMismatch {
+        /// The model the file belongs to.
+        model: String,
+        /// The candidate version.
+        version: u64,
+    },
+    /// The artifact file failed to decode or validate (truncated JSON,
+    /// shape-inconsistent matrices). Permanent: retries cannot help.
+    Corrupt(String),
+    /// A promotion gate rejected the candidate; the reason names the gate.
+    Rejected {
+        /// The model whose candidate was rejected.
+        model: String,
+        /// The rejected candidate version.
+        version: u64,
+        /// Which gate failed and why.
+        reason: String,
+    },
+    /// The scoring or commit path panicked mid-swap; the previous active
+    /// version is still serving.
+    SwapPanicked {
+        /// The model whose swap panicked.
+        model: String,
+        /// The candidate version that never landed.
+        version: u64,
+        /// Best-effort panic payload.
+        detail: String,
+    },
+    /// The manifest does not know this model id.
+    UnknownModel(String),
+    /// The manifest knows the model but not this version.
+    UnknownVersion {
+        /// The model that was found.
+        model: String,
+        /// The version that was not.
+        version: u64,
+    },
+    /// A lifecycle operation that the version's current state forbids
+    /// (e.g. promoting a `Retired` version, rolling back with no prior).
+    InvalidState {
+        /// The model involved.
+        model: String,
+        /// What was attempted and why the state forbids it.
+        detail: String,
+    },
+    /// The manifest file itself failed to parse.
+    Manifest(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(msg) => write!(f, "registry I/O failure: {msg}"),
+            Self::ChecksumMismatch { model, version } => {
+                write!(f, "artifact {model}@{version} fails its recorded checksum")
+            }
+            Self::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
+            Self::Rejected { model, version, reason } => {
+                write!(f, "candidate {model}@{version} rejected: {reason}")
+            }
+            Self::SwapPanicked { model, version, detail } => {
+                write!(f, "swap of {model}@{version} panicked: {detail}")
+            }
+            Self::UnknownModel(model) => write!(f, "unknown model {model:?}"),
+            Self::UnknownVersion { model, version } => {
+                write!(f, "model {model:?} has no version {version}")
+            }
+            Self::InvalidState { model, detail } => {
+                write!(f, "invalid lifecycle operation on {model:?}: {detail}")
+            }
+            Self::Manifest(msg) => write!(f, "malformed manifest: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl RegistryError {
+    /// Whether retrying the same operation can plausibly succeed
+    /// (I/O hiccups), as opposed to deterministic rejections (corruption,
+    /// failed gates) where retrying only burns time.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::Io(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = RegistryError::Rejected {
+            model: "fraud".into(),
+            version: 3,
+            reason: "probe accuracy dropped".into(),
+        };
+        assert!(e.to_string().contains("fraud@3"));
+        assert!(e.to_string().contains("probe accuracy"));
+        assert!(RegistryError::Io("disk".into()).is_transient());
+        assert!(!RegistryError::Corrupt("bad json".into()).is_transient());
+    }
+}

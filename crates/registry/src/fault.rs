@@ -1,0 +1,179 @@
+//! Deterministic fault injection for the serve/registry path.
+//!
+//! Mirrors the trainer-side `clfd_nn::fault` idiom: a [`ServeFaultPlan`]
+//! built up-front names which *operation index* each fault fires at, and a
+//! [`ServeFaultInjector`] owns the plan plus monotonically increasing
+//! operation counters, recording every fault it actually fired so tests can
+//! assert the injection happened. Loads and swaps count independently: the
+//! third load and the third swap are different operations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One injectable failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// Flip one byte of the artifact's bytes after the checksum is taken,
+    /// simulating in-memory/decode-path corruption that checksums cannot
+    /// catch.
+    CorruptByte {
+        /// Byte offset to damage (clamped to the buffer).
+        offset: usize,
+    },
+    /// Keep only the first `keep` bytes of the artifact, simulating a torn
+    /// or truncated read.
+    Truncate {
+        /// Number of leading bytes to keep.
+        keep: usize,
+    },
+    /// Sleep this long inside the load, simulating a slow disk or cold
+    /// cache. The load still succeeds.
+    SlowLoad {
+        /// Milliseconds to stall.
+        ms: u64,
+    },
+    /// Fail the load with a transient I/O error — the retry/backoff path's
+    /// food.
+    FailLoad,
+    /// Panic inside the commit step, after validation passed but before
+    /// the new version lands.
+    PanicMidSwap,
+}
+
+/// Which operation stream a fault attaches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOp {
+    /// Reading + decoding an artifact file (each retry attempt counts).
+    Load,
+    /// Committing a validated candidate into the active slot.
+    Swap,
+}
+
+/// A record of a fault that actually fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiredFault {
+    /// Which stream it fired on.
+    pub op: ServeOp,
+    /// The operation index it fired at (0-based within its stream).
+    pub index: u64,
+    /// What was injected.
+    pub fault: ServeFault,
+}
+
+/// A schedule of faults keyed by operation index.
+#[derive(Debug, Clone, Default)]
+pub struct ServeFaultPlan {
+    loads: Vec<(u64, ServeFault)>,
+    swaps: Vec<(u64, ServeFault)>,
+}
+
+impl ServeFaultPlan {
+    /// An empty plan: no faults fire.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Injects `fault` at the `index`-th load operation (0-based). A later
+    /// registration for the same index replaces the earlier one.
+    pub fn load_at(mut self, index: u64, fault: ServeFault) -> Self {
+        self.loads.retain(|(i, _)| *i != index);
+        self.loads.push((index, fault));
+        self
+    }
+
+    /// Injects `fault` at the `index`-th swap operation (0-based). A later
+    /// registration for the same index replaces the earlier one.
+    pub fn swap_at(mut self, index: u64, fault: ServeFault) -> Self {
+        self.swaps.retain(|(i, _)| *i != index);
+        self.swaps.push((index, fault));
+        self
+    }
+
+    fn lookup(&self, op: ServeOp, index: u64) -> Option<ServeFault> {
+        let table = match op {
+            ServeOp::Load => &self.loads,
+            ServeOp::Swap => &self.swaps,
+        };
+        table.iter().find(|(i, _)| *i == index).map(|(_, f)| *f)
+    }
+}
+
+/// Owns a [`ServeFaultPlan`] and the live operation counters.
+#[derive(Debug, Default)]
+pub struct ServeFaultInjector {
+    plan: ServeFaultPlan,
+    loads: AtomicU64,
+    swaps: AtomicU64,
+    fired: Mutex<Vec<FiredFault>>,
+}
+
+impl ServeFaultInjector {
+    /// Wraps a plan with zeroed counters.
+    pub fn new(plan: ServeFaultPlan) -> Self {
+        Self { plan, ..Self::default() }
+    }
+
+    /// Advances the counter for `op` and returns the fault scheduled at
+    /// the *previous* count, if any, recording it as fired.
+    ///
+    /// `SlowLoad` is applied here directly (the sleep happens inside this
+    /// call); all other faults are returned for the caller to act on,
+    /// because only the caller knows how to corrupt its buffer or panic at
+    /// the right spot.
+    pub fn next(&self, op: ServeOp) -> Option<ServeFault> {
+        let counter = match op {
+            ServeOp::Load => &self.loads,
+            ServeOp::Swap => &self.swaps,
+        };
+        let index = counter.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.lookup(op, index)?;
+        self.fired
+            .lock()
+            .expect("fault record lock")
+            .push(FiredFault { op, index, fault });
+        if let ServeFault::SlowLoad { ms } = fault {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        Some(fault)
+    }
+
+    /// Every fault that has fired so far, in firing order.
+    pub fn fired(&self) -> Vec<FiredFault> {
+        self.fired.lock().expect("fault record lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_swap_streams_count_independently() {
+        let plan = ServeFaultPlan::new()
+            .load_at(1, ServeFault::FailLoad)
+            .swap_at(0, ServeFault::PanicMidSwap);
+        let inj = ServeFaultInjector::new(plan);
+        assert_eq!(inj.next(ServeOp::Load), None); // load #0
+        assert_eq!(inj.next(ServeOp::Swap), Some(ServeFault::PanicMidSwap)); // swap #0
+        assert_eq!(inj.next(ServeOp::Load), Some(ServeFault::FailLoad)); // load #1
+        assert_eq!(inj.next(ServeOp::Load), None); // load #2
+        let fired = inj.fired();
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0].op, ServeOp::Swap);
+        assert_eq!(fired[1], FiredFault {
+            op: ServeOp::Load,
+            index: 1,
+            fault: ServeFault::FailLoad,
+        });
+    }
+
+    #[test]
+    fn later_registration_replaces_earlier_at_same_index() {
+        let plan = ServeFaultPlan::new()
+            .load_at(0, ServeFault::FailLoad)
+            .load_at(0, ServeFault::Truncate { keep: 8 });
+        let inj = ServeFaultInjector::new(plan);
+        assert_eq!(inj.next(ServeOp::Load), Some(ServeFault::Truncate { keep: 8 }));
+    }
+}

@@ -1,0 +1,69 @@
+//! Zero-downtime model registry for the CLFD serving stack.
+//!
+//! Production fraud scoring cannot stop for a model update, and it cannot
+//! trust one either: a retrained artifact may be truncated on disk, shape-
+//! corrupt, nondeterministic, or simply worse. This crate closes the gap
+//! between "a training run wrote `artifact.json`" and "the serving engine
+//! scores with it":
+//!
+//! - [`ArtifactStore`] — versioned artifact files under one root with an
+//!   atomically rewritten manifest: lifecycle state, FNV-1a checksums
+//!   (hex-encoded), sizes, operator notes.
+//! - [`ModelRegistry`] — the serving side. Each model gets a slot whose
+//!   Active / previous / canary versions live behind a [`Swap`] cell;
+//!   [`ModelRegistry::source_for`] yields an
+//!   [`ArtifactSource`](clfd_serve::ArtifactSource) so a
+//!   [`clfd_serve::Engine`] picks up swaps at batch granularity with zero
+//!   dropped requests.
+//! - Promotion gates — a candidate must decode and validate, score the
+//!   probe set bit-identically twice, and hold probe accuracy within the
+//!   configured budget of the Active version. Transient load failures are
+//!   retried with exponential backoff; corruption is rejected permanently.
+//! - Canary rollback — with a [`CanaryConfig`], a gated candidate serves
+//!   every N-th lease while its live error rate and latency are compared
+//!   against Active; it is committed or rolled back automatically.
+//! - [`fault`] — deterministic injection (corrupt/truncated bytes, slow or
+//!   failing loads, mid-swap panics) proving every failure leaves the last
+//!   good version serving.
+//! - [`Reloader`] — a background sweep promoting newly staged versions and
+//!   flushing canary verdicts to the manifest.
+//!
+//! Every transition emits `SwapStart` / `SwapCommit` / `SwapRollback`
+//! events ([`clfd_obs::Event`]), which `clfd-metrics` folds into
+//! `clfd_registry_swaps_total{model,outcome}`.
+//!
+//! ```no_run
+//! use clfd_registry::{ArtifactStore, ModelRegistry, RegistryConfig};
+//! use clfd_serve::{Engine, EngineConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let store = ArtifactStore::open("registry-root")?;
+//! let registry = ModelRegistry::new(store, RegistryConfig::default(), clfd_obs::Obs::null());
+//! let v = registry.stage("fraud", b"...artifact json...", "weekly retrain")?;
+//! registry.promote("fraud", v)?;
+//! let engine = Engine::from_source(
+//!     registry.source_for("fraud")?,
+//!     EngineConfig::default(),
+//!     clfd_obs::Obs::null(),
+//!     None,
+//! );
+//! # let _ = engine; Ok(()) }
+//! ```
+
+pub mod error;
+pub mod fault;
+pub mod registry;
+pub mod reloader;
+pub mod store;
+pub mod swap;
+
+pub use error::RegistryError;
+pub use fault::{FiredFault, ServeFault, ServeFaultInjector, ServeFaultPlan, ServeOp};
+pub use registry::{
+    CanaryConfig, ModelRegistry, PromotionOutcome, RegistryConfig, RegistrySource,
+};
+pub use reloader::{sync_once, Reloader, SyncReport};
+pub use store::{
+    checksum_hex, fnv1a64, ArtifactStore, Manifest, ManifestEntry, ModelManifest, VersionState,
+};
+pub use swap::Swap;

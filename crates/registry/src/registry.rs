@@ -1,0 +1,832 @@
+//! The model registry: validated promotion, canary observation, rollback.
+//!
+//! A [`ModelRegistry`] wraps an [`ArtifactStore`] with the in-memory serving
+//! side: one [`Slot`] per model holding the Active / previous / Canary
+//! versions behind a [`Swap`] cell, so a serving [`Engine`] wired through
+//! [`ModelRegistry::source_for`] picks up a promoted version at its next
+//! batch lease without dropping a single in-flight request.
+//!
+//! Promotion is gated: a candidate must decode, pass shape validation, score
+//! the probe set deterministically (bit-identical across two runs), and not
+//! regress probe accuracy beyond the configured budget. With a
+//! [`CanaryConfig`], a gated candidate first serves every N-th lease while
+//! the registry compares its live error rate and latency against the Active
+//! version, committing or rolling back automatically. Every transition is
+//! observable: `SwapStart` / `SwapCommit` / `SwapRollback` events feed the
+//! `clfd_registry_swaps_total{model,outcome}` metric.
+//!
+//! [`Engine`]: clfd_serve::Engine
+
+use crate::error::RegistryError;
+use crate::fault::{ServeFault, ServeFaultInjector, ServeOp};
+use crate::store::{ArtifactStore, Manifest, VersionState};
+use crate::swap::Swap;
+use clfd::Prediction;
+use clfd_data::{Label, Session};
+use clfd_obs::{Event, Obs};
+use clfd_serve::{ArtifactLease, ArtifactSource, InferenceArtifact, LeaseObserver};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// How a canary phase routes and judges traffic.
+#[derive(Debug, Clone)]
+pub struct CanaryConfig {
+    /// Route every `every`-th lease to the canary (2 = half, 10 = a tenth).
+    pub every: u64,
+    /// Observe at least this many canary-scored requests before judging.
+    pub min_requests: u64,
+    /// Roll back if the canary's error rate exceeds the Active version's by
+    /// more than this (absolute).
+    pub max_error_rate_delta: f64,
+    /// Roll back if the canary's mean per-request scoring latency exceeds
+    /// the Active version's by more than this factor.
+    pub max_latency_factor: f64,
+}
+
+impl Default for CanaryConfig {
+    fn default() -> Self {
+        Self { every: 4, min_requests: 64, max_error_rate_delta: 0.01, max_latency_factor: 3.0 }
+    }
+}
+
+/// Registry behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Sessions every candidate must score during validation.
+    pub probe: Vec<Session>,
+    /// Ground-truth labels for the probe set; when non-empty (and an Active
+    /// version exists), candidates whose probe accuracy drops more than
+    /// [`max_accuracy_drop`](Self::max_accuracy_drop) below the Active
+    /// version's are rejected.
+    pub probe_labels: Vec<Label>,
+    /// Largest tolerated probe-accuracy drop vs. the Active version.
+    pub max_accuracy_drop: f64,
+    /// Canary phase configuration; `None` promotes straight to Active.
+    pub canary: Option<CanaryConfig>,
+    /// How many times to attempt a load before giving up on transient I/O
+    /// failures (minimum 1).
+    pub load_attempts: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            probe: Vec::new(),
+            probe_labels: Vec::new(),
+            max_accuracy_drop: 0.02,
+            canary: None,
+            load_attempts: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 500,
+        }
+    }
+}
+
+/// What [`ModelRegistry::promote`] did with a gated candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromotionOutcome {
+    /// The candidate is Active; the swap committed.
+    Committed,
+    /// The candidate entered the canary phase; live traffic decides.
+    CanaryStarted,
+}
+
+/// Live scoring statistics for one served version.
+#[derive(Debug, Default)]
+struct StatsWindow {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    score_us: AtomicU64,
+}
+
+impl StatsWindow {
+    fn record(&self, score_us: u64, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.score_us.fetch_add(score_us, Ordering::Relaxed);
+    }
+
+    /// (requests, errors, total score microseconds).
+    fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.score_us.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One loaded, servable artifact version.
+#[derive(Debug)]
+struct VersionedArtifact {
+    version: u64,
+    /// `"<model>@<version>"` — the serve-side metric label.
+    label: Arc<str>,
+    artifact: Arc<InferenceArtifact>,
+    window: StatsWindow,
+}
+
+impl VersionedArtifact {
+    fn new(model: &str, version: u64, artifact: Arc<InferenceArtifact>) -> Arc<Self> {
+        Arc::new(Self {
+            version,
+            label: format!("{model}@{version}").into(),
+            artifact,
+            window: StatsWindow::default(),
+        })
+    }
+}
+
+/// The atomically swapped per-model serving state. Transitions build a new
+/// state and install it with a single [`Swap::store`], so a lease sees
+/// either entirely the old state or entirely the new one.
+#[derive(Debug, Default)]
+struct SlotState {
+    active: Option<Arc<VersionedArtifact>>,
+    previous: Option<Arc<VersionedArtifact>>,
+    canary: Option<Arc<VersionedArtifact>>,
+}
+
+/// One model's serving slot.
+#[derive(Debug)]
+struct Slot {
+    model: String,
+    state: Swap<SlotState>,
+    leases: AtomicU64,
+    /// Serializes canary verdicts so concurrent workers cannot both resolve
+    /// the same canary.
+    decision: Mutex<()>,
+}
+
+impl Slot {
+    fn new(model: &str) -> Arc<Self> {
+        Arc::new(Self {
+            model: model.to_string(),
+            state: Swap::new(Arc::new(SlotState::default())),
+            leases: AtomicU64::new(0),
+            decision: Mutex::new(()),
+        })
+    }
+}
+
+/// A manifest update owed to an observer-side canary verdict. Verdicts fire
+/// on scoring threads, which must not block on manifest I/O; they queue here
+/// and [`ModelRegistry::sync_resolutions`] applies them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Resolution {
+    CanaryPromoted { model: String, version: u64, prior: Option<u64> },
+    CanaryRejected { model: String, version: u64 },
+}
+
+struct RegistryInner {
+    store: Mutex<ArtifactStore>,
+    cfg: RegistryConfig,
+    obs: Obs,
+    slots: RwLock<BTreeMap<String, Arc<Slot>>>,
+    resolutions: Arc<Mutex<Vec<Resolution>>>,
+    faults: Option<Arc<ServeFaultInjector>>,
+}
+
+/// See the [module docs](self).
+#[derive(Clone)]
+pub struct ModelRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry").finish_non_exhaustive()
+    }
+}
+
+/// Judges finished canary windows and accumulates per-version stats; one is
+/// attached to every lease a [`RegistrySource`] hands out.
+struct SlotObserver {
+    slot: Arc<Slot>,
+    obs: Obs,
+    canary: Option<CanaryConfig>,
+    resolutions: Arc<Mutex<Vec<Resolution>>>,
+}
+
+impl SlotObserver {
+    /// Applies a canary verdict if the observation window is full. Runs
+    /// under the slot's decision lock so only one worker resolves.
+    fn maybe_resolve(&self) {
+        let Some(cfg) = &self.canary else { return };
+        let _guard = self.slot.decision.lock().expect("canary decision lock");
+        let state = self.slot.state.load();
+        let Some(canary) = state.canary.as_ref() else { return };
+        let (c_req, c_err, c_us) = canary.window.snapshot();
+        if c_req < cfg.min_requests {
+            return;
+        }
+        let c_err_rate = c_err as f64 / c_req as f64;
+        let c_mean_us = c_us as f64 / c_req as f64;
+        let (a_err_rate, a_mean_us) = match state.active.as_ref() {
+            Some(active) => {
+                let (a_req, a_err, a_us) = active.window.snapshot();
+                if a_req > 0 {
+                    (a_err as f64 / a_req as f64, a_us as f64 / a_req as f64)
+                } else {
+                    (0.0, 0.0)
+                }
+            }
+            None => (0.0, 0.0),
+        };
+        let mut reason = None;
+        if c_err_rate > a_err_rate + cfg.max_error_rate_delta {
+            reason = Some(format!(
+                "canary error rate {c_err_rate:.4} exceeds active {a_err_rate:.4} + {:.4}",
+                cfg.max_error_rate_delta
+            ));
+        } else if a_mean_us > 0.0 && c_mean_us > a_mean_us * cfg.max_latency_factor {
+            reason = Some(format!(
+                "canary mean latency {c_mean_us:.0}us exceeds {:.1}x active {a_mean_us:.0}us",
+                cfg.max_latency_factor
+            ));
+        }
+        let model = self.slot.model.clone();
+        let version = canary.version;
+        let prior = state.active.as_ref().map(|a| a.version);
+        match reason {
+            Some(reason) => {
+                // Regressed: drop the canary, Active keeps serving.
+                self.slot.state.store(Arc::new(SlotState {
+                    active: state.active.clone(),
+                    previous: state.previous.clone(),
+                    canary: None,
+                }));
+                self.obs.emit(Event::SwapRollback {
+                    model: model.clone(),
+                    version,
+                    active: prior,
+                    reason,
+                });
+                self.push(Resolution::CanaryRejected { model, version });
+            }
+            None => {
+                // Healthy: the canary becomes Active, Active becomes the
+                // rollback target.
+                self.slot.state.store(Arc::new(SlotState {
+                    active: Some(Arc::clone(canary)),
+                    previous: state.active.clone(),
+                    canary: None,
+                }));
+                self.obs.emit(Event::SwapCommit { model: model.clone(), version, prior });
+                self.push(Resolution::CanaryPromoted { model, version, prior });
+            }
+        }
+    }
+
+    fn push(&self, r: Resolution) {
+        self.resolutions.lock().expect("resolutions lock").push(r);
+    }
+}
+
+impl LeaseObserver for SlotObserver {
+    fn observe(&self, model: &str, score_us: u64, ok: bool) {
+        let state = self.slot.state.load();
+        if let Some(canary) = state.canary.as_ref() {
+            if &*canary.label == model {
+                canary.window.record(score_us, ok);
+                self.maybe_resolve();
+                return;
+            }
+        }
+        if let Some(active) = state.active.as_ref() {
+            if &*active.label == model {
+                active.window.record(score_us, ok);
+            }
+        }
+        // A retired version's stats are no longer interesting; drop them.
+    }
+}
+
+/// An [`ArtifactSource`] backed by one registry slot. Each lease routes to
+/// the canary (pseudo-randomly one in `every`, when one is live) or the
+/// Active version, and carries an observer so scoring outcomes feed the
+/// canary verdict.
+pub struct RegistrySource {
+    slot: Arc<Slot>,
+    observer: Arc<SlotObserver>,
+    canary_every: u64,
+}
+
+impl std::fmt::Debug for RegistrySource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistrySource").field("model", &self.slot.model).finish()
+    }
+}
+
+/// SplitMix64 finalizer. Canary routing hashes the lease counter instead
+/// of taking it modulo `every`: the engine leases once per drained batch,
+/// and batch cadence can phase-lock with periodic traffic patterns so a
+/// bare modulo routes the canary a biased slice of the load. Hashing
+/// decorrelates routing from batch structure while staying deterministic
+/// for a given counter value.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ArtifactSource for RegistrySource {
+    fn lease(&self) -> ArtifactLease {
+        let n = self.slot.leases.fetch_add(1, Ordering::Relaxed);
+        let state = self.slot.state.load();
+        let chosen = match state.canary.as_ref() {
+            Some(canary)
+                if self.canary_every > 0 && splitmix64(n).is_multiple_of(self.canary_every) =>
+            {
+                canary
+            }
+            _ => state.active.as_ref().unwrap_or_else(|| {
+                // Unreachable through the public API: `source_for` refuses
+                // to build a source for a model with no Active version, and
+                // no transition ever clears `active`. The serving engine
+                // catches lease panics and answers typed errors regardless.
+                panic!("model {:?} has no active version", self.slot.model)
+            }),
+        };
+        ArtifactLease::new(Arc::clone(&chosen.label), Arc::clone(&chosen.artifact))
+            .with_observer(Arc::clone(&self.observer) as Arc<dyn LeaseObserver>)
+    }
+
+    /// Submit-time validation always checks against the Active version,
+    /// never the canary: a canary with a narrower vocabulary must not
+    /// reject traffic at the engine's front door — it has to *score* (and
+    /// fail) its share of live requests for the error-rate window to see
+    /// the regression and roll it back.
+    fn validation_hint(&self) -> Option<Arc<InferenceArtifact>> {
+        self.slot.state.load().active.as_ref().map(|v| Arc::clone(&v.artifact))
+    }
+}
+
+fn predictions_identical(a: &[Prediction], b: &[Prediction]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.label == y.label
+                && x.malicious_score.to_bits() == y.malicious_score.to_bits()
+                && x.confidence.to_bits() == y.confidence.to_bits()
+        })
+}
+
+fn accuracy(preds: &[Prediction], labels: &[Label]) -> f64 {
+    if preds.is_empty() || preds.len() != labels.len() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p.label == **l).count();
+    correct as f64 / preds.len() as f64
+}
+
+impl ModelRegistry {
+    /// Wraps a store. `obs` receives every swap-lifecycle event.
+    pub fn new(store: ArtifactStore, cfg: RegistryConfig, obs: Obs) -> Self {
+        Self {
+            inner: Arc::new(RegistryInner {
+                store: Mutex::new(store),
+                cfg,
+                obs,
+                slots: RwLock::new(BTreeMap::new()),
+                resolutions: Arc::new(Mutex::new(Vec::new())),
+                faults: None,
+            }),
+        }
+    }
+
+    /// Attaches a fault injector (tests and resilience drills only). Must
+    /// be called before the registry is shared.
+    ///
+    /// # Panics
+    /// Panics if the registry has already been cloned.
+    pub fn with_faults(mut self, faults: Arc<ServeFaultInjector>) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("with_faults must run before the registry is shared")
+            .faults = Some(faults);
+        self
+    }
+
+    fn slot(&self, model: &str) -> Arc<Slot> {
+        if let Some(slot) = self.inner.slots.read().expect("slots lock").get(model) {
+            return Arc::clone(slot);
+        }
+        let mut slots = self.inner.slots.write().expect("slots lock");
+        Arc::clone(slots.entry(model.to_string()).or_insert_with(|| Slot::new(model)))
+    }
+
+    /// Stages artifact bytes as the model's next version. See
+    /// [`ArtifactStore::stage`].
+    pub fn stage(&self, model: &str, json: &[u8], note: &str) -> Result<u64, RegistryError> {
+        self.inner.store.lock().expect("store lock").stage(model, json, note)
+    }
+
+    /// Reads a version's bytes (checksum-verified), applies any injected
+    /// load faults, decodes, and validates — retrying transient failures
+    /// with exponential backoff per
+    /// [`RegistryConfig::load_attempts`]/[`RegistryConfig::backoff_base_ms`].
+    fn load_artifact(
+        &self,
+        model: &str,
+        version: u64,
+    ) -> Result<Arc<InferenceArtifact>, RegistryError> {
+        let attempts = self.inner.cfg.load_attempts.max(1);
+        let mut last = RegistryError::Io("no load attempted".into());
+        for attempt in 0..attempts {
+            match self.try_load_once(model, version) {
+                Ok(artifact) => return Ok(artifact),
+                Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                    let backoff = self
+                        .inner
+                        .cfg
+                        .backoff_base_ms
+                        .saturating_mul(1 << attempt.min(20))
+                        .min(self.inner.cfg.backoff_cap_ms);
+                    std::thread::sleep(Duration::from_millis(backoff));
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    fn try_load_once(
+        &self,
+        model: &str,
+        version: u64,
+    ) -> Result<Arc<InferenceArtifact>, RegistryError> {
+        let mut bytes =
+            self.inner.store.lock().expect("store lock").load_bytes(model, version)?;
+        if let Some(injector) = &self.inner.faults {
+            match injector.next(ServeOp::Load) {
+                Some(ServeFault::FailLoad) => {
+                    return Err(RegistryError::Io("injected transient load failure".into()))
+                }
+                Some(ServeFault::Truncate { keep }) => bytes.truncate(keep),
+                Some(ServeFault::CorruptByte { offset }) if !bytes.is_empty() => {
+                    let i = offset.min(bytes.len() - 1);
+                    bytes[i] ^= 0x3f;
+                }
+                // SlowLoad sleeps inside `next`; nothing else applies here.
+                _ => {}
+            }
+        }
+        let artifact = InferenceArtifact::from_json_bytes(&bytes)
+            .map_err(|e| RegistryError::Corrupt(format!("{model}@{version}: {e}")))?;
+        Ok(Arc::new(artifact))
+    }
+
+    /// Runs the promotion gates against a loaded candidate. Returns the
+    /// rejection reason, if any.
+    fn gate(
+        &self,
+        candidate: &InferenceArtifact,
+        active: Option<&InferenceArtifact>,
+    ) -> Option<String> {
+        let cfg = &self.inner.cfg;
+        let probe: Vec<&Session> = cfg.probe.iter().collect();
+        for (i, session) in probe.iter().enumerate() {
+            if let Err(e) = candidate.validate_session(session) {
+                return Some(format!("probe session {i} invalid for candidate: {e}"));
+            }
+        }
+        if probe.is_empty() {
+            return None;
+        }
+        let first = candidate.predict(&probe);
+        let second = candidate.predict(&probe);
+        if !predictions_identical(&first, &second) {
+            return Some("candidate probe predictions are not deterministic".into());
+        }
+        if !cfg.probe_labels.is_empty() && cfg.probe_labels.len() == probe.len() {
+            if let Some(active) = active {
+                let candidate_acc = accuracy(&first, &cfg.probe_labels);
+                let active_acc = accuracy(&active.predict(&probe), &cfg.probe_labels);
+                if active_acc - candidate_acc > cfg.max_accuracy_drop {
+                    return Some(format!(
+                        "probe accuracy {candidate_acc:.4} drops more than {:.4} below \
+                         active {active_acc:.4}",
+                        cfg.max_accuracy_drop
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Validates a staged version and promotes it: straight to Active when
+    /// the model has no Active version yet or no canary is configured,
+    /// otherwise into the canary phase where live traffic decides.
+    ///
+    /// Emits `SwapStart` before validation and `SwapCommit` /
+    /// `SwapRollback` for the outcome. Any failure — unreadable file,
+    /// corrupt bytes, failed gate, injected mid-swap panic — leaves the
+    /// previous Active version serving and marks the candidate Rejected in
+    /// the manifest.
+    ///
+    /// # Errors
+    /// Every failure is a typed [`RegistryError`]; the registry never
+    /// serves a candidate that did not pass the gates.
+    pub fn promote(&self, model: &str, version: u64) -> Result<PromotionOutcome, RegistryError> {
+        {
+            let store = self.inner.store.lock().expect("store lock");
+            let entry = store.entry(model, version)?;
+            match entry.state {
+                VersionState::Staged => {}
+                other => {
+                    return Err(RegistryError::InvalidState {
+                        model: model.to_string(),
+                        detail: format!("cannot promote version {version} from state {other}"),
+                    })
+                }
+            }
+        }
+        let slot = self.slot(model);
+        if slot.state.load().canary.is_some() {
+            return Err(RegistryError::InvalidState {
+                model: model.to_string(),
+                detail: "a canary is already in flight; resolve it first".into(),
+            });
+        }
+        self.inner.obs.emit(Event::SwapStart { model: model.to_string(), version });
+        match self.promote_inner(model, version, &slot) {
+            Ok(outcome) => Ok(outcome),
+            Err(e) => {
+                let state = slot.state.load();
+                self.inner.obs.emit(Event::SwapRollback {
+                    model: model.to_string(),
+                    version,
+                    active: state.active.as_ref().map(|a| a.version),
+                    reason: e.to_string(),
+                });
+                // Mark the candidate Rejected; best-effort (the promote
+                // error is the one worth surfacing).
+                let _ = self
+                    .inner
+                    .store
+                    .lock()
+                    .expect("store lock")
+                    .set_state(model, version, VersionState::Rejected);
+                Err(e)
+            }
+        }
+    }
+
+    fn promote_inner(
+        &self,
+        model: &str,
+        version: u64,
+        slot: &Arc<Slot>,
+    ) -> Result<PromotionOutcome, RegistryError> {
+        let artifact = self.load_artifact(model, version)?;
+        let state = slot.state.load();
+        let active_artifact = state.active.as_ref().map(|a| Arc::clone(&a.artifact));
+        if let Some(reason) = self.gate(&artifact, active_artifact.as_deref()) {
+            return Err(RegistryError::Rejected {
+                model: model.to_string(),
+                version,
+                reason,
+            });
+        }
+        let candidate = VersionedArtifact::new(model, version, artifact);
+        let canary_phase = self.inner.cfg.canary.is_some() && state.active.is_some();
+        let next = if canary_phase {
+            SlotState {
+                active: state.active.clone(),
+                previous: state.previous.clone(),
+                canary: Some(Arc::clone(&candidate)),
+            }
+        } else {
+            SlotState {
+                active: Some(Arc::clone(&candidate)),
+                previous: state.active.clone(),
+                canary: None,
+            }
+        };
+        // The single commit point. An injected (or real) panic between the
+        // fault hook and the store must leave the old state serving — the
+        // store either happened or it did not; there is no partial state.
+        let faults = self.inner.faults.clone();
+        let slot_ref = Arc::clone(slot);
+        let commit = catch_unwind(AssertUnwindSafe(move || {
+            if let Some(injector) = &faults {
+                if matches!(injector.next(ServeOp::Swap), Some(ServeFault::PanicMidSwap)) {
+                    panic!("injected mid-swap panic");
+                }
+            }
+            slot_ref.state.store(Arc::new(next));
+        }));
+        if let Err(payload) = commit {
+            return Err(RegistryError::SwapPanicked {
+                model: model.to_string(),
+                version,
+                detail: panic_detail(payload.as_ref()),
+            });
+        }
+        let prior = state.active.as_ref().map(|a| a.version);
+        let mut store = self.inner.store.lock().expect("store lock");
+        if canary_phase {
+            store.set_state(model, version, VersionState::Canary)?;
+            Ok(PromotionOutcome::CanaryStarted)
+        } else {
+            store.set_state(model, version, VersionState::Active)?;
+            if let Some(prior) = prior {
+                store.set_state(model, prior, VersionState::Retired)?;
+            }
+            store.set_active(model, version)?;
+            drop(store);
+            self.inner.obs.emit(Event::SwapCommit { model: model.to_string(), version, prior });
+            Ok(PromotionOutcome::Committed)
+        }
+    }
+
+    /// Manually reinstates the previous Active version: the in-memory
+    /// predecessor when this process performed the swap, otherwise the
+    /// manifest's most recent Retired version (a restarted process still
+    /// has a rollback target). The rolled-back version is marked Rejected
+    /// so it cannot serve again.
+    ///
+    /// # Errors
+    /// [`RegistryError::InvalidState`] when the model has no previous
+    /// version to fall back to.
+    pub fn rollback(&self, model: &str) -> Result<u64, RegistryError> {
+        let slot = self.slot(model);
+        let _guard = slot.decision.lock().expect("canary decision lock");
+        let state = slot.state.load();
+        let Some(active) = state.active.as_ref() else {
+            return Err(RegistryError::InvalidState {
+                model: model.to_string(),
+                detail: "no active version to roll back from".into(),
+            });
+        };
+        let previous = match state.previous.clone() {
+            Some(previous) => previous,
+            None => {
+                let fallback = {
+                    let store = self.inner.store.lock().expect("store lock");
+                    store
+                        .manifest()
+                        .models
+                        .iter()
+                        .find(|m| m.id == model)
+                        .and_then(|m| {
+                            m.versions
+                                .iter()
+                                .filter(|v| v.state == VersionState::Retired)
+                                .map(|v| v.version)
+                                .max()
+                        })
+                };
+                let Some(version) = fallback else {
+                    return Err(RegistryError::InvalidState {
+                        model: model.to_string(),
+                        detail: "no previous version to roll back to".into(),
+                    });
+                };
+                VersionedArtifact::new(model, version, self.load_artifact(model, version)?)
+            }
+        };
+        slot.state.store(Arc::new(SlotState {
+            active: Some(Arc::clone(&previous)),
+            previous: None,
+            canary: state.canary.clone(),
+        }));
+        let mut store = self.inner.store.lock().expect("store lock");
+        store.set_state(model, active.version, VersionState::Rejected)?;
+        store.set_state(model, previous.version, VersionState::Active)?;
+        store.set_active(model, previous.version)?;
+        drop(store);
+        self.inner.obs.emit(Event::SwapRollback {
+            model: model.to_string(),
+            version: active.version,
+            active: Some(previous.version),
+            reason: "manual rollback".into(),
+        });
+        Ok(previous.version)
+    }
+
+    /// Builds the [`ArtifactSource`] a serving engine scores through. When
+    /// the slot is empty but the manifest records an Active version (a
+    /// process restart), that version is loaded and reinstated first.
+    ///
+    /// # Errors
+    /// [`RegistryError::InvalidState`] when the model has no Active version
+    /// anywhere — promote one first.
+    pub fn source_for(&self, model: &str) -> Result<Arc<RegistrySource>, RegistryError> {
+        let slot = self.slot(model);
+        if slot.state.load().active.is_none() {
+            let manifest_active = {
+                let store = self.inner.store.lock().expect("store lock");
+                store.model_active(model)
+            };
+            match manifest_active {
+                Some(version) if version > 0 => {
+                    let artifact = self.load_artifact(model, version)?;
+                    slot.state.store(Arc::new(SlotState {
+                        active: Some(VersionedArtifact::new(model, version, artifact)),
+                        previous: None,
+                        canary: None,
+                    }));
+                }
+                _ => {
+                    return Err(RegistryError::InvalidState {
+                        model: model.to_string(),
+                        detail: "no active version; stage and promote one first".into(),
+                    })
+                }
+            }
+        }
+        let canary_every = self.inner.cfg.canary.as_ref().map_or(0, |c| c.every.max(1));
+        let observer = Arc::new(SlotObserver {
+            slot: Arc::clone(&slot),
+            obs: self.inner.obs.clone(),
+            canary: self.inner.cfg.canary.clone(),
+            resolutions: Arc::clone(&self.inner.resolutions),
+        });
+        Ok(Arc::new(RegistrySource { slot, observer, canary_every }))
+    }
+
+    /// The version currently serving non-canary traffic, if any.
+    pub fn active_version(&self, model: &str) -> Option<u64> {
+        self.slot(model).state.load().active.as_ref().map(|a| a.version)
+    }
+
+    /// The version currently in the canary phase, if any.
+    pub fn canary_version(&self, model: &str) -> Option<u64> {
+        self.slot(model).state.load().canary.as_ref().map(|c| c.version)
+    }
+
+    /// Applies queued canary verdicts to the manifest. Returns how many
+    /// were applied. Call periodically (the [`Reloader`] does) or after
+    /// draining traffic in tests.
+    ///
+    /// [`Reloader`]: crate::reloader::Reloader
+    pub fn sync_resolutions(&self) -> Result<usize, RegistryError> {
+        let drained: Vec<Resolution> = {
+            let mut q = self.inner.resolutions.lock().expect("resolutions lock");
+            std::mem::take(&mut *q)
+        };
+        let n = drained.len();
+        let mut store = self.inner.store.lock().expect("store lock");
+        for r in drained {
+            match r {
+                Resolution::CanaryPromoted { model, version, prior } => {
+                    store.set_state(&model, version, VersionState::Active)?;
+                    if let Some(prior) = prior {
+                        store.set_state(&model, prior, VersionState::Retired)?;
+                    }
+                    store.set_active(&model, version)?;
+                }
+                Resolution::CanaryRejected { model, version } => {
+                    store.set_state(&model, version, VersionState::Rejected)?;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Every (model, version) pair currently in `Staged` state, in
+    /// manifest order — the reloader's work list.
+    pub fn staged_versions(&self) -> Vec<(String, u64)> {
+        let store = self.inner.store.lock().expect("store lock");
+        let mut out = Vec::new();
+        for m in &store.manifest().models {
+            for v in &m.versions {
+                if v.state == VersionState::Staged {
+                    out.push((m.id.clone(), v.version));
+                }
+            }
+        }
+        out
+    }
+
+    /// A point-in-time copy of the manifest (CLI `status`).
+    pub fn manifest_snapshot(&self) -> Manifest {
+        self.inner.store.lock().expect("store lock").manifest().clone()
+    }
+
+    /// The registry's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,89 @@
+//! Background promotion sweep.
+//!
+//! A [`Reloader`] polls the registry: newly staged manifest versions are
+//! promoted through the full validation gate, and queued canary verdicts
+//! are flushed to the manifest. One [`sync_once`] pass is also usable
+//! standalone (tests, CLI `sync`).
+
+use crate::registry::ModelRegistry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Outcome of one [`sync_once`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Staged versions promoted (to Active or into a canary).
+    pub promoted: usize,
+    /// Staged versions whose promotion failed (now Rejected).
+    pub rejected: usize,
+    /// Canary verdicts flushed to the manifest.
+    pub resolutions: usize,
+}
+
+/// Promotes every staged version and flushes canary verdicts, once.
+/// Promotion failures are absorbed (the registry already marked the
+/// candidate Rejected and emitted `SwapRollback`); the report counts them.
+pub fn sync_once(registry: &ModelRegistry) -> SyncReport {
+    let mut report = SyncReport::default();
+    for (model, version) in registry.staged_versions() {
+        match registry.promote(&model, version) {
+            Ok(_) => report.promoted += 1,
+            Err(_) => report.rejected += 1,
+        }
+    }
+    report.resolutions = registry.sync_resolutions().unwrap_or(0);
+    report
+}
+
+/// A background thread running [`sync_once`] on an interval. Dropping the
+/// reloader stops and joins the thread.
+#[derive(Debug)]
+pub struct Reloader {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Reloader {
+    /// Starts the sweep at `poll` cadence.
+    pub fn spawn(registry: ModelRegistry, poll: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("clfd-registry-reloader".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    let _ = sync_once(&registry);
+                    // Sleep in small slices so shutdown is prompt even with
+                    // a long poll interval.
+                    let mut remaining = poll;
+                    while remaining > Duration::ZERO && !stop_flag.load(Ordering::Relaxed) {
+                        let slice = remaining.min(Duration::from_millis(25));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+            })
+            .expect("spawn reloader thread");
+        Self { stop, handle: Some(handle) }
+    }
+
+    /// Stops the sweep and joins the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reloader {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,340 @@
+//! Versioned on-disk artifact store.
+//!
+//! Layout under a root directory:
+//!
+//! ```text
+//! <root>/manifest.json                  # lifecycle state, checksums
+//! <root>/artifacts/<model>/v<N>.json    # one InferenceArtifact per version
+//! ```
+//!
+//! Every write goes through a temp-file-then-rename so a crash mid-write
+//! can never leave a half-written manifest or artifact where a reader will
+//! trust it. Artifact bytes are checksummed (FNV-1a 64) at stage time and
+//! re-verified on every load; checksums live in the manifest as *hex
+//! strings* because the vendored JSON layer round-trips numbers through
+//! `f64`, which is exact only to 2^53.
+
+use crate::error::RegistryError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Lifecycle state of one artifact version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VersionState {
+    /// Uploaded, not yet validated.
+    Staged,
+    /// Serving a slice of traffic under observation.
+    Canary,
+    /// The version all non-canary traffic scores against.
+    Active,
+    /// A former active version, kept for rollback.
+    Retired,
+    /// Failed validation or canary; never serves again.
+    Rejected,
+}
+
+impl fmt::Display for VersionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Staged => "staged",
+            Self::Canary => "canary",
+            Self::Active => "active",
+            Self::Retired => "retired",
+            Self::Rejected => "rejected",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One version's manifest row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Version number, unique and increasing within a model.
+    pub version: u64,
+    /// Where in the lifecycle this version sits.
+    pub state: VersionState,
+    /// FNV-1a 64 checksum of the artifact file, as 16 hex digits.
+    pub checksum: String,
+    /// Size of the artifact file in bytes when staged.
+    pub bytes: u64,
+    /// Free-form operator note ("retrained on week 31", ...).
+    pub note: String,
+}
+
+/// One model's manifest section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelManifest {
+    /// Model identifier (the `model` label on serve metrics).
+    pub id: String,
+    /// The currently active version, if any. 0 means none (the vendored
+    /// JSON layer handles `Option<u64>` fine; this is a plain field for
+    /// manifest readability).
+    pub active: u64,
+    /// Every version ever staged, oldest first.
+    pub versions: Vec<ManifestEntry>,
+}
+
+/// The whole registry manifest.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Every model the store knows, in stage order.
+    pub models: Vec<ModelManifest>,
+}
+
+/// FNV-1a 64-bit hash of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders a checksum the way the manifest stores it.
+pub fn checksum_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+/// A versioned artifact store rooted at one directory.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    manifest: Manifest,
+}
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> RegistryError {
+    RegistryError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// then rename over the destination.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), RegistryError> {
+    let dir = path.parent().ok_or_else(|| {
+        RegistryError::Io(format!("{} has no parent directory", path.display()))
+    })?;
+    std::fs::create_dir_all(dir).map_err(|e| io_err("create", dir, &e))?;
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| io_err("write", &tmp, &e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err("rename", &tmp, &e))
+}
+
+impl ArtifactStore {
+    /// Opens (or initializes) a store rooted at `root`. A missing manifest
+    /// means a fresh store; a present-but-unparseable one is an error, not
+    /// something to silently overwrite.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, RegistryError> {
+        let root = root.into();
+        let manifest_path = root.join("manifest.json");
+        let manifest = match std::fs::read_to_string(&manifest_path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map_err(|e| RegistryError::Manifest(e.to_string()))?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Manifest::default(),
+            Err(e) => return Err(io_err("read", &manifest_path, &e)),
+        };
+        Ok(Self { root, manifest })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Read access to the manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Where a version's artifact file lives.
+    pub fn artifact_path(&self, model: &str, version: u64) -> PathBuf {
+        self.root.join("artifacts").join(model).join(format!("v{version}.json"))
+    }
+
+    fn model(&self, model: &str) -> Result<&ModelManifest, RegistryError> {
+        self.manifest
+            .models
+            .iter()
+            .find(|m| m.id == model)
+            .ok_or_else(|| RegistryError::UnknownModel(model.to_string()))
+    }
+
+    fn model_mut(&mut self, model: &str) -> Result<&mut ModelManifest, RegistryError> {
+        self.manifest
+            .models
+            .iter_mut()
+            .find(|m| m.id == model)
+            .ok_or_else(|| RegistryError::UnknownModel(model.to_string()))
+    }
+
+    /// The manifest's recorded active version for `model`: `Some(v)` with
+    /// `v > 0` when one is active, `Some(0)` when the model exists with no
+    /// active version, `None` for an unknown model.
+    pub fn model_active(&self, model: &str) -> Option<u64> {
+        self.model(model).ok().map(|m| m.active)
+    }
+
+    /// Looks up one version's manifest row.
+    pub fn entry(&self, model: &str, version: u64) -> Result<&ManifestEntry, RegistryError> {
+        self.model(model)?
+            .versions
+            .iter()
+            .find(|v| v.version == version)
+            .ok_or(RegistryError::UnknownVersion { model: model.to_string(), version })
+    }
+
+    fn entry_mut(
+        &mut self,
+        model: &str,
+        version: u64,
+    ) -> Result<&mut ManifestEntry, RegistryError> {
+        self.model_mut(model)?
+            .versions
+            .iter_mut()
+            .find(|v| v.version == version)
+            .ok_or(RegistryError::UnknownVersion { model: model.to_string(), version })
+    }
+
+    /// Stages new artifact bytes for `model`, assigning the next version
+    /// number. The file is written atomically and its checksum recorded;
+    /// the version starts [`VersionState::Staged`]. The bytes are *not*
+    /// decoded here — validation happens at promotion, where a failure can
+    /// be attributed and the version marked rejected.
+    pub fn stage(
+        &mut self,
+        model: &str,
+        json: &[u8],
+        note: &str,
+    ) -> Result<u64, RegistryError> {
+        if self.manifest.models.iter().all(|m| m.id != model) {
+            self.manifest.models.push(ModelManifest {
+                id: model.to_string(),
+                active: 0,
+                versions: Vec::new(),
+            });
+        }
+        let next = self
+            .model(model)?
+            .versions
+            .iter()
+            .map(|v| v.version)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        atomic_write(&self.artifact_path(model, next), json)?;
+        let entry = ManifestEntry {
+            version: next,
+            state: VersionState::Staged,
+            checksum: checksum_hex(json),
+            bytes: json.len() as u64,
+            note: note.to_string(),
+        };
+        self.model_mut(model)?.versions.push(entry);
+        self.save()?;
+        Ok(next)
+    }
+
+    /// Reads a version's artifact bytes and verifies them against the
+    /// checksum recorded at stage time.
+    pub fn load_bytes(&self, model: &str, version: u64) -> Result<Vec<u8>, RegistryError> {
+        let entry = self.entry(model, version)?;
+        let expected = entry.checksum.clone();
+        let path = self.artifact_path(model, version);
+        let bytes = std::fs::read(&path).map_err(|e| io_err("read", &path, &e))?;
+        if checksum_hex(&bytes) != expected {
+            return Err(RegistryError::ChecksumMismatch {
+                model: model.to_string(),
+                version,
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Moves one version to a new lifecycle state and persists the
+    /// manifest.
+    pub fn set_state(
+        &mut self,
+        model: &str,
+        version: u64,
+        state: VersionState,
+    ) -> Result<(), RegistryError> {
+        self.entry_mut(model, version)?.state = state;
+        self.save()
+    }
+
+    /// Records which version is active for `model` (0 = none) and persists
+    /// the manifest.
+    pub fn set_active(&mut self, model: &str, version: u64) -> Result<(), RegistryError> {
+        self.model_mut(model)?.active = version;
+        self.save()
+    }
+
+    /// Persists the manifest atomically.
+    pub fn save(&self) -> Result<(), RegistryError> {
+        let text = serde_json::to_string(&self.manifest)
+            .map_err(|e| RegistryError::Manifest(e.to_string()))?;
+        atomic_write(&self.root.join("manifest.json"), text.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "clfd-registry-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn stage_load_roundtrip_and_states_persist() {
+        let root = temp_root("roundtrip");
+        let mut store = ArtifactStore::open(&root).expect("open");
+        let v1 = store.stage("fraud", b"{\"fake\":1}", "first").expect("stage");
+        let v2 = store.stage("fraud", b"{\"fake\":2}", "second").expect("stage");
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(store.load_bytes("fraud", 1).expect("load"), b"{\"fake\":1}");
+        store.set_state("fraud", 1, VersionState::Active).expect("state");
+        store.set_active("fraud", 1).expect("active");
+
+        // Reopen from disk: everything survives.
+        let reopened = ArtifactStore::open(&root).expect("reopen");
+        assert_eq!(reopened.manifest().models.len(), 1);
+        assert_eq!(reopened.manifest().models[0].active, 1);
+        assert_eq!(reopened.entry("fraud", 1).expect("entry").state, VersionState::Active);
+        assert_eq!(reopened.entry("fraud", 2).expect("entry").state, VersionState::Staged);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tampered_bytes_fail_the_checksum() {
+        let root = temp_root("tamper");
+        let mut store = ArtifactStore::open(&root).expect("open");
+        let v = store.stage("fraud", b"{\"honest\":true}", "").expect("stage");
+        let path = store.artifact_path("fraud", v);
+        std::fs::write(&path, b"{\"honest\":false}").expect("tamper");
+        let err = store.load_bytes("fraud", v).expect_err("must fail");
+        assert!(matches!(err, RegistryError::ChecksumMismatch { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unknown_ids_are_typed_errors() {
+        let root = temp_root("unknown");
+        let mut store = ArtifactStore::open(&root).expect("open");
+        assert!(matches!(
+            store.load_bytes("ghost", 1),
+            Err(RegistryError::UnknownModel(_))
+        ));
+        store.stage("fraud", b"{}", "").expect("stage");
+        assert!(matches!(
+            store.load_bytes("fraud", 9),
+            Err(RegistryError::UnknownVersion { version: 9, .. })
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,118 @@
+//! Shared fixtures for registry integration tests: hand-packed artifacts
+//! (no training, so fault sweeps stay fast), probe traffic, and temp roots.
+
+#![allow(dead_code)]
+
+use clfd::prelude::*;
+use clfd::{ClfdSnapshot, CorrectorSnapshot};
+use clfd_data::session::Session;
+use clfd_nn::snapshot::Snapshot;
+use clfd_serve::InferenceArtifact;
+use clfd_tensor::Matrix;
+use std::path::PathBuf;
+
+/// Default vocabulary of test artifacts.
+pub const VOCAB: usize = 6;
+
+/// Hand-packed corrector-shaped snapshot. `variant` perturbs every weight
+/// so two variants produce measurably different scores; `vocab` bounds the
+/// activity ids the artifact accepts.
+pub fn tiny_snapshot(variant: u32, vocab: usize) -> (ClfdSnapshot, ClfdConfig) {
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let (dim, hid) = (cfg.embed_dim, cfg.hidden);
+    let shift = variant as f32 * 0.37;
+    let wave =
+        move |scale: f32| move |r: usize, c: usize| ((r * 13 + c * 7) as f32 * scale + shift).sin();
+    let mut encoder = Vec::new();
+    for layer in 0..cfg.lstm_layers {
+        let in_dim = if layer == 0 { dim } else { hid };
+        encoder.push(Matrix::from_fn(in_dim, 4 * hid, wave(0.11 + layer as f32)));
+        encoder.push(Matrix::from_fn(hid, 4 * hid, wave(0.07 + layer as f32)));
+        encoder.push(Matrix::from_fn(1, 4 * hid, wave(0.05)));
+    }
+    let snapshot = ClfdSnapshot {
+        embeddings: Snapshot { values: vec![Matrix::from_fn(vocab, dim, wave(0.19))] },
+        corrector: Some(CorrectorSnapshot {
+            encoder: Snapshot { values: encoder },
+            head: Snapshot {
+                values: vec![
+                    Matrix::from_fn(hid, hid, wave(0.03)),
+                    Matrix::zeros(1, hid),
+                    Matrix::from_fn(hid, 2, wave(0.23)),
+                    Matrix::zeros(1, 2),
+                ],
+            },
+        }),
+        detector: None,
+    };
+    (snapshot, cfg)
+}
+
+/// A frozen artifact for `variant` over the default vocabulary.
+pub fn artifact(variant: u32) -> InferenceArtifact {
+    artifact_with_vocab(variant, VOCAB)
+}
+
+/// A frozen artifact for `variant` over a chosen vocabulary.
+pub fn artifact_with_vocab(variant: u32, vocab: usize) -> InferenceArtifact {
+    let (snapshot, cfg) = tiny_snapshot(variant, vocab);
+    InferenceArtifact::from_snapshot(&snapshot, cfg).expect("hand-packed snapshot freezes")
+}
+
+/// The artifact's stageable JSON bytes.
+pub fn artifact_json(variant: u32) -> Vec<u8> {
+    artifact(variant).to_json().into_bytes()
+}
+
+/// Like [`artifact_json`] but with a smaller vocabulary.
+pub fn artifact_json_with_vocab(variant: u32, vocab: usize) -> Vec<u8> {
+    artifact_with_vocab(variant, vocab).to_json().into_bytes()
+}
+
+/// Variant 0 with the classifier head's output columns swapped: every
+/// logit pair flips, so its predicted labels are the *opposite* of
+/// [`artifact`]`(0)`'s wherever the classes aren't exactly tied — a
+/// guaranteed accuracy regression for the promotion gate to catch.
+pub fn flipped_artifact_json() -> Vec<u8> {
+    let (mut snapshot, cfg) = tiny_snapshot(0, VOCAB);
+    let head = &mut snapshot.corrector.as_mut().expect("corrector present").head;
+    let hid = cfg.hidden;
+    let shift = 0.0f32;
+    let wave =
+        move |scale: f32| move |r: usize, c: usize| ((r * 13 + c * 7) as f32 * scale + shift).sin();
+    // Rebuild the output projection with columns 0 and 1 exchanged.
+    head.values[2] = Matrix::from_fn(hid, 2, move |r, c| wave(0.23)(r, 1 - c));
+    let artifact =
+        InferenceArtifact::from_snapshot(&snapshot, cfg).expect("flipped snapshot freezes");
+    artifact.to_json().into_bytes()
+}
+
+/// Probe sessions whose activities stay below `max_activity`.
+pub fn sessions_below(max_activity: usize, n: usize) -> Vec<Session> {
+    (0..n)
+        .map(|i| Session {
+            activities: (0..3 + i % 3).map(|j| ((i + j * 5) % max_activity) as u32).collect(),
+            day: (i % 7) as u32,
+        })
+        .collect()
+}
+
+/// Probe sessions over the full default vocabulary.
+pub fn probe_sessions(n: usize) -> Vec<Session> {
+    sessions_below(VOCAB, n)
+}
+
+/// A unique temp directory for one test's registry root.
+pub fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("clfd-registry-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bitwise prediction comparison (label + both score channels).
+pub fn same_prediction(a: &Prediction, b: &Prediction) -> bool {
+    a.label == b.label
+        && a.malicious_score.to_bits() == b.malicious_score.to_bits()
+        && a.confidence.to_bits() == b.confidence.to_bits()
+}

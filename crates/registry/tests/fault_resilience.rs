@@ -1,0 +1,443 @@
+//! Fault-injected resilience: every way a candidate can go wrong — corrupt
+//! bytes, truncated files, slow or transiently failing loads, a panic in
+//! the middle of the swap itself, a canary that regresses under live
+//! traffic — must leave the previous Active version serving, with the
+//! failure observable as a `SwapRollback` event and a Rejected manifest
+//! entry. Zero requests may be dropped on the floor.
+
+#![allow(missing_docs)]
+
+mod common;
+
+use clfd_data::session::Session;
+use clfd_obs::{Event, MemorySink, Obs};
+use clfd_registry::{
+    ArtifactStore, CanaryConfig, ModelRegistry, PromotionOutcome, RegistryConfig, RegistryError,
+    ServeFault, ServeFaultInjector, ServeFaultPlan, VersionState,
+};
+use clfd_serve::{Engine, EngineConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Fixture {
+    root: std::path::PathBuf,
+    sink: Arc<MemorySink>,
+    registry: ModelRegistry,
+}
+
+fn fixture(tag: &str, cfg: RegistryConfig, plan: Option<ServeFaultPlan>) -> Fixture {
+    let root = common::temp_root(tag);
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::from_arc(sink.clone() as Arc<dyn clfd_obs::Recorder>);
+    let store = ArtifactStore::open(&root).expect("open store");
+    let mut registry = ModelRegistry::new(store, cfg, obs);
+    if let Some(plan) = plan {
+        registry = registry.with_faults(Arc::new(ServeFaultInjector::new(plan)));
+    }
+    Fixture { root, sink, registry }
+}
+
+fn probe_cfg() -> RegistryConfig {
+    RegistryConfig { probe: common::probe_sessions(4), ..RegistryConfig::default() }
+}
+
+fn rollback_events(sink: &MemorySink) -> Vec<(u64, Option<u64>, String)> {
+    sink.events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::SwapRollback { version, active, reason, .. } => {
+                Some((*version, *active, reason.clone()))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Promotes a good v1 and returns an engine serving it plus the expected
+/// predictions for `traffic`.
+fn serve_v1(
+    fx: &Fixture,
+    traffic: &[Session],
+) -> (Engine, Vec<clfd::Prediction>) {
+    let v1 = fx.registry.stage("fraud", &common::artifact_json(0), "good v1").expect("stage v1");
+    assert_eq!(
+        fx.registry.promote("fraud", v1).expect("promote v1"),
+        PromotionOutcome::Committed
+    );
+    let engine = Engine::from_source(
+        fx.registry.source_for("fraud").expect("source"),
+        EngineConfig::deterministic(),
+        Obs::null(),
+        None,
+    );
+    let refs: Vec<&Session> = traffic.iter().collect();
+    let expected = common::artifact(0).predict(&refs);
+    (engine, expected)
+}
+
+fn assert_still_serving_v1(
+    engine: &Engine,
+    traffic: &[Session],
+    expected: &[clfd::Prediction],
+    context: &str,
+) {
+    for (i, session) in traffic.iter().enumerate() {
+        let pred = engine
+            .submit(session)
+            .unwrap_or_else(|e| panic!("{context}: submit {i} failed: {e}"))
+            .wait()
+            .unwrap_or_else(|e| panic!("{context}: request {i} failed: {e}"));
+        assert!(
+            common::same_prediction(&pred, &expected[i]),
+            "{context}: response {i} is not v1's prediction"
+        );
+    }
+}
+
+#[test]
+fn corrupt_candidate_is_rejected_while_serving_continues() {
+    let fx = fixture("corrupt-candidate", probe_cfg(), None);
+    let traffic = common::probe_sessions(8);
+    let (engine, expected) = serve_v1(&fx, &traffic);
+
+    // Stage bytes that are a valid checksum of garbage: half an artifact.
+    let mut broken = common::artifact_json(1);
+    broken.truncate(broken.len() / 2);
+    let v2 = fx.registry.stage("fraud", &broken, "torn write").expect("stage");
+    let err = fx.registry.promote("fraud", v2).expect_err("corrupt candidate must fail");
+    assert!(matches!(err, RegistryError::Corrupt(_)), "got {err}");
+
+    // The failure is observable and recorded; v1 never stopped serving.
+    let rollbacks = rollback_events(&fx.sink);
+    assert_eq!(rollbacks.len(), 1);
+    assert_eq!(rollbacks[0].0, v2);
+    assert_eq!(rollbacks[0].1, Some(1), "v1 still active after rollback");
+    let manifest = fx.registry.manifest_snapshot();
+    let entry = &manifest.models[0].versions[(v2 - 1) as usize];
+    assert_eq!(entry.state, VersionState::Rejected);
+    assert_eq!(fx.registry.active_version("fraud"), Some(1));
+    assert_still_serving_v1(&engine, &traffic, &expected, "after corrupt candidate");
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&fx.root);
+}
+
+#[test]
+fn on_disk_tampering_fails_the_checksum_and_serving_continues() {
+    let fx = fixture("tamper", probe_cfg(), None);
+    let traffic = common::probe_sessions(6);
+    let (engine, expected) = serve_v1(&fx, &traffic);
+
+    let v2 = fx.registry.stage("fraud", &common::artifact_json(1), "good bytes").expect("stage");
+    // Corrupt the file *after* staging: the checksum recorded at stage
+    // time must catch it before a decode is even attempted.
+    let path = {
+        let manifest = fx.registry.manifest_snapshot();
+        assert_eq!(manifest.models[0].id, "fraud");
+        fx.root.join("artifacts").join("fraud").join(format!("v{v2}.json"))
+    };
+    let mut bytes = std::fs::read(&path).expect("read staged file");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&path, &bytes).expect("tamper");
+
+    let err = fx.registry.promote("fraud", v2).expect_err("tampered file must fail");
+    assert!(matches!(err, RegistryError::ChecksumMismatch { .. }), "got {err}");
+    assert_eq!(fx.registry.active_version("fraud"), Some(1));
+    assert_still_serving_v1(&engine, &traffic, &expected, "after tampered candidate");
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&fx.root);
+}
+
+#[test]
+fn injected_byte_corruption_is_rejected_cleanly() {
+    let plan = ServeFaultPlan::new()
+        // Load 0 is v1's promotion: leave it alone. Load 1 is v2's.
+        .load_at(1, ServeFault::CorruptByte { offset: 200 });
+    let fx = fixture("inject-corrupt", probe_cfg(), Some(plan));
+    let traffic = common::probe_sessions(6);
+    let (engine, expected) = serve_v1(&fx, &traffic);
+
+    let v2 = fx.registry.stage("fraud", &common::artifact_json(1), "").expect("stage");
+    let err = fx.registry.promote("fraud", v2).expect_err("injected corruption must fail");
+    // A flipped byte either breaks the JSON (Corrupt) — retries cannot
+    // fix it, so the error must be permanent, not transient.
+    assert!(!err.is_transient(), "corruption must not be retried: {err}");
+    assert_eq!(fx.registry.active_version("fraud"), Some(1));
+    assert_still_serving_v1(&engine, &traffic, &expected, "after injected corruption");
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&fx.root);
+}
+
+#[test]
+fn slow_loads_are_tolerated_not_fatal() {
+    let plan = ServeFaultPlan::new().load_at(1, ServeFault::SlowLoad { ms: 150 });
+    let fx = fixture("slow-load", probe_cfg(), Some(plan));
+    let traffic = common::probe_sessions(4);
+    let (engine, expected) = serve_v1(&fx, &traffic);
+
+    let v2 = fx.registry.stage("fraud", &common::artifact_json(1), "").expect("stage");
+    let start = Instant::now();
+    fx.registry.promote("fraud", v2).expect("slow load still succeeds");
+    assert!(start.elapsed() >= Duration::from_millis(150), "the stall was injected");
+    assert_eq!(fx.registry.active_version("fraud"), Some(v2));
+
+    // The new version serves; nothing was dropped while the load crawled.
+    let refs: Vec<&Session> = traffic.iter().collect();
+    let expected_v2 = common::artifact(1).predict(&refs);
+    for (i, session) in traffic.iter().enumerate() {
+        let pred = engine.submit(session).expect("submit").wait().expect("request ok");
+        assert!(
+            common::same_prediction(&pred, &expected_v2[i])
+                || common::same_prediction(&pred, &expected[i]),
+            "response {i} matches neither version"
+        );
+    }
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&fx.root);
+}
+
+#[test]
+fn transient_load_failures_are_retried_with_backoff() {
+    let plan = ServeFaultPlan::new()
+        .load_at(1, ServeFault::FailLoad)
+        .load_at(2, ServeFault::FailLoad);
+    let root = common::temp_root("retry");
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::from_arc(sink.clone() as Arc<dyn clfd_obs::Recorder>);
+    let injector = Arc::new(ServeFaultInjector::new(plan));
+    let cfg = RegistryConfig {
+        probe: common::probe_sessions(4),
+        load_attempts: 3,
+        backoff_base_ms: 20,
+        backoff_cap_ms: 100,
+        ..RegistryConfig::default()
+    };
+    let registry = ModelRegistry::new(ArtifactStore::open(&root).expect("open"), cfg, obs)
+        .with_faults(Arc::clone(&injector));
+
+    let v1 = registry.stage("fraud", &common::artifact_json(0), "").expect("stage");
+    registry.promote("fraud", v1).expect("v1 promotes (load 0 unfaulted)");
+    let v2 = registry.stage("fraud", &common::artifact_json(1), "").expect("stage");
+    let start = Instant::now();
+    registry.promote("fraud", v2).expect("third attempt succeeds");
+    // Two failures at 20ms and 40ms backoff: at least 60ms elapsed.
+    assert!(start.elapsed() >= Duration::from_millis(60), "backoff was applied");
+    assert_eq!(registry.active_version("fraud"), Some(v2));
+    let failures = injector
+        .fired()
+        .iter()
+        .filter(|f| f.fault == ServeFault::FailLoad)
+        .count();
+    assert_eq!(failures, 2, "both injected failures were consumed by retries");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn exhausted_retries_surface_the_transient_error_and_reject() {
+    let plan = ServeFaultPlan::new()
+        .load_at(1, ServeFault::FailLoad)
+        .load_at(2, ServeFault::FailLoad);
+    let mut cfg = probe_cfg();
+    cfg.load_attempts = 2; // one fewer than the injected failures
+    cfg.backoff_base_ms = 1;
+    let fx = fixture("retry-exhausted", cfg, Some(plan));
+    let traffic = common::probe_sessions(4);
+    let (engine, expected) = serve_v1(&fx, &traffic);
+
+    let v2 = fx.registry.stage("fraud", &common::artifact_json(1), "").expect("stage");
+    let err = fx.registry.promote("fraud", v2).expect_err("retries exhausted");
+    assert!(err.is_transient(), "the surfaced error is the transient one: {err}");
+    assert_eq!(fx.registry.active_version("fraud"), Some(1));
+    assert_still_serving_v1(&engine, &traffic, &expected, "after exhausted retries");
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&fx.root);
+}
+
+#[test]
+fn mid_swap_panic_leaves_previous_active_serving() {
+    let plan = ServeFaultPlan::new().swap_at(1, ServeFault::PanicMidSwap);
+    let fx = fixture("mid-swap-panic", probe_cfg(), Some(plan));
+    let traffic = common::probe_sessions(8);
+    let (engine, expected) = serve_v1(&fx, &traffic);
+
+    let v2 = fx.registry.stage("fraud", &common::artifact_json(1), "").expect("stage");
+    let err = fx.registry.promote("fraud", v2).expect_err("swap panics");
+    assert!(matches!(err, RegistryError::SwapPanicked { .. }), "got {err}");
+    assert_eq!(fx.registry.active_version("fraud"), Some(1), "v1 survived the panic");
+    let rollbacks = rollback_events(&fx.sink);
+    assert_eq!(rollbacks.len(), 1);
+    assert!(rollbacks[0].2.contains("panic"), "reason names the panic: {}", rollbacks[0].2);
+    assert_still_serving_v1(&engine, &traffic, &expected, "after mid-swap panic");
+
+    // The registry itself is not wedged: a clean retry promotes.
+    let v3 = fx.registry.stage("fraud", &common::artifact_json(1), "retry").expect("stage");
+    fx.registry.promote("fraud", v3).expect("post-panic promotion works");
+    assert_eq!(fx.registry.active_version("fraud"), Some(v3));
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&fx.root);
+}
+
+#[test]
+fn accuracy_regression_is_rejected_by_the_probe_gate() {
+    let probe = common::probe_sessions(8);
+    let refs: Vec<&Session> = probe.iter().collect();
+    let labels: Vec<_> = common::artifact(0).predict(&refs).iter().map(|p| p.label).collect();
+    let cfg = RegistryConfig {
+        probe: probe.clone(),
+        probe_labels: labels,
+        max_accuracy_drop: 0.2,
+        ..RegistryConfig::default()
+    };
+    let fx = fixture("accuracy-gate", cfg, None);
+    let traffic = common::probe_sessions(6);
+    let (engine, expected) = serve_v1(&fx, &traffic);
+
+    // The flipped-head candidate predicts the opposite label everywhere:
+    // probe accuracy collapses and the gate must reject it.
+    let v2 = fx.registry.stage("fraud", &common::flipped_artifact_json(), "bad retrain").expect("stage");
+    let err = fx.registry.promote("fraud", v2).expect_err("regressing candidate");
+    match &err {
+        RegistryError::Rejected { reason, .. } => {
+            assert!(reason.contains("accuracy"), "gate named: {reason}")
+        }
+        other => panic!("expected Rejected, got {other}"),
+    }
+    assert_eq!(fx.registry.active_version("fraud"), Some(1));
+    assert_still_serving_v1(&engine, &traffic, &expected, "after accuracy rejection");
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&fx.root);
+}
+
+#[test]
+fn regressing_canary_rolls_back_automatically_under_live_traffic() {
+    // The canary artifact only knows activities 0..4; live traffic uses
+    // activity 5, which the Active version (vocab 6) handles fine. Every
+    // canary-scored request errors — exactly the regression the canary
+    // window is there to catch.
+    let cfg = RegistryConfig {
+        probe: common::sessions_below(4, 4),
+        canary: Some(CanaryConfig {
+            every: 3,
+            min_requests: 12,
+            max_error_rate_delta: 0.05,
+            max_latency_factor: 1000.0,
+        }),
+        ..RegistryConfig::default()
+    };
+    let fx = fixture("canary-regression", cfg, None);
+    let v1 = fx.registry.stage("fraud", &common::artifact_json(0), "").expect("stage");
+    fx.registry.promote("fraud", v1).expect("v1 direct (no active yet)");
+    let engine = Engine::from_source(
+        fx.registry.source_for("fraud").expect("source"),
+        EngineConfig::deterministic(),
+        Obs::null(),
+        None,
+    );
+
+    let narrow = common::artifact_json_with_vocab(1, 4);
+    let v2 = fx.registry.stage("fraud", &narrow, "narrow vocab").expect("stage");
+    assert_eq!(
+        fx.registry.promote("fraud", v2).expect("gates pass on the narrow probe set"),
+        PromotionOutcome::CanaryStarted
+    );
+
+    // Live traffic the canary cannot score.
+    let hot = Session { activities: vec![0, 2, 5], day: 1 };
+    let mut attempts = 0;
+    while fx.registry.canary_version("fraud").is_some() {
+        attempts += 1;
+        assert!(attempts < 5000, "canary never resolved");
+        // Submissions may be rejected or fail when routed to the canary;
+        // that failure *is* the regression signal. None may hang.
+        if let Ok(ticket) = engine.submit(&hot) {
+            let _ = ticket.wait();
+        }
+    }
+
+    let rollbacks = rollback_events(&fx.sink);
+    assert_eq!(rollbacks.len(), 1, "exactly one automatic rollback");
+    assert_eq!(rollbacks[0].0, v2);
+    assert_eq!(rollbacks[0].1, Some(v1));
+    assert!(rollbacks[0].2.contains("error rate"), "reason: {}", rollbacks[0].2);
+    assert_eq!(fx.registry.active_version("fraud"), Some(v1));
+
+    // After rollback the same traffic flows clean.
+    for _ in 0..20 {
+        engine.submit(&hot).expect("submit").wait().expect("no failures after rollback");
+    }
+
+    // The verdict reaches the manifest.
+    fx.registry.sync_resolutions().expect("sync");
+    let manifest = fx.registry.manifest_snapshot();
+    let entry = &manifest.models[0].versions[(v2 - 1) as usize];
+    assert_eq!(entry.state, VersionState::Rejected);
+    assert_eq!(manifest.models[0].active, v1);
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&fx.root);
+}
+
+#[test]
+fn healthy_canary_commits_after_its_observation_window() {
+    let cfg = RegistryConfig {
+        probe: common::probe_sessions(4),
+        canary: Some(CanaryConfig {
+            every: 3,
+            min_requests: 12,
+            max_error_rate_delta: 0.05,
+            max_latency_factor: 1000.0,
+        }),
+        ..RegistryConfig::default()
+    };
+    let fx = fixture("canary-commit", cfg, None);
+    let v1 = fx.registry.stage("fraud", &common::artifact_json(0), "").expect("stage");
+    fx.registry.promote("fraud", v1).expect("v1");
+    let engine = Engine::from_source(
+        fx.registry.source_for("fraud").expect("source"),
+        EngineConfig::deterministic(),
+        Obs::null(),
+        None,
+    );
+
+    let v2 = fx.registry.stage("fraud", &common::artifact_json(1), "").expect("stage");
+    assert_eq!(
+        fx.registry.promote("fraud", v2).expect("canary starts"),
+        PromotionOutcome::CanaryStarted
+    );
+
+    let traffic = common::probe_sessions(6);
+    let mut attempts = 0;
+    while fx.registry.canary_version("fraud").is_some() {
+        attempts += 1;
+        assert!(attempts < 5000, "canary never resolved");
+        let session = &traffic[attempts % traffic.len()];
+        engine.submit(session).expect("submit").wait().expect("healthy traffic");
+    }
+
+    assert_eq!(fx.registry.active_version("fraud"), Some(v2), "canary was promoted");
+    let commits = fx
+        .sink
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::SwapCommit { .. }))
+        .count();
+    assert_eq!(commits, 2, "v1's install and the canary's commit");
+    assert!(rollback_events(&fx.sink).is_empty());
+
+    fx.registry.sync_resolutions().expect("sync");
+    let manifest = fx.registry.manifest_snapshot();
+    assert_eq!(manifest.models[0].active, v2);
+    assert_eq!(manifest.models[0].versions[0].state, VersionState::Retired);
+    assert_eq!(manifest.models[0].versions[1].state, VersionState::Active);
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&fx.root);
+}

@@ -1,0 +1,131 @@
+//! Hot-swap under load: while four submitter threads hammer the engine,
+//! the registry swaps between two artifact variants repeatedly. The bar:
+//! **zero** failed requests, and every response bit-identical to exactly
+//! one of the two installed artifacts — never a blend, never a tear.
+
+#![allow(missing_docs)]
+
+mod common;
+
+use clfd_obs::{Event, MemorySink, Obs};
+use clfd_registry::{ArtifactStore, ModelRegistry, PromotionOutcome, RegistryConfig};
+use clfd_serve::{Engine, EngineConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn hot_swap_under_load_never_drops_or_blends_requests() {
+    const SUBMITTERS: usize = 4;
+    const SWAPS: usize = 8;
+
+    let root = common::temp_root("hot-swap");
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::from_arc(sink.clone() as Arc<dyn clfd_obs::Recorder>);
+    let cfg = RegistryConfig {
+        probe: common::probe_sessions(4),
+        ..RegistryConfig::default()
+    };
+    let registry =
+        ModelRegistry::new(ArtifactStore::open(&root).expect("open store"), cfg, obs);
+
+    // Two artifact variants; precompute what each predicts for the traffic.
+    let traffic = common::probe_sessions(12);
+    let refs: Vec<&clfd_data::session::Session> = traffic.iter().collect();
+    let expected_a = common::artifact(0).predict(&refs);
+    let expected_b = common::artifact(1).predict(&refs);
+    // The variants must actually disagree somewhere, or "matches one of
+    // the two" would be vacuous.
+    assert!(
+        expected_a.iter().zip(&expected_b).any(|(a, b)| !common::same_prediction(a, b)),
+        "test fixtures are too similar to distinguish"
+    );
+
+    let v1 = registry.stage("fraud", &common::artifact_json(0), "variant A").expect("stage");
+    assert_eq!(
+        registry.promote("fraud", v1).expect("first promote"),
+        PromotionOutcome::Committed
+    );
+
+    let engine = Arc::new(Engine::from_source(
+        registry.source_for("fraud").expect("source"),
+        EngineConfig { workers: 2, ..EngineConfig::default() },
+        Obs::null(),
+        None,
+    ));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitters: Vec<_> = (0..SUBMITTERS)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let traffic = traffic.clone();
+            std::thread::spawn(move || {
+                let mut answered: Vec<(usize, clfd::Prediction)> = Vec::new();
+                let mut i = t; // stagger the starting session per thread
+                while !stop.load(Ordering::Relaxed) {
+                    let idx = i % traffic.len();
+                    let pred = engine
+                        .submit(&traffic[idx])
+                        .expect("submit never fails under load")
+                        .wait()
+                        .expect("no request may fail during hot swaps");
+                    answered.push((idx, pred));
+                    i += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Swap back and forth between the two variants under live load. Each
+    // swap stages a fresh version (the state machine never re-activates a
+    // retired version) and promotes it straight to Active.
+    for swap in 0..SWAPS {
+        std::thread::sleep(Duration::from_millis(30));
+        let variant = ((swap + 1) % 2) as u32;
+        let note = format!("swap {swap}");
+        let v = registry
+            .stage("fraud", &common::artifact_json(variant), &note)
+            .expect("stage under load");
+        assert_eq!(
+            registry.promote("fraud", v).expect("promote under load"),
+            PromotionOutcome::Committed
+        );
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total = 0usize;
+    let mut matched_a = 0usize;
+    let mut matched_b = 0usize;
+    for handle in submitters {
+        let answered = handle.join().expect("submitter panicked");
+        assert!(!answered.is_empty(), "a submitter never got a single answer");
+        for (idx, pred) in answered {
+            total += 1;
+            if common::same_prediction(&pred, &expected_a[idx]) {
+                matched_a += 1;
+            } else if common::same_prediction(&pred, &expected_b[idx]) {
+                matched_b += 1;
+            } else {
+                panic!(
+                    "response for session {idx} matches neither installed artifact: {pred:?}"
+                );
+            }
+        }
+    }
+    // Both variants actually served: the swaps were live, not theoretical.
+    assert!(matched_a > 0, "variant A never served ({total} responses)");
+    assert!(matched_b > 0, "variant B never served ({total} responses)");
+
+    // Every promotion committed observably, and nothing rolled back.
+    let events = sink.events();
+    let commits = events.iter().filter(|e| matches!(e, Event::SwapCommit { .. })).count();
+    let rollbacks = events.iter().filter(|e| matches!(e, Event::SwapRollback { .. })).count();
+    assert_eq!(commits, SWAPS + 1, "one commit per promotion");
+    assert_eq!(rollbacks, 0, "no rollback during healthy swaps");
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,160 @@
+//! Registry lifecycle: staged versions flow to Active through `sync_once`
+//! or the background [`Reloader`], manual rollback reinstates the previous
+//! version, and a fresh registry resumes the manifest's Active version
+//! after a restart.
+
+#![allow(missing_docs)]
+
+mod common;
+
+use clfd_data::session::Session;
+use clfd_obs::{Event, MemorySink, Obs};
+use clfd_registry::{
+    sync_once, ArtifactStore, ModelRegistry, Reloader, RegistryConfig, RegistryError,
+    VersionState,
+};
+use clfd_serve::{Engine, EngineConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn registry_at(root: &std::path::Path, sink: &Arc<MemorySink>) -> ModelRegistry {
+    let obs = Obs::from_arc(Arc::clone(sink) as Arc<dyn clfd_obs::Recorder>);
+    let cfg = RegistryConfig { probe: common::probe_sessions(4), ..RegistryConfig::default() };
+    ModelRegistry::new(ArtifactStore::open(root).expect("open store"), cfg, obs)
+}
+
+#[test]
+fn sync_once_promotes_staged_and_counts_rejects() {
+    let root = common::temp_root("sync-once");
+    let sink = Arc::new(MemorySink::new());
+    let registry = registry_at(&root, &sink);
+
+    registry.stage("fraud", &common::artifact_json(0), "v1").expect("stage");
+    registry.stage("fraud", &common::artifact_json(1), "v2").expect("stage");
+    let mut torn = common::artifact_json(0);
+    torn.truncate(40);
+    registry.stage("fraud", &torn, "torn").expect("stage");
+
+    let report = sync_once(&registry);
+    assert_eq!(report.promoted, 2);
+    assert_eq!(report.rejected, 1);
+    assert_eq!(registry.active_version("fraud"), Some(2));
+    let manifest = registry.manifest_snapshot();
+    let states: Vec<_> = manifest.models[0].versions.iter().map(|v| v.state).collect();
+    assert_eq!(
+        states,
+        vec![VersionState::Retired, VersionState::Active, VersionState::Rejected]
+    );
+
+    // A second sweep finds nothing to do.
+    let again = sync_once(&registry);
+    assert_eq!((again.promoted, again.rejected, again.resolutions), (0, 0, 0));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn reloader_promotes_in_the_background() {
+    let root = common::temp_root("reloader");
+    let sink = Arc::new(MemorySink::new());
+    let registry = registry_at(&root, &sink);
+    let reloader = Reloader::spawn(registry.clone(), Duration::from_millis(10));
+
+    registry.stage("fraud", &common::artifact_json(0), "dropped off by trainer").expect("stage");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while registry.active_version("fraud").is_none() {
+        assert!(Instant::now() < deadline, "reloader never promoted the staged version");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    reloader.stop();
+    assert_eq!(registry.active_version("fraud"), Some(1));
+    assert!(sink
+        .events()
+        .iter()
+        .any(|e| matches!(e, Event::SwapCommit { version: 1, .. })));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn manual_rollback_reinstates_the_previous_version() {
+    let root = common::temp_root("manual-rollback");
+    let sink = Arc::new(MemorySink::new());
+    let registry = registry_at(&root, &sink);
+
+    // Nothing to roll back to yet.
+    let v1 = registry.stage("fraud", &common::artifact_json(0), "v1").expect("stage");
+    registry.promote("fraud", v1).expect("v1");
+    let err = registry.rollback("fraud").expect_err("no previous version");
+    assert!(matches!(err, RegistryError::InvalidState { .. }), "got {err}");
+
+    let v2 = registry.stage("fraud", &common::artifact_json(1), "v2").expect("stage");
+    registry.promote("fraud", v2).expect("v2");
+    assert_eq!(registry.active_version("fraud"), Some(v2));
+
+    let engine = Engine::from_source(
+        registry.source_for("fraud").expect("source"),
+        EngineConfig::deterministic(),
+        Obs::null(),
+        None,
+    );
+    let traffic = common::probe_sessions(6);
+    let refs: Vec<&Session> = traffic.iter().collect();
+    let expected_v1 = common::artifact(0).predict(&refs);
+
+    let reinstated = registry.rollback("fraud").expect("rollback");
+    assert_eq!(reinstated, v1);
+    assert_eq!(registry.active_version("fraud"), Some(v1));
+    // The engine picks the reinstated version up at its next batch.
+    for (i, session) in traffic.iter().enumerate() {
+        let pred = engine.submit(session).expect("submit").wait().expect("ok");
+        assert!(
+            common::same_prediction(&pred, &expected_v1[i]),
+            "response {i} is not v1's prediction after rollback"
+        );
+    }
+    let manifest = registry.manifest_snapshot();
+    assert_eq!(manifest.models[0].active, v1);
+    assert_eq!(manifest.models[0].versions[0].state, VersionState::Active);
+    assert_eq!(manifest.models[0].versions[1].state, VersionState::Rejected);
+    assert!(sink.events().iter().any(|e| matches!(
+        e,
+        Event::SwapRollback { reason, .. } if reason == "manual rollback"
+    )));
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_fresh_registry_resumes_the_manifest_active_version() {
+    let root = common::temp_root("resume");
+    let sink = Arc::new(MemorySink::new());
+    {
+        let registry = registry_at(&root, &sink);
+        let v1 = registry.stage("fraud", &common::artifact_json(0), "v1").expect("stage");
+        registry.promote("fraud", v1).expect("promote");
+    } // process "restarts"
+
+    let registry = registry_at(&root, &sink);
+    assert_eq!(registry.active_version("fraud"), None, "slot is cold before source_for");
+    let engine = Engine::from_source(
+        registry.source_for("fraud").expect("resume loads the manifest active"),
+        EngineConfig::deterministic(),
+        Obs::null(),
+        None,
+    );
+    assert_eq!(registry.active_version("fraud"), Some(1));
+    let traffic = common::probe_sessions(4);
+    let refs: Vec<&Session> = traffic.iter().collect();
+    let expected = common::artifact(0).predict(&refs);
+    for (i, session) in traffic.iter().enumerate() {
+        let pred = engine.submit(session).expect("submit").wait().expect("ok");
+        assert!(common::same_prediction(&pred, &expected[i]));
+    }
+
+    // A model with nothing promoted is a typed error, not a panic.
+    let err = registry.source_for("ghost").expect_err("unknown model");
+    assert!(matches!(err, RegistryError::InvalidState { .. }), "got {err}");
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -182,11 +182,35 @@ impl InferenceArtifact {
     }
 
     /// Structural consistency check: every matrix has the shape the config
-    /// promises.
+    /// promises, and every buffer matches its declared shape (a decoded
+    /// matrix can lie about its dimensions; kernels index on trust).
     ///
     /// # Errors
     /// Returns [`ServeError::Artifact`] naming the first inconsistency.
     pub fn validate(&self) -> Result<(), ServeError> {
+        let mut matrices: Vec<(&str, &Matrix)> = vec![("embedding table", &self.embeddings)];
+        for layer in &self.lstm {
+            matrices.push(("LSTM wx", &layer.wx));
+            matrices.push(("LSTM wh", &layer.wh));
+            matrices.push(("LSTM bias", &layer.b));
+        }
+        match &self.head {
+            ArtifactHead::Classifier { l1, l2 } => {
+                matrices.extend([
+                    ("head l1 weights", &l1.w),
+                    ("head l1 bias", &l1.b),
+                    ("head l2 weights", &l2.w),
+                    ("head l2 bias", &l2.b),
+                ]);
+            }
+            ArtifactHead::Centroids { normal, malicious } => {
+                matrices.extend([("normal centroid", normal), ("malicious centroid", malicious)]);
+            }
+        }
+        for (what, m) in matrices {
+            m.check_shape()
+                .map_err(|e| ServeError::Artifact(format!("{what}: {e}")))?;
+        }
         let bad = |what: &str, got: (usize, usize), want: (usize, usize)| {
             Err(ServeError::Artifact(format!(
                 "{what} has shape {}x{}, expected {}x{}",
@@ -370,6 +394,21 @@ impl InferenceArtifact {
         artifact.validate()?;
         Ok(artifact)
     }
+
+    /// Deserializes from raw bytes (the on-disk representation) and
+    /// validates the result. Truncated, bit-flipped, or non-UTF-8 files
+    /// all come back as typed errors — never a panic — which is what lets
+    /// a registry reject a corrupt candidate while the previous model
+    /// keeps serving.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Artifact`] on invalid UTF-8, malformed JSON,
+    /// or a structurally inconsistent artifact.
+    pub fn from_json_bytes(bytes: &[u8]) -> Result<Self, ServeError> {
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| ServeError::Artifact(format!("artifact is not UTF-8: {e}")))?;
+        Self::from_json(s)
+    }
 }
 
 impl Scorer for InferenceArtifact {
@@ -422,10 +461,9 @@ fn get(values: &[Matrix], index: usize, what: &str) -> Result<Matrix, ServeError
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tiny_artifact() -> InferenceArtifact {
+impl InferenceArtifact {
+    /// Hand-packed tiny centroid artifact for crate-internal unit tests.
+    pub(crate) fn test_artifact() -> Self {
         let cfg = ClfdConfig {
             embed_dim: 3,
             hidden: 4,
@@ -445,6 +483,15 @@ mod tests {
                 malicious: Matrix::full(1, 4, -0.2),
             },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_artifact() -> InferenceArtifact {
+        InferenceArtifact::test_artifact()
     }
 
     #[test]

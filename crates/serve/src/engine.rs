@@ -3,28 +3,53 @@
 //! Callers submit individual [`Session`]s; a pool of worker threads drains
 //! the bounded queue into batches (bucketed by padded session length so
 //! every forward pass is uniformly shaped), scores each batch through the
-//! frozen [`InferenceArtifact`], and delivers [`Prediction`]s back through
-//! per-request tickets. Queue depth, batch flushes, and per-request latency
-//! stream out as structured `clfd-obs` events.
+//! artifact leased from an [`ArtifactSource`], and delivers
+//! [`Prediction`]s back through per-request tickets. Queue depth, batch
+//! flushes, and per-request latency stream out as structured `clfd-obs`
+//! events, labeled with the model that scored them.
 //!
-//! Because every per-session output of the artifact's forward pass is
-//! independent of its batch neighbours, predictions are bit-identical to
-//! [`InferenceArtifact::predict`] (and hence to
-//! `TrainedClfd::predict_sessions`) no matter how requests happen to be
-//! batched together — the contention test pins this.
+//! # Scheduling vs. scoring
+//!
+//! The engine owns *scheduling* only: queueing, backpressure, batching,
+//! deadlines. *Scoring* is a lease lookup — each drained batch asks the
+//! source for the current artifact and scores the whole batch with it.
+//! Under a hot-swapping source (`clfd-registry`), a swap therefore lands
+//! on a batch boundary: every response is bit-identical to exactly one
+//! installed artifact, never a blend. With the default [`FixedArtifact`]
+//! source the engine behaves exactly like PR 4's single-model engine.
+//!
+//! # Resilience
+//!
+//! Three things can go wrong mid-flight and none of them wedges a caller:
+//!
+//! * a request's deadline passes in the queue — the worker answers it with
+//!   [`ServeError::DeadlineExceeded`] instead of scoring it;
+//! * the worker itself stalls (or dies) — [`Ticket::wait`] enforces the
+//!   deadline from the caller's side;
+//! * the scoring path panics — the worker catches it, answers the batch
+//!   with [`ServeError::Internal`], emits [`Event::ServePanic`], and keeps
+//!   serving subsequent requests.
+//!
+//! Source code only ever runs on worker threads: `submit` validates
+//! against the source's cheap [`ArtifactSource::validation_hint`] (or just
+//! the emptiness check, without one) instead of taking a lease, so a
+//! source that stalls or panics inside `lease` cannot wedge or crash the
+//! submitting caller.
 
 use crate::artifact::InferenceArtifact;
 use crate::error::ServeError;
+use crate::source::{ArtifactSource, FixedArtifact};
 use clfd::api::Scorer;
 use clfd::Prediction;
 use clfd_data::session::Session;
 use clfd_metrics::Registry;
 use clfd_obs::{Event, Obs};
 use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine shape: batch bound, queue bound, worker count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,13 +87,14 @@ impl EngineConfig {
     }
 }
 
-/// A pending request: one session, its submission time, and the channel its
-/// prediction travels back on.
+/// A pending request: one session, its submission time, optional deadline,
+/// and the channel its answer travels back on.
 struct Request {
     id: u64,
     session: Session,
     enqueued: Instant,
-    resp: mpsc::Sender<Prediction>,
+    deadline: Option<Instant>,
+    resp: mpsc::Sender<Result<Prediction, ServeError>>,
 }
 
 struct QueueState {
@@ -83,35 +109,53 @@ struct Shared {
     work_cv: Condvar,
     /// Signalled when queue space frees up (blocking submitters wait here).
     space_cv: Condvar,
-    artifact: InferenceArtifact,
+    /// Where each drained batch gets its artifact from.
+    source: Arc<dyn ArtifactSource>,
     cfg: EngineConfig,
     obs: Obs,
     /// Registry for periodic [`Event::MetricsReport`] snapshots; the
     /// *aggregation* itself happens in whatever `EventFold` the caller
     /// wired into `obs`.
     metrics: Option<Arc<Registry>>,
-    /// Requests completed across all workers, driving the
+    /// Requests answered across all workers, driving the
     /// [`EngineConfig::metrics_every`] flush cadence.
     done: AtomicU64,
 }
 
 /// Claim on one in-flight prediction; redeem with [`Ticket::wait`].
 pub struct Ticket {
-    rx: mpsc::Receiver<Prediction>,
+    rx: mpsc::Receiver<Result<Prediction, ServeError>>,
+    deadline: Option<Instant>,
 }
 
 impl Ticket {
-    /// Blocks until the prediction arrives.
+    /// Blocks until the answer arrives — or, when the request carried a
+    /// deadline, until the deadline passes, whichever is first. The
+    /// deadline is enforced *here*, on the caller's side, so even a
+    /// stalled or dead worker cannot wedge the caller.
     ///
     /// # Errors
-    /// Returns [`ServeError::ShuttingDown`] if the engine dropped before
-    /// answering.
+    /// [`ServeError::DeadlineExceeded`] when the deadline passed without
+    /// an answer, [`ServeError::ShuttingDown`] if the engine dropped
+    /// before answering, or whatever typed error the worker answered with
+    /// (deadline expiry in the queue, a validation failure at scoring
+    /// time, a caught panic).
     pub fn wait(self) -> Result<Prediction, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::ShuttingDown)
+        match self.deadline {
+            None => self.rx.recv().map_err(|_| ServeError::ShuttingDown)?,
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match self.rx.recv_timeout(remaining) {
+                    Ok(result) => result,
+                    Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::ShuttingDown),
+                }
+            }
+        }
     }
 }
 
-/// A batched streaming inference engine over one frozen artifact.
+/// A batched streaming inference engine over an [`ArtifactSource`].
 ///
 /// Dropping the engine drains already-queued requests, then joins the
 /// workers.
@@ -121,7 +165,8 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Spawns an engine (and its worker pool) over `artifact`.
+    /// Spawns an engine (and its worker pool) over one frozen `artifact`
+    /// (a [`FixedArtifact`] source labeled `"default"`).
     ///
     /// # Panics
     /// Panics when `cfg` asks for zero workers, a zero batch bound, or a
@@ -132,9 +177,10 @@ impl Engine {
 
     /// Like [`Engine::new`] with a `clfd-obs` sink attached: the engine
     /// emits [`Event::QueueDepth`], [`Event::BatchFlushed`], and
-    /// [`Event::RequestDone`].
+    /// [`Event::RequestDone`] (plus [`Event::RequestExpired`] /
+    /// [`Event::ServePanic`] on the failure paths).
     pub fn with_obs(artifact: InferenceArtifact, cfg: EngineConfig, obs: Obs) -> Self {
-        Self::build(artifact, cfg, obs, None)
+        Self::build(Arc::new(FixedArtifact::new(artifact)), cfg, obs, None)
     }
 
     /// Like [`Engine::with_obs`] with a metrics [`Registry`] attached:
@@ -151,11 +197,28 @@ impl Engine {
         obs: Obs,
         metrics: Arc<Registry>,
     ) -> Self {
-        Self::build(artifact, cfg, obs, Some(metrics))
+        Self::build(Arc::new(FixedArtifact::new(artifact)), cfg, obs, Some(metrics))
+    }
+
+    /// Spawns an engine over an arbitrary [`ArtifactSource`] — the
+    /// hot-swap entry point used by `clfd-registry`. Pass
+    /// `metrics: None` unless periodic [`Event::MetricsReport`] flushes
+    /// are wanted.
+    ///
+    /// # Panics
+    /// Panics when `cfg` asks for zero workers, a zero batch bound, or a
+    /// zero-capacity queue.
+    pub fn from_source(
+        source: Arc<dyn ArtifactSource>,
+        cfg: EngineConfig,
+        obs: Obs,
+        metrics: Option<Arc<Registry>>,
+    ) -> Self {
+        Self::build(source, cfg, obs, metrics)
     }
 
     fn build(
-        artifact: InferenceArtifact,
+        source: Arc<dyn ArtifactSource>,
         cfg: EngineConfig,
         obs: Obs,
         metrics: Option<Arc<Registry>>,
@@ -171,7 +234,7 @@ impl Engine {
             }),
             work_cv: Condvar::new(),
             space_cv: Condvar::new(),
-            artifact,
+            source,
             cfg,
             obs,
             metrics,
@@ -186,9 +249,11 @@ impl Engine {
         Self { shared, workers }
     }
 
-    /// The frozen artifact this engine scores with.
-    pub fn artifact(&self) -> &InferenceArtifact {
-        &self.shared.artifact
+    /// The artifact the engine would score the next batch with (a fresh
+    /// lease from the source; under a hot-swapping source this can change
+    /// between calls).
+    pub fn artifact(&self) -> Arc<InferenceArtifact> {
+        self.shared.source.lease().artifact
     }
 
     /// Non-blocking submit: validates the session and enqueues it.
@@ -198,12 +263,34 @@ impl Engine {
     /// [`ServeError::ShuttingDown`] after shutdown began, or a validation
     /// error ([`ServeError::EmptySession`] / [`ServeError::UnknownToken`]).
     pub fn try_submit(&self, session: &Session) -> Result<Ticket, ServeError> {
-        self.shared.artifact.validate_session(session)?;
+        self.try_submit_inner(session, None)
+    }
+
+    /// [`Engine::try_submit`] with a deadline: if `timeout` elapses before
+    /// a worker answers, the request is abandoned and the ticket yields
+    /// [`ServeError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    /// As [`Engine::try_submit`].
+    pub fn try_submit_with_deadline(
+        &self,
+        session: &Session,
+        timeout: Duration,
+    ) -> Result<Ticket, ServeError> {
+        self.try_submit_inner(session, Some(Instant::now() + timeout))
+    }
+
+    fn try_submit_inner(
+        &self,
+        session: &Session,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
+        self.validate_at_submit(session)?;
         let state = self.lock_state();
         if state.items.len() >= self.shared.cfg.queue_capacity {
             return Err(ServeError::Overloaded { capacity: self.shared.cfg.queue_capacity });
         }
-        self.enqueue(state, session)
+        self.enqueue(state, session, deadline)
     }
 
     /// Blocking submit: validates the session, then waits for queue space
@@ -213,7 +300,30 @@ impl Engine {
     /// [`ServeError::ShuttingDown`] after shutdown began, or a validation
     /// error ([`ServeError::EmptySession`] / [`ServeError::UnknownToken`]).
     pub fn submit(&self, session: &Session) -> Result<Ticket, ServeError> {
-        self.shared.artifact.validate_session(session)?;
+        self.submit_inner(session, None)
+    }
+
+    /// [`Engine::submit`] with a deadline: if `timeout` elapses before a
+    /// worker answers, the ticket yields
+    /// [`ServeError::DeadlineExceeded`] instead of blocking forever —
+    /// even if a worker is wedged mid-batch.
+    ///
+    /// # Errors
+    /// As [`Engine::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        session: &Session,
+        timeout: Duration,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(session, Some(Instant::now() + timeout))
+    }
+
+    fn submit_inner(
+        &self,
+        session: &Session,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
+        self.validate_at_submit(session)?;
         let mut state = self.lock_state();
         while state.items.len() >= self.shared.cfg.queue_capacity && !state.shutdown {
             state = self
@@ -222,7 +332,7 @@ impl Engine {
                 .wait(state)
                 .expect("engine state mutex poisoned");
         }
-        self.enqueue(state, session)
+        self.enqueue(state, session, deadline)
     }
 
     /// Submits every session (blocking on backpressure) and waits for all
@@ -239,6 +349,22 @@ impl Engine {
         tickets.into_iter().map(Ticket::wait).collect()
     }
 
+    /// Submit-time validation. Deliberately does **not** take a lease: a
+    /// lease runs source code, and a stalled or panicking source must
+    /// never reach the thread calling `submit` — only worker threads,
+    /// where both are contained. Sources that can produce an artifact
+    /// cheaply expose it via [`ArtifactSource::validation_hint`]; without
+    /// one, only the artifact-independent emptiness check runs here and
+    /// token validation happens at scoring time (the error then arrives
+    /// on the ticket instead).
+    fn validate_at_submit(&self, session: &Session) -> Result<(), ServeError> {
+        match self.shared.source.validation_hint() {
+            Some(artifact) => artifact.validate_session(session),
+            None if session.is_empty() => Err(ServeError::EmptySession),
+            None => Ok(()),
+        }
+    }
+
     fn lock_state(&self) -> MutexGuard<'_, QueueState> {
         self.shared.state.lock().expect("engine state mutex poisoned")
     }
@@ -247,6 +373,7 @@ impl Engine {
         &self,
         mut state: MutexGuard<'_, QueueState>,
         session: &Session,
+        deadline: Option<Instant>,
     ) -> Result<Ticket, ServeError> {
         if state.shutdown {
             return Err(ServeError::ShuttingDown);
@@ -258,11 +385,12 @@ impl Engine {
             id,
             session: session.clone(),
             enqueued: Instant::now(),
+            deadline,
             resp: tx,
         });
         drop(state);
         self.shared.work_cv.notify_one();
-        Ok(Ticket { rx })
+        Ok(Ticket { rx, deadline })
     }
 }
 
@@ -315,42 +443,132 @@ fn worker_loop(shared: &Shared, worker: usize) {
             drained
         };
         shared.space_cv.notify_all();
+        process_batch(shared, worker, drained);
+    }
+}
 
-        // Bucket by padded length so each forward pass is uniformly shaped
-        // (no wasted timesteps on mostly-padding rows). BTreeMap keeps the
-        // bucket order deterministic.
-        let mut buckets: BTreeMap<usize, Vec<Request>> = BTreeMap::new();
-        let max_len = shared.artifact.config().max_seq_len;
-        for req in drained {
-            let len = req.session.len().min(max_len);
-            buckets.entry(len).or_default().push(req);
-        }
-        for (padded_len, requests) in buckets {
-            let clock = Instant::now();
-            let sessions: Vec<&Session> = requests.iter().map(|r| &r.session).collect();
-            let predictions = shared.artifact.predict(&sessions);
-            shared.obs.emit(Event::BatchFlushed {
+/// Scores one drained batch: leases the current artifact, sheds expired
+/// and no-longer-valid requests with typed errors, scores each uniform-
+/// length bucket, and answers every ticket exactly once. A panic anywhere
+/// in the lease or scoring path is caught and turned into
+/// [`ServeError::Internal`] answers — the worker survives.
+fn process_batch(shared: &Shared, worker: usize, drained: Vec<Request>) {
+    // The lease pins one artifact for the whole batch: responses are
+    // bit-identical to that artifact, no matter what the source swaps to
+    // mid-flight.
+    let lease = match catch_unwind(AssertUnwindSafe(|| shared.source.lease())) {
+        Ok(lease) => lease,
+        Err(payload) => {
+            let detail = panic_detail(payload.as_ref());
+            shared.obs.emit(Event::ServePanic {
                 worker,
-                rows: requests.len(),
-                padded_len,
-                wall_us: elapsed_us(clock),
+                model: "unknown".to_string(),
+                detail: detail.clone(),
             });
-            for (req, prediction) in requests.into_iter().zip(predictions) {
-                shared.obs.emit(Event::RequestDone {
-                    request: req.id,
-                    sessions: 1,
-                    latency_us: elapsed_us(req.enqueued),
+            for req in drained {
+                answer(shared, req.resp, Err(ServeError::Internal(detail.clone())));
+            }
+            return;
+        }
+    };
+
+    // Bucket by padded length so each forward pass is uniformly shaped
+    // (no wasted timesteps on mostly-padding rows). BTreeMap keeps the
+    // bucket order deterministic. Expired requests and requests the
+    // leased artifact can no longer score (a swap may have shrunk the
+    // vocabulary since submit-time validation) are answered here with
+    // typed errors instead of entering the forward pass.
+    let mut buckets: BTreeMap<usize, Vec<Request>> = BTreeMap::new();
+    let max_len = lease.artifact.config().max_seq_len;
+    let now = Instant::now();
+    for req in drained {
+        if req.deadline.is_some_and(|d| now >= d) {
+            shared.obs.emit(Event::RequestExpired {
+                request: req.id,
+                model: lease.model.to_string(),
+                waited_us: elapsed_us(req.enqueued),
+            });
+            answer(shared, req.resp, Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+        if let Err(e) = lease.artifact.validate_session(&req.session) {
+            lease.observe(0, false);
+            answer(shared, req.resp, Err(e));
+            continue;
+        }
+        let len = req.session.len().min(max_len);
+        buckets.entry(len).or_default().push(req);
+    }
+
+    for (padded_len, requests) in buckets {
+        let clock = Instant::now();
+        let predictions = {
+            let sessions: Vec<&Session> = requests.iter().map(|r| &r.session).collect();
+            catch_unwind(AssertUnwindSafe(|| lease.artifact.predict(&sessions)))
+        };
+        let wall_us = elapsed_us(clock);
+        match predictions {
+            Ok(predictions) => {
+                shared.obs.emit(Event::BatchFlushed {
+                    worker,
+                    rows: requests.len(),
+                    padded_len,
+                    wall_us,
+                    model: lease.model.to_string(),
                 });
-                maybe_flush_metrics(shared);
-                // The ticket may have been dropped; that just discards the
-                // prediction.
-                let _ = req.resp.send(prediction);
+                // Scoring cost attributed per row, so canary latency
+                // accounting sees the forward pass, not queue wait.
+                let score_us = wall_us / requests.len().max(1) as u64;
+                for (req, prediction) in requests.into_iter().zip(predictions) {
+                    shared.obs.emit(Event::RequestDone {
+                        request: req.id,
+                        sessions: 1,
+                        latency_us: elapsed_us(req.enqueued),
+                        model: lease.model.to_string(),
+                    });
+                    lease.observe(score_us, true);
+                    answer(shared, req.resp, Ok(prediction));
+                }
+            }
+            Err(payload) => {
+                let detail = panic_detail(payload.as_ref());
+                shared.obs.emit(Event::ServePanic {
+                    worker,
+                    model: lease.model.to_string(),
+                    detail: detail.clone(),
+                });
+                for req in requests {
+                    lease.observe(wall_us, false);
+                    answer(shared, req.resp, Err(ServeError::Internal(detail.clone())));
+                }
             }
         }
     }
 }
 
-/// Counts one completed request and, at every `metrics_every`-th
+/// Delivers one answer (the ticket may have been dropped; that just
+/// discards it) and advances the metrics-flush cadence.
+fn answer(
+    shared: &Shared,
+    resp: mpsc::Sender<Result<Prediction, ServeError>>,
+    result: Result<Prediction, ServeError>,
+) {
+    maybe_flush_metrics(shared);
+    let _ = resp.send(result);
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Counts one answered request and, at every `metrics_every`-th
 /// completion, flushes the attached registry's JSON snapshot into the
 /// event stream. The count is global across workers, so the cadence holds
 /// at any worker count (which worker flushes is racy; the *snapshot* is

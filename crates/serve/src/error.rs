@@ -32,6 +32,17 @@ pub enum ServeError {
     /// The engine is shutting down and no longer accepts or answers
     /// requests.
     ShuttingDown,
+    /// The request's deadline passed before a prediction could be
+    /// delivered. Raised on both sides: a worker answers expired requests
+    /// with it instead of scoring them, and [`Ticket::wait`] returns it
+    /// when the deadline passes with no answer (so a stalled worker can
+    /// never wedge a caller).
+    ///
+    /// [`Ticket::wait`]: crate::Ticket::wait
+    DeadlineExceeded,
+    /// The scoring path panicked; the worker caught it, answered the
+    /// affected requests with this error, and kept serving.
+    Internal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -47,6 +58,8 @@ impl fmt::Display for ServeError {
                 write!(f, "token {token} outside the artifact vocabulary of {vocab}")
             }
             Self::ShuttingDown => write!(f, "engine is shutting down"),
+            Self::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            Self::Internal(msg) => write!(f, "scoring path panicked: {msg}"),
         }
     }
 }

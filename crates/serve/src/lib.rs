@@ -43,12 +43,27 @@
 //! worker count, because each session's output is independent of its batch
 //! neighbours.
 //!
+//! # Hot-swap and resilience
+//!
+//! The engine schedules; *where the model comes from* is an
+//! [`ArtifactSource`] ([`FixedArtifact`] by default, `clfd-registry`'s
+//! `ModelRegistry` for zero-downtime hot-swap). Each drained batch takes
+//! one [`ArtifactLease`], so a swap lands on a batch boundary and every
+//! response is bit-identical to exactly one installed artifact. Requests
+//! may carry deadlines ([`Engine::submit_with_deadline`]) enforced on both
+//! sides — workers shed expired requests with
+//! [`ServeError::DeadlineExceeded`], and [`Ticket::wait`] times out even
+//! against a wedged worker. Panics in the scoring path are caught per
+//! batch and answered as [`ServeError::Internal`]; the worker survives.
+//!
 //! [`TrainedClfd::predict_sessions`]: clfd::TrainedClfd::predict_sessions
 
 pub mod artifact;
 pub mod engine;
 pub mod error;
+pub mod source;
 
 pub use artifact::{ArtifactHead, InferenceArtifact, PackedLinear, PackedLstmLayer};
 pub use engine::{Engine, EngineConfig, Ticket};
 pub use error::ServeError;
+pub use source::{ArtifactLease, ArtifactSource, FixedArtifact, LeaseObserver, FIXED_MODEL_LABEL};

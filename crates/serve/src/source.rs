@@ -1,0 +1,174 @@
+//! Where the engine gets its model from.
+//!
+//! PR 4's engine owned one frozen [`InferenceArtifact`] forever; swapping
+//! models meant tearing the engine down. This module splits *scheduling*
+//! from *scoring*: the engine now asks an [`ArtifactSource`] for an
+//! [`ArtifactLease`] once per drained batch, scores the whole batch with
+//! that lease, and reports the outcome back through the lease's observer.
+//! A source backed by an atomic slot (the `clfd-registry` crate's
+//! `ModelRegistry`) can then hot-swap artifacts under live traffic with
+//! **batch granularity**: every batch is scored by exactly one artifact,
+//! so responses are bit-identical to one of the installed versions and
+//! never a blend.
+//!
+//! [`FixedArtifact`] is the degenerate source — one artifact, forever —
+//! and keeps the PR-4 `Engine::new(artifact, cfg)` constructors working
+//! unchanged.
+
+use crate::artifact::InferenceArtifact;
+use std::sync::Arc;
+
+/// Model label used by [`FixedArtifact`] (single-model engines) in metric
+/// labels and serve events.
+pub const FIXED_MODEL_LABEL: &str = "default";
+
+/// Feedback channel from the engine back to whatever issued a lease.
+///
+/// The engine calls [`LeaseObserver::observe`] once per scored request
+/// with the *scoring* cost (batch forward wall time divided across the
+/// batch's rows — deliberately excluding queue wait, which is shared
+/// state no single model version is responsible for) and whether the
+/// request was answered successfully. A registry's canary controller sums
+/// these into error-rate and latency windows and decides promote vs.
+/// rollback.
+pub trait LeaseObserver: Send + Sync {
+    /// Records one scored request routed through the leased artifact.
+    fn observe(&self, model: &str, score_us: u64, ok: bool);
+}
+
+/// One batch's claim on an artifact: the frozen model plus the label it
+/// is known by in telemetry (`"default"`, or a registry's `"fraud@3"`).
+#[derive(Clone)]
+pub struct ArtifactLease {
+    /// Telemetry label for the leased model (`model-id@version` for
+    /// registry-backed sources).
+    pub model: Arc<str>,
+    /// The frozen artifact to score with.
+    pub artifact: Arc<InferenceArtifact>,
+    /// Optional feedback channel (canary accounting).
+    pub observer: Option<Arc<dyn LeaseObserver>>,
+}
+
+impl ArtifactLease {
+    /// A lease with no observer.
+    pub fn new(model: impl Into<Arc<str>>, artifact: Arc<InferenceArtifact>) -> Self {
+        Self { model: model.into(), artifact, observer: None }
+    }
+
+    /// Attaches an observer (builder style).
+    pub fn with_observer(mut self, observer: Arc<dyn LeaseObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Reports one scored request back to the lease issuer (no-op without
+    /// an observer).
+    pub fn observe(&self, score_us: u64, ok: bool) {
+        if let Some(obs) = &self.observer {
+            obs.observe(&self.model, score_us, ok);
+        }
+    }
+}
+
+impl std::fmt::Debug for ArtifactLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactLease")
+            .field("model", &self.model)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Hands out artifacts to the engine, one lease per drained batch.
+///
+/// Implementations must be cheap and non-blocking: `lease` sits on the
+/// serving hot path. The engine treats a panic inside `lease` like a
+/// panic inside scoring — the affected batch is answered with a typed
+/// error and the worker keeps running — but a well-behaved source never
+/// panics.
+pub trait ArtifactSource: Send + Sync {
+    /// The artifact the next batch should be scored with.
+    fn lease(&self) -> ArtifactLease;
+
+    /// A cheap artifact to validate sessions against at *submit* time,
+    /// or `None` to defer all validation to scoring time.
+    ///
+    /// Unlike [`ArtifactSource::lease`], which only ever runs on worker
+    /// threads (where stalls and panics are contained), this runs on the
+    /// **caller's** thread inside `submit` — implementations must be
+    /// non-blocking and panic-free, or return `None`. The hint is
+    /// advisory: the worker re-validates every request against the
+    /// actually-leased artifact before scoring, so a stale hint costs a
+    /// late error on the ticket, never a wrong answer.
+    fn validation_hint(&self) -> Option<Arc<InferenceArtifact>> {
+        None
+    }
+}
+
+/// The single-model source: every lease is the same frozen artifact,
+/// labeled [`FIXED_MODEL_LABEL`].
+pub struct FixedArtifact {
+    lease: ArtifactLease,
+}
+
+impl FixedArtifact {
+    /// Wraps one artifact.
+    pub fn new(artifact: InferenceArtifact) -> Self {
+        Self { lease: ArtifactLease::new(FIXED_MODEL_LABEL, Arc::new(artifact)) }
+    }
+}
+
+impl ArtifactSource for FixedArtifact {
+    fn lease(&self) -> ArtifactLease {
+        self.lease.clone()
+    }
+
+    fn validation_hint(&self) -> Option<Arc<InferenceArtifact>> {
+        Some(Arc::clone(&self.lease.artifact))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingObserver {
+        calls: AtomicU64,
+        errors: AtomicU64,
+    }
+
+    impl LeaseObserver for CountingObserver {
+        fn observe(&self, _model: &str, _score_us: u64, ok: bool) {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            if !ok {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[test]
+    fn lease_observe_routes_to_the_observer() {
+        let artifact = crate::artifact::InferenceArtifact::test_artifact();
+        let observer = Arc::new(CountingObserver {
+            calls: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let lease = ArtifactLease::new("m@1", Arc::new(artifact))
+            .with_observer(observer.clone());
+        lease.observe(10, true);
+        lease.observe(20, false);
+        assert_eq!(observer.calls.load(Ordering::Relaxed), 2);
+        assert_eq!(observer.errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fixed_source_hands_out_the_same_artifact() {
+        let source = FixedArtifact::new(crate::artifact::InferenceArtifact::test_artifact());
+        let a = source.lease();
+        let b = source.lease();
+        assert_eq!(&*a.model, FIXED_MODEL_LABEL);
+        assert!(Arc::ptr_eq(&a.artifact, &b.artifact));
+        assert!(a.observer.is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Corruption sweep: artifact and snapshot loading must survive arbitrary
+//! file damage — truncation at any offset, bit flips, byte substitutions,
+//! non-UTF-8 injection — with a typed error or a still-valid decode, and
+//! **never** a panic. This is the load-path half of the registry's
+//! zero-downtime story: a corrupt candidate file must be rejectable while
+//! the previous model keeps serving.
+
+#![allow(missing_docs)]
+
+use clfd::prelude::*;
+use clfd::{ClfdSnapshot, CorrectorSnapshot};
+use clfd_data::session::Session;
+use clfd_nn::snapshot::Snapshot;
+use clfd_serve::InferenceArtifact;
+use clfd_tensor::Matrix;
+
+const TINY_VOCAB: usize = 6;
+
+/// Hand-packed corrector-shaped snapshot — no training, so the sweep over
+/// hundreds of mutations stays fast.
+fn tiny_snapshot() -> (ClfdSnapshot, ClfdConfig) {
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let (dim, hid) = (cfg.embed_dim, cfg.hidden);
+    let wave = |scale: f32| move |r: usize, c: usize| ((r * 13 + c * 7) as f32 * scale).sin();
+    let mut encoder = Vec::new();
+    for layer in 0..cfg.lstm_layers {
+        let in_dim = if layer == 0 { dim } else { hid };
+        encoder.push(Matrix::from_fn(in_dim, 4 * hid, wave(0.11 + layer as f32)));
+        encoder.push(Matrix::from_fn(hid, 4 * hid, wave(0.07 + layer as f32)));
+        encoder.push(Matrix::from_fn(1, 4 * hid, wave(0.05)));
+    }
+    let snapshot = ClfdSnapshot {
+        embeddings: Snapshot { values: vec![Matrix::from_fn(TINY_VOCAB, dim, wave(0.19))] },
+        corrector: Some(CorrectorSnapshot {
+            encoder: Snapshot { values: encoder },
+            head: Snapshot {
+                values: vec![
+                    Matrix::from_fn(hid, hid, wave(0.03)),
+                    Matrix::zeros(1, hid),
+                    Matrix::from_fn(hid, 2, wave(0.23)),
+                    Matrix::zeros(1, 2),
+                ],
+            },
+        }),
+        detector: None,
+    };
+    (snapshot, cfg)
+}
+
+fn tiny_artifact() -> InferenceArtifact {
+    let (snapshot, cfg) = tiny_snapshot();
+    InferenceArtifact::from_snapshot(&snapshot, cfg).expect("hand-packed snapshot freezes")
+}
+
+/// Deterministic xorshift so the sweep is reproducible without a rand
+/// dependency in the test.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Every way this sweep damages a byte buffer.
+fn mutate(bytes: &[u8], rng: &mut XorShift) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match rng.below(5) {
+        // Truncate at a random offset (including 0: an empty file).
+        0 => out.truncate(rng.below(bytes.len() + 1)),
+        // Flip one bit.
+        1 => {
+            let i = rng.below(out.len());
+            out[i] ^= 1 << rng.below(8);
+        }
+        // Replace a byte with an arbitrary value (may break UTF-8).
+        2 => {
+            let i = rng.below(out.len());
+            out[i] = (rng.next() & 0xFF) as u8;
+        }
+        // Stomp a run of bytes with 0xFF (continuation-byte garbage).
+        3 => {
+            let i = rng.below(out.len());
+            let run = 1 + rng.below(16.min(out.len() - i));
+            out[i..i + run].fill(0xFF);
+        }
+        // Drop a chunk from the middle (structurally unbalanced JSON).
+        _ => {
+            let i = rng.below(out.len());
+            let run = 1 + rng.below(64.min(out.len() - i));
+            out.drain(i..i + run);
+        }
+    }
+    out
+}
+
+#[test]
+fn corrupted_artifact_files_never_panic_the_loader() {
+    let artifact = tiny_artifact();
+    let bytes = artifact.to_json().into_bytes();
+    let probe = Session { activities: vec![0, 1, 2], day: 0 };
+    let mut rng = XorShift(0x5DEECE66D);
+    let mut rejected = 0u32;
+    for _ in 0..400 {
+        let damaged = mutate(&bytes, &mut rng);
+        match InferenceArtifact::from_json_bytes(&damaged) {
+            // A mutation can land in a float's digits and still decode; a
+            // decoded artifact must be fully servable (a typed session
+            // rejection — e.g. the vocabulary shrank — is also fine; only
+            // a panic is a failure).
+            Ok(loaded) => {
+                if loaded.validate_session(&probe).is_ok() {
+                    let _ = loaded.predict(&[&probe]);
+                }
+            }
+            Err(e) => {
+                rejected += 1;
+                assert!(!e.to_string().is_empty(), "error must describe the damage");
+            }
+        }
+    }
+    // The sweep is only meaningful if damage is actually being caught.
+    // (Not every mutation is fatal — a flip inside a float's digits can
+    // still be valid JSON — but most damage must be.)
+    assert!(rejected > 200, "only {rejected}/400 mutations rejected — mutator too gentle");
+}
+
+#[test]
+fn truncation_at_every_prefix_is_rejected_cleanly() {
+    let bytes = tiny_artifact().to_json().into_bytes();
+    // Dense scan of short prefixes plus a stride over the rest: truncated
+    // writes (torn copies, full disks) land at arbitrary offsets.
+    for len in (0..bytes.len().min(64)).chain((64..bytes.len()).step_by(97)) {
+        let err = InferenceArtifact::from_json_bytes(&bytes[..len])
+            .expect_err("a strict prefix of a JSON document cannot be valid");
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn corrupted_pipeline_snapshots_never_panic_the_loader() {
+    let (snapshot, _) = tiny_snapshot();
+    let bytes = snapshot.to_json().into_bytes();
+    let mut rng = XorShift(0xB5297A4D);
+    let mut rejected = 0u32;
+    for _ in 0..200 {
+        let damaged = mutate(&bytes, &mut rng);
+        match ClfdSnapshot::from_json_bytes(&damaged) {
+            Ok(_) => {}
+            Err(e) => {
+                rejected += 1;
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+    assert!(rejected > 100, "only {rejected}/200 mutations rejected — mutator too gentle");
+}

@@ -233,11 +233,12 @@ fn engine_folds_events_into_metrics_and_flushes_periodic_reports() {
     assert_eq!(served.len(), 32);
     drop(engine);
 
-    assert_eq!(registry.counter(names::SERVE_REQUESTS_TOTAL, "", &[]).get(), 32);
+    let model: &[(&str, &str)] = &[("model", clfd_serve::FIXED_MODEL_LABEL)];
+    assert_eq!(registry.counter(names::SERVE_REQUESTS_TOTAL, "", model).get(), 32);
     let latency = registry.histogram(
         names::SERVE_REQUEST_LATENCY_US,
         "",
-        &[],
+        model,
         names::latency_us_buckets(),
     );
     assert_eq!(latency.count(), 32);
@@ -275,6 +276,140 @@ fn engine_folds_events_into_metrics_and_flushes_periodic_reports() {
         .and_then(|s| s.get("counter"))
         .and_then(|c| c.as_u64());
     assert_eq!(requests_total, Some(8));
+}
+
+#[test]
+fn expired_requests_are_shed_with_event_and_metric() {
+    use clfd_metrics::{names, EventFold, Registry};
+    use clfd_obs::{Event, MemorySink, Obs};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let registry = Arc::new(Registry::new());
+    let capture = Arc::new(MemorySink::new());
+    let obs = Obs::new(EventFold::tee(registry.clone(), capture.clone()));
+    let engine = Engine::with_obs(tiny_artifact(), EngineConfig::deterministic(), obs);
+    let session = Session { activities: vec![0, 1, 2], day: 0 };
+
+    // A zero timeout means the deadline has passed by the time any worker
+    // drains the request: it must be shed, not scored.
+    let ticket = engine.submit_with_deadline(&session, Duration::ZERO).expect("valid session");
+    assert_eq!(ticket.wait().err(), Some(ServeError::DeadlineExceeded));
+    // A request with generous headroom still completes.
+    let ticket = engine.submit_with_deadline(&session, Duration::from_secs(60)).expect("valid");
+    ticket.wait().expect("in-deadline request is scored");
+    drop(engine); // joins workers: all events are flushed
+
+    let expired: Vec<_> = capture
+        .events()
+        .into_iter()
+        .filter(|e| matches!(e, Event::RequestExpired { .. }))
+        .collect();
+    assert_eq!(expired.len(), 1, "exactly the zero-deadline request expires");
+    assert_eq!(
+        registry
+            .counter(
+                names::SERVE_DEADLINE_EXCEEDED_TOTAL,
+                "",
+                &[("model", clfd_serve::FIXED_MODEL_LABEL)]
+            )
+            .get(),
+        1
+    );
+}
+
+/// An [`ArtifactSource`] that wedges the worker inside `lease` — standing
+/// in for any stall in the scoring path — so the client-side deadline in
+/// `Ticket::wait` is the only thing standing between the caller and a
+/// hang.
+struct StallingSource {
+    inner: clfd_serve::FixedArtifact,
+    stall: std::time::Duration,
+}
+
+impl clfd_serve::ArtifactSource for StallingSource {
+    fn lease(&self) -> clfd_serve::ArtifactLease {
+        std::thread::sleep(self.stall);
+        self.inner.lease()
+    }
+}
+
+#[test]
+fn stalled_worker_cannot_wedge_a_deadline_caller() {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    // The stall dwarfs the caller-side bound so the test discriminates
+    // even on a heavily loaded machine: a caller wedged behind the worker
+    // takes the full stall, an unwedged one returns at its 100ms deadline
+    // with 1150ms of scheduling headroom before the assertion trips.
+    let source = Arc::new(StallingSource {
+        inner: clfd_serve::FixedArtifact::new(tiny_artifact()),
+        stall: Duration::from_millis(2500),
+    });
+    let engine = Engine::from_source(
+        source,
+        EngineConfig::deterministic(),
+        clfd_obs::Obs::null(),
+        None,
+    );
+    let session = Session { activities: vec![0, 1, 2], day: 0 };
+    let clock = Instant::now();
+    let ticket = engine.submit_with_deadline(&session, Duration::from_millis(100)).expect("valid");
+    assert_eq!(ticket.wait().err(), Some(ServeError::DeadlineExceeded));
+    assert!(
+        clock.elapsed() < Duration::from_millis(1250),
+        "caller returned before the stalled worker did"
+    );
+}
+
+/// A source that panics on its first lease, then recovers: the worker must
+/// answer the affected batch with a typed error and keep serving.
+struct PanicOnceSource {
+    inner: clfd_serve::FixedArtifact,
+    panicked: std::sync::atomic::AtomicBool,
+}
+
+impl clfd_serve::ArtifactSource for PanicOnceSource {
+    fn lease(&self) -> clfd_serve::ArtifactLease {
+        if !self.panicked.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            panic!("injected lease failure");
+        }
+        self.inner.lease()
+    }
+}
+
+#[test]
+fn scoring_path_panic_is_isolated_and_the_worker_survives() {
+    use clfd_obs::{Event, MemorySink, Obs};
+    use std::sync::Arc;
+
+    let capture = Arc::new(MemorySink::new());
+    let source = Arc::new(PanicOnceSource {
+        inner: clfd_serve::FixedArtifact::new(tiny_artifact()),
+        panicked: std::sync::atomic::AtomicBool::new(false),
+    });
+    let engine = Engine::from_source(
+        source,
+        EngineConfig::deterministic(),
+        Obs::from_arc(capture.clone() as Arc<dyn clfd_obs::Recorder>),
+        None,
+    );
+    let session = Session { activities: vec![0, 1, 2], day: 0 };
+    // First request hits the injected panic and comes back typed.
+    match engine.submit(&session).expect("valid").wait() {
+        Err(ServeError::Internal(detail)) => {
+            assert!(detail.contains("injected lease failure"), "{detail}");
+        }
+        other => panic!("expected Internal error, got {other:?}"),
+    }
+    // The worker survived: the next request is scored normally.
+    engine.submit(&session).expect("valid").wait().expect("worker kept serving");
+    drop(engine);
+    assert!(
+        capture.events().iter().any(|e| matches!(e, Event::ServePanic { .. })),
+        "the caught panic is observable"
+    );
 }
 
 #[test]

@@ -130,6 +130,23 @@ impl Matrix {
         self.data.is_empty()
     }
 
+    /// Checks that the backing buffer length matches `rows * cols`.
+    ///
+    /// Always true for constructed matrices — but a matrix *deserialized*
+    /// from untrusted bytes can carry a mismatched buffer, and every
+    /// kernel indexes on the assumption the invariant holds. Loaders must
+    /// call this before letting a decoded matrix near compute.
+    ///
+    /// # Errors
+    /// Returns [`ShapeError`] when the buffer does not match the declared
+    /// shape (including `rows * cols` overflowing `usize`).
+    pub fn check_shape(&self) -> Result<(), ShapeError> {
+        match self.rows.checked_mul(self.cols) {
+            Some(n) if n == self.data.len() => Ok(()),
+            _ => Err(ShapeError { rows: self.rows, cols: self.cols, len: self.data.len() }),
+        }
+    }
+
     /// Borrow of the underlying row-major buffer.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
