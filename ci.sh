@@ -36,7 +36,7 @@ run clippy --workspace --all-targets -- -D warnings
 # library targets so tests/bins can keep their eprintln!s.
 for lib in clfd clfd-tensor clfd-autograd clfd-nn clfd-losses clfd-data \
     clfd-baselines clfd-eval clfd-bench clfd-obs clfd-metrics clfd-serve \
-    clfd-registry; do
+    clfd-registry clfd-gateway; do
     run clippy -p "$lib" --lib -- -D warnings \
         -D clippy::print_stdout -D clippy::print_stderr
 done
@@ -68,6 +68,23 @@ test -s RUN_BENCH_serve.jsonl
 test -s METRICS_BENCH_serve.prom
 run run --release -p clfd-metrics --bin clfd-report -- \
     --check-snapshot METRICS_BENCH_serve.prom RUN_BENCH_serve.jsonl >/dev/null
+
+# Gateway smoke: serve a frozen smoke model over real HTTP/1.1 sockets
+# (ephemeral port — the benchmark binds 127.0.0.1:0 itself) and drive 64
+# concurrent keep-alive connections through it, with every 25th request
+# deliberately malformed. The binary exits non-zero on any dropped or
+# corrupted response, any 200 whose scores are not bit-identical to the
+# in-process artifact, any non-2xx outside the injected schedule, or a
+# client tally that disagrees with the gateway's own /metrics counters.
+rm -f BENCH_gateway.json RUN_BENCH_gateway.jsonl METRICS_BENCH_gateway.prom
+run run --release -p clfd-bench --bin bench_gateway -- \
+    --preset smoke --connections 64 --requests 512 \
+    --out BENCH_gateway.json
+test -s BENCH_gateway.json
+test -s RUN_BENCH_gateway.jsonl
+test -s METRICS_BENCH_gateway.prom
+run run --release -p clfd-metrics --bin clfd-report -- \
+    --check-snapshot METRICS_BENCH_gateway.prom RUN_BENCH_gateway.jsonl >/dev/null
 
 # Registry smoke: stage + promote two artifact versions, hot-swap between
 # them under a 100-request load, then stage a corrupt candidate — it must

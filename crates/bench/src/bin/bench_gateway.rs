@@ -1,0 +1,544 @@
+//! HTTP gateway load generator: drives a `clfd-gateway` over real
+//! sockets with configurable connections × requests-per-second and
+//! verifies every 200 response **bitwise** against in-process artifact
+//! predictions while it measures.
+//!
+//! ```text
+//! cargo run --release -p clfd-bench --bin bench_gateway -- \
+//!     --preset smoke --connections 64 --requests 2048 --rps 0 \
+//!     --out BENCH_gateway.json
+//! ```
+//!
+//! Each connection is one client thread with its own keep-alive socket
+//! and a disjoint slice of the global request schedule. With `--rps R`
+//! the schedule is open-loop: request `k` of a connection is due at a
+//! fixed instant regardless of how the server is doing, so a slow server
+//! makes the sender fall behind its schedule instead of throttling the
+//! offered load. `--rps 0` (the default) runs closed-loop at maximum
+//! speed, which bounds in-flight requests at the connection count and
+//! therefore must produce **zero** non-2xx responses outside the
+//! injected-error schedule.
+//!
+//! Every 25th request (global indices ≡ 3 mod 25) deliberately provokes
+//! one of four error classes — missing API key (401), malformed JSON
+//! (400), out-of-vocabulary token (400), oversized declared body (413) —
+//! in a fixed rotation, so the error paths are load-tested too and the
+//! expected per-class counts are exactly computable from `--requests`.
+//!
+//! The report self-validates: after writing, `BENCH_gateway.json` is read
+//! back, re-parsed, and its books re-checked (every request accounted
+//! for, non-2xx == injected, zero dropped/corrupted). Telemetry folds
+//! through a `clfd-metrics` registry into `RUN_<stem>.jsonl` and a final
+//! `METRICS_<stem>.prom` snapshot, and the gateway's own `/metrics`
+//! endpoint is fetched over HTTP and reconciled against the client-side
+//! tally before the process exits.
+
+use clfd::TrainedClfd;
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::{DatasetKind, Label, Preset, Session};
+use clfd_gateway::{
+    ApiKeys, Gateway, GatewayConfig, HttpClient, HttpLimits, ScoreRequest, ScoreResponse,
+};
+use clfd_metrics::{names, parse_prometheus, EventFold, Registry};
+use clfd_obs::{Event, JsonlSink, Obs, Recorder, Stopwatch};
+use clfd_serve::{Engine, EngineConfig, InferenceArtifact};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Response-class tallies across every connection.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+struct ClassCounts {
+    /// 200s whose scores were bit-identical to the in-process reference.
+    ok: u64,
+    /// Injected 401s (missing key).
+    unauthorized: u64,
+    /// Injected 400s (malformed JSON).
+    bad_json: u64,
+    /// Injected 400s (out-of-vocabulary token).
+    bad_session: u64,
+    /// Injected 413s (oversized declared body).
+    body_too_large: u64,
+    /// 429s from the engine queue (possible only under open-loop overload).
+    overloaded: u64,
+    /// 503 admission sheds (possible only under open-loop overload).
+    shed: u64,
+    /// Any other status — must stay zero.
+    unexpected: u64,
+    /// Requests with no usable response: I/O error, torn response, or a
+    /// score that failed the bitwise check — must stay zero.
+    dropped: u64,
+}
+
+impl ClassCounts {
+    fn absorb(&mut self, other: &ClassCounts) {
+        self.ok += other.ok;
+        self.unauthorized += other.unauthorized;
+        self.bad_json += other.bad_json;
+        self.bad_session += other.bad_session;
+        self.body_too_large += other.body_too_large;
+        self.overloaded += other.overloaded;
+        self.shed += other.shed;
+        self.unexpected += other.unexpected;
+        self.dropped += other.dropped;
+    }
+
+    fn answered(&self) -> u64 {
+        self.ok
+            + self.unauthorized
+            + self.bad_json
+            + self.bad_session
+            + self.body_too_large
+            + self.overloaded
+            + self.shed
+            + self.unexpected
+    }
+
+    fn injected(&self) -> u64 {
+        self.unauthorized + self.bad_json + self.bad_session + self.body_too_large
+    }
+}
+
+/// The whole report written to `--out`.
+#[derive(Debug, Serialize, Deserialize)]
+struct GatewayReport {
+    preset: String,
+    dataset: String,
+    connections: usize,
+    requests: usize,
+    /// Aggregate offered load; 0 = closed-loop (unpaced).
+    target_rps: f64,
+    wall_seconds: f64,
+    /// Answered requests per second over the whole run.
+    throughput_per_sec: f64,
+    /// Client-observed latency of 200 responses, microseconds.
+    latency_us_p50: u64,
+    latency_us_p90: u64,
+    latency_us_p99: u64,
+    latency_us_max: u64,
+    /// 200 responses verified bitwise against the frozen artifact (all).
+    identity_checked: u64,
+    injected_errors: u64,
+    counts: ClassCounts,
+}
+
+/// `q`-th percentile (0.0–1.0) of `sorted` (ascending, non-empty).
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// The injected-error class for global request index `i`, if any.
+fn injected_class(i: usize) -> Option<usize> {
+    (i % 25 == 3).then_some((i / 25) % 4)
+}
+
+struct CliArgs {
+    preset: Preset,
+    connections: usize,
+    requests: usize,
+    rps: f64,
+    out: String,
+    log: Option<String>,
+    metrics: Option<String>,
+}
+
+fn parse_args() -> Result<CliArgs, String> {
+    let mut preset = Preset::Smoke;
+    let mut connections = 64;
+    let mut requests = 2048;
+    let mut rps = 0.0;
+    let mut out = "BENCH_gateway.json".to_string();
+    let mut log = None;
+    let mut metrics = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("flag {flag} needs a value"));
+        match flag.as_str() {
+            "--preset" => {
+                preset = match value()?.to_lowercase().as_str() {
+                    "smoke" => Preset::Smoke,
+                    "default" => Preset::Default,
+                    "paper" => Preset::Paper,
+                    other => return Err(format!("unknown preset {other}")),
+                }
+            }
+            "--connections" => {
+                connections =
+                    value()?.parse().map_err(|e| format!("bad connection count: {e}"))?;
+                if connections == 0 {
+                    return Err("--connections starts at 1".to_string());
+                }
+            }
+            "--requests" => {
+                requests = value()?.parse().map_err(|e| format!("bad request count: {e}"))?;
+                if requests == 0 {
+                    return Err("--requests starts at 1".to_string());
+                }
+            }
+            "--rps" => {
+                rps = value()?.parse().map_err(|e| format!("bad rps: {e}"))?;
+                if rps < 0.0 {
+                    return Err("--rps must be >= 0 (0 = closed-loop)".to_string());
+                }
+            }
+            "--out" => out = value()?,
+            "--log" => log = Some(value()?),
+            "--metrics" => metrics = Some(value()?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(CliArgs { preset, connections, requests, rps, out, log, metrics })
+}
+
+const API_KEY: &str = "bench-key";
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One connection thread's outcome.
+struct ConnResult {
+    counts: ClassCounts,
+    /// Client-observed latency of each verified 200, microseconds.
+    ok_latencies_us: Vec<u64>,
+}
+
+/// Drives one keep-alive connection through its slice of the schedule.
+fn drive_connection(
+    addr: SocketAddr,
+    thread: usize,
+    indices: std::ops::Range<usize>,
+    traffic: &[Vec<u32>],
+    expected: &[(Label, u32, u32)],
+    pace: Option<(Duration, Instant)>,
+) -> ConnResult {
+    let mut counts = ClassCounts::default();
+    let mut ok_latencies_us = Vec::with_capacity(indices.len());
+    let Ok(mut client) = HttpClient::connect(addr, CLIENT_TIMEOUT) else {
+        counts.dropped += indices.len() as u64;
+        return ConnResult { counts, ok_latencies_us };
+    };
+    let auth: &[(&str, &str)] = &[("x-api-key", API_KEY)];
+    // Declares a body far over the gateway's limit and never sends it;
+    // the gateway answers 413 off the head alone and closes.
+    let oversized_head: &[u8] = b"POST /v1/score HTTP/1.1\r\nhost: bench\r\n\
+        x-api-key: bench-key\r\ncontent-length: 300000\r\n\r\n";
+
+    for (k, i) in indices.enumerate() {
+        if let Some((interval, start_at)) = pace {
+            // Open-loop: request k of this connection is due at a fixed
+            // instant, with a per-thread phase shift so the aggregate
+            // arrival process is smooth rather than bursty.
+            let phase = interval.mul_f64((thread % 16) as f64 / 16.0);
+            let due = start_at + interval * u32::try_from(k).unwrap_or(u32::MAX) + phase;
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let sent = Instant::now();
+        let response = match injected_class(i) {
+            Some(0) => client.request("POST", "/v1/score", &[], b"{\"sessions\":[[1]]}"),
+            Some(1) => client.request("POST", "/v1/score", auth, b"this is not json"),
+            Some(2) => {
+                // A token far beyond any smoke vocabulary.
+                let body = ScoreRequest { sessions: vec![vec![4_000_000_000]], deadline_ms: None }
+                    .to_json()
+                    .into_bytes();
+                client.request("POST", "/v1/score", auth, &body)
+            }
+            Some(_) => client.send_raw(oversized_head).and_then(|()| client.read_response()),
+            None => {
+                let body = ScoreRequest {
+                    sessions: vec![traffic[i % traffic.len()].clone()],
+                    deadline_ms: None,
+                }
+                .to_json()
+                .into_bytes();
+                client.request("POST", "/v1/score", auth, &body)
+            }
+        };
+        let Ok(response) = response else {
+            counts.dropped += 1;
+            // The connection is in an unknown state; start fresh so later
+            // requests in this slice still get their chance.
+            if let Ok(fresh) = HttpClient::connect(addr, CLIENT_TIMEOUT) {
+                client = fresh;
+            }
+            continue;
+        };
+        let latency_us = sent.elapsed().as_micros() as u64;
+        let text = response.body_text();
+        match (injected_class(i), response.status) {
+            (Some(0), 401) => counts.unauthorized += 1,
+            (Some(1), 400) if text.contains("bad_json") => counts.bad_json += 1,
+            (Some(2), 400) if text.contains("bad_session") => counts.bad_session += 1,
+            (Some(3), 413) => {
+                counts.body_too_large += 1;
+                // A 413 is a parse error: the gateway closed this
+                // connection, so open the replacement eagerly.
+                if let Ok(fresh) = HttpClient::connect(addr, CLIENT_TIMEOUT) {
+                    client = fresh;
+                }
+            }
+            (None, 200) => match ScoreResponse::from_json(&text) {
+                Ok(parsed) if parsed.scores.len() == 1 => {
+                    let s = &parsed.scores[0];
+                    let (label, score_bits, conf_bits) = &expected[i % traffic.len()];
+                    let label_str = match label {
+                        Label::Malicious => "malicious",
+                        Label::Normal => "normal",
+                    };
+                    if s.label == label_str
+                        && s.malicious_score.to_bits() == *score_bits
+                        && s.confidence.to_bits() == *conf_bits
+                    {
+                        counts.ok += 1;
+                        ok_latencies_us.push(latency_us);
+                    } else {
+                        eprintln!(
+                            "[bench_gateway] CORRUPTED response for session {}: \
+                             got ({}, {:#010x}, {:#010x}) want ({label_str}, \
+                             {score_bits:#010x}, {conf_bits:#010x})",
+                            i % traffic.len(),
+                            s.label,
+                            s.malicious_score.to_bits(),
+                            s.confidence.to_bits(),
+                        );
+                        counts.dropped += 1;
+                    }
+                }
+                _ => counts.dropped += 1,
+            },
+            (None, 429) => counts.overloaded += 1,
+            (None, 503) if text.contains("admission_shed") => counts.shed += 1,
+            (class, status) => {
+                eprintln!("[bench_gateway] unexpected {status} for class {class:?}: {text}");
+                counts.unexpected += 1;
+            }
+        }
+    }
+    ConnResult { counts, ok_latencies_us }
+}
+
+fn main() {
+    let CliArgs { preset, connections, requests, rps, out, log, metrics } =
+        parse_args().unwrap_or_else(|msg| {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: bench_gateway --preset smoke|default|paper --connections 64 \
+                 --requests 2048 --rps 0 --out PATH --log PATH --metrics PATH"
+            );
+            std::process::exit(2);
+        });
+    let stem_sibling = |prefix: &str, ext: &str| {
+        let path = std::path::Path::new(&out);
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
+        path.with_file_name(format!("{prefix}{stem}.{ext}")).to_string_lossy().into_owned()
+    };
+    let log = log.unwrap_or_else(|| stem_sibling("RUN_", "jsonl"));
+    let metrics = metrics.unwrap_or_else(|| stem_sibling("METRICS_", "prom"));
+
+    let registry = Arc::new(Registry::new());
+    let jsonl: Arc<dyn Recorder> = Arc::new(
+        JsonlSink::create(&log).unwrap_or_else(|e| panic!("cannot create log {log}: {e}")),
+    );
+    let recorder: Arc<dyn Recorder> = Arc::new(EventFold::tee(registry.clone(), jsonl));
+    let obs = Obs::from_arc(recorder.clone());
+    let run_clock = Stopwatch::start();
+    obs.emit(Event::RunStart {
+        name: "bench_gateway".into(),
+        detail: format!(
+            "preset={preset:?} connections={connections} requests={requests} rps={rps}"
+        ),
+    });
+
+    // One trained model, frozen once.
+    let split = DatasetKind::Cert.generate(preset, 7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+    let fit_span = obs.stage("bench_gateway/fit");
+    let model =
+        TrainedClfd::builder().preset(preset).seed(7).obs(obs.clone()).fit(&split, &noisy);
+    fit_span.finish();
+    let artifact = InferenceArtifact::freeze(&model).expect("trained model freezes");
+
+    // Traffic = the test split's activity streams. The wire carries tokens
+    // only and the gateway reconstructs day-0 sessions, so the bitwise
+    // reference must score day-0 sessions too.
+    let traffic: Arc<Vec<Vec<u32>>> = Arc::new(
+        split.test.iter().map(|&i| split.corpus.sessions[i].activities.clone()).collect(),
+    );
+    let day0: Vec<Session> = traffic
+        .iter()
+        .map(|activities| Session { activities: activities.clone(), day: 0 })
+        .collect();
+    let refs: Vec<&Session> = day0.iter().collect();
+    let expected: Arc<Vec<(Label, u32, u32)>> = Arc::new(
+        artifact
+            .predict(&refs)
+            .into_iter()
+            .map(|p| (p.label, p.malicious_score.to_bits(), p.confidence.to_bits()))
+            .collect(),
+    );
+
+    let engine = Arc::new(Engine::with_metrics(
+        artifact,
+        EngineConfig {
+            max_batch: 32,
+            // Closed-loop in-flight is bounded by the connection count;
+            // room for all of it means the closed-loop run cannot shed.
+            queue_capacity: (connections * 4).max(256),
+            workers: 2,
+            metrics_every: Some(256),
+        },
+        obs.clone(),
+        registry.clone(),
+    ));
+    let gateway = Gateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            // A keep-alive connection pins its worker for its lifetime, so
+            // the pool must cover every benchmark connection (plus slack
+            // for the post-load /metrics probe and 413 reconnects).
+            workers: connections + 4,
+            accept_queue: connections.max(64),
+            max_connections: connections * 2 + 8,
+            limits: HttpLimits { max_body_bytes: 256 * 1024, ..HttpLimits::default() },
+            ..GatewayConfig::default()
+        },
+        Arc::clone(&engine),
+        ApiKeys::open().with_key(API_KEY, "bench"),
+        obs.clone(),
+        Some(registry.clone()),
+    )
+    .unwrap_or_else(|e| panic!("cannot bind gateway: {e}"));
+    let addr = gateway.local_addr();
+    eprintln!("[bench_gateway] serving on {addr}, driving {connections} connections...");
+
+    // Partition the global schedule into contiguous per-connection slices.
+    let pace = (rps > 0.0).then(|| {
+        (
+            Duration::from_secs_f64(connections as f64 / rps),
+            Instant::now() + Duration::from_millis(50),
+        )
+    });
+    let bench_clock = Instant::now();
+    let per = requests.div_ceil(connections);
+    let threads: Vec<_> = (0..connections)
+        .map(|t| {
+            let lo = (t * per).min(requests);
+            let hi = ((t + 1) * per).min(requests);
+            let traffic = Arc::clone(&traffic);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                drive_connection(addr, t, lo..hi, &traffic, &expected, pace)
+            })
+        })
+        .collect();
+
+    let mut counts = ClassCounts::default();
+    let mut ok_latencies: Vec<u64> = Vec::with_capacity(requests);
+    for thread in threads {
+        let r = thread.join().expect("connection thread");
+        counts.absorb(&r.counts);
+        ok_latencies.extend(r.ok_latencies_us);
+    }
+    let wall_seconds = bench_clock.elapsed().as_secs_f64();
+    ok_latencies.sort_unstable();
+
+    let injected = (0..requests).filter(|&i| injected_class(i).is_some()).count() as u64;
+
+    // The books, checked while the process can still fail loudly:
+    assert_eq!(
+        counts.answered() + counts.dropped,
+        requests as u64,
+        "every scheduled request must be accounted for: {counts:?}"
+    );
+    assert_eq!(counts.dropped, 0, "dropped/corrupted responses: {counts:?}");
+    assert_eq!(counts.unexpected, 0, "unexpected response classes: {counts:?}");
+    assert_eq!(
+        counts.injected(),
+        injected,
+        "every injected error must come back as its class: {counts:?}"
+    );
+    if pace.is_none() {
+        assert_eq!(
+            counts.overloaded + counts.shed,
+            0,
+            "closed-loop run shed load: {counts:?}"
+        );
+    }
+    assert!(!ok_latencies.is_empty(), "no successful scores to report");
+
+    // Cross-check the 200 tally against the gateway's own /metrics,
+    // fetched over HTTP like any client would.
+    let exposition = {
+        let mut probe = HttpClient::connect(addr, CLIENT_TIMEOUT).expect("probe client");
+        let r = probe.request("GET", "/metrics", &[], b"").expect("GET /metrics");
+        assert_eq!(r.status, 200);
+        r.body_text()
+    };
+    let samples = parse_prometheus(&exposition).expect("/metrics output parses");
+    let served_200: u64 = samples
+        .iter()
+        .filter(|s| {
+            s.name == names::GATEWAY_REQUESTS_TOTAL
+                && s.label("path") == Some("/v1/score")
+                && s.label("status") == Some("200")
+        })
+        .map(|s| s.value as u64)
+        .sum();
+    assert_eq!(served_200, counts.ok, "gateway 200 counter vs client tally");
+
+    gateway.shutdown();
+
+    let report = GatewayReport {
+        preset: format!("{preset:?}").to_lowercase(),
+        dataset: "cert".to_string(),
+        connections,
+        requests,
+        target_rps: rps,
+        wall_seconds,
+        throughput_per_sec: counts.answered() as f64 / wall_seconds,
+        latency_us_p50: percentile_us(&ok_latencies, 0.50),
+        latency_us_p90: percentile_us(&ok_latencies, 0.90),
+        latency_us_p99: percentile_us(&ok_latencies, 0.99),
+        latency_us_max: *ok_latencies.last().expect("non-empty"),
+        identity_checked: counts.ok,
+        injected_errors: injected,
+        counts,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes cleanly");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    obs.emit(Event::ArtifactWritten { path: out.clone() });
+
+    // Self-validation: the file on disk must re-parse and its books must
+    // still balance.
+    let reread =
+        std::fs::read_to_string(&out).unwrap_or_else(|e| panic!("cannot reread {out}: {e}"));
+    let parsed: GatewayReport =
+        serde_json::from_str(&reread).expect("written report must re-parse");
+    assert_eq!(parsed.identity_checked, parsed.counts.ok, "round-trip kept the tallies");
+    assert_eq!(parsed.counts.injected(), parsed.injected_errors);
+    assert_eq!(parsed.counts.answered(), parsed.requests as u64);
+
+    std::fs::write(&metrics, registry.snapshot().to_prometheus())
+        .unwrap_or_else(|e| panic!("cannot write {metrics}: {e}"));
+    obs.emit(Event::ArtifactWritten { path: metrics.clone() });
+    obs.emit(Event::RunEnd { name: "bench_gateway".into(), wall_ms: run_clock.elapsed_ms() });
+    obs.flush();
+    eprintln!(
+        "wrote {out}: {} conns x {} reqs, {:.1} req/s, p50 {}us p99 {}us, \
+         {} identity-checked, {} injected errors; log {log}; metrics {metrics}",
+        parsed.connections,
+        parsed.requests,
+        parsed.throughput_per_sec,
+        parsed.latency_us_p50,
+        parsed.latency_us_p99,
+        parsed.identity_checked,
+        parsed.injected_errors
+    );
+}

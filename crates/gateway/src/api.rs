@@ -1,0 +1,261 @@
+//! JSON wire types for the gateway's scoring API.
+//!
+//! Serialization is hand-rolled on [`clfd_obs::json`] — the same
+//! dependency-free JSON stack every other crate in the workspace uses
+//! for its event stream — so the wire format behaves identically under
+//! the vendored offline build and a real `serde_json`.
+//!
+//! Scores cross the wire as JSON numbers. [`Obj::f32`](clfd_obs::json::Obj::f32)
+//! widens the `f32` to `f64` and prints its shortest round-trippable
+//! decimal; parsing that back as `f64` and narrowing to `f32` recovers
+//! the original bits exactly, which is what lets the wire-identity tests
+//! demand bitwise equality with in-process [`clfd::Prediction`]s.
+
+use clfd_obs::json::{self, Obj, Value};
+
+/// Body of `POST /v1/score`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreRequest {
+    /// Sessions to score: each is a sequence of activity-token ids.
+    pub sessions: Vec<Vec<u32>>,
+    /// Optional per-request deadline in milliseconds; requests not
+    /// answered in time get a 503 with error `"deadline_exceeded"`.
+    /// Missing or `null` means the server default applies.
+    pub deadline_ms: Option<u64>,
+}
+
+impl ScoreRequest {
+    /// Parses a request body. Unknown fields are ignored; `sessions`
+    /// must be an array of arrays of integer token ids in `u32` range.
+    ///
+    /// # Errors
+    /// A human-readable description of the first structural problem.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let root = json::parse(body)?;
+        let sessions_v = root.get("sessions").ok_or("missing field `sessions`")?;
+        let outer = sessions_v.as_array().ok_or("`sessions` must be an array")?;
+        let mut sessions = Vec::with_capacity(outer.len());
+        for (i, session) in outer.iter().enumerate() {
+            let tokens_v =
+                session.as_array().ok_or_else(|| format!("sessions[{i}] must be an array"))?;
+            let mut tokens = Vec::with_capacity(tokens_v.len());
+            for (j, tok) in tokens_v.iter().enumerate() {
+                tokens.push(token_id(tok).ok_or_else(|| {
+                    format!("sessions[{i}][{j}] must be an integer in [0, {}]", u32::MAX)
+                })?);
+            }
+            sessions.push(tokens);
+        }
+        let deadline_ms = match root.get("deadline_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                Some(integer_u64(v).ok_or("`deadline_ms` must be a non-negative integer")?)
+            }
+        };
+        Ok(Self { sessions, deadline_ms })
+    }
+
+    /// Serializes the request as a JSON body.
+    pub fn to_json(&self) -> String {
+        let mut sessions = String::from("[");
+        for (i, s) in self.sessions.iter().enumerate() {
+            if i > 0 {
+                sessions.push(',');
+            }
+            sessions.push('[');
+            for (j, tok) in s.iter().enumerate() {
+                if j > 0 {
+                    sessions.push(',');
+                }
+                sessions.push_str(&tok.to_string());
+            }
+            sessions.push(']');
+        }
+        sessions.push(']');
+        Obj::new().raw("sessions", &sessions).opt_u64("deadline_ms", self.deadline_ms).finish()
+    }
+}
+
+/// One scored session in a [`ScoreResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredSession {
+    /// `"malicious"` or `"normal"`.
+    pub label: String,
+    /// Probability the session is malicious, in `[0, 1]`.
+    pub malicious_score: f32,
+    /// Confidence of the predicted label, in `[0.5, 1]`.
+    pub confidence: f32,
+}
+
+/// Body of a 200 response from `POST /v1/score`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreResponse {
+    /// One entry per submitted session, in request order.
+    pub scores: Vec<ScoredSession>,
+}
+
+impl ScoreResponse {
+    /// Serializes the response as a JSON body.
+    pub fn to_json(&self) -> String {
+        let mut scores = String::from("[");
+        for (i, s) in self.scores.iter().enumerate() {
+            if i > 0 {
+                scores.push(',');
+            }
+            scores.push_str(
+                &Obj::new()
+                    .str("label", &s.label)
+                    .f32("malicious_score", s.malicious_score)
+                    .f32("confidence", s.confidence)
+                    .finish(),
+            );
+        }
+        scores.push(']');
+        Obj::new().raw("scores", &scores).finish()
+    }
+
+    /// Parses a response body (used by the client side of the tests and
+    /// `bench_gateway`).
+    ///
+    /// # Errors
+    /// A human-readable description of the first structural problem.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let root = json::parse(body)?;
+        let scores_v = root.get("scores").ok_or("missing field `scores`")?;
+        let arr = scores_v.as_array().ok_or("`scores` must be an array")?;
+        let mut scores = Vec::with_capacity(arr.len());
+        for (i, s) in arr.iter().enumerate() {
+            let label = s
+                .get("label")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("scores[{i}].label must be a string"))?
+                .to_string();
+            let malicious_score = f32_field(s, "malicious_score")
+                .ok_or_else(|| format!("scores[{i}].malicious_score must be a number"))?;
+            let confidence = f32_field(s, "confidence")
+                .ok_or_else(|| format!("scores[{i}].confidence must be a number"))?;
+            scores.push(ScoredSession { label, malicious_score, confidence });
+        }
+        Ok(Self { scores })
+    }
+}
+
+/// Body of every non-2xx response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// Stable machine-readable tag, e.g. `"overloaded"`,
+    /// `"unauthorized"`, `"bad_json"`.
+    pub error: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl ErrorBody {
+    /// Serializes the error as a JSON body.
+    pub fn to_json(&self) -> Vec<u8> {
+        Obj::new().str("error", &self.error).str("detail", &self.detail).finish().into_bytes()
+    }
+
+    /// Parses an error body (used by tests and `bench_gateway` to
+    /// classify non-2xx responses).
+    ///
+    /// # Errors
+    /// A human-readable description of the first structural problem.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let root = json::parse(body)?;
+        let field = |k: &str| {
+            root.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{k}` must be a string"))
+        };
+        Ok(Self { error: field("error")?, detail: field("detail")? })
+    }
+}
+
+/// A `u32` token id, if `v` is a number that is an exact non-negative
+/// integer within range. (`f64` holds every `u32` exactly.)
+fn token_id(v: &Value) -> Option<u32> {
+    let n = v.as_f64()?;
+    (n >= 0.0 && n <= f64::from(u32::MAX) && n.fract() == 0.0).then_some(n as u32)
+}
+
+/// A `u64`, if `v` is a number that is an exact non-negative integer.
+fn integer_u64(v: &Value) -> Option<u64> {
+    let n = v.as_f64()?;
+    (n >= 0.0 && n.fract() == 0.0).then(|| v.as_u64()).flatten()
+}
+
+/// Field `k` of object `v` as an `f32` (narrowed from the parsed `f64`).
+fn f32_field(v: &Value, k: &str) -> Option<f32> {
+    v.get(k).and_then(Value::as_f64).map(|n| n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_scores_round_trip_bitwise_through_json() {
+        // Awkward values: subnormal, almost-one, exact halves, random-ish.
+        for bits in [0x0000_0001u32, 0x3f7f_fff1, 0x3f00_0000, 0x3e99_999a, 0x3f7d_70a4] {
+            let v = f32::from_bits(bits);
+            let resp = ScoreResponse {
+                scores: vec![ScoredSession {
+                    label: "malicious".into(),
+                    malicious_score: v,
+                    confidence: 1.0 - v / 2.0,
+                }],
+            };
+            let back = ScoreResponse::from_json(&resp.to_json()).unwrap();
+            assert_eq!(back.scores[0].malicious_score.to_bits(), v.to_bits());
+            assert_eq!(back.scores[0].confidence.to_bits(), (1.0 - v / 2.0f32).to_bits());
+        }
+    }
+
+    #[test]
+    fn requests_parse_with_and_without_deadline() {
+        let r = ScoreRequest::from_json(r#"{"sessions":[[1,2],[3]]}"#).unwrap();
+        assert_eq!(r.sessions, vec![vec![1, 2], vec![3]]);
+        assert_eq!(r.deadline_ms, None);
+        let r = ScoreRequest::from_json(r#"{"sessions":[[1]],"deadline_ms":250}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(250));
+        let r = ScoreRequest::from_json(r#"{"sessions":[],"deadline_ms":null}"#).unwrap();
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn requests_round_trip_through_to_json() {
+        for req in [
+            ScoreRequest { sessions: vec![vec![0, 4_294_967_295], vec![]], deadline_ms: None },
+            ScoreRequest { sessions: vec![vec![7]], deadline_ms: Some(125) },
+        ] {
+            assert_eq!(ScoreRequest::from_json(&req.to_json()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (body, needle) in [
+            ("{", "object"),
+            (r#"{"deadline_ms":5}"#, "sessions"),
+            (r#"{"sessions":5}"#, "must be an array"),
+            (r#"{"sessions":[5]}"#, "must be an array"),
+            (r#"{"sessions":[[1.5]]}"#, "integer"),
+            (r#"{"sessions":[[-1]]}"#, "integer"),
+            (r#"{"sessions":[[4294967296]]}"#, "integer"),
+            (r#"{"sessions":[[1]],"deadline_ms":-2}"#, "deadline_ms"),
+            (r#"{"sessions":[[1]],"deadline_ms":1.5}"#, "deadline_ms"),
+        ] {
+            let err = ScoreRequest::from_json(body).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn error_bodies_round_trip() {
+        let e = ErrorBody { error: "overloaded".into(), detail: "queue full (64)".into() };
+        let wire = String::from_utf8(e.to_json()).unwrap();
+        assert_eq!(ErrorBody::from_json(&wire).unwrap(), e);
+    }
+}

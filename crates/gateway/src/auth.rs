@@ -1,0 +1,74 @@
+//! Per-tenant API keys for the gateway.
+//!
+//! The scheme is deliberately simple — a static map from opaque key
+//! strings (sent in the `x-api-key` header) to tenant names used in
+//! telemetry labels. An **open** key set (no keys configured) admits
+//! every request as tenant `"anonymous"`, which keeps local quick-starts
+//! and tests friction-free; once any key is configured, requests without
+//! a valid key are rejected with 401.
+
+/// Tenant label used when the gateway runs without configured keys.
+pub const ANONYMOUS_TENANT: &str = "anonymous";
+
+/// Static API-key → tenant map.
+#[derive(Debug, Clone, Default)]
+pub struct ApiKeys {
+    keys: Vec<(String, String)>,
+}
+
+impl ApiKeys {
+    /// An open gateway: every request is admitted as
+    /// [`ANONYMOUS_TENANT`].
+    pub fn open() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion of one key for `tenant`.
+    pub fn with_key(mut self, key: impl Into<String>, tenant: impl Into<String>) -> Self {
+        self.insert(key, tenant);
+        self
+    }
+
+    /// Registers `key` as belonging to `tenant`.
+    pub fn insert(&mut self, key: impl Into<String>, tenant: impl Into<String>) {
+        self.keys.push((key.into(), tenant.into()));
+    }
+
+    /// True when no keys are configured (all requests admitted).
+    pub fn is_open(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Resolves the tenant for a presented key: `Some(tenant)` to admit,
+    /// `None` to reject with 401.
+    pub fn tenant_for(&self, presented: Option<&str>) -> Option<&str> {
+        if self.is_open() {
+            return Some(ANONYMOUS_TENANT);
+        }
+        let presented = presented?;
+        self.keys.iter().find(|(k, _)| k == presented).map(|(_, t)| t.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_gateway_admits_everyone_as_anonymous() {
+        let keys = ApiKeys::open();
+        assert!(keys.is_open());
+        assert_eq!(keys.tenant_for(None), Some(ANONYMOUS_TENANT));
+        assert_eq!(keys.tenant_for(Some("whatever")), Some(ANONYMOUS_TENANT));
+    }
+
+    #[test]
+    fn configured_keys_gate_access() {
+        let keys = ApiKeys::open().with_key("s3cret", "acme").with_key("k2", "globex");
+        assert!(!keys.is_open());
+        assert_eq!(keys.tenant_for(Some("s3cret")), Some("acme"));
+        assert_eq!(keys.tenant_for(Some("k2")), Some("globex"));
+        assert_eq!(keys.tenant_for(Some("wrong")), None);
+        assert_eq!(keys.tenant_for(None), None);
+    }
+}

@@ -1,0 +1,137 @@
+//! Standalone CLFD scoring gateway: trains a smoke model, freezes it, and
+//! serves it over HTTP until killed.
+//!
+//! ```text
+//! cargo run --release -p clfd-gateway --bin clfd-gateway -- \
+//!     --addr 127.0.0.1:8080 --preset smoke --workers 8 \
+//!     --api-key s3cret=acme
+//!
+//! curl -s http://127.0.0.1:8080/health
+//! curl -s -X POST http://127.0.0.1:8080/v1/score \
+//!     -H 'x-api-key: s3cret' \
+//!     -d '{"sessions":[[1,2,3],[4,5]]}'
+//! curl -s http://127.0.0.1:8080/metrics
+//! ```
+//!
+//! Without `--api-key` the gateway is open (tenant `anonymous`). All
+//! request/connection/shed telemetry folds into the `/metrics` registry
+//! and, with `--log`, streams to a JSONL file `clfd-report` can analyze.
+
+use clfd::TrainedClfd;
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::{DatasetKind, Preset};
+use clfd_gateway::{ApiKeys, Gateway, GatewayConfig};
+use clfd_metrics::{EventFold, Registry};
+use clfd_obs::{JsonlSink, Obs, Recorder};
+use clfd_serve::{Engine, EngineConfig, InferenceArtifact};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct CliArgs {
+    addr: String,
+    preset: Preset,
+    workers: usize,
+    keys: ApiKeys,
+    log: Option<String>,
+}
+
+fn parse_args() -> Result<CliArgs, String> {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut preset = Preset::Smoke;
+    let mut workers = 8;
+    let mut keys = ApiKeys::open();
+    let mut log = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("flag {flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => addr = value()?,
+            "--preset" => {
+                preset = match value()?.to_lowercase().as_str() {
+                    "smoke" => Preset::Smoke,
+                    "default" => Preset::Default,
+                    "paper" => Preset::Paper,
+                    other => return Err(format!("unknown preset {other}")),
+                }
+            }
+            "--workers" => {
+                workers = value()?.parse().map_err(|e| format!("bad worker count: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers starts at 1".to_string());
+                }
+            }
+            "--api-key" => {
+                let raw = value()?;
+                let (key, tenant) = raw
+                    .split_once('=')
+                    .ok_or_else(|| format!("--api-key wants KEY=TENANT, got {raw}"))?;
+                keys.insert(key, tenant);
+            }
+            "--log" => log = Some(value()?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(CliArgs { addr, preset, workers, keys, log })
+}
+
+fn main() {
+    let CliArgs { addr, preset, workers, keys, log } = parse_args().unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: clfd-gateway --addr 127.0.0.1:8080 --preset smoke|default|paper \
+             --workers 8 --api-key KEY=TENANT --log RUN_gateway.jsonl"
+        );
+        std::process::exit(2);
+    });
+
+    // All telemetry — engine and gateway — folds into the registry that
+    // backs GET /metrics, optionally teeing into a JSONL run log.
+    let registry = Arc::new(Registry::new());
+    let obs = match &log {
+        Some(path) => {
+            let jsonl: Arc<dyn Recorder> = Arc::new(
+                JsonlSink::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}")),
+            );
+            Obs::new(EventFold::tee(registry.clone(), jsonl))
+        }
+        None => Obs::new(EventFold::new(registry.clone())),
+    };
+
+    eprintln!("[clfd-gateway] training {preset:?} CERT model (seed 7)...");
+    let split = DatasetKind::Cert.generate(preset, 7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+    let model =
+        TrainedClfd::builder().preset(preset).seed(7).obs(obs.clone()).fit(&split, &noisy);
+    let artifact = InferenceArtifact::freeze(&model).expect("trained model freezes");
+    let vocab = artifact.vocab();
+
+    let engine = Arc::new(Engine::with_metrics(
+        artifact,
+        EngineConfig::default(),
+        obs.clone(),
+        registry.clone(),
+    ));
+    let open = keys.is_open();
+    let gateway = Gateway::bind(
+        addr.as_str(),
+        GatewayConfig { workers, ..GatewayConfig::default() },
+        engine,
+        keys,
+        obs,
+        Some(registry),
+    )
+    .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+
+    eprintln!(
+        "[clfd-gateway] serving on http://{} (vocab {vocab} tokens, auth: {})",
+        gateway.local_addr(),
+        if open { "open" } else { "x-api-key" },
+    );
+    eprintln!("[clfd-gateway] POST /v1/score | GET /health | GET /metrics — ctrl-c to stop");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,147 @@
+//! A minimal blocking HTTP/1.1 client with keep-alive, used by the
+//! gateway's test suites and by `bench_gateway`. Not a general-purpose
+//! client: `Content-Length` framing only, no redirects, no TLS — exactly
+//! the dialect the gateway speaks.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in wire order, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Blocking keep-alive client over one TCP connection.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects with a read/write timeout (also the per-response wait
+    /// bound, applied per `read` call).
+    ///
+    /// # Errors
+    /// Socket-level connect/configure failures.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, buf: Vec::new() })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    /// I/O failure, timeout, or a malformed response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<HttpResponse> {
+        let mut raw = format!("{method} {path} HTTP/1.1\r\nhost: gateway\r\n");
+        for (name, value) in headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        raw.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        let mut wire = raw.into_bytes();
+        wire.extend_from_slice(body);
+        self.stream.write_all(&wire)?;
+        self.read_response()
+    }
+
+    /// Writes raw bytes straight to the socket (for torture tests).
+    ///
+    /// # Errors
+    /// I/O failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads and parses the next response off the connection.
+    ///
+    /// # Errors
+    /// I/O failure, timeout, connection close mid-response, or a
+    /// malformed response.
+    pub fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let head_end = loop {
+            if let Some(pos) =
+                self.buf.windows(4).position(|w| w == b"\r\n\r\n")
+            {
+                break pos;
+            }
+            if self.buf.len() > 1024 * 1024 {
+                return Err(malformed("response head over 1 MiB"));
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(|| malformed("empty head"))?;
+        // "HTTP/1.1 200 OK"
+        let mut parts = status_line.splitn(3, ' ');
+        let _version = parts.next();
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| malformed("bad status line"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) =
+                line.split_once(':').ok_or_else(|| malformed("header without colon"))?;
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| malformed("response without content-length"))?;
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            self.fill()?;
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(HttpResponse { status, headers, body })
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+fn malformed(detail: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("malformed response: {detail}"))
+}

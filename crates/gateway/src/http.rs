@@ -1,0 +1,557 @@
+//! A defensive, incremental HTTP/1.1 request parser and response encoder.
+//!
+//! The parser is pure: bytes go in via [`RequestParser::push`], complete
+//! requests come out via [`RequestParser::poll`], and no I/O happens in
+//! between. That makes it directly attackable by the protocol-torture
+//! suite — torn reads (1-byte pushes), malformed request lines, oversized
+//! or duplicate headers, bad `Content-Length` values, pipelined and
+//! truncated requests — with the contract that every input either parses,
+//! yields a typed [`HttpError`] that maps to a clean 4xx, or waits for
+//! more bytes. It never panics and never holds more than the configured
+//! limits in memory.
+//!
+//! Scope is deliberately narrow: `HTTP/1.0` and `HTTP/1.1`,
+//! `Content-Length` bodies only (`Transfer-Encoding` — including chunked —
+//! is rejected with 400 rather than half-supported), no obsolete line
+//! folding, CRLF line endings only.
+
+/// Bounds the parser enforces while a request is being assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers (the "head").
+    pub max_head_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum declared `Content-Length`.
+    pub max_body_bytes: usize,
+    /// Maximum bytes of the request target (path + query).
+    pub max_target_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 8 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1024 * 1024,
+            max_target_bytes: 1024,
+        }
+    }
+}
+
+/// Why a request could not be parsed. Every variant maps to a clean
+/// client-error status via [`HttpError::status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line is not `METHOD SP TARGET SP VERSION`.
+    BadRequestLine(String),
+    /// The version is neither `HTTP/1.0` nor `HTTP/1.1`.
+    BadVersion(String),
+    /// A header line is malformed (no colon, bad name characters,
+    /// control bytes, obsolete folding).
+    BadHeader(String),
+    /// More header lines than [`HttpLimits::max_headers`].
+    TooManyHeaders {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The head grew past [`HttpLimits::max_head_bytes`] without
+    /// terminating.
+    HeadTooLarge {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The request target is longer than [`HttpLimits::max_target_bytes`].
+    TargetTooLong {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// More than one `Content-Length` header (request smuggling vector).
+    DuplicateContentLength,
+    /// `Content-Length` is not a plain decimal integer.
+    BadContentLength(String),
+    /// Any `Transfer-Encoding` (chunked bodies are rejected, not parsed).
+    UnsupportedTransferEncoding(String),
+    /// Declared body larger than [`HttpLimits::max_body_bytes`].
+    BodyTooLarge {
+        /// The configured limit.
+        limit: usize,
+        /// The declared `Content-Length`.
+        declared: u64,
+    },
+}
+
+impl HttpError {
+    /// The HTTP status this error is answered with: `413` for an
+    /// oversized body, `400` for everything else.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BodyTooLarge { .. } => 413,
+            _ => 400,
+        }
+    }
+
+    /// Short machine-readable tag for error bodies and telemetry.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            HttpError::BadRequestLine(_) => "bad_request_line",
+            HttpError::BadVersion(_) => "bad_version",
+            HttpError::BadHeader(_) => "bad_header",
+            HttpError::TooManyHeaders { .. } => "too_many_headers",
+            HttpError::HeadTooLarge { .. } => "head_too_large",
+            HttpError::TargetTooLong { .. } => "target_too_long",
+            HttpError::DuplicateContentLength => "duplicate_content_length",
+            HttpError::BadContentLength(_) => "bad_content_length",
+            HttpError::UnsupportedTransferEncoding(_) => "unsupported_transfer_encoding",
+            HttpError::BodyTooLarge { .. } => "body_too_large",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequestLine(d) => write!(f, "malformed request line: {d}"),
+            HttpError::BadVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            HttpError::BadHeader(d) => write!(f, "malformed header: {d}"),
+            HttpError::TooManyHeaders { limit } => write!(f, "more than {limit} headers"),
+            HttpError::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            HttpError::TargetTooLong { limit } => {
+                write!(f, "request target exceeds {limit} bytes")
+            }
+            HttpError::DuplicateContentLength => write!(f, "duplicate Content-Length"),
+            HttpError::BadContentLength(v) => write!(f, "bad Content-Length {v:?}"),
+            HttpError::UnsupportedTransferEncoding(v) => {
+                write!(f, "unsupported Transfer-Encoding {v:?}")
+            }
+            HttpError::BodyTooLarge { limit, declared } => {
+                write!(f, "declared body of {declared} bytes exceeds {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One fully parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper/lower case preserved (`"POST"`).
+    pub method: String,
+    /// Request target as sent (`"/v1/score?x=1"`).
+    pub target: String,
+    /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
+    pub version_11: bool,
+    /// Headers in wire order, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (possibly empty).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The target with any query string stripped: the routing path.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the client asked to keep the connection open: explicit
+    /// `Connection: close` wins, explicit `keep-alive` wins, otherwise
+    /// the version default (1.1 keeps, 1.0 closes).
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.to_ascii_lowercase().contains("keep-alive") => true,
+            Some(_) | None => self.version_11,
+        }
+    }
+}
+
+/// Incremental request parser over a growable buffer. Feed arbitrary
+/// chunks with [`push`](RequestParser::push); [`poll`](RequestParser::poll)
+/// returns a request as soon as one is complete, leaving any pipelined
+/// bytes buffered for the next poll.
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: HttpLimits,
+    buf: Vec<u8>,
+}
+
+const CRLF_CRLF: &[u8] = b"\r\n\r\n";
+
+fn is_token_char(b: u8) -> bool {
+    // RFC 7230 token characters.
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: HttpLimits) -> Self {
+        Self { limits, buf: Vec::new() }
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a parsed request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to parse one request from the buffered bytes.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed, `Ok(Some(_))` when a
+    /// request completed (its bytes are consumed; pipelined leftovers stay
+    /// buffered), and `Err(_)` when the buffered bytes can never become a
+    /// valid request. After an error the connection must be closed — the
+    /// buffer is poisoned, not resynchronized.
+    ///
+    /// # Errors
+    /// Any [`HttpError`]; map to a response status with
+    /// [`HttpError::status`].
+    pub fn poll(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(head_end) = find(&self.buf, CRLF_CRLF) else {
+            // No terminator yet: wait, unless the head can no longer fit.
+            if self.buf.len() > self.limits.max_head_bytes {
+                return Err(HttpError::HeadTooLarge { limit: self.limits.max_head_bytes });
+            }
+            return Ok(None);
+        };
+        if head_end > self.limits.max_head_bytes {
+            return Err(HttpError::HeadTooLarge { limit: self.limits.max_head_bytes });
+        }
+        let (request_line, headers) = parse_head(&self.buf[..head_end], &self.limits)?;
+        let (method, target, version_11) = request_line;
+        let content_length = body_length(&headers, &self.limits)?;
+        let body_start = head_end + CRLF_CRLF.len();
+        let total = body_start + content_length;
+        if self.buf.len() < total {
+            return Ok(None); // body still arriving
+        }
+        let body = self.buf[body_start..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Request { method, target, version_11, headers, body }))
+    }
+}
+
+/// First index of `needle` in `haystack`.
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+type RequestLine = (String, String, bool);
+
+/// Parses the head (request line + header lines, no trailing CRLFCRLF).
+fn parse_head(
+    head: &[u8],
+    limits: &HttpLimits,
+) -> Result<(RequestLine, Vec<(String, String)>), HttpError> {
+    // The head must be printable ASCII plus CR/LF/TAB; NUL or high bytes
+    // are an attack or corruption, never valid HTTP.
+    if let Some(&b) = head
+        .iter()
+        .find(|&&b| !(b.is_ascii_graphic() || b == b' ' || b == b'\t' || b == b'\r' || b == b'\n'))
+    {
+        return Err(HttpError::BadHeader(format!("control byte 0x{b:02x} in head")));
+    }
+    let mut lines = Vec::new();
+    let mut rest = head;
+    while let Some(pos) = find(rest, b"\r\n") {
+        lines.push(&rest[..pos]);
+        rest = &rest[pos + 2..];
+    }
+    lines.push(rest);
+    // A bare CR or LF inside a line is malformed (we split on CRLF only).
+    for line in &lines {
+        if line.iter().any(|&b| b == b'\r' || b == b'\n') {
+            return Err(HttpError::BadHeader("bare CR or LF in head".into()));
+        }
+    }
+    let request_line = parse_request_line(lines[0], limits)?;
+    let header_lines = &lines[1..];
+    if header_lines.len() > limits.max_headers {
+        return Err(HttpError::TooManyHeaders { limit: limits.max_headers });
+    }
+    let mut headers = Vec::with_capacity(header_lines.len());
+    for line in header_lines {
+        if line.is_empty() {
+            return Err(HttpError::BadHeader("empty header line inside head".into()));
+        }
+        if line[0] == b' ' || line[0] == b'\t' {
+            return Err(HttpError::BadHeader("obsolete line folding".into()));
+        }
+        let colon = line
+            .iter()
+            .position(|&b| b == b':')
+            .ok_or_else(|| HttpError::BadHeader("header line without ':'".into()))?;
+        let (name, value) = line.split_at(colon);
+        if name.is_empty() || !name.iter().all(|&b| is_token_char(b)) {
+            return Err(HttpError::BadHeader(format!(
+                "bad header name {:?}",
+                String::from_utf8_lossy(name)
+            )));
+        }
+        let name = String::from_utf8_lossy(name).to_ascii_lowercase();
+        let value = String::from_utf8_lossy(&value[1..]).trim_matches([' ', '\t']).to_string();
+        headers.push((name, value));
+    }
+    Ok((request_line, headers))
+}
+
+fn parse_request_line(line: &[u8], limits: &HttpLimits) -> Result<RequestLine, HttpError> {
+    let text = String::from_utf8_lossy(line);
+    let mut parts = text.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequestLine(format!(
+            "expected 'METHOD TARGET VERSION', got {:?}",
+            truncate(&text, 80)
+        )));
+    };
+    if method.is_empty() || !method.bytes().all(is_token_char) {
+        return Err(HttpError::BadRequestLine(format!("bad method {:?}", truncate(method, 40))));
+    }
+    if target.len() > limits.max_target_bytes {
+        return Err(HttpError::TargetTooLong { limit: limits.max_target_bytes });
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequestLine(format!("bad target {:?}", truncate(target, 80))));
+    }
+    let version_11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(HttpError::BadVersion(truncate(other, 40).to_string())),
+    };
+    Ok((method.to_string(), target.to_string(), version_11))
+}
+
+/// Resolves the declared body length from the headers, defensively.
+fn body_length(headers: &[(String, String)], limits: &HttpLimits) -> Result<usize, HttpError> {
+    if let Some((_, v)) = headers.iter().find(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::UnsupportedTransferEncoding(truncate(v, 40).to_string()));
+    }
+    let mut lengths = headers.iter().filter(|(n, _)| n == "content-length");
+    let Some((_, value)) = lengths.next() else {
+        return Ok(0);
+    };
+    if lengths.next().is_some() {
+        return Err(HttpError::DuplicateContentLength);
+    }
+    // Strict decimal: no sign, no whitespace, no exponent, bounded width.
+    if value.is_empty() || value.len() > 18 || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::BadContentLength(truncate(value, 40).to_string()));
+    }
+    let declared: u64 = value
+        .parse()
+        .map_err(|_| HttpError::BadContentLength(truncate(value, 40).to_string()))?;
+    if declared > limits.max_body_bytes as u64 {
+        return Err(HttpError::BodyTooLarge { limit: limits.max_body_bytes, declared });
+    }
+    Ok(declared as usize)
+}
+
+fn truncate(s: &str, max: usize) -> &str {
+    match s.char_indices().nth(max) {
+        Some((idx, _)) => &s[..idx],
+        None => s,
+    }
+}
+
+/// Reason phrase for the statuses the gateway emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Encodes a complete HTTP/1.1 response with `Content-Length` framing.
+pub fn encode_response(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(format!("HTTP/1.1 {status} {}\r\n", reason_phrase(status)).as_bytes());
+    out.extend_from_slice(format!("content-type: {content_type}\r\n").as_bytes());
+    out.extend_from_slice(format!("content-length: {}\r\n", body.len()).as_bytes());
+    out.extend_from_slice(
+        if keep_alive { b"connection: keep-alive\r\n".as_slice() } else { b"connection: close\r\n" },
+    );
+    for (name, value) in extra_headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut p = RequestParser::new(HttpLimits::default());
+        p.push(bytes);
+        p.poll()
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let req = parse_one(b"GET /health HTTP/1.1\r\nhost: x\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/health");
+        assert_eq!(req.path(), "/health");
+        assert!(req.version_11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_strips_query() {
+        let req = parse_one(b"POST /v1/score?trace=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path(), "/v1/score");
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("content-length"), Some("4"));
+    }
+
+    #[test]
+    fn incomplete_requests_wait_for_more_bytes() {
+        let mut p = RequestParser::new(HttpLimits::default());
+        p.push(b"POST / HTTP/1.1\r\ncontent-length: 4\r\n\r\nab");
+        assert_eq!(p.poll().unwrap(), None);
+        p.push(b"cd");
+        assert_eq!(p.poll().unwrap().unwrap().body, b"abcd");
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_one_at_a_time() {
+        let mut p = RequestParser::new(HttpLimits::default());
+        p.push(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(p.poll().unwrap().unwrap().target, "/a");
+        assert_eq!(p.poll().unwrap().unwrap().target, "/b");
+        assert_eq!(p.poll().unwrap(), None);
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for bad in [
+            b"GET\r\n\r\n".as_slice(),
+            b"GET /\r\n\r\n",
+            b"GET  / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b" / HTTP/1.1\r\n\r\n",
+            b"G@T / HTTP/1.1\r\n\r\n",
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / http/1.1\r\n\r\n",
+        ] {
+            let err = parse_one(bad).unwrap_err();
+            assert_eq!(err.status(), 400, "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        for bad in [
+            b"GET / HTTP/1.1\r\nno-colon\r\n\r\n".as_slice(),
+            b"GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name: v\r\n\r\n",
+            b"GET / HTTP/1.1\r\nh: a\r\n folded\r\n\r\n",
+            b"GET / HTTP/1.1\r\nh\x00: v\r\n\r\n",
+        ] {
+            let err = parse_one(bad).unwrap_err();
+            assert_eq!(err.status(), 400, "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_content_length_attacks() {
+        let dup = b"POST / HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\nab";
+        assert_eq!(parse_one(dup).unwrap_err(), HttpError::DuplicateContentLength);
+        for bad in ["abc", "-1", "1e3", "+4", "4 4", "", "99999999999999999999"] {
+            let raw = format!("POST / HTTP/1.1\r\ncontent-length: {bad}\r\n\r\n");
+            let err = parse_one(raw.as_bytes()).unwrap_err();
+            assert_eq!(err.status(), 400, "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_chunked_bodies() {
+        let raw = b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n";
+        assert!(matches!(
+            parse_one(raw).unwrap_err(),
+            HttpError::UnsupportedTransferEncoding(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let limits = HttpLimits { max_body_bytes: 8, ..HttpLimits::default() };
+        let mut p = RequestParser::new(limits);
+        p.push(b"POST / HTTP/1.1\r\ncontent-length: 9\r\n\r\n");
+        let err = p.poll().unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn unterminated_head_past_the_limit_errors_instead_of_buffering_forever() {
+        let limits = HttpLimits { max_head_bytes: 64, ..HttpLimits::default() };
+        let mut p = RequestParser::new(limits);
+        p.push(b"GET / HTTP/1.1\r\nh: ");
+        p.push(&[b'a'; 100]);
+        assert!(matches!(p.poll().unwrap_err(), HttpError::HeadTooLarge { .. }));
+    }
+
+    #[test]
+    fn too_many_headers_is_rejected() {
+        let limits = HttpLimits { max_headers: 3, ..HttpLimits::default() };
+        let mut p = RequestParser::new(limits);
+        p.push(b"GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\nd: 4\r\n\r\n");
+        assert!(matches!(p.poll().unwrap_err(), HttpError::TooManyHeaders { limit: 3 }));
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let req = |raw: &[u8]| parse_one(raw).unwrap().unwrap();
+        assert!(req(b"GET / HTTP/1.1\r\n\r\n").wants_keep_alive());
+        assert!(!req(b"GET / HTTP/1.0\r\n\r\n").wants_keep_alive());
+        assert!(!req(b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n").wants_keep_alive());
+        assert!(req(b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n").wants_keep_alive());
+    }
+
+    #[test]
+    fn encode_response_frames_the_body() {
+        let raw = encode_response(200, "application/json", b"{}", true, &[("retry-after", "1")]);
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 2\r\n"), "{text}");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+}

@@ -1,0 +1,36 @@
+//! `clfd-gateway`: the HTTP/1.1 serving edge over the CLFD inference
+//! engine.
+//!
+//! The engine (`clfd-serve`) batches, sheds, and hot-swaps in-process;
+//! this crate puts a socket in front of it with nothing but `std::net`:
+//!
+//! - [`Gateway`] — fixed worker pool + bounded admission queue serving
+//!   `POST /v1/score`, `GET /health`, and `GET /metrics` (Prometheus text
+//!   from a `clfd-metrics` [`Registry`](clfd_metrics::Registry)).
+//! - [`RequestParser`] — a defensive, incremental HTTP parser (bounded
+//!   head/headers/body, duplicate-`Content-Length` and chunked-body
+//!   rejection, torn-read resilient) that the protocol-torture suite
+//!   attacks directly.
+//! - [`ApiKeys`] — per-tenant API keys via `x-api-key`.
+//! - [`HttpClient`] — the minimal blocking client the tests and
+//!   `bench_gateway` drive load with.
+//!
+//! Telemetry rides the existing `clfd-obs` event stream
+//! ([`Event::HttpRequest`](clfd_obs::Event::HttpRequest),
+//! [`Event::ConnOpened`](clfd_obs::Event::ConnOpened),
+//! [`Event::ConnClosed`](clfd_obs::Event::ConnClosed),
+//! [`Event::GatewayShed`](clfd_obs::Event::GatewayShed)), which
+//! `clfd-metrics` folds into counters and latency histograms and
+//! `clfd-report` renders as an edge-latency section.
+
+pub mod api;
+pub mod auth;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use api::{ErrorBody, ScoreRequest, ScoreResponse, ScoredSession};
+pub use auth::{ApiKeys, ANONYMOUS_TENANT};
+pub use client::{HttpClient, HttpResponse};
+pub use http::{encode_response, HttpError, HttpLimits, Request, RequestParser};
+pub use server::{Gateway, GatewayConfig};

@@ -1,0 +1,464 @@
+//! The gateway server: a fixed worker pool draining a bounded admission
+//! queue of accepted connections.
+//!
+//! ## Shape
+//!
+//! One listener thread accepts sockets. Each accepted socket either
+//! enters the bounded admission queue (a worker will pick it up) or is
+//! shed on the spot with a `503` + `Connection: close` when the queue is
+//! full or the live-connection cap is reached — the edge analogue of the
+//! engine's [`ServeError::Overloaded`]. Workers own one connection at a
+//! time and run its keep-alive loop to completion, so the worker count is
+//! also the concurrent-connection service limit; the admission queue
+//! absorbs bursts between the two.
+//!
+//! ## Error mapping
+//!
+//! | condition                               | status |
+//! |-----------------------------------------|--------|
+//! | malformed HTTP, bad JSON, bad session   | 400    |
+//! | missing/unknown API key                 | 401    |
+//! | unknown path / wrong method             | 404/405|
+//! | declared body over the limit            | 413    |
+//! | engine queue full (`Overloaded`)        | 429    |
+//! | deadline exceeded, shutdown, panic      | 503    |
+//!
+//! Request handling maps client deadlines onto
+//! [`Engine::try_submit_with_deadline`] and [`Ticket::wait`], so a
+//! stalled scoring path turns into a clean 503, never a wedged socket.
+
+use crate::api::{ErrorBody, ScoreRequest, ScoreResponse, ScoredSession};
+use crate::auth::ApiKeys;
+use crate::http::{encode_response, HttpLimits, Request, RequestParser};
+use clfd_data::session::{Label, Session};
+use clfd_metrics::Registry;
+use clfd_obs::{Event, Obs};
+use clfd_serve::{Engine, ServeError, Ticket};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Worker threads; also the number of connections served
+    /// concurrently.
+    pub workers: usize,
+    /// Bound on accepted-but-unclaimed connections; beyond it new
+    /// connections are shed with 503.
+    pub accept_queue: usize,
+    /// Cap on live connections (queued + being served); beyond it new
+    /// connections are shed with 503.
+    pub max_connections: usize,
+    /// HTTP parser limits.
+    pub limits: HttpLimits,
+    /// Per-read socket timeout; an idle keep-alive connection is closed
+    /// after this long with no bytes.
+    pub read_timeout: Duration,
+    /// Maximum requests served on one connection before it is closed.
+    pub keep_alive_requests: u64,
+    /// Maximum sessions accepted in one `POST /v1/score` body.
+    pub max_sessions_per_request: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// (`None` = wait indefinitely for the engine).
+    pub default_deadline: Option<Duration>,
+    /// Upper clamp on client-supplied deadlines.
+    pub max_deadline: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            accept_queue: 64,
+            max_connections: 256,
+            limits: HttpLimits::default(),
+            read_timeout: Duration::from_secs(5),
+            keep_alive_requests: 10_000,
+            max_sessions_per_request: 256,
+            default_deadline: Some(Duration::from_secs(30)),
+            max_deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+struct Shared {
+    cfg: GatewayConfig,
+    engine: Arc<Engine>,
+    keys: ApiKeys,
+    obs: Obs,
+    metrics: Option<Arc<Registry>>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Connections alive: queued + being served by a worker.
+    active: AtomicUsize,
+}
+
+/// A running HTTP gateway; dropping it shuts the server down.
+pub struct Gateway {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// listener and worker threads. `metrics`, when given, backs
+    /// `GET /metrics`; pair it with an
+    /// [`EventFold`](clfd_metrics::EventFold)-based `obs` so gateway and
+    /// engine events actually land in it.
+    ///
+    /// # Errors
+    /// Any socket-level error from binding.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cfg: GatewayConfig,
+        engine: Arc<Engine>,
+        keys: ApiKeys,
+        obs: Obs,
+        metrics: Option<Arc<Registry>>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            engine,
+            keys,
+            obs,
+            metrics,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept_shared = Arc::clone(&shared);
+        let listener_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(Self { shared, addr, listener: Some(listener_thread), workers })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains workers, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.notify_all_workers();
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        let workers = std::mem::take(&mut self.workers);
+        for worker in workers {
+            self.notify_all_workers();
+            let _ = worker.join();
+        }
+    }
+
+    fn notify_all_workers(&self) {
+        let _guard = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        self.shared.available.notify_all();
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+            shed(stream, shared, "conn_cap");
+            continue;
+        }
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= shared.cfg.accept_queue {
+            drop(queue);
+            shed(stream, shared, "queue_full");
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        queue.push_back(stream);
+        drop(queue);
+        shared.available.notify_one();
+    }
+}
+
+/// Refuses a connection at the edge with a best-effort 503 + close.
+///
+/// The lingering drain runs on a detached thread so the accept loop never
+/// blocks on a shed peer: closing a socket with unread received bytes
+/// sends RST, which would destroy the 503 before the client reads it —
+/// the client's request is almost always still in flight at shed time.
+fn shed(mut stream: TcpStream, shared: &Arc<Shared>, reason: &str) {
+    shared.obs.emit(Event::GatewayShed { reason: reason.to_string() });
+    let body = ErrorBody { error: "admission_shed".into(), detail: format!("gateway {reason}") }
+        .to_json();
+    std::thread::spawn(move || {
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+        let write = stream.write_all(&encode_response(
+            503,
+            "application/json",
+            &body,
+            false,
+            &[("retry-after", "1")],
+        ));
+        if write.is_ok() {
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let mut sink = [0u8; 1024];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        }
+    });
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.available.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        serve_connection(stream, shared);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs one connection's keep-alive loop to completion.
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let cfg = &shared.cfg;
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    shared
+        .obs
+        .emit(Event::ConnOpened { active: shared.active.load(Ordering::SeqCst) });
+
+    let mut parser = RequestParser::new(cfg.limits.clone());
+    let mut chunk = [0u8; 4096];
+    let mut requests = 0u64;
+    let reason: &str = 'conn: loop {
+        // Assemble the next request (or detect close/garbage).
+        let request = loop {
+            match parser.poll() {
+                Ok(Some(request)) => break request,
+                Ok(None) => match stream.read(&mut chunk) {
+                    Ok(0) => {
+                        break 'conn if parser.buffered() == 0 { "client_close" } else { "truncated" }
+                    }
+                    Ok(n) => parser.push(&chunk[..n]),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        break 'conn "timeout"
+                    }
+                    Err(_) => break 'conn "io_error",
+                },
+                Err(e) => {
+                    // Malformed request: answer with its 4xx and close.
+                    let body = ErrorBody { error: e.tag().into(), detail: e.to_string() }.to_json();
+                    let _ = stream.write_all(&encode_response(
+                        e.status(),
+                        "application/json",
+                        &body,
+                        false,
+                        &[],
+                    ));
+                    break 'conn "client_error";
+                }
+            }
+        };
+
+        requests += 1;
+        let started = Instant::now();
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        let keep_alive = request.wants_keep_alive()
+            && requests < cfg.keep_alive_requests
+            && !shutting_down;
+        let (status, body, content_type, extra) = handle_request(&request, shared);
+        let extra_refs: Vec<(&str, &str)> =
+            extra.iter().map(|(n, v)| (*n, v.as_str())).collect();
+        let response = encode_response(status, content_type, &body, keep_alive, &extra_refs);
+        // Emit before the write: anything the client does after reading
+        // its response (like fetching /metrics) then happens-after the
+        // counters moved. A /metrics response still never includes its
+        // own request — its exposition was snapshotted in the handler,
+        // before this emit.
+        shared.obs.emit(Event::HttpRequest {
+            tenant: tenant_label(&request, shared),
+            method: request.method.clone(),
+            path: request.path().to_string(),
+            status,
+            latency_us: started.elapsed().as_micros() as u64,
+        });
+        if stream.write_all(&response).is_err() {
+            break 'conn "io_error";
+        }
+        if !keep_alive {
+            break 'conn if requests >= cfg.keep_alive_requests {
+                "keep_alive_limit"
+            } else if shutting_down {
+                "shutdown"
+            } else {
+                "server_close"
+            };
+        }
+    };
+    shared.obs.emit(Event::ConnClosed { requests, reason: reason.to_string() });
+}
+
+/// The tenant a request resolves to, for telemetry (401s keep the
+/// presented-but-unknown key out of labels).
+fn tenant_label(request: &Request, shared: &Arc<Shared>) -> String {
+    shared
+        .keys
+        .tenant_for(request.header("x-api-key"))
+        .unwrap_or("unauthenticated")
+        .to_string()
+}
+
+type Response = (u16, Vec<u8>, &'static str, Vec<(&'static str, String)>);
+
+fn json_error(status: u16, error: &str, detail: impl Into<String>) -> Response {
+    let body = ErrorBody { error: error.into(), detail: detail.into() }.to_json();
+    (status, body, "application/json", Vec::new())
+}
+
+fn handle_request(request: &Request, shared: &Arc<Shared>) -> Response {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/health") => {
+            (200, b"{\"status\":\"ok\"}".to_vec(), "application/json", Vec::new())
+        }
+        ("GET", "/metrics") => match &shared.metrics {
+            Some(registry) => (
+                200,
+                registry.snapshot().to_prometheus().into_bytes(),
+                "text/plain; version=0.0.4",
+                Vec::new(),
+            ),
+            None => json_error(404, "no_metrics", "gateway runs without a metrics registry"),
+        },
+        ("POST", "/v1/score") => score(request, shared),
+        ("GET" | "HEAD", "/v1/score") => json_error(405, "method_not_allowed", "use POST"),
+        (_, path) => json_error(404, "not_found", format!("no route for {path}")),
+    }
+}
+
+fn score(request: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(tenant) = shared.keys.tenant_for(request.header("x-api-key")) else {
+        return json_error(401, "unauthorized", "missing or unknown x-api-key");
+    };
+    let _ = tenant;
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return json_error(400, "bad_json", "body is not UTF-8");
+    };
+    let parsed = match ScoreRequest::from_json(text) {
+        Ok(parsed) => parsed,
+        Err(e) => return json_error(400, "bad_json", e),
+    };
+    if parsed.sessions.is_empty() {
+        return json_error(400, "empty_request", "sessions must be non-empty");
+    }
+    if parsed.sessions.len() > shared.cfg.max_sessions_per_request {
+        return json_error(
+            400,
+            "too_many_sessions",
+            format!(
+                "{} sessions exceed the per-request cap of {}",
+                parsed.sessions.len(),
+                shared.cfg.max_sessions_per_request
+            ),
+        );
+    }
+    let deadline = match parsed.deadline_ms {
+        Some(ms) => Some(Duration::from_millis(ms).min(shared.cfg.max_deadline)),
+        None => shared.cfg.default_deadline,
+    };
+
+    // Submit every session, then wait for all tickets: the engine batches
+    // across them. On a submit error the already-issued tickets are simply
+    // dropped — the engine answers them into a closed channel, which is
+    // harmless and keeps "exactly one response per HTTP request" trivial.
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(parsed.sessions.len());
+    for (i, activities) in parsed.sessions.iter().enumerate() {
+        let session = Session { activities: activities.clone(), day: 0 };
+        let submitted = match deadline {
+            Some(timeout) => shared.engine.try_submit_with_deadline(&session, timeout),
+            None => shared.engine.try_submit(&session),
+        };
+        match submitted {
+            Ok(ticket) => tickets.push(ticket),
+            Err(e) => return serve_error_response(&e, i),
+        }
+    }
+    let mut scores = Vec::with_capacity(tickets.len());
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait() {
+            Ok(prediction) => scores.push(ScoredSession {
+                label: match prediction.label {
+                    Label::Malicious => "malicious".to_string(),
+                    Label::Normal => "normal".to_string(),
+                },
+                malicious_score: prediction.malicious_score,
+                confidence: prediction.confidence,
+            }),
+            Err(e) => return serve_error_response(&e, i),
+        }
+    }
+    let body = ScoreResponse { scores }.to_json().into_bytes();
+    (200, body, "application/json", Vec::new())
+}
+
+/// Maps a [`ServeError`] for session `i` onto the response contract.
+fn serve_error_response(error: &ServeError, session: usize) -> Response {
+    let detail = format!("session {session}: {error}");
+    match error {
+        ServeError::EmptySession | ServeError::UnknownToken { .. } => {
+            json_error(400, "bad_session", detail)
+        }
+        ServeError::Overloaded { .. } => {
+            let (status, body, ct, mut extra) = json_error(429, "overloaded", detail);
+            extra.push(("retry-after", "1".to_string()));
+            (status, body, ct, extra)
+        }
+        ServeError::DeadlineExceeded => json_error(503, "deadline_exceeded", detail),
+        ServeError::ShuttingDown => json_error(503, "shutting_down", detail),
+        ServeError::Freeze(_) | ServeError::Artifact(_) | ServeError::Internal(_) => {
+            json_error(503, "internal", detail)
+        }
+    }
+}

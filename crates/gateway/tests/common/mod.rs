@@ -1,0 +1,166 @@
+//! Shared fixtures for gateway integration tests: a hand-packed artifact
+//! (no training, so socket suites stay fast), a one-call gateway
+//! launcher, and wire helpers.
+
+#![allow(dead_code)]
+
+use clfd::prelude::*;
+use clfd::{ClfdSnapshot, CorrectorSnapshot};
+use clfd_data::session::Session;
+use clfd_gateway::{ApiKeys, Gateway, GatewayConfig, HttpClient, HttpResponse, ScoreRequest};
+use clfd_metrics::{EventFold, Registry};
+use clfd_nn::snapshot::Snapshot;
+use clfd_obs::Obs;
+use clfd_serve::{Engine, EngineConfig, InferenceArtifact};
+use clfd_tensor::Matrix;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default vocabulary of test artifacts.
+pub const VOCAB: usize = 6;
+
+/// Hand-packed corrector-shaped snapshot; `variant` perturbs every weight
+/// so two variants produce measurably different scores.
+pub fn tiny_snapshot(variant: u32, vocab: usize) -> (ClfdSnapshot, ClfdConfig) {
+    let cfg = ClfdConfig::for_preset(Preset::Smoke);
+    let (dim, hid) = (cfg.embed_dim, cfg.hidden);
+    let shift = variant as f32 * 0.37;
+    let wave =
+        move |scale: f32| move |r: usize, c: usize| ((r * 13 + c * 7) as f32 * scale + shift).sin();
+    let mut encoder = Vec::new();
+    for layer in 0..cfg.lstm_layers {
+        let in_dim = if layer == 0 { dim } else { hid };
+        encoder.push(Matrix::from_fn(in_dim, 4 * hid, wave(0.11 + layer as f32)));
+        encoder.push(Matrix::from_fn(hid, 4 * hid, wave(0.07 + layer as f32)));
+        encoder.push(Matrix::from_fn(1, 4 * hid, wave(0.05)));
+    }
+    let snapshot = ClfdSnapshot {
+        embeddings: Snapshot { values: vec![Matrix::from_fn(vocab, dim, wave(0.19))] },
+        corrector: Some(CorrectorSnapshot {
+            encoder: Snapshot { values: encoder },
+            head: Snapshot {
+                values: vec![
+                    Matrix::from_fn(hid, hid, wave(0.03)),
+                    Matrix::zeros(1, hid),
+                    Matrix::from_fn(hid, 2, wave(0.23)),
+                    Matrix::zeros(1, 2),
+                ],
+            },
+        }),
+        detector: None,
+    };
+    (snapshot, cfg)
+}
+
+/// A frozen artifact for `variant` over the default vocabulary.
+pub fn artifact(variant: u32) -> InferenceArtifact {
+    let (snapshot, cfg) = tiny_snapshot(variant, VOCAB);
+    InferenceArtifact::from_snapshot(&snapshot, cfg).expect("hand-packed snapshot freezes")
+}
+
+/// A running gateway over a fixed hand-packed artifact, with handles to
+/// everything a test wants to cross-check against.
+pub struct Edge {
+    /// The gateway; dropping the `Edge` shuts it down.
+    pub gateway: Gateway,
+    /// The engine behind it (same `Arc` the gateway scores through).
+    pub engine: Arc<Engine>,
+    /// The registry backing `GET /metrics`; engine and gateway events
+    /// both fold into it.
+    pub registry: Arc<Registry>,
+}
+
+impl Edge {
+    /// The gateway's base URL host:port.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.gateway.local_addr()
+    }
+
+    /// A fresh keep-alive client against this gateway.
+    pub fn client(&self) -> HttpClient {
+        HttpClient::connect(self.addr(), Duration::from_secs(10)).expect("client connects")
+    }
+}
+
+/// Engine config small enough to exercise batching but never shed in
+/// ordinary tests.
+pub fn roomy_engine() -> EngineConfig {
+    EngineConfig { max_batch: 8, queue_capacity: 1024, workers: 2, metrics_every: None }
+}
+
+/// Starts a gateway on an ephemeral port over `artifact(variant)`.
+pub fn start(variant: u32, gw_cfg: GatewayConfig, eng_cfg: EngineConfig) -> Edge {
+    let registry = Arc::new(Registry::new());
+    let obs = Obs::new(EventFold::new(registry.clone()));
+    let engine =
+        Arc::new(Engine::with_metrics(artifact(variant), eng_cfg, obs.clone(), registry.clone()));
+    let gateway = Gateway::bind(
+        "127.0.0.1:0",
+        gw_cfg,
+        Arc::clone(&engine),
+        ApiKeys::open(),
+        obs,
+        Some(registry.clone()),
+    )
+    .expect("gateway binds ephemeral port");
+    Edge { gateway, engine, registry }
+}
+
+/// Starts a default-config gateway over `artifact(0)`.
+pub fn start_default() -> Edge {
+    start(0, GatewayConfig::default(), roomy_engine())
+}
+
+/// A `POST /v1/score` body for `sessions`.
+pub fn score_body(sessions: &[Vec<u32>]) -> Vec<u8> {
+    ScoreRequest { sessions: sessions.to_vec(), deadline_ms: None }.to_json().into_bytes()
+}
+
+/// POSTs sessions to `/v1/score` on an existing client.
+pub fn post_score(client: &mut HttpClient, sessions: &[Vec<u32>]) -> HttpResponse {
+    client
+        .request("POST", "/v1/score", &[("content-type", "application/json")], &score_body(sessions))
+        .expect("score request completes")
+}
+
+/// The artifact's stageable JSON bytes (registry-backed tests).
+pub fn artifact_json(variant: u32) -> Vec<u8> {
+    artifact(variant).to_json().into_bytes()
+}
+
+/// A unique temp directory for one test's registry root.
+pub fn temp_root(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("clfd-gateway-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Probe sessions whose activities stay below `max_activity`.
+pub fn sessions_below(max_activity: usize, n: usize) -> Vec<Session> {
+    (0..n)
+        .map(|i| Session {
+            activities: (0..3 + i % 3).map(|j| ((i + j * 5) % max_activity) as u32).collect(),
+            day: (i % 7) as u32,
+        })
+        .collect()
+}
+
+/// Probe sessions over the full default vocabulary.
+pub fn probe_sessions(n: usize) -> Vec<Session> {
+    sessions_below(VOCAB, n)
+}
+
+/// Bitwise prediction comparison (label + both score channels).
+pub fn same_prediction(a: &Prediction, b: &Prediction) -> bool {
+    a.label == b.label
+        && a.malicious_score.to_bits() == b.malicious_score.to_bits()
+        && a.confidence.to_bits() == b.confidence.to_bits()
+}
+
+/// The wire string for a label.
+pub fn label_str(label: Label) -> &'static str {
+    match label {
+        Label::Malicious => "malicious",
+        Label::Normal => "normal",
+    }
+}

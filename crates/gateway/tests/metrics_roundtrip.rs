@@ -1,0 +1,159 @@
+//! `/metrics` round trip: the gateway's Prometheus exposition must parse
+//! under `clfd_metrics::parse_prometheus`, its quantile buckets must
+//! cross-validate against exact percentiles recomputed from the run's
+//! JSONL event log, and the per-tenant/per-status counters must agree
+//! with what the clients actually observed.
+
+#![allow(missing_docs)]
+
+mod common;
+
+use clfd_gateway::{ApiKeys, Gateway, GatewayConfig, ScoreRequest};
+use clfd_metrics::expo::hist_from_samples;
+use clfd_metrics::report::percentile;
+use clfd_metrics::{names, parse_prometheus, EventFold, Registry, RunSummary};
+use clfd_obs::{JsonlSink, Obs, Recorder};
+use clfd_serve::Engine;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn metrics_exposition_parses_and_reconciles_with_the_jsonl_run_log() {
+    const SCORE_REQUESTS: usize = 40;
+
+    let run_path = std::env::temp_dir()
+        .join(format!("RUN_gateway_roundtrip_{}.jsonl", std::process::id()));
+    let registry = Arc::new(Registry::new());
+    let jsonl: Arc<dyn Recorder> =
+        Arc::new(JsonlSink::create(&run_path).expect("create run log"));
+    let obs = Obs::new(EventFold::tee(registry.clone(), jsonl));
+    let engine = Arc::new(Engine::with_metrics(
+        common::artifact(0),
+        common::roomy_engine(),
+        obs.clone(),
+        registry.clone(),
+    ));
+    let gateway = Gateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig::default(),
+        Arc::clone(&engine),
+        ApiKeys::open().with_key("s3cret", "acme"),
+        obs,
+        Some(registry.clone()),
+    )
+    .expect("gateway binds");
+
+    // Traffic mix: scores (authorized), health checks, one 401, one 404,
+    // one 405, one bad-JSON 400 — every class lands in the counters.
+    let auth: &[(&str, &str)] = &[("x-api-key", "s3cret")];
+    {
+        let mut client = gateway_client(&gateway);
+        for i in 0..SCORE_REQUESTS {
+            let sessions = vec![vec![(i % common::VOCAB) as u32, ((i + 2) % common::VOCAB) as u32]];
+            let body = ScoreRequest { sessions, deadline_ms: None }.to_json().into_bytes();
+            let r = client.request("POST", "/v1/score", auth, &body).expect("score");
+            assert_eq!(r.status, 200, "{}", r.body_text());
+        }
+        for _ in 0..5 {
+            assert_eq!(client.request("GET", "/health", auth, b"").expect("health").status, 200);
+        }
+        assert_eq!(
+            client.request("POST", "/v1/score", &[], b"{}").expect("no key").status,
+            401
+        );
+        assert_eq!(client.request("GET", "/nope", auth, b"").expect("404").status, 404);
+        assert_eq!(client.request("GET", "/v1/score", auth, b"").expect("405").status, 405);
+        assert_eq!(
+            client.request("POST", "/v1/score", auth, b"not json").expect("400").status,
+            400
+        );
+    }
+
+    // Fetch the exposition over HTTP on a fresh connection. Everything
+    // above has completed (responses were read), so the text must cover
+    // all of it; the /metrics request itself is excluded by construction
+    // (its event is emitted after the response bytes go out).
+    let exposition = {
+        let mut client = gateway_client(&gateway);
+        let r = client.request("GET", "/metrics", &[], b"").expect("metrics");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("content-type"), Some("text/plain; version=0.0.4"));
+        r.body_text()
+    };
+    let samples = parse_prometheus(&exposition).expect("exposition parses");
+    let count = |name: &str, want: &[(&str, &str)]| -> u64 {
+        samples
+            .iter()
+            .filter(|s| s.name == name && want.iter().all(|(k, v)| s.label(k) == Some(v)))
+            .map(|s| s.value as u64)
+            .sum()
+    };
+    let req = names::GATEWAY_REQUESTS_TOTAL;
+    assert_eq!(
+        count(req, &[("path", "/v1/score"), ("status", "200"), ("tenant", "acme")]),
+        SCORE_REQUESTS as u64
+    );
+    assert_eq!(count(req, &[("path", "/health"), ("status", "200")]), 5);
+    assert_eq!(count(req, &[("status", "401")]), 1);
+    assert_eq!(count(req, &[("status", "404")]), 1);
+    assert_eq!(count(req, &[("status", "405")]), 1);
+    assert_eq!(count(req, &[("status", "400")]), 1);
+    // The 401 resolved to no tenant; it must not pollute real tenants.
+    assert_eq!(count(req, &[("tenant", "unauthenticated")]), 1);
+
+    // Quantile cross-check on the HTTP-fetched exposition itself: the
+    // /v1/score latency series' count and bucketed percentiles must match
+    // exact percentiles recomputed from the run log's http_request events.
+    gateway.shutdown(); // joins workers => the JSONL file is complete
+    let log = std::fs::read_to_string(&run_path).expect("read run log");
+    let mut score_latencies: Vec<u64> = log
+        .lines()
+        .filter_map(|line| {
+            let v = clfd_obs::json::parse(line).expect("run log line parses");
+            (v.get("type").and_then(|t| t.as_str()) == Some("http_request")
+                && v.get("path").and_then(|p| p.as_str()) == Some("/v1/score"))
+            .then(|| v.get("latency_us").and_then(clfd_obs::json::Value::as_u64).unwrap())
+        })
+        .collect();
+    // The path-labeled latency series spans every status: the scores plus
+    // the injected 401, 405, and 400.
+    let score_path_requests = SCORE_REQUESTS + 3;
+    assert_eq!(score_latencies.len(), score_path_requests, "run log covers every request");
+    score_latencies.sort_unstable();
+
+    let hists =
+        hist_from_samples(&samples, names::GATEWAY_REQUEST_LATENCY_US).expect("latency hists");
+    let (_, score_hist) = hists
+        .iter()
+        .find(|(labels, _)| labels == "path=\"/v1/score\"")
+        .expect("exposition has a /v1/score latency series");
+    assert_eq!(score_hist.count, score_path_requests as u64);
+    for q in [0.5, 0.9, 0.99] {
+        let exact = percentile(&score_latencies, q);
+        let bucket_of_exact = score_hist.bucket_index_of(exact as f64);
+        let bucket_est = score_hist.quantile_bucket_index(q).expect("non-empty histogram");
+        assert!(
+            bucket_est.abs_diff(bucket_of_exact) <= 1,
+            "p{q}: exact {exact}us lands in bucket {bucket_of_exact}, \
+             snapshot estimates bucket {bucket_est}"
+        );
+    }
+
+    // Full reconciliation through the report layer: the run summary built
+    // from the JSONL must accept the registry's final snapshot (serve and
+    // gateway histograms, series-for-series).
+    let summary = RunSummary::from_lines(log.lines()).expect("run summary builds");
+    let report = summary
+        .check_snapshot(&registry.snapshot().to_prometheus())
+        .expect("JSONL and final snapshot reconcile");
+    assert!(report.contains("gateway ok"), "gateway check must have run: {report}");
+    // And the rendered report gains the edge-latency section.
+    assert!(summary.render().contains("Gateway edge latency"), "{}", summary.render());
+
+    let _ = std::fs::remove_file(&run_path);
+}
+
+fn gateway_client(gateway: &Gateway) -> clfd_gateway::HttpClient {
+    clfd_gateway::HttpClient::connect(gateway.local_addr(), Duration::from_secs(30))
+        .expect("client connects")
+}

@@ -1,0 +1,336 @@
+//! Protocol-torture suite for the gateway's HTTP front end.
+//!
+//! Two layers of attack:
+//!
+//! 1. **Parser-direct** (proptest): arbitrary torn-read schedules, random
+//!    garbage, and pipelined wire images against [`RequestParser`] — the
+//!    invariant is "clean `Ok`/`Err`, never a panic, and byte-at-a-time
+//!    feeding is indistinguishable from one big push".
+//! 2. **Live-socket**: every malformed-request class against a running
+//!    [`Gateway`], asserting the documented 4xx + close behaviour and —
+//!    after every attack — that the server still answers a fresh,
+//!    well-formed request.
+
+#![allow(missing_docs)]
+
+mod common;
+
+use clfd_gateway::{HttpError, HttpLimits, Request, RequestParser};
+use common::{score_body, start_default};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Feeds `wire` in chunks of `step` bytes and returns the first poll
+/// outcome that is not "need more input".
+fn parse_chunked(wire: &[u8], step: usize) -> Result<Option<Request>, HttpError> {
+    let mut parser = RequestParser::new(HttpLimits::default());
+    for chunk in wire.chunks(step.max(1)) {
+        parser.push(chunk);
+        match parser.poll() {
+            Ok(None) => {}
+            done => return done,
+        }
+    }
+    parser.poll()
+}
+
+fn header_name_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0_u8..26, 1..12)
+        .prop_map(|bytes| bytes.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+/// Full-range byte strategy (the offline proptest stub has no
+/// `num::u8::ANY`; a mapped `u16` range covers 0..=255 under both).
+fn any_byte() -> impl Strategy<Value = u8> {
+    (0_u16..256).prop_map(|b| b as u8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A well-formed request parses to the same thing no matter how the
+    /// bytes are torn: 1-byte reads, any chunk size, or one big push.
+    #[test]
+    fn torn_reads_cannot_change_the_parse(
+        names in proptest::collection::vec(header_name_strategy(), 0..6),
+        body in proptest::collection::vec(any_byte(), 0..200),
+        step in 1_usize..40,
+    ) {
+        let mut wire = String::from("POST /v1/score HTTP/1.1\r\nhost: t\r\n");
+        for (i, name) in names.iter().enumerate() {
+            // Suffix with the index: duplicate names are legal except for
+            // content-length, which this strategy never generates.
+            wire.push_str(&format!("x-{name}-{i}: value-{i}\r\n"));
+        }
+        wire.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        let mut wire = wire.into_bytes();
+        wire.extend_from_slice(&body);
+
+        let whole = parse_chunked(&wire, wire.len()).expect("well-formed").expect("complete");
+        let torn = parse_chunked(&wire, 1).expect("well-formed torn").expect("complete torn");
+        let stepped = parse_chunked(&wire, step).expect("well-formed stepped").expect("stepped");
+        prop_assert_eq!(&whole.body, &body);
+        prop_assert_eq!(&torn.body, &body);
+        prop_assert_eq!(&stepped.body, &body);
+        prop_assert_eq!(whole.headers.len(), torn.headers.len());
+        prop_assert_eq!(whole.method, torn.method);
+        prop_assert_eq!(stepped.target, torn.target);
+    }
+
+    /// Random garbage never panics or hangs the parser: each poll is a
+    /// clean `Ok(None)`, `Ok(Some)`, or `Err`, and after the first error
+    /// the parser stays in error (the server closes the connection).
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any_byte(), 0..600),
+        step in 1_usize..17,
+    ) {
+        let mut parser = RequestParser::new(HttpLimits {
+            max_head_bytes: 256,
+            max_headers: 8,
+            max_body_bytes: 128,
+            max_target_bytes: 64,
+        });
+        let mut errored = false;
+        for chunk in bytes.chunks(step) {
+            parser.push(chunk);
+            match parser.poll() {
+                Ok(_) => {}
+                Err(e) => {
+                    // Every error carries a 4xx status for the response.
+                    prop_assert!((400..500).contains(&e.status()), "{e}");
+                    errored = true;
+                    break;
+                }
+            }
+        }
+        // Bounded-buffer invariant: an unfinished head can never hold more
+        // than the head limit plus one read's worth of slack.
+        if !errored {
+            prop_assert!(parser.buffered() <= 256 + 16 + bytes.len().min(600));
+        }
+    }
+
+    /// Pipelined requests parse in order with bodies intact.
+    #[test]
+    fn pipelining_preserves_order_and_bodies(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(any_byte(), 0..50), 1..5),
+        step in 1_usize..23,
+    ) {
+        let mut wire = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            wire.extend_from_slice(
+                format!("POST /r{i} HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len())
+                    .as_bytes(),
+            );
+            wire.extend_from_slice(body);
+        }
+        let mut parser = RequestParser::new(HttpLimits::default());
+        let mut got = Vec::new();
+        for chunk in wire.chunks(step) {
+            parser.push(chunk);
+            while let Some(req) = parser.poll().expect("pipelined wire is well-formed") {
+                got.push(req);
+            }
+        }
+        while let Some(req) = parser.poll().expect("drain") {
+            got.push(req);
+        }
+        prop_assert_eq!(got.len(), bodies.len());
+        for (i, (req, body)) in got.iter().zip(&bodies).enumerate() {
+            prop_assert_eq!(req.target.as_str(), format!("/r{i}").as_str());
+            prop_assert_eq!(&req.body, body);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-socket attacks.
+// ---------------------------------------------------------------------------
+
+/// Sends raw bytes on a fresh socket, optionally half-closing, and reads
+/// everything the server sends back until it closes.
+fn raw_exchange(addr: std::net::SocketAddr, wire: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(wire).expect("write attack bytes");
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+fn status_of(response: &[u8]) -> Option<u16> {
+    let text = String::from_utf8_lossy(response);
+    text.split(' ').nth(1)?.parse().ok()
+}
+
+#[test]
+fn malformed_requests_get_4xx_and_close_without_killing_the_server() {
+    let edge = start_default();
+    let addr = edge.addr();
+    let attacks: Vec<(Vec<u8>, u16)> = vec![
+        (b"GARBAGE\r\n\r\n".to_vec(), 400),
+        (b"GET  /health HTTP/1.1\r\n\r\n".to_vec(), 400),
+        (b"GET /health HTTP/9.9\r\n\r\n".to_vec(), 400),
+        (b"GET /health HTTP/1.1\r\nno-colon\r\n\r\n".to_vec(), 400),
+        (b"POST /v1/score HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\nok".to_vec(), 400),
+        (b"POST /v1/score HTTP/1.1\r\ncontent-length: nope\r\n\r\n".to_vec(), 400),
+        (b"POST /v1/score HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(), 400),
+        // Declared body over the 1 MiB default limit.
+        (b"POST /v1/score HTTP/1.1\r\ncontent-length: 10000000\r\n\r\n".to_vec(), 413),
+        // Unbounded header stream (more than max_headers).
+        ({
+            let mut w = b"GET /health HTTP/1.1\r\n".to_vec();
+            for i in 0..100 {
+                w.extend_from_slice(format!("x-h-{i}: v\r\n").as_bytes());
+            }
+            w.extend_from_slice(b"\r\n");
+            w
+        }, 400),
+        // One header value bigger than the whole head limit.
+        ({
+            let mut w = b"GET /health HTTP/1.1\r\nx-big: ".to_vec();
+            w.extend(std::iter::repeat_n(b'a', 20_000));
+            w.extend_from_slice(b"\r\n\r\n");
+            w
+        }, 400),
+    ];
+    for (wire, want_status) in attacks {
+        let response = raw_exchange(addr, &wire);
+        assert!(
+            !response.is_empty(),
+            "server closed without answering {:?}",
+            String::from_utf8_lossy(&wire[..wire.len().min(60)])
+        );
+        assert_eq!(
+            status_of(&response),
+            Some(want_status),
+            "attack {:?} -> {:?}",
+            String::from_utf8_lossy(&wire[..wire.len().min(60)]),
+            String::from_utf8_lossy(&response[..response.len().min(120)])
+        );
+        // The connection is closed after the error response (raw_exchange
+        // read to EOF) — and the server itself is still healthy:
+        let mut client = edge.client();
+        let health = client.request("GET", "/health", &[], b"").expect("server alive");
+        assert_eq!(health.status, 200);
+    }
+}
+
+#[test]
+fn torn_one_byte_writes_still_score_correctly() {
+    let edge = start_default();
+    let body = score_body(&[vec![1, 2, 3], vec![4, 5]]);
+    let mut wire = format!(
+        "POST /v1/score HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    wire.extend_from_slice(&body);
+
+    let mut stream = TcpStream::connect(edge.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.set_nodelay(true).unwrap();
+    for byte in &wire {
+        stream.write_all(std::slice::from_ref(byte)).expect("1-byte write");
+    }
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !response.windows(4).any(|w| w == b"\r\n\r\n")
+        || !String::from_utf8_lossy(&response).contains("scores")
+    {
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "server closed before responding");
+        response.extend_from_slice(&chunk[..n]);
+    }
+    assert_eq!(status_of(&response), Some(200));
+
+    // Same request over the normal client gives the same body.
+    let mut client = edge.client();
+    let normal = client
+        .request("POST", "/v1/score", &[], &body)
+        .expect("score request");
+    assert_eq!(normal.status, 200);
+    let torn_body = {
+        let text = String::from_utf8_lossy(&response).into_owned();
+        let at = text.find("\r\n\r\n").unwrap() + 4;
+        text[at..].to_string()
+    };
+    assert_eq!(torn_body, normal.body_text(), "torn and whole writes must score identically");
+}
+
+#[test]
+fn truncated_request_is_dropped_cleanly() {
+    let edge = start_default();
+    // Declares 100 body bytes, sends 3, then closes.
+    let mut stream = TcpStream::connect(edge.addr()).expect("connect");
+    stream
+        .write_all(b"POST /v1/score HTTP/1.1\r\ncontent-length: 100\r\n\r\nabc")
+        .expect("write truncated request");
+    drop(stream);
+    // Server must survive and keep answering.
+    let mut client = edge.client();
+    assert_eq!(client.request("GET", "/health", &[], b"").expect("alive").status, 200);
+}
+
+#[test]
+fn pipelined_requests_over_a_socket_each_get_a_response() {
+    let edge = start_default();
+    let mut client = edge.client();
+    let body = score_body(&[vec![1, 2]]);
+    let mut wire = Vec::new();
+    for _ in 0..3 {
+        wire.extend_from_slice(
+            format!("POST /v1/score HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n", body.len())
+                .as_bytes(),
+        );
+        wire.extend_from_slice(&body);
+    }
+    wire.extend_from_slice(b"GET /health HTTP/1.1\r\nhost: t\r\n\r\n");
+    client.send_raw(&wire).expect("pipelined write");
+    for _ in 0..3 {
+        let r = client.read_response().expect("pipelined score response");
+        assert_eq!(r.status, 200);
+        assert!(r.body_text().contains("scores"));
+    }
+    let health = client.read_response().expect("pipelined health response");
+    assert_eq!(health.status, 200);
+}
+
+#[test]
+fn slow_loris_idles_out_instead_of_wedging_a_worker() {
+    let edge = common::start(
+        0,
+        clfd_gateway::GatewayConfig {
+            read_timeout: Duration::from_millis(200),
+            ..clfd_gateway::GatewayConfig::default()
+        },
+        common::roomy_engine(),
+    );
+    let mut stream = TcpStream::connect(edge.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Send half a request line, then stall.
+    stream.write_all(b"GET /hea").expect("partial write");
+    let mut chunk = [0u8; 64];
+    let start = std::time::Instant::now();
+    let n = stream.read(&mut chunk).unwrap_or(0);
+    assert_eq!(n, 0, "server should close the stalled connection");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "idle close took {:?}",
+        start.elapsed()
+    );
+    // And the worker it occupied is free again.
+    let mut client = edge.client();
+    assert_eq!(client.request("GET", "/health", &[], b"").expect("alive").status, 200);
+}

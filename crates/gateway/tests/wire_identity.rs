@@ -1,0 +1,246 @@
+//! Bit-identity over the wire: scores fetched through `POST /v1/score`
+//! must equal in-process `Engine`/artifact predictions **bitwise** — for
+//! every dataset generator × head ablation, and while a live registry
+//! hot-swap replaces the model under load.
+//!
+//! The wire carries scores as shortest-round-trip JSON numbers; parsing
+//! them back as `f64` and narrowing to `f32` must recover the exact bits.
+
+#![allow(missing_docs)]
+
+mod common;
+
+use clfd::prelude::*;
+use clfd_data::noise::NoiseModel;
+use clfd_gateway::{ApiKeys, Gateway, GatewayConfig, ScoreResponse, ScoredSession};
+use clfd_registry::{ArtifactStore, ModelRegistry, PromotionOutcome, RegistryConfig};
+use clfd_serve::{Engine, EngineConfig, InferenceArtifact};
+use common::{label_str, post_score, probe_sessions, same_prediction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// True when a wire score is the bitwise image of `expected`.
+fn wire_matches(wire: &ScoredSession, expected: &Prediction) -> bool {
+    wire.label == label_str(expected.label)
+        && wire.malicious_score.to_bits() == expected.malicious_score.to_bits()
+        && wire.confidence.to_bits() == expected.confidence.to_bits()
+}
+
+fn assert_wire_identical(wire: &[ScoredSession], expected: &[Prediction], context: &str) {
+    assert_eq!(wire.len(), expected.len(), "{context}: length mismatch");
+    for (i, (w, e)) in wire.iter().zip(expected).enumerate() {
+        assert!(
+            wire_matches(w, e),
+            "{context}: drift at {i}: wire ({}, {:#010x}, {:#010x}) vs \
+             in-process ({:?}, {:#010x}, {:#010x})",
+            w.label,
+            w.malicious_score.to_bits(),
+            w.confidence.to_bits(),
+            e.label,
+            e.malicious_score.to_bits(),
+            e.confidence.to_bits(),
+        );
+    }
+}
+
+/// Trains one smoke model, serves it over HTTP, and demands the wire
+/// scores equal the in-process predictions bit for bit.
+fn exercise_combo(kind: DatasetKind, ablation: Ablation, seed: u64, context: &str) {
+    {
+        let split = kind.generate(Preset::Smoke, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+        let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+        let model = TrainedClfd::builder()
+            .preset(Preset::Smoke)
+            .ablation(ablation)
+            .seed(seed)
+            .fit(&split, &noisy);
+        let artifact = InferenceArtifact::freeze(&model).expect("trained model freezes");
+
+        // The wire carries activity tokens only; the server scores them as
+        // day-0 sessions, so the in-process reference must do the same.
+        let wire_sessions: Vec<Vec<u32>> = split
+            .test
+            .iter()
+            .take(24)
+            .map(|&i| split.corpus.sessions[i].activities.clone())
+            .collect();
+        let day0: Vec<Session> = wire_sessions
+            .iter()
+            .map(|activities| Session { activities: activities.clone(), day: 0 })
+            .collect();
+        let refs: Vec<&Session> = day0.iter().collect();
+        let expected = artifact.predict(&refs);
+
+        let engine =
+            Arc::new(Engine::new(artifact, EngineConfig::deterministic()));
+        let gateway = Gateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig::default(),
+            Arc::clone(&engine),
+            ApiKeys::open(),
+            clfd_obs::Obs::null(),
+            None,
+        )
+        .expect("gateway binds");
+
+        let mut client = clfd_gateway::HttpClient::connect(
+            gateway.local_addr(),
+            Duration::from_secs(30),
+        )
+        .expect("client connects");
+        let response = post_score(&mut client, &wire_sessions);
+        assert_eq!(response.status, 200, "{context}: {}", response.body_text());
+        let parsed = ScoreResponse::from_json(&response.body_text())
+            .expect("score response parses");
+        assert_wire_identical(&parsed.scores, &expected, context);
+
+        // The engine the gateway scored through agrees too (same Arc).
+        let served = engine.score_batch(&refs).expect("engine scores");
+        assert_wire_identical(&parsed.scores, &served, context);
+    }
+}
+
+#[test]
+fn http_scores_are_bitwise_equal_on_cert_with_classifier_head() {
+    exercise_combo(DatasetKind::Cert, Ablation::full(), 11, "cert/full");
+}
+
+#[test]
+fn http_scores_are_bitwise_equal_on_wikipedia_with_corrector_head() {
+    exercise_combo(
+        DatasetKind::UmdWikipedia,
+        Ablation::without_fraud_detector(),
+        7,
+        "wiki/corrector",
+    );
+}
+
+#[test]
+fn http_scores_are_bitwise_equal_on_openstack_with_centroid_head() {
+    exercise_combo(DatasetKind::OpenStack, Ablation::without_classifier(), 5, "openstack/centroids");
+}
+
+#[test]
+fn http_scores_match_exactly_one_installed_variant_across_a_live_hot_swap() {
+    const SWAPS: usize = 6;
+
+    let root = common::temp_root("wire-hot-swap");
+    let cfg = RegistryConfig { probe: probe_sessions(4), ..RegistryConfig::default() };
+    let registry = ModelRegistry::new(
+        ArtifactStore::open(&root).expect("open store"),
+        cfg,
+        clfd_obs::Obs::null(),
+    );
+
+    // Two variants; precompute what each predicts for the traffic (day 0,
+    // exactly as the wire reconstructs sessions).
+    let traffic: Vec<Vec<u32>> = probe_sessions(12)
+        .into_iter()
+        .map(|s| s.activities)
+        .collect();
+    let day0: Vec<Session> = traffic
+        .iter()
+        .map(|activities| Session { activities: activities.clone(), day: 0 })
+        .collect();
+    let refs: Vec<&Session> = day0.iter().collect();
+    let expected_a = common::artifact(0).predict(&refs);
+    let expected_b = common::artifact(1).predict(&refs);
+    assert!(
+        expected_a.iter().zip(&expected_b).any(|(a, b)| !same_prediction(a, b)),
+        "test fixtures are too similar to distinguish"
+    );
+
+    let v1 = registry.stage("fraud", &common::artifact_json(0), "variant A").expect("stage");
+    assert_eq!(registry.promote("fraud", v1).expect("promote"), PromotionOutcome::Committed);
+
+    let engine = Arc::new(Engine::from_source(
+        registry.source_for("fraud").expect("source"),
+        EngineConfig { workers: 2, ..EngineConfig::default() },
+        clfd_obs::Obs::null(),
+        None,
+    ));
+    let gateway = Gateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig::default(),
+        Arc::clone(&engine),
+        ApiKeys::open(),
+        clfd_obs::Obs::null(),
+        None,
+    )
+    .expect("gateway binds");
+    let addr = gateway.local_addr();
+
+    // Client threads hammer the gateway over keep-alive while the
+    // registry swaps variants underneath.
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..3)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let traffic = traffic.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    clfd_gateway::HttpClient::connect(addr, Duration::from_secs(30))
+                        .expect("client connects");
+                let mut answered: Vec<(usize, ScoredSession)> = Vec::new();
+                let mut i = t; // stagger the starting session per thread
+                while !stop.load(Ordering::Relaxed) {
+                    let idx = i % traffic.len();
+                    let response = post_score(&mut client, &[traffic[idx].clone()]);
+                    assert_eq!(
+                        response.status,
+                        200,
+                        "no request may fail during hot swaps: {}",
+                        response.body_text()
+                    );
+                    let parsed = ScoreResponse::from_json(&response.body_text())
+                        .expect("score response parses");
+                    assert_eq!(parsed.scores.len(), 1);
+                    answered.push((idx, parsed.scores.into_iter().next().unwrap()));
+                    i += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+
+    for swap in 0..SWAPS {
+        std::thread::sleep(Duration::from_millis(25));
+        let variant = ((swap + 1) % 2) as u32;
+        let note = format!("swap {swap}");
+        let v = registry
+            .stage("fraud", &common::artifact_json(variant), &note)
+            .expect("stage under load");
+        assert_eq!(
+            registry.promote("fraud", v).expect("promote under load"),
+            PromotionOutcome::Committed,
+            "swap {swap}"
+        );
+    }
+    std::thread::sleep(Duration::from_millis(25));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut checked = 0usize;
+    for handle in clients {
+        for (idx, wire) in handle.join().expect("client thread") {
+            let a = &expected_a[idx];
+            let b = &expected_b[idx];
+            assert!(
+                wire_matches(&wire, a) || wire_matches(&wire, b),
+                "response for session {idx} matches neither installed variant: \
+                 wire ({}, {:#010x}, {:#010x})",
+                wire.label,
+                wire.malicious_score.to_bits(),
+                wire.confidence.to_bits(),
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 50, "hot-swap load produced too few responses ({checked}) to be meaningful");
+
+    gateway.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -69,6 +69,20 @@ pub mod names {
     pub const SWEEP_CELL_FAILURES_TOTAL: &str = "clfd_sweep_cell_failures_total";
     /// Counter of isolated run failures, by model.
     pub const RUN_FAILURES_TOTAL: &str = "clfd_run_failures_total";
+    /// Counter of HTTP requests answered by the gateway, by tenant, path,
+    /// and status code.
+    pub const GATEWAY_REQUESTS_TOTAL: &str = "clfd_gateway_requests_total";
+    /// Gateway request latency in microseconds (parse-complete to
+    /// response-written), by path.
+    pub const GATEWAY_REQUEST_LATENCY_US: &str = "clfd_gateway_request_latency_us";
+    /// Counter of connections accepted into the gateway worker pool.
+    pub const GATEWAY_CONNECTIONS_TOTAL: &str = "clfd_gateway_connections_total";
+    /// Gauge: connections alive (queued + serving) at the last accept.
+    pub const GATEWAY_ACTIVE_CONNECTIONS: &str = "clfd_gateway_active_connections";
+    /// Counter of finished gateway connections, by close reason.
+    pub const GATEWAY_CONNECTIONS_CLOSED_TOTAL: &str = "clfd_gateway_connections_closed_total";
+    /// Counter of connections refused at the gateway edge, by reason.
+    pub const GATEWAY_SHED_TOTAL: &str = "clfd_gateway_shed_total";
     /// Gauge: threaded-kernel launches, by counter scope.
     pub const KERNEL_LAUNCHES: &str = "clfd_kernel_launches";
     /// Gauge: launches that fanned out to >1 part, by counter scope.
@@ -318,6 +332,52 @@ impl EventFold {
                 )
                 .inc();
             }
+            Event::HttpRequest { tenant, path, status, latency_us, .. } => {
+                let status = status.to_string();
+                reg.counter(
+                    names::GATEWAY_REQUESTS_TOTAL,
+                    "Gateway HTTP requests answered, by tenant, path, and status",
+                    &[("tenant", tenant), ("path", path), ("status", &status)],
+                )
+                .inc();
+                reg.histogram(
+                    names::GATEWAY_REQUEST_LATENCY_US,
+                    "Gateway request latency (us), by path",
+                    &[("path", path)],
+                    names::latency_us_buckets(),
+                )
+                .observe(*latency_us as f64);
+            }
+            Event::ConnOpened { active } => {
+                reg.counter(
+                    names::GATEWAY_CONNECTIONS_TOTAL,
+                    "Connections accepted into the gateway worker pool",
+                    &[],
+                )
+                .inc();
+                reg.gauge(
+                    names::GATEWAY_ACTIVE_CONNECTIONS,
+                    "Gateway connections alive at the last accept",
+                    &[],
+                )
+                .set(*active as f64);
+            }
+            Event::ConnClosed { reason, .. } => {
+                reg.counter(
+                    names::GATEWAY_CONNECTIONS_CLOSED_TOTAL,
+                    "Finished gateway connections, by close reason",
+                    &[("reason", reason)],
+                )
+                .inc();
+            }
+            Event::GatewayShed { reason } => {
+                reg.counter(
+                    names::GATEWAY_SHED_TOTAL,
+                    "Connections refused at the gateway edge, by reason",
+                    &[("reason", reason)],
+                )
+                .inc();
+            }
             Event::KernelCounters { scope, launches, parallel_launches, busy_ns } => {
                 let labels: &[(&str, &str)] = &[("scope", scope)];
                 reg.gauge(names::KERNEL_LAUNCHES, "Threaded-kernel launches", labels)
@@ -420,6 +480,16 @@ mod tests {
                 reason: "canary error rate".into(),
             },
             Event::confidence("corrector/confidence", &[0.55, 0.8, 0.97]),
+            Event::ConnOpened { active: 1 },
+            Event::HttpRequest {
+                tenant: "anonymous".into(),
+                method: "POST".into(),
+                path: "/v1/score".into(),
+                status: 200,
+                latency_us: 1800,
+            },
+            Event::GatewayShed { reason: "queue_full".into() },
+            Event::ConnClosed { requests: 1, reason: "client_close".into() },
         ]
     }
 
@@ -486,6 +556,40 @@ mod tests {
                 .counter(names::EVENTS_TOTAL, "", &[("type", "request_done")])
                 .get(),
             2
+        );
+        assert_eq!(
+            registry
+                .counter(
+                    names::GATEWAY_REQUESTS_TOTAL,
+                    "",
+                    &[("tenant", "anonymous"), ("path", "/v1/score"), ("status", "200")]
+                )
+                .get(),
+            1
+        );
+        let edge = registry.histogram(
+            names::GATEWAY_REQUEST_LATENCY_US,
+            "",
+            &[("path", "/v1/score")],
+            names::latency_us_buckets(),
+        );
+        assert_eq!(edge.count(), 1);
+        assert_eq!(registry.counter(names::GATEWAY_CONNECTIONS_TOTAL, "", &[]).get(), 1);
+        assert_eq!(
+            registry
+                .counter(names::GATEWAY_SHED_TOTAL, "", &[("reason", "queue_full")])
+                .get(),
+            1
+        );
+        assert_eq!(
+            registry
+                .counter(
+                    names::GATEWAY_CONNECTIONS_CLOSED_TOTAL,
+                    "",
+                    &[("reason", "client_close")]
+                )
+                .get(),
+            1
         );
     }
 

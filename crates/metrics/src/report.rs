@@ -4,7 +4,7 @@
 //! timeline) and cross-checks a Prometheus snapshot against the exact
 //! percentiles recomputed from the raw event stream.
 
-use crate::expo::{hist_from_samples, parse_prometheus, HistSnapshot};
+use crate::expo::{hist_from_samples, parse_prometheus, HistSnapshot, PromSample};
 use crate::fold::names;
 use clfd_obs::json::{parse, Value};
 use std::collections::BTreeMap;
@@ -69,6 +69,17 @@ pub struct ServeAgg {
     pub panics: u64,
 }
 
+/// Per-path gateway edge aggregates from `http_request` events.
+#[derive(Debug, Clone, Default)]
+pub struct GatewayAgg {
+    /// Every request latency in microseconds, in completion order.
+    pub latencies_us: Vec<u64>,
+    /// Response counts by HTTP status code.
+    pub statuses: BTreeMap<u64, u64>,
+    /// Response counts by tenant.
+    pub tenants: BTreeMap<String, u64>,
+}
+
 /// One registry swap transition extracted from a
 /// `swap_start` / `swap_commit` / `swap_rollback` event.
 #[derive(Debug, Clone)]
@@ -114,6 +125,14 @@ pub struct RunSummary {
     /// Serving aggregates, keyed by model label (`"default"` for
     /// single-model engines, `model-id@version` under a registry).
     pub serve: BTreeMap<String, ServeAgg>,
+    /// Gateway edge aggregates, keyed by request path.
+    pub gateway: BTreeMap<String, GatewayAgg>,
+    /// Gateway connections accepted into the worker pool.
+    pub conns_opened: u64,
+    /// Gateway connections finished, by close reason.
+    pub conns_closed: BTreeMap<String, u64>,
+    /// Connections refused at the gateway edge, by reason.
+    pub gateway_shed: BTreeMap<String, u64>,
     /// Registry swap timeline in file order.
     pub swaps: Vec<SwapRow>,
     /// Maximum sampled queue depth (engine-global, not per model).
@@ -232,6 +251,23 @@ impl RunSummary {
             }
             "serve_panic" => {
                 self.serve.entry(opt_model(&v)).or_default().panics += 1;
+            }
+            "http_request" => {
+                let path = need_str(&v, "path")?;
+                let status = need_u64(&v, "status")?;
+                let tenant = need_str(&v, "tenant")?;
+                let latency = need_u64(&v, "latency_us")?;
+                let agg = self.gateway.entry(path).or_default();
+                agg.latencies_us.push(latency);
+                *agg.statuses.entry(status).or_default() += 1;
+                *agg.tenants.entry(tenant).or_default() += 1;
+            }
+            "conn_opened" => self.conns_opened += 1,
+            "conn_closed" => {
+                *self.conns_closed.entry(need_str(&v, "reason")?).or_default() += 1;
+            }
+            "gateway_shed" => {
+                *self.gateway_shed.entry(need_str(&v, "reason")?).or_default() += 1;
             }
             "queue_depth" => {
                 let depth = need_u64(&v, "depth")?;
@@ -401,6 +437,45 @@ impl RunSummary {
                 );
             }
         }
+        let edge_requests: usize = self.gateway.values().map(|a| a.latencies_us.len()).sum();
+        if edge_requests > 0 || !self.gateway_shed.is_empty() {
+            let shed: u64 = self.gateway_shed.values().sum();
+            let _ = writeln!(
+                out,
+                "\nGateway edge latency (us), {edge_requests} requests over {} connections, {shed} shed:",
+                self.conns_opened
+            );
+            for (path, agg) in &self.gateway {
+                if agg.latencies_us.is_empty() {
+                    continue;
+                }
+                let mut sorted = agg.latencies_us.clone();
+                sorted.sort_unstable();
+                let statuses = agg
+                    .statuses
+                    .iter()
+                    .map(|(s, n)| format!("{s}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = writeln!(out, "  [{path}] {} requests ({statuses}):", sorted.len());
+                for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                    let _ = writeln!(out, "    {tag:<4} {:>10}", percentile(&sorted, q));
+                }
+                let _ = writeln!(out, "    max  {:>10}", sorted[sorted.len() - 1]);
+            }
+            for (reason, n) in &self.gateway_shed {
+                let _ = writeln!(out, "  shed[{reason}] {n}");
+            }
+            if !self.conns_closed.is_empty() {
+                let closes = self
+                    .conns_closed
+                    .iter()
+                    .map(|(r, n)| format!("{r}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = writeln!(out, "  connection closes: {closes}");
+            }
+        }
         if !self.swaps.is_empty() {
             let rollbacks = self.swaps.iter().filter(|s| s.outcome == "rollback").count();
             let _ = writeln!(
@@ -469,7 +544,9 @@ impl RunSummary {
     /// recorded — and per model, each series' count must match that
     /// model's JSONL request count — and the merged p50/p99 bucket
     /// estimates must agree with the exact percentiles recomputed from
-    /// the raw latencies to within ±1 bucket.
+    /// the raw latencies to within ±1 bucket. When the stream carries
+    /// gateway `http_request` events, the gateway latency histograms
+    /// (one series per `path` label) are held to the same bar.
     ///
     /// # Errors
     /// Returns a description of the first disagreement.
@@ -478,11 +555,26 @@ impl RunSummary {
         if samples.is_empty() {
             return Err("snapshot contains no samples".to_string());
         }
-        let hists = hist_from_samples(&samples, names::SERVE_REQUEST_LATENCY_US)?;
+        let mut lines = Vec::new();
+        self.check_serve_snapshot(&samples, &mut lines)?;
+        self.check_gateway_snapshot(&samples, &mut lines)?;
+        Ok(lines.join("\n"))
+    }
+
+    fn check_serve_snapshot(
+        &self,
+        samples: &[PromSample],
+        lines: &mut Vec<String>,
+    ) -> Result<(), String> {
+        let hists = hist_from_samples(samples, names::SERVE_REQUEST_LATENCY_US)?;
         let latencies = self.all_latencies();
         if latencies.is_empty() {
             return if hists.iter().all(|(_, h)| h.count == 0) {
-                Ok(format!("snapshot ok: {} samples, no serve traffic on either side", samples.len()))
+                lines.push(format!(
+                    "snapshot ok: {} samples, no serve traffic on either side",
+                    samples.len()
+                ));
+                Ok(())
             } else {
                 Err("snapshot has request latencies but the JSONL stream has none".to_string())
             };
@@ -515,31 +607,97 @@ impl RunSummary {
         }
         let mut sorted = latencies;
         sorted.sort_unstable();
-        let mut lines = vec![format!(
+        lines.push(format!(
             "snapshot ok: {} samples, {n} requests across {} model series",
             samples.len(),
             self.serve.values().filter(|a| !a.latencies_us.is_empty()).count()
-        )];
-        for (tag, q) in [("p50", 0.5), ("p99", 0.99)] {
-            let exact = percentile(&sorted, q);
-            let exact_bucket = hist.bucket_index_of(exact as f64);
-            let est_bucket = hist
-                .quantile_bucket_index(q)
-                .ok_or("empty snapshot histogram after count check")?;
-            let diff = exact_bucket.abs_diff(est_bucket);
-            if diff > 1 {
+        ));
+        check_quantiles(&hist, &sorted, "", lines)
+    }
+
+    fn check_gateway_snapshot(
+        &self,
+        samples: &[PromSample],
+        lines: &mut Vec<String>,
+    ) -> Result<(), String> {
+        let hists = hist_from_samples(samples, names::GATEWAY_REQUEST_LATENCY_US)?;
+        let latencies: Vec<u64> =
+            self.gateway.values().flat_map(|a| a.latencies_us.iter().copied()).collect();
+        if latencies.is_empty() {
+            // No gateway in play this run: nothing to report, unless the
+            // snapshot claims otherwise.
+            return if hists.iter().all(|(_, h)| h.count == 0) {
+                Ok(())
+            } else {
+                Err("snapshot has gateway latencies but the JSONL stream has none".to_string())
+            };
+        }
+        // Per-path counts must match series-for-series.
+        for (path, agg) in &self.gateway {
+            if agg.latencies_us.is_empty() {
+                continue;
+            }
+            let key = format!("path=\"{path}\"");
+            let series = hists.iter().find(|(labels, _)| *labels == key).ok_or_else(|| {
+                format!("snapshot has no gateway latency series for path {path:?}")
+            })?;
+            if series.1.count != agg.latencies_us.len() as u64 {
                 return Err(format!(
-                    "{tag} disagrees: exact {exact}us lands in bucket {exact_bucket}, \
-                     snapshot estimates bucket {est_bucket} ({diff} buckets apart)"
+                    "gateway path {path:?} count mismatch: snapshot has {} observations, \
+                     JSONL has {}",
+                    series.1.count,
+                    agg.latencies_us.len()
                 ));
             }
-            let est = hist.quantile(q).unwrap_or(f64::NAN);
-            lines.push(format!(
-                "  {tag}: exact {exact}us, snapshot bucket <= {est:.1}us (bucket {est_bucket} vs {exact_bucket})"
+        }
+        let hist = merge_hists(&hists)?;
+        let n = latencies.len() as u64;
+        if hist.count != n {
+            return Err(format!(
+                "gateway request count mismatch: snapshot histograms hold {} observations, \
+                 JSONL has {n}",
+                hist.count
             ));
         }
-        Ok(lines.join("\n"))
+        let mut sorted = latencies;
+        sorted.sort_unstable();
+        lines.push(format!(
+            "gateway ok: {n} requests across {} path series",
+            self.gateway.values().filter(|a| !a.latencies_us.is_empty()).count()
+        ));
+        check_quantiles(&hist, &sorted, "gateway ", lines)
     }
+}
+
+/// Shared p50/p99 agreement check between a bucketed snapshot histogram
+/// and the exact sorted latencies: the bucket the exact percentile lands
+/// in and the bucket the snapshot estimates must be within ±1.
+fn check_quantiles(
+    hist: &HistSnapshot,
+    sorted: &[u64],
+    ctx: &str,
+    lines: &mut Vec<String>,
+) -> Result<(), String> {
+    for (tag, q) in [("p50", 0.5), ("p99", 0.99)] {
+        let exact = percentile(sorted, q);
+        let exact_bucket = hist.bucket_index_of(exact as f64);
+        let est_bucket = hist
+            .quantile_bucket_index(q)
+            .ok_or("empty snapshot histogram after count check")?;
+        let diff = exact_bucket.abs_diff(est_bucket);
+        if diff > 1 {
+            return Err(format!(
+                "{ctx}{tag} disagrees: exact {exact}us lands in bucket {exact_bucket}, \
+                 snapshot estimates bucket {est_bucket} ({diff} buckets apart)"
+            ));
+        }
+        let est = hist.quantile(q).unwrap_or(f64::NAN);
+        lines.push(format!(
+            "  {ctx}{tag}: exact {exact}us, snapshot bucket <= {est:.1}us \
+             (bucket {est_bucket} vs {exact_bucket})"
+        ));
+    }
+    Ok(())
 }
 
 /// Merges per-label histogram series (identical bucket layouts — they all
@@ -769,6 +927,59 @@ mod tests {
         let summary = RunSummary::from_lines(text.lines()).unwrap();
         let err = summary.check_snapshot(&registry.snapshot().to_prometheus()).unwrap_err();
         assert!(err.contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn summary_and_check_cover_gateway_traffic() {
+        // Dense latency ramps (adjacent samples well inside one log
+        // bucket), so the exact-percentile vs bucket-rank comparison in
+        // check_quantiles is testing agreement, not sparse-sample skew.
+        let serve_latencies: Vec<u64> = (1..=50).map(|i| i * 37).collect();
+        let gateway_latencies: Vec<u64> = (1..=50).map(|i| i * 41).collect();
+        let mut events = serve_events(&serve_latencies);
+        for (i, l) in gateway_latencies.iter().enumerate() {
+            events.push(Event::HttpRequest {
+                tenant: "anonymous".into(),
+                method: "POST".into(),
+                path: "/v1/score".into(),
+                status: if i == 3 { 429 } else { 200 },
+                latency_us: *l,
+            });
+        }
+        events.push(Event::ConnOpened { active: 1 });
+        events.push(Event::GatewayShed { reason: "queue_full".into() });
+        events.push(Event::ConnClosed { requests: 50, reason: "client_close".into() });
+        let registry = Arc::new(Registry::new());
+        let fold = EventFold::new(registry.clone());
+        for e in &events {
+            fold.record(e);
+        }
+        let text = jsonl_for(&events);
+        let s = RunSummary::from_lines(text.lines()).unwrap();
+        assert_eq!(s.gateway["/v1/score"].latencies_us, gateway_latencies);
+        assert_eq!(s.gateway["/v1/score"].statuses[&200], 49);
+        assert_eq!(s.gateway["/v1/score"].statuses[&429], 1);
+        assert_eq!(s.conns_opened, 1);
+        assert_eq!(s.gateway_shed["queue_full"], 1);
+        let rendered = s.render();
+        assert!(rendered.contains("Gateway edge latency"), "{rendered}");
+        assert!(rendered.contains("shed[queue_full] 1"), "{rendered}");
+        let report = s.check_snapshot(&registry.snapshot().to_prometheus()).unwrap();
+        assert!(report.contains("gateway ok: 50 requests"), "{report}");
+        assert!(report.contains("gateway p99"), "{report}");
+
+        // An http_request the snapshot never folded is rejected.
+        events.push(Event::HttpRequest {
+            tenant: "anonymous".into(),
+            method: "POST".into(),
+            path: "/v1/score".into(),
+            status: 200,
+            latency_us: 500,
+        });
+        let text = jsonl_for(&events);
+        let s2 = RunSummary::from_lines(text.lines()).unwrap();
+        let err = s2.check_snapshot(&registry.snapshot().to_prometheus()).unwrap_err();
+        assert!(err.contains("gateway"), "{err}");
     }
 
     #[test]

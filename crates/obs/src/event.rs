@@ -241,6 +241,41 @@ pub enum Event {
         /// The panic payload, best-effort stringified.
         detail: String,
     },
+    /// The HTTP gateway answered one request (emitted after the response
+    /// bytes were written, so `/metrics` responses never include their own
+    /// request).
+    HttpRequest {
+        /// Tenant resolved from the API key (`"anonymous"` on an open
+        /// gateway).
+        tenant: String,
+        /// HTTP method, e.g. `"POST"`.
+        method: String,
+        /// Request path with any query string stripped, e.g. `"/v1/score"`.
+        path: String,
+        /// HTTP status code of the response.
+        status: u16,
+        /// Parse-complete-to-response-written latency in microseconds.
+        latency_us: u64,
+    },
+    /// The HTTP gateway accepted a client connection into its worker pool.
+    ConnOpened {
+        /// Connections alive (queued + serving) after this accept.
+        active: usize,
+    },
+    /// An HTTP gateway connection finished.
+    ConnClosed {
+        /// Requests answered on the connection before it closed.
+        requests: u64,
+        /// Why it closed: `"client_close"`, `"client_error"`, `"timeout"`,
+        /// `"truncated"`, `"keep_alive_limit"`, `"io_error"`, `"shutdown"`.
+        reason: String,
+    },
+    /// The HTTP gateway refused a connection at the edge, before any
+    /// request was read (admission queue full or connection cap reached).
+    GatewayShed {
+        /// Why the connection was shed: `"queue_full"` or `"conn_cap"`.
+        reason: String,
+    },
     /// A registry began validating a candidate version for promotion.
     SwapStart {
         /// Registry model id.
@@ -360,6 +395,10 @@ impl Event {
             Event::RequestDone { .. } => "request_done",
             Event::RequestExpired { .. } => "request_expired",
             Event::ServePanic { .. } => "serve_panic",
+            Event::HttpRequest { .. } => "http_request",
+            Event::ConnOpened { .. } => "conn_opened",
+            Event::ConnClosed { .. } => "conn_closed",
+            Event::GatewayShed { .. } => "gateway_shed",
             Event::SwapStart { .. } => "swap_start",
             Event::SwapCommit { .. } => "swap_commit",
             Event::SwapRollback { .. } => "swap_rollback",
@@ -465,6 +504,17 @@ impl Event {
                 .usize("worker", *worker)
                 .str("model", model)
                 .str("detail", detail),
+            Event::HttpRequest { tenant, method, path, status, latency_us } => obj
+                .str("tenant", tenant)
+                .str("method", method)
+                .str("path", path)
+                .u64("status", u64::from(*status))
+                .u64("latency_us", *latency_us),
+            Event::ConnOpened { active } => obj.usize("active", *active),
+            Event::ConnClosed { requests, reason } => {
+                obj.u64("requests", *requests).str("reason", reason)
+            }
+            Event::GatewayShed { reason } => obj.str("reason", reason),
             Event::SwapStart { model, version } => {
                 obj.str("model", model).u64("version", *version)
             }
