@@ -41,23 +41,37 @@ for lib in clfd clfd-tensor clfd-autograd clfd-nn clfd-losses clfd-data \
         -D clippy::print_stdout -D clippy::print_stderr
 done
 
-# Bench smoke: the kernel/e2e suite must run and produce a well-formed
-# JSON report (the binary re-parses what it wrote and fails otherwise).
-rm -f BENCH_kernels.json
+# Bench smoke: the kernel/e2e suite must run, produce a well-formed JSON
+# report (the binary re-parses what it wrote and fails otherwise), and
+# pass the core-aware performance gate: thread counts the host can truly
+# run in parallel must report speedup_vs_serial > 1.0 on every shape
+# (oversubscribed counts on smaller hosts only have to stay > 0.85), and
+# the blocked matmuls must beat the scalar-reference kernels by >= 1.5x.
+rm -f BENCH_kernels.json RUN_BENCH_kernels.jsonl
 run run --release -p clfd-bench --bin bench_suite -- \
-    --preset smoke --threads 1,2 --out BENCH_kernels.json
+    --preset smoke --threads 1,2 --out BENCH_kernels.json --gate
 test -s BENCH_kernels.json
+# The kernel run's launch-counter telemetry must render into the
+# kernel-throughput section of the run report.
+test -s RUN_BENCH_kernels.jsonl
+run run --release -p clfd-metrics --bin clfd-report -- \
+    RUN_BENCH_kernels.jsonl | grep -q "Kernel throughput"
 
 # Serve smoke: freeze a trained smoke model, stream 100 requests through
 # the micro-batching engine at several batch/worker shapes, and require a
 # well-formed report. The binary itself asserts the frozen artifact
 # scores bit-identically to the live pipeline before benchmarking, and
-# re-parses the JSON it wrote.
+# re-parses the JSON it wrote. `--precision int8` additionally quantizes
+# the artifact, asserts the accuracy-delta gate passes against the f32
+# reference, and serves the quantized path through the same engine.
 rm -f BENCH_serve.json RUN_BENCH_serve.jsonl METRICS_BENCH_serve.prom
 run run --release -p clfd-bench --bin bench_serve -- \
     --preset smoke --batches 1,32 --workers 1,2 --requests 100 \
-    --out BENCH_serve.json
+    --precision int8 --out BENCH_serve.json
 test -s BENCH_serve.json
+# The quantized rows and the gate summary must have made it into the
+# report on disk.
+grep -q '"precision": "int8"' BENCH_serve.json
 
 # Run-report smoke: clfd-report must ingest the serve run's telemetry and
 # produce a non-empty summary, and the Prometheus metrics snapshot the

@@ -392,6 +392,7 @@ fn main() {
             queue_capacity: (connections * 4).max(256),
             workers: 2,
             metrics_every: Some(256),
+            ..EngineConfig::default()
         },
         obs.clone(),
         registry.clone(),

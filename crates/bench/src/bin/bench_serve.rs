@@ -20,14 +20,20 @@
 //! the `RUN_*.jsonl` log; at exit the registry is frozen into a
 //! Prometheus-text snapshot (`--metrics`, default `METRICS_<stem>.prom`)
 //! that `clfd-report --check-snapshot` can cross-validate against the log.
+//!
+//! `--precision int8,f16` adds quantized serving configurations next to
+//! the always-measured f32 rows: each precision is gated against the f32
+//! artifact up front (the run aborts if the accuracy-delta gate fails),
+//! and the report carries a per-precision summary comparing p50 latency
+//! at the smallest batch × worker configuration against f32.
 
 use clfd::api::Scorer;
-use clfd::TrainedClfd;
+use clfd::{Precision, TrainedClfd};
 use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Preset, Session};
 use clfd_metrics::{EventFold, Registry};
 use clfd_obs::{Event, JsonlSink, MemorySink, Obs, Recorder, Stopwatch, Tee};
-use clfd_serve::{Engine, EngineConfig, InferenceArtifact};
+use clfd_serve::{Engine, EngineConfig, InferenceArtifact, QuantGate};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -37,6 +43,8 @@ use std::time::Instant;
 /// One engine configuration's measurements.
 #[derive(Debug, Serialize, Deserialize)]
 struct ServeConfigResult {
+    /// Serving precision of this configuration (`f32`, `f16`, `int8`).
+    precision: String,
     max_batch: usize,
     workers: usize,
     requests: usize,
@@ -54,6 +62,24 @@ struct ServeConfigResult {
     mean_batch_rows: f64,
 }
 
+/// Quantized-vs-f32 comparison for one non-f32 precision.
+#[derive(Debug, Serialize, Deserialize)]
+struct PrecisionSummary {
+    precision: String,
+    /// Bytes of quantized weight storage (f32 stores 4 bytes per weight).
+    weight_bytes: usize,
+    /// Probe-label disagreements observed by the accuracy-delta gate.
+    gate_disagreements: usize,
+    /// Largest |quantized − f32| malicious-score delta over the probes.
+    gate_max_score_delta: f64,
+    /// p50 enqueue→answer latency at the smallest batch × worker
+    /// configuration, microseconds.
+    latency_us_p50: u64,
+    /// f32 p50 at the same configuration divided by this precision's p50
+    /// (> 1 means the quantized path is faster).
+    p50_speedup_vs_f32: f64,
+}
+
 /// The whole report written to `--out`.
 #[derive(Debug, Serialize, Deserialize)]
 struct ServeReport {
@@ -65,6 +91,8 @@ struct ServeReport {
     single_session_per_sec: f64,
     /// Best batch-32 engine throughput over the single-session baseline.
     speedup_batch32_vs_single: f64,
+    /// One gated comparison per non-f32 `--precision` entry.
+    precisions: Vec<PrecisionSummary>,
     results: Vec<ServeConfigResult>,
 }
 
@@ -85,6 +113,7 @@ fn percentile_us(sorted: &[u64], q: f64) -> u64 {
 fn run_config(
     artifact: &InferenceArtifact,
     requests: &[&Session],
+    precision: Precision,
     max_batch: usize,
     workers: usize,
     outer: &Arc<dyn Recorder>,
@@ -92,6 +121,9 @@ fn run_config(
 ) -> ServeConfigResult {
     let sink = Arc::new(MemorySink::new());
     let obs = Obs::new(Tee::new(vec![sink.clone() as Arc<dyn Recorder>, outer.clone()]));
+    // The engine's own admission path quantizes and gates when the config
+    // asks for a non-f32 precision — the benchmark measures exactly what a
+    // production deployment would serve.
     let engine = Engine::with_metrics(
         artifact.clone(),
         EngineConfig {
@@ -99,6 +131,8 @@ fn run_config(
             queue_capacity: max_batch.max(64) * 4,
             workers,
             metrics_every: Some(128),
+            precision,
+            ..EngineConfig::default()
         },
         obs,
         registry.clone(),
@@ -132,6 +166,7 @@ fn run_config(
     assert_eq!(latencies.len(), requests.len(), "one RequestDone per request");
 
     ServeConfigResult {
+        precision: precision.to_string(),
         max_batch,
         workers,
         requests: requests.len(),
@@ -154,6 +189,9 @@ struct CliArgs {
     batches: Vec<usize>,
     workers: Vec<usize>,
     requests: usize,
+    /// Serving precisions to measure; always starts with [`Precision::F32`]
+    /// so every quantized row has an f32 baseline at the same configuration.
+    precisions: Vec<Precision>,
     out: String,
     log: Option<String>,
     metrics: Option<String>,
@@ -177,12 +215,13 @@ fn parse_counts(what: &str, raw: &str) -> Result<Vec<usize>, String> {
 }
 
 /// Minimal flag parsing (`--preset`, `--batches`, `--workers`,
-/// `--requests`, `--out`, `--log`, `--metrics`).
+/// `--requests`, `--precision`, `--out`, `--log`, `--metrics`).
 fn parse_args() -> Result<CliArgs, String> {
     let mut preset = Preset::Smoke;
     let mut batches = vec![1, 8, 32];
     let mut workers = vec![1, 2];
     let mut requests = 512;
+    let mut precisions = vec![Precision::F32];
     let mut out = "BENCH_serve.json".to_string();
     let mut log = None;
     let mut metrics = None;
@@ -211,6 +250,16 @@ fn parse_args() -> Result<CliArgs, String> {
                     return Err("--requests starts at 1".to_string());
                 }
             }
+            "--precision" => {
+                // f32 always stays in the list: every quantized measurement
+                // needs its baseline row.
+                for p in value()?.split(',') {
+                    let p: Precision = p.trim().parse()?;
+                    if !precisions.contains(&p) {
+                        precisions.push(p);
+                    }
+                }
+            }
             "--out" => out = value()?,
             "--log" => log = Some(value()?),
             "--metrics" => metrics = Some(value()?),
@@ -221,16 +270,17 @@ fn parse_args() -> Result<CliArgs, String> {
     batches.dedup();
     workers.sort_unstable();
     workers.dedup();
-    Ok(CliArgs { preset, batches, workers, requests, out, log, metrics })
+    Ok(CliArgs { preset, batches, workers, requests, precisions, out, log, metrics })
 }
 
 fn main() {
-    let CliArgs { preset, batches, workers, requests, out, log, metrics } =
+    let CliArgs { preset, batches, workers, requests, precisions, out, log, metrics } =
         parse_args().unwrap_or_else(|msg| {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: bench_serve --preset smoke|default|paper --batches 1,8,32 \
-                 --workers 1,2 --requests 512 --out PATH --log PATH --metrics PATH"
+                 --workers 1,2 --requests 512 [--precision int8,f16] \
+                 --out PATH --log PATH --metrics PATH"
             );
             std::process::exit(2);
         });
@@ -257,7 +307,8 @@ fn main() {
     obs.emit(Event::RunStart {
         name: "bench_serve".into(),
         detail: format!(
-            "preset={preset:?} batches={batches:?} workers={workers:?} requests={requests}"
+            "preset={preset:?} batches={batches:?} workers={workers:?} \
+             requests={requests} precisions={precisions:?}"
         ),
     });
 
@@ -297,26 +348,88 @@ fn main() {
     let single_session_per_sec = stream.len() as f64 / start.elapsed().as_secs_f64();
     eprintln!("[bench_serve] single-session baseline: {single_session_per_sec:.1} req/s");
 
+    // Gate every quantized precision against the f32 artifact before any
+    // engine sees it; a failed gate aborts the whole benchmark run.
+    let mut gate_reports = Vec::new();
+    for &p in precisions.iter().filter(|&&p| p != Precision::F32) {
+        let gate = QuantGate::default();
+        let quantized = artifact.quantize(p).expect("artifact quantizes");
+        let report = quantized
+            .gate_against(&artifact, &gate)
+            .unwrap_or_else(|e| panic!("{p} candidate failed the accuracy-delta gate: {e}"));
+        assert!(
+            report.disagreement() <= gate.max_disagreement
+                && report.max_score_delta <= gate.max_score_delta,
+            "gate passed but budgets exceeded: {report:?}"
+        );
+        eprintln!(
+            "[bench_serve] {p} gate passed: {}/{} probe disagreements, \
+             max score delta {:.5}, {} weight bytes",
+            report.disagreements,
+            report.probes,
+            report.max_score_delta,
+            quantized.weight_bytes()
+        );
+        gate_reports.push((p, report, quantized.weight_bytes()));
+    }
+
     let mut results = Vec::new();
-    for &max_batch in &batches {
-        for &w in &workers {
-            let r = run_config(&artifact, &stream, max_batch, w, &recorder, &registry);
-            eprintln!(
-                "[bench_serve] batch {max_batch} x {w} workers: {:.1} req/s, \
-                 p50 {}us, p99 {}us ({} flushes, {:.1} rows/flush)",
-                r.throughput_per_sec,
-                r.latency_us_p50,
-                r.latency_us_p99,
-                r.batches_flushed,
-                r.mean_batch_rows
-            );
-            results.push(r);
+    for &p in &precisions {
+        for &max_batch in &batches {
+            for &w in &workers {
+                let r = run_config(&artifact, &stream, p, max_batch, w, &recorder, &registry);
+                eprintln!(
+                    "[bench_serve] {p} batch {max_batch} x {w} workers: {:.1} req/s, \
+                     p50 {}us, p99 {}us ({} flushes, {:.1} rows/flush)",
+                    r.throughput_per_sec,
+                    r.latency_us_p50,
+                    r.latency_us_p99,
+                    r.batches_flushed,
+                    r.mean_batch_rows
+                );
+                results.push(r);
+            }
         }
     }
 
+    // Per-precision p50 comparison at the smallest configuration, where
+    // the forward pass (not queueing) dominates the latency.
+    let p50_at = |precision: Precision| {
+        results
+            .iter()
+            .find(|r| {
+                r.precision == precision.to_string()
+                    && r.max_batch == batches[0]
+                    && r.workers == workers[0]
+            })
+            .map(|r| r.latency_us_p50)
+            .expect("every precision ran the smallest configuration")
+    };
+    let f32_p50 = p50_at(Precision::F32);
+    let precision_summaries: Vec<PrecisionSummary> = gate_reports
+        .iter()
+        .map(|(p, report, weight_bytes)| {
+            let p50 = p50_at(*p);
+            let summary = PrecisionSummary {
+                precision: p.to_string(),
+                weight_bytes: *weight_bytes,
+                gate_disagreements: report.disagreements,
+                gate_max_score_delta: report.max_score_delta as f64,
+                latency_us_p50: p50,
+                p50_speedup_vs_f32: f32_p50 as f64 / p50 as f64,
+            };
+            eprintln!(
+                "[bench_serve] {p} p50 {}us vs f32 {f32_p50}us at batch {} x {} \
+                 workers ({:.2}x)",
+                p50, batches[0], workers[0], summary.p50_speedup_vs_f32
+            );
+            summary
+        })
+        .collect();
+
     let best_batch32 = results
         .iter()
-        .filter(|r| r.max_batch >= 32)
+        .filter(|r| r.max_batch >= 32 && r.precision == Precision::F32.to_string())
         .map(|r| r.throughput_per_sec)
         .fold(0.0_f64, f64::max);
     let report = ServeReport {
@@ -325,6 +438,7 @@ fn main() {
         requests,
         single_session_per_sec,
         speedup_batch32_vs_single: best_batch32 / single_session_per_sec,
+        precisions: precision_summaries,
         results,
     };
 

@@ -5,14 +5,25 @@
 //! pairwise-similarity path, row softmax, elementwise add, column sums) and
 //! one full CLFD smoke-preset fit, at every requested thread count, and
 //! writes a machine-readable JSON report. Thread counts are pinned with
-//! [`clfd_tensor::with_threads`], so the serial baseline (`threads = 1`)
-//! runs byte-for-byte the pre-threading kernels and `speedup_vs_serial`
-//! isolates the parallel dispatch.
+//! [`clfd_tensor::with_policy`] and an explicit [`KernelPolicy`], so the
+//! serial baseline (`threads = 1`) runs the blocked kernels
+//! single-threaded and `speedup_vs_serial` isolates the parallel
+//! dispatch. Each kernel is additionally timed under
+//! [`KernelPolicy::scalar_reference`] — the pre-blocking naive kernels —
+//! so `blocked_vs_naive` isolates the panel-packed register blocking.
 //!
 //! ```text
 //! cargo run --release -p clfd-bench --bin bench_suite -- \
-//!     --preset smoke --threads 1,2,4 --out BENCH_kernels.json
+//!     --preset smoke --threads 1,2,4 --out BENCH_kernels.json [--gate]
 //! ```
+//!
+//! `--gate` turns the report into a pass/fail check, aware of how many
+//! cores the host actually has: thread counts the host can truly run in
+//! parallel must beat the serial baseline (`speedup_vs_serial > 1`),
+//! oversubscribed counts (threads > cores, including everything on a
+//! 1-core host) must merely not collapse (`> 0.85`), and the blocked
+//! matmul kernels must beat the scalar reference by at least 1.5x. Any
+//! violation exits non-zero after the report is written.
 //!
 //! The report self-validates: after writing, the file is read back and
 //! re-parsed, so a `BENCH_kernels.json` on disk is always well-formed.
@@ -22,7 +33,7 @@ use clfd_data::noise::NoiseModel;
 use clfd_data::session::{DatasetKind, Preset};
 use clfd_obs::{Event, Obs, Stopwatch};
 use clfd_tensor::threads::counters;
-use clfd_tensor::{init, with_threads};
+use clfd_tensor::{init, with_policy, KernelPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -62,6 +73,12 @@ struct KernelBench {
     /// Work items per call (`work_unit` says what an item is).
     work_items: f64,
     work_unit: String,
+    /// Seconds per call of the pre-blocking scalar-reference kernels
+    /// ([`KernelPolicy::scalar_reference`], one thread).
+    naive_seconds_per_call: f64,
+    /// Blocked single-thread seconds / naive seconds: the speedup the
+    /// panel-packed register blocking delivers before any threading.
+    blocked_vs_naive: f64,
     results: Vec<ThreadTiming>,
 }
 
@@ -77,9 +94,51 @@ struct EndToEnd {
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
     preset: String,
+    /// Logical cores the host offered this run (`--gate` thresholds are
+    /// relative to it: threads beyond `cores` are oversubscribed).
+    cores: usize,
     thread_counts: Vec<usize>,
     kernels: Vec<KernelBench>,
     end_to_end: Vec<EndToEnd>,
+}
+
+/// Checks `report` against the core-aware performance gate; returns every
+/// violation as a human-readable line.
+fn gate_violations(report: &BenchReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    for kernel in &report.kernels {
+        for timing in &kernel.results {
+            if timing.threads <= 1 {
+                continue;
+            }
+            // Threads the host can genuinely run in parallel must win;
+            // oversubscribed counts (every multi-thread count on a 1-core
+            // host) only have to avoid collapsing under dispatch overhead
+            // — sub-millisecond memory-bound kernels pay a few percent to
+            // it, so the floor leaves room for that plus timing noise.
+            let (floor, regime) = if timing.threads <= report.cores {
+                (1.0, "parallel")
+            } else {
+                (0.85, "oversubscribed")
+            };
+            if timing.speedup_vs_serial <= floor {
+                violations.push(format!(
+                    "{} @ {} threads ({regime}, {} cores): speedup_vs_serial \
+                     {:.3} <= {floor}",
+                    kernel.name, timing.threads, report.cores, timing.speedup_vs_serial
+                ));
+            }
+        }
+        // The register-blocked matmuls must clearly beat the scalar
+        // reference on any host; the memory-bound kernels are exempt.
+        if kernel.name.starts_with("matmul") && kernel.blocked_vs_naive < 1.5 {
+            violations.push(format!(
+                "{}: blocked_vs_naive {:.3} < 1.5",
+                kernel.name, kernel.blocked_vs_naive
+            ));
+        }
+    }
+    violations
 }
 
 /// Times `f`, adaptively picking an iteration count so cheap kernels are
@@ -109,11 +168,15 @@ fn bench_kernel(
     obs: &Obs,
     f: impl Fn(),
 ) -> KernelBench {
+    // The scalar reference isolates what register blocking alone buys.
+    let naive = counted(obs, format!("{name}@naive"), || {
+        with_policy(KernelPolicy::scalar_reference().threads(1), || time_per_call(&f))
+    });
     let mut results = Vec::new();
     let mut serial_seconds = None;
     for &t in threads {
         let secs = counted(obs, format!("{name}@{t}t"), || {
-            with_threads(t, || time_per_call(&f))
+            with_policy(KernelPolicy::auto().threads(t), || time_per_call(&f))
         });
         let serial = *serial_seconds.get_or_insert_with(|| {
             if t == 1 {
@@ -121,7 +184,7 @@ fn bench_kernel(
             } else {
                 // The serial baseline is always measured, even when the
                 // requested counts skip 1.
-                with_threads(1, || time_per_call(&f))
+                with_policy(KernelPolicy::serial(), || time_per_call(&f))
             }
         });
         results.push(ThreadTiming {
@@ -136,10 +199,19 @@ fn bench_kernel(
             serial / secs
         );
     }
+    let serial = serial_seconds.expect("at least one thread count ran");
+    eprintln!(
+        "[bench] {name} blocked vs naive: {:.3} ms vs {:.3} ms ({:.2}x)",
+        serial * 1e3,
+        naive * 1e3,
+        naive / serial
+    );
     KernelBench {
         name: name.to_string(),
         work_items,
         work_unit: work_unit.to_string(),
+        naive_seconds_per_call: naive,
+        blocked_vs_naive: naive / serial,
         results,
     }
 }
@@ -227,7 +299,7 @@ fn end_to_end(preset: Preset, threads: &[usize], obs: &Obs) -> Vec<EndToEnd> {
         .iter()
         .map(|&t| {
             counted(obs, format!("e2e@{t}t"), || {
-                with_threads(t, || {
+                with_policy(KernelPolicy::auto().threads(t), || {
                     let start = Instant::now();
                     let model =
                         TrainedClfd::builder().config(cfg).seed(5).fit(&split, &noisy);
@@ -254,16 +326,18 @@ struct CliArgs {
     out: String,
     log: Option<String>,
     e2e: bool,
+    gate: bool,
 }
 
 /// Minimal flag parsing (`--preset`, `--threads`, `--out`, `--log`,
-/// `--no-e2e`).
+/// `--no-e2e`, `--gate`).
 fn parse_args() -> Result<CliArgs, String> {
     let mut preset = Preset::Smoke;
     let mut threads = vec![1, 2, clfd_tensor::threads::available()];
     let mut out = "BENCH_kernels.json".to_string();
     let mut log = None;
     let mut e2e = true;
+    let mut gate = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -302,20 +376,21 @@ fn parse_args() -> Result<CliArgs, String> {
             "--out" => out = value()?,
             "--log" => log = Some(value()?),
             "--no-e2e" => e2e = false,
+            "--gate" => gate = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
     threads.sort_unstable();
     threads.dedup();
-    Ok(CliArgs { preset, threads, out, log, e2e })
+    Ok(CliArgs { preset, threads, out, log, e2e, gate })
 }
 
 fn main() {
-    let CliArgs { preset, threads, out, log, e2e } = parse_args().unwrap_or_else(|msg| {
+    let CliArgs { preset, threads, out, log, e2e, gate } = parse_args().unwrap_or_else(|msg| {
         eprintln!("error: {msg}");
         eprintln!(
             "usage: bench_suite --preset smoke|default|paper --threads 1,2,4 \
-             --out PATH --log PATH [--no-e2e]"
+             --out PATH --log PATH [--no-e2e] [--gate]"
         );
         std::process::exit(2);
     });
@@ -335,6 +410,7 @@ fn main() {
 
     let report = BenchReport {
         preset: format!("{preset:?}").to_lowercase(),
+        cores: clfd_tensor::threads::available(),
         thread_counts: threads.clone(),
         kernels: kernel_benches(&threads, &obs),
         end_to_end: if e2e { end_to_end(preset, &threads, &obs) } else { Vec::new() },
@@ -354,4 +430,16 @@ fn main() {
     obs.emit(Event::RunEnd { name: "bench_suite".into(), wall_ms: run_clock.elapsed_ms() });
     obs.flush();
     eprintln!("wrote {out} ({} kernels, {} e2e rows); log {log}", parsed.kernels.len(), parsed.end_to_end.len());
+
+    if gate {
+        let violations = gate_violations(&parsed);
+        if violations.is_empty() {
+            eprintln!("[bench] gate passed on {} cores", parsed.cores);
+        } else {
+            for v in &violations {
+                eprintln!("[bench] gate violation: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

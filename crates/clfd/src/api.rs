@@ -28,6 +28,66 @@ use crate::model::Prediction;
 use crate::pipeline::TrainedClfd;
 use clfd_data::session::Session;
 use clfd_data::word2vec::ActivityEmbeddings;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Numeric precision of a serving path.
+///
+/// Training always runs in `f32` — the workspace-wide bit-identity
+/// guarantee is defined over f32 arithmetic and `Precision` never changes
+/// it. What `Precision` selects is what the *serving* stack does with a
+/// frozen artifact: [`F32`](Precision::F32) serves the weights exactly as
+/// exported, while [`Int8`](Precision::Int8) / [`F16`](Precision::F16) ask
+/// the serving layer to quantize the weight matrices (per-row affine int8,
+/// or IEEE binary16 storage) with f32 accumulation, admitted only through
+/// an accuracy-delta gate against the f32 artifact (`clfd-serve`).
+///
+/// The preference is carried in [`ClfdConfig::precision`] so it rides
+/// inside exported artifacts, and independently on the serving
+/// `EngineConfig`; both default to `F32`, and artifact JSON written before
+/// this field existed deserializes as `F32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Precision {
+    /// Full-precision `f32` weights — the training precision and the
+    /// reference every quantized path is gated against.
+    #[default]
+    F32,
+    /// IEEE binary16 (half-precision) weight storage with `f32`
+    /// accumulation. Halves artifact weight bytes; near-lossless.
+    F16,
+    /// Per-row affine 8-bit weight quantization (scale + zero-point per
+    /// output row) with `f32` accumulation. Quarters weight bytes.
+    Int8,
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::F32 => "f32",
+            Self::F16 => "f16",
+            Self::Int8 => "int8",
+        })
+    }
+}
+
+impl FromStr for Precision {
+    type Err = String;
+
+    /// Parses the CLI spellings: `f32`, `f16`, and `int8` (plus the common
+    /// aliases `fp32`/`fp16`/`half`/`i8`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" | "fp32" | "float32" => Ok(Self::F32),
+            "f16" | "fp16" | "half" => Ok(Self::F16),
+            "int8" | "i8" | "q8" => Ok(Self::Int8),
+            other => Err(format!(
+                "unknown precision {other:?} (expected f32, f16, or int8)"
+            )),
+        }
+    }
+}
 
 /// A trained model that classifies sessions.
 ///
@@ -122,5 +182,32 @@ mod tests {
         let corrector = model.corrector().expect("full ablation trains a corrector");
         let cpreds = corrector.scorer(model.embeddings(), model.config()).score(&test);
         assert_eq!(cpreds.len(), test.len());
+    }
+
+    #[test]
+    fn precision_round_trips_through_json_and_cli_spellings() {
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            let json = serde_json::to_string(&p).expect("serialize");
+            let back: Precision = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, p);
+            // Display and FromStr agree (the CLI contract).
+            assert_eq!(p.to_string().parse::<Precision>(), Ok(p));
+        }
+        assert_eq!("INT8".parse::<Precision>(), Ok(Precision::Int8));
+        assert_eq!("fp16".parse::<Precision>(), Ok(Precision::F16));
+        assert!("bf16".parse::<Precision>().is_err());
+        assert_eq!(Precision::default(), Precision::F32);
+    }
+
+    #[test]
+    fn configs_without_a_precision_field_deserialize_as_f32() {
+        // Artifact JSON written before `ClfdConfig::precision` existed must
+        // keep loading (the registry stores such artifacts on disk).
+        let json = serde_json::to_string(&ClfdConfig::paper()).expect("serialize");
+        let old = json.replace(",\"precision\":\"f32\"", "");
+        assert_ne!(old, json, "precision key not found to strip: {json}");
+        let cfg: ClfdConfig = serde_json::from_str(&old).expect("old JSON loads");
+        assert_eq!(cfg.precision, Precision::F32);
+        assert_eq!(cfg, ClfdConfig::paper());
     }
 }

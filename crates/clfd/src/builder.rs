@@ -24,12 +24,14 @@
 //! tuning, the [`obs`](ClfdBuilder::obs) telemetry sink, and the
 //! fault-injection plans used by the robustness tests.
 
+use crate::api::Precision;
 use crate::config::{Ablation, ClfdConfig};
 use crate::error::ClfdError;
 use crate::pipeline::{TrainOptions, TrainedClfd};
 use clfd_data::session::{Label, Preset, SplitCorpus};
 use clfd_nn::{FaultPlan, GuardConfig};
 use clfd_obs::Obs;
+use clfd_tensor::KernelPolicy;
 
 /// Builder for a CLFD training run; start from [`TrainedClfd::builder`].
 ///
@@ -84,6 +86,26 @@ impl ClfdBuilder {
     /// Sets the training RNG seed (default: 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the serving-precision preference carried into exported
+    /// artifacts ([`ClfdConfig::precision`]; default:
+    /// [`Precision::F32`]). Training math is unaffected — this only tells
+    /// the serving stack which precision to quantize the frozen artifact
+    /// to, behind its accuracy gate.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.cfg.precision = precision;
+        self
+    }
+
+    /// Installs an explicit kernel-tuning policy (thread count, matmul
+    /// block shape, SIMD lane hint) for the duration of the run via
+    /// [`clfd_tensor::with_policy`]. Default: inherit the process-wide
+    /// policy. Every policy produces bit-identical trained parameters and
+    /// predictions; only wall-clock changes.
+    pub fn kernel_policy(mut self, policy: KernelPolicy) -> Self {
+        self.opts.kernel_policy = Some(policy);
         self
     }
 
@@ -199,5 +221,43 @@ mod tests {
             Err(e) => e,
         };
         assert!(matches!(err, ClfdError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn kernel_policy_and_precision_leave_training_bit_identical() {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 8);
+        let truth = split.train_labels();
+        let mut rng = StdRng::seed_from_u64(6);
+        let noisy = NoiseModel::Uniform { eta: 0.25 }.apply(&truth, &mut rng);
+        let ablation = Ablation::without_fraud_detector();
+
+        let base = TrainedClfd::builder()
+            .preset(Preset::Smoke)
+            .ablation(ablation)
+            .seed(11)
+            .fit(&split, &noisy);
+        // An explicit multi-threaded, odd-block policy plus a quantization
+        // preference: neither may perturb a single trained bit.
+        let tuned = TrainedClfd::builder()
+            .preset(Preset::Smoke)
+            .ablation(ablation)
+            .seed(11)
+            .precision(crate::api::Precision::Int8)
+            .kernel_policy(
+                KernelPolicy::auto()
+                    .threads(4)
+                    .block_sizes(clfd_tensor::BlockSizes { rows: 3, cols: 8 }),
+            )
+            .fit(&split, &noisy);
+
+        assert_eq!(tuned.config().precision, crate::api::Precision::Int8);
+        let a = base.predict_test(&split);
+        let b = tuned.predict_test(&split);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.malicious_score.to_bits(), y.malicious_score.to_bits());
+            assert_eq!(x.confidence.to_bits(), y.confidence.to_bits());
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Hyper-parameters and ablation switches for the CLFD framework.
 
+use crate::api::Precision;
 use clfd_data::session::Preset;
 use clfd_data::word2vec::Word2VecConfig;
 use clfd_losses::SupConVariant;
@@ -61,6 +62,15 @@ pub struct ClfdConfig {
     /// Word2vec identity residual (see `clfd-data`); off only for the
     /// reproduction-choice ablation bench.
     pub w2v_identity_residual: bool,
+    /// Serving-precision preference carried into exported artifacts.
+    ///
+    /// Training itself always runs in `f32`; this field only tells the
+    /// serving stack (`clfd-serve` / `clfd-registry`) which precision to
+    /// quantize the frozen artifact to, behind its accuracy-delta gate.
+    /// Absent in artifact JSON written before this field existed, hence
+    /// the serde default ([`Precision::F32`]).
+    #[serde(default)]
+    pub precision: Precision,
 }
 
 impl ClfdConfig {
@@ -85,6 +95,7 @@ impl ClfdConfig {
             w2v_epochs: 5,
             head_weight_decay: 0.0,
             w2v_identity_residual: true,
+            precision: Precision::F32,
         }
     }
 

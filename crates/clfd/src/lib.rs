@@ -79,7 +79,7 @@ pub mod pipeline;
 pub mod prelude;
 pub mod snapshot;
 
-pub use api::Scorer;
+pub use api::{Precision, Scorer};
 pub use builder::ClfdBuilder;
 pub use config::{Ablation, ClfdConfig};
 pub use error::{ClfdError, TrainStage};

@@ -11,6 +11,7 @@ use clfd_data::word2vec::ActivityEmbeddings;
 use clfd_nn::snapshot::Snapshot;
 use clfd_nn::{FaultPlan, GuardConfig};
 use clfd_obs::{Event, Obs};
+use clfd_tensor::KernelPolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,6 +35,13 @@ pub struct TrainOptions {
     /// Recording is observation-only: attaching a sink never changes the
     /// trained parameters or predictions (see the golden determinism test).
     pub obs: Obs,
+    /// Kernel tuning (thread count, matmul block shape, SIMD lane hint)
+    /// installed for the duration of the run via
+    /// [`clfd_tensor::with_policy`]. `None` (the default) leaves whatever
+    /// policy the process has configured untouched. Any value is
+    /// prediction-identical to any other — the kernels carry a bit-identity
+    /// guarantee across thread counts and blocked/scalar paths.
+    pub kernel_policy: Option<KernelPolicy>,
 }
 
 impl TrainOptions {
@@ -122,9 +130,27 @@ impl TrainedClfd {
     /// The training pipeline itself: word2vec → label corrector → fraud
     /// detector. All public construction surfaces funnel here.
     ///
+    /// Installs [`TrainOptions::kernel_policy`] (when set) around the whole
+    /// run, then delegates to [`TrainedClfd::train_body`].
+    pub(crate) fn train_impl(
+        split: &SplitCorpus,
+        noisy_labels: &[Label],
+        cfg: &ClfdConfig,
+        ablation: &Ablation,
+        seed: u64,
+        opts: &TrainOptions,
+    ) -> Result<Self, ClfdError> {
+        match opts.kernel_policy {
+            Some(policy) => clfd_tensor::with_policy(policy, || {
+                Self::train_body(split, noisy_labels, cfg, ablation, seed, opts)
+            }),
+            None => Self::train_body(split, noisy_labels, cfg, ablation, seed, opts),
+        }
+    }
+
     /// The ablation switches reproduce every row of Tables IV/V; use
     /// [`Ablation::full`] for the complete framework.
-    pub(crate) fn train_impl(
+    fn train_body(
         split: &SplitCorpus,
         noisy_labels: &[Label],
         cfg: &ClfdConfig,

@@ -9,7 +9,7 @@
 //! configuration and ablation types, the typed error, and the session/data
 //! types those APIs consume.
 
-pub use crate::api::Scorer;
+pub use crate::api::{Precision, Scorer};
 pub use crate::builder::ClfdBuilder;
 pub use crate::config::{Ablation, ClfdConfig};
 pub use crate::error::ClfdError;
@@ -19,3 +19,4 @@ pub use crate::snapshot::ClfdSnapshot;
 pub use clfd_data::session::{DatasetKind, Label, Preset, Session, SplitCorpus};
 pub use clfd_nn::GuardConfig;
 pub use clfd_obs::Obs;
+pub use clfd_tensor::{BlockSizes, KernelPolicy};

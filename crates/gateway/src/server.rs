@@ -457,8 +457,9 @@ fn serve_error_response(error: &ServeError, session: usize) -> Response {
         }
         ServeError::DeadlineExceeded => json_error(503, "deadline_exceeded", detail),
         ServeError::ShuttingDown => json_error(503, "shutting_down", detail),
-        ServeError::Freeze(_) | ServeError::Artifact(_) | ServeError::Internal(_) => {
-            json_error(503, "internal", detail)
-        }
+        ServeError::Freeze(_)
+        | ServeError::Artifact(_)
+        | ServeError::QuantizationRejected(_)
+        | ServeError::Internal(_) => json_error(503, "internal", detail),
     }
 }

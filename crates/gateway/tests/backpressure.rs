@@ -32,7 +32,7 @@ impl ArtifactSource for SlowSource {
         self.inner.lease()
     }
 
-    fn validation_hint(&self) -> Option<Arc<clfd_serve::InferenceArtifact>> {
+    fn validation_hint(&self) -> Option<Arc<clfd_serve::ServableArtifact>> {
         self.inner.validation_hint()
     }
 }
@@ -71,7 +71,7 @@ fn overload_sheds_cleanly_and_the_books_balance() {
     });
     let engine = Arc::new(Engine::from_source(
         source,
-        EngineConfig { max_batch: 2, queue_capacity: 4, workers: 1, metrics_every: None },
+        EngineConfig { max_batch: 2, queue_capacity: 4, workers: 1, ..EngineConfig::default() },
         obs.clone(),
         Some(registry.clone()),
     ));

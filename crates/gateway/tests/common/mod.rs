@@ -85,7 +85,7 @@ impl Edge {
 /// Engine config small enough to exercise batching but never shed in
 /// ordinary tests.
 pub fn roomy_engine() -> EngineConfig {
-    EngineConfig { max_batch: 8, queue_capacity: 1024, workers: 2, metrics_every: None }
+    EngineConfig { max_batch: 8, queue_capacity: 1024, workers: 2, ..EngineConfig::default() }
 }
 
 /// Starts a gateway on an ephemeral port over `artifact(variant)`.

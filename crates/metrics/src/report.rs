@@ -96,6 +96,20 @@ pub struct SwapRow {
     pub reason: String,
 }
 
+/// Aggregated tensor-kernel launch counters per scope (one scope per
+/// benchmarked kernel × thread count in `bench_suite` streams).
+#[derive(Debug, Clone, Default)]
+pub struct KernelAgg {
+    /// `kernel_counters` events folded into this scope.
+    pub events: u64,
+    /// Total threaded-kernel launches (including serial fallbacks).
+    pub launches: u64,
+    /// Launches that actually fanned out to more than one part.
+    pub parallel_launches: u64,
+    /// Nanoseconds spent inside kernel launch blocks.
+    pub busy_ns: u64,
+}
+
 /// Aggregated corrector-confidence histogram per stage.
 #[derive(Debug, Clone, Default)]
 pub struct ConfAgg {
@@ -139,6 +153,9 @@ pub struct RunSummary {
     pub max_queue_depth: u64,
     /// Configured queue capacity (last seen).
     pub queue_capacity: u64,
+    /// Kernel launch-counter aggregates, keyed by scope (`bench_suite`
+    /// emits one scope per kernel × thread count, e.g. `matmul_512@2t`).
+    pub kernels: BTreeMap<String, KernelAgg>,
     /// Confidence aggregates per stage path.
     pub confidence: BTreeMap<String, ConfAgg>,
     /// Isolated run failures (`model: error`), in file order.
@@ -286,6 +303,13 @@ impl RunSummary {
                         .unwrap_or("")
                         .to_string(),
                 });
+            }
+            "kernel_counters" => {
+                let agg = self.kernels.entry(need_str(&v, "scope")?).or_default();
+                agg.events += 1;
+                agg.launches += need_u64(&v, "launches")?;
+                agg.parallel_launches += need_u64(&v, "parallel_launches")?;
+                agg.busy_ns += need_u64(&v, "busy_ns")?;
             }
             "confidence" => {
                 let stage = need_str(&v, "stage")?;
@@ -491,6 +515,40 @@ impl RunSummary {
                     out,
                     "  t={:>6}ms {:<8} [{}@{}]{reason}",
                     s.t_ms, s.outcome, s.model, s.version
+                );
+            }
+        }
+        if !self.kernels.is_empty() {
+            let total_launches: u64 = self.kernels.values().map(|a| a.launches).sum();
+            let total_busy: u64 = self.kernels.values().map(|a| a.busy_ns).sum();
+            let _ = writeln!(
+                out,
+                "\nKernel throughput ({} scopes, {} launches, {} busy):",
+                self.kernels.len(),
+                total_launches,
+                format_us(total_busy / 1000)
+            );
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>10} {:>9} {:>12} {:>12}",
+                "scope", "launches", "par%", "busy", "ns/launch"
+            );
+            for (scope, agg) in &self.kernels {
+                let par_pct = if agg.launches > 0 {
+                    100.0 * agg.parallel_launches as f64 / agg.launches as f64
+                } else {
+                    0.0
+                };
+                let per_launch = if agg.launches > 0 {
+                    agg.busy_ns as f64 / agg.launches as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {scope:<34} {:>10} {par_pct:>8.1}% {:>12} {per_launch:>12.0}",
+                    agg.launches,
+                    format_us(agg.busy_ns / 1000),
                 );
             }
         }
@@ -866,6 +924,40 @@ mod tests {
         let summary = RunSummary::from_lines(text.lines()).unwrap();
         let report = summary.check_snapshot(&registry.snapshot().to_prometheus()).unwrap();
         assert!(report.contains("100 requests across 2 model series"), "{report}");
+    }
+
+    #[test]
+    fn summary_aggregates_kernel_counters_by_scope() {
+        let events = vec![
+            Event::RunStart { name: "bench_suite".into(), detail: "smoke".into() },
+            Event::KernelCounters {
+                scope: "matmul_512x512x512@2t".into(),
+                launches: 40,
+                parallel_launches: 36,
+                busy_ns: 8_000_000,
+            },
+            Event::KernelCounters {
+                scope: "matmul_512x512x512@2t".into(),
+                launches: 10,
+                parallel_launches: 4,
+                busy_ns: 2_000_000,
+            },
+            Event::KernelCounters {
+                scope: "softmax_rows_512x512@1t".into(),
+                launches: 5,
+                parallel_launches: 0,
+                busy_ns: 500_000,
+            },
+        ];
+        let text = jsonl_for(&events);
+        let s = RunSummary::from_lines(text.lines()).unwrap();
+        let mm = &s.kernels["matmul_512x512x512@2t"];
+        assert_eq!((mm.events, mm.launches, mm.parallel_launches), (2, 50, 40));
+        assert_eq!(mm.busy_ns, 10_000_000);
+        let rendered = s.render();
+        assert!(rendered.contains("Kernel throughput (2 scopes, 55 launches"), "{rendered}");
+        assert!(rendered.contains("matmul_512x512x512@2t"), "{rendered}");
+        assert!(rendered.contains("80.0%"), "{rendered}");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! ```text
 //! clfd-registry init       --root DIR
 //! clfd-registry train-demo --root DIR --model ID [--seed N] [--note TEXT]
-//! clfd-registry stage      --root DIR --model ID --file ARTIFACT.json [--note TEXT]
+//! clfd-registry stage      --root DIR --model ID --file ARTIFACT.json \
+//!                          [--precision f32|f16|int8] [--note TEXT]
 //! clfd-registry promote    --root DIR --model ID --version N [--canary-every N]
 //! clfd-registry rollback   --root DIR --model ID
 //! clfd-registry status     --root DIR
@@ -17,6 +18,12 @@
 //! is configured for canary rollout, which matters for long-running serve
 //! processes watching the same root.
 //!
+//! `stage --precision int8|f16` quantizes an **f32** artifact file before
+//! staging: the quantized candidate must first pass the serve crate's
+//! accuracy-delta gate against the very f32 artifact it came from
+//! (deterministic probes; label-disagreement and score-drift budgets), so
+//! a quantized version can never enter the registry unchecked.
+//!
 //! Exit codes: `0` success, `1` registry/validation failure, `2` usage.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
@@ -27,7 +34,7 @@ use clfd_obs::Obs;
 use clfd_registry::{
     ArtifactStore, CanaryConfig, ModelRegistry, PromotionOutcome, RegistryConfig,
 };
-use clfd_serve::InferenceArtifact;
+use clfd_serve::{InferenceArtifact, QuantGate, ServableArtifact};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -37,7 +44,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: clfd-registry <init|train-demo|stage|promote|rollback|status> \
          --root DIR [--model ID] [--version N] [--file F] [--seed N] \
-         [--note TEXT] [--canary-every N]"
+         [--note TEXT] [--canary-every N] [--precision f32|f16|int8]"
     );
     ExitCode::from(2)
 }
@@ -140,11 +147,26 @@ fn run(args: &Args) -> Result<(), String> {
             let model_id = args.get("model")?;
             let file = args.get("file")?;
             let note = args.flags.get("note").map(String::as_str).unwrap_or("");
-            let bytes = std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
+            let precision: Precision = args
+                .flags
+                .get("precision")
+                .map_or(Ok(Precision::F32), |p| p.parse())?;
+            let mut bytes = std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
+            if precision != Precision::F32 {
+                // Quantize-and-gate before a byte reaches the store: the
+                // candidate must track the f32 artifact it came from.
+                let f32_artifact = InferenceArtifact::from_json_bytes(&bytes)
+                    .map_err(|e| format!("--precision {precision} needs an f32 artifact: {e}"))?;
+                let servable =
+                    ServableArtifact::quantize_gated(f32_artifact, precision, &QuantGate::default())
+                        .map_err(|e| e.to_string())?;
+                bytes = servable.to_json().into_bytes();
+                eprintln!("quantized {file} to {precision} (accuracy-delta gate passed)");
+            }
             let registry = registry_at(root, 0)?;
             let version =
                 registry.stage(model_id, &bytes, note).map_err(|e| e.to_string())?;
-            println!("staged {model_id}@{version} from {file}");
+            println!("staged {model_id}@{version} from {file} ({precision})");
             Ok(())
         }
         "promote" => {

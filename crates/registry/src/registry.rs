@@ -24,7 +24,7 @@ use crate::swap::Swap;
 use clfd::Prediction;
 use clfd_data::{Label, Session};
 use clfd_obs::{Event, Obs};
-use clfd_serve::{ArtifactLease, ArtifactSource, InferenceArtifact, LeaseObserver};
+use clfd_serve::{ArtifactLease, ArtifactSource, LeaseObserver, ServableArtifact};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -131,12 +131,12 @@ struct VersionedArtifact {
     version: u64,
     /// `"<model>@<version>"` — the serve-side metric label.
     label: Arc<str>,
-    artifact: Arc<InferenceArtifact>,
+    artifact: Arc<ServableArtifact>,
     window: StatsWindow,
 }
 
 impl VersionedArtifact {
-    fn new(model: &str, version: u64, artifact: Arc<InferenceArtifact>) -> Arc<Self> {
+    fn new(model: &str, version: u64, artifact: Arc<ServableArtifact>) -> Arc<Self> {
         Arc::new(Self {
             version,
             label: format!("{model}@{version}").into(),
@@ -367,7 +367,7 @@ impl ArtifactSource for RegistrySource {
     /// reject traffic at the engine's front door — it has to *score* (and
     /// fail) its share of live requests for the error-rate window to see
     /// the regression and roll it back.
-    fn validation_hint(&self) -> Option<Arc<InferenceArtifact>> {
+    fn validation_hint(&self) -> Option<Arc<ServableArtifact>> {
         self.slot.state.load().active.as_ref().map(|v| Arc::clone(&v.artifact))
     }
 }
@@ -438,7 +438,7 @@ impl ModelRegistry {
         &self,
         model: &str,
         version: u64,
-    ) -> Result<Arc<InferenceArtifact>, RegistryError> {
+    ) -> Result<Arc<ServableArtifact>, RegistryError> {
         let attempts = self.inner.cfg.load_attempts.max(1);
         let mut last = RegistryError::Io("no load attempted".into());
         for attempt in 0..attempts {
@@ -464,7 +464,7 @@ impl ModelRegistry {
         &self,
         model: &str,
         version: u64,
-    ) -> Result<Arc<InferenceArtifact>, RegistryError> {
+    ) -> Result<Arc<ServableArtifact>, RegistryError> {
         let mut bytes =
             self.inner.store.lock().expect("store lock").load_bytes(model, version)?;
         if let Some(injector) = &self.inner.faults {
@@ -481,7 +481,10 @@ impl ModelRegistry {
                 _ => {}
             }
         }
-        let artifact = InferenceArtifact::from_json_bytes(&bytes)
+        // Sniffs the wire format: quantized bodies (admitted at stage time
+        // through the serve crate's accuracy-delta gate) and f32 artifacts
+        // both decode into the one servable form every slot holds.
+        let artifact = ServableArtifact::from_json_bytes(&bytes)
             .map_err(|e| RegistryError::Corrupt(format!("{model}@{version}: {e}")))?;
         Ok(Arc::new(artifact))
     }
@@ -490,8 +493,8 @@ impl ModelRegistry {
     /// rejection reason, if any.
     fn gate(
         &self,
-        candidate: &InferenceArtifact,
-        active: Option<&InferenceArtifact>,
+        candidate: &ServableArtifact,
+        active: Option<&ServableArtifact>,
     ) -> Option<String> {
         let cfg = &self.inner.cfg;
         let probe: Vec<&Session> = cfg.probe.iter().collect();

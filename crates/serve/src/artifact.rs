@@ -23,11 +23,11 @@ use serde::{Deserialize, Serialize};
 
 /// Mirrors the classifier head's private LeakyReLU slope; the serve crate's
 /// bit-identity tests pin the two together.
-const LEAKY_SLOPE: f32 = 0.01;
+pub(crate) const LEAKY_SLOPE: f32 = 0.01;
 
 /// Epsilon of the unit-sphere projection applied to encoder features,
 /// mirroring the corrector/detector inference paths.
-const L2_EPS: f32 = 1e-9;
+pub(crate) const L2_EPS: f32 = 1e-9;
 
 /// One LSTM layer's parameters (gate order i, f, g, o, matching
 /// `clfd_nn::Lstm`).
@@ -80,13 +80,13 @@ pub enum ArtifactHead {
 pub struct InferenceArtifact {
     /// The hyper-parameters the model was trained with (batch shaping and
     /// widths are read at inference time).
-    cfg: ClfdConfig,
+    pub(crate) cfg: ClfdConfig,
     /// The word2vec activity-embedding table, `vocab x embed_dim`.
-    embeddings: Matrix,
+    pub(crate) embeddings: Matrix,
     /// The inference encoder's LSTM stack, input layer first.
-    lstm: Vec<PackedLstmLayer>,
+    pub(crate) lstm: Vec<PackedLstmLayer>,
     /// The scoring head.
-    head: ArtifactHead,
+    pub(crate) head: ArtifactHead,
 }
 
 impl InferenceArtifact {
@@ -419,7 +419,7 @@ impl Scorer for InferenceArtifact {
 
 /// Distance-softmax over the two class centroids; mirrors the detector's
 /// centroid inference expression-for-expression.
-fn centroid_proba(features: &Matrix, normal: &Matrix, malicious: &Matrix) -> Matrix {
+pub(crate) fn centroid_proba(features: &Matrix, normal: &Matrix, malicious: &Matrix) -> Matrix {
     Matrix::from_fn(features.rows(), 2, |r, c| {
         let row = Matrix::row_vector(features.row(r));
         let d0 = row.euclidean_distance(normal);
@@ -436,7 +436,7 @@ fn centroid_proba(features: &Matrix, normal: &Matrix, malicious: &Matrix) -> Mat
 }
 
 /// Mirrors the pipeline's probability → [`Prediction`] conversion.
-fn predictions_from_proba(probs: &Matrix) -> Vec<Prediction> {
+pub(crate) fn predictions_from_proba(probs: &Matrix) -> Vec<Prediction> {
     (0..probs.rows())
         .map(|r| {
             let p0 = probs.get(r, 0);

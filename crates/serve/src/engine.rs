@@ -38,9 +38,11 @@
 
 use crate::artifact::InferenceArtifact;
 use crate::error::ServeError;
+use crate::quant::{QuantGate, ServableArtifact};
 use crate::source::{ArtifactSource, FixedArtifact};
 use clfd::api::Scorer;
-use clfd::Prediction;
+use clfd::{Precision, Prediction};
+use clfd_tensor::KernelPolicy;
 use clfd_data::session::Session;
 use clfd_metrics::Registry;
 use clfd_obs::{Event, Obs};
@@ -68,11 +70,30 @@ pub struct EngineConfig {
     /// this many completed requests. `None` disables periodic flushing
     /// (a final snapshot can still be taken from the registry directly).
     pub metrics_every: Option<u64>,
+    /// Serving precision for the artifact-owning constructors
+    /// ([`Engine::new`] / [`Engine::with_obs`] / [`Engine::with_metrics`]):
+    /// anything other than [`Precision::F32`] quantizes the supplied
+    /// artifact and admits it through the default accuracy-delta
+    /// [`QuantGate`]. Source-backed engines ([`Engine::from_source`])
+    /// serve whatever form the source leases and ignore this field.
+    pub precision: Precision,
+    /// Tensor-kernel policy installed on every worker thread
+    /// (thread count, cache-block shape, SIMD lanes — see
+    /// [`clfd_tensor::KernelPolicy`]). `None` inherits the process-wide
+    /// policy. Scoring is bit-identical under any policy.
+    pub kernel_policy: Option<KernelPolicy>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { max_batch: 32, queue_capacity: 256, workers: 1, metrics_every: None }
+        Self {
+            max_batch: 32,
+            queue_capacity: 256,
+            workers: 1,
+            metrics_every: None,
+            precision: Precision::F32,
+            kernel_policy: None,
+        }
     }
 }
 
@@ -166,13 +187,32 @@ pub struct Engine {
 
 impl Engine {
     /// Spawns an engine (and its worker pool) over one frozen `artifact`
-    /// (a [`FixedArtifact`] source labeled `"default"`).
+    /// (a [`FixedArtifact`] source labeled `"default"`). When
+    /// [`EngineConfig::precision`] is not [`Precision::F32`], the artifact
+    /// is quantized and admitted through the default [`QuantGate`] first.
     ///
     /// # Panics
     /// Panics when `cfg` asks for zero workers, a zero batch bound, or a
-    /// zero-capacity queue.
+    /// zero-capacity queue — or when the quantized artifact fails the
+    /// accuracy-delta gate (use [`Engine::try_new`] for a typed rejection).
     pub fn new(artifact: InferenceArtifact, cfg: EngineConfig) -> Self {
         Self::with_obs(artifact, cfg, Obs::null())
+    }
+
+    /// [`Engine::new`] with the quantization gate surfaced as a typed
+    /// error instead of a panic.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::QuantizationRejected`] when
+    /// [`EngineConfig::precision`] asks for a quantized artifact that
+    /// fails the accuracy-delta gate.
+    pub fn try_new(artifact: InferenceArtifact, cfg: EngineConfig) -> Result<Self, ServeError> {
+        let source = Arc::new(FixedArtifact::servable(ServableArtifact::quantize_gated(
+            artifact,
+            cfg.precision,
+            &QuantGate::default(),
+        )?));
+        Ok(Self::build(source, cfg, Obs::null(), None))
     }
 
     /// Like [`Engine::new`] with a `clfd-obs` sink attached: the engine
@@ -180,7 +220,7 @@ impl Engine {
     /// [`Event::RequestDone`] (plus [`Event::RequestExpired`] /
     /// [`Event::ServePanic`] on the failure paths).
     pub fn with_obs(artifact: InferenceArtifact, cfg: EngineConfig, obs: Obs) -> Self {
-        Self::build(Arc::new(FixedArtifact::new(artifact)), cfg, obs, None)
+        Self::build(Arc::new(admit(artifact, &cfg)), cfg, obs, None)
     }
 
     /// Like [`Engine::with_obs`] with a metrics [`Registry`] attached:
@@ -197,7 +237,7 @@ impl Engine {
         obs: Obs,
         metrics: Arc<Registry>,
     ) -> Self {
-        Self::build(Arc::new(FixedArtifact::new(artifact)), cfg, obs, Some(metrics))
+        Self::build(Arc::new(admit(artifact, &cfg)), cfg, obs, Some(metrics))
     }
 
     /// Spawns an engine over an arbitrary [`ArtifactSource`] — the
@@ -252,7 +292,7 @@ impl Engine {
     /// The artifact the engine would score the next batch with (a fresh
     /// lease from the source; under a hot-swapping source this can change
     /// between calls).
-    pub fn artifact(&self) -> Arc<InferenceArtifact> {
+    pub fn artifact(&self) -> Arc<ServableArtifact> {
         self.shared.source.lease().artifact
     }
 
@@ -418,7 +458,24 @@ impl Drop for Engine {
     }
 }
 
+/// Quantizes (or passes through) one owned artifact per
+/// [`EngineConfig::precision`]; the panicking constructors funnel here.
+fn admit(artifact: InferenceArtifact, cfg: &EngineConfig) -> FixedArtifact {
+    let servable = ServableArtifact::quantize_gated(artifact, cfg.precision, &QuantGate::default())
+        .expect("quantized artifact failed the accuracy-delta gate");
+    FixedArtifact::servable(servable)
+}
+
+/// Installs the engine's kernel policy (if any) for the lifetime of one
+/// worker thread, then runs the drain loop.
 fn worker_loop(shared: &Shared, worker: usize) {
+    match shared.cfg.kernel_policy {
+        Some(policy) => clfd_tensor::with_policy(policy, || worker_drain_loop(shared, worker)),
+        None => worker_drain_loop(shared, worker),
+    }
+}
+
+fn worker_drain_loop(shared: &Shared, worker: usize) {
     loop {
         let drained = {
             let mut state = shared.state.lock().expect("engine state mutex poisoned");

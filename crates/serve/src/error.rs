@@ -29,6 +29,11 @@ pub enum ServeError {
         /// The artifact's vocabulary size.
         vocab: usize,
     },
+    /// A quantized artifact failed the accuracy-delta admission gate (or
+    /// quantization was requested at a precision that has no quantized
+    /// form). The payload says which budget was exceeded and by how much;
+    /// the f32 artifact keeps serving.
+    QuantizationRejected(String),
     /// The engine is shutting down and no longer accepts or answers
     /// requests.
     ShuttingDown,
@@ -56,6 +61,9 @@ impl fmt::Display for ServeError {
             Self::EmptySession => write!(f, "session has no activities"),
             Self::UnknownToken { token, vocab } => {
                 write!(f, "token {token} outside the artifact vocabulary of {vocab}")
+            }
+            Self::QuantizationRejected(msg) => {
+                write!(f, "quantized artifact rejected: {msg}")
             }
             Self::ShuttingDown => write!(f, "engine is shutting down"),
             Self::DeadlineExceeded => write!(f, "request deadline exceeded"),

@@ -58,12 +58,28 @@
 //!
 //! [`TrainedClfd::predict_sessions`]: clfd::TrainedClfd::predict_sessions
 
+//! # Quantized serving
+//!
+//! [`InferenceArtifact::quantize`] shrinks a frozen artifact to
+//! [`Precision::Int8`](clfd::Precision::Int8) (per-row affine) or
+//! [`Precision::F16`](clfd::Precision::F16) (binary16 storage) with f32
+//! accumulation; the result is only admitted to an engine through an
+//! accuracy-delta gate ([`QuantGate`]) against the f32 reference. Set
+//! [`EngineConfig::precision`] (or build a [`ServableArtifact`] directly)
+//! to serve quantized; everything downstream — leases, hot-swap, the
+//! gateway — handles both forms through [`ServableArtifact`].
+
 pub mod artifact;
 pub mod engine;
 pub mod error;
+pub mod quant;
 pub mod source;
 
 pub use artifact::{ArtifactHead, InferenceArtifact, PackedLinear, PackedLstmLayer};
 pub use engine::{Engine, EngineConfig, Ticket};
 pub use error::ServeError;
+pub use quant::{
+    QuantGate, QuantGateReport, QuantHead, QuantLstmLayer, QuantMatrix, QuantParts,
+    QuantizedArtifact, ServableArtifact, QUANT_SCHEME,
+};
 pub use source::{ArtifactLease, ArtifactSource, FixedArtifact, LeaseObserver, FIXED_MODEL_LABEL};

@@ -1,0 +1,1014 @@
+//! Quantized serving artifacts and the accuracy-delta admission gate.
+//!
+//! [`InferenceArtifact::quantize`] shrinks a frozen f32 artifact into a
+//! [`QuantizedArtifact`]: weight matrices stored per-row affine int8
+//! (scale + zero-point per output row) or IEEE binary16, biases and
+//! centroids kept in f32. Scoring always *accumulates* in f32 — on load
+//! the quantized weights are dequantized once into an f32 runtime, plus a
+//! fused layer-0 table (`embeddings · wx₀`, `vocab x 4·hidden`) that turns
+//! the first LSTM layer's input projection into a row gather instead of a
+//! per-timestep matmul. That fusion is where the quantized path's latency
+//! win comes from; the quantization is where the artifact-size win comes
+//! from.
+//!
+//! Quantization is lossy, so a quantized artifact is never admitted to an
+//! engine or registry on faith: [`QuantizedArtifact::gate_against`] scores
+//! deterministic probe sessions through both the candidate and the f32
+//! reference and rejects the candidate
+//! ([`ServeError::QuantizationRejected`]) when label disagreement or
+//! malicious-score drift exceeds the [`QuantGate`] budget.
+//!
+//! [`ServableArtifact`] is the serving stack's closed sum of the two
+//! artifact forms; engine leases, registry slots, and the gateway all hold
+//! it so a quantized model drops into every serving surface unchanged.
+
+use crate::artifact::{
+    centroid_proba, predictions_from_proba, ArtifactHead, InferenceArtifact, PackedLinear,
+    PackedLstmLayer, LEAKY_SLOPE, L2_EPS,
+};
+use crate::error::ServeError;
+use clfd::api::Scorer;
+use clfd::{ClfdConfig, Precision, Prediction};
+use clfd_data::batch::batch_indices;
+use clfd_data::session::Session;
+use clfd_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Wire-format marker carried by every quantized artifact; doubles as the
+/// sniff key [`ServableArtifact::from_json_bytes`] uses to route bytes.
+pub const QUANT_SCHEME: &str = "clfd-quant-v1";
+
+/// A weight matrix in its quantized storage form.
+///
+/// Dequantization is exact given the stored parameters, so a JSON round
+/// trip reproduces the runtime bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuantMatrix {
+    /// Per-row affine int8: `w ≈ min[r] + scale[r] * (q + 128)`.
+    Int8 {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+        /// Row-major quantized values.
+        data: Vec<i8>,
+        /// Per-row step size (`(max - min) / 255`; `0` for constant rows).
+        scale: Vec<f32>,
+        /// Per-row minimum (the affine zero point).
+        min: Vec<f32>,
+    },
+    /// IEEE binary16 storage (round-to-nearest-even), f32 compute.
+    F16 {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+        /// Row-major half-precision bit patterns.
+        data: Vec<u16>,
+    },
+}
+
+impl QuantMatrix {
+    /// Quantizes `m` under `precision`.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::QuantizationRejected`] for
+    /// [`Precision::F32`] — the f32 artifact *is* that precision.
+    pub fn quantize(m: &Matrix, precision: Precision) -> Result<Self, ServeError> {
+        match precision {
+            Precision::F32 => Err(ServeError::QuantizationRejected(
+                "f32 needs no quantized artifact; serve the InferenceArtifact directly".into(),
+            )),
+            Precision::F16 => Ok(Self::F16 {
+                rows: m.rows(),
+                cols: m.cols(),
+                data: m.as_slice().iter().map(|&v| f32_to_f16_bits(v)).collect(),
+            }),
+            Precision::Int8 => {
+                let (rows, cols) = m.shape();
+                let mut data = Vec::with_capacity(rows * cols);
+                let mut scale = Vec::with_capacity(rows);
+                let mut min = Vec::with_capacity(rows);
+                for r in 0..rows {
+                    let row = m.row(r);
+                    let mn = row.iter().copied().fold(f32::INFINITY, f32::min);
+                    let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let s = if mx > mn { (mx - mn) / 255.0 } else { 0.0 };
+                    scale.push(s);
+                    min.push(if row.is_empty() { 0.0 } else { mn });
+                    for &v in row {
+                        let q = if s > 0.0 {
+                            (((v - mn) / s).round() as i32 - 128).clamp(-128, 127)
+                        } else {
+                            -128
+                        };
+                        data.push(q as i8);
+                    }
+                }
+                Ok(Self::Int8 { rows, cols, data, scale, min })
+            }
+        }
+    }
+
+    /// Reconstructs the f32 matrix this storage encodes.
+    pub fn dequantize(&self) -> Matrix {
+        match self {
+            Self::Int8 { rows, cols, data, scale, min } => Matrix::from_fn(*rows, *cols, |r, c| {
+                min[r] + scale[r] * (data[r * cols + c] as f32 + 128.0)
+            }),
+            Self::F16 { rows, cols, data } => {
+                Matrix::from_fn(*rows, *cols, |r, c| f16_bits_to_f32(data[r * cols + c]))
+            }
+        }
+    }
+
+    /// Declared shape.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            Self::Int8 { rows, cols, .. } | Self::F16 { rows, cols, .. } => (*rows, *cols),
+        }
+    }
+
+    /// Bytes of weight storage (excluding per-row parameters).
+    pub fn weight_bytes(&self) -> usize {
+        match self {
+            Self::Int8 { data, .. } => data.len(),
+            Self::F16 { data, .. } => data.len() * 2,
+        }
+    }
+
+    /// The storage precision of this matrix.
+    pub fn precision(&self) -> Precision {
+        match self {
+            Self::Int8 { .. } => Precision::Int8,
+            Self::F16 { .. } => Precision::F16,
+        }
+    }
+
+    fn validate(&self, what: &str) -> Result<(), ServeError> {
+        let err = |msg: String| Err(ServeError::Artifact(format!("{what}: {msg}")));
+        match self {
+            Self::Int8 { rows, cols, data, scale, min } => {
+                if data.len() != rows * cols {
+                    return err(format!(
+                        "int8 buffer holds {} values for a {rows}x{cols} matrix",
+                        data.len()
+                    ));
+                }
+                if scale.len() != *rows || min.len() != *rows {
+                    return err(format!(
+                        "int8 row parameters hold {}/{} entries for {rows} rows",
+                        scale.len(),
+                        min.len()
+                    ));
+                }
+                if scale.iter().chain(min).any(|v| !v.is_finite()) {
+                    return err("non-finite quantization parameter".into());
+                }
+            }
+            Self::F16 { rows, cols, data } => {
+                if data.len() != rows * cols {
+                    return err(format!(
+                        "f16 buffer holds {} values for a {rows}x{cols} matrix",
+                        data.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One LSTM layer with quantized weight matrices (bias stays f32 — it is
+/// a single row and quantizing it saves nothing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantLstmLayer {
+    /// Input weights, quantized.
+    pub wx: QuantMatrix,
+    /// Recurrent weights, quantized.
+    pub wh: QuantMatrix,
+    /// Bias, `1 x 4*hidden`, f32.
+    pub b: Matrix,
+}
+
+/// The scoring head with quantized weight matrices; biases and centroids
+/// stay f32 (single rows).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuantHead {
+    /// Two-layer FCNN classifier.
+    Classifier {
+        /// Hidden-layer weights, quantized.
+        l1w: QuantMatrix,
+        /// Hidden-layer bias, f32.
+        l1b: Matrix,
+        /// Output-layer weights, quantized.
+        l2w: QuantMatrix,
+        /// Output-layer bias, f32.
+        l2b: Matrix,
+    },
+    /// Class centroids (f32; two rows, nothing to save).
+    Centroids {
+        /// Normal-class centroid, `1 x hidden`.
+        normal: Matrix,
+        /// Malicious-class centroid, `1 x hidden`.
+        malicious: Matrix,
+    },
+}
+
+/// The serializable body of a [`QuantizedArtifact`] — every field that
+/// goes over the wire, and nothing derived. Public so tests (and tools)
+/// can corrupt a candidate and prove the gate catches it; rebuild with
+/// [`QuantizedArtifact::from_parts`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantParts {
+    /// Always [`QUANT_SCHEME`]; checked on load.
+    pub scheme: String,
+    /// The storage precision of the weight matrices.
+    pub precision: Precision,
+    /// The hyper-parameters of the model this artifact froze.
+    pub cfg: ClfdConfig,
+    /// Embedding table, quantized.
+    pub embeddings: QuantMatrix,
+    /// LSTM stack, input layer first.
+    pub lstm: Vec<QuantLstmLayer>,
+    /// Scoring head.
+    pub head: QuantHead,
+}
+
+/// Dequantized f32 compute state, rebuilt deterministically from
+/// [`QuantParts`] on construction/load (never serialized).
+#[derive(Debug, Clone)]
+struct QuantRuntime {
+    /// Fused layer-0 input projection: `dequant(embeddings) · dequant(wx₀)`,
+    /// `vocab x 4*hidden`. Row `t` is token `t`'s layer-0 pre-activation
+    /// contribution, making the first layer's input matmul a row gather.
+    zx0: Matrix,
+    /// Dequantized LSTM stack (layer 0's `wx` is carried but the fused
+    /// table supersedes it at scoring time).
+    lstm: Vec<PackedLstmLayer>,
+    /// Dequantized scoring head.
+    head: ArtifactHead,
+}
+
+/// A quantized serving artifact: compact storage, f32 accumulation,
+/// admitted only through [`QuantizedArtifact::gate_against`].
+///
+/// Built by [`InferenceArtifact::quantize`], serialized with
+/// [`QuantizedArtifact::to_json`], scored through [`Scorer`] exactly like
+/// the f32 artifact.
+#[derive(Debug, Clone)]
+pub struct QuantizedArtifact {
+    parts: QuantParts,
+    runtime: QuantRuntime,
+}
+
+impl PartialEq for QuantizedArtifact {
+    fn eq(&self, other: &Self) -> bool {
+        // The runtime is a pure function of the parts.
+        self.parts == other.parts
+    }
+}
+
+impl InferenceArtifact {
+    /// Quantizes this artifact's weight matrices to `precision`.
+    ///
+    /// The result scores *approximately* like `self`; run
+    /// [`QuantizedArtifact::gate_against`] before serving it.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::QuantizationRejected`] for
+    /// [`Precision::F32`].
+    pub fn quantize(&self, precision: Precision) -> Result<QuantizedArtifact, ServeError> {
+        let q = |m: &Matrix| QuantMatrix::quantize(m, precision);
+        let head = match &self.head {
+            ArtifactHead::Classifier { l1, l2 } => QuantHead::Classifier {
+                l1w: q(&l1.w)?,
+                l1b: l1.b.clone(),
+                l2w: q(&l2.w)?,
+                l2b: l2.b.clone(),
+            },
+            ArtifactHead::Centroids { normal, malicious } => QuantHead::Centroids {
+                normal: normal.clone(),
+                malicious: malicious.clone(),
+            },
+        };
+        let parts = QuantParts {
+            scheme: QUANT_SCHEME.to_string(),
+            precision,
+            cfg: self.cfg,
+            embeddings: q(&self.embeddings)?,
+            lstm: self
+                .lstm
+                .iter()
+                .map(|l| {
+                    Ok(QuantLstmLayer { wx: q(&l.wx)?, wh: q(&l.wh)?, b: l.b.clone() })
+                })
+                .collect::<Result<_, ServeError>>()?,
+            head,
+        };
+        QuantizedArtifact::from_parts(parts)
+    }
+}
+
+impl QuantizedArtifact {
+    /// Validates `parts` and builds the dequantized runtime (including the
+    /// fused layer-0 table).
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Artifact`] on a structurally inconsistent
+    /// body (wrong scheme, shape drift, buffer/shape mismatch).
+    pub fn from_parts(parts: QuantParts) -> Result<Self, ServeError> {
+        if parts.scheme != QUANT_SCHEME {
+            return Err(ServeError::Artifact(format!(
+                "unknown quantized-artifact scheme {:?} (expected {QUANT_SCHEME:?})",
+                parts.scheme
+            )));
+        }
+        parts.embeddings.validate("embedding table")?;
+        for layer in &parts.lstm {
+            layer.wx.validate("LSTM wx")?;
+            layer.wh.validate("LSTM wh")?;
+        }
+        if let QuantHead::Classifier { l1w, l2w, .. } = &parts.head {
+            l1w.validate("head l1 weights")?;
+            l2w.validate("head l2 weights")?;
+        }
+
+        let lstm: Vec<PackedLstmLayer> = parts
+            .lstm
+            .iter()
+            .map(|l| PackedLstmLayer {
+                wx: l.wx.dequantize(),
+                wh: l.wh.dequantize(),
+                b: l.b.clone(),
+            })
+            .collect();
+        let head = match &parts.head {
+            QuantHead::Classifier { l1w, l1b, l2w, l2b } => ArtifactHead::Classifier {
+                l1: PackedLinear { w: l1w.dequantize(), b: l1b.clone() },
+                l2: PackedLinear { w: l2w.dequantize(), b: l2b.clone() },
+            },
+            QuantHead::Centroids { normal, malicious } => ArtifactHead::Centroids {
+                normal: normal.clone(),
+                malicious: malicious.clone(),
+            },
+        };
+        let embeddings = parts.embeddings.dequantize();
+        let first = lstm.first().ok_or_else(|| {
+            ServeError::Artifact("quantized artifact has no LSTM layers".into())
+        })?;
+        // Piggyback on the f32 structural validator: the dequantized
+        // matrices must satisfy every shape the config promises.
+        InferenceArtifact {
+            cfg: parts.cfg,
+            embeddings: embeddings.clone(),
+            lstm: lstm.clone(),
+            head: head.clone(),
+        }
+        .validate()?;
+        let zx0 = embeddings.matmul(&first.wx);
+        Ok(Self { parts, runtime: QuantRuntime { zx0, lstm, head } })
+    }
+
+    /// The wire-format body (corrupt a copy and feed it back through
+    /// [`QuantizedArtifact::from_parts`] to exercise the gate).
+    pub fn parts(&self) -> &QuantParts {
+        &self.parts
+    }
+
+    /// The storage precision of the weight matrices.
+    pub fn precision(&self) -> Precision {
+        self.parts.precision
+    }
+
+    /// The hyper-parameters baked into the artifact.
+    pub fn config(&self) -> &ClfdConfig {
+        &self.parts.cfg
+    }
+
+    /// Embedding vocabulary size — the exclusive upper bound on activity
+    /// tokens this artifact can score.
+    pub fn vocab(&self) -> usize {
+        self.parts.embeddings.shape().0
+    }
+
+    /// Total bytes of quantized weight storage (the size the quantization
+    /// bought; the f32 equivalent is 4 bytes per element).
+    pub fn weight_bytes(&self) -> usize {
+        let head = match &self.parts.head {
+            QuantHead::Classifier { l1w, l2w, .. } => l1w.weight_bytes() + l2w.weight_bytes(),
+            QuantHead::Centroids { .. } => 0,
+        };
+        self.parts.embeddings.weight_bytes()
+            + self
+                .parts
+                .lstm
+                .iter()
+                .map(|l| l.wx.weight_bytes() + l.wh.weight_bytes())
+                .sum::<usize>()
+            + head
+    }
+
+    /// Checks that a session is scorable by this artifact (mirrors
+    /// [`InferenceArtifact::validate_session`]).
+    ///
+    /// # Errors
+    /// Returns [`ServeError::EmptySession`] or [`ServeError::UnknownToken`].
+    pub fn validate_session(&self, session: &Session) -> Result<(), ServeError> {
+        if session.is_empty() {
+            return Err(ServeError::EmptySession);
+        }
+        let vocab = self.vocab();
+        for &token in &session.activities {
+            if token as usize >= vocab {
+                return Err(ServeError::UnknownToken { token, vocab });
+            }
+        }
+        Ok(())
+    }
+
+    /// Scores sessions with f32 accumulation over the dequantized weights.
+    ///
+    /// # Panics
+    /// Panics on an empty session list, an empty session, or a token
+    /// outside the vocabulary — use
+    /// [`validate_session`](Self::validate_session) for a typed rejection.
+    pub fn predict(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        predictions_from_proba(&self.proba(sessions))
+    }
+
+    /// Class-probability matrix (`n x 2`) for `sessions`.
+    pub fn proba(&self, sessions: &[&Session]) -> Matrix {
+        assert!(!sessions.is_empty(), "empty session list");
+        let cfg = &self.parts.cfg;
+        let hid = cfg.hidden;
+        let mut features = Matrix::zeros(sessions.len(), hid);
+        let all: Vec<usize> = (0..sessions.len()).collect();
+        for chunk in batch_indices(&all, cfg.batch_size) {
+            let refs: Vec<&Session> = chunk.iter().map(|&i| sessions[i]).collect();
+            let values = self.encode(&refs);
+            for (row, &i) in chunk.iter().enumerate() {
+                features.row_mut(i).copy_from_slice(values.row(row));
+            }
+        }
+        let features = features.l2_normalize_rows(L2_EPS);
+        match &self.runtime.head {
+            ArtifactHead::Classifier { l1, l2 } => {
+                let h = features.matmul(&l1.w).add_row_broadcast(&l1.b).leaky_relu(LEAKY_SLOPE);
+                h.matmul(&l2.w).add_row_broadcast(&l2.b).softmax_rows()
+            }
+            ArtifactHead::Centroids { normal, malicious } => {
+                centroid_proba(&features, normal, malicious)
+            }
+        }
+    }
+
+    /// Encodes one chunk of sessions: the layer-0 input projection is a
+    /// gather from the fused `zx0` table (padding rows stay zero, exactly
+    /// the zero vector a zero input row would produce), then the standard
+    /// recurrence through the dequantized stack and length-masked mean
+    /// pooling, mirroring [`InferenceArtifact`]'s encode loop.
+    fn encode(&self, sessions: &[&Session]) -> Matrix {
+        let cfg = &self.parts.cfg;
+        let hid = cfg.hidden;
+        let rows = sessions.len();
+        let t = sessions
+            .iter()
+            .map(|s| s.len().min(cfg.max_seq_len))
+            .max()
+            .expect("non-empty chunk");
+        let lengths: Vec<usize> =
+            sessions.iter().map(|s| s.len().min(cfg.max_seq_len)).collect();
+        for (r, s) in sessions.iter().enumerate() {
+            assert!(!s.is_empty(), "session {r} has no activities");
+        }
+
+        let first = &self.runtime.lstm[0];
+        let mut h = Matrix::zeros(rows, hid);
+        let mut c = Matrix::zeros(rows, hid);
+        let mut sequence: Vec<Matrix> = Vec::with_capacity(t);
+        for step in 0..t {
+            let mut zx = Matrix::zeros(rows, 4 * hid);
+            for (r, s) in sessions.iter().enumerate() {
+                if step < lengths[r] {
+                    let token = s.activities[step] as usize;
+                    zx.row_mut(r).copy_from_slice(self.runtime.zx0.row(token));
+                }
+            }
+            let zh = h.matmul(&first.wh);
+            let z = zx.add(&zh).add_row_broadcast(&first.b);
+            let (h2, c2) = z.lstm_cell_update(&c);
+            h = h2;
+            c = c2;
+            sequence.push(h.clone());
+        }
+        for layer in &self.runtime.lstm[1..] {
+            let mut h = Matrix::zeros(rows, hid);
+            let mut c = Matrix::zeros(rows, hid);
+            let mut next = Vec::with_capacity(sequence.len());
+            for x in &sequence {
+                let zx = x.matmul(&layer.wx);
+                let zh = h.matmul(&layer.wh);
+                let z = zx.add(&zh).add_row_broadcast(&layer.b);
+                let (h2, c2) = z.lstm_cell_update(&c);
+                h = h2;
+                c = c2;
+                next.push(h.clone());
+            }
+            sequence = next;
+        }
+        let mut acc: Option<Matrix> = None;
+        for (step, h) in sequence.iter().enumerate() {
+            let scales: Vec<f32> = lengths
+                .iter()
+                .map(|&len| if step < len { 1.0 / len.max(1) as f32 } else { 0.0 })
+                .collect();
+            if scales.iter().all(|&s| s == 0.0) {
+                continue;
+            }
+            let mut contrib = h.clone();
+            for (r, &s) in scales.iter().enumerate() {
+                for x in contrib.row_mut(r) {
+                    *x *= s;
+                }
+            }
+            acc = Some(match acc {
+                Some(a) => a.add(&contrib),
+                None => contrib,
+            });
+        }
+        acc.expect("at least one valid timestep")
+    }
+
+    /// Serializes the wire-format body to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.parts).expect("quantized artifact serialization cannot fail")
+    }
+
+    /// Deserializes from a JSON string, validates, and rebuilds the
+    /// runtime.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Artifact`] on malformed JSON or a
+    /// structurally inconsistent body.
+    pub fn from_json(s: &str) -> Result<Self, ServeError> {
+        let parts: QuantParts =
+            serde_json::from_str(s).map_err(|e| ServeError::Artifact(e.to_string()))?;
+        Self::from_parts(parts)
+    }
+
+    /// Scores `gate.probes` deterministic probe sessions through both this
+    /// artifact and the f32 `reference` and checks the drift budget:
+    /// label disagreement ≤ [`QuantGate::max_disagreement`] and worst
+    /// malicious-score drift ≤ [`QuantGate::max_score_delta`].
+    ///
+    /// # Errors
+    /// Returns [`ServeError::QuantizationRejected`] (with the measured
+    /// drift) when either budget is exceeded, or
+    /// [`ServeError::Artifact`] when the two artifacts are not comparable
+    /// (different vocabulary).
+    pub fn gate_against(
+        &self,
+        reference: &InferenceArtifact,
+        gate: &QuantGate,
+    ) -> Result<QuantGateReport, ServeError> {
+        if reference.vocab() != self.vocab() {
+            return Err(ServeError::Artifact(format!(
+                "gate reference has vocabulary {}, candidate has {}",
+                reference.vocab(),
+                self.vocab()
+            )));
+        }
+        let sessions = probe_sessions(self.vocab(), self.parts.cfg.max_seq_len, gate.probes);
+        let refs: Vec<&Session> = sessions.iter().collect();
+        let want = reference.predict(&refs);
+        let got = self.predict(&refs);
+        let mut disagreements = 0_usize;
+        let mut max_score_delta = 0.0_f32;
+        for (w, g) in want.iter().zip(&got) {
+            if w.label != g.label {
+                disagreements += 1;
+            }
+            max_score_delta = max_score_delta.max((w.malicious_score - g.malicious_score).abs());
+        }
+        let report = QuantGateReport {
+            precision: self.parts.precision,
+            probes: sessions.len(),
+            disagreements,
+            max_score_delta,
+        };
+        let disagreement = report.disagreement();
+        if disagreement > gate.max_disagreement {
+            return Err(ServeError::QuantizationRejected(format!(
+                "{} label disagreement {:.4} exceeds budget {:.4} over {} probes",
+                self.parts.precision, disagreement, gate.max_disagreement, report.probes
+            )));
+        }
+        if max_score_delta > gate.max_score_delta {
+            return Err(ServeError::QuantizationRejected(format!(
+                "{} malicious-score drift {:.4} exceeds budget {:.4} over {} probes",
+                self.parts.precision, max_score_delta, gate.max_score_delta, report.probes
+            )));
+        }
+        Ok(report)
+    }
+}
+
+impl Scorer for QuantizedArtifact {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        self.predict(sessions)
+    }
+}
+
+/// Admission budget for [`QuantizedArtifact::gate_against`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantGate {
+    /// Deterministic probe sessions to score through both artifacts.
+    pub probes: usize,
+    /// Maximum fraction of probes whose predicted label may flip.
+    pub max_disagreement: f32,
+    /// Maximum absolute drift of any probe's malicious score.
+    pub max_score_delta: f32,
+}
+
+impl Default for QuantGate {
+    fn default() -> Self {
+        Self { probes: 256, max_disagreement: 0.02, max_score_delta: 0.05 }
+    }
+}
+
+/// What [`QuantizedArtifact::gate_against`] measured on the probe set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantGateReport {
+    /// The candidate's storage precision.
+    pub precision: Precision,
+    /// Probe sessions scored.
+    pub probes: usize,
+    /// Probes whose predicted label differed from the reference.
+    pub disagreements: usize,
+    /// Worst absolute malicious-score drift across probes.
+    pub max_score_delta: f32,
+}
+
+impl QuantGateReport {
+    /// Label-disagreement fraction.
+    pub fn disagreement(&self) -> f32 {
+        self.disagreements as f32 / self.probes.max(1) as f32
+    }
+}
+
+/// Deterministic probe sessions covering the vocabulary and the length
+/// range: token streams from a fixed-seed splitmix64, lengths cycling
+/// `1..=max_seq_len`. Both artifacts score the identical set, so the gate
+/// is reproducible across runs and machines.
+fn probe_sessions(vocab: usize, max_seq_len: usize, count: usize) -> Vec<Session> {
+    let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|i| {
+            let len = (i % max_seq_len.max(1)) + 1;
+            let activities =
+                (0..len).map(|_| (next() % vocab.max(1) as u64) as u32).collect();
+            Session { activities, day: (i / 7) as u32 }
+        })
+        .collect()
+}
+
+/// The serving stack's closed sum of artifact forms: every engine lease,
+/// registry slot, and gateway response is scored by exactly one of these.
+// Both variants are weight-bearing structs, and the sum is only ever held
+// behind an `Arc` (leases, registry slots), so the size spread between
+// them never reaches a copy-heavy path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServableArtifact {
+    /// The full-precision artifact, bit-identical to the trained model.
+    F32(InferenceArtifact),
+    /// A quantized artifact admitted through the accuracy-delta gate.
+    Quantized(QuantizedArtifact),
+}
+
+impl ServableArtifact {
+    /// Quantizes `artifact` to `precision` and admits the result through
+    /// the accuracy-delta gate against `artifact` itself.
+    /// [`Precision::F32`] short-circuits to the f32 form (no gate to run).
+    ///
+    /// # Errors
+    /// Returns [`ServeError::QuantizationRejected`] when the candidate
+    /// fails the gate.
+    pub fn quantize_gated(
+        artifact: InferenceArtifact,
+        precision: Precision,
+        gate: &QuantGate,
+    ) -> Result<Self, ServeError> {
+        match precision {
+            Precision::F32 => Ok(Self::F32(artifact)),
+            _ => {
+                let quantized = artifact.quantize(precision)?;
+                quantized.gate_against(&artifact, gate)?;
+                Ok(Self::Quantized(quantized))
+            }
+        }
+    }
+
+    /// The hyper-parameters baked into the artifact.
+    pub fn config(&self) -> &ClfdConfig {
+        match self {
+            Self::F32(a) => a.config(),
+            Self::Quantized(a) => a.config(),
+        }
+    }
+
+    /// Embedding vocabulary size.
+    pub fn vocab(&self) -> usize {
+        match self {
+            Self::F32(a) => a.vocab(),
+            Self::Quantized(a) => a.vocab(),
+        }
+    }
+
+    /// The serving precision of this artifact.
+    pub fn precision(&self) -> Precision {
+        match self {
+            Self::F32(_) => Precision::F32,
+            Self::Quantized(a) => a.precision(),
+        }
+    }
+
+    /// Checks that a session is scorable by this artifact.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::EmptySession`] or [`ServeError::UnknownToken`].
+    pub fn validate_session(&self, session: &Session) -> Result<(), ServeError> {
+        match self {
+            Self::F32(a) => a.validate_session(session),
+            Self::Quantized(a) => a.validate_session(session),
+        }
+    }
+
+    /// Scores sessions through whichever form this is.
+    ///
+    /// # Panics
+    /// As [`InferenceArtifact::predict`] /
+    /// [`QuantizedArtifact::predict`].
+    pub fn predict(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        match self {
+            Self::F32(a) => a.predict(sessions),
+            Self::Quantized(a) => a.predict(sessions),
+        }
+    }
+
+    /// Serializes to a JSON string (each form keeps its own wire format;
+    /// [`from_json_bytes`](Self::from_json_bytes) routes on load).
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::F32(a) => a.to_json(),
+            Self::Quantized(a) => a.to_json(),
+        }
+    }
+
+    /// Deserializes either artifact form from raw bytes: quantized bodies
+    /// carry the [`QUANT_SCHEME`] marker and route to
+    /// [`QuantizedArtifact::from_json`]; everything else is parsed as an
+    /// f32 [`InferenceArtifact`].
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Artifact`] on invalid UTF-8, malformed JSON,
+    /// or a structurally inconsistent artifact.
+    pub fn from_json_bytes(bytes: &[u8]) -> Result<Self, ServeError> {
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| ServeError::Artifact(format!("artifact is not UTF-8: {e}")))?;
+        if s.contains(QUANT_SCHEME) {
+            QuantizedArtifact::from_json(s).map(Self::Quantized)
+        } else {
+            InferenceArtifact::from_json(s).map(Self::F32)
+        }
+    }
+}
+
+impl Scorer for ServableArtifact {
+    fn score(&self, sessions: &[&Session]) -> Vec<Prediction> {
+        self.predict(sessions)
+    }
+}
+
+impl From<InferenceArtifact> for ServableArtifact {
+    fn from(artifact: InferenceArtifact) -> Self {
+        Self::F32(artifact)
+    }
+}
+
+impl From<QuantizedArtifact> for ServableArtifact {
+    fn from(artifact: QuantizedArtifact) -> Self {
+        Self::Quantized(artifact)
+    }
+}
+
+/// IEEE 754 binary32 → binary16 bit conversion, round-to-nearest-even.
+/// f32 subnormals (< 1.2e-38) are far below the f16 subnormal range and
+/// flush to signed zero.
+fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp == 255 {
+        // Inf / NaN (NaN keeps a payload bit so it stays NaN).
+        return sign | 0x7c00 | u16::from(mant != 0) << 9;
+    }
+    if exp == 0 {
+        return sign;
+    }
+    let e16 = exp - 127 + 15;
+    if e16 >= 31 {
+        return sign | 0x7c00;
+    }
+    if e16 <= 0 {
+        // f16 subnormal: shift the 24-bit significand (implicit bit set)
+        // down past the exponent deficit.
+        if e16 < -10 {
+            return sign;
+        }
+        let full = mant | 0x0080_0000;
+        let shift = (14 - e16) as u32;
+        let half = 1_u32 << (shift - 1);
+        let rem = full & ((1 << shift) - 1);
+        let mut out = full >> shift;
+        if rem > half || (rem == half && out & 1 == 1) {
+            out += 1;
+        }
+        return sign | out as u16;
+    }
+    let rem = mant & 0x1fff;
+    let mut out = ((e16 as u32) << 10) | (mant >> 13);
+    if rem > 0x1000 || (rem == 0x1000 && out & 1 == 1) {
+        out += 1; // carry may ripple into the exponent; that rounds up correctly
+    }
+    sign | out as u16
+}
+
+/// IEEE 754 binary16 → binary32 bit conversion (exact).
+fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = u32::from(h >> 10) & 0x1f;
+    let mant = u32::from(h & 0x3ff);
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, _) => {
+            // Subnormal: renormalize into the f32 exponent range.
+            let mut e = 127 - 15 + 1;
+            let mut m = mant;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            sign | ((e as u32) << 23) | ((m & 0x3ff) << 13)
+        }
+        (31, 0) => sign | 0x7f80_0000,
+        (31, _) => sign | 0x7f80_0000 | (mant << 13),
+        _ => sign | ((exp + 127 - 15) << 23) | (mant << 13),
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_conversion_round_trips_representable_values() {
+        for &v in &[0.0_f32, -0.0, 1.0, -1.0, 0.5, 65504.0, -65504.0, 6.1035156e-5] {
+            let h = f32_to_f16_bits(v);
+            assert_eq!(f16_bits_to_f32(h).to_bits(), v.to_bits(), "{v}");
+        }
+        // Rounding: 1 + 2^-11 is exactly halfway between 1.0 and the next
+        // f16; round-to-even lands on 1.0.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1.0 + 4.8828125e-4)), 1.0);
+        // Overflow saturates to infinity, tiny values flush to zero.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e9)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e-30)).to_bits(), (-0.0_f32).to_bits());
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        // Subnormal f16 range survives.
+        let sub = 2.0e-6_f32;
+        let back = f16_bits_to_f32(f32_to_f16_bits(sub));
+        assert!((back - sub).abs() / sub < 0.05, "{back} vs {sub}");
+    }
+
+    #[test]
+    fn int8_quantization_bounds_per_row_error() {
+        let m = Matrix::from_fn(7, 33, |r, c| ((r * 31 + c * 7) as f32 * 0.37).sin() * (r + 1) as f32);
+        let q = QuantMatrix::quantize(&m, Precision::Int8).expect("int8");
+        let d = q.dequantize();
+        assert_eq!(d.shape(), m.shape());
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            let mn = row.iter().copied().fold(f32::INFINITY, f32::min);
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let step = (mx - mn) / 255.0;
+            for c in 0..m.cols() {
+                let err = (d.get(r, c) - m.get(r, c)).abs();
+                assert!(err <= step * 0.5 + 1e-6, "row {r} col {c}: err {err} > step {step}");
+            }
+        }
+        // Constant rows are exact.
+        let flat = Matrix::full(2, 9, 0.625);
+        let qd = QuantMatrix::quantize(&flat, Precision::Int8).expect("int8").dequantize();
+        assert_eq!(qd, flat);
+    }
+
+    #[test]
+    fn quantize_rejects_f32_and_validate_catches_buffer_drift() {
+        let artifact = InferenceArtifact::test_artifact();
+        assert!(matches!(
+            artifact.quantize(Precision::F32),
+            Err(ServeError::QuantizationRejected(_))
+        ));
+        let q = artifact.quantize(Precision::Int8).expect("int8 quantizes");
+        let mut parts = q.parts().clone();
+        if let QuantMatrix::Int8 { data, .. } = &mut parts.embeddings {
+            data.pop();
+        }
+        assert!(matches!(
+            QuantizedArtifact::from_parts(parts),
+            Err(ServeError::Artifact(_))
+        ));
+    }
+
+    #[test]
+    fn fused_layer0_table_matches_the_unfused_forward() {
+        // The quantized encode must equal an InferenceArtifact built from
+        // the *dequantized* weights bit-for-bit: the fused zx0 gather is
+        // the same matmul rows the unfused path would compute.
+        let artifact = InferenceArtifact::test_artifact();
+        let q = artifact.quantize(Precision::Int8).expect("int8");
+        let dequant = InferenceArtifact {
+            cfg: *q.config(),
+            embeddings: q.parts().embeddings.dequantize(),
+            lstm: q
+                .parts()
+                .lstm
+                .iter()
+                .map(|l| PackedLstmLayer {
+                    wx: l.wx.dequantize(),
+                    wh: l.wh.dequantize(),
+                    b: l.b.clone(),
+                })
+                .collect(),
+            head: match &q.parts().head {
+                QuantHead::Classifier { l1w, l1b, l2w, l2b } => ArtifactHead::Classifier {
+                    l1: PackedLinear { w: l1w.dequantize(), b: l1b.clone() },
+                    l2: PackedLinear { w: l2w.dequantize(), b: l2b.clone() },
+                },
+                QuantHead::Centroids { normal, malicious } => ArtifactHead::Centroids {
+                    normal: normal.clone(),
+                    malicious: malicious.clone(),
+                },
+            },
+        };
+        let sessions = [
+            Session { activities: vec![0, 2, 4, 1], day: 0 },
+            Session { activities: vec![3], day: 1 },
+            Session { activities: vec![4, 4, 4, 0, 1, 2, 3], day: 2 },
+        ];
+        let refs: Vec<&Session> = sessions.iter().collect();
+        let a = q.predict(&refs);
+        let b = dequant.predict(&refs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.malicious_score.to_bits(), y.malicious_score.to_bits());
+            assert_eq!(x.confidence.to_bits(), y.confidence.to_bits());
+        }
+    }
+
+    #[test]
+    fn probe_sessions_are_deterministic_and_in_vocab() {
+        let a = probe_sessions(5, 12, 64);
+        let b = probe_sessions(5, 12, 64);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|s| !s.is_empty() && s.len() <= 12));
+        assert!(a.iter().flat_map(|s| &s.activities).all(|&t| t < 5));
+        // Lengths cover the full range.
+        assert!((1..=12).all(|l| a.iter().any(|s| s.len() == l)));
+    }
+
+    #[test]
+    fn servable_round_trips_both_forms() {
+        let artifact = InferenceArtifact::test_artifact();
+        let f32_bytes = ServableArtifact::F32(artifact.clone()).to_json();
+        match ServableArtifact::from_json_bytes(f32_bytes.as_bytes()).expect("f32 loads") {
+            ServableArtifact::F32(back) => assert_eq!(back, artifact),
+            other => panic!("expected f32 form, got {other:?}"),
+        }
+        let q = artifact.quantize(Precision::F16).expect("f16");
+        let q_bytes = ServableArtifact::Quantized(q.clone()).to_json();
+        match ServableArtifact::from_json_bytes(q_bytes.as_bytes()).expect("quant loads") {
+            ServableArtifact::Quantized(back) => assert_eq!(back, q),
+            other => panic!("expected quantized form, got {other:?}"),
+        }
+    }
+}

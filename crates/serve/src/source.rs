@@ -16,6 +16,9 @@
 //! unchanged.
 
 use crate::artifact::InferenceArtifact;
+use crate::error::ServeError;
+use crate::quant::{QuantGate, ServableArtifact};
+use clfd::Precision;
 use std::sync::Arc;
 
 /// Model label used by [`FixedArtifact`] (single-model engines) in metric
@@ -43,15 +46,16 @@ pub struct ArtifactLease {
     /// Telemetry label for the leased model (`model-id@version` for
     /// registry-backed sources).
     pub model: Arc<str>,
-    /// The frozen artifact to score with.
-    pub artifact: Arc<InferenceArtifact>,
+    /// The frozen artifact to score with — f32 or a gate-admitted
+    /// quantized form; the engine scores both identically.
+    pub artifact: Arc<ServableArtifact>,
     /// Optional feedback channel (canary accounting).
     pub observer: Option<Arc<dyn LeaseObserver>>,
 }
 
 impl ArtifactLease {
     /// A lease with no observer.
-    pub fn new(model: impl Into<Arc<str>>, artifact: Arc<InferenceArtifact>) -> Self {
+    pub fn new(model: impl Into<Arc<str>>, artifact: Arc<ServableArtifact>) -> Self {
         Self { model: model.into(), artifact, observer: None }
     }
 
@@ -100,7 +104,7 @@ pub trait ArtifactSource: Send + Sync {
     /// advisory: the worker re-validates every request against the
     /// actually-leased artifact before scoring, so a stale hint costs a
     /// late error on the ticket, never a wrong answer.
-    fn validation_hint(&self) -> Option<Arc<InferenceArtifact>> {
+    fn validation_hint(&self) -> Option<Arc<ServableArtifact>> {
         None
     }
 }
@@ -112,9 +116,29 @@ pub struct FixedArtifact {
 }
 
 impl FixedArtifact {
-    /// Wraps one artifact.
+    /// Wraps one f32 artifact.
     pub fn new(artifact: InferenceArtifact) -> Self {
+        Self::servable(ServableArtifact::F32(artifact))
+    }
+
+    /// Wraps an artifact in either serving form.
+    pub fn servable(artifact: ServableArtifact) -> Self {
         Self { lease: ArtifactLease::new(FIXED_MODEL_LABEL, Arc::new(artifact)) }
+    }
+
+    /// Quantizes `artifact` to `precision` and wraps the result, admitting
+    /// it through the accuracy-delta gate against `artifact` itself.
+    /// [`Precision::F32`] skips quantization (and the gate).
+    ///
+    /// # Errors
+    /// Returns [`ServeError::QuantizationRejected`] when the quantized
+    /// candidate drifts past the gate's budget.
+    pub fn quantized(
+        artifact: InferenceArtifact,
+        precision: Precision,
+        gate: &QuantGate,
+    ) -> Result<Self, ServeError> {
+        Ok(Self::servable(ServableArtifact::quantize_gated(artifact, precision, gate)?))
     }
 }
 
@@ -123,7 +147,7 @@ impl ArtifactSource for FixedArtifact {
         self.lease.clone()
     }
 
-    fn validation_hint(&self) -> Option<Arc<InferenceArtifact>> {
+    fn validation_hint(&self) -> Option<Arc<ServableArtifact>> {
         Some(Arc::clone(&self.lease.artifact))
     }
 }
@@ -154,7 +178,7 @@ mod tests {
             calls: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         });
-        let lease = ArtifactLease::new("m@1", Arc::new(artifact))
+        let lease = ArtifactLease::new("m@1", Arc::new(ServableArtifact::F32(artifact)))
             .with_observer(observer.clone());
         lease.observe(10, true);
         lease.observe(20, false);

@@ -1,0 +1,157 @@
+//! Quantized-serving guarantees: a quantized artifact survives a JSON
+//! round trip bit-identically, passes the accuracy-delta gate against the
+//! f32 artifact it was quantized from, is **rejected** by that gate once
+//! corrupted, and serves through the engine under an explicit
+//! [`EngineConfig::precision`] / kernel policy.
+
+#![allow(missing_docs)]
+
+use clfd::prelude::*;
+use clfd_data::noise::NoiseModel;
+use clfd_data::session::DatasetKind;
+use clfd_serve::{
+    Engine, EngineConfig, InferenceArtifact, QuantGate, QuantMatrix, QuantizedArtifact,
+    ServableArtifact, ServeError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// One trained f32 artifact shared by every test in this suite (training
+/// dominates the suite's wall time; the quantization paths under test are
+/// cheap).
+fn frozen() -> &'static (InferenceArtifact, SplitCorpus) {
+    static FROZEN: OnceLock<(InferenceArtifact, SplitCorpus)> = OnceLock::new();
+    FROZEN.get_or_init(|| {
+        let split = DatasetKind::Cert.generate(Preset::Smoke, 23);
+        let mut rng = StdRng::seed_from_u64(23 ^ 0xA5A5);
+        let noisy = NoiseModel::Uniform { eta: 0.2 }.apply(&split.train_labels(), &mut rng);
+        let model = TrainedClfd::builder()
+            .preset(Preset::Smoke)
+            .seed(23)
+            .fit(&split, &noisy);
+        let artifact = InferenceArtifact::freeze(&model).expect("trained model freezes");
+        (artifact, split)
+    })
+}
+
+fn test_sessions(split: &SplitCorpus) -> Vec<&Session> {
+    split.test.iter().map(|&i| &split.corpus.sessions[i]).collect()
+}
+
+fn assert_bit_identical(a: &[Prediction], b: &[Prediction], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.label, y.label, "{context}: label drift at {i}");
+        assert_eq!(
+            x.malicious_score.to_bits(),
+            y.malicious_score.to_bits(),
+            "{context}: score drift at {i}"
+        );
+        assert_eq!(
+            x.confidence.to_bits(),
+            y.confidence.to_bits(),
+            "{context}: confidence drift at {i}"
+        );
+    }
+}
+
+#[test]
+fn quantized_artifacts_pass_the_gate_and_round_trip_bit_identically() {
+    let (artifact, split) = frozen();
+    let sessions = test_sessions(split);
+    for precision in [Precision::Int8, Precision::F16] {
+        let quantized = artifact.quantize(precision).expect("quantizes");
+        assert_eq!(quantized.precision(), precision);
+        // Quantization shrinks weight storage by the promised factor.
+        let f32_bytes = 4 * quantized.weight_bytes()
+            / match precision {
+                Precision::Int8 => 1,
+                Precision::F16 => 2,
+                Precision::F32 => unreachable!(),
+            };
+        assert!(quantized.weight_bytes() < f32_bytes, "{precision}: no size win");
+
+        // A real trained model quantizes within the default drift budget.
+        let report = quantized
+            .gate_against(artifact, &QuantGate::default())
+            .unwrap_or_else(|e| panic!("{precision} candidate failed the gate: {e}"));
+        assert_eq!(report.probes, QuantGate::default().probes);
+
+        // JSON round trip: the payload is lossless, so the rebuilt runtime
+        // scores bit-identically to the original quantized artifact.
+        let thawed = QuantizedArtifact::from_json(&quantized.to_json()).expect("round trip");
+        assert_eq!(thawed, quantized);
+        assert_bit_identical(
+            &thawed.predict(&sessions),
+            &quantized.predict(&sessions),
+            &format!("{precision}/round-trip"),
+        );
+
+        // The servable wrapper sniffs the quantized wire format.
+        let servable = ServableArtifact::from_json_bytes(quantized.to_json().as_bytes())
+            .expect("servable load");
+        assert_eq!(servable.precision(), precision);
+        assert_bit_identical(
+            &servable.predict(&sessions),
+            &quantized.predict(&sessions),
+            &format!("{precision}/servable"),
+        );
+    }
+}
+
+#[test]
+fn the_gate_rejects_a_deliberately_corrupted_quantized_model() {
+    let (artifact, _) = frozen();
+    let quantized = artifact.quantize(Precision::Int8).expect("quantizes");
+
+    // Corrupt the candidate's encoder: blow up every LSTM row's
+    // quantization step so the dequantized weights are garbage while the
+    // payload stays structurally valid (shapes and buffer lengths intact).
+    let mut parts = quantized.parts().clone();
+    for layer in &mut parts.lstm {
+        for m in [&mut layer.wx, &mut layer.wh] {
+            if let QuantMatrix::Int8 { scale, .. } = m {
+                for s in scale.iter_mut() {
+                    *s = *s * 40.0 + 1.0;
+                }
+            }
+        }
+    }
+    let corrupted = QuantizedArtifact::from_parts(parts)
+        .expect("corruption is structurally valid — only the gate can catch it");
+    let err = corrupted
+        .gate_against(artifact, &QuantGate::default())
+        .expect_err("corrupted candidate must be rejected");
+    assert!(
+        matches!(err, ServeError::QuantizationRejected(_)),
+        "unexpected rejection: {err}"
+    );
+    assert!(err.to_string().contains("exceeds budget"), "uninformative rejection: {err}");
+
+    // The same corruption through the engine constructor: typed error from
+    // try-new-style admission (FixedArtifact::quantized), never a panic.
+    let tight = QuantGate { probes: 64, max_disagreement: 0.0, max_score_delta: 0.0 };
+    assert!(matches!(
+        clfd_serve::FixedArtifact::quantized(artifact.clone(), Precision::Int8, &tight),
+        Err(ServeError::QuantizationRejected(_))
+    ));
+}
+
+#[test]
+fn engine_serves_a_gated_quantized_artifact_with_an_explicit_kernel_policy() {
+    let (artifact, split) = frozen();
+    let sessions = test_sessions(split);
+    let quantized = artifact.quantize(Precision::Int8).expect("quantizes");
+    let expected = quantized.predict(&sessions);
+
+    let cfg = EngineConfig {
+        precision: Precision::Int8,
+        kernel_policy: Some(KernelPolicy::serial()),
+        ..EngineConfig::deterministic()
+    };
+    let engine = Engine::try_new(artifact.clone(), cfg).expect("gate admits the artifact");
+    assert_eq!(engine.artifact().precision(), Precision::Int8);
+    let served = engine.score_batch(&sessions).expect("engine scores");
+    assert_bit_identical(&served, &expected, "engine/int8");
+}

@@ -1,35 +1,77 @@
 //! Linear-algebra, elementwise, and reduction kernels for [`Matrix`].
 //!
-//! The matmul kernel uses an i-k-j loop order so the inner loop streams both
-//! the `b` row and the output row sequentially — the standard cache-friendly
-//! layout for row-major data (see the Rust Performance Book's advice on
-//! iteration order). No unsafe code is used anywhere in the workspace.
+//! # Matmul: blocked fast path, naive reference path
+//!
+//! The matmul family ships two implementations that produce the **same
+//! bits**:
+//!
+//! * [`Matrix::matmul_naive`] / [`Matrix::matmul_transpose_naive`] — the
+//!   original scalar i-k-j kernels. They define the workspace's reference
+//!   accumulation order: each output element accumulates over `k` in
+//!   ascending order, one add per term, starting from `0.0` (and `matmul`
+//!   skips zero `a` elements, a sparsity win for one-hot inputs).
+//! * The panel-packed, register-blocked fast path behind
+//!   [`Matrix::matmul`] / [`Matrix::matmul_transpose`] — packs `B` into
+//!   kk-major panels of [`NR`] f32 lanes, accumulates [`MR`] output rows at
+//!   a time into `[[f32; NR]; MR]` register tiles with explicitly unrolled
+//!   lane loops the autovectorizer lowers to SIMD. The tile loop runs the
+//!   *same per-element accumulation order* as the naive kernel (ascending
+//!   `kk`, one add per non-skipped term, from `0.0`), so the results are
+//!   bit-identical — pinned by proptests in `tests/properties.rs`.
+//!
+//! A [`KernelPolicy`](crate::threads::KernelPolicy) with `lanes == 1`
+//! selects the naive path process- or scope-wide, which is how the
+//! property tests and benchmarks compare the two.
 //!
 //! Kernels whose output rows (or elements) are independent are row-block
 //! parallel over the intra-op pool configured by
-//! [`threads::set_threads`](crate::threads::set_threads): each worker runs
+//! [`threads::set_policy`](crate::threads::set_policy): each worker runs
 //! the serial per-row code on a disjoint output block, so results are
 //! **bit-identical** to the serial kernel at any thread count (see the
 //! [`threads`](crate::threads) module docs for the argument). Whole-matrix
 //! scalar reductions (`sum`, `mean`) stay serial: splitting them would
-//! reassociate the accumulation and break bit-identity.
+//! reassociate the accumulation and break bit-identity. No unsafe code is
+//! used anywhere in the workspace.
 
 use crate::matrix::Matrix;
 use crate::threads;
 
 /// Spawn threshold for matmul-family kernels, in multiply-adds (`m·k·n`).
-/// Below this the serial path wins on thread-startup cost alone.
-const MATMUL_MIN_WORK: usize = 64 * 1024;
+/// Below this the serial path wins on thread-startup cost alone; the
+/// partitioner also caps parts at `work / MATMUL_MIN_WORK` so each spawned
+/// worker keeps at least this much work (~0.1 ms of blocked matmul).
+const MATMUL_MIN_WORK: usize = 2 * 1024 * 1024;
 
-/// Spawn threshold for cheap elementwise kernels, in elements.
-const ELEMWISE_MIN_WORK: usize = 64 * 1024;
+/// Spawn threshold for cheap elementwise kernels, in elements. These are
+/// memory-bound single passes, so threads only pay once the buffers leave
+/// the private caches.
+const ELEMWISE_MIN_WORK: usize = 256 * 1024;
 
 /// Spawn threshold for exp/sqrt-heavy row-wise kernels (softmax, norm), in
 /// elements. Lower than [`ELEMWISE_MIN_WORK`] because each element costs a
 /// transcendental.
-const ROWWISE_MIN_WORK: usize = 8 * 1024;
+const ROWWISE_MIN_WORK: usize = 32 * 1024;
 
-/// Serial core of [`Matrix::matmul`] for rows `first..first + block/n`.
+/// Thread-split granule (in elements) for flat, `row_len == 1` output
+/// splits: one 64-byte cache line of f32s, so no two workers ever write
+/// the same line.
+const FLAT_GRANULE: usize = 16;
+
+/// Register-block height of the packed matmul microkernel: output rows
+/// accumulated per tile. Fixed at compile time for register allocation;
+/// `KernelPolicy::block_sizes.rows` controls the thread-split granule that
+/// keeps worker blocks tile-aligned.
+pub const MR: usize = 6;
+
+/// Packed-panel width of the matmul microkernel, in f32 lanes: output
+/// columns per tile (two AVX-512 vectors, four AVX2 vectors).
+///
+/// `MR x NR` gives 12 512-bit accumulator chains — enough independent
+/// adds in flight to cover the few-cycle `vaddps` latency on both FP
+/// ports, which one chain per row cannot (that caps at half peak).
+pub const NR: usize = 32;
+
+/// Serial core of [`Matrix::matmul_naive`] for rows `first..first + block/n`.
 fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, first: usize, block: &mut [f32]) {
     for (ii, o_row) in block.chunks_mut(n).enumerate() {
         let i = first + ii;
@@ -46,12 +88,182 @@ fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, first: usize, block: &m
     }
 }
 
+/// Packs columns `j0..j0 + w` of row-major `b` (`k x n`) into a kk-major
+/// panel: `panel[kk * NR + jj] = b[kk * n + j0 + jj]`, lanes `w..NR`
+/// zero-padded (computed but never stored, so padding cannot leak).
+fn pack_panel_from_rows(b: &[f32], n: usize, j0: usize, w: usize, panel: &mut [f32]) {
+    for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+        let src = &b[kk * n + j0..kk * n + j0 + w];
+        dst[..w].copy_from_slice(src);
+        dst[w..].fill(0.0);
+    }
+}
+
+/// Packs rows `j0..j0 + w` of row-major `b` (`n x k`) — the columns of
+/// `b^T` — into the same kk-major panel layout as
+/// [`pack_panel_from_rows`]. This is how `matmul_transpose` reuses the
+/// blocked kernel without materializing the transpose: each `b` row is
+/// already `k`-contiguous, it just lands in a panel lane.
+fn pack_panel_from_cols(b: &[f32], k: usize, j0: usize, w: usize, panel: &mut [f32]) {
+    panel.fill(0.0);
+    for jj in 0..w {
+        let src = &b[(j0 + jj) * k..(j0 + jj) * k + k];
+        for (kk, &v) in src.iter().enumerate() {
+            panel[kk * NR + jj] = v;
+        }
+    }
+}
+
+/// One `MR x NR` register tile: accumulates `a_rows` (each of length `k`)
+/// against a packed panel, ascending `kk`, one add per non-skipped term,
+/// starting from `0.0` — the exact per-element order of the naive kernels,
+/// which is what makes the blocked path bit-identical.
+///
+/// The `NR`-wide inner loops are the explicitly unrolled f32 lanes the
+/// autovectorizer lowers to SIMD; no intrinsics or unstable `std::simd`.
+fn tile_acc<const SKIP_ZERO: bool>(
+    a_rows: &[&[f32]; MR],
+    k: usize,
+    panel: &[f32],
+) -> [[f32; NR]; MR] {
+    // The skip-zero (matmul) reference accumulates into a `+0.0`-filled
+    // output; the no-skip (matmul_transpose) reference is `dot`, whose
+    // `Iterator::sum` folds from `-0.0` — IEEE-754's true additive
+    // identity. Matching each start value bit-for-bit matters when every
+    // accumulated term is a signed zero.
+    let init = if SKIP_ZERO { 0.0f32 } else { -0.0f32 };
+    let mut acc = [[init; NR]; MR];
+    for kk in 0..k {
+        let bv: &[f32; NR] = panel[kk * NR..kk * NR + NR].try_into().expect("panel lane");
+        for r in 0..MR {
+            let v = a_rows[r][kk];
+            // The zero skip matches the naive kernel exactly and is a real
+            // sparsity win for one-hot / ReLU-masked operands; on dense
+            // data the never-taken branch costs ~nothing.
+            if SKIP_ZERO && v == 0.0 {
+                continue;
+            }
+            let acc_r = &mut acc[r];
+            for l in 0..NR {
+                acc_r[l] += v * bv[l];
+            }
+        }
+    }
+    acc
+}
+
+/// Single-row remainder tile of [`tile_acc`] (same accumulation order).
+fn tile_acc_one<const SKIP_ZERO: bool>(a_row: &[f32], panel: &[f32]) -> [f32; NR] {
+    // Same signed-zero start values as `tile_acc`.
+    let init = if SKIP_ZERO { 0.0f32 } else { -0.0f32 };
+    let mut acc = [init; NR];
+    for (kk, &v) in a_row.iter().enumerate() {
+        if SKIP_ZERO && v == 0.0 {
+            continue;
+        }
+        let bv: &[f32; NR] = panel[kk * NR..kk * NR + NR].try_into().expect("panel lane");
+        for l in 0..NR {
+            acc[l] += v * bv[l];
+        }
+    }
+    acc
+}
+
+/// Blocked serial core shared by `matmul` (`SKIP_ZERO`, `b` row-major
+/// `k x n`) and `matmul_transpose` (no skip, `b` row-major `n x k` holding
+/// the transposed operand). Computes output rows `first..first +
+/// block.len() / n` of the product into `block`.
+///
+/// Per worker: for each `NR`-column panel of the output, pack the matching
+/// `B` panel once, then sweep this worker's rows in `MR`-row register
+/// tiles (plus a one-row remainder loop). Accumulators live in registers
+/// for the whole `k` loop and are stored once — into output that
+/// [`Matrix::zeros`] initialized, so a store of the tile equals the naive
+/// kernel's add-into-zero bits.
+fn blocked_rows<const SKIP_ZERO: bool>(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    b_transposed: bool,
+    first: usize,
+    block: &mut [f32],
+) {
+    let rows = block.len().checked_div(n).unwrap_or(0);
+    let mut panel = vec![0.0f32; k * NR];
+    let mut j0 = 0;
+    while j0 < n {
+        let w = NR.min(n - j0);
+        if b_transposed {
+            pack_panel_from_cols(b, k, j0, w, &mut panel);
+        } else {
+            pack_panel_from_rows(b, n, j0, w, &mut panel);
+        }
+        let mut i = 0;
+        while i + MR <= rows {
+            let base = (first + i) * k;
+            let a_rows: [&[f32]; MR] = std::array::from_fn(|r| &a[base + r * k..base + (r + 1) * k]);
+            let acc = tile_acc::<SKIP_ZERO>(&a_rows, k, &panel);
+            for (r, lanes) in acc.iter().enumerate() {
+                let at = (i + r) * n + j0;
+                block[at..at + w].copy_from_slice(&lanes[..w]);
+            }
+            i += MR;
+        }
+        while i < rows {
+            let base = (first + i) * k;
+            let acc = tile_acc_one::<SKIP_ZERO>(&a[base..base + k], &panel);
+            let at = i * n + j0;
+            block[at..at + w].copy_from_slice(&acc[..w]);
+            i += 1;
+        }
+        j0 += NR;
+    }
+}
+
 impl Matrix {
     /// Matrix product `self * other` (`m x k` times `k x n`).
     ///
-    /// Row-block parallel; bit-identical to the serial kernel at any thread
-    /// count because each output row is produced by the same serial code.
+    /// Dispatches to the panel-packed register-blocked kernel (or the
+    /// scalar reference kernel when the active
+    /// [`KernelPolicy`](crate::threads::KernelPolicy) has `lanes == 1`).
+    /// Both paths are row-block parallel and bit-identical to each other
+    /// and to the serial kernel at any thread count: every output element
+    /// accumulates over `k` in the same ascending order.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul inner dimensions differ ({:?} * {:?})",
+            self.shape(),
+            other.shape()
+        );
+        let pol = threads::policy();
+        if pol.lanes <= 1 {
+            return self.matmul_naive(other);
+        }
+        let (m, k) = self.shape();
+        let n = other.cols();
+        let mut out = Matrix::zeros(m, n);
+        if out.is_empty() {
+            return out;
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let parts = threads::plan(m, m * k * n, MATMUL_MIN_WORK);
+        let granule = pol.block_sizes.rows.max(1);
+        threads::run_row_blocks(out.as_mut_slice(), n, m, parts, granule, |first, block| {
+            blocked_rows::<true>(a, b, k, n, false, first, block);
+        });
+        out
+    }
+
+    /// The original scalar i-k-j matmul: the workspace's reference
+    /// accumulation order (ascending `k`, zero-`a` terms skipped). The
+    /// blocked [`Matrix::matmul`] is proptest-pinned bit-identical to this
+    /// kernel; it remains public for those tests and for benchmark
+    /// comparisons.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols(),
             other.rows(),
@@ -68,7 +280,7 @@ impl Matrix {
         let a = self.as_slice();
         let b = other.as_slice();
         let parts = threads::plan(m, m * k * n, MATMUL_MIN_WORK);
-        threads::run_row_blocks(out.as_mut_slice(), n, m, parts, |first, block| {
+        threads::run_row_blocks(out.as_mut_slice(), n, m, parts, 1, |first, block| {
             matmul_rows(a, b, k, n, first, block);
         });
         out
@@ -78,9 +290,43 @@ impl Matrix {
     /// `n x k` → `m x n`). This is the hot kernel of every contrastive loss:
     /// pairwise similarities between two batches of embeddings.
     ///
-    /// Row-block parallel with the same bit-identity guarantee as
-    /// [`Matrix::matmul`].
+    /// Dispatches like [`Matrix::matmul`]: blocked fast path by default
+    /// (the rows of `other` are already `k`-contiguous, so they pack
+    /// straight into panel lanes), scalar [`Matrix::matmul_transpose_naive`]
+    /// when the policy has `lanes == 1`. Bit-identical either way.
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_transpose requires equal column counts ({:?} vs {:?})",
+            self.shape(),
+            other.shape()
+        );
+        let pol = threads::policy();
+        if pol.lanes <= 1 {
+            return self.matmul_transpose_naive(other);
+        }
+        let (m, k) = self.shape();
+        let n = other.rows();
+        let mut out = Matrix::zeros(m, n);
+        if out.is_empty() {
+            return out;
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let parts = threads::plan(m, m * k.max(1) * n, MATMUL_MIN_WORK);
+        let granule = pol.block_sizes.rows.max(1);
+        threads::run_row_blocks(out.as_mut_slice(), n, m, parts, granule, |first, block| {
+            blocked_rows::<false>(a, b, k, n, true, first, block);
+        });
+        out
+    }
+
+    /// The original scalar `self * other^T`: one [`dot`] per output element
+    /// (ascending `k`, no zero skipping — `dot` is the reference order).
+    /// Kept public for the bit-identity proptests and benchmarks, like
+    /// [`Matrix::matmul_naive`].
+    pub fn matmul_transpose_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols(),
             other.cols(),
@@ -97,7 +343,7 @@ impl Matrix {
         let a = self.as_slice();
         let b = other.as_slice();
         let parts = threads::plan(m, m * k.max(1) * n, MATMUL_MIN_WORK);
-        threads::run_row_blocks(out.as_mut_slice(), n, m, parts, |first, block| {
+        threads::run_row_blocks(out.as_mut_slice(), n, m, parts, 1, |first, block| {
             for (ii, o_row) in block.chunks_mut(n).enumerate() {
                 let i = first + ii;
                 let a_row = &a[i * k..(i + 1) * k];
@@ -123,7 +369,7 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(self.rows(), self.cols());
         let a = self.as_slice();
-        threads::run_row_blocks(out.as_mut_slice(), 1, len, parts, |first, block| {
+        threads::run_row_blocks(out.as_mut_slice(), 1, len, parts, FLAT_GRANULE, |first, block| {
             for (j, o) in block.iter_mut().enumerate() {
                 *o = f(a[first + j]);
             }
@@ -143,7 +389,7 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows(), self.cols());
         let a = self.as_slice();
         let b = other.as_slice();
-        threads::run_row_blocks(out.as_mut_slice(), 1, len, parts, |first, block| {
+        threads::run_row_blocks(out.as_mut_slice(), 1, len, parts, FLAT_GRANULE, |first, block| {
             for (j, o) in block.iter_mut().enumerate() {
                 *o = f(a[first + j], b[first + j]);
             }
@@ -177,7 +423,7 @@ impl Matrix {
         let len = self.len();
         let parts = threads::plan(len, len, ELEMWISE_MIN_WORK);
         let b = other.as_slice();
-        threads::run_row_blocks(self.as_mut_slice(), 1, len, parts, |first, block| {
+        threads::run_row_blocks(self.as_mut_slice(), 1, len, parts, FLAT_GRANULE, |first, block| {
             for (j, a) in block.iter_mut().enumerate() {
                 *a += b[first + j];
             }
@@ -190,7 +436,7 @@ impl Matrix {
         let len = self.len();
         let parts = threads::plan(len, len, ELEMWISE_MIN_WORK);
         let b = other.as_slice();
-        threads::run_row_blocks(self.as_mut_slice(), 1, len, parts, |first, block| {
+        threads::run_row_blocks(self.as_mut_slice(), 1, len, parts, FLAT_GRANULE, |first, block| {
             for (j, a) in block.iter_mut().enumerate() {
                 *a += scale * b[first + j];
             }
@@ -239,7 +485,7 @@ impl Matrix {
         let (rows, cols) = out.shape();
         let bias = row.as_slice();
         let parts = threads::plan(rows, rows * cols, ELEMWISE_MIN_WORK);
-        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, |_, block| {
+        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, 1, |_, block| {
             for o_row in block.chunks_mut(cols) {
                 for (o, &b) in o_row.iter_mut().zip(bias) {
                     *o += b;
@@ -274,7 +520,7 @@ impl Matrix {
         }
         let a = self.as_slice();
         let parts = threads::plan(rows, rows * cols, ELEMWISE_MIN_WORK);
-        threads::run_row_blocks(out.as_mut_slice(), 1, rows, parts, |first, block| {
+        threads::run_row_blocks(out.as_mut_slice(), 1, rows, parts, FLAT_GRANULE, |first, block| {
             for (j, o) in block.iter_mut().enumerate() {
                 let r = first + j;
                 *o = a[r * cols..(r + 1) * cols].iter().sum();
@@ -294,7 +540,7 @@ impl Matrix {
         }
         let a = self.as_slice();
         let parts = threads::plan(cols, rows * cols, ELEMWISE_MIN_WORK);
-        threads::run_row_blocks(out.as_mut_slice(), 1, cols, parts, |first, block| {
+        threads::run_row_blocks(out.as_mut_slice(), 1, cols, parts, FLAT_GRANULE, |first, block| {
             for r in 0..rows {
                 let row = &a[r * cols..(r + 1) * cols];
                 for (j, o) in block.iter_mut().enumerate() {
@@ -320,7 +566,7 @@ impl Matrix {
             return out;
         }
         let parts = threads::plan(rows, rows * cols, ROWWISE_MIN_WORK);
-        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, |_, block| {
+        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, 1, |_, block| {
             for row in block.chunks_mut(cols) {
                 let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
                 let mut sum = 0.0;
@@ -344,7 +590,7 @@ impl Matrix {
             return out;
         }
         let parts = threads::plan(rows, rows * cols, ROWWISE_MIN_WORK);
-        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, |_, block| {
+        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, 1, |_, block| {
             for row in block.chunks_mut(cols) {
                 let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
                 let log_sum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
@@ -365,7 +611,7 @@ impl Matrix {
             return out;
         }
         let parts = threads::plan(rows, rows * cols, ROWWISE_MIN_WORK);
-        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, |_, block| {
+        threads::run_row_blocks(out.as_mut_slice(), cols, rows, parts, 1, |_, block| {
             for row in block.chunks_mut(cols) {
                 let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
                 if norm > eps {
@@ -387,7 +633,7 @@ impl Matrix {
         }
         let a = self.as_slice();
         let parts = threads::plan(rows, rows * cols, ELEMWISE_MIN_WORK);
-        threads::run_row_blocks(&mut out, 1, rows, parts, |first, block| {
+        threads::run_row_blocks(&mut out, 1, rows, parts, FLAT_GRANULE, |first, block| {
             for (j, o) in block.iter_mut().enumerate() {
                 let r = first + j;
                 *o = a[r * cols..(r + 1) * cols]
@@ -446,7 +692,7 @@ impl Matrix {
         let cp = c_prev.as_slice();
         // Transcendental-heavy like softmax, so the row-wise threshold.
         let parts = threads::plan(rows, rows * gate_cols, ROWWISE_MIN_WORK);
-        threads::run_row_blocks(c.as_mut_slice(), hid, rows, parts, |first, block| {
+        threads::run_row_blocks(c.as_mut_slice(), hid, rows, parts, 1, |first, block| {
             for (ii, c_row) in block.chunks_mut(hid).enumerate() {
                 let r = first + ii;
                 let z_row = &z[r * gate_cols..(r + 1) * gate_cols];
@@ -460,7 +706,7 @@ impl Matrix {
             }
         });
         let c_done = c.as_slice();
-        threads::run_row_blocks(h.as_mut_slice(), hid, rows, parts, |first, block| {
+        threads::run_row_blocks(h.as_mut_slice(), hid, rows, parts, 1, |first, block| {
             for (ii, h_row) in block.chunks_mut(hid).enumerate() {
                 let r = first + ii;
                 let z_row = &z[r * gate_cols..(r + 1) * gate_cols];
@@ -476,6 +722,10 @@ impl Matrix {
 }
 
 /// Dot product of two equal-length slices.
+///
+/// Sequential ascending accumulation from `0.0` — this *is* the reference
+/// bit order of `matmul_transpose`, so it must never be blocked, chunked,
+/// or reassociated.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -524,6 +774,54 @@ mod tests {
         let slow = a.matmul(&b.transpose());
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
             assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// The blocked kernels must reproduce the naive kernels' bits exactly —
+    /// spot check here; the exhaustive sweep (random shapes × thread
+    /// counts) lives in `tests/properties.rs`.
+    #[test]
+    fn blocked_matmul_bits_match_naive() {
+        // Shapes straddling the MR/NR tile boundaries, plus degenerate ones.
+        for &(rows, k, cols) in
+            &[(1, 1, 1), (3, 5, 7), (4, 16, 16), (5, 17, 33), (23, 9, 18), (64, 32, 48)]
+        {
+            let a = Matrix::from_fn(rows, k, |r, c| {
+                // Mix in exact zeros to exercise the zero-skip path.
+                if (r + c) % 5 == 0 {
+                    0.0
+                } else {
+                    ((r * 31 + c * 17) % 13) as f32 * 0.37 - 1.1
+                }
+            });
+            let b = Matrix::from_fn(k, cols, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.29 - 0.8);
+            let bt = b.transpose();
+            let blocked = a.matmul(&b);
+            let naive = a.matmul_naive(&b);
+            assert_eq!(blocked.shape(), naive.shape());
+            for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "matmul {rows}x{k}x{cols}");
+            }
+            let blocked_t = a.matmul_transpose(&bt);
+            let naive_t = a.matmul_transpose_naive(&bt);
+            for (x, y) in blocked_t.as_slice().iter().zip(naive_t.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "matmul_transpose {rows}x{k}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_policy_selects_naive_kernels() {
+        use crate::threads::{with_policy, KernelPolicy};
+        let a = Matrix::from_fn(6, 9, |r, c| (r as f32 - c as f32) * 0.21);
+        let b = Matrix::from_fn(9, 10, |r, c| (r * c % 7) as f32 * 0.4 - 1.0);
+        let scalar = with_policy(KernelPolicy::scalar_reference(), || a.matmul(&b));
+        let blocked = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        assert_eq!(scalar, naive);
+        // ... and the two dispatch targets agree bit-for-bit anyway.
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

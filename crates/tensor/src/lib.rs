@@ -18,8 +18,12 @@
 //!
 //! Heavy kernels are intra-op parallel over a scoped thread pool with a
 //! **bit-identity guarantee**: any thread count produces exactly the bytes
-//! the serial kernel produces. See [`threads`] for the knobs
-//! ([`threads::set_threads`], [`threads::with_threads`]) and the argument.
+//! the serial kernel produces. All kernel tuning — thread count, matmul
+//! cache-block shape, SIMD lane width — flows through one explicit value,
+//! [`KernelPolicy`] (see [`threads`] for [`threads::set_policy`] /
+//! [`threads::with_policy`] and the bit-identity argument). The older
+//! [`threads::set_threads`] / [`threads::with_threads`] entry points
+//! remain as documented-deprecated forwards onto the policy.
 
 pub mod init;
 pub mod kernels;
@@ -28,4 +32,4 @@ pub mod stats;
 pub mod threads;
 
 pub use matrix::{Matrix, ShapeError};
-pub use threads::{set_threads, with_threads};
+pub use threads::{set_policy, set_threads, with_policy, with_threads, BlockSizes, KernelPolicy};

@@ -1,4 +1,4 @@
-//! Intra-op thread pool for the matrix kernels.
+//! Intra-op threading and kernel tuning, governed by [`KernelPolicy`].
 //!
 //! # Model
 //!
@@ -19,14 +19,33 @@
 //!
 //! # Knobs
 //!
-//! - [`set_threads`] — process-global thread count. Defaults to
-//!   [`available`] (the number of cores); `1` degenerates every kernel to
-//!   the exact serial code path.
-//! - [`with_threads`] — thread-local override for a closure, used by tests
-//!   and by sweep workers to divide cores without touching the global.
+//! All tuning flows through one explicit value, [`KernelPolicy`]:
+//!
+//! - [`set_policy`] — installs a process-global policy (threads, block
+//!   sizes, SIMD lane width).
+//! - [`with_policy`] — thread-local override for a closure; nested
+//!   overrides compose, innermost wins.
+//! - [`policy`] — the policy kernels on the calling thread will use.
 //! - Kernels only spawn when the work is large enough to amortize thread
 //!   startup (per-kernel thresholds in `kernels.rs`); below the threshold
 //!   they run the serial path, which is bit-identical by construction.
+//!
+//! The pre-policy entry points [`set_threads`] and [`with_threads`] remain
+//! as thin forwards that adjust only the `threads` field of the policy.
+//! **Deprecated:** new code should construct a [`KernelPolicy`] and call
+//! [`set_policy`] / [`with_policy`] instead; the forwards exist so older
+//! call sites keep compiling unchanged.
+//!
+//! # Partitioning
+//!
+//! [`plan`] clamps the requested thread count to the cores actually
+//! available (oversubscribing a machine never helps a compute-bound kernel
+//! and actively hurts on small boxes), and caps the part count so every
+//! part keeps at least the kernel's spawn threshold of work.
+//! [`run_row_blocks`] then splits rows at multiples of a *granule* — the
+//! register-block height for matmul, a cache line of elements for flat
+//! elementwise splits — so no two workers ever share a cache line of output
+//! and the blocked microkernels always see whole tiles.
 
 use std::cell::Cell;
 use std::num::NonZeroUsize;
@@ -103,12 +122,125 @@ pub mod counters {
     }
 }
 
-/// Global thread-count knob; 0 means "unset, use [`available`]".
+/// Cache-blocking tile shape for the packed matmul microkernel.
+///
+/// `rows` is the register-block height (output rows accumulated at once)
+/// and doubles as the row granule the partitioner aligns thread splits to;
+/// `cols` is the packed-panel width in f32 lanes. Both are clamped to at
+/// least 1 when used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// Register-block height (output rows per microkernel tile).
+    pub rows: usize,
+    /// Packed-panel width in f32 lanes (output columns per tile).
+    pub cols: usize,
+}
+
+impl Default for BlockSizes {
+    fn default() -> Self {
+        // MR rows x NR lanes = 12 ZMM accumulators: enough independent
+        // add chains to hide FP-add latency on both vector ports, while
+        // staying inside the 32-register AVX-512 budget with room for the
+        // packed-B vectors and the broadcast A scalar. `rows` doubles as
+        // the partitioner granule, so thread splits land on whole tiles.
+        BlockSizes { rows: crate::kernels::MR, cols: crate::kernels::NR }
+    }
+}
+
+/// One explicit value holding every kernel-tuning knob: thread count,
+/// cache-blocking tile shape, and SIMD lane width.
+///
+/// Replaces the old implicit global `set_threads` state as the API the
+/// rest of the workspace configures kernels through (`ClfdBuilder`,
+/// `EngineConfig`, the bench bins). A policy is plain data — build one,
+/// then install it with [`set_policy`] (process-global) or scope it with
+/// [`with_policy`] (thread-local, innermost wins).
+///
+/// `lanes == 1` selects the scalar reference kernels (`matmul_naive` /
+/// `matmul_transpose_naive`), which the blocked kernels are proptest-pinned
+/// bit-identical to; any larger value selects the panel-packed blocked
+/// kernels. Both paths produce the same bits — the knob exists for
+/// benchmarking one against the other, not for trading accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelPolicy {
+    /// Intra-op worker threads; `0` means "auto" ([`available`] cores).
+    /// The partitioner never uses more than [`available`] regardless.
+    pub threads: usize,
+    /// Matmul cache-blocking tile shape (and the partitioner row granule).
+    pub block_sizes: BlockSizes,
+    /// f32 SIMD lane width hint: `1` = scalar reference kernels, `>= 2` =
+    /// panel-packed blocked kernels (unrolled for the autovectorizer).
+    pub lanes: usize,
+}
+
+impl Default for KernelPolicy {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl KernelPolicy {
+    /// The default policy: auto thread count, default block sizes, 8-wide
+    /// lanes (blocked kernels).
+    pub fn auto() -> Self {
+        KernelPolicy { threads: 0, block_sizes: BlockSizes::default(), lanes: 8 }
+    }
+
+    /// A fully serial policy (one thread, blocked kernels): the exact
+    /// single-threaded code path, useful as a benchmark baseline.
+    pub fn serial() -> Self {
+        KernelPolicy { threads: 1, ..Self::auto() }
+    }
+
+    /// The scalar reference policy: one lane selects the pre-blocking
+    /// naive kernels that define the workspace's reference bits.
+    pub fn scalar_reference() -> Self {
+        KernelPolicy { lanes: 1, ..Self::auto() }
+    }
+
+    /// Returns the policy with `threads` replaced (`0` = auto).
+    pub fn threads(self, threads: usize) -> Self {
+        KernelPolicy { threads, ..self }
+    }
+
+    /// Returns the policy with `block_sizes` replaced.
+    pub fn block_sizes(self, block_sizes: BlockSizes) -> Self {
+        KernelPolicy { block_sizes, ..self }
+    }
+
+    /// Returns the policy with `lanes` replaced.
+    pub fn lanes(self, lanes: usize) -> Self {
+        KernelPolicy { lanes, ..self }
+    }
+
+    /// The thread count this policy requests: its `threads` field, or
+    /// [`available`] when that is 0 (auto).
+    pub fn requested_threads(&self) -> usize {
+        if self.threads == 0 {
+            available()
+        } else {
+            self.threads
+        }
+    }
+
+    /// The thread count the partitioner will actually grant: the requested
+    /// count clamped to [`available`] cores. Oversubscription is never
+    /// useful for these compute-bound kernels.
+    pub fn effective_threads(&self) -> usize {
+        self.requested_threads().min(available()).max(1)
+    }
+}
+
+/// Global policy fields; 0 means "unset" (field-wise defaults apply).
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL_BLOCK_ROWS: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL_BLOCK_COLS: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL_LANES: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
-    /// Per-thread override installed by [`with_threads`]; 0 means "none".
-    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Per-thread override installed by [`with_policy`]; `None` means "use
+    /// the global policy".
+    static OVERRIDE: Cell<Option<KernelPolicy>> = const { Cell::new(None) };
 }
 
 /// Number of logical cores available to the process (at least 1).
@@ -116,10 +248,72 @@ pub fn available() -> usize {
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
+/// Installs `policy` as the process-global kernel policy.
+///
+/// Thread-local [`with_policy`] overrides still win over the global.
+///
+/// # Panics
+/// Panics if `policy.lanes` is 0 — one scalar lane is the minimum.
+pub fn set_policy(policy: KernelPolicy) {
+    assert!(policy.lanes >= 1, "kernel policy needs at least one lane");
+    GLOBAL_THREADS.store(policy.threads, Ordering::Relaxed);
+    GLOBAL_BLOCK_ROWS.store(policy.block_sizes.rows.max(1), Ordering::Relaxed);
+    GLOBAL_BLOCK_COLS.store(policy.block_sizes.cols.max(1), Ordering::Relaxed);
+    GLOBAL_LANES.store(policy.lanes, Ordering::Relaxed);
+}
+
+fn global_policy() -> KernelPolicy {
+    let defaults = KernelPolicy::auto();
+    let rows = GLOBAL_BLOCK_ROWS.load(Ordering::Relaxed);
+    let cols = GLOBAL_BLOCK_COLS.load(Ordering::Relaxed);
+    let lanes = GLOBAL_LANES.load(Ordering::Relaxed);
+    KernelPolicy {
+        threads: GLOBAL_THREADS.load(Ordering::Relaxed),
+        block_sizes: BlockSizes {
+            rows: if rows == 0 { defaults.block_sizes.rows } else { rows },
+            cols: if cols == 0 { defaults.block_sizes.cols } else { cols },
+        },
+        lanes: if lanes == 0 { defaults.lanes } else { lanes },
+    }
+}
+
+/// The kernel policy in effect on the calling thread: the innermost
+/// [`with_policy`] override if one is active, otherwise the [`set_policy`]
+/// global (with per-field defaults for unset fields).
+pub fn policy() -> KernelPolicy {
+    OVERRIDE.with(Cell::get).unwrap_or_else(global_policy)
+}
+
+/// Runs `f` with the calling thread's kernel policy overridden to
+/// `policy`, restoring the previous state afterwards (also on panic).
+///
+/// The override is thread-local: concurrent callers (test harness threads,
+/// sweep workers) do not observe each other's value, which makes this the
+/// race-free way to compare policies inside one process.
+///
+/// # Panics
+/// Panics if `policy.lanes` is 0.
+pub fn with_policy<R>(policy: KernelPolicy, f: impl FnOnce() -> R) -> R {
+    assert!(policy.lanes >= 1, "kernel policy needs at least one lane");
+    struct Restore(Option<KernelPolicy>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(policy))));
+    f()
+}
+
 /// Sets the process-global intra-op thread count.
 ///
+/// **Deprecated** in favor of [`set_policy`] with an explicit
+/// [`KernelPolicy`]; this forward only adjusts the policy's `threads`
+/// field and leaves block sizes and lanes untouched, so existing call
+/// sites keep their pre-policy behavior.
+///
 /// `1` makes every kernel take the exact serial code path. The default
-/// (before the first call) is [`available`].
+/// (before the first call) is auto ([`available`]).
 ///
 /// # Panics
 /// Panics if `n` is 0 — a pool needs at least one thread.
@@ -129,77 +323,88 @@ pub fn set_threads(n: usize) {
 }
 
 /// The intra-op thread count kernels on the *calling thread* will use:
-/// the innermost [`with_threads`] override if one is active, otherwise the
-/// [`set_threads`] global, otherwise [`available`].
+/// the `threads` field of [`policy`] (auto resolves to [`available`]).
+///
+/// This reports the *requested* count; the partitioner additionally clamps
+/// to [`available`] cores at dispatch time (see
+/// [`KernelPolicy::effective_threads`]).
 pub fn threads() -> usize {
-    let over = OVERRIDE.with(Cell::get);
-    if over > 0 {
-        return over;
-    }
-    match GLOBAL_THREADS.load(Ordering::Relaxed) {
-        0 => available(),
-        n => n,
-    }
+    policy().requested_threads()
 }
 
 /// Runs `f` with the calling thread's kernel thread count overridden to
 /// `n`, restoring the previous value afterwards (also on panic).
 ///
-/// The override is thread-local: concurrent callers (test harness threads,
-/// sweep workers) do not observe each other's value, which makes this the
-/// race-free way to compare thread counts inside one process.
+/// **Deprecated** in favor of [`with_policy`]; this forward scopes the
+/// current policy with only its `threads` field replaced.
 ///
 /// # Panics
 /// Panics if `n` is 0.
 pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     assert!(n >= 1, "intra-op pool needs at least one thread");
-    struct Restore(usize);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            OVERRIDE.with(|c| c.set(self.0));
-        }
-    }
-    let _restore = Restore(OVERRIDE.with(|c| c.replace(n)));
-    f()
+    with_policy(policy().threads(n), f)
 }
 
 /// Decides how many workers a kernel should use for `rows` independent
-/// output rows totalling `work` scalar operations: 1 (serial path) unless
-/// the configured thread count exceeds 1, there are at least two rows to
-/// split, and the work clears the kernel's spawn threshold.
+/// output rows totalling `work` scalar operations.
+///
+/// Serial (1) unless the effective thread count exceeds 1, there are at
+/// least two rows to split, and the work clears the kernel's spawn
+/// threshold. The part count is clamped to (a) the requested threads, (b)
+/// [`available`] cores — oversubscription never pays for compute-bound
+/// kernels and used to produce *negative* scaling on small machines — (c)
+/// the row count, and (d) `work / min_work`, so every spawned part keeps
+/// at least one spawn-threshold's worth of work.
 pub(crate) fn plan(rows: usize, work: usize, min_work: usize) -> usize {
-    let t = threads();
+    let t = policy().effective_threads();
     if t <= 1 || rows < 2 || work < min_work {
-        1
-    } else {
-        t.min(rows)
+        return 1;
     }
+    let cap = work.checked_div(min_work).map_or(t, |c| c.max(1));
+    t.min(rows).min(cap)
 }
 
 /// Splits `rows` output rows of `row_len` elements each (`out.len() ==
-/// rows * row_len`) into `parts` contiguous balanced blocks and runs
-/// `f(first_row, block)` on each, one scoped thread per block. With
-/// `parts <= 1` it calls `f(0, out)` on the current thread — the exact
-/// serial path.
+/// rows * row_len`) into `parts` contiguous balanced blocks — split points
+/// aligned to multiples of `granule` rows — and runs `f(first_row, block)`
+/// on each, one scoped thread per block. With `parts <= 1` it calls
+/// `f(0, out)` on the current thread — the exact serial path.
+///
+/// The granule keeps thread boundaries off shared cache lines (flat
+/// elementwise kernels pass a cache line of elements) and hands the
+/// blocked matmul microkernel whole register tiles (matmul passes its
+/// block height). `granule <= 1` reproduces the old per-row splitting.
 ///
 /// Bit-identity argument: the blocks are disjoint `&mut` sub-slices of the
 /// output, so each element is computed once, by the same code the serial
 /// call would run, with the same operand order.
-pub(crate) fn run_row_blocks<T, F>(out: &mut [T], row_len: usize, rows: usize, parts: usize, f: F)
-where
+pub(crate) fn run_row_blocks<T, F>(
+    out: &mut [T],
+    row_len: usize,
+    rows: usize,
+    parts: usize,
+    granule: usize,
+    f: F,
+) where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
     if counters::enabled() {
         return counters::count(parts, move || {
-            dispatch_row_blocks(out, row_len, rows, parts, f)
+            dispatch_row_blocks(out, row_len, rows, parts, granule, f)
         });
     }
-    dispatch_row_blocks(out, row_len, rows, parts, f)
+    dispatch_row_blocks(out, row_len, rows, parts, granule, f)
 }
 
-fn dispatch_row_blocks<T, F>(out: &mut [T], row_len: usize, rows: usize, parts: usize, f: F)
-where
+fn dispatch_row_blocks<T, F>(
+    out: &mut [T],
+    row_len: usize,
+    rows: usize,
+    parts: usize,
+    granule: usize,
+    f: F,
+) where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
@@ -208,14 +413,23 @@ where
         f(0, out);
         return;
     }
-    let parts = parts.min(rows.max(1));
-    let base = rows / parts;
-    let extra = rows % parts;
+    // Split in whole granules: `units` granule-sized row groups (the last
+    // possibly short), distributed as evenly as whole units allow.
+    let granule = granule.max(1);
+    let units = rows.div_ceil(granule).max(1);
+    let parts = parts.min(units).min(rows.max(1));
+    if parts <= 1 {
+        f(0, out);
+        return;
+    }
+    let base = units / parts;
+    let extra = units % parts;
     crossbeam::thread::scope(|scope| {
         let mut rest = out;
         let mut start = 0;
         for b in 0..parts {
-            let block_rows = base + usize::from(b < extra);
+            let block_units = base + usize::from(b < extra);
+            let block_rows = (block_units * granule).min(rows - start);
             let (head, tail) = rest.split_at_mut(block_rows * row_len);
             rest = tail;
             let first_row = start;
@@ -244,12 +458,34 @@ mod tests {
     }
 
     #[test]
+    fn with_policy_overrides_all_fields_and_restores() {
+        let custom = KernelPolicy {
+            threads: 3,
+            block_sizes: BlockSizes { rows: 2, cols: 8 },
+            lanes: 1,
+        };
+        let before = policy();
+        let inside = with_policy(custom, policy);
+        assert_eq!(inside, custom);
+        assert_eq!(policy(), before);
+        // with_threads layers on top of a policy override, keeping the
+        // non-thread fields.
+        let layered = with_policy(custom, || with_threads(7, policy));
+        assert_eq!(layered.threads, 7);
+        assert_eq!(layered.block_sizes, custom.block_sizes);
+        assert_eq!(layered.lanes, 1);
+    }
+
+    #[test]
     fn plan_degenerates_to_serial() {
+        // `plan` clamps to the machine's real core count, so the expected
+        // fan-out depends on where the test runs.
+        let cores = available();
         with_threads(4, || {
             assert_eq!(plan(1, 1 << 30, 0), 1, "a single row cannot be split");
             assert_eq!(plan(100, 10, 1000), 1, "small work stays serial");
-            assert_eq!(plan(2, 1 << 20, 0), 2, "parts never exceed rows");
-            assert_eq!(plan(100, 1 << 20, 0), 4);
+            assert_eq!(plan(2, 1 << 20, 0), 2.min(cores), "parts never exceed rows");
+            assert_eq!(plan(100, 1 << 20, 0), 4.min(cores), "parts never exceed cores");
         });
         with_threads(1, || {
             assert_eq!(plan(100, 1 << 30, 0), 1);
@@ -257,23 +493,62 @@ mod tests {
     }
 
     #[test]
-    fn row_blocks_cover_disjointly_in_order() {
-        let rows = 7;
-        let row_len = 3;
-        let mut out = vec![0usize; rows * row_len];
-        run_row_blocks(&mut out, row_len, rows, 3, |first_row, block| {
-            for (i, v) in block.iter_mut().enumerate() {
-                *v = (first_row * row_len + i) + 1;
-            }
+    fn plan_keeps_min_work_per_part() {
+        if available() < 2 {
+            // The per-part cap only matters once threads can fan out at
+            // all; on a single-core box plan() is always 1.
+            assert_eq!(with_threads(8, || plan(1000, 1 << 20, 1 << 19)), 1);
+            return;
+        }
+        with_threads(8, || {
+            // 2^20 work at 2^19 min_work supports at most 2 parts.
+            assert_eq!(plan(1000, 1 << 20, 1 << 19), 2.min(available()));
         });
-        let expect: Vec<usize> = (1..=rows * row_len).collect();
-        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn row_blocks_cover_disjointly_in_order() {
+        for granule in [1, 2, 3, 16] {
+            let rows = 7;
+            let row_len = 3;
+            let mut out = vec![0usize; rows * row_len];
+            run_row_blocks(&mut out, row_len, rows, 3, granule, |first_row, block| {
+                for (i, v) in block.iter_mut().enumerate() {
+                    *v = (first_row * row_len + i) + 1;
+                }
+            });
+            let expect: Vec<usize> = (1..=rows * row_len).collect();
+            assert_eq!(out, expect, "granule {granule}");
+        }
+    }
+
+    #[test]
+    fn row_blocks_align_splits_to_granule() {
+        let rows = 10;
+        let granule = 4;
+        let starts = std::sync::Mutex::new(Vec::new());
+        let mut out = vec![0u8; rows];
+        run_row_blocks(&mut out, 1, rows, 3, granule, |first_row, block| {
+            starts.lock().unwrap().push((first_row, block.len()));
+        });
+        let mut seen = starts.into_inner().unwrap();
+        seen.sort_unstable();
+        // Every block but the last starts at a granule multiple and holds a
+        // whole number of granules; blocks cover the rows exactly.
+        let total: usize = seen.iter().map(|&(_, len)| len).sum();
+        assert_eq!(total, rows);
+        for (i, &(start, len)) in seen.iter().enumerate() {
+            assert_eq!(start % granule, 0, "block {i} starts mid-granule");
+            if i + 1 < seen.len() {
+                assert_eq!(len % granule, 0, "interior block {i} is a partial granule");
+            }
+        }
     }
 
     #[test]
     fn serial_part_runs_on_caller() {
         let mut out = vec![0u8; 4];
-        run_row_blocks(&mut out, 2, 2, 1, |first, block| {
+        run_row_blocks(&mut out, 2, 2, 1, 1, |first, block| {
             assert_eq!(first, 0);
             assert_eq!(block.len(), 4);
             block.fill(9);
@@ -287,6 +562,12 @@ mod tests {
         set_threads(0);
     }
 
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        with_policy(KernelPolicy::auto().lanes(0), || ());
+    }
+
     /// One test covers both counter states so it cannot race a sibling test
     /// toggling the process-global enable flag mid-measurement.
     #[test]
@@ -295,14 +576,14 @@ mod tests {
         // Disabled: the dispatch path runs normally and counts nothing.
         counters::reset();
         let mut out = vec![0u32; 8 * 4];
-        run_row_blocks(&mut out, 4, 8, 2, |_, block| block.fill(7));
+        run_row_blocks(&mut out, 4, 8, 2, 1, |_, block| block.fill(7));
         assert_eq!(counters::snapshot().launches, 0);
         assert!(out.iter().all(|&v| v == 7));
 
         counters::set_enabled(true);
         let before = counters::snapshot();
-        run_row_blocks(&mut out, 4, 8, 1, |_, block| block.fill(1));
-        run_row_blocks(&mut out, 4, 8, 4, |_, block| block.fill(2));
+        run_row_blocks(&mut out, 4, 8, 1, 1, |_, block| block.fill(1));
+        run_row_blocks(&mut out, 4, 8, 4, 1, |_, block| block.fill(2));
         let after = counters::snapshot();
         counters::set_enabled(false);
         // Other tests' kernels may run concurrently while enabled, so the

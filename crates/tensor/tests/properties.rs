@@ -287,6 +287,95 @@ fn large_kernels_bit_identical_across_thread_counts() {
     }
 }
 
+// ---- blocked-kernel vs naive-kernel bit-identity -----------------------
+//
+// The panel-packed register-blocked matmul/matmul_transpose behind the
+// default KernelPolicy must reproduce the scalar reference kernels
+// (`matmul_naive` / `matmul_transpose_naive`) bit-for-bit: same ascending-k
+// accumulation per output element, same zero-skip, same signed-zero start.
+// Swept over random shapes (including empty, 1 x n, n x 1) at 1/2/4
+// threads, with exact zeros sprinkled into `a` to exercise the skip path.
+
+/// Zeroes every fifth element so the matmul zero-skip branch actually runs.
+fn sprinkle_zeros(m: &mut Matrix) {
+    for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+        if i % 5 == 0 {
+            *v = 0.0;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive(
+        m in 0_usize..40, k in 0_usize..40, n in 0_usize..40,
+        seed in 0_u64..10_000,
+    ) {
+        let mut a = rand_matrix(m, k, seed);
+        sprinkle_zeros(&mut a);
+        let b = rand_matrix(k, n, seed ^ 0x9e37);
+        for threads in [1_usize, 2, 4] {
+            let blocked = with_threads(threads, || a.matmul(&b));
+            let naive = with_threads(threads, || a.matmul_naive(&b));
+            assert_bits_eq(&blocked, &naive);
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_transpose_is_bit_identical_to_naive(
+        m in 0_usize..40, k in 0_usize..40, n in 0_usize..40,
+        seed in 0_u64..10_000,
+    ) {
+        let mut a = rand_matrix(m, k, seed);
+        sprinkle_zeros(&mut a);
+        let b = rand_matrix(n, k, seed ^ 0x517c);
+        for threads in [1_usize, 2, 4] {
+            let blocked = with_threads(threads, || a.matmul_transpose(&b));
+            let naive = with_threads(threads, || a.matmul_transpose_naive(&b));
+            assert_bits_eq(&blocked, &naive);
+        }
+    }
+}
+
+/// Blocked vs naive above the spawn thresholds and across whole-tile /
+/// remainder row counts, plus a policy with non-default block sizes: the
+/// partitioner granule may change where threads split, never the bytes.
+#[test]
+fn blocked_kernels_match_naive_on_large_and_ragged_shapes() {
+    use clfd_tensor::{with_policy, BlockSizes, KernelPolicy};
+    for &(m, k, n) in &[(96, 64, 96), (97, 33, 65), (1, 128, 128), (128, 128, 1), (130, 70, 94)] {
+        let mut a = rand_matrix(m, k, 11);
+        sprinkle_zeros(&mut a);
+        let b = rand_matrix(k, n, 12);
+        let bt = rand_matrix(n, k, 13);
+        let naive_mm = a.matmul_naive(&b);
+        let naive_mt = a.matmul_transpose_naive(&bt);
+        for threads in [1, 2, 4] {
+            assert_bits_eq(&naive_mm, &with_threads(threads, || a.matmul(&b)));
+            assert_bits_eq(&naive_mt, &with_threads(threads, || a.matmul_transpose(&bt)));
+            let odd_blocks = KernelPolicy::auto()
+                .threads(threads)
+                .block_sizes(BlockSizes { rows: 3, cols: 8 });
+            assert_bits_eq(&naive_mm, &with_policy(odd_blocks, || a.matmul(&b)));
+            assert_bits_eq(&naive_mt, &with_policy(odd_blocks, || a.matmul_transpose(&bt)));
+        }
+    }
+}
+
+/// `KernelPolicy::scalar_reference()` (lanes == 1) routes the public
+/// `matmul` entry points to the naive kernels, scope- and process-wide.
+#[test]
+fn scalar_reference_policy_selects_naive_path() {
+    use clfd_tensor::{with_policy, KernelPolicy};
+    let a = rand_matrix(33, 17, 21);
+    let b = rand_matrix(17, 29, 22);
+    let via_policy = with_policy(KernelPolicy::scalar_reference(), || a.matmul(&b));
+    let naive = a.matmul_naive(&b);
+    assert_bits_eq(&via_policy, &naive);
+}
+
 /// The global knob: `set_threads` is observed by kernels (restored at the
 /// end so concurrently running tests keep their thread-local overrides,
 /// which always win over the global).

@@ -5,18 +5,29 @@
 //! Supports exactly the shapes this workspace derives on: non-generic
 //! structs with named fields, enums with unit variants, and enums with
 //! struct variants. Anything else produces a compile error naming the
-//! unsupported construct. No `#[serde(...)]` attributes are interpreted.
+//! unsupported construct.
+//!
+//! Two `#[serde(...)]` attributes are interpreted, matching real serde
+//! semantics where the workspace relies on them:
+//!
+//! * `#[serde(default)]` on a named field — a missing key deserializes via
+//!   `Default::default()` instead of erroring;
+//! * `#[serde(rename_all = "lowercase")]` on an enum — variant tags
+//!   serialize as (and match against) their lowercased names.
+//!
+//! Any other `#[serde(...)]` content is a compile error, so silent
+//! divergence from real serde behaviour is impossible.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives the stub `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Serialize)
 }
 
 /// Derives the stub `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Deserialize)
 }
@@ -27,9 +38,21 @@ enum Mode {
     Deserialize,
 }
 
+/// A named struct field plus its interpreted serde attributes.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing key -> `Default::default()`.
+    default: bool,
+}
+
 enum Item {
-    Struct { name: String, fields: Vec<String> },
-    Enum { name: String, variants: Vec<(String, Option<Vec<String>>)> },
+    Struct { name: String, fields: Vec<Field> },
+    Enum {
+        name: String,
+        /// `#[serde(rename_all = "lowercase")]` on the enum itself.
+        rename_lowercase: bool,
+        variants: Vec<(String, Option<Vec<Field>>)>,
+    },
 }
 
 fn expand(input: TokenStream, mode: Mode) -> TokenStream {
@@ -42,16 +65,21 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
     let code = match (item, mode) {
         (Item::Struct { name, fields }, Mode::Serialize) => struct_ser(&name, &fields),
         (Item::Struct { name, fields }, Mode::Deserialize) => struct_de(&name, &fields),
-        (Item::Enum { name, variants }, Mode::Serialize) => enum_ser(&name, &variants),
-        (Item::Enum { name, variants }, Mode::Deserialize) => enum_de(&name, &variants),
+        (Item::Enum { name, rename_lowercase, variants }, Mode::Serialize) => {
+            enum_ser(&name, rename_lowercase, &variants)
+        }
+        (Item::Enum { name, rename_lowercase, variants }, Mode::Deserialize) => {
+            enum_de(&name, rename_lowercase, &variants)
+        }
     };
     code.parse().unwrap()
 }
 
-fn struct_ser(name: &str, fields: &[String]) -> String {
+fn struct_ser(name: &str, fields: &[Field]) -> String {
     let entries: String = fields
         .iter()
         .map(|f| {
+            let f = &f.name;
             format!(
                 "(String::from({f:?}), serde::Serialize::to_value(&self.{f})),"
             )
@@ -66,7 +94,7 @@ fn struct_ser(name: &str, fields: &[String]) -> String {
     )
 }
 
-fn struct_de(name: &str, fields: &[String]) -> String {
+fn struct_de(name: &str, fields: &[Field]) -> String {
     let inits: String = fields.iter().map(|f| field_init(name, f)).collect();
     format!(
         "impl serde::Deserialize for {name} {{\n\
@@ -80,35 +108,55 @@ fn struct_de(name: &str, fields: &[String]) -> String {
     )
 }
 
-/// `field: Deserialize::from_value(lookup?)?,` with a missing-key error.
-fn field_init(owner: &str, field: &str) -> String {
-    format!(
-        "{field}: serde::Deserialize::from_value(v.get({field:?}).ok_or_else(|| \
-           serde::DeError::custom(concat!(\"missing field \", {field:?}, \" in \", {owner:?})))?)?,"
-    )
+/// `field: Deserialize::from_value(lookup?)?,` — missing keys error unless
+/// the field carries `#[serde(default)]`.
+fn field_init(owner: &str, field: &Field) -> String {
+    let f = &field.name;
+    if field.default {
+        format!(
+            "{f}: match v.get({f:?}) {{\n\
+               Some(fv) => serde::Deserialize::from_value(fv)?,\n\
+               None => Default::default(),\n\
+             }},"
+        )
+    } else {
+        format!(
+            "{f}: serde::Deserialize::from_value(v.get({f:?}).ok_or_else(|| \
+               serde::DeError::custom(concat!(\"missing field \", {f:?}, \" in \", {owner:?})))?)?,"
+        )
+    }
 }
 
-fn enum_ser(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+/// A variant's wire tag under the enum's rename rule.
+fn tag(variant: &str, rename_lowercase: bool) -> String {
+    if rename_lowercase { variant.to_lowercase() } else { variant.to_string() }
+}
+
+fn enum_ser(name: &str, rename_lowercase: bool, variants: &[(String, Option<Vec<Field>>)]) -> String {
     let arms: String = variants
         .iter()
-        .map(|(v, fields)| match fields {
-            None => format!(
-                "{name}::{v} => serde::Value::Str(String::from({v:?})),"
-            ),
-            Some(fs) => {
-                let pat: String = fs.iter().map(|f| format!("{f},")).collect();
-                let entries: String = fs
-                    .iter()
-                    .map(|f| {
-                        format!(
-                            "(String::from({f:?}), serde::Serialize::to_value({f})),"
-                        )
-                    })
-                    .collect();
-                format!(
-                    "{name}::{v} {{ {pat} }} => serde::Value::Map(vec![\
-                       (String::from({v:?}), serde::Value::Map(vec![{entries}]))]),"
-                )
+        .map(|(v, fields)| {
+            let t = tag(v, rename_lowercase);
+            match fields {
+                None => format!(
+                    "{name}::{v} => serde::Value::Str(String::from({t:?})),"
+                ),
+                Some(fs) => {
+                    let pat: String = fs.iter().map(|f| format!("{},", f.name)).collect();
+                    let entries: String = fs
+                        .iter()
+                        .map(|f| {
+                            let f = &f.name;
+                            format!(
+                                "(String::from({f:?}), serde::Serialize::to_value({f})),"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{v} {{ {pat} }} => serde::Value::Map(vec![\
+                           (String::from({t:?}), serde::Value::Map(vec![{entries}]))]),"
+                    )
+                }
             }
         })
         .collect();
@@ -121,19 +169,24 @@ fn enum_ser(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
     )
 }
 
-fn enum_de(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+fn enum_de(name: &str, rename_lowercase: bool, variants: &[(String, Option<Vec<Field>>)]) -> String {
     let unit_arms: String = variants
         .iter()
         .filter(|(_, f)| f.is_none())
-        .map(|(v, _)| format!("{v:?} => Ok({name}::{v}),"))
+        .map(|(v, _)| {
+            let t = tag(v, rename_lowercase);
+            format!("{t:?} => Ok({name}::{v}),")
+        })
         .collect();
     let tagged_arms: String = variants
         .iter()
         .filter_map(|(v, f)| f.as_ref().map(|fs| (v, fs)))
         .map(|(v, fs)| {
+            let t = tag(v, rename_lowercase);
             let inits: String = fs
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "{f}: serde::Deserialize::from_value(inner.get({f:?}).ok_or_else(|| \
                            serde::DeError::custom(concat!(\"missing field \", {f:?}, \" in \", \
@@ -141,7 +194,7 @@ fn enum_de(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
                     )
                 })
                 .collect();
-            format!("{v:?} => Ok({name}::{v} {{ {inits} }}),")
+            format!("{t:?} => Ok({name}::{v} {{ {inits} }}),")
         })
         .collect();
     format!(
@@ -173,10 +226,17 @@ fn enum_de(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
 // Token-level parsing (no syn available offline).
 // ---------------------------------------------------------------------------
 
+/// Serde attributes collected from one `#[...]` run.
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    rename_lowercase: bool,
+}
+
 fn parse_item(input: TokenStream) -> Result<Item, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    skip_attrs_and_vis(&tokens, &mut i);
+    let item_attrs = take_attrs_and_vis(&tokens, &mut i)?;
     let kind = match ident_at(&tokens, i).as_deref() {
         Some(k @ ("struct" | "enum")) => k.to_string(),
         _ => return Err("derive(Serialize/Deserialize) stub: expected struct or enum".into()),
@@ -196,18 +256,27 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         }
     };
     if kind == "struct" {
+        if item_attrs.rename_lowercase {
+            return Err(format!(
+                "derive stub: serde(rename_all) on struct {name} is unsupported"
+            ));
+        }
         Ok(Item::Struct { name, fields: parse_named_fields(body)? })
     } else {
-        Ok(Item::Enum { name, variants: parse_variants(body)? })
+        Ok(Item::Enum {
+            name,
+            rename_lowercase: item_attrs.rename_lowercase,
+            variants: parse_variants(body)?,
+        })
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let attrs = take_attrs_and_vis(&tokens, &mut i)?;
         if i >= tokens.len() {
             break;
         }
@@ -233,17 +302,17 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(fname);
+        fields.push(Field { name: fname, default: attrs.default });
     }
     Ok(fields)
 }
 
-fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Option<Vec<String>>)>, String> {
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Option<Vec<Field>>)>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        take_attrs_and_vis(&tokens, &mut i)?;
         if i >= tokens.len() {
             break;
         }
@@ -279,13 +348,16 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Option<Vec<String>
     Ok(variants)
 }
 
-/// Advances past `#[...]` attributes (incl. doc comments) and visibility.
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// Advances past `#[...]` attributes (incl. doc comments) and visibility,
+/// interpreting any `#[serde(...)]` attributes seen along the way.
+fn take_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<SerdeAttrs, String> {
+    let mut attrs = SerdeAttrs::default();
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 *i += 1; // the attribute group
-                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    parse_serde_attr(g.stream(), &mut attrs)?;
                     *i += 1;
                 }
             }
@@ -298,8 +370,51 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     *i += 1;
                 }
             }
-            _ => return,
+            _ => return Ok(attrs),
         }
+    }
+}
+
+/// Interprets the bracketed body of one attribute if it is `serde(...)`.
+///
+/// Supported: `serde(default)` and `serde(rename_all = "lowercase")`.
+/// Anything else under `serde(...)` is an error; non-serde attributes
+/// (doc comments, `#[default]`, derives) are ignored.
+fn parse_serde_attr(stream: TokenStream, attrs: &mut SerdeAttrs) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if ident_at(&tokens, 0).as_deref() != Some("serde") {
+        return Ok(());
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Err("derive stub: bare #[serde] attribute is unsupported".into()),
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    match ident_at(&inner, 0).as_deref() {
+        Some("default") if inner.len() == 1 => {
+            attrs.default = true;
+            Ok(())
+        }
+        Some("rename_all") => {
+            let eq = matches!(inner.get(1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+            let lit = match inner.get(2) {
+                Some(TokenTree::Literal(l)) => l.to_string(),
+                _ => String::new(),
+            };
+            if eq && lit == "\"lowercase\"" && inner.len() == 3 {
+                attrs.rename_lowercase = true;
+                Ok(())
+            } else {
+                Err(format!(
+                    "derive stub: only serde(rename_all = \"lowercase\") is supported, got {lit}"
+                ))
+            }
+        }
+        _ => Err(format!(
+            "derive stub: unsupported serde attribute {:?} (only `default` and \
+             `rename_all = \"lowercase\"` are interpreted)",
+            inner.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+        )),
     }
 }
 
